@@ -1,0 +1,82 @@
+// Ablation (Section 3.6): co-located vs broadcast distributed joins.
+// When both sides are segmented by their join keys the join runs fully
+// node-local; otherwise the build side is broadcast through the (simulated)
+// interconnect. Reports runtimes and exchanged bytes on a 4-node cluster.
+#include <chrono>
+#include <cstdio>
+
+#include "api/database.h"
+#include "common/rng.h"
+
+using namespace stratica;
+
+int main() {
+  DatabaseOptions opts;
+  opts.num_nodes = 4;
+  opts.local_segments_per_node = 1;
+  Database db(opts);
+  auto run = [&](const std::string& sql) {
+    auto result = db.Execute(sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n  in: %s\n", result.status().ToString().c_str(),
+                   sql.c_str());
+      std::exit(1);
+    }
+    return std::move(result).value();
+  };
+  // fact/dim_k are both hash-segmented on the join key (co-located);
+  // dim_other is segmented on an unrelated column (broadcast required).
+  run("CREATE TABLE fact (k INT, v FLOAT)");
+  run("CREATE TABLE dim_k (k INT, attr INT)");
+  run("CREATE TABLE dim_other (other INT, k INT, attr INT)");
+
+  Rng rng(17);
+  RowBlock fact({TypeId::kInt64, TypeId::kFloat64});
+  for (int i = 0; i < 2000000; ++i) {
+    fact.columns[0].ints.push_back(rng.Range(0, 49999));
+    fact.columns[1].doubles.push_back(rng.NextDouble());
+  }
+  RowBlock dim({TypeId::kInt64, TypeId::kInt64});
+  for (int i = 0; i < 50000; ++i) {
+    dim.columns[0].ints.push_back(i);
+    dim.columns[1].ints.push_back(i % 100);
+  }
+  RowBlock dim2({TypeId::kInt64, TypeId::kInt64, TypeId::kInt64});
+  for (int i = 0; i < 50000; ++i) {
+    dim2.columns[0].ints.push_back(i * 31);
+    dim2.columns[1].ints.push_back(i);
+    dim2.columns[2].ints.push_back(i % 100);
+  }
+  if (!db.Load("fact", fact, true).ok() || !db.Load("dim_k", dim, true).ok() ||
+      !db.Load("dim_other", dim2, true).ok())
+    return 1;
+  if (!db.RunTupleMover().ok()) return 1;
+
+  auto time_query = [&](const std::string& sql, const char* label) {
+    // Warm once, then measure; report interconnect traffic per run.
+    run(sql);
+    uint64_t bytes_before = db.stats()->exchange_bytes.load();
+    auto start = std::chrono::steady_clock::now();
+    auto result = run(sql);
+    auto end = std::chrono::steady_clock::now();
+    uint64_t bytes = db.stats()->exchange_bytes.load() - bytes_before;
+    std::printf("%-34s %8.1f ms   exchange %8.2f MB   (%zu groups)\n", label,
+                std::chrono::duration<double, std::milli>(end - start).count(),
+                bytes / 1048576.0, result.NumRows());
+  };
+
+  std::printf("=== Distributed join: co-located vs broadcast (4 nodes) ===\n\n");
+  time_query(
+      "SELECT attr, COUNT(*) FROM fact JOIN dim_k ON fact.k = dim_k.k "
+      "GROUP BY attr",
+      "co-located (segmented on key)");
+  time_query(
+      "SELECT attr, COUNT(*) FROM fact JOIN dim_other ON fact.k = dim_other.k "
+      "GROUP BY attr",
+      "broadcast (mis-segmented dim)");
+  std::printf("\nthe co-located plan joins each node's segment pair locally "
+              "(Section 3.6: segmentation\nenables 'fully local distributed "
+              "joins'); the mis-segmented dimension must be broadcast\nto every "
+              "node first, paying interconnect bytes.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation (Sections 4 and 7): load paths. Trickle inserts through the WOS
+// amortize sorting/encoding via moveout; bulk loads that would swamp the
+// WOS go directly to the ROS ("users are more than happy to explicitly tag
+// such loads"). Also shows WOS-overflow spill behavior.
+#include <chrono>
+#include <cstdio>
+
+#include "api/database.h"
+#include "common/rng.h"
+
+using namespace stratica;
+
+namespace {
+
+double LoadAndMoveout(Database* db, const char* table, int batches, int batch_rows,
+                      bool direct) {
+  Rng rng(11);
+  auto start = std::chrono::steady_clock::now();
+  for (int b = 0; b < batches; ++b) {
+    RowBlock rows({TypeId::kInt64, TypeId::kInt64, TypeId::kFloat64});
+    for (int i = 0; i < batch_rows; ++i) {
+      rows.columns[0].ints.push_back(rng.Range(0, 999999));
+      rows.columns[1].ints.push_back(rng.Range(0, 99));
+      rows.columns[2].doubles.push_back(rng.NextDouble());
+    }
+    if (!db->Load(table, rows, direct).ok()) std::exit(1);
+  }
+  if (!db->RunTupleMover().ok()) std::exit(1);
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Load paths: WOS+moveout vs direct-to-ROS (Section 7) ===\n\n");
+  std::printf("%-34s %10s %12s %12s\n", "path", "time", "containers", "MB stored");
+
+  struct Config {
+    const char* label;
+    int batches;
+    int batch_rows;
+    bool direct;
+  };
+  for (Config c : {Config{"trickle 100x5k via WOS", 100, 5000, false},
+                   Config{"trickle 100x5k direct-to-ROS", 100, 5000, true},
+                   Config{"bulk 1x500k via WOS", 1, 500000, false},
+                   Config{"bulk 1x500k direct-to-ROS", 1, 500000, true}}) {
+    DatabaseOptions opts;
+    opts.num_nodes = 1;
+    opts.local_segments_per_node = 1;
+    opts.direct_ros_row_threshold = UINT64_MAX;  // explicit control only
+    Database db(opts);
+    (void)db.Execute("CREATE TABLE t (k INT, g INT, v FLOAT)");
+    double ms = LoadAndMoveout(&db, "t", c.batches, c.batch_rows, c.direct);
+    auto census = db.cluster()->Census("t_super");
+    std::printf("%-34s %8.1f ms %12zu %11.2f\n", c.label, ms, census.containers,
+                census.bytes / 1048576.0);
+  }
+  std::printf("\ntrickle loads benefit from WOS buffering (fewer, larger sorted "
+              "containers after moveout);\nbulk loads skip the memory double-buffer "
+              "and write sorted ROS containers immediately.\n");
+
+  // WOS saturation: loads beyond capacity spill directly to ROS (Section 4).
+  DatabaseOptions opts;
+  opts.num_nodes = 1;
+  opts.local_segments_per_node = 1;
+  opts.direct_ros_row_threshold = UINT64_MAX;
+  Database db(opts);
+  (void)db.Execute("CREATE TABLE t (k INT, g INT, v FLOAT)");
+  auto* ps = db.cluster()->node(0)->GetStorage("t_super");
+  std::printf("\nWOS saturation check: capacity %lu rows; ",
+              static_cast<unsigned long>(ps->config().wos_capacity_rows));
+  Rng rng(3);
+  RowBlock rows({TypeId::kInt64, TypeId::kInt64, TypeId::kFloat64});
+  for (uint64_t i = 0; i < ps->config().wos_capacity_rows + 1000; ++i) {
+    rows.columns[0].ints.push_back(rng.Range(0, 100));
+    rows.columns[1].ints.push_back(0);
+    rows.columns[2].doubles.push_back(0);
+  }
+  (void)db.Load("t", rows, false);
+  std::printf("after oversized WOS load: saturated=%s (tuple mover will drain it)\n",
+              ps->WosSaturated() ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Tables 1 and 2: the lock compatibility and conversion
+// matrices, printed directly from the LockManager implementation (the
+// same tables the unit tests verify cell-by-cell against the paper).
+#include <cstdio>
+
+#include "txn/lock_manager.h"
+
+int main() {
+  using namespace stratica;
+  constexpr LockMode kModes[] = {LockMode::kS, LockMode::kI,  LockMode::kSI,
+                                 LockMode::kX, LockMode::kT, LockMode::kU,
+                                 LockMode::kO};
+
+  std::printf("=== Table 1: Lock Compatibility Matrix ===\n");
+  std::printf("%-10s", "Req\\Granted");
+  for (LockMode g : kModes) std::printf("%5s", LockModeName(g));
+  std::printf("\n");
+  for (LockMode r : kModes) {
+    std::printf("%-11s", LockModeName(r));
+    for (LockMode g : kModes) {
+      std::printf("%5s", LockCompatible(r, g) ? "Yes" : "No");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Table 2: Lock Conversion Matrix ===\n");
+  std::printf("%-10s", "Req\\Granted");
+  for (LockMode g : kModes) std::printf("%5s", LockModeName(g));
+  std::printf("\n");
+  for (LockMode r : kModes) {
+    std::printf("%-11s", LockModeName(r));
+    for (LockMode g : kModes) {
+      std::printf("%5s", LockModeName(LockConvert(r, g)));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nBoth matrices are transcribed from the implementation used by "
+              "the transaction manager;\ntests/txn/lock_manager_test.cc asserts "
+              "every cell against the paper's tables.\n");
+  return 0;
+}

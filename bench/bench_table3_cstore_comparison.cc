@@ -1,0 +1,267 @@
+// Reproduces Table 3: "Performance of Vertica compared with C-Store on
+// single node hardware using the queries and test harness of the C-Store
+// paper" — the seven C-Store (VLDB 2005) queries over a TPC-H-derived
+// schema, run on Stratica's full engine and on the reimplemented C-Store
+// baseline (row-at-a-time, join indices, RLE/plain-only storage).
+//
+// Expectation (shape, not absolutes): the full engine wins every query and
+// roughly 2x on total; join-index-free storage is ~2x smaller (Section 8.1).
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "api/database.h"
+#include "common/rng.h"
+#include "cstore/cstore_engine.h"
+
+namespace stratica {
+namespace {
+
+constexpr int kLineitem = 600000;
+constexpr int kOrders = kLineitem / 4;
+constexpr int kCustomers = kOrders / 10;
+constexpr int kSuppliers = 500;
+constexpr int kNations = 25;
+
+struct Dataset {
+  RowBlock lineitem{std::vector<TypeId>{TypeId::kDate, TypeId::kInt64, TypeId::kInt64,
+                                        TypeId::kFloat64}};
+  RowBlock orders{
+      std::vector<TypeId>{TypeId::kDate, TypeId::kInt64, TypeId::kInt64}};
+  RowBlock customers{std::vector<TypeId>{TypeId::kInt64, TypeId::kInt64}};
+  int64_t d1, d2;
+};
+
+Dataset Generate() {
+  Dataset data;
+  Rng rng(20120821);
+  int64_t base = MakeDate(1992, 1, 1);
+  int64_t span = MakeDate(1998, 12, 31) - base;
+  for (int o = 0; o < kOrders; ++o) {
+    data.orders.columns[0].ints.push_back(base + rng.Range(0, span));
+    data.orders.columns[1].ints.push_back(o);
+    data.orders.columns[2].ints.push_back(rng.Range(0, kCustomers - 1));
+  }
+  for (int l = 0; l < kLineitem; ++l) {
+    int64_t order = rng.Range(0, kOrders - 1);
+    int64_t odate = data.orders.columns[0].ints[order];
+    data.lineitem.columns[0].ints.push_back(odate + rng.Range(1, 90));  // shipdate
+    data.lineitem.columns[1].ints.push_back(rng.Range(0, kSuppliers - 1));
+    data.lineitem.columns[2].ints.push_back(order);
+    data.lineitem.columns[3].doubles.push_back(900.0 + rng.NextDouble() * 104000.0);
+  }
+  for (int c = 0; c < kCustomers; ++c) {
+    data.customers.columns[0].ints.push_back(c);
+    data.customers.columns[1].ints.push_back(rng.Range(0, kNations - 1));
+  }
+  data.d1 = base + span / 2;  // shipdate midpoint: Q1/Q3 select ~half
+  data.d2 = base + span / 2;
+  return data;
+}
+
+double MedianMs(const std::function<Status()>& fn, int reps = 3) {
+  std::vector<double> times;
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    Status st = fn();
+    auto end = std::chrono::steady_clock::now();
+    if (!st.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
+      return -1;
+    }
+    times.push_back(std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+}  // namespace stratica
+
+int main() {
+  using namespace stratica;
+  std::printf("=== Table 3: C-Store baseline vs Stratica (full engine) ===\n");
+  std::printf("workload: C-Store paper query suite, TPC-H-derived data "
+              "(lineitem=%d orders=%d customers=%d)\n\n",
+              kLineitem, kOrders, kCustomers);
+  Dataset data = Generate();
+
+  // --- Stratica ------------------------------------------------------------
+  DatabaseOptions opts;
+  opts.num_nodes = 1;
+  opts.k_safety = 0;
+  opts.local_segments_per_node = 1;
+  Database db(opts);
+  auto check = [](auto&& result, const char* what) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", what, result.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+  auto check_st = [](const Status& st, const char* what) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", what, st.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  check(db.Execute("CREATE TABLE lineitem (l_shipdate DATE, l_suppkey INT, "
+                   "l_orderkey INT, l_extendedprice FLOAT)"),
+        "create lineitem");
+  check(db.Execute("CREATE TABLE orders (o_orderdate DATE, o_orderkey INT, "
+                   "o_custkey INT)"),
+        "create orders");
+  check(db.Execute("CREATE TABLE customer (c_custkey INT, c_nationkey INT)"),
+        "create customer");
+  check(db.Load("lineitem", data.lineitem, /*direct=*/true), "load lineitem");
+  check(db.Load("orders", data.orders, /*direct=*/true), "load orders");
+  check(db.Load("customer", data.customers, /*direct=*/true), "load customer");
+  check_st(db.RunTupleMover(), "tuple mover");
+
+  std::string d1 = "DATE '" + FormatDate(data.d1) + "'";
+  std::string d2 = "DATE '" + FormatDate(data.d2) + "'";
+  const std::string queries[7] = {
+      "SELECT l_shipdate, COUNT(*) FROM lineitem WHERE l_shipdate > " + d1 +
+          " GROUP BY l_shipdate",
+      "SELECT l_suppkey, COUNT(*) FROM lineitem WHERE l_shipdate = " + d1 +
+          " GROUP BY l_suppkey",
+      "SELECT l_suppkey, COUNT(*) FROM lineitem WHERE l_shipdate > " + d1 +
+          " GROUP BY l_suppkey",
+      "SELECT l_shipdate, COUNT(*) FROM lineitem JOIN orders ON l_orderkey = "
+      "o_orderkey WHERE o_orderdate > " + d2 + " GROUP BY l_shipdate",
+      "SELECT l_suppkey, COUNT(*) FROM lineitem JOIN orders ON l_orderkey = "
+      "o_orderkey WHERE o_orderdate = " + d2 + " GROUP BY l_suppkey",
+      "SELECT l_suppkey, COUNT(*) FROM lineitem JOIN orders ON l_orderkey = "
+      "o_orderkey WHERE o_orderdate > " + d2 + " GROUP BY l_suppkey",
+      "SELECT c_nationkey, SUM(l_extendedprice) FROM lineitem "
+      "JOIN orders ON l_orderkey = o_orderkey "
+      "JOIN customer ON o_custkey = c_custkey "
+      "WHERE o_orderdate > " + d2 + " GROUP BY c_nationkey",
+  };
+  double vertica_ms[7];
+  for (int q = 0; q < 7; ++q) {
+    vertica_ms[q] = MedianMs([&] { return db.Execute(queries[q]).status(); });
+  }
+  uint64_t vertica_bytes = 0;
+  for (const std::string table : {"lineitem", "orders", "customer"}) {
+    vertica_bytes += db.cluster()->Census(table + "_super").bytes;
+  }
+
+  // --- C-Store baseline ------------------------------------------------------
+  MemFileSystem cfs;
+  CStoreEngine cstore(&cfs);
+  check_st((cstore.AddProjection(
+            "lineitem", {"l_shipdate", "l_suppkey", "l_orderkey", "l_extendedprice"},
+            data.lineitem, 0)),
+        "cstore lineitem");
+  check_st((cstore.AddProjection(
+            "orders", {"o_orderdate", "o_orderkey", "o_custkey"}, data.orders, 0)),
+        "cstore orders");
+  check_st((cstore.AddProjection("customer", {"c_custkey", "c_nationkey"},
+                                         data.customers, 0)),
+        "cstore customer");
+  check_st((cstore.AddJoinIndex("lineitem", "orders", "l_orderkey",
+                                        "o_orderkey")),
+        "ji lineitem->orders");
+  check_st(cstore.AddJoinIndex("orders", "customer", "o_custkey", "c_custkey"),
+           "ji orders->customer");
+
+  // Disk-resident baseline: every query decodes its input columns from
+  // storage first (the prototype was disk-based; in-memory arrays would
+  // flatter it enormously), then evaluates row at a time through virtual
+  // accessors.
+  auto decode_lineitem = [&]() -> std::unique_ptr<CStoreEngine::RowSource> {
+    return cstore.OpenSourceFromDisk("lineitem");
+  };
+  const auto* ji_lo = cstore.join_index("lineitem");
+  const auto* ji_oc = cstore.join_index("orders");
+  int o_date_col = cstore.projection("orders")->FindColumn("o_orderdate");
+  int c_nat_col = cstore.projection("customer")->FindColumn("c_nationkey");
+
+  // Row-at-a-time query kernels (one virtual call per value, join-index
+  // chases for reconstruction).
+  auto q_scan = [&](bool equality, int group_col) {
+    return [&, equality, group_col]() -> Status {
+      auto li = decode_lineitem();
+      std::unordered_map<int64_t, int64_t> groups;
+      size_t n = li->NumRows();
+      for (size_t r = 0; r < n; ++r) {
+        int64_t shipdate = li->GetInt(r, 0);
+        bool pass = equality ? shipdate == data.d1 : shipdate > data.d1;
+        if (pass) ++groups[li->GetInt(r, group_col)];
+      }
+      volatile size_t sink = groups.size();
+      (void)sink;
+      return Status::OK();
+    };
+  };
+    // Join-index reconstruction reads the target projection in row-id order:
+  // page-granular random access, the cost Section 3.2 calls "very high".
+  auto orders_src = [&]() { return cstore.OpenPagedSource("orders"); };
+  auto q_join = [&](bool equality, int group_col) {
+    return [&, equality, group_col]() -> Status {
+      auto li = decode_lineitem();
+      auto od = orders_src();
+      std::unordered_map<int64_t, int64_t> groups;
+      size_t n = li->NumRows();
+      for (size_t r = 0; r < n; ++r) {
+        int64_t orow = ji_lo->target_row[r];
+        if (orow < 0) continue;
+        int64_t odate = od->GetInt(static_cast<size_t>(orow), o_date_col);
+        bool pass = equality ? odate == data.d2 : odate > data.d2;
+        if (pass) ++groups[li->GetInt(r, group_col)];
+      }
+      volatile size_t sink = groups.size();
+      (void)sink;
+      return Status::OK();
+    };
+  };
+  auto q7 = [&]() -> Status {
+    auto li = decode_lineitem();
+    auto od = orders_src();
+    auto cu = cstore.OpenPagedSource("customer");
+    std::unordered_map<int64_t, double> groups;
+    size_t n = li->NumRows();
+    for (size_t r = 0; r < n; ++r) {
+      int64_t orow = ji_lo->target_row[r];
+      if (orow < 0) continue;
+      if (od->GetInt(static_cast<size_t>(orow), o_date_col) <= data.d2) continue;
+      int64_t crow = ji_oc->target_row[static_cast<size_t>(orow)];
+      if (crow < 0) continue;
+      int64_t nation = cu->GetInt(static_cast<size_t>(crow), c_nat_col);
+      groups[nation] += li->GetDouble(r, 3);
+    }
+    volatile size_t sink = groups.size();
+    (void)sink;
+    return Status::OK();
+  };
+
+  double cstore_ms[7];
+  cstore_ms[0] = MedianMs(q_scan(false, 0));
+  cstore_ms[1] = MedianMs(q_scan(true, 1));
+  cstore_ms[2] = MedianMs(q_scan(false, 1));
+  cstore_ms[3] = MedianMs(q_join(false, 0));
+  cstore_ms[4] = MedianMs(q_join(true, 1));
+  cstore_ms[5] = MedianMs(q_join(false, 1));
+  cstore_ms[6] = MedianMs(q7);
+  uint64_t cstore_bytes = cstore.TotalDiskBytes();
+
+  // --- report -----------------------------------------------------------------
+  std::printf("%-22s %14s %14s %8s\n", "Metric", "C-Store", "Stratica", "ratio");
+  double ct = 0, vt = 0;
+  for (int q = 0; q < 7; ++q) {
+    ct += cstore_ms[q];
+    vt += vertica_ms[q];
+    std::printf("Q%-21d %12.1f ms %12.1f ms %7.2fx\n", q + 1, cstore_ms[q],
+                vertica_ms[q], cstore_ms[q] / vertica_ms[q]);
+  }
+  std::printf("%-22s %12.1f ms %12.1f ms %7.2fx\n", "Total Query Time", ct, vt,
+              ct / vt);
+  std::printf("%-22s %11.1f MB %11.1f MB %7.2fx\n", "Disk Space Required",
+              cstore_bytes / 1048576.0, vertica_bytes / 1048576.0,
+              static_cast<double>(cstore_bytes) / vertica_bytes);
+  std::printf("\npaper: Vertica ~2x faster in total (18.7s vs 9.6s) and ~2.1x "
+              "smaller (1987MB vs 949MB)\n");
+  return 0;
+}

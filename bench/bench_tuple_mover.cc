@@ -1,0 +1,78 @@
+// Ablation (Section 4): tuple mover strata policies. Exponential strata
+// bound how often a tuple is rewritten; merging eagerly (factor ~1) or
+// never merging both hurt. Reports rewrite amplification and final
+// container counts per policy after a many-batch load.
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "storage/projection_storage.h"
+#include "tuplemover/tuple_mover.h"
+#include "txn/transaction.h"
+
+using namespace stratica;
+
+int main() {
+  std::printf("=== Tuple mover strata ablation (Section 4) ===\n");
+  std::printf("100 committed batches of 20k rows, then mergeout to quiescence\n\n");
+  std::printf("%-26s %10s %12s %12s %10s\n", "policy", "mergeouts",
+              "rows rewritten", "amplification", "containers");
+
+  struct Policy {
+    const char* name;
+    double factor;
+    size_t fanin_min;
+  };
+  for (Policy policy : {Policy{"eager (factor 2, min 2)", 2.0, 2},
+                        Policy{"strata (factor 8, min 4)", 8.0, 4},
+                        Policy{"lazy (factor 64, min 16)", 64.0, 16}}) {
+    MemFileSystem fs;
+    EpochManager epochs;
+    LockManager locks;
+    TransactionManager tm(&epochs, &locks);
+    TupleMoverConfig cfg;
+    cfg.strata_base_bytes = 64 << 10;
+    cfg.strata_factor = policy.factor;
+    cfg.merge_fanin_min = policy.fanin_min;
+    TupleMover mover(&epochs, cfg);
+
+    ProjectionStorageConfig pcfg;
+    pcfg.projection = "p";
+    pcfg.column_names = {"k", "v"};
+    pcfg.column_types = {TypeId::kInt64, TypeId::kInt64};
+    pcfg.encodings = {EncodingId::kAuto, EncodingId::kAuto};
+    pcfg.sort_columns = {0};
+    pcfg.num_local_segments = 1;
+    ProjectionStorage ps(&fs, "node0/p", pcfg);
+
+    Rng rng(1);
+    uint64_t loaded = 0;
+    for (int batch = 0; batch < 100; ++batch) {
+      RowBlock rows({TypeId::kInt64, TypeId::kInt64});
+      for (int i = 0; i < 20000; ++i) {
+        rows.columns[0].ints.push_back(rng.Range(0, 1 << 20));
+        rows.columns[1].ints.push_back(static_cast<int64_t>(rng.Next()));
+      }
+      loaded += rows.NumRows();
+      auto txn = tm.Begin();
+      if (!ps.InsertWos(std::move(rows), txn.get()).ok()) return 1;
+      if (!tm.Commit(txn).ok()) return 1;
+      if (!mover.Moveout(&ps).ok()) return 1;
+      // Continuous background merging, as in production.
+      auto merged = mover.MergeoutOnce(&ps);
+      if (!merged.ok()) return 1;
+    }
+    if (!mover.MergeoutAll(&ps).ok()) return 1;
+    const auto& stats = mover.stats();
+    std::printf("%-26s %10lu %14lu %11.2fx %10zu\n", policy.name,
+                static_cast<unsigned long>(stats.mergeouts),
+                static_cast<unsigned long>(stats.rows_merged),
+                static_cast<double>(stats.rows_merged) / loaded,
+                ps.NumContainers());
+  }
+  std::printf("\nexponential strata keep rewrite amplification logarithmic while "
+              "still converging to few containers;\neager merging rewrites far "
+              "more, lazy merging leaves many containers (more file handles, "
+              "seeks, merges at scan).\n");
+  return 0;
+}

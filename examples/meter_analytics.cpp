@@ -1,0 +1,86 @@
+// Meter analytics: the customer scenario from Section 8.2.2 of the paper —
+// a few hundred metrics collected from a couple thousand meters at regular
+// intervals. Shows sorted-projection compression, time-range pruning, and
+// windowed analytics over the readings.
+#include <cstdio>
+
+#include "api/database.h"
+#include "common/rng.h"
+
+using namespace stratica;
+
+int main() {
+  DatabaseOptions options;
+  options.num_nodes = 2;
+  options.local_segments_per_node = 1;
+  Database db(options);
+
+  auto run = [&](const std::string& sql) {
+    auto result = db.Execute(sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(result).value();
+  };
+
+  // Sorting by (metric, meter, collected) exposes the compression
+  // opportunities the paper describes: RLE flattens metric/meter, the
+  // periodic timestamps delta-encode to almost nothing.
+  run("CREATE TABLE readings (metric INT, meter INT, collected TIMESTAMP, "
+      "value FLOAT)");
+
+  RowBlock rows(
+      {TypeId::kInt64, TypeId::kInt64, TypeId::kTimestamp, TypeId::kFloat64});
+  Rng rng(99);
+  int64_t t0 = MakeDate(2012, 6, 1) * 86400LL * 1000000LL;
+  for (int metric = 0; metric < 20; ++metric) {
+    for (int meter = 0; meter < 50; ++meter) {
+      double value = 50 + rng.NextDouble() * 10;
+      for (int k = 0; k < 288; ++k) {  // one day at 5-minute intervals
+        value += rng.NextDouble() - 0.5;
+        rows.columns[0].ints.push_back(metric);
+        rows.columns[1].ints.push_back(meter);
+        rows.columns[2].ints.push_back(t0 + k * 300LL * 1000000LL);
+        rows.columns[3].doubles.push_back(value);
+      }
+    }
+  }
+  if (!db.Load("readings", rows, /*direct=*/true).ok()) return 1;
+  if (!db.RunTupleMover().ok()) return 1;
+
+  auto census = db.cluster()->Census("readings_super");
+  std::printf("loaded %lu readings; stored in %.2f MB (%.2f bytes/row, raw "
+              "would be ~32)\n\n",
+              static_cast<unsigned long>(census.rows), census.bytes / 1048576.0,
+              static_cast<double>(census.bytes) / census.rows);
+
+  std::printf("-- hourly profile of metric 3 across all meters --\n%s\n",
+              run("SELECT collected, AVG(value), MIN(value), MAX(value) "
+                  "FROM readings WHERE metric = 3 GROUP BY collected "
+                  "ORDER BY collected LIMIT 6")
+                  .ToString()
+                  .c_str());
+
+  std::printf("-- top meters by average for metric 7 --\n%s\n",
+              run("SELECT meter, AVG(value) AS avg_v FROM readings "
+                  "WHERE metric = 7 GROUP BY meter ORDER BY avg_v DESC LIMIT 5")
+                  .ToString()
+                  .c_str());
+
+  std::printf("-- running total for one meter (window function) --\n%s\n",
+              run("SELECT collected, value, "
+                  "SUM(value) OVER (PARTITION BY meter ORDER BY collected) "
+                  "AS running FROM readings "
+                  "WHERE metric = 1 AND meter = 5 ORDER BY collected LIMIT 6")
+                  .ToString()
+                  .c_str());
+
+  // Min/max pruning at work: the scan skips blocks whose metric range
+  // cannot match (stats printed from the shared ExecStats).
+  auto before = db.stats()->blocks_pruned.load();
+  run("SELECT COUNT(*) FROM readings WHERE metric = 19");
+  std::printf("blocks pruned by the position index for the last query: %lu\n",
+              static_cast<unsigned long>(db.stats()->blocks_pruned.load() - before));
+  return 0;
+}

@@ -1,0 +1,394 @@
+#include "api/database.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "exec/simple_ops.h"
+#include "storage/encoding.h"
+
+namespace stratica {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::ostringstream out;
+  if (!message.empty()) out << message << "\n";
+  if (column_names.empty()) return out.str();
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    if (c) out << " | ";
+    out << column_names[c];
+  }
+  out << "\n";
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    if (c) out << "-+-";
+    out << std::string(column_names[c].size(), '-');
+  }
+  out << "\n";
+  out << rows.ToString(max_rows);
+  return out.str();
+}
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  fs_ = options_.fs ? options_.fs : std::make_shared<MemFileSystem>();
+  ClusterConfig ccfg;
+  ccfg.num_nodes = options_.num_nodes;
+  ccfg.k_safety = options_.k_safety;
+  ccfg.local_segments_per_node = options_.local_segments_per_node;
+  ccfg.tuple_mover = options_.tuple_mover;
+  ccfg.direct_ros_row_threshold = options_.direct_ros_row_threshold;
+  cluster_ = std::make_unique<Cluster>(ccfg, fs_.get(), &catalog_);
+  planner_ = std::make_unique<Planner>(cluster_.get());
+  budget_ = std::make_unique<ResourceBudget>(options_.query_memory_budget);
+}
+
+ExecContext Database::MakeExecContext() {
+  ExecContext ctx;
+  ctx.fs = fs_.get();
+  ctx.epoch = cluster_->epochs()->LatestQueryableEpoch();
+  ctx.budget = budget_.get();
+  ctx.stats = &stats_;
+  ctx.intra_node_parallelism = options_.intra_node_parallelism;
+  return ctx;
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  STRATICA_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  switch (stmt.type) {
+    case Statement::Type::kSelect:
+      return RunSelect(stmt.select);
+    case Statement::Type::kExplain: {
+      STRATICA_ASSIGN_OR_RETURN(std::string tree, planner_->Explain(stmt.select));
+      QueryResult result;
+      result.message = tree;
+      return result;
+    }
+    case Statement::Type::kInsert:
+      return RunInsert(stmt.insert);
+    case Statement::Type::kCopy:
+      return RunCopy(stmt.copy);
+    case Statement::Type::kDelete:
+      return RunDelete(stmt.del);
+    case Statement::Type::kUpdate:
+      return RunUpdate(stmt.update);
+    case Statement::Type::kCreateTable: {
+      STRATICA_RETURN_NOT_OK(
+          cluster_->CreateTableWithSuperProjection(stmt.create_table.def));
+      QueryResult result;
+      result.message = "CREATE TABLE";
+      return result;
+    }
+    case Statement::Type::kCreateProjection: {
+      STRATICA_RETURN_NOT_OK(
+          cluster_->CreateProjectionWithBuddies(stmt.create_projection.def));
+      // Populate from existing data if the anchor table already has rows.
+      STRATICA_ASSIGN_OR_RETURN(ProjectionDef stored,
+                                catalog_.GetProjection(stmt.create_projection.def.name));
+      (void)cluster_->RefreshProjection(stored.name);
+      for (uint32_t k = 1; k <= options_.k_safety; ++k) {
+        (void)cluster_->RefreshProjection(stored.name + "_b" + std::to_string(k));
+      }
+      QueryResult result;
+      result.message = "CREATE PROJECTION";
+      return result;
+    }
+    case Statement::Type::kDropTable: {
+      STRATICA_RETURN_NOT_OK(cluster_->DropTable(stmt.drop_table));
+      QueryResult result;
+      result.message = "DROP TABLE";
+      return result;
+    }
+  }
+  return Status::Internal("unhandled statement type");
+}
+
+Result<QueryResult> Database::RunSelect(const SelectStmt& stmt) {
+  STRATICA_ASSIGN_OR_RETURN(PhysicalPlan plan, planner_->PlanSelect(stmt));
+  ExecContext ctx = MakeExecContext();
+  STRATICA_ASSIGN_OR_RETURN(RowBlock rows, DrainOperator(plan.root.get(), &ctx));
+  QueryResult result;
+  result.column_names = plan.column_names;
+  result.column_types = plan.column_types;
+  result.rows = std::move(rows);
+  return result;
+}
+
+Result<LoadResult> Database::Load(const std::string& table, const RowBlock& rows,
+                                  bool direct) {
+  auto txn = cluster_->txns()->Begin();
+  auto loaded = cluster_->Load(table, rows, txn.get(), direct);
+  if (!loaded.ok()) {
+    cluster_->txns()->Rollback(txn);
+    return loaded.status();
+  }
+  STRATICA_ASSIGN_OR_RETURN(Epoch ignored, cluster_->Commit(txn));
+  (void)ignored;
+  return loaded;
+}
+
+Status Database::RunTupleMover() { return cluster_->RunTupleMover(); }
+
+Result<QueryResult> Database::RunInsert(const InsertStmt& stmt) {
+  STRATICA_ASSIGN_OR_RETURN(TableDef def, catalog_.GetTable(stmt.table));
+  RowBlock rows(def.ToBindSchema().types);
+  // One-row carrier block so literal expressions evaluate to one value.
+  RowBlock one({TypeId::kInt64});
+  one.columns[0].ints.push_back(0);
+  for (const auto& row : stmt.rows) {
+    if (row.size() != def.columns.size())
+      return Status::AnalysisError("INSERT arity mismatch for ", stmt.table);
+    for (size_t c = 0; c < row.size(); ++c) {
+      ExprPtr e = CloneExpr(row[c]);
+      STRATICA_RETURN_NOT_OK(BindExpr(e, BindSchema{}));
+      STRATICA_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, one, 0));
+      // Integral literals coerce to the column's date/timestamp types.
+      if (!v.is_null() && StorageClassOf(def.columns[c].type) == StorageClass::kInt64 &&
+          StorageClassOf(v.type()) == StorageClass::kInt64) {
+        v = Value::OfInt(def.columns[c].type, v.i64());
+      }
+      if (!v.is_null() && def.columns[c].type == TypeId::kFloat64 &&
+          v.type() == TypeId::kInt64) {
+        v = Value::Float64(static_cast<double>(v.i64()));
+      }
+      if (!v.is_null() && def.columns[c].type == TypeId::kDate &&
+          v.type() == TypeId::kString) {
+        STRATICA_ASSIGN_OR_RETURN(int64_t days, ParseDate(v.str()));
+        v = Value::Date(days);
+      }
+      rows.columns[c].Append(v);
+    }
+  }
+  STRATICA_ASSIGN_OR_RETURN(LoadResult loaded, Load(stmt.table, rows));
+  QueryResult result;
+  result.affected_rows = loaded.rows_loaded;
+  result.message = "INSERT " + std::to_string(loaded.rows_loaded);
+  return result;
+}
+
+Result<QueryResult> Database::RunCopy(const CopyStmt& stmt) {
+  STRATICA_ASSIGN_OR_RETURN(TableDef def, catalog_.GetTable(stmt.table));
+  std::ifstream in(stmt.path);
+  if (!in) return Status::IoError("cannot open ", stmt.path);
+  RowBlock rows(def.ToBindSchema().types);
+  std::string line;
+  uint64_t lineno = 0;
+  std::vector<RejectedRecord> rejected;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == stmt.delimiter) {
+        fields.push_back(line.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (fields.size() != def.columns.size()) {
+      rejected.push_back({lineno, "field count mismatch"});
+      continue;
+    }
+    bool ok = true;
+    std::vector<Value> values;
+    for (size_t c = 0; c < fields.size() && ok; ++c) {
+      auto v = Value::Parse(def.columns[c].type, fields[c]);
+      if (!v.ok()) {
+        rejected.push_back({lineno, v.status().ToString()});
+        ok = false;
+      } else {
+        values.push_back(std::move(v).value());
+      }
+    }
+    if (!ok) continue;
+    for (size_t c = 0; c < values.size(); ++c) rows.columns[c].Append(values[c]);
+  }
+  STRATICA_ASSIGN_OR_RETURN(LoadResult loaded, Load(stmt.table, rows, stmt.direct));
+  QueryResult result;
+  result.affected_rows = loaded.rows_loaded;
+  result.message = "COPY " + std::to_string(loaded.rows_loaded) + " (rejected " +
+                   std::to_string(rejected.size() + loaded.rejected.size()) + ")";
+  return result;
+}
+
+Result<uint64_t> Database::ApplyDelete(const std::string& table, const ExprPtr& where,
+                                       Transaction* txn, RowBlock* deleted_rows) {
+  STRATICA_ASSIGN_OR_RETURN(TableDef def, catalog_.GetTable(table));
+  STRATICA_RETURN_NOT_OK(
+      cluster_->locks()->Acquire(txn->id(), table, LockMode::kX));
+  Epoch snapshot = txn->snapshot_epoch();
+  uint64_t deleted = 0;
+  bool captured = false;
+
+  // Super projections first: they can always evaluate the predicate and
+  // capture the deleted rows' content, which narrow projections (missing
+  // predicate columns) then delete by content matching.
+  auto projections = catalog_.ProjectionsForTable(table);
+  std::stable_sort(projections.begin(), projections.end(),
+                   [](const ProjectionDef& a, const ProjectionDef& b) {
+                     auto rank = [](const ProjectionDef& p) {
+                       return (p.is_super && !p.IsPrejoin()) ? 0 : 1;
+                     };
+                     return rank(a) < rank(b);
+                   });
+
+  for (const auto& proj : projections) {
+    // Per-projection content multiset (only built for the fallback path).
+    std::map<std::string, uint32_t> content_budget;
+    bool use_content_match = false;
+    if (where) {
+      ExprPtr probe = CloneExpr(where);
+      BindSchema schema;
+      for (const auto& pc : proj.columns) {
+        int tc = def.FindColumn(pc.name);
+        schema.Add(pc.name, tc >= 0 ? def.columns[tc].type : TypeId::kInt64);
+      }
+      use_content_match = !BindExpr(probe, schema).ok();
+    }
+    if (use_content_match) {
+      if (!captured || !deleted_rows)
+        return Status::NotImplemented(
+            "DELETE predicate references columns missing from projection ",
+            proj.name, " and no super capture is available");
+      for (size_t r = 0; r < deleted_rows->NumRows(); ++r) {
+        std::string key;
+        for (const auto& pc : proj.columns) {
+          int tc = def.FindColumn(pc.name);
+          if (tc < 0) continue;  // prejoined dimension column
+          EncodeValue(&key, deleted_rows->columns[tc].GetValue(r));
+        }
+        ++content_budget[key];
+      }
+    }
+
+    for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+      Node* node = cluster_->node(n);
+      if (!node->up()) continue;
+      auto* ps = node->GetStorage(proj.name);
+      if (!ps) continue;
+      RowBlock rows;
+      std::vector<Epoch> dels;
+      std::vector<std::pair<uint64_t, uint64_t>> positions;
+      STRATICA_RETURN_NOT_OK(
+          ReadProjectionRows(fs_.get(), ps, snapshot, &rows, nullptr, &dels,
+                             &positions));
+      std::vector<uint8_t> sel(rows.NumRows(), 1);
+      if (where && !use_content_match) {
+        ExprPtr pred = CloneExpr(where);
+        BindSchema schema;
+        for (size_t c = 0; c < ps->config().column_names.size(); ++c)
+          schema.Add(ps->config().column_names[c], ps->config().column_types[c]);
+        STRATICA_RETURN_NOT_OK(BindExpr(pred, schema));
+        STRATICA_RETURN_NOT_OK(EvalPredicate(*pred, rows, &sel));
+      } else if (use_content_match) {
+        // Resolve which table column feeds each projection column.
+        std::vector<int> table_cols;
+        for (const auto& pc : proj.columns) table_cols.push_back(def.FindColumn(pc.name));
+        for (size_t r = 0; r < rows.NumRows(); ++r) {
+          std::string key;
+          for (size_t c = 0; c < proj.columns.size(); ++c) {
+            if (table_cols[c] < 0) continue;
+            EncodeValue(&key, rows.columns[c].GetValue(r));
+          }
+          auto it = content_budget.find(key);
+          if (it != content_budget.end() && it->second > 0) {
+            --it->second;
+          } else {
+            sel[r] = 0;
+          }
+        }
+      }
+      std::map<uint64_t, std::vector<uint64_t>> by_target;
+      for (size_t r = 0; r < rows.NumRows(); ++r) {
+        if (!sel[r] || dels[r] != 0) continue;
+        by_target[positions[r].first].push_back(positions[r].second);
+        if (proj.is_super && !proj.IsPrejoin() && deleted_rows && !captured) {
+          // Capture table-ordered row content once (for UPDATE re-insert
+          // and narrow-projection content matching).
+          for (size_t tc = 0; tc < def.columns.size(); ++tc) {
+            int pc = proj.FindColumn(def.columns[tc].name);
+            deleted_rows->columns[tc].AppendFrom(rows.columns[pc], r);
+          }
+        }
+      }
+      for (auto& [target, pos] : by_target) {
+        deleted += pos.size();
+        STRATICA_RETURN_NOT_OK(ps->AddDeletes(target, pos, txn));
+      }
+    }
+    if (proj.is_super && !proj.IsPrejoin()) captured = true;
+  }
+  return deleted;
+}
+
+Result<QueryResult> Database::RunDelete(const DeleteStmt& stmt) {
+  auto txn = cluster_->txns()->Begin();
+  RowBlock dummy;
+  STRATICA_ASSIGN_OR_RETURN(TableDef def, catalog_.GetTable(stmt.table));
+  RowBlock captured(def.ToBindSchema().types);
+  auto deleted = ApplyDelete(stmt.table, stmt.where, txn.get(), &captured);
+  if (!deleted.ok()) {
+    cluster_->txns()->Rollback(txn);
+    return deleted.status();
+  }
+  STRATICA_ASSIGN_OR_RETURN(Epoch e, cluster_->Commit(txn));
+  (void)e;
+  QueryResult result;
+  result.affected_rows = captured.NumRows();
+  result.message = "DELETE " + std::to_string(captured.NumRows());
+  return result;
+}
+
+Result<QueryResult> Database::RunUpdate(const UpdateStmt& stmt) {
+  // UPDATE = DELETE + INSERT (Section 3.7.1), in one transaction.
+  STRATICA_ASSIGN_OR_RETURN(TableDef def, catalog_.GetTable(stmt.table));
+  auto txn = cluster_->txns()->Begin();
+  RowBlock old_rows(def.ToBindSchema().types);
+  auto deleted = ApplyDelete(stmt.table, stmt.where, txn.get(), &old_rows);
+  if (!deleted.ok()) {
+    cluster_->txns()->Rollback(txn);
+    return deleted.status();
+  }
+  // Apply assignments to the captured rows.
+  RowBlock new_rows(def.ToBindSchema().types);
+  BindSchema schema = def.ToBindSchema();
+  std::vector<int> assigned(def.columns.size(), -1);
+  std::vector<ExprPtr> exprs;
+  for (const auto& [col, expr] : stmt.assignments) {
+    int idx = def.FindColumn(col);
+    if (idx < 0) {
+      cluster_->txns()->Rollback(txn);
+      return Status::AnalysisError("no such column: ", col);
+    }
+    ExprPtr e = CloneExpr(expr);
+    Status st = BindExpr(e, schema);
+    if (!st.ok()) {
+      cluster_->txns()->Rollback(txn);
+      return st;
+    }
+    assigned[idx] = static_cast<int>(exprs.size());
+    exprs.push_back(e);
+  }
+  for (size_t c = 0; c < def.columns.size(); ++c) {
+    if (assigned[c] < 0) {
+      new_rows.columns[c] = old_rows.columns[c];
+    } else {
+      Status st = EvalExpr(*exprs[assigned[c]], old_rows, &new_rows.columns[c]);
+      if (!st.ok()) {
+        cluster_->txns()->Rollback(txn);
+        return st;
+      }
+      new_rows.columns[c].type = def.columns[c].type;
+    }
+  }
+  auto loaded = cluster_->Load(stmt.table, new_rows, txn.get());
+  if (!loaded.ok()) {
+    cluster_->txns()->Rollback(txn);
+    return loaded.status();
+  }
+  STRATICA_ASSIGN_OR_RETURN(Epoch e, cluster_->Commit(txn));
+  (void)e;
+  QueryResult result;
+  result.affected_rows = old_rows.NumRows();
+  result.message = "UPDATE " + std::to_string(old_rows.NumRows());
+  return result;
+}
+
+}  // namespace stratica

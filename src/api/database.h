@@ -1,0 +1,93 @@
+// Public entry point: a Stratica database instance.
+//
+// Owns the catalog, the (simulated) cluster, and the SQL pipeline. Typical
+// use mirrors the paper's deployment story: create tables (each gets a
+// default super projection plus K buddies), bulk load, let the tuple mover
+// reorganize storage in the background, and query with standard SQL.
+#ifndef STRATICA_API_DATABASE_H_
+#define STRATICA_API_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "opt/planner.h"
+#include "sql/parser.h"
+
+namespace stratica {
+
+struct DatabaseOptions {
+  uint32_t num_nodes = 1;
+  uint32_t k_safety = 0;
+  uint32_t local_segments_per_node = 3;
+  size_t query_memory_budget = 256ull << 20;
+  size_t intra_node_parallelism = 4;
+  uint64_t direct_ros_row_threshold = 100000;
+  TupleMoverConfig tuple_mover;
+  /// Null = in-memory filesystem (tests, benches).
+  std::shared_ptr<FileSystem> fs;
+};
+
+/// Tabular query result.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<TypeId> column_types;
+  RowBlock rows;
+  uint64_t affected_rows = 0;  ///< for DML
+  std::string message;         ///< DDL / EXPLAIN output
+
+  size_t NumRows() const { return rows.NumRows(); }
+  Value At(size_t row, size_t col) const { return rows.columns[col].GetValue(row); }
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  /// Execute one SQL statement.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Bulk load a block of rows (the programmatic COPY path). Set `direct`
+  /// to bypass the WOS (Section 7).
+  Result<LoadResult> Load(const std::string& table, const RowBlock& rows,
+                          bool direct = false);
+
+  /// One tuple-mover pass (moveout + mergeout + DV moves) on every node.
+  Status RunTupleMover();
+
+  /// Advance the Ancient History Mark per the default policy.
+  Status AdvanceAhm() { return cluster_->AdvanceAhm(); }
+
+  Cluster* cluster() { return cluster_.get(); }
+  Catalog* catalog() { return &catalog_; }
+  FileSystem* fs() { return fs_.get(); }
+  ExecStats* stats() { return &stats_; }
+
+  /// Execution context for hand-built operator trees (benches).
+  ExecContext MakeExecContext();
+
+ private:
+  Result<QueryResult> RunSelect(const SelectStmt& stmt);
+  Result<QueryResult> RunInsert(const InsertStmt& stmt);
+  Result<QueryResult> RunCopy(const CopyStmt& stmt);
+  Result<QueryResult> RunDelete(const DeleteStmt& stmt);
+  Result<QueryResult> RunUpdate(const UpdateStmt& stmt);
+  /// Shared by DELETE and UPDATE: collect (projection, node, target,
+  /// positions) matching a predicate and register delete vectors.
+  Result<uint64_t> ApplyDelete(const std::string& table, const ExprPtr& where,
+                               Transaction* txn, RowBlock* deleted_rows);
+
+  DatabaseOptions options_;
+  std::shared_ptr<FileSystem> fs_;
+  Catalog catalog_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Planner> planner_;
+  ExecStats stats_;
+  std::unique_ptr<ResourceBudget> budget_;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_API_DATABASE_H_

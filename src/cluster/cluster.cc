@@ -1,0 +1,580 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace stratica {
+
+// ---------------------------------------------------------------------------
+// Node
+
+ProjectionStorage* Node::GetStorage(const std::string& projection) {
+  std::lock_guard lock(mu_);
+  auto it = storage_.find(projection);
+  return it == storage_.end() ? nullptr : it->second.get();
+}
+
+ProjectionStorage* Node::AddStorage(const std::string& projection,
+                                    ProjectionStorageConfig cfg) {
+  std::lock_guard lock(mu_);
+  auto ps = std::make_unique<ProjectionStorage>(fs_, BaseDir() + "/" + projection,
+                                                std::move(cfg));
+  auto* raw = ps.get();
+  storage_[projection] = std::move(ps);
+  return raw;
+}
+
+void Node::DropStorage(const std::string& projection) {
+  std::lock_guard lock(mu_);
+  auto it = storage_.find(projection);
+  if (it != storage_.end()) {
+    it->second->Clear(/*delete_files=*/true);
+    storage_.erase(it);
+  }
+}
+
+std::vector<std::string> Node::StorageNames() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, ps] : storage_) names.push_back(name);
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+
+Cluster::Cluster(ClusterConfig cfg, FileSystem* fs, Catalog* catalog)
+    : cfg_(cfg),
+      fs_(fs),
+      catalog_(catalog),
+      txns_(&epochs_, &locks_),
+      ring_(cfg.num_nodes) {
+  for (uint32_t i = 0; i < cfg.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(i, fs_, &epochs_, cfg.tuple_mover));
+  }
+}
+
+size_t Cluster::NumUpNodes() const {
+  size_t n = 0;
+  for (const auto& node : nodes_) n += node->up() ? 1 : 0;
+  return n;
+}
+
+bool Cluster::IsDataAvailable(const std::string& table) const {
+  auto projections = catalog_->ProjectionsForTable(table);
+  // Group copies by family (primary name).
+  std::map<std::string, std::vector<const ProjectionDef*>> families;
+  for (const auto& p : projections) {
+    families[p.buddy_of.empty() ? p.name : p.buddy_of].push_back(&p);
+  }
+  for (const auto& [family, copies] : families) {
+    for (uint32_t slot = 0; slot < ring_.num_nodes(); ++slot) {
+      bool available = false;
+      for (const auto* p : copies) {
+        if (p->segmentation.replicated) {
+          // Any up node serves a replicated copy.
+          available = available || NumUpNodes() > 0;
+        } else {
+          uint32_t node_id = (slot + p->segmentation.node_offset) % ring_.num_nodes();
+          available = available || nodes_[node_id]->up();
+        }
+      }
+      if (!available) return false;
+    }
+  }
+  return true;
+}
+
+Result<ProjectionStorageConfig> Cluster::MakeStorageConfig(const ProjectionDef& def,
+                                                           uint32_t node_id) const {
+  STRATICA_ASSIGN_OR_RETURN(TableDef table, catalog_->GetTable(def.anchor_table));
+  ProjectionStorageConfig cfg;
+  cfg.projection = def.name;
+  BindSchema proj_schema;
+  for (const auto& pc : def.columns) {
+    TypeId type;
+    if (pc.table_column >= 0) {
+      type = table.columns[pc.table_column].type;
+    } else {
+      // Prejoined dimension column "dim.col".
+      auto dot = pc.name.find('.');
+      if (dot == std::string::npos)
+        return Status::Internal("unresolved projection column: ", pc.name);
+      STRATICA_ASSIGN_OR_RETURN(TableDef dim,
+                                catalog_->GetTable(pc.name.substr(0, dot)));
+      int dc = dim.FindColumn(pc.name.substr(dot + 1));
+      if (dc < 0) return Status::AnalysisError("unknown dimension column: ", pc.name);
+      type = dim.columns[dc].type;
+    }
+    cfg.column_names.push_back(pc.name);
+    cfg.column_types.push_back(type);
+    cfg.encodings.push_back(pc.encoding);
+    proj_schema.Add(pc.name, type);
+  }
+  cfg.sort_columns = def.sort_columns;
+  if (table.partition_by) {
+    // Partitioning is a table property; projections lacking the partition
+    // columns are stored unpartitioned (DESIGN.md).
+    ExprPtr pe = CloneExpr(table.partition_by);
+    if (BindExpr(pe, proj_schema).ok()) cfg.partition_expr = pe;
+  }
+  if (!def.segmentation.replicated) {
+    ExprPtr se = CloneExpr(def.segmentation.expr);
+    STRATICA_RETURN_NOT_OK(BindExpr(se, proj_schema));
+    cfg.segmentation_expr = se;
+    auto [lo, hi] = ring_.RangeStoredBy(node_id, def.segmentation.node_offset);
+    cfg.range_lo = lo;
+    cfg.range_hi = hi;
+    cfg.num_local_segments = cfg_.local_segments_per_node;
+  } else {
+    cfg.num_local_segments = 1;
+  }
+  cfg.wos_capacity_rows = cfg_.wos_capacity_rows;
+  return cfg;
+}
+
+Status Cluster::SetupProjectionStorage(const ProjectionDef& def) {
+  for (auto& node : nodes_) {
+    STRATICA_ASSIGN_OR_RETURN(ProjectionStorageConfig cfg,
+                              MakeStorageConfig(def, node->id()));
+    node->AddStorage(def.name, std::move(cfg));
+  }
+  return Status::OK();
+}
+
+Status Cluster::CreateProjectionWithBuddies(ProjectionDef def) {
+  std::lock_guard lock(ddl_mu_);
+  if (!def.segmentation.replicated && cfg_.k_safety >= nodes_.size()) {
+    return Status::InvalidArgument("k-safety ", cfg_.k_safety,
+                                   " requires more than ", nodes_.size(), " nodes");
+  }
+  STRATICA_RETURN_NOT_OK(catalog_->CreateProjection(def));
+  STRATICA_ASSIGN_OR_RETURN(ProjectionDef stored, catalog_->GetProjection(def.name));
+  STRATICA_RETURN_NOT_OK(SetupProjectionStorage(stored));
+  // K-safety: replicated projections already live everywhere; segmented
+  // projections get K buddies with rotated ring placement.
+  if (!stored.segmentation.replicated) {
+    for (uint32_t k = 1; k <= cfg_.k_safety; ++k) {
+      ProjectionDef buddy = MakeBuddyProjection(stored, k);
+      STRATICA_RETURN_NOT_OK(catalog_->CreateProjection(buddy));
+      STRATICA_ASSIGN_OR_RETURN(ProjectionDef stored_buddy,
+                                catalog_->GetProjection(buddy.name));
+      STRATICA_RETURN_NOT_OK(SetupProjectionStorage(stored_buddy));
+    }
+  }
+  return Status::OK();
+}
+
+Status Cluster::CreateTableWithSuperProjection(TableDef table) {
+  std::string name = table.name;
+  STRATICA_RETURN_NOT_OK(catalog_->CreateTable(std::move(table)));
+  STRATICA_ASSIGN_OR_RETURN(TableDef stored, catalog_->GetTable(name));
+  return CreateProjectionWithBuddies(MakeDefaultSuperProjection(stored));
+}
+
+Status Cluster::DropTable(const std::string& table) {
+  std::lock_guard lock(ddl_mu_);
+  auto projections = catalog_->ProjectionsForTable(table);
+  STRATICA_RETURN_NOT_OK(catalog_->DropTable(table));
+  for (const auto& p : projections) {
+    for (auto& node : nodes_) node->DropStorage(p.name);
+  }
+  return Status::OK();
+}
+
+Result<RowBlock> Cluster::BuildPrejoinRows(const ProjectionDef& proj,
+                                           const RowBlock& rows,
+                                           std::vector<RejectedRecord>* rejected,
+                                           Epoch snapshot) {
+  STRATICA_ASSIGN_OR_RETURN(TableDef fact, catalog_->GetTable(proj.anchor_table));
+  // Load each dimension's rows (dimensions are small by definition of the
+  // N:1 prejoin) and index them by join key.
+  struct DimData {
+    RowBlock rows;
+    std::vector<int> dim_cols;       // join key columns in dim block
+    std::vector<int> fact_cols;      // join key columns in fact block
+    std::unordered_map<uint64_t, size_t> index;
+    std::string name;
+  };
+  std::vector<DimData> dims;
+  for (const auto& pj : proj.prejoins) {
+    DimData d;
+    d.name = pj.dim_table;
+    STRATICA_ASSIGN_OR_RETURN(TableDef dim_table, catalog_->GetTable(pj.dim_table));
+    // Read the dimension from its first available super projection copy.
+    RowBlock dim_rows;
+    bool found = false;
+    for (const auto& dp : catalog_->ProjectionsForTable(pj.dim_table)) {
+      if (!dp.is_super) continue;
+      // Concatenate across nodes (dimension projections may be segmented).
+      RowBlock all(dim_table.ToBindSchema().types);
+      bool complete = true;
+      if (dp.segmentation.replicated) {
+        for (auto& node : nodes_) {
+          if (!node->up()) continue;
+          auto* ps = node->GetStorage(dp.name);
+          if (!ps) continue;
+          RowBlock part;
+          STRATICA_RETURN_NOT_OK(
+              ReadProjectionRows(fs_, ps, snapshot, &part, nullptr, nullptr, nullptr));
+          all = std::move(part);
+          break;
+        }
+      } else {
+        for (auto& node : nodes_) {
+          auto* ps = node->GetStorage(dp.name);
+          if (!ps) continue;
+          if (!node->up()) {
+            complete = false;
+            break;
+          }
+          RowBlock part;
+          STRATICA_RETURN_NOT_OK(
+              ReadProjectionRows(fs_, ps, snapshot, &part, nullptr, nullptr, nullptr));
+          for (size_t r = 0; r < part.NumRows(); ++r) all.AppendRowFrom(part, r);
+        }
+      }
+      if (complete) {
+        // The dim projection stores columns in its own order; remap to
+        // table order.
+        RowBlock remapped(dim_table.ToBindSchema().types);
+        for (size_t tc = 0; tc < dim_table.columns.size(); ++tc) {
+          int pc = dp.FindColumn(dim_table.columns[tc].name);
+          if (pc < 0) {
+            complete = false;
+            break;
+          }
+          remapped.columns[tc] = all.columns[pc];
+        }
+        if (complete) {
+          dim_rows = std::move(remapped);
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found)
+      return Status::ClusterUnavailable("dimension ", pj.dim_table,
+                                        " unavailable for prejoin load");
+    d.rows = std::move(dim_rows);
+    for (const auto& c : pj.dim_join_columns) {
+      int idx = dim_table.FindColumn(c);
+      if (idx < 0) return Status::AnalysisError("bad prejoin dim column: ", c);
+      d.dim_cols.push_back(idx);
+    }
+    for (const auto& c : pj.fact_join_columns) {
+      int idx = fact.FindColumn(c);
+      if (idx < 0) return Status::AnalysisError("bad prejoin fact column: ", c);
+      d.fact_cols.push_back(idx);
+    }
+    for (size_t r = 0; r < d.rows.NumRows(); ++r) {
+      uint64_t h = 0x9b97;
+      for (int c : d.dim_cols) h = HashCombine(h, d.rows.columns[c].HashEntry(r));
+      d.index.emplace(h, r);
+    }
+    dims.push_back(std::move(d));
+  }
+
+  // Build output columns in the projection's order.
+  std::vector<TypeId> out_types;
+  STRATICA_ASSIGN_OR_RETURN(ProjectionStorageConfig cfg, MakeStorageConfig(proj, 0));
+  out_types = cfg.column_types;
+  RowBlock out(out_types);
+
+  std::vector<size_t> dim_match(dims.size());
+  for (size_t r = 0; r < rows.NumRows(); ++r) {
+    bool ok = true;
+    for (size_t di = 0; di < dims.size() && ok; ++di) {
+      uint64_t h = 0x9b97;
+      for (int c : dims[di].fact_cols) h = HashCombine(h, rows.columns[c].HashEntry(r));
+      auto it = dims[di].index.find(h);
+      if (it == dims[di].index.end()) {
+        rejected->push_back(
+            {r, "no matching row in prejoin dimension " + dims[di].name});
+        ok = false;
+      } else {
+        dim_match[di] = it->second;
+      }
+    }
+    if (!ok) continue;
+    for (size_t oc = 0; oc < proj.columns.size(); ++oc) {
+      const auto& pc = proj.columns[oc];
+      if (pc.table_column >= 0) {
+        out.columns[oc].AppendFrom(rows.columns[pc.table_column], r);
+      } else {
+        auto dot = pc.name.find('.');
+        std::string dim_name = pc.name.substr(0, dot);
+        std::string col_name = pc.name.substr(dot + 1);
+        for (size_t di = 0; di < dims.size(); ++di) {
+          if (dims[di].name != dim_name) continue;
+          STRATICA_ASSIGN_OR_RETURN(TableDef dim_table, catalog_->GetTable(dim_name));
+          int dc = dim_table.FindColumn(col_name);
+          out.columns[oc].AppendFrom(dims[di].rows.columns[dc], dim_match[di]);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Status Cluster::RouteAndInsert(const ProjectionDef& proj, const RowBlock& rows,
+                               Transaction* txn, bool direct_ros) {
+  if (rows.NumRows() == 0) return Status::OK();
+  uint64_t block_bytes = rows.MemoryBytes();
+  if (proj.segmentation.replicated) {
+    for (auto& node : nodes_) {
+      if (!node->up()) continue;
+      auto* ps = node->GetStorage(proj.name);
+      if (!ps) return Status::Internal("missing storage for ", proj.name);
+      RowBlock copy = rows;
+      if (node->id() != 0) AddNetworkBytes(block_bytes);
+      STRATICA_RETURN_NOT_OK(direct_ros ? ps->InsertDirectRos(std::move(copy), txn)
+                                        : ps->InsertWos(std::move(copy), txn));
+    }
+    return Status::OK();
+  }
+  // Evaluate the segmentation expression over the projection-ordered rows.
+  ColumnVector hashes;
+  ProjectionStorage* any_ps = nodes_[0]->GetStorage(proj.name);
+  if (!any_ps) return Status::Internal("missing storage for ", proj.name);
+  STRATICA_RETURN_NOT_OK(
+      EvalExpr(*any_ps->config().segmentation_expr, rows, &hashes));
+  std::vector<std::vector<uint32_t>> per_node(nodes_.size());
+  for (size_t r = 0; r < rows.NumRows(); ++r) {
+    uint32_t target = ring_.NodeFor(static_cast<uint64_t>(hashes.ints[r]),
+                                    proj.segmentation.node_offset);
+    per_node[target].push_back(static_cast<uint32_t>(r));
+  }
+  for (uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (per_node[n].empty()) continue;
+    // Rows destined to a down node are skipped; the node recovers them from
+    // this projection's buddy after it rejoins (Section 5.2).
+    if (!nodes_[n]->up()) continue;
+    auto* ps = nodes_[n]->GetStorage(proj.name);
+    if (!ps) return Status::Internal("missing storage for ", proj.name);
+    RowBlock part(std::vector<TypeId>(
+        [&] {
+          std::vector<TypeId> t;
+          for (const auto& c : rows.columns) t.push_back(c.type);
+          return t;
+        }()));
+    for (uint32_t r : per_node[n]) part.AppendRowFrom(rows, r);
+    if (n != 0) AddNetworkBytes(part.MemoryBytes());
+    STRATICA_RETURN_NOT_OK(direct_ros ? ps->InsertDirectRos(std::move(part), txn)
+                                      : ps->InsertWos(std::move(part), txn));
+  }
+  return Status::OK();
+}
+
+Result<LoadResult> Cluster::Load(const std::string& table, const RowBlock& rows,
+                                 Transaction* txn, bool direct_ros) {
+  if (!HasQuorum())
+    return Status::ClusterUnavailable("quorum lost: ", NumUpNodes(), " of ",
+                                      nodes_.size(), " nodes up");
+  STRATICA_ASSIGN_OR_RETURN(TableDef def, catalog_->GetTable(table));
+  if (rows.NumColumns() != def.columns.size())
+    return Status::InvalidArgument("column count mismatch loading ", table);
+  if (!catalog_->HasSuperProjection(table))
+    return Status::InvalidArgument("table ", table, " has no super projection");
+  STRATICA_RETURN_NOT_OK(locks_.Acquire(txn->id(), table, LockMode::kI));
+
+  LoadResult result;
+  // Schema conformance: reject rows with NULLs in non-nullable columns.
+  RowBlock flat = rows;
+  flat.DecodeAll();
+  std::vector<uint8_t> keep(flat.NumRows(), 1);
+  for (size_t c = 0; c < def.columns.size(); ++c) {
+    if (def.columns[c].nullable) continue;
+    for (size_t r = 0; r < flat.NumRows(); ++r) {
+      if (keep[r] && flat.columns[c].IsNull(r)) {
+        keep[r] = 0;
+        result.rejected.push_back(
+            {r, "NULL in non-nullable column " + def.columns[c].name});
+      }
+    }
+  }
+  RowBlock accepted(def.ToBindSchema().types);
+  for (size_t r = 0; r < flat.NumRows(); ++r) {
+    if (keep[r]) accepted.AppendRowFrom(flat, r);
+  }
+  result.rows_loaded = accepted.NumRows();
+
+  if (!direct_ros && cfg_.auto_direct_ros_threshold_enabled &&
+      accepted.NumRows() >= cfg_.direct_ros_row_threshold) {
+    direct_ros = true;  // large loads waste WOS memory (Section 7)
+  }
+
+  for (const auto& proj : catalog_->ProjectionsForTable(table)) {
+    RowBlock proj_rows;
+    if (proj.IsPrejoin()) {
+      std::vector<RejectedRecord> prejoin_rejects;
+      STRATICA_ASSIGN_OR_RETURN(
+          proj_rows,
+          BuildPrejoinRows(proj, accepted, &prejoin_rejects, txn->snapshot_epoch()));
+      // Buddy copies reject the same orphan rows; report each row once.
+      for (auto& rej : prejoin_rejects) {
+        bool dup = false;
+        for (const auto& seen : result.rejected) {
+          dup |= seen.row_index == rej.row_index && seen.reason == rej.reason;
+        }
+        if (!dup) result.rejected.push_back(std::move(rej));
+      }
+    } else {
+      std::vector<TypeId> types;
+      for (const auto& pc : proj.columns)
+        types.push_back(def.columns[pc.table_column].type);
+      proj_rows = RowBlock(types);
+      for (size_t c = 0; c < proj.columns.size(); ++c) {
+        proj_rows.columns[c] = accepted.columns[proj.columns[c].table_column];
+      }
+    }
+    STRATICA_RETURN_NOT_OK(RouteAndInsert(proj, proj_rows, txn, direct_ros));
+  }
+  return result;
+}
+
+Result<Epoch> Cluster::Commit(const TransactionPtr& txn) {
+  // Nodes injected with a commit failure are ejected from the cluster
+  // (Section 5: "nodes either successfully complete the commit or are
+  // ejected"); the commit itself succeeds if a quorum remains.
+  for (auto& node : nodes_) {
+    if (node->up() && node->ConsumeCommitFailure()) {
+      (void)MarkNodeDown(node->id());
+    }
+  }
+  if (!HasQuorum()) {
+    txns_.Rollback(txn);
+    return Status::ClusterUnavailable("commit failed: quorum lost");
+  }
+  return txns_.Commit(txn);
+}
+
+Status Cluster::MarkNodeDown(uint32_t node_id) {
+  if (node_id >= nodes_.size()) return Status::InvalidArgument("no such node");
+  Node* node = nodes_[node_id].get();
+  node->set_up(false);
+  for (const auto& name : node->StorageNames()) {
+    node->GetStorage(name)->CrashVolatileState();
+  }
+  return Status::OK();
+}
+
+Status Cluster::AdvanceAhm() {
+  // The AHM does not advance while nodes are down, preserving the history
+  // needed to replay DML during recovery (Section 5.1).
+  for (const auto& node : nodes_) {
+    if (!node->up()) return Status::OK();
+  }
+  Epoch min_lge = epochs_.LatestQueryableEpoch();
+  for (const auto& node : nodes_) {
+    for (const auto& name : node->StorageNames()) {
+      min_lge = std::min(min_lge, node->GetStorage(name)->lge());
+    }
+  }
+  epochs_.AdvanceAhm(min_lge);
+  return Status::OK();
+}
+
+Status Cluster::RunTupleMover() {
+  for (auto& node : nodes_) {
+    if (!node->up()) continue;
+    for (const auto& name : node->StorageNames()) {
+      auto* ps = node->GetStorage(name);
+      STRATICA_RETURN_NOT_OK(node->mover()->Moveout(ps));
+      STRATICA_RETURN_NOT_OK(node->mover()->MergeoutAll(ps));
+      STRATICA_RETURN_NOT_OK(node->mover()->MoveDeleteVectors(ps));
+    }
+  }
+  return Status::OK();
+}
+
+Cluster::StorageCensus Cluster::Census(const std::string& projection) const {
+  StorageCensus census;
+  for (const auto& node : nodes_) {
+    auto* ps = node->GetStorage(projection);
+    if (!ps) continue;
+    for (const auto& c : ps->Containers()) {
+      ++census.containers;
+      census.files += c->columns.size() * 2 + (c->epoch_data_path.empty() ? 0 : 2) + 1;
+      census.bytes += c->total_bytes;
+      census.raw_bytes += c->raw_bytes;
+      census.rows += c->row_count;
+    }
+  }
+  return census;
+}
+
+Result<uint64_t> Cluster::Backup(const std::string& label) {
+  // Snapshot the catalog, then hard-link every data file (Section 5.2):
+  // links pin the bytes while the backup is copied off-cluster, and storage
+  // reclaims automatically when the links are dropped.
+  STRATICA_RETURN_NOT_OK(catalog_->Save(fs_, "backup/" + label + "/catalog"));
+  uint64_t files = 0;
+  for (const auto& node : nodes_) {
+    STRATICA_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                              fs_->List(node->BaseDir() + "/"));
+    for (const auto& name : names) {
+      STRATICA_RETURN_NOT_OK(fs_->HardLink(name, "backup/" + label + "/" + name));
+      ++files;
+    }
+  }
+  return files;
+}
+
+Status ReadProjectionRows(const FileSystem* fs, ProjectionStorage* ps, Epoch epoch,
+                          RowBlock* out, std::vector<Epoch>* row_epochs,
+                          std::vector<Epoch>* delete_epochs,
+                          std::vector<std::pair<uint64_t, uint64_t>>* positions) {
+  const auto& cfg = ps->config();
+  *out = RowBlock(std::vector<TypeId>(cfg.column_types));
+  if (row_epochs) row_epochs->clear();
+  if (delete_epochs) delete_epochs->clear();
+  if (positions) positions->clear();
+
+  StorageSnapshot snap = ps->GetSnapshot(epoch);
+  for (const auto& c : snap.ros) {
+    RowBlock rows;
+    std::vector<Epoch> epochs;
+    STRATICA_RETURN_NOT_OK(ReadRosContainer(fs, *c, &rows, &epochs));
+    // Per-position delete epoch for this container.
+    std::unordered_map<uint64_t, Epoch> dels;
+    for (const auto& d : ps->ContainerDeleteChunks(c->id)) {
+      for (size_t i = 0; i < d->positions.size(); ++i) {
+        if (d->epochs[i] <= epoch) dels[d->positions[i]] = d->epochs[i];
+      }
+    }
+    for (size_t r = 0; r < rows.NumRows(); ++r) {
+      if (epochs[r] > epoch) continue;  // committed after the snapshot
+      out->AppendRowFrom(rows, r);
+      if (row_epochs) row_epochs->push_back(epochs[r]);
+      if (delete_epochs) {
+        auto it = dels.find(r);
+        delete_epochs->push_back(it == dels.end() ? 0 : it->second);
+      }
+      if (positions) positions->emplace_back(c->id, r);
+    }
+  }
+  std::unordered_map<uint64_t, Epoch> wos_dels;
+  for (const auto& d : ps->WosDeleteChunks()) {
+    for (size_t i = 0; i < d->positions.size(); ++i) {
+      if (d->epochs[i] <= epoch) wos_dels[d->positions[i]] = d->epochs[i];
+    }
+  }
+  for (const auto& w : snap.wos) {
+    for (size_t r = 0; r < w->NumRows(); ++r) {
+      out->AppendRowFrom(w->rows, r);
+      if (row_epochs) row_epochs->push_back(w->epoch);
+      if (delete_epochs) {
+        auto it = wos_dels.find(w->start_pos + r);
+        delete_epochs->push_back(it == wos_dels.end() ? 0 : it->second);
+      }
+      if (positions) positions->emplace_back(kWosTargetId, w->start_pos + r);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace stratica

@@ -1,0 +1,226 @@
+// Simulated shared-nothing cluster (Sections 3.6, 5, 5.2, 5.3).
+//
+// Stratica models a Vertica cluster as N Node objects inside one process
+// (DESIGN.md §4): identical segmentation / buddy / recovery / quorum logic,
+// with in-process queues standing in for the interconnect. Nodes share the
+// epoch sequence — the paper's distributed agreement protocol guarantees
+// exactly this ("All nodes agree on the epoch in which each transaction
+// commits"), so sharing the EpochManager models the protocol's outcome.
+//
+// Commit follows the paper's no-2PC rule: a commit succeeds if a quorum of
+// nodes applies it; a node that fails mid-commit is ejected and later
+// rejoins via recovery. The cluster also performs a safety shutdown when
+// fewer than N/2+1 nodes remain (split-brain avoidance) or when a failure
+// makes some segment's data unavailable despite K-safety.
+#ifndef STRATICA_CLUSTER_CLUSTER_H_
+#define STRATICA_CLUSTER_CLUSTER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cluster/segmentation.h"
+#include "common/fs.h"
+#include "storage/projection_storage.h"
+#include "tuplemover/tuple_mover.h"
+#include "txn/transaction.h"
+
+namespace stratica {
+
+struct ClusterConfig {
+  uint32_t num_nodes = 1;
+  uint32_t k_safety = 0;  ///< Buddy copies per projection (Section 5.2).
+  uint32_t local_segments_per_node = 3;
+  uint64_t wos_capacity_rows = 1 << 20;
+  TupleMoverConfig tuple_mover;
+  bool auto_direct_ros_threshold_enabled = true;
+  /// Loads at least this large bypass the WOS ("Direct Loading to the
+  /// ROS", Section 7).
+  uint64_t direct_ros_row_threshold = 100000;
+};
+
+/// \brief One simulated node: its projection storage and tuple mover.
+class Node {
+ public:
+  Node(int id, FileSystem* fs, EpochManager* epochs, TupleMoverConfig tm_cfg)
+      : id_(id), fs_(fs), mover_(epochs, tm_cfg) {}
+
+  int id() const { return id_; }
+  bool up() const { return up_.load(std::memory_order_acquire); }
+  void set_up(bool up) { up_.store(up, std::memory_order_release); }
+
+  /// Inject a commit failure: the next commit this node participates in
+  /// "fails", causing its ejection from the cluster (Section 5).
+  void FailNextCommit() { fail_next_commit_ = true; }
+  bool ConsumeCommitFailure() { return fail_next_commit_.exchange(false); }
+
+  ProjectionStorage* GetStorage(const std::string& projection);
+  ProjectionStorage* AddStorage(const std::string& projection,
+                                ProjectionStorageConfig cfg);
+  void DropStorage(const std::string& projection);
+  std::vector<std::string> StorageNames() const;
+
+  TupleMover* mover() { return &mover_; }
+  std::string BaseDir() const { return "node" + std::to_string(id_); }
+
+ private:
+  int id_;
+  FileSystem* fs_;
+  std::atomic<bool> up_{true};
+  std::atomic<bool> fail_next_commit_{false};
+  TupleMover mover_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ProjectionStorage>> storage_;
+};
+
+/// Per-row rejection from the bulk loader (Section 7: handling records that
+/// do not conform "turned out to be important and complex to implement").
+struct RejectedRecord {
+  uint64_t row_index;
+  std::string reason;
+};
+
+struct LoadResult {
+  uint64_t rows_loaded = 0;
+  std::vector<RejectedRecord> rejected;
+};
+
+/// \brief The cluster facade: DDL storage fan-out, segmented loads, quorum
+/// commit, failure/recovery, refresh, rebalance and backup.
+class Cluster {
+ public:
+  Cluster(ClusterConfig cfg, FileSystem* fs, Catalog* catalog);
+
+  // --- topology --------------------------------------------------------------
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  Node* node(uint32_t i) { return nodes_[i].get(); }
+  const SegmentationRing& ring() const { return ring_; }
+  EpochManager* epochs() { return &epochs_; }
+  LockManager* locks() { return &locks_; }
+  TransactionManager* txns() { return &txns_; }
+  FileSystem* fs() { return fs_; }
+  Catalog* catalog() { return catalog_; }
+
+  size_t NumUpNodes() const;
+  bool HasQuorum() const { return NumUpNodes() * 2 > nodes_.size(); }
+
+  /// True if every ring slot of every projection of `table` is served by at
+  /// least one up node (considering buddies). False means the K-safety
+  /// budget is exhausted and the database must shut down for this data.
+  bool IsDataAvailable(const std::string& table) const;
+
+  // --- DDL -------------------------------------------------------------------
+
+  /// Register the projection in the catalog, create its K buddies, and
+  /// instantiate storage for all copies on every node.
+  Status CreateProjectionWithBuddies(ProjectionDef def);
+
+  /// CREATE TABLE + default super projection (+ buddies).
+  Status CreateTableWithSuperProjection(TableDef table);
+
+  Status DropTable(const std::string& table);
+
+  // --- load path ---------------------------------------------------------------
+
+  /// Route `rows` of `table` to every projection copy on every up node.
+  /// `direct_ros` forces the WOS bypass; by default large loads bypass
+  /// automatically per config. Non-conforming rows (NULL in a non-nullable
+  /// column, missing prejoin dimension match) are rejected, not loaded.
+  Result<LoadResult> Load(const std::string& table, const RowBlock& rows,
+                          Transaction* txn, bool direct_ros = false);
+
+  /// Quorum commit (Section 5): every up node either applies the commit or
+  /// is ejected; the commit succeeds if a quorum remains.
+  Result<Epoch> Commit(const TransactionPtr& txn);
+
+  // --- failure & recovery -----------------------------------------------------
+
+  /// Node failure: volatile state (WOS, uncommitted data) is lost.
+  Status MarkNodeDown(uint32_t node_id);
+
+  /// Rejoin protocol (Section 5.2): truncate to LGE, historical phase
+  /// (lock-free copy from buddies), current phase (under S locks), then the
+  /// node is marked up.
+  Status RecoverNode(uint32_t node_id);
+
+  /// AHM policy: advance to the minimum LGE across up nodes; held back
+  /// automatically while any node is down (Section 5.1).
+  Status AdvanceAhm();
+
+  // --- online operations -------------------------------------------------------
+
+  /// Populate a projection created after its table was loaded, reading from
+  /// a super projection (Section 5.2 "refresh").
+  Status RefreshProjection(const std::string& projection);
+
+  /// Add a node and rebalance: local segments move wholesale where
+  /// possible (Section 3.6).
+  Status AddNodeAndRebalance();
+
+  /// Hard-link backup of every data file plus a catalog snapshot
+  /// (Section 5.2). Returns the number of files captured.
+  Result<uint64_t> Backup(const std::string& label);
+
+  // --- background services -----------------------------------------------------
+
+  /// One tuple-mover pass over every (node, projection): moveout, then
+  /// mergeout to quiescence, then DVWOS->DVROS moves.
+  Status RunTupleMover();
+
+  /// Storage census used by benches/examples (Figure 2 reproduction).
+  struct StorageCensus {
+    size_t containers = 0;
+    size_t files = 0;
+    uint64_t bytes = 0;
+    uint64_t raw_bytes = 0;
+    uint64_t rows = 0;
+  };
+  StorageCensus Census(const std::string& projection) const;
+
+  /// Bytes "shipped" between nodes by loads and exchanges (the simulated
+  /// interconnect's traffic counter).
+  uint64_t network_bytes() const { return network_bytes_.load(); }
+  void AddNetworkBytes(uint64_t n) { network_bytes_.fetch_add(n); }
+
+ private:
+  Status SetupProjectionStorage(const ProjectionDef& def);
+  Result<ProjectionStorageConfig> MakeStorageConfig(const ProjectionDef& def,
+                                                    uint32_t node_id) const;
+  Status RouteAndInsert(const ProjectionDef& proj, const RowBlock& rows,
+                        Transaction* txn, bool direct_ros);
+  /// Build prejoined rows for a prejoin projection (Section 3.3): N:1 join
+  /// with dimension tables at load time; unmatched rows are rejected.
+  Result<RowBlock> BuildPrejoinRows(const ProjectionDef& proj, const RowBlock& rows,
+                                    std::vector<RejectedRecord>* rejected,
+                                    Epoch snapshot);
+  Status RecoverProjectionOnNode(const ProjectionDef& def, uint32_t node_id,
+                                 Epoch up_to, bool take_lock, uint64_t txn_id);
+
+  ClusterConfig cfg_;
+  FileSystem* fs_;
+  Catalog* catalog_;
+  EpochManager epochs_;
+  LockManager locks_;
+  TransactionManager txns_;
+  SegmentationRing ring_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<uint64_t> network_bytes_{0};
+  mutable std::mutex ddl_mu_;
+};
+
+/// Read one node's rows of a projection at a snapshot epoch into a block
+/// (recovery, refresh, rebalance and tests; queries use the exec engine).
+/// Optional outputs, all parallel to the rows: commit epochs, delete epochs
+/// (0 = live as of `epoch`), and (target container / WOS, position) pairs.
+Status ReadProjectionRows(const FileSystem* fs, ProjectionStorage* ps, Epoch epoch,
+                          RowBlock* out, std::vector<Epoch>* row_epochs,
+                          std::vector<Epoch>* delete_epochs,
+                          std::vector<std::pair<uint64_t, uint64_t>>* positions);
+
+}  // namespace stratica
+
+#endif  // STRATICA_CLUSTER_CLUSTER_H_

@@ -1,0 +1,355 @@
+// Node recovery, projection refresh, and elastic rebalance (Section 5.2).
+//
+// Recovery replays the DML a down node missed using the buddy projection:
+// the node first truncates to its Last Good Epoch (WOS contents died with
+// it), then copies missed rows from the buddy in two phases — a lock-free
+// historical phase covering (LGE, Eh], then a current phase under a Shared
+// table lock covering (Eh, now]. Because buddies share sort order, row data
+// moves wholesale; delete markers that target pre-LGE rows are re-resolved
+// on the recovering node by content (the "separate plan" the paper uses to
+// move delete vectors).
+#include <unordered_map>
+
+#include "cluster/cluster.h"
+#include "common/hash.h"
+
+namespace stratica {
+
+namespace {
+
+/// Hash a full row (all columns), for content-based delete translation.
+uint64_t RowContentHash(const RowBlock& rows, size_t r) {
+  uint64_t h = 0xbdd1;
+  for (const auto& col : rows.columns) h = HashCombine(h, col.HashEntry(r));
+  return h;
+}
+
+}  // namespace
+
+Status Cluster::RecoverProjectionOnNode(const ProjectionDef& def, uint32_t node_id,
+                                        Epoch up_to, bool take_lock, uint64_t txn_id) {
+  Node* node = nodes_[node_id].get();
+  auto* ps = node->GetStorage(def.name);
+  if (!ps) return Status::Internal("recovering node lacks storage for ", def.name);
+
+  if (take_lock) {
+    STRATICA_RETURN_NOT_OK(locks_.Acquire(txn_id, def.anchor_table, LockMode::kS));
+  }
+
+  Epoch start = ps->lge();
+
+  // Find a live source holding exactly this node's rows.
+  ProjectionStorage* source = nullptr;
+  if (def.segmentation.replicated) {
+    for (auto& other : nodes_) {
+      if (other->id() == static_cast<int>(node_id) || !other->up()) continue;
+      source = other->GetStorage(def.name);
+      if (source) break;
+    }
+  } else {
+    // Ring slot this node stores for `def`; any projection in the same
+    // family stores the same slot on a (hopefully up) different node.
+    uint32_t slot = ring_.SlotStoredBy(node_id, def.segmentation.node_offset);
+    std::string family = def.buddy_of.empty() ? def.name : def.buddy_of;
+    for (const auto& copy : catalog_->ProjectionsForTable(def.anchor_table)) {
+      std::string copy_family = copy.buddy_of.empty() ? copy.name : copy.buddy_of;
+      if (copy_family != family || copy.name == def.name) continue;
+      if (copy.segmentation.replicated) continue;
+      uint32_t host = (slot + copy.segmentation.node_offset) % ring_.num_nodes();
+      if (!nodes_[host]->up()) continue;
+      source = nodes_[host]->GetStorage(copy.name);
+      if (source) break;
+    }
+  }
+  if (!source) {
+    return Status::ClusterUnavailable("no live buddy to recover ", def.name,
+                                      " on node ", node_id);
+  }
+
+  RowBlock rows;
+  std::vector<Epoch> row_epochs, delete_epochs;
+  STRATICA_RETURN_NOT_OK(ReadProjectionRows(fs_, source, up_to, &rows, &row_epochs,
+                                            &delete_epochs, nullptr));
+
+  // Partition the buddy's view: rows committed after `start` are copied to
+  // the recovering node; deletes after `start` against older rows must be
+  // re-targeted at the node's existing containers by content.
+  RowBlock to_copy(std::vector<TypeId>(ps->config().column_types));
+  std::vector<Epoch> copy_epochs, copy_dels;
+  struct OldRowDelete {
+    size_t buddy_row;
+    Epoch del_epoch;
+  };
+  std::vector<OldRowDelete> old_row_deletes;
+  for (size_t r = 0; r < rows.NumRows(); ++r) {
+    if (row_epochs[r] > start) {
+      to_copy.AppendRowFrom(rows, r);
+      copy_epochs.push_back(row_epochs[r]);
+      copy_dels.push_back(delete_epochs[r]);
+      AddNetworkBytes(64);  // coarse per-row transfer accounting
+    } else if (delete_epochs[r] > start) {
+      old_row_deletes.push_back({r, delete_epochs[r]});
+    }
+  }
+  STRATICA_RETURN_NOT_OK(ps->IngestRecovered(std::move(to_copy), std::move(copy_epochs),
+                                             std::move(copy_dels), up_to));
+
+  if (!old_row_deletes.empty()) {
+    // Content-match missed deletions against the node's surviving rows.
+    RowBlock own;
+    std::vector<std::pair<uint64_t, uint64_t>> own_pos;
+    std::vector<Epoch> own_dels;
+    STRATICA_RETURN_NOT_OK(
+        ReadProjectionRows(fs_, ps, start, &own, nullptr, &own_dels, &own_pos));
+    std::unordered_multimap<uint64_t, size_t> index;
+    index.reserve(own.NumRows());
+    for (size_t r = 0; r < own.NumRows(); ++r) {
+      if (own_dels[r] == 0) index.emplace(RowContentHash(own, r), r);
+    }
+    std::map<uint64_t, std::vector<uint64_t>> new_deletes;  // target -> positions
+    std::map<uint64_t, std::vector<Epoch>> new_del_epochs;
+    for (const auto& miss : old_row_deletes) {
+      uint64_t h = RowContentHash(rows, miss.buddy_row);
+      auto [lo, hi] = index.equal_range(h);
+      for (auto it = lo; it != hi; ++it) {
+        // Verify full content equality, then consume the match.
+        bool equal = true;
+        for (size_t c = 0; c < own.columns.size() && equal; ++c) {
+          equal = ColumnVector::CompareEntries(own.columns[c], it->second,
+                                               rows.columns[c], miss.buddy_row) == 0;
+        }
+        if (!equal) continue;
+        auto [target, pos] = own_pos[it->second];
+        new_deletes[target].push_back(pos);
+        new_del_epochs[target].push_back(miss.del_epoch);
+        index.erase(it);
+        break;
+      }
+    }
+    for (auto& [target, positions] : new_deletes) {
+      auto chunk = std::make_shared<DeleteVectorChunk>();
+      chunk->target_id = target;
+      // Sort by position, keeping epochs parallel.
+      std::vector<size_t> order(positions.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](size_t a, size_t b) { return positions[a] < positions[b]; });
+      for (size_t i : order) {
+        chunk->positions.push_back(positions[i]);
+        chunk->epochs.push_back(new_del_epochs[target][i]);
+      }
+      ps->AdoptContainer(nullptr, {chunk});
+    }
+  }
+  return Status::OK();
+}
+
+Status Cluster::RecoverNode(uint32_t node_id) {
+  if (node_id >= nodes_.size()) return Status::InvalidArgument("no such node");
+  Node* node = nodes_[node_id].get();
+  if (node->up()) return Status::InvalidArgument("node ", node_id, " is not down");
+
+  // Phase 0: truncate everything past the LGE so the node starts from a
+  // consistent prefix of history.
+  for (const auto& name : node->StorageNames()) {
+    auto* ps = node->GetStorage(name);
+    ps->TruncateForRecovery(ps->lge());
+  }
+
+  auto txn = txns_.Begin();
+
+  // Historical phase: no locks, copy up to the epoch horizon sampled now.
+  Epoch horizon = epochs_.LatestQueryableEpoch();
+  for (const auto& name : node->StorageNames()) {
+    STRATICA_ASSIGN_OR_RETURN(ProjectionDef def, catalog_->GetProjection(name));
+    STRATICA_RETURN_NOT_OK(
+        RecoverProjectionOnNode(def, node_id, horizon, /*take_lock=*/false, txn->id()));
+  }
+
+  // Current phase: catch the tail under Shared locks, then rejoin.
+  Epoch now = epochs_.LatestQueryableEpoch();
+  for (const auto& name : node->StorageNames()) {
+    STRATICA_ASSIGN_OR_RETURN(ProjectionDef def, catalog_->GetProjection(name));
+    STRATICA_RETURN_NOT_OK(
+        RecoverProjectionOnNode(def, node_id, now, /*take_lock=*/true, txn->id()));
+  }
+  locks_.ReleaseAll(txn->id());
+  txns_.Rollback(txn);  // bookkeeping txn held no data
+
+  node->set_up(true);
+  return Status::OK();
+}
+
+Status Cluster::RefreshProjection(const std::string& projection) {
+  STRATICA_ASSIGN_OR_RETURN(ProjectionDef def, catalog_->GetProjection(projection));
+  STRATICA_ASSIGN_OR_RETURN(TableDef table, catalog_->GetTable(def.anchor_table));
+
+  // Source: a super projection of the anchor table outside the refreshed
+  // projection's own buddy family, preferring one that holds data.
+  std::string family = def.buddy_of.empty() ? def.name : def.buddy_of;
+  std::vector<ProjectionDef> supers;
+  for (const auto& p : catalog_->ProjectionsForTable(def.anchor_table)) {
+    std::string p_family = p.buddy_of.empty() ? p.name : p.buddy_of;
+    if (p.is_super && !p.IsPrejoin() && p_family != family) supers.push_back(p);
+  }
+  std::stable_sort(supers.begin(), supers.end(),
+                   [&](const ProjectionDef& a, const ProjectionDef& b) {
+                     auto rows = [&](const ProjectionDef& p) {
+                       uint64_t n = 0;
+                       for (auto& node : nodes_) {
+                         auto* ps = node->GetStorage(p.name);
+                         if (ps) n += ps->TotalRosRows() + ps->WosRowCount();
+                       }
+                       return n;
+                     };
+                     return rows(a) > rows(b);
+                   });
+  if (supers.empty())
+    return Status::InvalidArgument("no super projection to refresh from");
+
+  auto txn = txns_.Begin();
+  // Refresh runs a historical copy then a brief locked current phase; our
+  // in-process simulation folds both into one locked pass.
+  STRATICA_RETURN_NOT_OK(
+      locks_.Acquire(txn->id(), def.anchor_table, LockMode::kS));
+  Epoch now = epochs_.LatestQueryableEpoch();
+
+  // Gather all rows of the table (each segmented super copy contributes its
+  // nodes' rows; a replicated one contributes a single node's).
+  RowBlock all(table.ToBindSchema().types);
+  std::vector<Epoch> all_epochs, all_dels;
+  const ProjectionDef& src = supers.front();
+  for (auto& node : nodes_) {
+    auto* ps = node->GetStorage(src.name);
+    if (!ps) continue;
+    if (!node->up())
+      return Status::ClusterUnavailable("refresh source node down");
+    RowBlock part;
+    std::vector<Epoch> part_epochs, part_dels;
+    STRATICA_RETURN_NOT_OK(ReadProjectionRows(fs_, ps, now, &part, &part_epochs,
+                                              &part_dels, nullptr));
+    // Remap the projection's column order to table order.
+    for (size_t r = 0; r < part.NumRows(); ++r) {
+      for (size_t tc = 0; tc < table.columns.size(); ++tc) {
+        int pc = src.FindColumn(table.columns[tc].name);
+        all.columns[tc].AppendFrom(part.columns[pc], r);
+      }
+      all_epochs.push_back(part_epochs[r]);
+      all_dels.push_back(part_dels[r]);
+    }
+    if (src.segmentation.replicated) break;
+  }
+
+  // Route rows into the refreshed projection on each node with original
+  // epochs preserved.
+  for (auto& node : nodes_) {
+    if (!node->up()) continue;
+    auto* ps = node->GetStorage(projection);
+    if (!ps) return Status::Internal("missing storage for ", projection);
+    ps->Clear(/*delete_files=*/true);
+
+    RowBlock mine(std::vector<TypeId>(ps->config().column_types));
+    std::vector<Epoch> mine_epochs, mine_dels;
+    // Build projection-ordered rows, then keep those segmented to this node.
+    RowBlock proj_rows(std::vector<TypeId>(ps->config().column_types));
+    for (size_t c = 0; c < def.columns.size(); ++c) {
+      int tc = table.FindColumn(def.columns[c].name);
+      proj_rows.columns[c] = all.columns[tc];
+    }
+    if (def.segmentation.replicated) {
+      mine = proj_rows;
+      mine_epochs = all_epochs;
+      mine_dels = all_dels;
+    } else {
+      ColumnVector hashes;
+      STRATICA_RETURN_NOT_OK(
+          EvalExpr(*ps->config().segmentation_expr, proj_rows, &hashes));
+      for (size_t r = 0; r < proj_rows.NumRows(); ++r) {
+        uint32_t target = ring_.NodeFor(static_cast<uint64_t>(hashes.ints[r]),
+                                        def.segmentation.node_offset);
+        if (target != static_cast<uint32_t>(node->id())) continue;
+        mine.AppendRowFrom(proj_rows, r);
+        mine_epochs.push_back(all_epochs[r]);
+        mine_dels.push_back(all_dels[r]);
+      }
+    }
+    STRATICA_RETURN_NOT_OK(ps->IngestRecovered(std::move(mine), std::move(mine_epochs),
+                                               std::move(mine_dels), now));
+  }
+  locks_.ReleaseAll(txn->id());
+  txns_.Rollback(txn);
+  return Status::OK();
+}
+
+Status Cluster::AddNodeAndRebalance() {
+  std::lock_guard lock(ddl_mu_);
+  uint32_t new_id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(new_id, fs_, &epochs_, cfg_.tuple_mover));
+  ring_ = SegmentationRing(new_id + 1);
+
+  Epoch now = epochs_.LatestQueryableEpoch();
+  // Re-create storage configs (ranges changed) and re-route rows. Local
+  // segments let most containers move wholesale; our simulation re-splits
+  // rows but preserves epochs and delete history exactly.
+  for (const auto& pname : catalog_->ProjectionNames()) {
+    STRATICA_ASSIGN_OR_RETURN(ProjectionDef def, catalog_->GetProjection(pname));
+    // Collect all rows of this projection from the old nodes.
+    RowBlock all;
+    std::vector<Epoch> all_epochs, all_dels;
+    bool first = true;
+    for (uint32_t n = 0; n < new_id; ++n) {
+      auto* ps = nodes_[n]->GetStorage(pname);
+      if (!ps) continue;
+      RowBlock part;
+      std::vector<Epoch> pe, pd;
+      STRATICA_RETURN_NOT_OK(ReadProjectionRows(fs_, ps, now, &part, &pe, &pd, nullptr));
+      if (first) {
+        all = RowBlock(std::vector<TypeId>(ps->config().column_types));
+        first = false;
+      }
+      for (size_t r = 0; r < part.NumRows(); ++r) {
+        all.AppendRowFrom(part, r);
+        all_epochs.push_back(pe[r]);
+        all_dels.push_back(pd[r]);
+      }
+      if (def.segmentation.replicated) break;
+    }
+    // Rebuild storage on every node under the new ring.
+    for (auto& node : nodes_) {
+      auto* old_ps = node->GetStorage(pname);
+      if (old_ps) old_ps->Clear(/*delete_files=*/true);
+      node->DropStorage(pname);
+      STRATICA_ASSIGN_OR_RETURN(ProjectionStorageConfig cfg,
+                                MakeStorageConfig(def, node->id()));
+      node->AddStorage(pname, std::move(cfg));
+    }
+    for (auto& node : nodes_) {
+      auto* ps = node->GetStorage(pname);
+      RowBlock mine(std::vector<TypeId>(ps->config().column_types));
+      std::vector<Epoch> mine_epochs, mine_dels;
+      if (def.segmentation.replicated) {
+        mine = all;
+        mine_epochs = all_epochs;
+        mine_dels = all_dels;
+      } else {
+        ColumnVector hashes;
+        STRATICA_RETURN_NOT_OK(
+            EvalExpr(*ps->config().segmentation_expr, all, &hashes));
+        for (size_t r = 0; r < all.NumRows(); ++r) {
+          uint32_t target = ring_.NodeFor(static_cast<uint64_t>(hashes.ints[r]),
+                                          def.segmentation.node_offset);
+          if (target != static_cast<uint32_t>(node->id())) continue;
+          mine.AppendRowFrom(all, r);
+          mine_epochs.push_back(all_epochs[r]);
+          mine_dels.push_back(all_dels[r]);
+          if (node->id() == static_cast<int>(new_id)) AddNetworkBytes(64);
+        }
+      }
+      STRATICA_RETURN_NOT_OK(ps->IngestRecovered(
+          std::move(mine), std::move(mine_epochs), std::move(mine_dels), now));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace stratica

@@ -1,0 +1,68 @@
+// Ring segmentation (Section 3.6).
+//
+// Nodes are assigned contiguous ranges of the 64-bit segmentation-
+// expression space:  i*CMAX/N <= expr < (i+1)*CMAX/N  =>  Node_(i+1).
+// Buddy projections (Section 5.2) use the same ring rotated by an offset,
+// which guarantees a row's buddy copy never lands on the row's primary
+// node.
+#ifndef STRATICA_CLUSTER_SEGMENTATION_H_
+#define STRATICA_CLUSTER_SEGMENTATION_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace stratica {
+
+/// \brief The classic ring: equal slices of [0, 2^64) across N nodes, with
+/// rotation for buddy placement.
+class SegmentationRing {
+ public:
+  explicit SegmentationRing(uint32_t num_nodes) : n_(num_nodes ? num_nodes : 1) {}
+
+  uint32_t num_nodes() const { return n_; }
+
+  /// Ring slot (before rotation) of a hash value: floor(hash * N / 2^64).
+  uint32_t SlotFor(uint64_t hash) const {
+    return static_cast<uint32_t>(
+        (static_cast<unsigned __int128>(hash) * n_) >> 64);
+  }
+
+  /// Node storing `hash` for a projection with ring rotation `offset`.
+  uint32_t NodeFor(uint64_t hash, uint32_t offset) const {
+    return (SlotFor(hash) + offset) % n_;
+  }
+
+  /// Inclusive hash range [lo, hi] of ring slot `slot`: ranges of adjacent
+  /// slots tile [0, 2^64) exactly.
+  std::pair<uint64_t, uint64_t> SlotRange(uint32_t slot) const {
+    uint64_t lo = FirstHashOfSlot(slot);
+    uint64_t hi = (slot + 1 == n_) ? UINT64_MAX : FirstHashOfSlot(slot + 1) - 1;
+    return {lo, hi};
+  }
+
+  /// Ring slot whose data node `node` stores under rotation `offset`.
+  uint32_t SlotStoredBy(uint32_t node, uint32_t offset) const {
+    return (node + n_ - offset % n_) % n_;
+  }
+
+  /// Inclusive hash range stored by `node` under rotation `offset`.
+  std::pair<uint64_t, uint64_t> RangeStoredBy(uint32_t node, uint32_t offset) const {
+    return SlotRange(SlotStoredBy(node, offset));
+  }
+
+ private:
+  /// Smallest hash value mapping to `slot` (exact integer arithmetic).
+  uint64_t FirstHashOfSlot(uint32_t slot) const {
+    if (slot == 0) return 0;
+    uint64_t x = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(slot) << 64) / n_);
+    while (SlotFor(x) < slot) ++x;
+    return x;
+  }
+
+  uint32_t n_;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_CLUSTER_SEGMENTATION_H_

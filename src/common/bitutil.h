@@ -1,0 +1,152 @@
+// Bit packing / varint primitives shared by the column encoders.
+#ifndef STRATICA_COMMON_BITUTIL_H_
+#define STRATICA_COMMON_BITUTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace stratica {
+
+/// Number of bits required to represent v (0 needs 0 bits).
+inline int BitsRequired(uint64_t v) {
+  int bits = 0;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+/// ZigZag mapping of signed to unsigned so small-magnitude deltas are small.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Append a LEB128 varint to out.
+inline void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Parse a LEB128 varint from data at *offset. Returns false on overrun.
+inline bool GetVarint64(const std::string& data, size_t* offset, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*offset < data.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(data[*offset]);
+    ++*offset;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+/// Fixed-width little-endian scalar I/O.
+template <typename T>
+void PutFixed(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+bool GetFixed(const std::string& data, size_t* offset, T* v) {
+  if (*offset + sizeof(T) > data.size()) return false;
+  std::memcpy(v, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+/// \brief Writes values using a fixed bit width, LSB-first within bytes.
+class BitPacker {
+ public:
+  explicit BitPacker(int bit_width) : bit_width_(bit_width) {}
+
+  void Append(uint64_t v) {
+    // Split wide values so the 64-bit accumulation buffer never overflows.
+    if (bit_width_ > 32) {
+      AppendBits(v & 0xffffffffULL, 32);
+      AppendBits(v >> 32, bit_width_ - 32);
+    } else {
+      AppendBits(v, bit_width_);
+    }
+  }
+
+  /// Flush pending bits and return the packed bytes.
+  std::string Finish() {
+    if (bits_in_buffer_ > 0) {
+      bytes_.push_back(static_cast<char>(buffer_ & 0xff));
+      buffer_ = 0;
+      bits_in_buffer_ = 0;
+    }
+    return std::move(bytes_);
+  }
+
+ private:
+  void AppendBits(uint64_t v, int width) {
+    uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    buffer_ |= (v & mask) << bits_in_buffer_;
+    bits_in_buffer_ += width;
+    while (bits_in_buffer_ >= 8) {
+      bytes_.push_back(static_cast<char>(buffer_ & 0xff));
+      buffer_ >>= 8;
+      bits_in_buffer_ -= 8;
+    }
+  }
+  int bit_width_;
+  uint64_t buffer_ = 0;
+  int bits_in_buffer_ = 0;
+  std::string bytes_;
+};
+
+/// \brief Reads values written by BitPacker.
+class BitUnpacker {
+ public:
+  BitUnpacker(const std::string& data, size_t offset, int bit_width)
+      : data_(data), pos_(offset), bit_width_(bit_width) {}
+
+  uint64_t Next() {
+    if (bit_width_ > 32) {
+      uint64_t lo = NextBits(32);
+      uint64_t hi = NextBits(bit_width_ - 32);
+      return lo | (hi << 32);
+    }
+    return NextBits(bit_width_);
+  }
+
+  /// Byte position one past the last consumed byte.
+  size_t position() const { return pos_; }
+
+ private:
+  uint64_t NextBits(int width) {
+    while (bits_in_buffer_ < width && pos_ < data_.size()) {
+      buffer_ |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++]))
+                 << bits_in_buffer_;
+      bits_in_buffer_ += 8;
+    }
+    uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    uint64_t v = buffer_ & mask;
+    buffer_ >>= width;
+    bits_in_buffer_ -= width;
+    return v;
+  }
+
+  const std::string& data_;
+  size_t pos_;
+  int bit_width_;
+  uint64_t buffer_ = 0;
+  int bits_in_buffer_ = 0;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_COMMON_BITUTIL_H_

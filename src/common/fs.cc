@@ -1,0 +1,170 @@
+#include "common/fs.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace stratica {
+
+namespace stdfs = std::filesystem;
+
+Result<uint64_t> FileSystem::TotalSize(const std::string& prefix) const {
+  STRATICA_ASSIGN_OR_RETURN(std::vector<std::string> names, List(prefix));
+  uint64_t total = 0;
+  for (const auto& name : names) {
+    STRATICA_ASSIGN_OR_RETURN(uint64_t sz, FileSize(name));
+    total += sz;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// MemFileSystem
+
+Status MemFileSystem::WriteFile(const std::string& path, const std::string& data) {
+  std::unique_lock lock(mu_);
+  files_[path] = std::make_shared<const std::string>(data);
+  return Status::OK();
+}
+
+Result<std::string> MemFileSystem::ReadFile(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: ", path);
+  return *it->second;
+}
+
+Result<std::string> MemFileSystem::ReadRange(const std::string& path, uint64_t offset,
+                                             uint64_t length) const {
+  std::shared_lock lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: ", path);
+  const std::string& data = *it->second;
+  if (offset > data.size()) return Status::IoError("read past EOF: ", path);
+  return data.substr(offset, length);
+}
+
+Result<uint64_t> MemFileSystem::FileSize(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: ", path);
+  return static_cast<uint64_t>(it->second->size());
+}
+
+bool MemFileSystem::Exists(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status MemFileSystem::Delete(const std::string& path) {
+  std::unique_lock lock(mu_);
+  if (files_.erase(path) == 0) return Status::NotFound("no such file: ", path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> MemFileSystem::List(const std::string& prefix) const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+Status MemFileSystem::HardLink(const std::string& source, const std::string& target) {
+  std::unique_lock lock(mu_);
+  auto it = files_.find(source);
+  if (it == files_.end()) return Status::NotFound("no such file: ", source);
+  files_[target] = it->second;  // share the buffer, as a hard link shares the inode
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// LocalFileSystem
+
+LocalFileSystem::LocalFileSystem(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  stdfs::create_directories(root_, ec);
+}
+
+std::string LocalFileSystem::Absolute(const std::string& path) const {
+  return root_ + "/" + path;
+}
+
+Status LocalFileSystem::WriteFile(const std::string& path, const std::string& data) {
+  std::string abs = Absolute(path);
+  std::error_code ec;
+  stdfs::create_directories(stdfs::path(abs).parent_path(), ec);
+  // Write to a temp name then rename for atomicity.
+  std::string tmp = abs + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for write: ", abs);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IoError("short write: ", abs);
+  }
+  stdfs::rename(tmp, abs, ec);
+  if (ec) return Status::IoError("rename failed: ", abs, ": ", ec.message());
+  return Status::OK();
+}
+
+Result<std::string> LocalFileSystem::ReadFile(const std::string& path) const {
+  std::ifstream in(Absolute(path), std::ios::binary);
+  if (!in) return Status::NotFound("no such file: ", path);
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return data;
+}
+
+Result<std::string> LocalFileSystem::ReadRange(const std::string& path, uint64_t offset,
+                                               uint64_t length) const {
+  std::ifstream in(Absolute(path), std::ios::binary);
+  if (!in) return Status::NotFound("no such file: ", path);
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::string data(length, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(length));
+  data.resize(static_cast<size_t>(in.gcount()));
+  return data;
+}
+
+Result<uint64_t> LocalFileSystem::FileSize(const std::string& path) const {
+  std::error_code ec;
+  auto sz = stdfs::file_size(Absolute(path), ec);
+  if (ec) return Status::NotFound("no such file: ", path);
+  return static_cast<uint64_t>(sz);
+}
+
+bool LocalFileSystem::Exists(const std::string& path) const {
+  return stdfs::exists(Absolute(path));
+}
+
+Status LocalFileSystem::Delete(const std::string& path) {
+  std::error_code ec;
+  if (!stdfs::remove(Absolute(path), ec) || ec)
+    return Status::NotFound("no such file: ", path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> LocalFileSystem::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (auto it = stdfs::recursive_directory_iterator(root_, ec);
+       !ec && it != stdfs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    std::string rel = stdfs::relative(it->path(), root_, ec).string();
+    if (rel.compare(0, prefix.size(), prefix) == 0) out.push_back(rel);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status LocalFileSystem::HardLink(const std::string& source, const std::string& target) {
+  std::string abs_target = Absolute(target);
+  std::error_code ec;
+  stdfs::create_directories(stdfs::path(abs_target).parent_path(), ec);
+  stdfs::create_hard_link(Absolute(source), abs_target, ec);
+  if (ec) return Status::IoError("hard link failed: ", source, " -> ", target);
+  return Status::OK();
+}
+
+}  // namespace stratica

@@ -1,0 +1,100 @@
+// Filesystem abstraction (RocksDB Env-style).
+//
+// ROS containers, DVROS files, spill files and catalog snapshots all go
+// through this interface, so tests and benchmarks can run against the fast
+// in-memory implementation while examples persist to a real directory.
+// HardLink exists specifically to support the paper's backup mechanism
+// (Section 5.2: "creates hard-links for each Vertica data file").
+#ifndef STRATICA_COMMON_FS_H_
+#define STRATICA_COMMON_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stratica {
+
+/// \brief Minimal filesystem interface: whole-file and ranged reads,
+/// atomic whole-file writes, listing, deletion and hard links.
+///
+/// Stratica's on-disk structures are immutable once written (Section 3.7),
+/// so an append/overwrite-free API suffices.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Atomically create `path` with `data` (replacing any existing file).
+  virtual Status WriteFile(const std::string& path, const std::string& data) = 0;
+
+  /// Read the entire file.
+  virtual Result<std::string> ReadFile(const std::string& path) const = 0;
+
+  /// Read `length` bytes starting at `offset`.
+  virtual Result<std::string> ReadRange(const std::string& path, uint64_t offset,
+                                        uint64_t length) const = 0;
+
+  virtual Result<uint64_t> FileSize(const std::string& path) const = 0;
+  virtual bool Exists(const std::string& path) const = 0;
+  virtual Status Delete(const std::string& path) = 0;
+
+  /// List files whose path starts with `prefix`.
+  virtual Result<std::vector<std::string>> List(const std::string& prefix) const = 0;
+
+  /// Create `target` as a hard link to `source` (backup support). The data
+  /// remains reachable through `target` even after `source` is deleted.
+  virtual Status HardLink(const std::string& source, const std::string& target) = 0;
+
+  /// Total bytes stored under `prefix` (reporting "disk space required").
+  Result<uint64_t> TotalSize(const std::string& prefix) const;
+};
+
+/// \brief In-memory filesystem: a map from path to refcounted contents.
+/// Thread-safe. Used by tests and benchmarks.
+class MemFileSystem : public FileSystem {
+ public:
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  Result<std::string> ReadRange(const std::string& path, uint64_t offset,
+                                uint64_t length) const override;
+  Result<uint64_t> FileSize(const std::string& path) const override;
+  bool Exists(const std::string& path) const override;
+  Status Delete(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) const override;
+  Status HardLink(const std::string& source, const std::string& target) override;
+
+ private:
+  mutable std::shared_mutex mu_;
+  // shared_ptr contents model hard links: two paths may share one buffer.
+  std::map<std::string, std::shared_ptr<const std::string>> files_;
+};
+
+/// \brief Local filesystem rooted at a directory. Paths are interpreted
+/// relative to the root; parent directories are created on demand.
+class LocalFileSystem : public FileSystem {
+ public:
+  explicit LocalFileSystem(std::string root);
+
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  Result<std::string> ReadRange(const std::string& path, uint64_t offset,
+                                uint64_t length) const override;
+  Result<uint64_t> FileSize(const std::string& path) const override;
+  bool Exists(const std::string& path) const override;
+  Status Delete(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) const override;
+  Status HardLink(const std::string& source, const std::string& target) override;
+
+ private:
+  std::string Absolute(const std::string& path) const;
+  std::string root_;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_COMMON_FS_H_

@@ -1,0 +1,71 @@
+// Deterministic RNG for workload generators and property tests. All data in
+// Stratica's benches is generated with fixed seeds so runs are reproducible.
+#ifndef STRATICA_COMMON_RNG_H_
+#define STRATICA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace stratica {
+
+/// xoshiro256**-style deterministic generator (not for cryptography).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // splitmix64 seeding.
+    for (auto& word : s_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Zipf-ish skewed pick in [0, n): rank r with probability ~ 1/(r+1).
+  uint64_t Skewed(uint64_t n) {
+    // Cheap approximation: min of two uniforms biases toward small ranks.
+    uint64_t a = Uniform(n), b = Uniform(n);
+    return a < b ? a : b;
+  }
+
+  std::string RandomString(size_t len) {
+    static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) s.push_back(kAlpha[Uniform(sizeof(kAlpha) - 1)]);
+    return s;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_COMMON_RNG_H_

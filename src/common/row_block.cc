@@ -1,0 +1,202 @@
+#include "common/row_block.h"
+
+#include <sstream>
+
+namespace stratica {
+
+void ColumnVector::Reserve(size_t n) {
+  switch (StorageClassOf(type)) {
+    case StorageClass::kInt64: ints.reserve(n); break;
+    case StorageClass::kFloat64: doubles.reserve(n); break;
+    case StorageClass::kString: strings.reserve(n); break;
+  }
+}
+
+void ColumnVector::Clear() {
+  ints.clear();
+  doubles.clear();
+  strings.clear();
+  nulls.clear();
+  runs.clear();
+}
+
+void ColumnVector::Append(const Value& v) {
+  size_t before = PhysicalSize();
+  switch (StorageClassOf(type)) {
+    case StorageClass::kInt64: ints.push_back(v.is_null() ? 0 : v.i64()); break;
+    case StorageClass::kFloat64: doubles.push_back(v.is_null() ? 0 : v.f64()); break;
+    case StorageClass::kString: strings.push_back(v.is_null() ? "" : v.str()); break;
+  }
+  if (v.is_null() || !nulls.empty()) {
+    if (nulls.empty()) nulls.assign(before, 0);
+    nulls.push_back(v.is_null() ? 1 : 0);
+  }
+  if (!runs.empty()) runs.push_back(1);
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, size_t phys) {
+  AppendRunFrom(src, phys, 1);
+}
+
+void ColumnVector::AppendRunFrom(const ColumnVector& src, size_t phys, uint32_t n) {
+  size_t before = PhysicalSize();
+  switch (StorageClassOf(type)) {
+    case StorageClass::kInt64: ints.push_back(src.ints[phys]); break;
+    case StorageClass::kFloat64: doubles.push_back(src.doubles[phys]); break;
+    case StorageClass::kString: strings.push_back(src.strings[phys]); break;
+  }
+  bool src_null = src.IsNull(phys);
+  if (src_null || !nulls.empty()) {
+    if (nulls.empty()) nulls.assign(before, 0);
+    nulls.push_back(src_null ? 1 : 0);
+  }
+  if (n != 1 && runs.empty()) runs.assign(before, 1);
+  if (!runs.empty()) runs.push_back(n);
+}
+
+Value ColumnVector::GetValue(size_t phys) const {
+  if (IsNull(phys)) return Value::Null(type);
+  switch (StorageClassOf(type)) {
+    case StorageClass::kInt64: return Value::OfInt(type, ints[phys]);
+    case StorageClass::kFloat64: return Value::Float64(doubles[phys]);
+    case StorageClass::kString: return Value::String(strings[phys]);
+  }
+  return Value::Null(type);
+}
+
+ColumnVector ColumnVector::Decoded() const {
+  if (!IsRle()) return *this;
+  ColumnVector out(type);
+  size_t total = Size();
+  out.Reserve(total);
+  if (!nulls.empty()) out.nulls.reserve(total);
+  for (size_t i = 0; i < PhysicalSize(); ++i) {
+    for (uint32_t r = 0; r < runs[i]; ++r) {
+      switch (StorageClassOf(type)) {
+        case StorageClass::kInt64: out.ints.push_back(ints[i]); break;
+        case StorageClass::kFloat64: out.doubles.push_back(doubles[i]); break;
+        case StorageClass::kString: out.strings.push_back(strings[i]); break;
+      }
+      if (!nulls.empty()) out.nulls.push_back(nulls[i]);
+    }
+  }
+  return out;
+}
+
+void ColumnVector::FilterPhysical(const std::vector<uint8_t>& sel) {
+  size_t out = 0;
+  size_t n = PhysicalSize();
+  switch (StorageClassOf(type)) {
+    case StorageClass::kInt64:
+      for (size_t i = 0; i < n; ++i) {
+        if (sel[i]) {
+          ints[out] = ints[i];
+          if (!nulls.empty()) nulls[out] = nulls[i];
+          ++out;
+        }
+      }
+      ints.resize(out);
+      break;
+    case StorageClass::kFloat64:
+      for (size_t i = 0; i < n; ++i) {
+        if (sel[i]) {
+          doubles[out] = doubles[i];
+          if (!nulls.empty()) nulls[out] = nulls[i];
+          ++out;
+        }
+      }
+      doubles.resize(out);
+      break;
+    case StorageClass::kString:
+      for (size_t i = 0; i < n; ++i) {
+        if (sel[i]) {
+          if (out != i) strings[out] = std::move(strings[i]);
+          if (!nulls.empty()) nulls[out] = nulls[i];
+          ++out;
+        }
+      }
+      strings.resize(out);
+      break;
+  }
+  if (!nulls.empty()) nulls.resize(out);
+}
+
+void ColumnVector::AppendGather(const ColumnVector& src,
+                                const std::vector<uint32_t>& indices) {
+  size_t before = PhysicalSize();
+  switch (StorageClassOf(type)) {
+    case StorageClass::kInt64:
+      ints.reserve(before + indices.size());
+      for (uint32_t i : indices) ints.push_back(src.ints[i]);
+      break;
+    case StorageClass::kFloat64:
+      doubles.reserve(before + indices.size());
+      for (uint32_t i : indices) doubles.push_back(src.doubles[i]);
+      break;
+    case StorageClass::kString:
+      strings.reserve(before + indices.size());
+      for (uint32_t i : indices) strings.push_back(src.strings[i]);
+      break;
+  }
+  if (!src.nulls.empty() || !nulls.empty()) {
+    if (nulls.empty()) nulls.assign(before, 0);
+    nulls.reserve(before + indices.size());
+    for (uint32_t i : indices) nulls.push_back(src.IsNull(i) ? 1 : 0);
+  }
+}
+
+size_t ColumnVector::MemoryBytes() const {
+  size_t n = ints.capacity() * sizeof(int64_t) + doubles.capacity() * sizeof(double) +
+             nulls.capacity() + runs.capacity() * sizeof(uint32_t);
+  for (const auto& s : strings) n += s.capacity() + sizeof(std::string);
+  return n;
+}
+
+uint64_t ColumnVector::HashEntry(size_t phys) const {
+  if (IsNull(phys)) return 0x5ca1ab1e;
+  switch (StorageClassOf(type)) {
+    case StorageClass::kInt64: return HashInt64(ints[phys]);
+    case StorageClass::kFloat64: return HashDouble(doubles[phys]);
+    case StorageClass::kString: return HashString(strings[phys]);
+  }
+  return 0;
+}
+
+int ColumnVector::CompareEntries(const ColumnVector& a, size_t ia, const ColumnVector& b,
+                                 size_t ib) {
+  bool an = a.IsNull(ia), bn = b.IsNull(ib);
+  if (an || bn) return an && bn ? 0 : (an ? -1 : 1);
+  switch (StorageClassOf(a.type)) {
+    case StorageClass::kInt64: {
+      int64_t x = a.ints[ia], y = b.ints[ib];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case StorageClass::kFloat64: {
+      double x = a.doubles[ia], y = b.doubles[ib];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case StorageClass::kString: {
+      int c = a.strings[ia].compare(b.strings[ib]);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+std::string RowBlock::ToString(size_t max_rows) const {
+  std::ostringstream ss;
+  RowBlock flat = *this;
+  flat.DecodeAll();
+  size_t rows = flat.NumRows();
+  for (size_t r = 0; r < rows && r < max_rows; ++r) {
+    for (size_t c = 0; c < flat.columns.size(); ++c) {
+      if (c) ss << " | ";
+      ss << flat.columns[c].GetValue(r).ToString();
+    }
+    ss << "\n";
+  }
+  if (rows > max_rows) ss << "... (" << rows << " rows)\n";
+  return ss.str();
+}
+
+}  // namespace stratica

@@ -1,0 +1,157 @@
+// Status and Result<T>: error handling without exceptions across module
+// boundaries, in the style of Apache Arrow / RocksDB.
+#ifndef STRATICA_COMMON_STATUS_H_
+#define STRATICA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace stratica {
+
+/// Error categories used across the engine. Kept deliberately coarse; the
+/// message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kCorruption,
+  kNotImplemented,
+  kResourceExhausted,  // memory budget exceeded and spill impossible
+  kLockTimeout,        // could not acquire a table lock
+  kTxnAborted,
+  kClusterUnavailable,  // quorum lost or data unavailable (K-safety violated)
+  kParseError,
+  kAnalysisError,  // semantic (binder/type) error
+  kInternal,
+};
+
+/// \brief Success-or-error return value for operations that yield no data.
+///
+/// Status is cheap to copy in the success case (single enum). All fallible
+/// functions in Stratica return Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable one-line rendering, e.g. "IoError: open failed".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kCorruption: return "Corruption";
+      case StatusCode::kNotImplemented: return "NotImplemented";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kLockTimeout: return "LockTimeout";
+      case StatusCode::kTxnAborted: return "TxnAborted";
+      case StatusCode::kClusterUnavailable: return "ClusterUnavailable";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kAnalysisError: return "AnalysisError";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+#define STRATICA_STATUS_FACTORY(Name, Code)                 \
+  template <typename... Args>                               \
+  static Status Name(Args&&... args) {                      \
+    std::ostringstream ss;                                  \
+    (ss << ... << args);                                    \
+    return Status(StatusCode::Code, ss.str());              \
+  }
+  STRATICA_STATUS_FACTORY(InvalidArgument, kInvalidArgument)
+  STRATICA_STATUS_FACTORY(NotFound, kNotFound)
+  STRATICA_STATUS_FACTORY(AlreadyExists, kAlreadyExists)
+  STRATICA_STATUS_FACTORY(IoError, kIoError)
+  STRATICA_STATUS_FACTORY(Corruption, kCorruption)
+  STRATICA_STATUS_FACTORY(NotImplemented, kNotImplemented)
+  STRATICA_STATUS_FACTORY(ResourceExhausted, kResourceExhausted)
+  STRATICA_STATUS_FACTORY(LockTimeout, kLockTimeout)
+  STRATICA_STATUS_FACTORY(TxnAborted, kTxnAborted)
+  STRATICA_STATUS_FACTORY(ClusterUnavailable, kClusterUnavailable)
+  STRATICA_STATUS_FACTORY(ParseError, kParseError)
+  STRATICA_STATUS_FACTORY(AnalysisError, kAnalysisError)
+  STRATICA_STATUS_FACTORY(Internal, kInternal)
+#undef STRATICA_STATUS_FACTORY
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Value-or-error: holds a T on success, a Status otherwise.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define STRATICA_RETURN_NOT_OK(expr)                \
+  do {                                              \
+    ::stratica::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define STRATICA_CONCAT_IMPL(a, b) a##b
+#define STRATICA_CONCAT(a, b) STRATICA_CONCAT_IMPL(a, b)
+
+/// Evaluate a Result<T> expression; on success bind the value to `lhs`,
+/// otherwise return the error Status.
+#define STRATICA_ASSIGN_OR_RETURN(lhs, expr)                          \
+  STRATICA_ASSIGN_OR_RETURN_IMPL(STRATICA_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define STRATICA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+}  // namespace stratica
+
+#endif  // STRATICA_COMMON_STATUS_H_

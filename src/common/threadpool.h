@@ -1,0 +1,46 @@
+// Shared worker pool used by the execution engine's StorageUnion /
+// ParallelUnion operators and by the tuple mover's background service.
+#ifndef STRATICA_COMMON_THREADPOOL_H_
+#define STRATICA_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stratica {
+
+/// \brief Fixed-size thread pool with a simple FIFO queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_COMMON_THREADPOOL_H_

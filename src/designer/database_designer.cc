@@ -1,0 +1,256 @@
+#include "designer/database_designer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "storage/encoding.h"
+#include "storage/sort_util.h"
+
+namespace stratica {
+
+namespace {
+
+/// Column-usage profile of one table across the workload.
+struct Usage {
+  // Weighted by appearance count; equality predicates weigh more than
+  // ranges (they benefit most from leading sort position).
+  std::map<std::string, int> predicate_cols;
+  std::map<std::string, int> group_cols;
+  std::map<std::string, int> order_cols;
+  std::map<std::string, int> join_cols;
+};
+
+void CollectPredicateColumns(const Expr& e, const TableDef& table, Usage* usage) {
+  if (e.kind == ExprKind::kCompare && e.children[0]->kind == ExprKind::kColumnRef &&
+      e.children[1]->kind == ExprKind::kLiteral) {
+    std::string bare = e.children[0]->column_name;
+    auto dot = bare.rfind('.');
+    if (dot != std::string::npos) bare = bare.substr(dot + 1);
+    if (table.FindColumn(bare) >= 0) {
+      usage->predicate_cols[bare] += e.cmp == CompareOp::kEq ? 3 : 1;
+    }
+  }
+  if (e.kind == ExprKind::kCompare && e.children[0]->kind == ExprKind::kColumnRef &&
+      e.children[1]->kind == ExprKind::kColumnRef) {
+    for (const auto& child : e.children) {
+      std::string bare = child->column_name;
+      auto dot = bare.rfind('.');
+      if (dot != std::string::npos) bare = bare.substr(dot + 1);
+      if (table.FindColumn(bare) >= 0) usage->join_cols[bare] += 1;
+    }
+  }
+  for (const auto& c : e.children) CollectPredicateColumns(*c, table, usage);
+}
+
+void CollectExprColumn(const ExprPtr& e, const TableDef& table,
+                       std::map<std::string, int>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kColumnRef) {
+    std::string bare = e->column_name;
+    auto dot = bare.rfind('.');
+    if (dot != std::string::npos) bare = bare.substr(dot + 1);
+    if (table.FindColumn(bare) >= 0) (*out)[bare] += 1;
+  }
+  for (const auto& c : e->children) CollectExprColumn(c, table, out);
+}
+
+std::vector<std::string> TopColumns(const std::map<std::string, int>& weighted,
+                                    size_t max_cols) {
+  std::vector<std::pair<std::string, int>> items(weighted.begin(), weighted.end());
+  std::stable_sort(items.begin(), items.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::string> out;
+  for (const auto& [name, w] : items) {
+    if (out.size() >= max_cols) break;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::pair<EncodingId, double>> DatabaseDesigner::BestEncoding(
+    const RowBlock& sample, const std::vector<uint32_t>& sort_columns,
+    uint32_t column) const {
+  RowBlock sorted = sample;
+  sorted.DecodeAll();
+  if (!sort_columns.empty()) {
+    auto perm = ComputeSortPermutation(sorted, sort_columns);
+    sorted = ApplyPermutation(sorted, perm);
+  }
+  const ColumnVector& col = sorted.columns[column];
+  size_t n = col.PhysicalSize();
+  if (n == 0) return std::make_pair(EncodingId::kAuto, 0.0);
+  EncodingId best = EncodingId::kPlain;
+  size_t best_bytes = SIZE_MAX;
+  for (EncodingId enc : {EncodingId::kRle, EncodingId::kDeltaValue,
+                         EncodingId::kBlockDict, EncodingId::kCompressedDeltaRange,
+                         EncodingId::kCompressedCommonDelta, EncodingId::kPlain}) {
+    if (!EncodingSupports(enc, StorageClassOf(col.type))) continue;
+    std::string buf;
+    STRATICA_RETURN_NOT_OK(EncodeBlock(enc, col, 0, n, &buf));
+    // EncodeBlock may have fallen back (cardinality guard); attribute the
+    // experiment to what was actually written.
+    STRATICA_ASSIGN_OR_RETURN(EncodingId actual, PeekBlockEncoding(buf, 0));
+    if (buf.size() < best_bytes) {
+      best_bytes = buf.size();
+      best = actual;
+    }
+  }
+  return std::make_pair(best, static_cast<double>(best_bytes) / n);
+}
+
+Result<DesignProposal> DatabaseDesigner::Design(
+    const std::vector<std::string>& workload, const RowBlock& sample,
+    DesignPolicy policy) const {
+  // ---- phase 1: query optimization -----------------------------------------
+  Usage usage;
+  for (const auto& sql : workload) {
+    STRATICA_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+    const SelectStmt* select = nullptr;
+    if (stmt.type == Statement::Type::kSelect ||
+        stmt.type == Statement::Type::kExplain) {
+      select = &stmt.select;
+    } else {
+      continue;  // DML contributes nothing to projection design
+    }
+    if (select->where) CollectPredicateColumns(*select->where, table_, &usage);
+    for (const auto& ref : select->from) {
+      if (ref.on) CollectPredicateColumns(*ref.on, table_, &usage);
+    }
+    for (const auto& g : select->group_by) CollectExprColumn(g, table_, &usage.group_cols);
+    for (const auto& [o, desc] : select->order_by)
+      CollectExprColumn(o, table_, &usage.order_cols);
+  }
+
+  size_t narrow_budget = 0;
+  switch (policy) {
+    case DesignPolicy::kLoadOptimized: narrow_budget = 0; break;
+    case DesignPolicy::kBalanced: narrow_budget = 2; break;
+    case DesignPolicy::kQueryOptimized: narrow_budget = 4; break;
+  }
+
+  // Candidate sort orders, most valuable first: predicates (selective
+  // leading column), then group-by, then order-by.
+  std::vector<std::vector<std::string>> candidates;
+  auto add_candidate = [&](std::vector<std::string> cols) {
+    if (cols.empty()) return;
+    for (const auto& existing : candidates) {
+      if (existing == cols) return;
+    }
+    candidates.push_back(std::move(cols));
+  };
+  {
+    auto preds = TopColumns(usage.predicate_cols, 2);
+    auto groups = TopColumns(usage.group_cols, 2);
+    if (!preds.empty()) {
+      std::vector<std::string> combo = preds;
+      for (const auto& g : groups) {
+        if (std::find(combo.begin(), combo.end(), g) == combo.end())
+          combo.push_back(g);
+      }
+      add_candidate(combo);
+    }
+    add_candidate(groups);
+    add_candidate(TopColumns(usage.order_cols, 3));
+    add_candidate(TopColumns(usage.join_cols, 1));
+  }
+  if (candidates.size() > narrow_budget) candidates.resize(narrow_budget);
+
+  DesignProposal proposal;
+  std::ostringstream rationale;
+
+  // Segmentation: a high-cardinality join/predicate column for co-located
+  // work, else the first column (ersatz primary key).
+  std::string seg_col = table_.columns[0].name;
+  auto joins = TopColumns(usage.join_cols, 1);
+  if (!joins.empty()) seg_col = joins[0];
+
+  auto finish_projection = [&](ProjectionDef def) -> Status {
+    // ---- phase 2: storage optimization — empirical encoding choice -----
+    std::vector<uint32_t> sort_in_table;
+    for (uint32_t s : def.sort_columns) {
+      int tc = table_.FindColumn(def.columns[s].name);
+      sort_in_table.push_back(static_cast<uint32_t>(tc));
+    }
+    for (auto& pc : def.columns) {
+      int tc = table_.FindColumn(pc.name);
+      if (tc < 0) continue;
+      STRATICA_ASSIGN_OR_RETURN(
+          auto best, BestEncoding(sample, sort_in_table, static_cast<uint32_t>(tc)));
+      pc.encoding = best.first;
+      std::ostringstream line;
+      line << def.name << "." << pc.name << ": " << EncodingName(best.first) << " ("
+           << best.second << " bytes/value)";
+      proposal.encoding_report.push_back(line.str());
+    }
+    proposal.projections.push_back(std::move(def));
+    return Status::OK();
+  };
+
+  // The super projection: all columns, sorted by the strongest predicate +
+  // group columns (falling back to leading columns), segmented by seg_col.
+  {
+    ProjectionDef super;
+    super.name = table_.name + "_dbd_super";
+    super.anchor_table = table_.name;
+    for (const auto& c : table_.columns) {
+      super.columns.push_back({c.name, table_.FindColumn(c.name), EncodingId::kAuto});
+    }
+    std::vector<std::string> sort_cols = TopColumns(usage.predicate_cols, 2);
+    for (const auto& g : TopColumns(usage.group_cols, 2)) {
+      if (std::find(sort_cols.begin(), sort_cols.end(), g) == sort_cols.end())
+        sort_cols.push_back(g);
+    }
+    if (sort_cols.empty()) sort_cols.push_back(table_.columns[0].name);
+    for (const auto& sc : sort_cols) {
+      super.sort_columns.push_back(static_cast<uint32_t>(super.FindColumn(sc)));
+    }
+    super.segmentation.expr = Func(FuncKind::kHash, {Col(seg_col)});
+    rationale << "super projection sorted by {";
+    for (size_t i = 0; i < sort_cols.size(); ++i)
+      rationale << (i ? ", " : "") << sort_cols[i];
+    rationale << "}, segmented by HASH(" << seg_col << "); ";
+    STRATICA_RETURN_NOT_OK(finish_projection(std::move(super)));
+  }
+
+  // Narrow candidates: sort columns + every other column the workload
+  // touches (predicates/groups/orders), so the projection can answer its
+  // queries alone.
+  for (const auto& cand : candidates) {
+    ProjectionDef narrow;
+    narrow.name = table_.name + "_dbd_n" +
+                  std::to_string(proposal.projections.size());
+    narrow.anchor_table = table_.name;
+    std::set<std::string> cols(cand.begin(), cand.end());
+    for (const auto& [name, w] : usage.predicate_cols) cols.insert(name);
+    for (const auto& [name, w] : usage.group_cols) cols.insert(name);
+    for (const auto& [name, w] : usage.order_cols) cols.insert(name);
+    for (const auto& [name, w] : usage.join_cols) cols.insert(name);
+    // Sort columns lead (in candidate order), remaining columns follow.
+    for (const auto& c : cand) {
+      narrow.columns.push_back({c, table_.FindColumn(c), EncodingId::kAuto});
+    }
+    for (const auto& c : cols) {
+      if (narrow.FindColumn(c) < 0) {
+        narrow.columns.push_back({c, table_.FindColumn(c), EncodingId::kAuto});
+      }
+    }
+    if (narrow.columns.size() >= table_.columns.size()) continue;  // just the super
+    for (size_t i = 0; i < cand.size(); ++i)
+      narrow.sort_columns.push_back(static_cast<uint32_t>(i));
+    narrow.segmentation.expr = Func(FuncKind::kHash, {Col(cand[0])});
+    rationale << "narrow projection on {";
+    for (size_t i = 0; i < narrow.columns.size(); ++i)
+      rationale << (i ? ", " : "") << narrow.columns[i].name;
+    rationale << "} sorted by " << cand[0] << "; ";
+    STRATICA_RETURN_NOT_OK(finish_projection(std::move(narrow)));
+  }
+
+  proposal.rationale = rationale.str();
+  return proposal;
+}
+
+}  // namespace stratica

@@ -1,0 +1,66 @@
+// The Database Designer (Section 6.3): automatic physical design.
+//
+// Given a representative query workload and sample data, proposes
+// projections in two sequential phases exactly as the paper describes:
+//
+//   1. Query optimization — enumerate candidate sort orders / segmentations
+//      from the workload's predicates, group-by, order-by and join columns;
+//      keep the candidates the policy's projection budget allows.
+//   2. Storage optimization — choose each column's encoding by *empirical
+//      encoding experiments* on the sample data, given the sort order
+//      chosen in phase 1 (the paper credits this empiricism for users
+//      virtually never overriding the DBD's encoding choices).
+//
+// Policies trade query speed against load overhead and footprint:
+// load-optimized proposes only the super projection, query-optimized up to
+// four narrow projections, balanced in between.
+#ifndef STRATICA_DESIGNER_DATABASE_DESIGNER_H_
+#define STRATICA_DESIGNER_DATABASE_DESIGNER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/row_block.h"
+#include "sql/parser.h"
+
+namespace stratica {
+
+enum class DesignPolicy {
+  kLoadOptimized,   ///< super projection only (fastest loads, least space)
+  kBalanced,        ///< super + up to 2 narrow projections
+  kQueryOptimized,  ///< super + up to 4 narrow projections
+};
+
+struct DesignProposal {
+  std::vector<ProjectionDef> projections;  ///< ready for CreateProjection
+  /// Per-projection, per-column record of the winning encoding experiment:
+  /// "projection.column: ENCODING (x.xx bytes/value)".
+  std::vector<std::string> encoding_report;
+  std::string rationale;
+};
+
+/// \brief Stateless designer: feed it the table, a SQL workload, and sample
+/// rows; get projection definitions back.
+class DatabaseDesigner {
+ public:
+  explicit DatabaseDesigner(const TableDef& table) : table_(table) {}
+
+  /// `workload` is a list of SELECT statements against `table`; `sample`
+  /// holds sample rows in table column order (a few thousand suffice).
+  Result<DesignProposal> Design(const std::vector<std::string>& workload,
+                                const RowBlock& sample, DesignPolicy policy) const;
+
+  /// Phase-2 primitive, exposed for tests: best encoding for `column` of
+  /// the sample when sorted by `sort_columns` (table column indexes).
+  Result<std::pair<EncodingId, double>> BestEncoding(
+      const RowBlock& sample, const std::vector<uint32_t>& sort_columns,
+      uint32_t column) const;
+
+ private:
+  TableDef table_;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_DESIGNER_DATABASE_DESIGNER_H_

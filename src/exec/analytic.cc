@@ -1,0 +1,192 @@
+#include "exec/analytic.h"
+
+#include "exec/group_by.h"
+
+namespace stratica {
+
+const char* WindowFuncName(WindowFunc f) {
+  switch (f) {
+    case WindowFunc::kRowNumber: return "ROW_NUMBER";
+    case WindowFunc::kRank: return "RANK";
+    case WindowFunc::kDenseRank: return "DENSE_RANK";
+    case WindowFunc::kSum: return "SUM";
+    case WindowFunc::kCount: return "COUNT";
+    case WindowFunc::kAvg: return "AVG";
+    case WindowFunc::kMin: return "MIN";
+    case WindowFunc::kMax: return "MAX";
+  }
+  return "?";
+}
+
+TypeId WindowSpec::OutputType(const std::vector<TypeId>& child_types) const {
+  switch (func) {
+    case WindowFunc::kRowNumber:
+    case WindowFunc::kRank:
+    case WindowFunc::kDenseRank:
+    case WindowFunc::kCount:
+      return TypeId::kInt64;
+    case WindowFunc::kAvg:
+      return TypeId::kFloat64;
+    case WindowFunc::kSum:
+      return child_types[input_column] == TypeId::kFloat64 ? TypeId::kFloat64
+                                                           : TypeId::kInt64;
+    case WindowFunc::kMin:
+    case WindowFunc::kMax:
+      return child_types[input_column];
+  }
+  return TypeId::kInt64;
+}
+
+std::vector<TypeId> AnalyticOperator::OutputTypes() const {
+  std::vector<TypeId> t = child_->OutputTypes();
+  for (const auto& w : spec_.windows) t.push_back(w.OutputType(child_->OutputTypes()));
+  return t;
+}
+
+std::vector<std::string> AnalyticOperator::OutputNames() const {
+  std::vector<std::string> n = child_->OutputNames();
+  for (const auto& w : spec_.windows) n.push_back(w.output_name);
+  return n;
+}
+
+void AnalyticOperator::ComputePartition(const RowBlock& partition, RowBlock* out) {
+  size_t n = partition.NumRows();
+  size_t base_cols = partition.NumColumns();
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < base_cols; ++c) {
+      out->columns[c].AppendFrom(partition.columns[c], r);
+    }
+  }
+
+  for (size_t w = 0; w < spec_.windows.size(); ++w) {
+    const WindowSpec& win = spec_.windows[w];
+    ColumnVector& out_col = out->columns[base_cols + w];
+    bool has_order = !spec_.order_keys.empty();
+    switch (win.func) {
+      case WindowFunc::kRowNumber:
+        for (size_t r = 0; r < n; ++r) out_col.Append(Value::Int64(static_cast<int64_t>(r + 1)));
+        break;
+      case WindowFunc::kRank:
+      case WindowFunc::kDenseRank: {
+        int64_t rank = 0, dense = 0;
+        for (size_t r = 0; r < n; ++r) {
+          bool new_peer_group =
+              r == 0 || CompareRowsDirected(partition, r - 1, partition, r,
+                                            spec_.order_keys) != 0;
+          if (new_peer_group) {
+            rank = static_cast<int64_t>(r + 1);
+            ++dense;
+          }
+          out_col.Append(
+              Value::Int64(win.func == WindowFunc::kRank ? rank : dense));
+        }
+        break;
+      }
+      default: {
+        AggSpec agg;
+        agg.input_column = win.input_column;
+        agg.input_type =
+            win.input_column >= 0 ? partition.columns[win.input_column].type
+                                  : TypeId::kInt64;
+        switch (win.func) {
+          case WindowFunc::kSum: agg.kind = AggKind::kSum; break;
+          case WindowFunc::kCount:
+            agg.kind = win.input_column < 0 ? AggKind::kCountStar : AggKind::kCount;
+            break;
+          case WindowFunc::kAvg: agg.kind = AggKind::kAvg; break;
+          case WindowFunc::kMin: agg.kind = AggKind::kMin; break;
+          case WindowFunc::kMax: agg.kind = AggKind::kMax; break;
+          default: break;
+        }
+        if (!has_order) {
+          // Whole-partition frame.
+          AggState st;
+          for (size_t r = 0; r < n; ++r) {
+            if (agg.kind == AggKind::kCountStar) {
+              st.UpdateCountStar(1);
+            } else {
+              st.Update(agg, partition.columns[agg.input_column], r, 1);
+            }
+          }
+          Value v = st.Final(agg);
+          for (size_t r = 0; r < n; ++r) out_col.Append(v);
+        } else {
+          // Running frame with peers: recompute at each peer boundary.
+          AggState st;
+          std::vector<Value> row_values(n);
+          size_t peer_start = 0;
+          for (size_t r = 0; r < n; ++r) {
+            if (agg.kind == AggKind::kCountStar) {
+              st.UpdateCountStar(1);
+            } else {
+              st.Update(agg, partition.columns[agg.input_column], r, 1);
+            }
+            bool last_peer =
+                r + 1 == n || CompareRowsDirected(partition, r, partition, r + 1,
+                                                  spec_.order_keys) != 0;
+            if (last_peer) {
+              Value v = st.Final(agg);
+              for (size_t p = peer_start; p <= r; ++p) row_values[p] = v;
+              peer_start = r + 1;
+            }
+          }
+          for (size_t r = 0; r < n; ++r) out_col.Append(row_values[r]);
+        }
+        break;
+      }
+    }
+  }
+}
+
+Status AnalyticOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  STRATICA_RETURN_NOT_OK(child_->Open(ctx));
+  results_ = RowBlock(OutputTypes());
+  cursor_ = 0;
+
+  // Materialize and process partition by partition.
+  RowBlock partition(child_->OutputTypes());
+  std::vector<uint32_t> part_cols = spec_.partition_columns;
+  for (;;) {
+    RowBlock block;
+    STRATICA_RETURN_NOT_OK(child_->GetNext(&block));
+    if (block.NumRows() == 0) break;
+    block.DecodeAll();
+    for (size_t r = 0; r < block.NumRows(); ++r) {
+      bool boundary =
+          partition.NumRows() > 0 &&
+          !GroupKeyEquals(partition, part_cols, partition.NumRows() - 1, block,
+                          part_cols, r);
+      if (boundary) {
+        ComputePartition(partition, &results_);
+        partition = RowBlock(child_->OutputTypes());
+      }
+      partition.AppendRowFrom(block, r);
+    }
+  }
+  if (partition.NumRows() > 0) ComputePartition(partition, &results_);
+  return Status::OK();
+}
+
+Status AnalyticOperator::GetNext(RowBlock* out) {
+  *out = RowBlock(OutputTypes());
+  size_t n = results_.NumRows();
+  if (cursor_ >= n) return Status::OK();
+  size_t take = std::min(ctx_->vector_size, n - cursor_);
+  for (size_t r = 0; r < take; ++r) out->AppendRowFrom(results_, cursor_ + r);
+  cursor_ += take;
+  return Status::OK();
+}
+
+std::string AnalyticOperator::DebugString() const {
+  std::string s = "Analytic(";
+  for (size_t i = 0; i < spec_.windows.size(); ++i) {
+    if (i) s += ", ";
+    s += WindowFuncName(spec_.windows[i].func);
+  }
+  s += " OVER (PARTITION BY " + std::to_string(spec_.partition_columns.size()) +
+       " cols)";
+  return s + ")";
+}
+
+}  // namespace stratica

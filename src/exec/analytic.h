@@ -1,0 +1,71 @@
+// Analytic operator (Section 6.1 #6): SQL-99 windowed aggregates.
+//
+// Input must arrive sorted by (partition columns, order keys); the planner
+// inserts a Sort below when the projection sort order doesn't already
+// satisfy it. With an ORDER BY, aggregate functions use the running frame
+// UNBOUNDED PRECEDING .. CURRENT ROW (peers included); without one they
+// cover the whole partition.
+#ifndef STRATICA_EXEC_ANALYTIC_H_
+#define STRATICA_EXEC_ANALYTIC_H_
+
+#include "exec/agg.h"
+#include "exec/operator.h"
+#include "exec/simple_ops.h"
+
+namespace stratica {
+
+enum class WindowFunc : uint8_t {
+  kRowNumber,
+  kRank,
+  kDenseRank,
+  kSum,
+  kCount,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+const char* WindowFuncName(WindowFunc f);
+
+struct WindowSpec {
+  WindowFunc func = WindowFunc::kRowNumber;
+  int input_column = -1;  ///< unused for ranking functions
+  std::string output_name;
+
+  TypeId OutputType(const std::vector<TypeId>& child_types) const;
+};
+
+/// All windows of one AnalyticOperator share partition/order clauses.
+struct AnalyticSpec {
+  std::vector<uint32_t> partition_columns;
+  std::vector<SortKey> order_keys;
+  std::vector<WindowSpec> windows;
+};
+
+class AnalyticOperator : public Operator {
+ public:
+  AnalyticOperator(OperatorPtr child, AnalyticSpec spec)
+      : child_(std::move(child)), spec_(std::move(spec)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Status GetNext(RowBlock* out) override;
+  Status Close() override { return child_->Close(); }
+  std::vector<TypeId> OutputTypes() const override;
+  std::vector<std::string> OutputNames() const override;
+  std::string DebugString() const override;
+  std::vector<Operator*> Children() const override { return {child_.get()}; }
+
+ private:
+  /// Compute all window columns for one fully materialized partition.
+  void ComputePartition(const RowBlock& partition, RowBlock* out);
+
+  OperatorPtr child_;
+  AnalyticSpec spec_;
+  ExecContext* ctx_ = nullptr;
+  RowBlock results_;  // fully computed output rows
+  size_t cursor_ = 0;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_EXEC_ANALYTIC_H_

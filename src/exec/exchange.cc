@@ -1,0 +1,151 @@
+#include "exec/exchange.h"
+
+#include "exec/group_by.h"
+
+namespace stratica {
+
+ExchangeState::ExchangeState(std::vector<OperatorPtr> producers, size_t num_consumers,
+                             std::vector<uint32_t> partition_columns,
+                             bool count_network)
+    : producers_(std::move(producers)),
+      partition_columns_(std::move(partition_columns)),
+      count_network_(count_network),
+      queues_(num_consumers) {}
+
+ExchangeState::~ExchangeState() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ExchangeState::Start(ExecContext* ctx) {
+  std::unique_lock lock(mu_);
+  if (started_) return;
+  started_ = true;
+  producers_running_ = producers_.size();
+  if (producers_.empty()) {
+    CloseAll();
+    return;
+  }
+  for (size_t p = 0; p < producers_.size(); ++p) {
+    threads_.emplace_back([this, p, ctx] { ProducerLoop(p, ctx); });
+  }
+}
+
+bool ExchangeState::Push(size_t c, RowBlock block) {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock,
+           [&] { return cancelled_ || queues_[c].blocks.size() < kQueueCapacity; });
+  if (cancelled_) return false;
+  queues_[c].blocks.push_back(std::move(block));
+  cv_.notify_all();
+  return true;
+}
+
+void ExchangeState::ConsumerClosed() {
+  std::unique_lock lock(mu_);
+  if (++consumers_closed_ >= queues_.size()) {
+    cancelled_ = true;
+    cv_.notify_all();
+  }
+}
+
+void ExchangeState::CloseAll() {
+  for (auto& q : queues_) q.closed = true;
+  cv_.notify_all();
+}
+
+void ExchangeState::ProducerLoop(size_t p, ExecContext* ctx) {
+  Operator* op = producers_[p].get();
+  Status st = op->Open(ctx);
+  while (st.ok()) {
+    RowBlock block;
+    st = op->GetNext(&block);
+    if (!st.ok() || block.NumRows() == 0) break;
+    if (count_network_ && ctx->stats) {
+      ctx->stats->exchange_bytes.fetch_add(block.MemoryBytes());
+    }
+    bool alive = true;
+    if (partition_columns_.empty() || queues_.size() == 1) {
+      alive = Push(p % queues_.size(), std::move(block));
+    } else {
+      block.DecodeAll();
+      std::vector<RowBlock> parts;
+      parts.reserve(queues_.size());
+      std::vector<TypeId> types;
+      for (const auto& c : block.columns) types.push_back(c.type);
+      for (size_t q = 0; q < queues_.size(); ++q) parts.emplace_back(types);
+      for (size_t r = 0; r < block.NumRows(); ++r) {
+        uint64_t h = HashGroupKey(block, partition_columns_, r);
+        parts[h % queues_.size()].AppendRowFrom(block, r);
+      }
+      for (size_t q = 0; q < queues_.size() && alive; ++q) {
+        if (parts[q].NumRows() > 0) alive = Push(q, std::move(parts[q]));
+      }
+    }
+    if (!alive) break;  // exchange cancelled by consumers
+  }
+  if (st.ok()) st = op->Close();
+  std::unique_lock lock(mu_);
+  if (!st.ok() && error_.ok()) error_ = st;
+  if (--producers_running_ == 0) CloseAll();
+}
+
+Status ExchangeState::Pop(size_t c, RowBlock* out) {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return !queues_[c].blocks.empty() || queues_[c].closed; });
+  if (!error_.ok()) return error_;
+  if (queues_[c].blocks.empty()) {
+    out->Clear();
+    out->columns.clear();
+    return Status::OK();  // EOF: empty block with no columns
+  }
+  *out = std::move(queues_[c].blocks.front());
+  queues_[c].blocks.pop_front();
+  cv_.notify_all();
+  return Status::OK();
+}
+
+std::string ExchangeConsumerOperator::DebugString() const {
+  return label_ + "(" + std::to_string(state_->producers().size()) + " pipelines -> " +
+         std::to_string(state_->num_consumers()) + ")";
+}
+
+std::vector<Operator*> ExchangeConsumerOperator::Children() const {
+  // Only the first consumer lists the producers, so EXPLAIN prints each
+  // producer pipeline once.
+  std::vector<Operator*> kids;
+  if (index_ == 0) {
+    for (const auto& p : state_->producers()) kids.push_back(p.get());
+  }
+  return kids;
+}
+
+OperatorPtr MakeUnionExchange(std::vector<OperatorPtr> producers, std::string label,
+                              bool count_network) {
+  std::vector<TypeId> types = producers.front()->OutputTypes();
+  std::vector<std::string> names = producers.front()->OutputNames();
+  auto state = std::make_shared<ExchangeState>(std::move(producers), 1,
+                                               std::vector<uint32_t>{}, count_network);
+  return std::make_unique<ExchangeConsumerOperator>(state, 0, types, names,
+                                                    std::move(label));
+}
+
+std::vector<OperatorPtr> MakeRepartitionExchange(std::vector<OperatorPtr> producers,
+                                                 size_t num_consumers,
+                                                 std::vector<uint32_t> partition_columns,
+                                                 std::string label,
+                                                 bool count_network) {
+  std::vector<TypeId> types = producers.front()->OutputTypes();
+  std::vector<std::string> names = producers.front()->OutputNames();
+  auto state = std::make_shared<ExchangeState>(
+      std::move(producers), num_consumers, std::move(partition_columns), count_network);
+  std::vector<OperatorPtr> consumers;
+  for (size_t c = 0; c < num_consumers; ++c) {
+    consumers.push_back(std::make_unique<ExchangeConsumerOperator>(
+        state, c, types, names, label));
+  }
+  return consumers;
+}
+
+}  // namespace stratica

@@ -1,0 +1,121 @@
+// Exchange infrastructure (Section 6.1): one queue-based core implements
+//   StorageUnion  — dispatches worker threads over ROS regions of one node,
+//                   optionally resegmenting rows so parallel GroupBys above
+//                   compute complete results (Figure 3);
+//   ParallelUnion — merges parallel pipelines' outputs;
+//   Send/Recv     — ships tuples between (simulated) nodes, either
+//                   broadcast or segmented by an expression, with traffic
+//                   accounted in ExecStats::exchange_bytes.
+#ifndef STRATICA_EXEC_EXCHANGE_H_
+#define STRATICA_EXEC_EXCHANGE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "exec/operator.h"
+
+namespace stratica {
+
+/// \brief Shared state of one exchange: P producer pipelines hash-partition
+/// their rows into C consumer queues.
+class ExchangeState {
+ public:
+  /// `partition_columns` empty means blocks pass through whole to queue
+  /// (producer_index % consumers) — the union case.
+  ExchangeState(std::vector<OperatorPtr> producers, size_t num_consumers,
+                std::vector<uint32_t> partition_columns, bool count_network);
+
+  ~ExchangeState();
+
+  /// Launch producer threads (idempotent; first consumer Open calls this).
+  void Start(ExecContext* ctx);
+
+  /// Pop the next block for consumer `c`; empty block = EOF.
+  Status Pop(size_t c, RowBlock* out);
+
+  /// Called by consumer Close; when every consumer has closed, producers
+  /// are cancelled so abandoned pipelines (e.g. under a LIMIT) terminate.
+  void ConsumerClosed();
+
+  size_t num_consumers() const { return queues_.size(); }
+  const std::vector<OperatorPtr>& producers() const { return producers_; }
+
+ private:
+  struct Queue {
+    std::deque<RowBlock> blocks;
+    bool closed = false;
+  };
+
+  void ProducerLoop(size_t p, ExecContext* ctx);
+  /// Returns false when the exchange was cancelled.
+  bool Push(size_t c, RowBlock block);
+  void CloseAll();
+
+  std::vector<OperatorPtr> producers_;
+  std::vector<uint32_t> partition_columns_;
+  bool count_network_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Queue> queues_;
+  size_t producers_running_ = 0;
+  size_t consumers_closed_ = 0;
+  bool started_ = false;
+  bool cancelled_ = false;
+  Status error_;
+  std::vector<std::thread> threads_;
+  static constexpr size_t kQueueCapacity = 16;
+};
+
+/// \brief Consumer endpoint: reads one partition of an exchange.
+class ExchangeConsumerOperator : public Operator {
+ public:
+  ExchangeConsumerOperator(std::shared_ptr<ExchangeState> state, size_t index,
+                           std::vector<TypeId> types, std::vector<std::string> names,
+                           std::string label)
+      : state_(std::move(state)),
+        index_(index),
+        types_(std::move(types)),
+        names_(std::move(names)),
+        label_(std::move(label)) {}
+
+  Status Open(ExecContext* ctx) override {
+    state_->Start(ctx);
+    return Status::OK();
+  }
+  Status GetNext(RowBlock* out) override { return state_->Pop(index_, out); }
+  Status Close() override {
+    state_->ConsumerClosed();
+    return Status::OK();
+  }
+  std::vector<TypeId> OutputTypes() const override { return types_; }
+  std::vector<std::string> OutputNames() const override { return names_; }
+  std::string DebugString() const override;
+  std::vector<Operator*> Children() const override;
+
+ private:
+  std::shared_ptr<ExchangeState> state_;
+  size_t index_;
+  std::vector<TypeId> types_;
+  std::vector<std::string> names_;
+  std::string label_;
+};
+
+/// Build a union-all exchange (ParallelUnion / Recv): many producers, one
+/// consumer, no resegmentation.
+OperatorPtr MakeUnionExchange(std::vector<OperatorPtr> producers, std::string label,
+                              bool count_network);
+
+/// Build a resegmenting exchange: `producers` feed `num_consumers` queues
+/// partitioned by hash of `partition_columns`. Returns the consumers.
+std::vector<OperatorPtr> MakeRepartitionExchange(std::vector<OperatorPtr> producers,
+                                                 size_t num_consumers,
+                                                 std::vector<uint32_t> partition_columns,
+                                                 std::string label, bool count_network);
+
+}  // namespace stratica
+
+#endif  // STRATICA_EXEC_EXCHANGE_H_

@@ -1,0 +1,512 @@
+#include "exec/group_by.h"
+
+#include "common/hash.h"
+
+namespace stratica {
+
+uint64_t HashGroupKey(const RowBlock& block, const std::vector<uint32_t>& cols,
+                      size_t row) {
+  uint64_t h = 0x6b7d;
+  for (uint32_t c : cols) h = HashCombine(h, block.columns[c].HashEntry(row));
+  return h;
+}
+
+bool GroupKeyEquals(const RowBlock& a, const std::vector<uint32_t>& cols_a, size_t ra,
+                    const RowBlock& b, const std::vector<uint32_t>& cols_b, size_t rb) {
+  for (size_t i = 0; i < cols_a.size(); ++i) {
+    const ColumnVector& ca = a.columns[cols_a[i]];
+    const ColumnVector& cb = b.columns[cols_b[i]];
+    if (ca.IsNull(ra) != cb.IsNull(rb)) return false;
+    if (!ca.IsNull(ra) && ColumnVector::CompareEntries(ca, ra, cb, rb) != 0)
+      return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// HashGroupByOperator
+
+std::vector<TypeId> HashGroupByOperator::GroupTypes() const {
+  std::vector<TypeId> t;
+  auto child_types = child_->OutputTypes();
+  for (uint32_t c : spec_.group_columns) t.push_back(child_types[c]);
+  return t;
+}
+
+std::vector<TypeId> HashGroupByOperator::OutputTypes() const {
+  return GroupByOutputTypes(GroupTypes(), spec_.aggs, spec_.phase);
+}
+
+Status HashGroupByOperator::ConsumeInto(Table* table, const RowBlock& block,
+                                        size_t row) {
+  uint64_t h = HashGroupKey(block, spec_.group_columns, row);
+  uint32_t group = UINT32_MAX;
+  auto [lo, hi] = table->index.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (GroupKeyEquals(table->keys, identity_cols_, it->second, block,
+                       spec_.group_columns, row)) {
+      group = it->second;
+      break;
+    }
+  }
+  if (group == UINT32_MAX) {
+    group = static_cast<uint32_t>(table->states.size());
+    for (size_t i = 0; i < spec_.group_columns.size(); ++i) {
+      table->keys.columns[i].AppendFrom(block.columns[spec_.group_columns[i]], row);
+    }
+    table->states.emplace_back(spec_.aggs.size());
+    table->index.emplace(h, group);
+    table->bytes += 64 + 48 * spec_.aggs.size();
+  }
+  auto& states = table->states[group];
+  for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+    const AggSpec& agg = spec_.aggs[a];
+    if (spec_.phase == AggPhase::kCombine) {
+      // Input columns: group columns first, then each agg's partial columns.
+      size_t first = spec_.group_columns.size();
+      for (size_t p = 0; p < a; ++p) first += spec_.aggs[p].PartialTypes().size();
+      states[a].UpdatePartial(agg, block, first, row);
+    } else if (agg.kind == AggKind::kCountStar) {
+      states[a].UpdateCountStar(1);
+    } else {
+      size_t before = states[a].MemoryBytes();
+      states[a].Update(agg, block.columns[agg.input_column], row, 1);
+      table->bytes += states[a].MemoryBytes() - before;
+    }
+  }
+  return Status::OK();
+}
+
+Status HashGroupByOperator::Consume(const RowBlock& block) {
+  for (size_t r = 0; r < block.NumRows(); ++r) {
+    STRATICA_RETURN_NOT_OK(ConsumeInto(&table_, block, r));
+  }
+  // Externalize when over budget: flush groups (key + serialized states) to
+  // grace partitions by key hash.
+  if (ctx_->budget && table_.bytes > 0 &&
+      static_cast<int64_t>(table_.bytes) > ctx_->budget->available()) {
+    STRATICA_RETURN_NOT_OK(SpillTable());
+  }
+  return Status::OK();
+}
+
+Status HashGroupByOperator::SpillTable() {
+  if (partitions_.empty()) {
+    for (size_t p = 0; p < kSpillPartitions; ++p) {
+      partitions_.push_back(
+          std::make_unique<SpillWriter>(ctx_->fs, ctx_->NextSpillPath()));
+    }
+  }
+  // Spill record: group key columns + one string column per agg state.
+  std::vector<TypeId> rec_types = GroupTypes();
+  for (size_t a = 0; a < spec_.aggs.size(); ++a) rec_types.push_back(TypeId::kString);
+  std::vector<RowBlock> per_part;
+  per_part.reserve(kSpillPartitions);
+  for (size_t p = 0; p < kSpillPartitions; ++p) per_part.emplace_back(rec_types);
+  std::vector<uint32_t> key_cols(spec_.group_columns.size());
+  for (size_t i = 0; i < key_cols.size(); ++i) key_cols[i] = static_cast<uint32_t>(i);
+  for (size_t g = 0; g < table_.states.size(); ++g) {
+    uint64_t h = HashGroupKey(table_.keys, key_cols, g);
+    RowBlock& dst = per_part[(h >> 32) % kSpillPartitions];
+    for (size_t i = 0; i < key_cols.size(); ++i)
+      dst.columns[i].AppendFrom(table_.keys.columns[i], g);
+    for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+      dst.columns[key_cols.size() + a].strings.push_back(
+          table_.states[g][a].Serialize(spec_.aggs[a]));
+    }
+  }
+  for (size_t p = 0; p < kSpillPartitions; ++p) {
+    if (per_part[p].NumRows() == 0) continue;
+    STRATICA_RETURN_NOT_OK(partitions_[p]->Append(per_part[p]));
+    if (ctx_->stats) ctx_->stats->rows_spilled.fetch_add(per_part[p].NumRows());
+  }
+  table_ = Table();
+  table_.keys = RowBlock(GroupTypes());
+  return Status::OK();
+}
+
+Status HashGroupByOperator::EmitTable(const Table& table) {
+  RowBlock out(OutputTypes());
+  for (size_t g = 0; g < table.states.size(); ++g) {
+    for (size_t i = 0; i < spec_.group_columns.size(); ++i)
+      out.columns[i].AppendFrom(table.keys.columns[i], g);
+    size_t col = spec_.group_columns.size();
+    for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+      if (spec_.phase == AggPhase::kPartial) {
+        table.states[g][a].EmitPartial(spec_.aggs[a], &out.columns, col);
+        col += spec_.aggs[a].PartialTypes().size();
+      } else {
+        out.columns[col].Append(table.states[g][a].Final(spec_.aggs[a]));
+        ++col;
+      }
+    }
+    if (out.NumRows() >= ctx_->vector_size) {
+      output_.push_back(std::move(out));
+      out = RowBlock(OutputTypes());
+    }
+  }
+  if (out.NumRows() > 0) output_.push_back(std::move(out));
+  return Status::OK();
+}
+
+Status HashGroupByOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  identity_cols_.resize(spec_.group_columns.size());
+  for (size_t i = 0; i < identity_cols_.size(); ++i)
+    identity_cols_[i] = static_cast<uint32_t>(i);
+  STRATICA_RETURN_NOT_OK(child_->Open(ctx));
+  table_ = Table();
+  table_.keys = RowBlock(GroupTypes());
+  output_.clear();
+  emitted_ = false;
+  partitions_.clear();
+
+  for (;;) {
+    RowBlock block;
+    STRATICA_RETURN_NOT_OK(child_->GetNext(&block));
+    if (block.NumRows() == 0) break;
+    block.DecodeAll();
+    STRATICA_RETURN_NOT_OK(Consume(block));
+  }
+
+  if (partitions_.empty()) {
+    STRATICA_RETURN_NOT_OK(EmitTable(table_));
+  } else {
+    // Flush the tail, then merge each grace partition in memory.
+    STRATICA_RETURN_NOT_OK(SpillTable());
+    std::vector<TypeId> rec_types = GroupTypes();
+    for (size_t a = 0; a < spec_.aggs.size(); ++a) rec_types.push_back(TypeId::kString);
+    std::vector<uint32_t> key_cols(spec_.group_columns.size());
+    for (size_t i = 0; i < key_cols.size(); ++i) key_cols[i] = static_cast<uint32_t>(i);
+    for (auto& part : partitions_) {
+      STRATICA_RETURN_NOT_OK(part->Finish());
+      SpillReader reader(ctx_->fs, part->path(), rec_types);
+      STRATICA_RETURN_NOT_OK(reader.Open());
+      Table merged;
+      merged.keys = RowBlock(GroupTypes());
+      for (;;) {
+        RowBlock rec;
+        STRATICA_RETURN_NOT_OK(reader.Next(&rec));
+        if (rec.NumRows() == 0) break;
+        for (size_t r = 0; r < rec.NumRows(); ++r) {
+          uint64_t h = HashGroupKey(rec, key_cols, r);
+          uint32_t group = UINT32_MAX;
+          auto [lo, hi] = merged.index.equal_range(h);
+          for (auto it = lo; it != hi; ++it) {
+            if (GroupKeyEquals(merged.keys, key_cols, it->second, rec, key_cols, r)) {
+              group = it->second;
+              break;
+            }
+          }
+          if (group == UINT32_MAX) {
+            group = static_cast<uint32_t>(merged.states.size());
+            for (size_t i = 0; i < key_cols.size(); ++i)
+              merged.keys.columns[i].AppendFrom(rec.columns[i], r);
+            merged.states.emplace_back(spec_.aggs.size());
+            merged.index.emplace(h, group);
+          }
+          for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+            STRATICA_ASSIGN_OR_RETURN(
+                AggState st,
+                AggState::Parse(spec_.aggs[a],
+                                rec.columns[key_cols.size() + a].strings[r]));
+            merged.states[group][a].Merge(spec_.aggs[a], st);
+          }
+        }
+      }
+      STRATICA_RETURN_NOT_OK(EmitTable(merged));
+      (void)ctx_->fs->Delete(part->path());
+    }
+  }
+  // SQL: aggregation without GROUP BY yields exactly one row even over
+  // empty input (COUNT(*) = 0, SUM = NULL, ...).
+  if (spec_.group_columns.empty() && output_.empty() &&
+      spec_.phase != AggPhase::kPartial) {
+    Table empty_group;
+    empty_group.keys = RowBlock(GroupTypes());
+    empty_group.states.emplace_back(spec_.aggs.size());
+    // A single group with no key columns: EmitTable iterates keys rows, so
+    // emit manually.
+    RowBlock out(OutputTypes());
+    size_t col = 0;
+    for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+      out.columns[col].Append(empty_group.states[0][a].Final(spec_.aggs[a]));
+      ++col;
+    }
+    output_.push_back(std::move(out));
+  }
+  table_ = Table();
+  return Status::OK();
+}
+
+Status HashGroupByOperator::GetNext(RowBlock* out) {
+  *out = RowBlock(OutputTypes());
+  if (output_.empty()) return Status::OK();
+  *out = std::move(output_.front());
+  output_.pop_front();
+  return Status::OK();
+}
+
+std::string HashGroupByOperator::DebugString() const {
+  std::string s = "GroupByHash(keys: " + std::to_string(spec_.group_columns.size());
+  s += ", aggs:";
+  for (const auto& a : spec_.aggs) s += std::string(" ") + AggKindName(a.kind);
+  switch (spec_.phase) {
+    case AggPhase::kSingle: break;
+    case AggPhase::kPartial: s += ", partial"; break;
+    case AggPhase::kCombine: s += ", combine"; break;
+  }
+  return s + ")";
+}
+
+// ---------------------------------------------------------------------------
+// PipelinedGroupByOperator
+
+std::vector<TypeId> PipelinedGroupByOperator::OutputTypes() const {
+  std::vector<TypeId> group_types;
+  auto child_types = child_->OutputTypes();
+  for (uint32_t c : spec_.group_columns) group_types.push_back(child_types[c]);
+  return GroupByOutputTypes(group_types, spec_.aggs, spec_.phase);
+}
+
+Status PipelinedGroupByOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  identity_cols_.resize(spec_.group_columns.size());
+  for (size_t i = 0; i < identity_cols_.size(); ++i)
+    identity_cols_[i] = static_cast<uint32_t>(i);
+  has_current_ = false;
+  input_done_ = false;
+  runs_consumed_ = 0;
+  std::vector<TypeId> group_types;
+  auto child_types = child_->OutputTypes();
+  for (uint32_t c : spec_.group_columns) group_types.push_back(child_types[c]);
+  current_key_ = RowBlock(group_types);
+  return child_->Open(ctx);
+}
+
+void PipelinedGroupByOperator::EmitCurrent(RowBlock* out) {
+  for (size_t i = 0; i < spec_.group_columns.size(); ++i)
+    out->columns[i].AppendFrom(current_key_.columns[i], 0);
+  size_t col = spec_.group_columns.size();
+  for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+    if (spec_.phase == AggPhase::kPartial) {
+      current_states_[a].EmitPartial(spec_.aggs[a], &out->columns, col);
+      col += spec_.aggs[a].PartialTypes().size();
+    } else {
+      out->columns[col].Append(current_states_[a].Final(spec_.aggs[a]));
+      ++col;
+    }
+  }
+}
+
+Status PipelinedGroupByOperator::GetNext(RowBlock* out) {
+  *out = RowBlock(OutputTypes());
+  while (!input_done_ && out->NumRows() < ctx_->vector_size) {
+    RowBlock block;
+    STRATICA_RETURN_NOT_OK(child_->GetNext(&block));
+    if (block.NumRows() == 0) {
+      input_done_ = true;
+      break;
+    }
+    // RLE fast path: single RLE group column whose runs define the group
+    // boundaries, aggregates restricted to COUNT(*) or functions of the
+    // same column (the classic sorted low-cardinality GROUP BY).
+    bool rle_ok = spec_.group_columns.size() == 1 &&
+                  block.columns[spec_.group_columns[0]].IsRle();
+    if (rle_ok) {
+      for (const auto& agg : spec_.aggs) {
+        rle_ok &= agg.kind == AggKind::kCountStar ||
+                  agg.input_column == static_cast<int>(spec_.group_columns[0]);
+      }
+    }
+    if (rle_ok) {
+      const ColumnVector& gc = block.columns[spec_.group_columns[0]];
+      for (size_t p = 0; p < gc.PhysicalSize(); ++p) {
+        uint32_t run = gc.runs[p];
+        ++runs_consumed_;
+        bool same = has_current_ &&
+                    ColumnVector::CompareEntries(gc, p, current_key_.columns[0], 0) == 0 &&
+                    gc.IsNull(p) == current_key_.columns[0].IsNull(0);
+        if (!same) {
+          if (has_current_) EmitCurrent(out);
+          current_key_ = RowBlock({gc.type});
+          current_key_.columns[0].AppendFrom(gc, p);
+          current_states_.assign(spec_.aggs.size(), AggState());
+          has_current_ = true;
+        }
+        for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+          if (spec_.aggs[a].kind == AggKind::kCountStar) {
+            current_states_[a].UpdateCountStar(run);
+          } else {
+            current_states_[a].Update(spec_.aggs[a], gc, p, run);
+          }
+        }
+      }
+      continue;
+    }
+    block.DecodeAll();
+    for (size_t r = 0; r < block.NumRows(); ++r) {
+      bool same = has_current_ && GroupKeyEquals(current_key_, identity_cols_, 0,
+                                                 block, spec_.group_columns, r);
+      if (!same) {
+        if (has_current_) EmitCurrent(out);
+        current_key_.Clear();
+        for (size_t i = 0; i < spec_.group_columns.size(); ++i)
+          current_key_.columns[i].AppendFrom(block.columns[spec_.group_columns[i]], r);
+        current_states_.assign(spec_.aggs.size(), AggState());
+        has_current_ = true;
+      }
+      for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+        const AggSpec& agg = spec_.aggs[a];
+        if (spec_.phase == AggPhase::kCombine) {
+          size_t first = spec_.group_columns.size();
+          for (size_t p = 0; p < a; ++p) first += spec_.aggs[p].PartialTypes().size();
+          current_states_[a].UpdatePartial(agg, block, first, r);
+        } else if (agg.kind == AggKind::kCountStar) {
+          current_states_[a].UpdateCountStar(1);
+        } else {
+          current_states_[a].Update(agg, block.columns[agg.input_column], r, 1);
+        }
+      }
+    }
+  }
+  if (input_done_ && has_current_) {
+    EmitCurrent(out);
+    has_current_ = false;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PrepassGroupByOperator
+
+std::vector<TypeId> PrepassGroupByOperator::OutputTypes() const {
+  std::vector<TypeId> group_types;
+  auto child_types = child_->OutputTypes();
+  for (uint32_t c : spec_.group_columns) group_types.push_back(child_types[c]);
+  return GroupByOutputTypes(group_types, spec_.aggs, AggPhase::kPartial);
+}
+
+Status PrepassGroupByOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  identity_cols_.resize(spec_.group_columns.size());
+  for (size_t i = 0; i < identity_cols_.size(); ++i)
+    identity_cols_[i] = static_cast<uint32_t>(i);
+  std::vector<TypeId> group_types;
+  auto child_types = child_->OutputTypes();
+  for (uint32_t c : spec_.group_columns) group_types.push_back(child_types[c]);
+  keys_ = RowBlock(group_types);
+  states_.clear();
+  index_.clear();
+  output_.clear();
+  input_done_ = false;
+  rows_in_ = rows_out_ = flushes_ = 0;
+  disabled_ = false;
+  return child_->Open(ctx);
+}
+
+Status PrepassGroupByOperator::Flush() {
+  if (keys_.NumRows() == 0) return Status::OK();
+  RowBlock out(OutputTypes());
+  for (size_t g = 0; g < keys_.NumRows(); ++g) {
+    for (size_t i = 0; i < spec_.group_columns.size(); ++i)
+      out.columns[i].AppendFrom(keys_.columns[i], g);
+    size_t col = spec_.group_columns.size();
+    for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+      states_[g][a].EmitPartial(spec_.aggs[a], &out.columns, col);
+      col += spec_.aggs[a].PartialTypes().size();
+    }
+  }
+  rows_out_ += out.NumRows();
+  output_.push_back(std::move(out));
+  keys_.Clear();
+  states_.clear();
+  index_.clear();
+  ++flushes_;
+  // Runtime shutoff check: a prepass that emits nearly as many rows as it
+  // consumes is pure overhead.
+  if (!disabled_ && flushes_ >= 3 && rows_out_ * 10 > rows_in_ * 9) {
+    disabled_ = true;
+    if (ctx_->stats) ctx_->stats->prepass_disabled.fetch_add(1);
+  }
+  return Status::OK();
+}
+
+Status PrepassGroupByOperator::GetNext(RowBlock* out) {
+  *out = RowBlock(OutputTypes());
+  while (output_.empty() && !input_done_) {
+    RowBlock block;
+    STRATICA_RETURN_NOT_OK(child_->GetNext(&block));
+    if (block.NumRows() == 0) {
+      input_done_ = true;
+      STRATICA_RETURN_NOT_OK(Flush());
+      break;
+    }
+    block.DecodeAll();
+    rows_in_ += block.NumRows();
+    if (disabled_) {
+      // Passthrough: convert rows 1:1 into partial form.
+      RowBlock pass(OutputTypes());
+      for (size_t r = 0; r < block.NumRows(); ++r) {
+        for (size_t i = 0; i < spec_.group_columns.size(); ++i)
+          pass.columns[i].AppendFrom(block.columns[spec_.group_columns[i]], r);
+        size_t col = spec_.group_columns.size();
+        for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+          AggState st;
+          if (spec_.aggs[a].kind == AggKind::kCountStar) {
+            st.UpdateCountStar(1);
+          } else {
+            st.Update(spec_.aggs[a], block.columns[spec_.aggs[a].input_column], r, 1);
+          }
+          st.EmitPartial(spec_.aggs[a], &pass.columns, col);
+          col += spec_.aggs[a].PartialTypes().size();
+        }
+      }
+      rows_out_ += pass.NumRows();
+      output_.push_back(std::move(pass));
+      break;
+    }
+    for (size_t r = 0; r < block.NumRows(); ++r) {
+      uint64_t h = HashGroupKey(block, spec_.group_columns, r);
+      uint32_t group = UINT32_MAX;
+      auto [lo, hi] = index_.equal_range(h);
+      for (auto it = lo; it != hi; ++it) {
+        if (GroupKeyEquals(keys_, identity_cols_, it->second, block, spec_.group_columns, r)) {
+          group = it->second;
+          break;
+        }
+      }
+      if (group == UINT32_MAX) {
+        if (keys_.NumRows() >= capacity_) {
+          // Table full: emit current contents and start afresh (§6.1).
+          STRATICA_RETURN_NOT_OK(Flush());
+        }
+        group = static_cast<uint32_t>(keys_.NumRows());
+        for (size_t i = 0; i < spec_.group_columns.size(); ++i)
+          keys_.columns[i].AppendFrom(block.columns[spec_.group_columns[i]], r);
+        states_.emplace_back(spec_.aggs.size());
+        index_.emplace(h, group);
+      }
+      for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+        if (spec_.aggs[a].kind == AggKind::kCountStar) {
+          states_[group][a].UpdateCountStar(1);
+        } else {
+          states_[group][a].Update(spec_.aggs[a],
+                                   block.columns[spec_.aggs[a].input_column], r, 1);
+        }
+      }
+    }
+  }
+  if (!output_.empty()) {
+    *out = std::move(output_.front());
+    output_.pop_front();
+  }
+  return Status::OK();
+}
+
+std::string PrepassGroupByOperator::DebugString() const {
+  return "GroupByPrepass(capacity: " + std::to_string(capacity_) +
+         (disabled_ ? ", disabled at runtime)" : ")");
+}
+
+}  // namespace stratica

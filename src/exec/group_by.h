@@ -1,0 +1,149 @@
+// GroupBy operators (Section 6.1 #2): several algorithms chosen by the
+// optimizer for maximal performance —
+//   HashGroupBy      general case; externalizes to grace partitions when
+//                    over its memory budget.
+//   PipelinedGroupBy one-pass aggregation over input sorted on the group
+//                    keys, able to consume RLE runs without expansion
+//                    ("keep the incoming data encoded").
+//   PrepassGroupBy   L1-cache-sized hash table placed right above scans to
+//                    cheaply reduce data early; emits partials when full
+//                    and disables itself at runtime when it stops reducing.
+#ifndef STRATICA_EXEC_GROUP_BY_H_
+#define STRATICA_EXEC_GROUP_BY_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "exec/agg.h"
+#include "exec/operator.h"
+#include "exec/spill.h"
+
+namespace stratica {
+
+struct GroupBySpec {
+  std::vector<uint32_t> group_columns;  ///< child output column indexes
+  std::vector<AggSpec> aggs;
+  AggPhase phase = AggPhase::kSingle;
+  std::vector<std::string> output_names;  ///< group names then agg names
+};
+
+/// \brief Hash aggregation with grace-partition externalization.
+class HashGroupByOperator : public Operator {
+ public:
+  HashGroupByOperator(OperatorPtr child, GroupBySpec spec)
+      : child_(std::move(child)), spec_(std::move(spec)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Status GetNext(RowBlock* out) override;
+  Status Close() override { return child_->Close(); }
+  std::vector<TypeId> OutputTypes() const override;
+  std::vector<std::string> OutputNames() const override { return spec_.output_names; }
+  std::string DebugString() const override;
+  std::vector<Operator*> Children() const override { return {child_.get()}; }
+
+ private:
+  struct Table {
+    RowBlock keys;                         // one row per group
+    std::vector<std::vector<AggState>> states;  // [group][agg]
+    std::unordered_multimap<uint64_t, uint32_t> index;
+    size_t bytes = 0;
+  };
+
+  Status Consume(const RowBlock& block);
+  Status ConsumeInto(Table* table, const RowBlock& block, size_t row);
+  Status SpillTable();
+  Status EmitTable(const Table& table);
+  std::vector<TypeId> GroupTypes() const;
+
+  OperatorPtr child_;
+  GroupBySpec spec_;
+  ExecContext* ctx_ = nullptr;
+  Table table_;
+  std::vector<uint32_t> identity_cols_;  // 0..num_group_cols-1, hoisted
+  static constexpr size_t kSpillPartitions = 16;
+  std::vector<std::unique_ptr<SpillWriter>> partitions_;
+  std::deque<RowBlock> output_;
+  bool emitted_ = false;
+};
+
+/// \brief One-pass aggregation over key-sorted input; consumes RLE runs on
+/// the group column directly when possible.
+class PipelinedGroupByOperator : public Operator {
+ public:
+  PipelinedGroupByOperator(OperatorPtr child, GroupBySpec spec)
+      : child_(std::move(child)), spec_(std::move(spec)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Status GetNext(RowBlock* out) override;
+  Status Close() override { return child_->Close(); }
+  std::vector<TypeId> OutputTypes() const override;
+  std::vector<std::string> OutputNames() const override { return spec_.output_names; }
+  std::string DebugString() const override { return "GroupByPipelined"; }
+  std::vector<Operator*> Children() const override { return {child_.get()}; }
+
+  uint64_t runs_consumed() const { return runs_consumed_; }
+
+ private:
+  void EmitCurrent(RowBlock* out);
+
+  OperatorPtr child_;
+  GroupBySpec spec_;
+  ExecContext* ctx_ = nullptr;
+  bool has_current_ = false;
+  RowBlock current_key_;  // single row
+  std::vector<AggState> current_states_;
+  bool input_done_ = false;
+  uint64_t runs_consumed_ = 0;
+  std::vector<uint32_t> identity_cols_;
+};
+
+/// \brief Prepass partial aggregation (always AggPhase::kPartial output).
+class PrepassGroupByOperator : public Operator {
+ public:
+  PrepassGroupByOperator(OperatorPtr child, GroupBySpec spec,
+                         size_t capacity = 4096)
+      : child_(std::move(child)), spec_(std::move(spec)), capacity_(capacity) {
+    spec_.phase = AggPhase::kPartial;
+  }
+
+  Status Open(ExecContext* ctx) override;
+  Status GetNext(RowBlock* out) override;
+  Status Close() override { return child_->Close(); }
+  std::vector<TypeId> OutputTypes() const override;
+  std::vector<std::string> OutputNames() const override { return spec_.output_names; }
+  std::string DebugString() const override;
+  std::vector<Operator*> Children() const override { return {child_.get()}; }
+
+  bool disabled() const { return disabled_; }
+
+ private:
+  Status Flush();  // move table contents into output_
+
+  OperatorPtr child_;
+  GroupBySpec spec_;
+  size_t capacity_;
+  ExecContext* ctx_ = nullptr;
+
+  RowBlock keys_;
+  std::vector<std::vector<AggState>> states_;
+  std::unordered_multimap<uint64_t, uint32_t> index_;
+  std::vector<uint32_t> identity_cols_;
+  std::deque<RowBlock> output_;
+  bool input_done_ = false;
+
+  // Runtime shutoff: stop prepassing when not reducing (Section 6.1).
+  uint64_t rows_in_ = 0, rows_out_ = 0, flushes_ = 0;
+  bool disabled_ = false;
+};
+
+/// Shared helper: hash of the group-key columns of one row.
+uint64_t HashGroupKey(const RowBlock& block, const std::vector<uint32_t>& cols,
+                      size_t row);
+
+/// Shared helper: do two key rows match exactly?
+bool GroupKeyEquals(const RowBlock& a, const std::vector<uint32_t>& cols_a, size_t ra,
+                    const RowBlock& b, const std::vector<uint32_t>& cols_b, size_t rb);
+
+}  // namespace stratica
+
+#endif  // STRATICA_EXEC_GROUP_BY_H_

@@ -1,0 +1,434 @@
+#include "exec/join.h"
+
+#include "common/hash.h"
+#include "exec/group_by.h"
+#include "storage/sort_util.h"
+
+namespace stratica {
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner: return "INNER";
+    case JoinType::kLeft: return "LEFT OUTER";
+    case JoinType::kRight: return "RIGHT OUTER";
+    case JoinType::kFull: return "FULL OUTER";
+    case JoinType::kSemi: return "SEMI";
+    case JoinType::kAnti: return "ANTI";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ProbeOnlyOutput(JoinType t) { return t == JoinType::kSemi || t == JoinType::kAnti; }
+
+bool AnyNullKey(const RowBlock& block, const std::vector<uint32_t>& keys, size_t row) {
+  for (uint32_t k : keys) {
+    if (block.columns[k].IsNull(row)) return true;
+  }
+  return false;
+}
+
+void AppendNullRow(RowBlock* out, size_t first_col, const std::vector<TypeId>& types) {
+  for (size_t c = 0; c < types.size(); ++c) {
+    out->columns[first_col + c].Append(Value::Null(types[c]));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HashJoinOperator
+
+std::vector<TypeId> HashJoinOperator::OutputTypes() const {
+  // After the runtime switch the probe child lives inside the fallback
+  // merge join, which exposes the identical schema.
+  if (fallback_) return fallback_->OutputTypes();
+  std::vector<TypeId> t = probe_->OutputTypes();
+  if (!ProbeOnlyOutput(spec_.type)) {
+    for (TypeId bt : build_->OutputTypes()) t.push_back(bt);
+  }
+  return t;
+}
+
+std::vector<std::string> HashJoinOperator::OutputNames() const {
+  if (fallback_) return fallback_->OutputNames();
+  std::vector<std::string> n = probe_->OutputNames();
+  if (!ProbeOnlyOutput(spec_.type)) {
+    for (const auto& bn : build_->OutputNames()) n.push_back(bn);
+  }
+  return n;
+}
+
+std::vector<Operator*> HashJoinOperator::Children() const {
+  if (fallback_) return {fallback_.get()};
+  return {probe_.get(), build_.get()};
+}
+
+Status HashJoinOperator::BuildTable() {
+  build_rows_ = RowBlock(build_->OutputTypes());
+  index_.clear();
+  build_bytes_ = 0;
+  for (;;) {
+    RowBlock block;
+    STRATICA_RETURN_NOT_OK(build_->GetNext(&block));
+    if (block.NumRows() == 0) break;
+    block.DecodeAll();
+    size_t bytes = block.MemoryBytes();
+    if (ctx_->budget && !ctx_->budget->TryReserve(bytes)) {
+      // Runtime algorithm switch: spool what we have plus the rest of the
+      // build input to disk and run a sort-merge join instead.
+      if (ctx_->stats) ctx_->stats->hash_to_merge_switches.fetch_add(1);
+      SpillWriter writer(ctx_->fs, ctx_->NextSpillPath());
+      STRATICA_RETURN_NOT_OK(writer.Append(build_rows_));
+      STRATICA_RETURN_NOT_OK(writer.Append(block));
+      for (;;) {
+        RowBlock more;
+        STRATICA_RETURN_NOT_OK(build_->GetNext(&more));
+        if (more.NumRows() == 0) break;
+        more.DecodeAll();
+        STRATICA_RETURN_NOT_OK(writer.Append(more));
+      }
+      STRATICA_RETURN_NOT_OK(writer.Finish());
+      if (ctx_->stats) {
+        ctx_->stats->rows_spilled.fetch_add(writer.rows());
+        ctx_->stats->spill_files.fetch_add(1);
+      }
+      STRATICA_RETURN_NOT_OK(build_->Close());
+      ctx_->budget->Release(build_bytes_);
+      build_bytes_ = 0;
+      build_rows_ = RowBlock(build_->OutputTypes());
+      index_.clear();
+
+      std::vector<SortKey> lkeys, rkeys;
+      for (uint32_t k : spec_.probe_keys) lkeys.push_back({k, false});
+      for (uint32_t k : spec_.build_keys) rkeys.push_back({k, false});
+      auto spill_src = std::make_unique<SpillSourceOperator>(
+          writer.path(), build_->OutputTypes(), build_->OutputNames());
+      auto sorted_build =
+          std::make_unique<SortOperator>(std::move(spill_src), rkeys);
+      auto sorted_probe = std::make_unique<SortOperator>(std::move(probe_), lkeys);
+      JoinSpec mj_spec = spec_;
+      mj_spec.sip = nullptr;  // no hash table to filter with
+      fallback_ = std::make_unique<MergeJoinOperator>(
+          std::move(sorted_probe), std::move(sorted_build), mj_spec);
+      return fallback_->Open(ctx_);
+    }
+    build_bytes_ += bytes;
+    size_t base = build_rows_.NumRows();
+    for (size_t r = 0; r < block.NumRows(); ++r) build_rows_.AppendRowFrom(block, r);
+    for (size_t r = 0; r < block.NumRows(); ++r) {
+      if (AnyNullKey(block, spec_.build_keys, r)) continue;  // NULLs never join
+      uint64_t h = HashGroupKey(block, spec_.build_keys, r);
+      index_.emplace(h, static_cast<uint32_t>(base + r));
+    }
+  }
+  build_matched_.assign(build_rows_.NumRows(), 0);
+
+  // Publish the SIP filter (scan-side hash seed, Section 6.1).
+  if (spec_.sip) {
+    bool single_int_key =
+        spec_.build_keys.size() == 1 &&
+        StorageClassOf(build_rows_.columns[spec_.build_keys[0]].type) ==
+            StorageClass::kInt64;
+    bool first = true;
+    for (size_t r = 0; r < build_rows_.NumRows(); ++r) {
+      if (AnyNullKey(build_rows_, spec_.build_keys, r)) continue;
+      uint64_t h = 0x9b97;
+      for (uint32_t k : spec_.build_keys)
+        h = HashCombine(h, build_rows_.columns[k].HashEntry(r));
+      spec_.sip->key_hashes.insert(h);
+      if (single_int_key) {
+        int64_t v = build_rows_.columns[spec_.build_keys[0]].ints[r];
+        if (first) {
+          spec_.sip->min = spec_.sip->max = v;
+          first = false;
+        } else {
+          spec_.sip->min = std::min(spec_.sip->min, v);
+          spec_.sip->max = std::max(spec_.sip->max, v);
+        }
+      }
+    }
+    spec_.sip->has_range = single_int_key && !first;
+    spec_.sip->ready.store(true, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+Status HashJoinOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  fallback_.reset();
+  probe_done_ = false;
+  emitting_unmatched_ = false;
+  probe_cursor_ = 0;
+  unmatched_cursor_ = 0;
+  STRATICA_RETURN_NOT_OK(build_->Open(ctx));
+  STRATICA_RETURN_NOT_OK(BuildTable());
+  if (fallback_) return Status::OK();  // probe was consumed by the fallback
+  STRATICA_RETURN_NOT_OK(build_->Close());
+  return probe_->Open(ctx);
+}
+
+Status HashJoinOperator::EmitUnmatchedBuild(RowBlock* out) {
+  auto probe_types = probe_->OutputTypes();
+  while (unmatched_cursor_ < build_rows_.NumRows() &&
+         out->NumRows() < ctx_->vector_size) {
+    size_t r = unmatched_cursor_++;
+    if (build_matched_[r]) continue;
+    AppendNullRow(out, 0, probe_types);
+    for (size_t c = 0; c < build_rows_.NumColumns(); ++c) {
+      out->columns[probe_types.size() + c].AppendFrom(build_rows_.columns[c], r);
+    }
+  }
+  return Status::OK();
+}
+
+Status HashJoinOperator::GetNext(RowBlock* out) {
+  if (fallback_) return fallback_->GetNext(out);
+  *out = RowBlock(OutputTypes());
+  bool build_output = !ProbeOnlyOutput(spec_.type);
+  size_t probe_width = probe_->OutputTypes().size();
+
+  // Process one whole probe block per call: match indexes are collected
+  // first, then columns materialize with typed batch gathers.
+  while (out->NumRows() == 0 && !probe_done_) {
+    STRATICA_RETURN_NOT_OK(probe_->GetNext(&probe_block_));
+    probe_block_.DecodeAll();
+    if (probe_block_.NumRows() == 0) {
+      probe_done_ = true;
+      break;
+    }
+    std::vector<uint32_t> probe_idx, build_idx;  // matched pairs
+    std::vector<uint32_t> lonely_probe;          // unmatched probe rows
+    size_t n = probe_block_.NumRows();
+    for (size_t r = 0; r < n; ++r) {
+      size_t matches = 0;
+      if (!AnyNullKey(probe_block_, spec_.probe_keys, r)) {
+        uint64_t h = HashGroupKey(probe_block_, spec_.probe_keys, r);
+        auto [lo, hi] = index_.equal_range(h);
+        for (auto it = lo; it != hi; ++it) {
+          bool eq = true;
+          for (size_t k = 0; k < spec_.probe_keys.size() && eq; ++k) {
+            eq = ColumnVector::CompareEntries(
+                     probe_block_.columns[spec_.probe_keys[k]], r,
+                     build_rows_.columns[spec_.build_keys[k]], it->second) == 0;
+          }
+          if (!eq) continue;
+          ++matches;
+          build_matched_[it->second] = 1;
+          if (spec_.type == JoinType::kSemi || spec_.type == JoinType::kAnti) break;
+          if (build_output) {
+            probe_idx.push_back(static_cast<uint32_t>(r));
+            build_idx.push_back(it->second);
+          }
+        }
+      }
+      bool emit_lonely = (spec_.type == JoinType::kAnti && matches == 0) ||
+                         (spec_.type == JoinType::kSemi && matches > 0) ||
+                         ((spec_.type == JoinType::kLeft ||
+                           spec_.type == JoinType::kFull) &&
+                          matches == 0);
+      if (emit_lonely) lonely_probe.push_back(static_cast<uint32_t>(r));
+    }
+    for (size_t c = 0; c < probe_width; ++c) {
+      out->columns[c].AppendGather(probe_block_.columns[c], probe_idx);
+    }
+    if (build_output) {
+      for (size_t c = 0; c < build_rows_.NumColumns(); ++c) {
+        out->columns[probe_width + c].AppendGather(build_rows_.columns[c], build_idx);
+      }
+    }
+    if (!lonely_probe.empty()) {
+      for (size_t c = 0; c < probe_width; ++c) {
+        out->columns[c].AppendGather(probe_block_.columns[c], lonely_probe);
+      }
+      if (build_output) {
+        auto build_types = build_->OutputTypes();
+        for (size_t i = 0; i < lonely_probe.size(); ++i) {
+          AppendNullRow(out, probe_width, build_types);
+        }
+      }
+    }
+  }
+
+  if (out->NumRows() == 0 && probe_done_ &&
+      (spec_.type == JoinType::kRight || spec_.type == JoinType::kFull)) {
+    if (!emitting_unmatched_) {
+      emitting_unmatched_ = true;
+      unmatched_cursor_ = 0;
+    }
+    STRATICA_RETURN_NOT_OK(EmitUnmatchedBuild(out));
+  }
+  return Status::OK();
+}
+
+Status HashJoinOperator::Close() {
+  if (fallback_) return fallback_->Close();
+  if (ctx_ && ctx_->budget) ctx_->budget->Release(build_bytes_);
+  build_bytes_ = 0;
+  return probe_->Close();
+}
+
+std::string HashJoinOperator::DebugString() const {
+  std::string s = std::string("JoinHash(") + JoinTypeName(spec_.type);
+  if (spec_.sip) s += ", SIP";
+  if (fallback_) s += ", switched to sort-merge at runtime";
+  return s + ")";
+}
+
+// ---------------------------------------------------------------------------
+// MergeJoinOperator
+
+Status MergeJoinOperator::Cursor::Refill() {
+  if (done) return Status::OK();
+  if (pos < block.NumRows()) return Status::OK();
+  for (;;) {
+    STRATICA_RETURN_NOT_OK(op->GetNext(&block));
+    block.DecodeAll();
+    pos = 0;
+    if (block.NumRows() == 0) {
+      done = true;
+      return Status::OK();
+    }
+    return Status::OK();
+  }
+}
+
+std::vector<TypeId> MergeJoinOperator::OutputTypes() const {
+  std::vector<TypeId> t = left_->OutputTypes();
+  if (!ProbeOnlyOutput(spec_.type)) {
+    for (TypeId rt : right_->OutputTypes()) t.push_back(rt);
+  }
+  return t;
+}
+
+std::vector<std::string> MergeJoinOperator::OutputNames() const {
+  std::vector<std::string> n = left_->OutputNames();
+  if (!ProbeOnlyOutput(spec_.type)) {
+    for (const auto& rn : right_->OutputNames()) n.push_back(rn);
+  }
+  return n;
+}
+
+Status MergeJoinOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  STRATICA_RETURN_NOT_OK(left_->Open(ctx));
+  STRATICA_RETURN_NOT_OK(right_->Open(ctx));
+  left_types_ = left_->OutputTypes();
+  right_types_ = right_->OutputTypes();
+  lcur_ = Cursor{left_.get()};
+  rcur_ = Cursor{right_.get()};
+  STRATICA_RETURN_NOT_OK(lcur_.Refill());
+  STRATICA_RETURN_NOT_OK(rcur_.Refill());
+  pending_ = RowBlock(OutputTypes());
+  pending_cursor_ = 0;
+  return Status::OK();
+}
+
+Status MergeJoinOperator::CollectGroup(Cursor* cur, const std::vector<uint32_t>& keys,
+                                       RowBlock* group) {
+  // First row of the group.
+  group->AppendRowFrom(cur->block, cur->pos);
+  size_t anchor = group->NumRows() - 1;
+  ++cur->pos;
+  std::vector<uint32_t> group_keys = keys;
+  for (;;) {
+    STRATICA_RETURN_NOT_OK(cur->Refill());
+    if (cur->done) return Status::OK();
+    if (CompareRows(*group, anchor, cur->block, cur->pos, group_keys, keys) != 0)
+      return Status::OK();
+    group->AppendRowFrom(cur->block, cur->pos);
+    ++cur->pos;
+  }
+}
+
+Status MergeJoinOperator::GetNext(RowBlock* out) {
+  *out = RowBlock(OutputTypes());
+  size_t lwidth = left_types_.size();
+  bool right_output = !ProbeOnlyOutput(spec_.type);
+
+  // Drain any cross-product overflow first.
+  while (pending_cursor_ < pending_.NumRows() && out->NumRows() < ctx_->vector_size) {
+    out->AppendRowFrom(pending_, pending_cursor_++);
+  }
+  if (pending_cursor_ >= pending_.NumRows()) {
+    pending_ = RowBlock(OutputTypes());
+    pending_cursor_ = 0;
+  }
+
+  while (out->NumRows() < ctx_->vector_size) {
+    STRATICA_RETURN_NOT_OK(lcur_.Refill());
+    STRATICA_RETURN_NOT_OK(rcur_.Refill());
+    bool lvalid = !lcur_.done, rvalid = !rcur_.done;
+    if (!lvalid && !rvalid) break;
+
+    int cmp;
+    bool lnull = lvalid && AnyNullKey(lcur_.block, spec_.probe_keys, lcur_.pos);
+    bool rnull = rvalid && AnyNullKey(rcur_.block, spec_.build_keys, rcur_.pos);
+    if (!lvalid) {
+      cmp = 1;  // only right rows remain
+    } else if (!rvalid) {
+      cmp = -1;
+    } else if (lnull) {
+      cmp = -1;  // NULL sorts first and never matches: treat as left-smaller
+    } else if (rnull) {
+      cmp = 1;
+    } else {
+      cmp = CompareRows(lcur_.block, lcur_.pos, rcur_.block, rcur_.pos,
+                        spec_.probe_keys, spec_.build_keys);
+    }
+
+    if (cmp < 0) {
+      // Left row has no match.
+      if (spec_.type == JoinType::kLeft || spec_.type == JoinType::kFull ||
+          spec_.type == JoinType::kAnti) {
+        for (size_t c = 0; c < lwidth; ++c)
+          out->columns[c].AppendFrom(lcur_.block.columns[c], lcur_.pos);
+        if (right_output) AppendNullRow(out, lwidth, right_types_);
+      }
+      ++lcur_.pos;
+    } else if (cmp > 0) {
+      if (spec_.type == JoinType::kRight || spec_.type == JoinType::kFull) {
+        AppendNullRow(out, 0, left_types_);
+        for (size_t c = 0; c < right_types_.size(); ++c)
+          out->columns[lwidth + c].AppendFrom(rcur_.block.columns[c], rcur_.pos);
+      }
+      ++rcur_.pos;
+    } else {
+      // Equal keys: materialize both groups and emit the cross product.
+      RowBlock lgroup(left_types_), rgroup(right_types_);
+      STRATICA_RETURN_NOT_OK(CollectGroup(&lcur_, spec_.probe_keys, &lgroup));
+      STRATICA_RETURN_NOT_OK(CollectGroup(&rcur_, spec_.build_keys, &rgroup));
+      if (spec_.type == JoinType::kSemi) {
+        for (size_t lr = 0; lr < lgroup.NumRows(); ++lr) {
+          for (size_t c = 0; c < lwidth; ++c)
+            out->columns[c].AppendFrom(lgroup.columns[c], lr);
+        }
+      } else if (spec_.type == JoinType::kAnti) {
+        // matched: emit nothing
+      } else {
+        for (size_t lr = 0; lr < lgroup.NumRows(); ++lr) {
+          for (size_t rr = 0; rr < rgroup.NumRows(); ++rr) {
+            RowBlock* dst = out->NumRows() < ctx_->vector_size ? out : &pending_;
+            for (size_t c = 0; c < lwidth; ++c)
+              dst->columns[c].AppendFrom(lgroup.columns[c], lr);
+            for (size_t c = 0; c < right_types_.size(); ++c)
+              dst->columns[lwidth + c].AppendFrom(rgroup.columns[c], rr);
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MergeJoinOperator::Close() {
+  STRATICA_RETURN_NOT_OK(left_->Close());
+  return right_->Close();
+}
+
+std::string MergeJoinOperator::DebugString() const {
+  return std::string("JoinMerge(") + JoinTypeName(spec_.type) + ")";
+}
+
+}  // namespace stratica

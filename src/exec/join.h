@@ -1,0 +1,141 @@
+// Join operators (Section 6.1 #3): hash join and merge join, both able to
+// externalize; all of INNER, LEFT/RIGHT/FULL OUTER, SEMI and ANTI.
+//
+// The hash join builds from its inner (right) child. When the build side
+// exceeds the memory budget the engine switches algorithms at runtime —
+// "if Vertica determines at runtime the hash table for a hash join will not
+// fit in memory, we will perform a sort-merge join instead" — by spooling
+// the build side to disk and delegating to a MergeJoin over sorted inputs.
+//
+// After a successful in-memory build, the join publishes a SIP filter
+// (Sideways Information Passing) that probe-side scans use to drop rows
+// that cannot join, as early as possible in the plan.
+#ifndef STRATICA_EXEC_JOIN_H_
+#define STRATICA_EXEC_JOIN_H_
+
+#include <unordered_map>
+
+#include "exec/operator.h"
+#include "exec/scan.h"
+#include "exec/simple_ops.h"
+
+namespace stratica {
+
+enum class JoinType : uint8_t { kInner, kLeft, kRight, kFull, kSemi, kAnti };
+
+const char* JoinTypeName(JoinType t);
+
+struct JoinSpec {
+  JoinType type = JoinType::kInner;
+  std::vector<uint32_t> probe_keys;  ///< outer (left) child key columns
+  std::vector<uint32_t> build_keys;  ///< inner (right) child key columns
+  /// SIP filter to publish once the hash table is built (may be null; the
+  /// optimizer only installs one when the join type allows filtering).
+  std::shared_ptr<SipFilter> sip;
+};
+
+class HashJoinOperator : public Operator {
+ public:
+  HashJoinOperator(OperatorPtr probe, OperatorPtr build, JoinSpec spec)
+      : probe_(std::move(probe)), build_(std::move(build)), spec_(std::move(spec)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Status GetNext(RowBlock* out) override;
+  Status Close() override;
+  std::vector<TypeId> OutputTypes() const override;
+  std::vector<std::string> OutputNames() const override;
+  std::string DebugString() const override;
+  std::vector<Operator*> Children() const override;
+
+  bool switched_to_merge() const { return fallback_ != nullptr; }
+
+ private:
+  Status BuildTable();
+  Status EmitUnmatchedBuild(RowBlock* out);
+
+  OperatorPtr probe_, build_;
+  JoinSpec spec_;
+  ExecContext* ctx_ = nullptr;
+
+  RowBlock build_rows_;
+  std::unordered_multimap<uint64_t, uint32_t> index_;
+  std::vector<uint8_t> build_matched_;
+  size_t build_bytes_ = 0;
+
+  RowBlock probe_block_;
+  size_t probe_cursor_ = 0;
+  bool probe_done_ = false;
+  size_t unmatched_cursor_ = 0;
+  bool emitting_unmatched_ = false;
+
+  OperatorPtr fallback_;  ///< merge-join pipeline after a runtime switch
+};
+
+/// \brief Merge join over inputs sorted ascending on the join keys.
+class MergeJoinOperator : public Operator {
+ public:
+  MergeJoinOperator(OperatorPtr left, OperatorPtr right, JoinSpec spec)
+      : left_(std::move(left)), right_(std::move(right)), spec_(std::move(spec)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Status GetNext(RowBlock* out) override;
+  Status Close() override;
+  std::vector<TypeId> OutputTypes() const override;
+  std::vector<std::string> OutputNames() const override;
+  std::string DebugString() const override;
+  std::vector<Operator*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  /// Buffered cursor over a child's stream.
+  struct Cursor {
+    Operator* op = nullptr;
+    RowBlock block;
+    size_t pos = 0;
+    bool done = false;
+
+    Status Refill();
+    bool Valid() const { return !done; }
+  };
+
+  /// Collect all consecutive rows equal to the current row's keys.
+  Status CollectGroup(Cursor* cur, const std::vector<uint32_t>& keys, RowBlock* group);
+
+  OperatorPtr left_, right_;
+  JoinSpec spec_;
+  ExecContext* ctx_ = nullptr;
+  Cursor lcur_, rcur_;
+  std::vector<TypeId> left_types_, right_types_;
+  RowBlock pending_;  ///< cross-product overflow buffer
+  size_t pending_cursor_ = 0;
+};
+
+/// \brief Operator reading back a spill file (used by the hash->merge
+/// runtime switch).
+class SpillSourceOperator : public Operator {
+ public:
+  SpillSourceOperator(std::string path, std::vector<TypeId> types,
+                      std::vector<std::string> names)
+      : path_(std::move(path)), types_(std::move(types)), names_(std::move(names)) {}
+
+  Status Open(ExecContext* ctx) override {
+    reader_ = std::make_unique<SpillReader>(ctx->fs, path_, types_);
+    return reader_->Open();
+  }
+  Status GetNext(RowBlock* out) override { return reader_->Next(out); }
+  Status Close() override { return Status::OK(); }
+  std::vector<TypeId> OutputTypes() const override { return types_; }
+  std::vector<std::string> OutputNames() const override { return names_; }
+  std::string DebugString() const override { return "SpillSource(" + path_ + ")"; }
+
+ private:
+  std::string path_;
+  std::vector<TypeId> types_;
+  std::vector<std::string> names_;
+  std::unique_ptr<SpillReader> reader_;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_EXEC_JOIN_H_

@@ -1,0 +1,106 @@
+// Execution engine core (Section 6.1).
+//
+// Pull-model, vectorized operators: the downstream operator requests blocks
+// of rows from upstream. GetNext returning an empty block signals EOF.
+// Every operator receives a memory budget and must externalize (spill) when
+// it would exceed it — "critical for a production database to ensure users
+// queries are always answered".
+#ifndef STRATICA_EXEC_OPERATOR_H_
+#define STRATICA_EXEC_OPERATOR_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/row_block.h"
+#include "common/status.h"
+#include "txn/epoch.h"
+
+namespace stratica {
+
+/// Execution counters surfaced by EXPLAIN/benches.
+struct ExecStats {
+  std::atomic<uint64_t> rows_scanned{0};
+  std::atomic<uint64_t> blocks_pruned{0};      ///< position-index min/max pruning
+  std::atomic<uint64_t> containers_pruned{0};  ///< container/partition pruning
+  std::atomic<uint64_t> rows_sip_filtered{0};  ///< removed by SIP at the scan
+  std::atomic<uint64_t> rows_spilled{0};
+  std::atomic<uint64_t> spill_files{0};
+  std::atomic<uint64_t> prepass_disabled{0};   ///< runtime prepass shutoffs
+  std::atomic<uint64_t> hash_to_merge_switches{0};
+  std::atomic<uint64_t> exchange_bytes{0};     ///< simulated interconnect traffic
+};
+
+/// \brief Byte budget shared by the operators of one plan zone.
+///
+/// Plan zones separated by full barriers (Sort) cannot execute
+/// simultaneously, so downstream zones reuse the budget upstream zones
+/// release (Section 6.1).
+class ResourceBudget {
+ public:
+  explicit ResourceBudget(size_t total_bytes) : available_(static_cast<int64_t>(total_bytes)) {}
+
+  bool TryReserve(size_t bytes) {
+    int64_t b = static_cast<int64_t>(bytes);
+    int64_t cur = available_.load(std::memory_order_relaxed);
+    while (cur >= b) {
+      if (available_.compare_exchange_weak(cur, cur - b)) return true;
+    }
+    return false;
+  }
+  void Release(size_t bytes) { available_.fetch_add(static_cast<int64_t>(bytes)); }
+  int64_t available() const { return available_.load(); }
+
+ private:
+  std::atomic<int64_t> available_;
+};
+
+/// Shared, per-query execution environment.
+struct ExecContext {
+  FileSystem* fs = nullptr;
+  Epoch epoch = 0;       ///< Snapshot epoch the query targets.
+  uint64_t txn_id = 0;   ///< For read-your-writes visibility.
+  ResourceBudget* budget = nullptr;
+  ExecStats* stats = nullptr;
+  std::string spill_dir = "tmp/spill";
+  std::shared_ptr<std::atomic<uint64_t>> spill_seq =
+      std::make_shared<std::atomic<uint64_t>>(0);
+  size_t vector_size = kDefaultVectorSize;
+  size_t intra_node_parallelism = 4;  ///< StorageUnion worker pipelines.
+
+  std::string NextSpillPath() {
+    return spill_dir + "/s" + std::to_string(spill_seq->fetch_add(1));
+  }
+};
+
+/// \brief Base class for all execution operators.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+  /// Fill `out`; an empty block means end of stream.
+  virtual Status GetNext(RowBlock* out) = 0;
+  virtual Status Close() = 0;
+
+  virtual std::vector<TypeId> OutputTypes() const = 0;
+  virtual std::vector<std::string> OutputNames() const = 0;
+
+  /// One-line description for EXPLAIN trees.
+  virtual std::string DebugString() const = 0;
+  virtual std::vector<Operator*> Children() const { return {}; }
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Render an operator tree as an indented EXPLAIN listing.
+std::string ExplainTree(const Operator& root);
+
+/// Drain an operator to completion, concatenating output (tests, DML).
+Result<RowBlock> DrainOperator(Operator* op, ExecContext* ctx);
+
+}  // namespace stratica
+
+#endif  // STRATICA_EXEC_OPERATOR_H_

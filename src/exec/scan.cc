@@ -1,0 +1,337 @@
+#include "exec/scan.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "storage/sort_util.h"
+
+namespace stratica {
+
+namespace {
+
+/// Can a block/container with [min, max] contain rows satisfying
+/// `col <op> value`? NULL stats (all-null or empty) conservatively pass.
+bool RangeMayMatch(const Value& min, const Value& max, CompareOp op, const Value& v) {
+  if (min.is_null() || max.is_null()) return true;
+  switch (op) {
+    case CompareOp::kEq: return !(v.Compare(min) < 0 || v.Compare(max) > 0);
+    case CompareOp::kNe: return true;
+    case CompareOp::kLt: return min.Compare(v) < 0;
+    case CompareOp::kLe: return min.Compare(v) <= 0;
+    case CompareOp::kGt: return max.Compare(v) > 0;
+    case CompareOp::kGe: return max.Compare(v) >= 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One stream of filtered blocks: a container region or the WOS.
+struct ScanOperator::Source {
+  // Container source state.
+  RosContainerPtr container;
+  std::vector<ColumnReader> readers;           // parallel to spec.projection_columns
+  std::unique_ptr<ColumnReader> epoch_reader;  // only when epoch filter needed
+  std::vector<uint64_t> deleted;               // sorted deleted positions
+  size_t next_block = 0;
+  size_t block_hi = 0;
+
+  // WOS source: fully materialized (and possibly sorted) rows.
+  bool is_wos = false;
+  RowBlock wos_rows;
+  size_t wos_cursor = 0;
+
+  // Current filtered block (merge mode keeps a cursor into it).
+  RowBlock current;
+  size_t cursor = 0;
+  bool exhausted = false;
+};
+
+ScanOperator::ScanOperator(ScanSpec spec) : spec_(std::move(spec)) {}
+ScanOperator::~ScanOperator() = default;
+
+std::vector<std::vector<ScanRegion>> PlanScanRegions(const StorageSnapshot& snap,
+                                                     size_t k) {
+  if (k == 0) k = 1;
+  // Split every container into ~k block ranges, then deal ranges round-robin
+  // so each worker touches a balanced share of every container.
+  std::vector<ScanRegion> all;
+  for (const auto& c : snap.ros) {
+    all.push_back({c, 0, SIZE_MAX});
+  }
+  std::vector<std::vector<ScanRegion>> out(k);
+  for (size_t i = 0; i < all.size(); ++i) out[i % k].push_back(all[i]);
+  return out;
+}
+
+Status ScanOperator::OpenContainerSource(const ScanRegion& region) {
+  const RosContainer& c = *region.container;
+  // Container-level pruning from column min/max (includes partition
+  // pruning: partition-separated containers have tight bounds).
+  for (const auto& bound : spec_.prune_bounds) {
+    int proj_col = spec_.projection_columns[bound.output_column];
+    if (proj_col < 0 || proj_col >= static_cast<int>(c.columns.size())) continue;
+    const ColumnFileMeta& meta = c.columns[proj_col].meta;
+    if (meta.num_rows > 0 && !RangeMayMatch(meta.min, meta.max, bound.op, bound.value)) {
+      if (ctx_->stats) ctx_->stats->containers_pruned.fetch_add(1);
+      return Status::OK();  // whole container pruned
+    }
+  }
+  auto src = std::make_unique<Source>();
+  src->container = region.container;
+  for (int proj_col : spec_.projection_columns) {
+    STRATICA_ASSIGN_OR_RETURN(ColumnReader reader,
+                              OpenRosColumn(ctx_->fs, c, proj_col));
+    src->readers.push_back(std::move(reader));
+  }
+  if (!c.epoch_data_path.empty() && c.max_epoch > ctx_->epoch) {
+    STRATICA_ASSIGN_OR_RETURN(
+        ColumnReader er, ColumnReader::Open(ctx_->fs, c.epoch_data_path,
+                                            c.epoch_index_path));
+    src->epoch_reader = std::make_unique<ColumnReader>(std::move(er));
+  }
+  src->deleted = snap_.deletes.DeletedPositions(c.id);
+  src->next_block = region.block_lo;
+  src->block_hi = std::min(region.block_hi, src->readers.empty()
+                                                ? size_t{0}
+                                                : src->readers[0].num_blocks());
+  sources_.push_back(std::move(src));
+  return Status::OK();
+}
+
+Status ScanOperator::OpenWosSource() {
+  if (snap_.wos.empty()) return Status::OK();
+  auto src = std::make_unique<Source>();
+  src->is_wos = true;
+  RowBlock rows(spec_.output_types);
+  // Gather visible WOS rows (restricted to the scanned columns), applying
+  // delete vectors by global WOS position.
+  auto wos_deleted = snap_.deletes.DeletedPositions(kWosTargetId);
+  for (const auto& chunk : snap_.wos) {
+    for (size_t r = 0; r < chunk->NumRows(); ++r) {
+      uint64_t pos = chunk->start_pos + r;
+      if (std::binary_search(wos_deleted.begin(), wos_deleted.end(), pos)) continue;
+      for (size_t c = 0; c < spec_.projection_columns.size(); ++c) {
+        rows.columns[c].AppendFrom(chunk->rows.columns[spec_.projection_columns[c]], r);
+      }
+    }
+  }
+  if (spec_.sorted_output && !spec_.sort_key_outputs.empty()) {
+    auto perm = ComputeSortPermutation(rows, spec_.sort_key_outputs);
+    rows = ApplyPermutation(rows, perm);
+  }
+  src->wos_rows = std::move(rows);
+  sources_.push_back(std::move(src));
+  return Status::OK();
+}
+
+Status ScanOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  snap_ = spec_.storage->GetSnapshot(ctx->epoch, ctx->txn_id);
+  sources_.clear();
+  current_source_ = 0;
+  if (spec_.use_regions) {
+    for (const auto& region : spec_.regions)
+      STRATICA_RETURN_NOT_OK(OpenContainerSource(region));
+    if (spec_.include_wos) STRATICA_RETURN_NOT_OK(OpenWosSource());
+  } else {
+    for (const auto& c : snap_.ros)
+      STRATICA_RETURN_NOT_OK(OpenContainerSource({c, 0, SIZE_MAX}));
+    STRATICA_RETURN_NOT_OK(OpenWosSource());
+  }
+  merge_mode_ = spec_.sorted_output && sources_.size() > 1;
+  if (merge_mode_) {
+    for (auto& src : sources_) STRATICA_RETURN_NOT_OK(Advance(src.get()));
+  }
+  return Status::OK();
+}
+
+Status ScanOperator::FilterBlock(Source* src, RowBlock* block, uint64_t row_start) {
+  size_t n = block->NumRows();
+  if (n == 0) return Status::OK();
+  // RLE columns must be expanded before row-aligned filtering; passthrough
+  // is only kept when nothing filters rows below.
+  bool need_row_filter =
+      spec_.predicate != nullptr || !src->deleted.empty() ||
+      src->epoch_reader != nullptr;
+  bool any_sip_ready = false;
+  for (const auto& sip : spec_.sips) any_sip_ready |= sip->ready.load();
+  need_row_filter |= any_sip_ready;
+  if (need_row_filter) block->DecodeAll();
+
+  std::vector<uint8_t> sel(need_row_filter ? block->columns[0].PhysicalSize() : 0, 1);
+  if (src->epoch_reader) {
+    ColumnVector epochs(TypeId::kInt64);
+    STRATICA_RETURN_NOT_OK(
+        src->epoch_reader->ReadBlock(src->next_block - 1, false, &epochs));
+    for (size_t i = 0; i < sel.size(); ++i) {
+      if (static_cast<Epoch>(epochs.ints[i]) > ctx_->epoch) sel[i] = 0;
+    }
+  }
+  if (!src->deleted.empty()) {
+    auto lo = std::lower_bound(src->deleted.begin(), src->deleted.end(), row_start);
+    for (auto it = lo; it != src->deleted.end() && *it < row_start + n; ++it) {
+      sel[*it - row_start] = 0;
+    }
+  }
+  if (spec_.predicate) {
+    std::vector<uint8_t> pred_sel;
+    STRATICA_RETURN_NOT_OK(EvalPredicate(*spec_.predicate, *block, &pred_sel));
+    for (size_t i = 0; i < sel.size(); ++i) sel[i] &= pred_sel[i];
+  }
+  if (any_sip_ready) {
+    uint64_t before = 0, after = 0;
+    for (uint8_t s : sel) before += s;
+    for (const auto& sip : spec_.sips) {
+      if (!sip->ready.load(std::memory_order_acquire)) continue;
+      if (sip->has_range && sip->probe_columns.size() == 1) {
+        const ColumnVector& col = block->columns[sip->probe_columns[0]];
+        for (size_t i = 0; i < sel.size(); ++i) {
+          if (sel[i] && (col.IsNull(i) || col.ints[i] < sip->min || col.ints[i] > sip->max))
+            sel[i] = 0;
+        }
+      }
+      for (size_t i = 0; i < sel.size(); ++i) {
+        if (!sel[i]) continue;
+        uint64_t h = 0x9b97;
+        bool null_key = false;
+        for (int c : sip->probe_columns) {
+          null_key |= block->columns[c].IsNull(i);
+          h = HashCombine(h, block->columns[c].HashEntry(i));
+        }
+        if (null_key || !sip->key_hashes.count(h)) sel[i] = 0;
+      }
+    }
+    for (uint8_t s : sel) after += s;
+    if (ctx_->stats) ctx_->stats->rows_sip_filtered.fetch_add(before - after);
+  }
+  if (need_row_filter) {
+    for (auto& col : block->columns) col.FilterPhysical(sel);
+  }
+  return Status::OK();
+}
+
+Status ScanOperator::Advance(Source* src) {
+  src->current.Clear();
+  src->current = RowBlock(spec_.output_types);
+  src->cursor = 0;
+  if (src->is_wos) {
+    // Emit WOS rows in vector_size slices; predicate/SIP still apply.
+    while (src->wos_cursor < src->wos_rows.NumRows()) {
+      size_t take = std::min(ctx_->vector_size,
+                             src->wos_rows.NumRows() - src->wos_cursor);
+      RowBlock slice(spec_.output_types);
+      for (size_t r = 0; r < take; ++r)
+        slice.AppendRowFrom(src->wos_rows, src->wos_cursor + r);
+      src->wos_cursor += take;
+      if (ctx_->stats) ctx_->stats->rows_scanned.fetch_add(take);
+      // WOS deletes/epochs already handled; run predicate + SIP only.
+      Source pseudo;  // no deletes, no epoch reader
+      STRATICA_RETURN_NOT_OK(FilterBlock(&pseudo, &slice, 0));
+      if (slice.NumRows() > 0) {
+        src->current = std::move(slice);
+        return Status::OK();
+      }
+    }
+    src->exhausted = true;
+    return Status::OK();
+  }
+  while (src->next_block < src->block_hi) {
+    size_t b = src->next_block;
+    const BlockMeta& bm0 = src->readers[0].meta().blocks[b];
+    // Block-level pruning from the position index.
+    bool pruned = false;
+    for (const auto& bound : spec_.prune_bounds) {
+      const auto& meta = src->readers[bound.output_column].meta();
+      const BlockMeta& bm = meta.blocks[b];
+      if (bm.row_count > bm.null_count &&
+          !RangeMayMatch(bm.min, bm.max, bound.op, bound.value)) {
+        pruned = true;
+        break;
+      }
+    }
+    ++src->next_block;
+    if (pruned) {
+      if (ctx_->stats) ctx_->stats->blocks_pruned.fetch_add(1);
+      continue;
+    }
+    RowBlock block(spec_.output_types);
+    bool keep_runs = spec_.rle_passthrough && !merge_mode_;
+    for (size_t c = 0; c < src->readers.size(); ++c) {
+      STRATICA_RETURN_NOT_OK(src->readers[c].ReadBlock(b, keep_runs, &block.columns[c]));
+    }
+    if (ctx_->stats) ctx_->stats->rows_scanned.fetch_add(bm0.row_count);
+    STRATICA_RETURN_NOT_OK(FilterBlock(src, &block, bm0.row_start));
+    if (block.NumRows() > 0) {
+      src->current = std::move(block);
+      return Status::OK();
+    }
+  }
+  src->exhausted = true;
+  return Status::OK();
+}
+
+Status ScanOperator::GetNext(RowBlock* out) {
+  *out = RowBlock(spec_.output_types);
+  if (!merge_mode_) {
+    while (current_source_ < sources_.size()) {
+      Source* src = sources_[current_source_].get();
+      if (src->exhausted) {
+        ++current_source_;
+        continue;
+      }
+      if (src->current.NumRows() == 0 || src->cursor > 0) {
+        STRATICA_RETURN_NOT_OK(Advance(src));
+        if (src->exhausted) {
+          ++current_source_;
+          continue;
+        }
+      }
+      *out = std::move(src->current);
+      src->current = RowBlock(spec_.output_types);
+      src->cursor = 1;  // force re-advance next call
+      return Status::OK();
+    }
+    return Status::OK();  // EOF
+  }
+  // Merge mode: k-way merge by the sort key outputs.
+  while (out->NumRows() < ctx_->vector_size) {
+    Source* best = nullptr;
+    for (auto& sp : sources_) {
+      Source* src = sp.get();
+      if (src->exhausted) continue;
+      if (src->cursor >= src->current.NumRows()) {
+        STRATICA_RETURN_NOT_OK(Advance(src));
+        if (src->exhausted) continue;
+      }
+      if (!best ||
+          CompareRows(src->current, src->cursor, best->current, best->cursor,
+                      spec_.sort_key_outputs, spec_.sort_key_outputs) < 0) {
+        best = src;
+      }
+    }
+    if (!best) break;  // all exhausted
+    out->AppendRowFrom(best->current, best->cursor);
+    ++best->cursor;
+  }
+  return Status::OK();
+}
+
+Status ScanOperator::Close() {
+  sources_.clear();
+  return Status::OK();
+}
+
+std::string ScanOperator::DebugString() const {
+  std::string s = "Scan(" + (spec_.storage ? spec_.storage->config().projection : "?");
+  if (spec_.predicate) s += ", filter: " + spec_.predicate->ToString();
+  if (!spec_.prune_bounds.empty())
+    s += ", prune bounds: " + std::to_string(spec_.prune_bounds.size());
+  if (!spec_.sips.empty()) s += ", SIP filters: " + std::to_string(spec_.sips.size());
+  if (spec_.sorted_output) s += ", sorted";
+  if (spec_.rle_passthrough) s += ", rle";
+  s += ")";
+  return s;
+}
+
+}  // namespace stratica

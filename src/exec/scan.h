@@ -1,0 +1,113 @@
+// Scan operator (Section 6.1 #1): reads a projection's ROS containers and
+// WOS, "applying predicates in the most advantageous manner possible":
+//   - container-level pruning via column min/max (and therefore partition
+//     pruning, Section 3.5 / [22]),
+//   - block-level pruning via the position index,
+//   - epoch (snapshot) filtering via the implicit epoch column,
+//   - delete-vector filtering,
+//   - vectorized predicate evaluation,
+//   - Sideways Information Passing filters installed by hash joins,
+//   - optional RLE passthrough so downstream operators work on encoded data,
+//   - optional sorted output (k-way merge of sorted sources) for merge
+//     joins and pipelined aggregation.
+#ifndef STRATICA_EXEC_SCAN_H_
+#define STRATICA_EXEC_SCAN_H_
+
+#include <atomic>
+#include <memory>
+#include <unordered_set>
+
+#include "exec/operator.h"
+#include "expr/expr.h"
+#include "storage/projection_storage.h"
+
+namespace stratica {
+
+/// \brief Filter handed from a HashJoin build side to a probe-side scan
+/// (Section 6.1, Sideways Information Passing). Populated when the join's
+/// hash table is complete; the pull model guarantees the scan only runs
+/// afterwards.
+struct SipFilter {
+  std::vector<int> probe_columns;  ///< Key columns, as scan-output indexes.
+  std::atomic<bool> ready{false};
+  std::unordered_set<uint64_t> key_hashes;
+  bool has_range = false;  ///< Min/max fast path for single int-class keys.
+  int64_t min = 0, max = 0;
+};
+
+/// Pruning bound `column <op> literal`, applied to container and block
+/// min/max statistics before any data is read.
+struct PruneBound {
+  int output_column;
+  CompareOp op;
+  Value value;
+};
+
+/// A slice of one container's blocks, for intra-node parallel scans
+/// (Section 3.5: runtime division into logical regions, no physical
+/// sub-partitioning required).
+struct ScanRegion {
+  RosContainerPtr container;
+  size_t block_lo = 0;
+  size_t block_hi = SIZE_MAX;  // exclusive
+};
+
+struct ScanSpec {
+  ProjectionStorage* storage = nullptr;
+  std::vector<int> projection_columns;  ///< projection col idx, in output order
+  std::vector<std::string> output_names;
+  std::vector<TypeId> output_types;
+  ExprPtr predicate;  ///< bound against the scan output schema; may be null
+  std::vector<PruneBound> prune_bounds;
+  std::vector<std::shared_ptr<SipFilter>> sips;
+
+  bool sorted_output = false;
+  std::vector<uint32_t> sort_key_outputs;  ///< output indexes of sort prefix
+
+  bool rle_passthrough = false;  ///< emit runs on RLE blocks (single source)
+
+  bool use_regions = false;  ///< restrict to `regions` (+ WOS if include_wos)
+  std::vector<ScanRegion> regions;
+  bool include_wos = true;
+};
+
+class ScanOperator : public Operator {
+ public:
+  // Constructor/destructor out-of-line: Source is an incomplete type here.
+  explicit ScanOperator(ScanSpec spec);
+  ~ScanOperator() override;
+
+  Status Open(ExecContext* ctx) override;
+  Status GetNext(RowBlock* out) override;
+  Status Close() override;
+
+  std::vector<TypeId> OutputTypes() const override { return spec_.output_types; }
+  std::vector<std::string> OutputNames() const override { return spec_.output_names; }
+  std::string DebugString() const override;
+
+ private:
+  struct Source;
+
+  Status OpenContainerSource(const ScanRegion& region);
+  Status OpenWosSource();
+  /// Load + filter the next block of `src`; repeats until a non-empty block
+  /// or source exhaustion.
+  Status Advance(Source* src);
+  Status FilterBlock(Source* src, RowBlock* block, uint64_t row_start);
+
+  ScanSpec spec_;
+  ExecContext* ctx_ = nullptr;
+  StorageSnapshot snap_;
+  std::vector<std::unique_ptr<Source>> sources_;
+  size_t current_source_ = 0;
+  bool merge_mode_ = false;
+};
+
+/// Partition a snapshot's containers into `k` balanced region lists for
+/// StorageUnion worker pipelines.
+std::vector<std::vector<ScanRegion>> PlanScanRegions(const StorageSnapshot& snap,
+                                                     size_t k);
+
+}  // namespace stratica
+
+#endif  // STRATICA_EXEC_SCAN_H_

@@ -1,0 +1,248 @@
+#include "exec/simple_ops.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace stratica {
+
+std::string ExplainTree(const Operator& root) {
+  std::ostringstream out;
+  struct Frame {
+    const Operator* op;
+    int depth;
+  };
+  std::vector<Frame> stack = {{&root, 0}};
+  while (!stack.empty()) {
+    auto [op, depth] = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < depth; ++i) out << "  ";
+    out << op->DebugString() << "\n";
+    auto children = op->Children();
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  return out.str();
+}
+
+Result<RowBlock> DrainOperator(Operator* op, ExecContext* ctx) {
+  STRATICA_RETURN_NOT_OK(op->Open(ctx));
+  RowBlock all(op->OutputTypes());
+  for (;;) {
+    RowBlock block;
+    STRATICA_RETURN_NOT_OK(op->GetNext(&block));
+    if (block.NumRows() == 0) break;
+    block.DecodeAll();
+    for (size_t r = 0; r < block.NumRows(); ++r) all.AppendRowFrom(block, r);
+  }
+  STRATICA_RETURN_NOT_OK(op->Close());
+  return all;
+}
+
+Status MaterializedOperator::GetNext(RowBlock* out) {
+  *out = RowBlock(OutputTypes());
+  size_t n = block_.NumRows();
+  if (cursor_ >= n) return Status::OK();
+  size_t take = std::min(ctx_->vector_size, n - cursor_);
+  RowBlock flat = block_;
+  flat.DecodeAll();
+  for (size_t r = 0; r < take; ++r) out->AppendRowFrom(flat, cursor_ + r);
+  cursor_ += take;
+  return Status::OK();
+}
+
+ProjectOperator::ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
+                                 std::vector<std::string> names)
+    : child_(std::move(child)), exprs_(std::move(exprs)), names_(std::move(names)) {}
+
+Status ProjectOperator::Open(ExecContext* ctx) { return child_->Open(ctx); }
+
+std::vector<TypeId> ProjectOperator::OutputTypes() const {
+  std::vector<TypeId> t;
+  for (const auto& e : exprs_) t.push_back(e->type);
+  return t;
+}
+
+Status ProjectOperator::GetNext(RowBlock* out) {
+  RowBlock in;
+  STRATICA_RETURN_NOT_OK(child_->GetNext(&in));
+  *out = RowBlock(OutputTypes());
+  if (in.NumRows() == 0) return Status::OK();
+  in.DecodeAll();
+  for (size_t c = 0; c < exprs_.size(); ++c) {
+    STRATICA_RETURN_NOT_OK(EvalExpr(*exprs_[c], in, &out->columns[c]));
+  }
+  return Status::OK();
+}
+
+std::string ProjectOperator::DebugString() const {
+  std::string s = "ExprEval(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i) s += ", ";
+    s += exprs_[i]->ToString();
+  }
+  return s + ")";
+}
+
+Status FilterOperator::GetNext(RowBlock* out) {
+  for (;;) {
+    RowBlock in;
+    STRATICA_RETURN_NOT_OK(child_->GetNext(&in));
+    *out = std::move(in);
+    if (out->NumRows() == 0) return Status::OK();
+    out->DecodeAll();
+    std::vector<uint8_t> sel;
+    STRATICA_RETURN_NOT_OK(EvalPredicate(*predicate_, *out, &sel));
+    for (auto& col : out->columns) col.FilterPhysical(sel);
+    if (out->NumRows() > 0) return Status::OK();
+  }
+}
+
+int CompareRowsDirected(const RowBlock& a, size_t ia, const RowBlock& b, size_t ib,
+                        const std::vector<SortKey>& keys) {
+  for (const auto& key : keys) {
+    int c = ColumnVector::CompareEntries(a.columns[key.column], ia,
+                                         b.columns[key.column], ib);
+    if (c != 0) return key.descending ? -c : c;
+  }
+  return 0;
+}
+
+RowBlock SortOperator::SortBuffer() {
+  std::vector<uint32_t> perm(buffer_.NumRows());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+    return CompareRowsDirected(buffer_, x, buffer_, y, keys_) < 0;
+  });
+  RowBlock sorted(child_->OutputTypes());
+  for (uint32_t r : perm) sorted.AppendRowFrom(buffer_, r);
+  return sorted;
+}
+
+Status SortOperator::SpillRun(RowBlock sorted) {
+  if (sorted.NumRows() == 0) return Status::OK();
+  SpillWriter writer(ctx_->fs, ctx_->NextSpillPath());
+  STRATICA_RETURN_NOT_OK(writer.Append(sorted));
+  STRATICA_RETURN_NOT_OK(writer.Finish());
+  if (ctx_->stats) {
+    ctx_->stats->rows_spilled.fetch_add(sorted.NumRows());
+    ctx_->stats->spill_files.fetch_add(1);
+  }
+  Run run;
+  run.reader = std::make_unique<SpillReader>(ctx_->fs, writer.path(),
+                                             child_->OutputTypes());
+  runs_.push_back(std::move(run));
+  return Status::OK();
+}
+
+Status SortOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  STRATICA_RETURN_NOT_OK(child_->Open(ctx));
+  buffer_ = RowBlock(child_->OutputTypes());
+  runs_.clear();
+  cursor_ = 0;
+  reserved_ = 0;
+
+  for (;;) {
+    RowBlock in;
+    STRATICA_RETURN_NOT_OK(child_->GetNext(&in));
+    if (in.NumRows() == 0) break;
+    in.DecodeAll();
+    size_t bytes = in.MemoryBytes();
+    for (size_t r = 0; r < in.NumRows(); ++r) buffer_.AppendRowFrom(in, r);
+    // Externalize when the budget runs out (Section 6.1: all operators can
+    // handle arbitrary inputs regardless of allocated memory).
+    if (ctx->budget && !ctx->budget->TryReserve(bytes)) {
+      STRATICA_RETURN_NOT_OK(SpillRun(SortBuffer()));
+      buffer_ = RowBlock(child_->OutputTypes());
+      ctx->budget->Release(reserved_);
+      reserved_ = 0;
+    } else if (ctx->budget) {
+      reserved_ += bytes;
+    }
+  }
+
+  if (runs_.empty()) {
+    sorted_ = SortBuffer();
+    merge_mode_ = false;
+  } else {
+    if (buffer_.NumRows() > 0) STRATICA_RETURN_NOT_OK(SpillRun(SortBuffer()));
+    buffer_ = RowBlock(child_->OutputTypes());
+    for (auto& run : runs_) {
+      STRATICA_RETURN_NOT_OK(run.reader->Open());
+      STRATICA_RETURN_NOT_OK(run.reader->Next(&run.current));
+      run.exhausted = run.current.NumRows() == 0;
+    }
+    merge_mode_ = true;
+  }
+  if (ctx->budget) {
+    ctx->budget->Release(reserved_);
+    reserved_ = 0;
+  }
+  return Status::OK();
+}
+
+Status SortOperator::GetNext(RowBlock* out) {
+  *out = RowBlock(child_->OutputTypes());
+  if (!merge_mode_) {
+    size_t n = sorted_.NumRows();
+    if (cursor_ >= n) return Status::OK();
+    size_t take = std::min(ctx_->vector_size, n - cursor_);
+    for (size_t r = 0; r < take; ++r) out->AppendRowFrom(sorted_, cursor_ + r);
+    cursor_ += take;
+    return Status::OK();
+  }
+  while (out->NumRows() < ctx_->vector_size) {
+    Run* best = nullptr;
+    for (auto& run : runs_) {
+      if (run.exhausted) continue;
+      if (run.cursor >= run.current.NumRows()) {
+        STRATICA_RETURN_NOT_OK(run.reader->Next(&run.current));
+        run.cursor = 0;
+        if (run.current.NumRows() == 0) {
+          run.exhausted = true;
+          continue;
+        }
+      }
+      if (!best || CompareRowsDirected(run.current, run.cursor, best->current,
+                                       best->cursor, keys_) < 0) {
+        best = &run;
+      }
+    }
+    if (!best) break;
+    out->AppendRowFrom(best->current, best->cursor);
+    ++best->cursor;
+  }
+  return Status::OK();
+}
+
+std::string SortOperator::DebugString() const {
+  std::string s = "Sort(keys: ";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(keys_[i].column);
+    if (keys_[i].descending) s += " DESC";
+  }
+  if (!runs_.empty()) s += ", external runs: " + std::to_string(runs_.size());
+  return s + ")";
+}
+
+Status LimitOperator::GetNext(RowBlock* out) {
+  *out = RowBlock(child_->OutputTypes());
+  while (emitted_ < limit_) {
+    RowBlock in;
+    STRATICA_RETURN_NOT_OK(child_->GetNext(&in));
+    if (in.NumRows() == 0) return Status::OK();
+    in.DecodeAll();
+    for (size_t r = 0; r < in.NumRows() && emitted_ < limit_; ++r) {
+      if (seen_++ < offset_) continue;
+      out->AppendRowFrom(in, r);
+      ++emitted_;
+    }
+    if (out->NumRows() > 0) return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace stratica

@@ -1,0 +1,161 @@
+// ExprEval (projection), Filter, Sort (externalizing), Limit, and the
+// in-memory source used by tests and DML plumbing.
+#ifndef STRATICA_EXEC_SIMPLE_OPS_H_
+#define STRATICA_EXEC_SIMPLE_OPS_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+#include "exec/spill.h"
+#include "expr/expr.h"
+
+namespace stratica {
+
+/// \brief Operator over a pre-materialized block (tests, VALUES, DML).
+class MaterializedOperator : public Operator {
+ public:
+  MaterializedOperator(RowBlock block, std::vector<std::string> names)
+      : block_(std::move(block)), names_(std::move(names)) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    cursor_ = 0;
+    return Status::OK();
+  }
+  Status GetNext(RowBlock* out) override;
+  Status Close() override { return Status::OK(); }
+  std::vector<TypeId> OutputTypes() const override {
+    std::vector<TypeId> t;
+    for (const auto& c : block_.columns) t.push_back(c.type);
+    return t;
+  }
+  std::vector<std::string> OutputNames() const override { return names_; }
+  std::string DebugString() const override { return "Materialized"; }
+
+ private:
+  RowBlock block_;
+  std::vector<std::string> names_;
+  ExecContext* ctx_ = nullptr;
+  size_t cursor_ = 0;
+};
+
+/// \brief ExprEval (Section 6.1 #4): computes one output column per
+/// expression over the child's rows.
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
+                  std::vector<std::string> names);
+
+  Status Open(ExecContext* ctx) override;
+  Status GetNext(RowBlock* out) override;
+  Status Close() override { return child_->Close(); }
+  std::vector<TypeId> OutputTypes() const override;
+  std::vector<std::string> OutputNames() const override { return names_; }
+  std::string DebugString() const override;
+  std::vector<Operator*> Children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  std::vector<std::string> names_;
+};
+
+/// \brief Row filter for predicates not pushed into a scan (e.g. HAVING).
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Status Open(ExecContext* ctx) override { return child_->Open(ctx); }
+  Status GetNext(RowBlock* out) override;
+  Status Close() override { return child_->Close(); }
+  std::vector<TypeId> OutputTypes() const override { return child_->OutputTypes(); }
+  std::vector<std::string> OutputNames() const override { return child_->OutputNames(); }
+  std::string DebugString() const override {
+    return "Filter(" + predicate_->ToString() + ")";
+  }
+  std::vector<Operator*> Children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Sort key with direction.
+struct SortKey {
+  uint32_t column;
+  bool descending = false;
+};
+
+/// Compare rows under directed sort keys.
+int CompareRowsDirected(const RowBlock& a, size_t ia, const RowBlock& b, size_t ib,
+                        const std::vector<SortKey>& keys);
+
+/// \brief Sort (Section 6.1 #5): externalizing sort. Buffers input under
+/// the memory budget; overflow sorts and spills runs, finishing with a
+/// k-way run merge.
+class SortOperator : public Operator {
+ public:
+  SortOperator(OperatorPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Status GetNext(RowBlock* out) override;
+  Status Close() override { return child_->Close(); }
+  std::vector<TypeId> OutputTypes() const override { return child_->OutputTypes(); }
+  std::vector<std::string> OutputNames() const override { return child_->OutputNames(); }
+  std::string DebugString() const override;
+  std::vector<Operator*> Children() const override { return {child_.get()}; }
+
+  size_t runs_spilled() const { return runs_.size(); }
+
+ private:
+  Status SpillRun(RowBlock sorted);
+  RowBlock SortBuffer();
+
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  ExecContext* ctx_ = nullptr;
+  RowBlock buffer_;
+  size_t reserved_ = 0;
+
+  struct Run {
+    std::unique_ptr<SpillReader> reader;
+    RowBlock current;
+    size_t cursor = 0;
+    bool exhausted = false;
+  };
+  std::vector<Run> runs_;
+  RowBlock sorted_;  // in-memory result when no spill happened
+  size_t cursor_ = 0;
+  bool merge_mode_ = false;
+};
+
+/// \brief LIMIT n (with optional OFFSET).
+class LimitOperator : public Operator {
+ public:
+  LimitOperator(OperatorPtr child, uint64_t limit, uint64_t offset = 0)
+      : child_(std::move(child)), limit_(limit), offset_(offset) {}
+
+  Status Open(ExecContext* ctx) override {
+    seen_ = emitted_ = 0;
+    return child_->Open(ctx);
+  }
+  Status GetNext(RowBlock* out) override;
+  Status Close() override { return child_->Close(); }
+  std::vector<TypeId> OutputTypes() const override { return child_->OutputTypes(); }
+  std::vector<std::string> OutputNames() const override { return child_->OutputNames(); }
+  std::string DebugString() const override {
+    return "Limit(" + std::to_string(limit_) + ")";
+  }
+  std::vector<Operator*> Children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  uint64_t limit_, offset_;
+  uint64_t seen_ = 0, emitted_ = 0;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_EXEC_SIMPLE_OPS_H_

@@ -1,0 +1,58 @@
+// Block spill files: serialization of RowBlocks through the FileSystem for
+// operator externalization (sort runs, grace-hash partitions).
+#ifndef STRATICA_EXEC_SPILL_H_
+#define STRATICA_EXEC_SPILL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/row_block.h"
+#include "common/status.h"
+
+namespace stratica {
+
+/// Serialize a flat block (all columns plain-encoded) to bytes.
+std::string SerializeBlock(const RowBlock& block);
+
+/// Parse bytes produced by SerializeBlock; `types` gives the column types.
+Result<RowBlock> ParseBlock(const std::string& data, const std::vector<TypeId>& types);
+
+/// \brief Append-oriented spill writer: buffers blocks, writes one file.
+class SpillWriter {
+ public:
+  SpillWriter(FileSystem* fs, std::string path) : fs_(fs), path_(std::move(path)) {}
+
+  Status Append(const RowBlock& block);
+  Status Finish();
+  uint64_t rows() const { return rows_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  FileSystem* fs_;
+  std::string path_;
+  std::string buffer_;
+  uint64_t rows_ = 0;
+};
+
+/// \brief Streams blocks back from a spill file.
+class SpillReader {
+ public:
+  SpillReader(const FileSystem* fs, std::string path, std::vector<TypeId> types)
+      : fs_(fs), path_(std::move(path)), types_(std::move(types)) {}
+
+  Status Open();
+  /// Empty block = EOF.
+  Status Next(RowBlock* out);
+
+ private:
+  const FileSystem* fs_;
+  std::string path_;
+  std::vector<TypeId> types_;
+  std::string data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_EXEC_SPILL_H_

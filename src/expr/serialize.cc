@@ -1,0 +1,255 @@
+#include "expr/serialize.h"
+
+#include <sstream>
+
+namespace stratica {
+
+namespace {
+
+void Escape(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '\\' || c == '"') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+void SerializeValue(const Value& v, std::string* out) {
+  out->append("(v ");
+  out->append(std::to_string(static_cast<int>(v.type())));
+  out->push_back(' ');
+  if (v.is_null()) {
+    out->append("null");
+  } else {
+    switch (StorageClassOf(v.type())) {
+      case StorageClass::kInt64: out->append(std::to_string(v.i64())); break;
+      case StorageClass::kFloat64: {
+        std::ostringstream ss;
+        ss.precision(17);
+        ss << v.f64();
+        out->append(ss.str());
+        break;
+      }
+      case StorageClass::kString:
+        out->push_back('"');
+        Escape(v.str(), out);
+        out->push_back('"');
+        break;
+    }
+  }
+  out->push_back(')');
+}
+
+void SerializeImpl(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      out->append("(col \"");
+      Escape(e.column_name, out);
+      out->append("\")");
+      return;
+    case ExprKind::kLiteral:
+      out->append("(lit ");
+      SerializeValue(e.literal, out);
+      out->push_back(')');
+      return;
+    case ExprKind::kCompare:
+      out->append("(cmp ");
+      out->append(std::to_string(static_cast<int>(e.cmp)));
+      break;
+    case ExprKind::kArith:
+      out->append("(arith ");
+      out->append(std::to_string(static_cast<int>(e.arith)));
+      break;
+    case ExprKind::kLogical:
+      out->append("(logic ");
+      out->append(std::to_string(static_cast<int>(e.logic)));
+      break;
+    case ExprKind::kFunc:
+      out->append("(func ");
+      out->append(std::to_string(static_cast<int>(e.func)));
+      out->append(" \"");
+      Escape(e.like_pattern, out);
+      out->push_back('"');
+      break;
+    case ExprKind::kIn: {
+      out->append("(in ");
+      out->append(e.negated ? "1" : "0");
+      out->append(" [");
+      for (const auto& v : e.in_list) SerializeValue(v, out);
+      out->push_back(']');
+      break;
+    }
+    case ExprKind::kIsNull:
+      out->append("(isnull ");
+      out->append(e.negated ? "1" : "0");
+      break;
+    case ExprKind::kCase:
+      out->append("(case 0");
+      break;
+  }
+  for (const auto& c : e.children) {
+    out->push_back(' ');
+    SerializeImpl(*c, out);
+  }
+  out->push_back(')');
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<ExprPtr> Parse() {
+    STRATICA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    SkipSpace();
+    if (pos_ != text_.size()) return Status::ParseError("trailing bytes in expr");
+    return e;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseToken() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ' ' && text_[pos_] != ')' &&
+           text_[pos_] != '(' && text_[pos_] != ']') {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::ParseError("expected token at ", start);
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<std::string> ParseQuoted() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"')
+      return Status::ParseError("expected string at ", pos_);
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) return Status::ParseError("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  Result<int> ParseInt() {
+    STRATICA_ASSIGN_OR_RETURN(std::string tok, ParseToken());
+    return std::atoi(tok.c_str());
+  }
+
+  Result<Value> ParseValue() {
+    if (!Consume('(')) return Status::ParseError("expected (v");
+    STRATICA_ASSIGN_OR_RETURN(std::string tag, ParseToken());
+    if (tag != "v") return Status::ParseError("expected value tag");
+    STRATICA_ASSIGN_OR_RETURN(int type_int, ParseInt());
+    auto type = static_cast<TypeId>(type_int);
+    SkipSpace();
+    Value v;
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      v = Value::Null(type);
+    } else if (StorageClassOf(type) == StorageClass::kString) {
+      STRATICA_ASSIGN_OR_RETURN(std::string s, ParseQuoted());
+      v = Value::String(std::move(s));
+    } else if (StorageClassOf(type) == StorageClass::kFloat64) {
+      STRATICA_ASSIGN_OR_RETURN(std::string tok, ParseToken());
+      v = Value::Float64(std::strtod(tok.c_str(), nullptr));
+    } else {
+      STRATICA_ASSIGN_OR_RETURN(std::string tok, ParseToken());
+      v = Value::OfInt(type, std::strtoll(tok.c_str(), nullptr, 10));
+    }
+    if (!Consume(')')) return Status::ParseError("expected ) after value");
+    return v;
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    if (!Consume('(')) return Status::ParseError("expected (");
+    STRATICA_ASSIGN_OR_RETURN(std::string tag, ParseToken());
+    auto e = std::make_shared<Expr>();
+    if (tag == "col") {
+      e->kind = ExprKind::kColumnRef;
+      STRATICA_ASSIGN_OR_RETURN(e->column_name, ParseQuoted());
+    } else if (tag == "lit") {
+      e->kind = ExprKind::kLiteral;
+      STRATICA_ASSIGN_OR_RETURN(e->literal, ParseValue());
+      e->type = e->literal.type();
+    } else if (tag == "cmp") {
+      e->kind = ExprKind::kCompare;
+      STRATICA_ASSIGN_OR_RETURN(int op, ParseInt());
+      e->cmp = static_cast<CompareOp>(op);
+    } else if (tag == "arith") {
+      e->kind = ExprKind::kArith;
+      STRATICA_ASSIGN_OR_RETURN(int op, ParseInt());
+      e->arith = static_cast<ArithOp>(op);
+    } else if (tag == "logic") {
+      e->kind = ExprKind::kLogical;
+      STRATICA_ASSIGN_OR_RETURN(int op, ParseInt());
+      e->logic = static_cast<LogicalOp>(op);
+    } else if (tag == "func") {
+      e->kind = ExprKind::kFunc;
+      STRATICA_ASSIGN_OR_RETURN(int f, ParseInt());
+      e->func = static_cast<FuncKind>(f);
+      STRATICA_ASSIGN_OR_RETURN(e->like_pattern, ParseQuoted());
+    } else if (tag == "in") {
+      e->kind = ExprKind::kIn;
+      STRATICA_ASSIGN_OR_RETURN(int neg, ParseInt());
+      e->negated = neg != 0;
+      if (!Consume('[')) return Status::ParseError("expected [ in IN list");
+      SkipSpace();
+      while (pos_ < text_.size() && text_[pos_] != ']') {
+        STRATICA_ASSIGN_OR_RETURN(Value v, ParseValue());
+        e->in_list.push_back(std::move(v));
+        SkipSpace();
+      }
+      if (!Consume(']')) return Status::ParseError("expected ]");
+    } else if (tag == "isnull") {
+      e->kind = ExprKind::kIsNull;
+      STRATICA_ASSIGN_OR_RETURN(int neg, ParseInt());
+      e->negated = neg != 0;
+    } else if (tag == "case") {
+      e->kind = ExprKind::kCase;
+      STRATICA_ASSIGN_OR_RETURN(int ignored, ParseInt());
+      (void)ignored;
+    } else {
+      return Status::ParseError("unknown expr tag: ", tag);
+    }
+    // Children until closing paren.
+    SkipSpace();
+    while (pos_ < text_.size() && text_[pos_] == '(') {
+      STRATICA_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+      e->children.push_back(std::move(child));
+      SkipSpace();
+    }
+    if (!Consume(')')) return Status::ParseError("expected )");
+    return e;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeExpr(const Expr& e) {
+  std::string out;
+  SerializeImpl(e, &out);
+  return out;
+}
+
+Result<ExprPtr> ParseSerializedExpr(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace stratica

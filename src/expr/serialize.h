@@ -1,0 +1,22 @@
+// Compact s-expression serialization of Expr trees, used by the catalog's
+// persistence mechanism (Section 5.3: the catalog is "transactionally
+// persisted to disk via its own mechanism", not via database tables).
+#ifndef STRATICA_EXPR_SERIALIZE_H_
+#define STRATICA_EXPR_SERIALIZE_H_
+
+#include <string>
+
+#include "expr/expr.h"
+
+namespace stratica {
+
+/// Render a (possibly unbound) expression as a parseable s-expression.
+std::string SerializeExpr(const Expr& e);
+
+/// Parse the output of SerializeExpr. The result is unbound (column
+/// references carry names only) and must be re-bound against a schema.
+Result<ExprPtr> ParseSerializedExpr(const std::string& text);
+
+}  // namespace stratica
+
+#endif  // STRATICA_EXPR_SERIALIZE_H_

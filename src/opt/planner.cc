@@ -1,0 +1,935 @@
+#include "opt/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "exec/exchange.h"
+#include "exec/group_by.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+#include "exec/simple_ops.h"
+
+namespace stratica {
+
+namespace {
+
+/// A materialize-once broadcast: every consumer replays the same blocks
+/// (used for the inner side of non-co-located joins).
+class BroadcastState {
+ public:
+  explicit BroadcastState(OperatorPtr child) : child_(std::move(child)) {}
+
+  Status Materialize(ExecContext* ctx) {
+    std::lock_guard lock(mu_);
+    if (done_) return status_;
+    done_ = true;
+    status_ = child_->Open(ctx);
+    rows_ = RowBlock(child_->OutputTypes());
+    while (status_.ok()) {
+      RowBlock block;
+      status_ = child_->GetNext(&block);
+      if (!status_.ok() || block.NumRows() == 0) break;
+      block.DecodeAll();
+      if (ctx->stats) ctx->stats->exchange_bytes.fetch_add(block.MemoryBytes());
+      for (size_t r = 0; r < block.NumRows(); ++r) rows_.AppendRowFrom(block, r);
+    }
+    if (status_.ok()) status_ = child_->Close();
+    return status_;
+  }
+
+  const RowBlock& rows() const { return rows_; }
+  Operator* child() const { return child_.get(); }
+
+ private:
+  OperatorPtr child_;
+  std::mutex mu_;
+  bool done_ = false;
+  Status status_;
+  RowBlock rows_;
+};
+
+class BroadcastConsumerOperator : public Operator {
+ public:
+  BroadcastConsumerOperator(std::shared_ptr<BroadcastState> state, bool primary)
+      : state_(std::move(state)), primary_(primary) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    cursor_ = 0;
+    return state_->Materialize(ctx);
+  }
+  Status GetNext(RowBlock* out) override {
+    const RowBlock& rows = state_->rows();
+    *out = RowBlock(OutputTypes());
+    if (cursor_ >= rows.NumRows()) return Status::OK();
+    size_t take = std::min(ctx_->vector_size, rows.NumRows() - cursor_);
+    for (size_t r = 0; r < take; ++r) out->AppendRowFrom(rows, cursor_ + r);
+    cursor_ += take;
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+  std::vector<TypeId> OutputTypes() const override {
+    return state_->child()->OutputTypes();
+  }
+  std::vector<std::string> OutputNames() const override {
+    return state_->child()->OutputNames();
+  }
+  std::string DebugString() const override { return "Recv(broadcast)"; }
+  std::vector<Operator*> Children() const override {
+    if (primary_) return {state_->child()};
+    return {};
+  }
+
+ private:
+  std::shared_ptr<BroadcastState> state_;
+  bool primary_;
+  ExecContext* ctx_ = nullptr;
+  size_t cursor_ = 0;
+};
+
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kLogical && e->logic == LogicalOp::kAnd) {
+    SplitConjuncts(e->children[0], out);
+    SplitConjuncts(e->children[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr result;
+  for (const auto& c : conjuncts) {
+    result = result ? And(result, c) : c;
+  }
+  return result;
+}
+
+/// Does a bound predicate reject NULLs of the given column range? A plain
+/// comparison or IS NOT NULL on those columns does.
+bool NullRejecting(const Expr& e, int col_lo, int col_hi) {
+  std::vector<int> cols;
+  CollectColumns(e, &cols);
+  bool touches = false;
+  for (int c : cols) touches |= (c >= col_lo && c < col_hi);
+  if (!touches) return false;
+  if (e.kind == ExprKind::kCompare) return true;
+  if (e.kind == ExprKind::kIsNull && e.negated) return true;
+  return false;
+}
+
+}  // namespace
+
+/// One resolved FROM entry.
+struct Planner::TableSlot {
+  std::string alias;
+  TableDef def;
+  ProjectionDef projection;             // chosen physical source
+  int schema_offset = 0;                // column offset in the combined schema
+  JoinType join_type = JoinType::kInner;
+  uint64_t est_rows = 0;
+
+  std::vector<ExprPtr> local_predicates;  // bound to the combined schema
+  // Scan units: (storage, covering node) pairs; one per up node normally,
+  // with buddies substituted for down nodes.
+  std::vector<ProjectionStorage*> units;
+  uint32_t unit_offset = 0;  // ring offset of the projection serving units
+};
+
+struct Planner::Scope {
+  std::vector<TableSlot> tables;
+  BindSchema schema;  // combined: "alias.col" names
+};
+
+Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
+  Catalog* catalog = cluster_->catalog();
+  Scope scope;
+
+  // ---- resolve FROM ---------------------------------------------------------
+  for (const auto& ref : stmt.from) {
+    TableSlot slot;
+    slot.alias = ref.alias.empty() ? ref.table : ref.alias;
+    STRATICA_ASSIGN_OR_RETURN(slot.def, catalog->GetTable(ref.table));
+    slot.join_type = ref.join_type;
+    slot.schema_offset = static_cast<int>(scope.schema.size());
+    for (const auto& c : slot.def.columns) {
+      scope.schema.Add(slot.alias + "." + c.name, c.type);
+    }
+    scope.tables.push_back(std::move(slot));
+  }
+
+  // ---- bind -----------------------------------------------------------------
+  SelectStmt bound = stmt;  // shallow: ExprPtr shared; clone what we mutate
+  std::vector<ExprPtr> conjuncts;
+  if (bound.where) {
+    ExprPtr where = CloneExpr(bound.where);
+    STRATICA_RETURN_NOT_OK(BindExpr(where, scope.schema));
+    SplitConjuncts(where, &conjuncts);
+  }
+  // ON clauses: equality keys + residuals.
+  struct JoinEdge {
+    size_t left_table, right_table;  // indexes into scope.tables
+    std::vector<int> left_cols, right_cols;  // combined-schema indexes
+  };
+  std::vector<JoinEdge> edges;
+  std::vector<ExprPtr> residuals;
+  auto table_of_column = [&](int col) -> size_t {
+    for (size_t t = scope.tables.size(); t-- > 0;) {
+      if (col >= scope.tables[t].schema_offset) return t;
+    }
+    return 0;
+  };
+  auto classify = [&](const ExprPtr& conjunct) {
+    std::vector<int> cols;
+    CollectColumns(*conjunct, &cols);
+    std::set<size_t> tables;
+    for (int c : cols) tables.insert(table_of_column(c));
+    if (tables.size() <= 1) {
+      size_t t = tables.empty() ? 0 : *tables.begin();
+      scope.tables[t].local_predicates.push_back(conjunct);
+      return;
+    }
+    if (tables.size() == 2 && conjunct->kind == ExprKind::kCompare &&
+        conjunct->cmp == CompareOp::kEq &&
+        conjunct->children[0]->kind == ExprKind::kColumnRef &&
+        conjunct->children[1]->kind == ExprKind::kColumnRef) {
+      int a = conjunct->children[0]->column_index;
+      int b = conjunct->children[1]->column_index;
+      size_t ta = table_of_column(a), tb = table_of_column(b);
+      if (ta > tb) {
+        std::swap(a, b);
+        std::swap(ta, tb);
+      }
+      // Attach to an existing edge between the pair if present.
+      for (auto& edge : edges) {
+        if (edge.left_table == ta && edge.right_table == tb) {
+          edge.left_cols.push_back(a);
+          edge.right_cols.push_back(b);
+          return;
+        }
+      }
+      edges.push_back({ta, tb, {a}, {b}});
+      return;
+    }
+    residuals.push_back(conjunct);
+  };
+  for (auto& c : conjuncts) classify(c);
+  for (size_t t = 1; t < scope.tables.size(); ++t) {
+    if (!stmt.from[t].on) continue;
+    ExprPtr on = CloneExpr(stmt.from[t].on);
+    STRATICA_RETURN_NOT_OK(BindExpr(on, scope.schema));
+    std::vector<ExprPtr> on_conjuncts;
+    SplitConjuncts(on, &on_conjuncts);
+    for (auto& c : on_conjuncts) classify(c);
+  }
+
+  // Outer-to-inner conversion: a null-rejecting WHERE predicate on the
+  // nullable side of an outer join converts it to inner (Section 6.2).
+  for (size_t t = 1; t < scope.tables.size(); ++t) {
+    TableSlot& slot = scope.tables[t];
+    if (slot.join_type != JoinType::kLeft) continue;
+    int lo = slot.schema_offset;
+    int hi = lo + static_cast<int>(slot.def.columns.size());
+    for (const auto& pred : slot.local_predicates) {
+      if (NullRejecting(*pred, lo, hi)) {
+        slot.join_type = JoinType::kInner;
+        break;
+      }
+    }
+  }
+
+  // Transitive predicates across join keys (Section 6.2): an equality/range
+  // literal predicate on one side of a join equality applies to the other.
+  for (const auto& edge : edges) {
+    for (size_t k = 0; k < edge.left_cols.size(); ++k) {
+      for (size_t t : {edge.left_table, edge.right_table}) {
+        int from_col = t == edge.left_table ? edge.left_cols[k] : edge.right_cols[k];
+        int to_col = t == edge.left_table ? edge.right_cols[k] : edge.left_cols[k];
+        size_t to_table = t == edge.left_table ? edge.right_table : edge.left_table;
+        if (scope.tables[to_table].join_type != JoinType::kInner) continue;
+        for (const auto& pred : scope.tables[t].local_predicates) {
+          if (pred->kind != ExprKind::kCompare) continue;
+          if (pred->children[0]->kind != ExprKind::kColumnRef ||
+              pred->children[0]->column_index != from_col ||
+              pred->children[1]->kind != ExprKind::kLiteral) {
+            continue;
+          }
+          ExprPtr derived = Cmp(pred->cmp,
+                                ColIdx(to_col, scope.schema.types[to_col]),
+                                Lit(pred->children[1]->literal));
+          derived->children[0]->column_name = scope.schema.names[to_col];
+          bool dup = false;
+          for (const auto& existing : scope.tables[to_table].local_predicates) {
+            dup |= existing->ToString() == derived->ToString();
+          }
+          if (!dup) scope.tables[to_table].local_predicates.push_back(derived);
+        }
+      }
+    }
+  }
+
+  // ---- choose projections + scan units (buddy substitution on failure) -----
+  for (auto& slot : scope.tables) {
+    auto candidates = catalog->ProjectionsForTable(slot.def.name);
+    // Needed columns of this table.
+    std::set<std::string> needed;
+    for (const auto& c : slot.def.columns) needed.insert(c.name);  // supers cover all
+    const ProjectionDef* best = nullptr;
+    int64_t best_score = INT64_MIN;
+    for (const auto& p : candidates) {
+      if (p.segmentation.node_offset != 0) continue;  // buddies join via units
+      if (p.IsPrejoin()) continue;
+      if (!p.is_super) continue;  // narrow projections need column analysis; a
+                                  // super always works — prefer it unless a
+                                  // narrow one scores higher below.
+      int64_t score = 0;
+      // Compression-aware I/O proxy: smaller stored footprint wins.
+      uint64_t bytes = 0;
+      for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+        auto* ps = cluster_->node(n)->GetStorage(p.name);
+        if (ps) bytes += ps->TotalRosBytes();
+      }
+      score -= static_cast<int64_t>(bytes / 1024);
+      // Sorted-prefix predicate bonus: fast pruning and merge scans.
+      if (!p.sort_columns.empty()) {
+        const std::string& first_sort = p.columns[p.sort_columns[0]].name;
+        for (const auto& pred : slot.local_predicates) {
+          if (pred->kind == ExprKind::kCompare &&
+              pred->children[0]->kind == ExprKind::kColumnRef) {
+            std::string bare = pred->children[0]->column_name;
+            auto dot = bare.rfind('.');
+            if (dot != std::string::npos) bare = bare.substr(dot + 1);
+            if (bare == first_sort) score += 1000000;
+          }
+        }
+      }
+      if (!best || score > best_score) {
+        best = &p;
+        best_score = score;
+      }
+    }
+    if (!best) return Status::Internal("no projection for table ", slot.def.name);
+    slot.projection = *best;
+
+    // Scan units with buddy substitution: for every ring slot pick an up
+    // node among the projection family (replan-with-buddy, Section 6.2).
+    if (slot.projection.segmentation.replicated) {
+      for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+        if (!cluster_->node(n)->up()) continue;
+        slot.units = {cluster_->node(n)->GetStorage(slot.projection.name)};
+        break;
+      }
+      if (slot.units.empty()) return Status::ClusterUnavailable("no node up");
+    } else {
+      std::vector<ProjectionDef> family = {slot.projection};
+      for (const auto& p : candidates) {
+        if (p.buddy_of == slot.projection.name) family.push_back(p);
+      }
+      for (uint32_t ring_slot = 0; ring_slot < cluster_->num_nodes(); ++ring_slot) {
+        ProjectionStorage* unit = nullptr;
+        for (const auto& copy : family) {
+          uint32_t host =
+              (ring_slot + copy.segmentation.node_offset) % cluster_->num_nodes();
+          if (!cluster_->node(host)->up()) continue;
+          unit = cluster_->node(host)->GetStorage(copy.name);
+          if (unit) break;
+        }
+        if (!unit) {
+          return Status::ClusterUnavailable(
+              "data unavailable: no live copy of ", slot.projection.name,
+              " for ring slot ", ring_slot, " (K-safety exhausted)");
+        }
+        slot.units.push_back(unit);
+      }
+    }
+    slot.est_rows = 0;
+    for (auto* ps : slot.units) slot.est_rows += ps->TotalRosRows() + ps->WosRowCount();
+  }
+
+  // ---- join order (StarOpt heuristic) ---------------------------------------
+  // Probe stream = largest table (the fact); inner/build sides joined in
+  // ascending size order, most selective dimensions first. Only pure-INNER
+  // plans are reordered.
+  std::vector<size_t> order(scope.tables.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  bool all_inner = true;
+  for (size_t t = 1; t < scope.tables.size(); ++t) {
+    all_inner &= scope.tables[t].join_type == JoinType::kInner;
+  }
+  if (all_inner && scope.tables.size() > 1) {
+    size_t fact = 0;
+    for (size_t t = 1; t < scope.tables.size(); ++t) {
+      if (scope.tables[t].est_rows > scope.tables[fact].est_rows) fact = t;
+    }
+    std::vector<size_t> rest;
+    for (size_t t = 0; t < scope.tables.size(); ++t) {
+      if (t != fact) rest.push_back(t);
+    }
+    // Selectivity-first: tables with local predicates join earlier; size
+    // breaks ties.
+    std::stable_sort(rest.begin(), rest.end(), [&](size_t a, size_t b) {
+      size_t pa = scope.tables[a].local_predicates.size();
+      size_t pb = scope.tables[b].local_predicates.size();
+      if (pa != pb) return pa > pb;
+      return scope.tables[a].est_rows < scope.tables[b].est_rows;
+    });
+    order.clear();
+    order.push_back(fact);
+    // Greedy: append tables connected to the joined set first.
+    std::set<size_t> joined = {fact};
+    while (!rest.empty()) {
+      size_t pick = SIZE_MAX;
+      for (size_t i = 0; i < rest.size(); ++i) {
+        for (const auto& edge : edges) {
+          bool connects = (joined.count(edge.left_table) && edge.right_table == rest[i]) ||
+                          (joined.count(edge.right_table) && edge.left_table == rest[i]);
+          if (connects) {
+            pick = i;
+            break;
+          }
+        }
+        if (pick != SIZE_MAX) break;
+      }
+      if (pick == SIZE_MAX) pick = 0;  // cross join fallback
+      joined.insert(rest[pick]);
+      order.push_back(rest[pick]);
+      rest.erase(rest.begin() + pick);
+    }
+  }
+
+  // ---- build scan specs ------------------------------------------------------
+  // The combined stream schema after all joins, in join order.
+  BindSchema stream_schema;
+  std::vector<std::pair<size_t, int>> stream_origin;  // (table, table-col)
+  for (size_t oi : order) {
+    const TableSlot& slot = scope.tables[oi];
+    for (size_t c = 0; c < slot.def.columns.size(); ++c) {
+      stream_schema.Add(slot.alias + "." + slot.def.columns[c].name,
+                        slot.def.columns[c].type);
+      stream_origin.emplace_back(oi, static_cast<int>(c));
+    }
+  }
+  auto combined_to_stream = [&](int combined_col) -> int {
+    size_t t = table_of_column(combined_col);
+    int within = combined_col - scope.tables[t].schema_offset;
+    int pos = 0;
+    for (size_t oi : order) {
+      if (oi == t) return pos + within;
+      pos += static_cast<int>(scope.tables[oi].def.columns.size());
+    }
+    return -1;
+  };
+  auto rebind_to_stream = [&](const ExprPtr& e) -> Result<ExprPtr> {
+    ExprPtr copy = CloneExpr(e);
+    // Reset bound indexes, rebind by name against the stream schema.
+    std::vector<Expr*> stack = {copy.get()};
+    while (!stack.empty()) {
+      Expr* cur = stack.back();
+      stack.pop_back();
+      if (cur->kind == ExprKind::kColumnRef) cur->column_index = -1;
+      for (auto& ch : cur->children) stack.push_back(ch.get());
+    }
+    STRATICA_RETURN_NOT_OK(BindExpr(copy, stream_schema));
+    return copy;
+  };
+
+  struct TablePlan {
+    ScanSpec spec;                      // per-unit template
+    std::vector<std::shared_ptr<SipFilter>> sips;  // attached later
+  };
+  std::vector<TablePlan> table_plans(scope.tables.size());
+  for (size_t t = 0; t < scope.tables.size(); ++t) {
+    TableSlot& slot = scope.tables[t];
+    TablePlan& tp = table_plans[t];
+    // Scan outputs every table column (projection order mapped to table
+    // order) so stream offsets are predictable.
+    BindSchema scan_schema;
+    for (size_t c = 0; c < slot.def.columns.size(); ++c) {
+      int proj_col = slot.projection.FindColumn(slot.def.columns[c].name);
+      if (proj_col < 0)
+        return Status::Internal("projection misses column ", slot.def.columns[c].name);
+      tp.spec.projection_columns.push_back(proj_col);
+      tp.spec.output_names.push_back(slot.alias + "." + slot.def.columns[c].name);
+      tp.spec.output_types.push_back(slot.def.columns[c].type);
+      scan_schema.Add(slot.alias + "." + slot.def.columns[c].name,
+                      slot.def.columns[c].type);
+    }
+    // Push local predicates into the scan, extracting prune bounds.
+    std::vector<ExprPtr> scan_preds;
+    for (const auto& pred : slot.local_predicates) {
+      ExprPtr local = CloneExpr(pred);
+      std::vector<Expr*> stack = {local.get()};
+      while (!stack.empty()) {
+        Expr* cur = stack.back();
+        stack.pop_back();
+        if (cur->kind == ExprKind::kColumnRef) cur->column_index = -1;
+        for (auto& ch : cur->children) stack.push_back(ch.get());
+      }
+      STRATICA_RETURN_NOT_OK(BindExpr(local, scan_schema));
+      scan_preds.push_back(local);
+      if (local->kind == ExprKind::kCompare &&
+          local->children[0]->kind == ExprKind::kColumnRef &&
+          local->children[1]->kind == ExprKind::kLiteral) {
+        tp.spec.prune_bounds.push_back({local->children[0]->column_index, local->cmp,
+                                        local->children[1]->literal});
+      }
+    }
+    tp.spec.predicate = CombineConjuncts(scan_preds);
+  }
+
+  // ---- SIP filters -----------------------------------------------------------
+  // The fact (first in join order) scans everything; joins against later
+  // tables install SIP filters on it when the join type filters probe rows.
+  size_t fact = order[0];
+  for (size_t j = 1; j < order.size(); ++j) {
+    size_t t = order[j];
+    JoinType jt = scope.tables[t].join_type;
+    if (jt != JoinType::kInner && jt != JoinType::kSemi) continue;
+    for (const auto& edge : edges) {
+      size_t other = SIZE_MAX;
+      const std::vector<int>* fact_cols = nullptr;
+      if (edge.left_table == fact && edge.right_table == t) {
+        other = t;
+        fact_cols = &edge.left_cols;
+      } else if (edge.right_table == fact && edge.left_table == t) {
+        other = t;
+        fact_cols = &edge.right_cols;
+      }
+      if (other == SIZE_MAX) continue;
+      auto sip = std::make_shared<SipFilter>();
+      for (int c : *fact_cols) {
+        sip->probe_columns.push_back(c - scope.tables[fact].schema_offset);
+      }
+      table_plans[fact].spec.sips.push_back(sip);
+      table_plans[t].sips.push_back(sip);  // the join for table t fills it
+    }
+  }
+
+  // ---- per-unit pipelines -----------------------------------------------------
+  // Co-location: a join is fully local when both sides have the same number
+  // of units and the build side is replicated, or both are segmented by
+  // HASH of exactly their join keys with equal ring offsets.
+  size_t num_units = scope.tables[fact].units.size();
+  auto seg_matches_keys = [&](const TableSlot& slot,
+                              const std::vector<int>& key_cols) {
+    if (slot.projection.segmentation.replicated) return false;
+    const ExprPtr& seg = slot.projection.segmentation.expr;
+    if (!seg || seg->kind != ExprKind::kFunc || seg->func != FuncKind::kHash)
+      return false;
+    if (seg->children.size() != key_cols.size()) return false;
+    std::set<std::string> seg_cols, join_cols;
+    for (const auto& ch : seg->children) {
+      if (ch->kind != ExprKind::kColumnRef) return false;
+      std::string bare = ch->column_name;
+      auto dot = bare.rfind('.');
+      if (dot != std::string::npos) bare = bare.substr(dot + 1);
+      seg_cols.insert(bare);
+    }
+    for (int c : key_cols) {
+      std::string bare = scope.schema.names[c];
+      auto dot = bare.rfind('.');
+      if (dot != std::string::npos) bare = bare.substr(dot + 1);
+      join_cols.insert(bare);
+    }
+    return seg_cols == join_cols;
+  };
+
+  // Pre-create broadcast states for non-co-located build sides.
+  std::vector<std::shared_ptr<BroadcastState>> broadcasts(scope.tables.size());
+  std::vector<bool> colocated(scope.tables.size(), false);
+  for (size_t j = 1; j < order.size(); ++j) {
+    size_t t = order[j];
+    const JoinEdge* edge = nullptr;
+    for (const auto& e : edges) {
+      if ((e.left_table == t && order[0] == e.right_table) ||
+          (e.right_table == t && order[0] == e.left_table) ||
+          e.left_table == t || e.right_table == t) {
+        edge = &e;
+        break;
+      }
+    }
+    bool replicated = scope.tables[t].projection.segmentation.replicated;
+    bool both_segmented_alike = false;
+    if (edge && !replicated &&
+        scope.tables[t].units.size() == num_units) {
+      const auto& t_cols = edge->left_table == t ? edge->left_cols : edge->right_cols;
+      size_t o = edge->left_table == t ? edge->right_table : edge->left_table;
+      const auto& o_cols = edge->left_table == t ? edge->right_cols : edge->left_cols;
+      both_segmented_alike = seg_matches_keys(scope.tables[t], t_cols) &&
+                             seg_matches_keys(scope.tables[o], o_cols) &&
+                             scope.tables[t].unit_offset == scope.tables[o].unit_offset;
+    }
+    colocated[t] = replicated || both_segmented_alike;
+    if (!colocated[t]) {
+      // Gather the build side once; every unit replays it (broadcast).
+      std::vector<OperatorPtr> scans;
+      for (auto* ps : scope.tables[t].units) {
+        ScanSpec s = table_plans[t].spec;
+        s.storage = ps;
+        scans.push_back(std::make_unique<ScanOperator>(s));
+      }
+      OperatorPtr gathered = scans.size() == 1
+                                 ? std::move(scans[0])
+                                 : MakeUnionExchange(std::move(scans), "Recv", true);
+      broadcasts[t] = std::make_shared<BroadcastState>(std::move(gathered));
+    }
+  }
+
+  // Build one pipeline per fact unit: scan -> joins.
+  std::vector<OperatorPtr> unit_pipelines;
+  for (size_t u = 0; u < num_units; ++u) {
+    ScanSpec fact_spec = table_plans[fact].spec;
+    fact_spec.storage = scope.tables[fact].units[u];
+    OperatorPtr stream = std::make_unique<ScanOperator>(fact_spec);
+    std::vector<size_t> joined_order = {fact};
+    for (size_t j = 1; j < order.size(); ++j) {
+      size_t t = order[j];
+      // Join keys between the current stream and table t.
+      JoinSpec jspec;
+      jspec.type = scope.tables[t].join_type;
+      auto stream_pos_of = [&](int combined_col) -> int {
+        size_t owner = table_of_column(combined_col);
+        int within = combined_col - scope.tables[owner].schema_offset;
+        int pos = 0;
+        for (size_t oi : joined_order) {
+          if (oi == owner) return pos + within;
+          pos += static_cast<int>(scope.tables[oi].def.columns.size());
+        }
+        return -1;
+      };
+      for (const auto& edge : edges) {
+        const std::vector<int>* probe_side = nullptr;
+        const std::vector<int>* build_side = nullptr;
+        if (edge.right_table == t &&
+            std::find(joined_order.begin(), joined_order.end(), edge.left_table) !=
+                joined_order.end()) {
+          probe_side = &edge.left_cols;
+          build_side = &edge.right_cols;
+        } else if (edge.left_table == t &&
+                   std::find(joined_order.begin(), joined_order.end(),
+                             edge.right_table) != joined_order.end()) {
+          probe_side = &edge.right_cols;
+          build_side = &edge.left_cols;
+        }
+        if (!probe_side) continue;
+        for (size_t k = 0; k < probe_side->size(); ++k) {
+          jspec.probe_keys.push_back(static_cast<uint32_t>(stream_pos_of((*probe_side)[k])));
+          jspec.build_keys.push_back(static_cast<uint32_t>(
+              (*build_side)[k] - scope.tables[t].schema_offset));
+        }
+      }
+      if (jspec.probe_keys.empty() && order.size() > 1)
+        return Status::NotImplemented("cross joins without predicates");
+      // SIP: one filter slot per (fact,t) edge was pre-created; fill from
+      // this join (only one unit needs to populate it — unit 0).
+      if (u == 0 && !table_plans[t].sips.empty()) jspec.sip = table_plans[t].sips[0];
+
+      OperatorPtr build_side_op;
+      if (colocated[t]) {
+        ScanSpec s = table_plans[t].spec;
+        s.storage = scope.tables[t].units[u % scope.tables[t].units.size()];
+        build_side_op = std::make_unique<ScanOperator>(s);
+      } else {
+        build_side_op = std::make_unique<BroadcastConsumerOperator>(broadcasts[t],
+                                                                    /*primary=*/u == 0);
+      }
+      stream = std::make_unique<HashJoinOperator>(std::move(stream),
+                                                  std::move(build_side_op), jspec);
+      joined_order.push_back(t);
+    }
+    // Residual predicates (multi-table non-equi) above the joins.
+    if (!residuals.empty()) {
+      std::vector<ExprPtr> rebound;
+      for (const auto& r : residuals) {
+        // joined_order == order, so the stream schema applies.
+        STRATICA_ASSIGN_OR_RETURN(ExprPtr e, rebind_to_stream(r));
+        rebound.push_back(e);
+      }
+      stream = std::make_unique<FilterOperator>(std::move(stream),
+                                                CombineConjuncts(rebound));
+    }
+    unit_pipelines.push_back(std::move(stream));
+  }
+
+  // ---- aggregation / projection ----------------------------------------------
+  bool has_aggs = !stmt.group_by.empty() || !stmt.having_aggs.empty();
+  for (const auto& item : stmt.items) has_aggs |= item.kind == SelectItem::Kind::kAgg;
+  bool has_windows = false;
+  for (const auto& item : stmt.items)
+    has_windows |= item.kind == SelectItem::Kind::kWindow;
+  if (has_aggs && has_windows)
+    return Status::NotImplemented("window functions with GROUP BY");
+
+  PhysicalPlan plan;
+  OperatorPtr root;
+
+  if (has_aggs) {
+    // Bind group keys + agg args against the stream schema.
+    GroupBySpec gspec;
+    std::vector<ExprPtr> group_exprs;
+    std::vector<ExprPtr> agg_args;
+    std::vector<AggSpec> aggs;
+    for (const auto& g : stmt.group_by) {
+      STRATICA_ASSIGN_OR_RETURN(ExprPtr e, rebind_to_stream(g));
+      group_exprs.push_back(e);
+    }
+    auto add_agg = [&](const AggCall& call) -> Status {
+      AggSpec a;
+      a.kind = call.kind;
+      if (call.arg) {
+        STRATICA_ASSIGN_OR_RETURN(ExprPtr e, rebind_to_stream(call.arg));
+        a.input_type = e->type;
+        agg_args.push_back(e);
+        a.input_column = static_cast<int>(group_exprs.size() + agg_args.size() - 1);
+      }
+      aggs.push_back(a);
+      return Status::OK();
+    };
+    for (const auto& item : stmt.items) {
+      if (item.kind == SelectItem::Kind::kAgg) STRATICA_RETURN_NOT_OK(add_agg(item.agg));
+    }
+    for (const auto& call : stmt.having_aggs) STRATICA_RETURN_NOT_OK(add_agg(call));
+
+    // Pipeline per unit: ExprEval computing (group keys..., agg args...),
+    // then partial aggregation; prepass under intra-node parallel regions is
+    // exercised by the bench harness via this same operator stack.
+    bool partialable = true;
+    for (const auto& a : aggs) partialable &= a.Partialable();
+
+    std::vector<ExprPtr> eval_exprs = group_exprs;
+    for (const auto& e : agg_args) eval_exprs.push_back(e);
+    std::vector<std::string> eval_names;
+    for (size_t i = 0; i < group_exprs.size(); ++i)
+      eval_names.push_back("g" + std::to_string(i));
+    for (size_t i = 0; i < agg_args.size(); ++i)
+      eval_names.push_back("a" + std::to_string(i));
+    if (eval_exprs.empty()) {
+      // COUNT(*) with no grouping: keep one carrier column so row counts
+      // survive the ExprEval.
+      eval_exprs.push_back(Lit(Value::Int64(1)));
+      eval_names.push_back("one");
+    }
+
+    GroupBySpec local;
+    for (size_t i = 0; i < group_exprs.size(); ++i)
+      local.group_columns.push_back(static_cast<uint32_t>(i));
+    local.aggs = aggs;
+    local.phase = partialable ? AggPhase::kPartial : AggPhase::kSingle;
+    for (auto& name : eval_names) local.output_names.push_back(name);
+
+    std::vector<OperatorPtr> locals;
+    for (auto& pipeline : unit_pipelines) {
+      auto eval = std::make_unique<ProjectOperator>(
+          std::move(pipeline), std::vector<ExprPtr>(eval_exprs), eval_names);
+      if (partialable) {
+        locals.push_back(std::make_unique<HashGroupByOperator>(std::move(eval), local));
+      } else {
+        locals.push_back(std::move(eval));  // raw rows; single-stage at initiator
+      }
+    }
+    OperatorPtr gathered =
+        locals.size() == 1 ? std::move(locals[0])
+                           : MakeUnionExchange(std::move(locals), "Recv", true);
+    GroupBySpec final_spec = local;
+    final_spec.phase = partialable ? AggPhase::kCombine : AggPhase::kSingle;
+    final_spec.output_names.clear();
+    for (size_t i = 0; i < group_exprs.size(); ++i)
+      final_spec.output_names.push_back("g" + std::to_string(i));
+    for (size_t i = 0; i < aggs.size(); ++i)
+      final_spec.output_names.push_back("agg" + std::to_string(i));
+    root = std::make_unique<HashGroupByOperator>(std::move(gathered), final_spec);
+
+    // HAVING over (group cols..., agg outputs...).
+    if (stmt.having) {
+      BindSchema having_schema;
+      for (size_t i = 0; i < group_exprs.size(); ++i)
+        having_schema.Add("g" + std::to_string(i), group_exprs[i]->type);
+      size_t select_aggs = aggs.size() - stmt.having_aggs.size();
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        std::string name = "agg" + std::to_string(i);
+        if (i >= select_aggs)
+          name = "$having" + std::to_string(i - select_aggs);
+        having_schema.Add(name, aggs[i].OutputType());
+      }
+      ExprPtr having = CloneExpr(stmt.having);
+      STRATICA_RETURN_NOT_OK(BindExpr(having, having_schema));
+      root = std::make_unique<FilterOperator>(std::move(root), having);
+    }
+
+    // Final projection mapping select items onto group/agg outputs.
+    std::vector<ExprPtr> out_exprs;
+    size_t agg_cursor = 0;
+    for (const auto& item : stmt.items) {
+      if (item.kind == SelectItem::Kind::kAgg) {
+        size_t col = group_exprs.size() + agg_cursor++;
+        out_exprs.push_back(ColIdx(static_cast<int>(col), aggs[agg_cursor - 1].OutputType()));
+        plan.column_names.push_back(item.alias.empty()
+                                        ? std::string(AggKindName(item.agg.kind))
+                                        : item.alias);
+      } else if (item.kind == SelectItem::Kind::kExpr) {
+        // Must match a group-by expression.
+        ExprPtr bound_item;
+        STRATICA_ASSIGN_OR_RETURN(bound_item, rebind_to_stream(item.expr));
+        int found = -1;
+        for (size_t g = 0; g < group_exprs.size(); ++g) {
+          if (group_exprs[g]->ToString() == bound_item->ToString())
+            found = static_cast<int>(g);
+        }
+        if (found < 0)
+          return Status::AnalysisError("select expression not in GROUP BY: ",
+                                       item.expr->ToString());
+        out_exprs.push_back(ColIdx(found, group_exprs[found]->type));
+        plan.column_names.push_back(item.alias.empty() ? item.expr->ToString()
+                                                       : item.alias);
+      } else {
+        return Status::AnalysisError("SELECT * not valid with GROUP BY");
+      }
+    }
+    std::vector<std::string> out_names = plan.column_names;
+    root = std::make_unique<ProjectOperator>(std::move(root), out_exprs, out_names);
+  } else {
+    // No aggregation: gather rows, then project.
+    OperatorPtr gathered = unit_pipelines.size() == 1
+                               ? std::move(unit_pipelines[0])
+                               : MakeUnionExchange(std::move(unit_pipelines), "Recv",
+                                                   true);
+    // Window functions: sort by (partition, order) then Analytic.
+    std::vector<TypeId> window_types;
+    if (has_windows) {
+      AnalyticSpec aspec;
+      bool first_window = true;
+      size_t stream_width = stream_schema.size();
+      std::vector<ExprPtr> pre_exprs;   // pass-through stream + computed keys
+      for (size_t c = 0; c < stream_width; ++c)
+        pre_exprs.push_back(ColIdx(static_cast<int>(c), stream_schema.types[c]));
+      std::vector<std::string> pre_names = stream_schema.names;
+      std::vector<SortKey> sort_keys;
+      for (const auto& item : stmt.items) {
+        if (item.kind != SelectItem::Kind::kWindow) continue;
+        const WindowCall& w = item.window;
+        if (first_window) {
+          for (const auto& pe : w.partition_by) {
+            STRATICA_ASSIGN_OR_RETURN(ExprPtr e, rebind_to_stream(pe));
+            if (e->kind != ExprKind::kColumnRef)
+              return Status::NotImplemented("non-column PARTITION BY");
+            aspec.partition_columns.push_back(
+                static_cast<uint32_t>(e->column_index));
+            sort_keys.push_back({static_cast<uint32_t>(e->column_index), false});
+          }
+          for (const auto& [oe, desc] : w.order_by) {
+            STRATICA_ASSIGN_OR_RETURN(ExprPtr e, rebind_to_stream(oe));
+            if (e->kind != ExprKind::kColumnRef)
+              return Status::NotImplemented("non-column window ORDER BY");
+            aspec.order_keys.push_back({static_cast<uint32_t>(e->column_index), desc});
+            sort_keys.push_back({static_cast<uint32_t>(e->column_index), desc});
+          }
+          first_window = false;
+        }
+        WindowSpec ws;
+        ws.func = w.func;
+        if (w.arg) {
+          STRATICA_ASSIGN_OR_RETURN(ExprPtr e, rebind_to_stream(w.arg));
+          if (e->kind != ExprKind::kColumnRef)
+            return Status::NotImplemented("non-column window argument");
+          ws.input_column = e->column_index;
+        }
+        ws.output_name = item.alias.empty() ? WindowFuncName(w.func) : item.alias;
+        window_types.push_back(ws.OutputType(stream_schema.types));
+        aspec.windows.push_back(ws);
+      }
+      gathered = std::make_unique<SortOperator>(std::move(gathered), sort_keys);
+      gathered = std::make_unique<AnalyticOperator>(std::move(gathered), aspec);
+    }
+
+    std::vector<ExprPtr> out_exprs;
+    size_t window_cursor = 0;
+    size_t stream_width = stream_schema.size();
+    for (const auto& item : stmt.items) {
+      switch (item.kind) {
+        case SelectItem::Kind::kStar:
+          for (size_t c = 0; c < stream_width; ++c) {
+            out_exprs.push_back(ColIdx(static_cast<int>(c), stream_schema.types[c]));
+            plan.column_names.push_back(stream_schema.names[c]);
+          }
+          break;
+        case SelectItem::Kind::kExpr: {
+          STRATICA_ASSIGN_OR_RETURN(ExprPtr e, rebind_to_stream(item.expr));
+          out_exprs.push_back(e);
+          plan.column_names.push_back(item.alias.empty() ? item.expr->ToString()
+                                                         : item.alias);
+          break;
+        }
+        case SelectItem::Kind::kWindow: {
+          int col = static_cast<int>(stream_width + window_cursor);
+          out_exprs.push_back(ColIdx(col, window_types[window_cursor]));
+          ++window_cursor;
+          plan.column_names.push_back(item.alias.empty()
+                                          ? WindowFuncName(item.window.func)
+                                          : item.alias);
+          break;
+        }
+        case SelectItem::Kind::kAgg:
+          return Status::Internal("agg item in non-agg path");
+      }
+    }
+    // Window output types need correction after Analytic wiring.
+    root = std::make_unique<ProjectOperator>(std::move(gathered), out_exprs,
+                                             plan.column_names);
+  }
+
+  // DISTINCT: group-by over every output column.
+  if (stmt.distinct) {
+    GroupBySpec dspec;
+    auto types = root->OutputTypes();
+    for (size_t c = 0; c < types.size(); ++c)
+      dspec.group_columns.push_back(static_cast<uint32_t>(c));
+    dspec.output_names = plan.column_names;
+    root = std::make_unique<HashGroupByOperator>(std::move(root), dspec);
+  }
+
+  // ORDER BY over the output schema.
+  if (!stmt.order_by.empty()) {
+    BindSchema out_schema;
+    auto types = root->OutputTypes();
+    for (size_t c = 0; c < plan.column_names.size(); ++c)
+      out_schema.Add(plan.column_names[c], types[c]);
+    std::vector<SortKey> keys;
+    for (const auto& [oe, desc] : stmt.order_by) {
+      ExprPtr e = CloneExpr(oe);
+      int idx = -1;
+      // Match by alias/name first, then by rendered expression.
+      if (e->kind == ExprKind::kColumnRef) {
+        idx = out_schema.Find(e->column_name);
+      }
+      if (idx < 0) {
+        std::string rendered = e->ToString();
+        for (size_t c = 0; c < plan.column_names.size(); ++c) {
+          if (plan.column_names[c] == rendered) idx = static_cast<int>(c);
+        }
+      }
+      if (idx < 0)
+        return Status::AnalysisError("ORDER BY must reference an output column: ",
+                                     e->ToString());
+      keys.push_back({static_cast<uint32_t>(idx), desc});
+    }
+    root = std::make_unique<SortOperator>(std::move(root), keys);
+  }
+
+  if (stmt.limit >= 0) {
+    root = std::make_unique<LimitOperator>(std::move(root),
+                                           static_cast<uint64_t>(stmt.limit),
+                                           static_cast<uint64_t>(stmt.offset));
+  }
+
+  plan.column_types = root->OutputTypes();
+  plan.root = std::move(root);
+  return plan;
+}
+
+Result<std::string> Planner::Explain(const SelectStmt& stmt) {
+  STRATICA_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSelect(stmt));
+  return ExplainTree(*plan.root);
+}
+
+}  // namespace stratica

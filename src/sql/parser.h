@@ -1,0 +1,121 @@
+// SQL front end. The paper reuses PostgreSQL's parser (Section 2.1); we
+// implement a compact recursive-descent parser for the dialect Stratica
+// needs: CREATE TABLE / CREATE PROJECTION / DROP TABLE, INSERT, COPY,
+// SELECT (joins, WHERE, GROUP BY/HAVING, aggregates incl. DISTINCT,
+// window functions, ORDER BY, LIMIT), UPDATE, DELETE, EXPLAIN.
+#ifndef STRATICA_SQL_PARSER_H_
+#define STRATICA_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/agg.h"
+#include "exec/analytic.h"
+#include "exec/join.h"
+#include "expr/expr.h"
+
+namespace stratica {
+
+struct AggCall {
+  AggKind kind = AggKind::kCountStar;
+  ExprPtr arg;  // null for COUNT(*)
+};
+
+struct WindowCall {
+  WindowFunc func = WindowFunc::kRowNumber;
+  ExprPtr arg;  // null for ranking functions / COUNT(*)
+  std::vector<ExprPtr> partition_by;
+  std::vector<std::pair<ExprPtr, bool>> order_by;  // (expr, descending)
+};
+
+struct SelectItem {
+  enum class Kind { kExpr, kAgg, kWindow, kStar } kind = Kind::kExpr;
+  ExprPtr expr;
+  AggCall agg;
+  WindowCall window;
+  std::string alias;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;
+  JoinType join_type = JoinType::kInner;  // join with the tables before it
+  ExprPtr on;                             // null for the first table
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;  // empty: SELECT <exprs>
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                        // may contain AggCall placeholders
+  std::vector<AggCall> having_aggs;      // aggs referenced by `having` via
+                                         // column refs named "$having<i>"
+  std::vector<std::pair<ExprPtr, bool>> order_by;
+  int64_t limit = -1;
+  int64_t offset = 0;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;  // literal expressions
+};
+
+struct CopyStmt {
+  std::string table;
+  std::string path;      // csv file path
+  char delimiter = ',';
+  bool direct = false;   // COPY ... DIRECT: load straight to the ROS (§7)
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // null = delete all
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct CreateTableStmt {
+  TableDef def;  // partition_by unbound
+};
+
+struct CreateProjectionStmt {
+  ProjectionDef def;  // segmentation expr unbound; columns unresolved
+  uint32_t k_safe = UINT32_MAX;  // UINT32_MAX = cluster default
+};
+
+struct Statement {
+  enum class Type {
+    kSelect,
+    kInsert,
+    kCopy,
+    kDelete,
+    kUpdate,
+    kCreateTable,
+    kCreateProjection,
+    kDropTable,
+    kExplain,
+  } type = Type::kSelect;
+  SelectStmt select;  // also the payload of kExplain
+  InsertStmt insert;
+  CopyStmt copy;
+  DeleteStmt del;
+  UpdateStmt update;
+  CreateTableStmt create_table;
+  CreateProjectionStmt create_projection;
+  std::string drop_table;
+};
+
+/// Parse one SQL statement (trailing semicolon optional).
+Result<Statement> ParseSql(const std::string& sql);
+
+}  // namespace stratica
+
+#endif  // STRATICA_SQL_PARSER_H_

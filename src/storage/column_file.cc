@@ -1,0 +1,169 @@
+#include "storage/column_file.h"
+
+#include "common/bitutil.h"
+
+namespace stratica {
+
+ColumnWriter::ColumnWriter(TypeId type, EncodingId encoding, size_t rows_per_block)
+    : type_(type), encoding_(encoding), rows_per_block_(rows_per_block), buffer_(type) {
+  meta_.type = type;
+}
+
+Status ColumnWriter::Append(const ColumnVector& col) {
+  if (col.IsRle()) return Status::Internal("ColumnWriter requires flat input");
+  size_t n = col.PhysicalSize();
+  for (size_t i = 0; i < n; ++i) buffer_.AppendFrom(col, i);
+  total_rows_ += n;
+  while (buffer_.PhysicalSize() >= rows_per_block_) {
+    STRATICA_RETURN_NOT_OK(FlushBlock(0, rows_per_block_));
+    // Compact the buffer: drop the flushed prefix.
+    ColumnVector rest(type_);
+    for (size_t i = rows_per_block_; i < buffer_.PhysicalSize(); ++i)
+      rest.AppendFrom(buffer_, i);
+    buffer_ = std::move(rest);
+  }
+  return Status::OK();
+}
+
+Status ColumnWriter::AppendValue(const Value& v) {
+  buffer_.Append(v);
+  ++total_rows_;
+  if (buffer_.PhysicalSize() >= rows_per_block_) {
+    STRATICA_RETURN_NOT_OK(FlushBlock(0, rows_per_block_));
+    ColumnVector rest(type_);
+    for (size_t i = rows_per_block_; i < buffer_.PhysicalSize(); ++i)
+      rest.AppendFrom(buffer_, i);
+    buffer_ = std::move(rest);
+  }
+  return Status::OK();
+}
+
+Status ColumnWriter::FlushBlock(size_t start, size_t count) {
+  BlockMeta bm;
+  bm.offset = data_.size();
+  bm.row_start = meta_.num_rows;
+  bm.row_count = static_cast<uint32_t>(count);
+  bm.min = Value::Null(type_);
+  bm.max = Value::Null(type_);
+  for (size_t i = 0; i < count; ++i) {
+    if (buffer_.IsNull(start + i)) {
+      ++bm.null_count;
+      continue;
+    }
+    Value v = buffer_.GetValue(start + i);
+    if (bm.min.is_null() || v.Compare(bm.min) < 0) bm.min = v;
+    if (bm.max.is_null() || v.Compare(bm.max) > 0) bm.max = v;
+    // Raw footprint: fixed 8 bytes for scalars, bytes+separator for strings.
+    meta_.raw_bytes += StorageClassOf(type_) == StorageClass::kString
+                           ? buffer_.strings[start + i].size() + 1
+                           : 8;
+  }
+  meta_.raw_bytes += bm.null_count * (StorageClassOf(type_) == StorageClass::kString
+                                          ? 1
+                                          : 8);
+  STRATICA_RETURN_NOT_OK(EncodeBlock(encoding_, buffer_, start, count, &data_));
+  bm.encoded_bytes = static_cast<uint32_t>(data_.size() - bm.offset);
+  meta_.num_rows += count;
+  if (!bm.min.is_null() && (meta_.min.is_null() || bm.min.Compare(meta_.min) < 0))
+    meta_.min = bm.min;
+  if (!bm.max.is_null() && (meta_.max.is_null() || bm.max.Compare(meta_.max) > 0))
+    meta_.max = bm.max;
+  meta_.blocks.push_back(std::move(bm));
+  return Status::OK();
+}
+
+Result<ColumnFileMeta> ColumnWriter::Finish(FileSystem* fs, const std::string& data_path,
+                                            const std::string& index_path) {
+  if (buffer_.PhysicalSize() > 0) {
+    STRATICA_RETURN_NOT_OK(FlushBlock(0, buffer_.PhysicalSize()));
+    buffer_.Clear();
+  }
+  meta_.min = meta_.min.is_null() ? Value::Null(type_) : meta_.min;
+  meta_.max = meta_.max.is_null() ? Value::Null(type_) : meta_.max;
+  meta_.encoded_bytes = data_.size();
+  STRATICA_RETURN_NOT_OK(fs->WriteFile(data_path, data_));
+  STRATICA_RETURN_NOT_OK(fs->WriteFile(index_path, SerializeColumnFileMeta(meta_)));
+  return meta_;
+}
+
+std::string SerializeColumnFileMeta(const ColumnFileMeta& meta) {
+  std::string out;
+  out.push_back(static_cast<char>(meta.type));
+  PutVarint64(&out, meta.num_rows);
+  PutVarint64(&out, meta.raw_bytes);
+  PutVarint64(&out, meta.encoded_bytes);
+  EncodeValue(&out, meta.min);
+  EncodeValue(&out, meta.max);
+  PutVarint64(&out, meta.blocks.size());
+  for (const auto& b : meta.blocks) {
+    PutVarint64(&out, b.offset);
+    PutVarint64(&out, b.encoded_bytes);
+    PutVarint64(&out, b.row_start);
+    PutVarint64(&out, b.row_count);
+    EncodeValue(&out, b.min);
+    EncodeValue(&out, b.max);
+    PutVarint64(&out, b.null_count);
+  }
+  return out;
+}
+
+Result<ColumnFileMeta> ParseColumnFileMeta(const std::string& data) {
+  ColumnFileMeta meta;
+  size_t offset = 0;
+  if (data.empty()) return Status::Corruption("index: empty");
+  meta.type = static_cast<TypeId>(data[offset++]);
+  uint64_t v;
+  if (!GetVarint64(data, &offset, &v)) return Status::Corruption("index: rows");
+  meta.num_rows = v;
+  if (!GetVarint64(data, &offset, &v)) return Status::Corruption("index: raw");
+  meta.raw_bytes = v;
+  if (!GetVarint64(data, &offset, &v)) return Status::Corruption("index: enc");
+  meta.encoded_bytes = v;
+  STRATICA_RETURN_NOT_OK(DecodeValue(data, &offset, meta.type, &meta.min));
+  STRATICA_RETURN_NOT_OK(DecodeValue(data, &offset, meta.type, &meta.max));
+  uint64_t nblocks;
+  if (!GetVarint64(data, &offset, &nblocks)) return Status::Corruption("index: nblocks");
+  meta.blocks.resize(nblocks);
+  for (auto& b : meta.blocks) {
+    uint64_t x;
+    if (!GetVarint64(data, &offset, &x)) return Status::Corruption("index: offset");
+    b.offset = x;
+    if (!GetVarint64(data, &offset, &x)) return Status::Corruption("index: bytes");
+    b.encoded_bytes = static_cast<uint32_t>(x);
+    if (!GetVarint64(data, &offset, &x)) return Status::Corruption("index: row_start");
+    b.row_start = x;
+    if (!GetVarint64(data, &offset, &x)) return Status::Corruption("index: row_count");
+    b.row_count = static_cast<uint32_t>(x);
+    STRATICA_RETURN_NOT_OK(DecodeValue(data, &offset, meta.type, &b.min));
+    STRATICA_RETURN_NOT_OK(DecodeValue(data, &offset, meta.type, &b.max));
+    if (!GetVarint64(data, &offset, &x)) return Status::Corruption("index: nulls");
+    b.null_count = static_cast<uint32_t>(x);
+  }
+  return meta;
+}
+
+Result<ColumnReader> ColumnReader::Open(const FileSystem* fs, const std::string& data_path,
+                                        const std::string& index_path) {
+  STRATICA_ASSIGN_OR_RETURN(std::string index_bytes, fs->ReadFile(index_path));
+  STRATICA_ASSIGN_OR_RETURN(ColumnFileMeta meta, ParseColumnFileMeta(index_bytes));
+  return ColumnReader(fs, data_path, std::move(meta));
+}
+
+Status ColumnReader::ReadBlock(size_t idx, bool keep_runs, ColumnVector* out) const {
+  if (idx >= meta_.blocks.size()) return Status::InvalidArgument("block out of range");
+  const BlockMeta& b = meta_.blocks[idx];
+  STRATICA_ASSIGN_OR_RETURN(std::string bytes,
+                            fs_->ReadRange(data_path_, b.offset, b.encoded_bytes));
+  size_t offset = 0;
+  if (keep_runs) return DecodeBlockRuns(bytes, &offset, meta_.type, out);
+  return DecodeBlock(bytes, &offset, meta_.type, out);
+}
+
+Status ColumnReader::ReadAll(ColumnVector* out) const {
+  out->type = meta_.type;
+  for (size_t i = 0; i < meta_.blocks.size(); ++i)
+    STRATICA_RETURN_NOT_OK(ReadBlock(i, /*keep_runs=*/false, out));
+  return Status::OK();
+}
+
+}  // namespace stratica

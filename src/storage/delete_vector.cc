@@ -1,0 +1,85 @@
+#include "storage/delete_vector.h"
+
+#include <algorithm>
+
+#include "common/row_block.h"
+#include "storage/encoding.h"
+
+namespace stratica {
+
+Status WriteDvRos(FileSystem* fs, const DeleteVectorChunk& chunk,
+                  const std::string& path) {
+  // Two encoded blocks in one file: positions (monotone -> common-delta or
+  // delta-range) and epochs (long runs -> RLE). "Delete vectors are stored
+  // in the same format as user data."
+  ColumnVector pos(TypeId::kInt64), ep(TypeId::kInt64);
+  pos.ints.reserve(chunk.positions.size());
+  for (uint64_t p : chunk.positions) pos.ints.push_back(static_cast<int64_t>(p));
+  ep.ints.reserve(chunk.epochs.size());
+  for (Epoch e : chunk.epochs) ep.ints.push_back(static_cast<int64_t>(e));
+  std::string data;
+  STRATICA_RETURN_NOT_OK(
+      EncodeBlock(EncodingId::kAuto, pos, 0, pos.ints.size(), &data));
+  STRATICA_RETURN_NOT_OK(EncodeBlock(EncodingId::kRle, ep, 0, ep.ints.size(), &data));
+  return fs->WriteFile(path, data);
+}
+
+Result<DeleteVectorChunkPtr> ReadDvRos(const FileSystem* fs, const std::string& path,
+                                       uint64_t target_id) {
+  STRATICA_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(path));
+  auto chunk = std::make_shared<DeleteVectorChunk>();
+  chunk->target_id = target_id;
+  chunk->persisted = true;
+  chunk->dv_path = path;
+  ColumnVector pos(TypeId::kInt64), ep(TypeId::kInt64);
+  size_t offset = 0;
+  STRATICA_RETURN_NOT_OK(DecodeBlock(data, &offset, TypeId::kInt64, &pos));
+  STRATICA_RETURN_NOT_OK(DecodeBlock(data, &offset, TypeId::kInt64, &ep));
+  if (pos.ints.size() != ep.ints.size())
+    return Status::Corruption("dvros: position/epoch count mismatch");
+  chunk->positions.reserve(pos.ints.size());
+  for (int64_t v : pos.ints) chunk->positions.push_back(static_cast<uint64_t>(v));
+  chunk->epochs.reserve(ep.ints.size());
+  for (int64_t v : ep.ints) chunk->epochs.push_back(static_cast<Epoch>(v));
+  return chunk;
+}
+
+void DeleteIndex::Add(const DeleteVectorChunk& chunk, Epoch snapshot) {
+  auto& vec = by_target_[chunk.target_id];
+  for (size_t i = 0; i < chunk.positions.size(); ++i) {
+    if (chunk.epochs[i] <= snapshot) vec.push_back(chunk.positions[i]);
+  }
+  finalized_ = false;
+}
+
+void DeleteIndex::Finalize() const {
+  if (finalized_) return;
+  for (auto& [target, vec] : const_cast<DeleteIndex*>(this)->by_target_) {
+    std::sort(vec.begin(), vec.end());
+    vec.erase(std::unique(vec.begin(), vec.end()), vec.end());
+  }
+  finalized_ = true;
+}
+
+bool DeleteIndex::IsDeleted(uint64_t target_id, uint64_t position) const {
+  Finalize();
+  auto it = by_target_.find(target_id);
+  if (it == by_target_.end()) return false;
+  return std::binary_search(it->second.begin(), it->second.end(), position);
+}
+
+std::vector<uint64_t> DeleteIndex::DeletedPositions(uint64_t target_id) const {
+  Finalize();
+  auto it = by_target_.find(target_id);
+  if (it == by_target_.end()) return {};
+  return it->second;
+}
+
+size_t DeleteIndex::TotalDeleted() const {
+  Finalize();
+  size_t n = 0;
+  for (const auto& [target, vec] : by_target_) n += vec.size();
+  return n;
+}
+
+}  // namespace stratica

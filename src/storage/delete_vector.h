@@ -1,0 +1,77 @@
+// Delete vectors (Section 3.7.1).
+//
+// Data is never modified in place: deleting a row appends (position,
+// delete-epoch) to a delete vector targeting the row's container (or the
+// WOS). Delete vectors are stored in the same format as user data — an
+// in-memory DVWOS first, moved to DVROS files on disk by the tuple mover
+// using the regular column encodings (positions delta-encode superbly).
+// SQL UPDATE is a delete plus an insert.
+#ifndef STRATICA_STORAGE_DELETE_VECTOR_H_
+#define STRATICA_STORAGE_DELETE_VECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/status.h"
+#include "txn/epoch.h"
+
+namespace stratica {
+
+/// Target id used for delete vectors that point at WOS positions.
+constexpr uint64_t kWosTargetId = UINT64_MAX;
+
+/// \brief One chunk of deletions against one target (container or WOS).
+///
+/// Starts life in memory (DVWOS); MoveToDvRos persists it via the column
+/// encodings. Epochs are kUncommittedEpoch until the owning transaction
+/// commits.
+struct DeleteVectorChunk {
+  uint64_t target_id = kWosTargetId;
+  uint64_t txn_id = 0;
+  std::vector<uint64_t> positions;  // sorted ascending
+  std::vector<Epoch> epochs;        // parallel to positions
+
+  bool persisted = false;  // true once written to a DVROS file pair
+  std::string dv_path;     // DVROS file (positions + epochs, encoded)
+
+  size_t size() const { return positions.size(); }
+};
+
+using DeleteVectorChunkPtr = std::shared_ptr<DeleteVectorChunk>;
+
+/// Persist a chunk to `path` using delta/RLE encodings (tuple mover's
+/// DVWOS -> DVROS move). The chunk must be committed (real epochs).
+Status WriteDvRos(FileSystem* fs, const DeleteVectorChunk& chunk,
+                  const std::string& path);
+
+/// Load a DVROS file back (recovery, tests).
+Result<DeleteVectorChunkPtr> ReadDvRos(const FileSystem* fs, const std::string& path,
+                                       uint64_t target_id);
+
+/// \brief Merged view of all deletions visible at a snapshot epoch,
+/// organized per target for O(log n) lookup during scans.
+class DeleteIndex {
+ public:
+  void Add(const DeleteVectorChunk& chunk, Epoch snapshot);
+
+  /// True if `position` of `target` is deleted as of the snapshot.
+  bool IsDeleted(uint64_t target_id, uint64_t position) const;
+
+  /// All deleted positions for one target (sorted, deduplicated).
+  std::vector<uint64_t> DeletedPositions(uint64_t target_id) const;
+
+  size_t TotalDeleted() const;
+
+ private:
+  std::map<uint64_t, std::vector<uint64_t>> by_target_;  // sorted post-finalize
+  mutable bool finalized_ = false;
+  void Finalize() const;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_STORAGE_DELETE_VECTOR_H_

@@ -1,0 +1,690 @@
+#include "storage/encoding.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/bitutil.h"
+#include "storage/huffman.h"
+
+namespace stratica {
+
+const char* EncodingName(EncodingId id) {
+  switch (id) {
+    case EncodingId::kAuto: return "AUTO";
+    case EncodingId::kPlain: return "PLAIN";
+    case EncodingId::kRle: return "RLE";
+    case EncodingId::kDeltaValue: return "DELTAVAL";
+    case EncodingId::kBlockDict: return "BLOCK_DICT";
+    case EncodingId::kCompressedDeltaRange: return "DELTARANGE_COMP";
+    case EncodingId::kCompressedCommonDelta: return "COMMONDELTA_COMP";
+  }
+  return "UNKNOWN";
+}
+
+Result<EncodingId> EncodingFromName(const std::string& name) {
+  std::string up;
+  for (char c : name) up.push_back(static_cast<char>(std::toupper(c)));
+  if (up == "AUTO") return EncodingId::kAuto;
+  if (up == "PLAIN" || up == "NONE") return EncodingId::kPlain;
+  if (up == "RLE") return EncodingId::kRle;
+  if (up == "DELTAVAL") return EncodingId::kDeltaValue;
+  if (up == "BLOCK_DICT" || up == "BLOCKDICT") return EncodingId::kBlockDict;
+  if (up == "DELTARANGE_COMP" || up == "DELTARANGE")
+    return EncodingId::kCompressedDeltaRange;
+  if (up == "COMMONDELTA_COMP" || up == "COMMONDELTA")
+    return EncodingId::kCompressedCommonDelta;
+  return Status::AnalysisError("unknown encoding: ", name);
+}
+
+bool EncodingSupports(EncodingId enc, StorageClass sc) {
+  switch (enc) {
+    case EncodingId::kAuto:
+    case EncodingId::kPlain:
+    case EncodingId::kRle:
+    case EncodingId::kBlockDict:
+      return true;
+    case EncodingId::kDeltaValue:
+    case EncodingId::kCompressedCommonDelta:
+      return sc == StorageClass::kInt64;
+    case EncodingId::kCompressedDeltaRange:
+      return sc != StorageClass::kString;
+  }
+  return false;
+}
+
+namespace {
+
+// Order-preserving bijection between doubles and uint64 (sign-flip
+// transform); lets delta encodings treat sorted doubles as sorted ints.
+uint64_t DoubleToOrderedKey(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return (bits & 0x8000000000000000ULL) ? ~bits : bits | 0x8000000000000000ULL;
+}
+double OrderedKeyToDouble(uint64_t key) {
+  uint64_t bits = (key & 0x8000000000000000ULL) ? key & 0x7fffffffffffffffULL : ~key;
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+void AppendNullSection(std::string* out, const ColumnVector& col, size_t start,
+                       size_t count) {
+  bool any = false;
+  for (size_t i = 0; i < count && !any; ++i) any = col.IsNull(start + i);
+  out->push_back(any ? 1 : 0);
+  if (!any) return;
+  size_t bytes = (count + 7) / 8;
+  size_t base = out->size();
+  out->append(bytes, '\0');
+  for (size_t i = 0; i < count; ++i) {
+    if (col.IsNull(start + i)) (*out)[base + i / 8] |= static_cast<char>(1 << (i % 8));
+  }
+}
+
+Status ReadNullSection(const std::string& data, size_t* offset, size_t count,
+                       std::vector<uint8_t>* nulls) {
+  if (*offset >= data.size()) return Status::Corruption("block: missing null flag");
+  uint8_t any = static_cast<uint8_t>(data[(*offset)++]);
+  nulls->clear();
+  if (!any) return Status::OK();
+  size_t bytes = (count + 7) / 8;
+  if (*offset + bytes > data.size()) return Status::Corruption("block: truncated nulls");
+  nulls->resize(count);
+  for (size_t i = 0; i < count; ++i)
+    (*nulls)[i] = (data[*offset + i / 8] >> (i % 8)) & 1;
+  *offset += bytes;
+  return Status::OK();
+}
+
+// --- per-storage-class scalar serializers ---------------------------------
+void PutScalar(std::string* out, const ColumnVector& col, size_t i) {
+  switch (StorageClassOf(col.type)) {
+    case StorageClass::kInt64: PutVarint64(out, ZigZagEncode(col.ints[i])); break;
+    case StorageClass::kFloat64: PutFixed(out, col.doubles[i]); break;
+    case StorageClass::kString:
+      PutVarint64(out, col.strings[i].size());
+      out->append(col.strings[i]);
+      break;
+  }
+}
+
+Status GetScalar(const std::string& data, size_t* offset, ColumnVector* out) {
+  switch (StorageClassOf(out->type)) {
+    case StorageClass::kInt64: {
+      uint64_t zz;
+      if (!GetVarint64(data, offset, &zz)) return Status::Corruption("bad int scalar");
+      out->ints.push_back(ZigZagDecode(zz));
+      return Status::OK();
+    }
+    case StorageClass::kFloat64: {
+      double d;
+      if (!GetFixed(data, offset, &d)) return Status::Corruption("bad float scalar");
+      out->doubles.push_back(d);
+      return Status::OK();
+    }
+    case StorageClass::kString: {
+      uint64_t len;
+      if (!GetVarint64(data, offset, &len) || *offset + len > data.size())
+        return Status::Corruption("bad string scalar");
+      out->strings.emplace_back(data, *offset, len);
+      *offset += len;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad storage class");
+}
+
+// --- encoders ---------------------------------------------------------------
+
+Status EncodePlain(const ColumnVector& col, size_t start, size_t count,
+                   std::string* out) {
+  switch (StorageClassOf(col.type)) {
+    case StorageClass::kInt64:
+      out->append(reinterpret_cast<const char*>(col.ints.data() + start),
+                  count * sizeof(int64_t));
+      break;
+    case StorageClass::kFloat64:
+      out->append(reinterpret_cast<const char*>(col.doubles.data() + start),
+                  count * sizeof(double));
+      break;
+    case StorageClass::kString:
+      for (size_t i = 0; i < count; ++i) {
+        PutVarint64(out, col.strings[start + i].size());
+        out->append(col.strings[start + i]);
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+Status EncodeRle(const ColumnVector& col, size_t start, size_t count, std::string* out) {
+  // Count runs of equal adjacent values (nulls already normalized to 0/"").
+  std::string body;
+  uint64_t num_runs = 0;
+  size_t i = 0;
+  while (i < count) {
+    size_t j = i + 1;
+    while (j < count &&
+           ColumnVector::CompareEntries(col, start + i, col, start + j) == 0 &&
+           col.IsNull(start + i) == col.IsNull(start + j)) {
+      ++j;
+    }
+    PutScalar(&body, col, start + i);
+    PutVarint64(&body, j - i);
+    ++num_runs;
+    i = j;
+  }
+  PutVarint64(out, num_runs);
+  out->append(body);
+  return Status::OK();
+}
+
+Status EncodeDeltaValue(const ColumnVector& col, size_t start, size_t count,
+                        std::string* out) {
+  int64_t min = col.ints[start];
+  uint64_t max_delta = 0;
+  for (size_t i = 0; i < count; ++i) min = std::min(min, col.ints[start + i]);
+  // Deltas computed in uint64 (mod 2^64) to avoid signed overflow on
+  // full-range data.
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t d = static_cast<uint64_t>(col.ints[start + i]) - static_cast<uint64_t>(min);
+    max_delta = std::max(max_delta, d);
+  }
+  int width = BitsRequired(max_delta);
+  PutVarint64(out, ZigZagEncode(min));
+  out->push_back(static_cast<char>(width));
+  if (width > 0) {
+    BitPacker packer(width);
+    for (size_t i = 0; i < count; ++i)
+      packer.Append(static_cast<uint64_t>(col.ints[start + i]) -
+                    static_cast<uint64_t>(min));
+    out->append(packer.Finish());
+  }
+  return Status::OK();
+}
+
+// Dictionary build shared by BlockDict encode and the Auto chooser's
+// cardinality guard. Returns false if distinct count exceeds `limit`.
+template <typename T>
+bool BuildDict(const std::vector<T>& values, size_t start, size_t count, size_t limit,
+               std::vector<T>* dict, std::vector<uint32_t>* indexes) {
+  std::unordered_map<T, uint32_t> map;
+  map.reserve(std::min(count, limit * 2));
+  indexes->resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto [it, inserted] = map.emplace(values[start + i], static_cast<uint32_t>(dict->size()));
+    if (inserted) {
+      dict->push_back(values[start + i]);
+      if (dict->size() > limit) return false;
+    }
+    (*indexes)[i] = it->second;
+  }
+  return true;
+}
+
+constexpr size_t kDictLimit = 16384;
+
+Status EncodeBlockDict(const ColumnVector& col, size_t start, size_t count,
+                       std::string* out, bool* feasible) {
+  std::vector<uint32_t> indexes;
+  std::string dict_body;
+  uint64_t dict_size = 0;
+  *feasible = true;
+  switch (StorageClassOf(col.type)) {
+    case StorageClass::kInt64: {
+      std::vector<int64_t> dict;
+      if (!BuildDict(col.ints, start, count, kDictLimit, &dict, &indexes)) {
+        *feasible = false;
+        return Status::OK();
+      }
+      dict_size = dict.size();
+      for (int64_t v : dict) PutVarint64(&dict_body, ZigZagEncode(v));
+      break;
+    }
+    case StorageClass::kFloat64: {
+      std::vector<double> dict;
+      if (!BuildDict(col.doubles, start, count, kDictLimit, &dict, &indexes)) {
+        *feasible = false;
+        return Status::OK();
+      }
+      dict_size = dict.size();
+      for (double v : dict) PutFixed(&dict_body, v);
+      break;
+    }
+    case StorageClass::kString: {
+      std::vector<std::string> dict;
+      if (!BuildDict(col.strings, start, count, kDictLimit, &dict, &indexes)) {
+        *feasible = false;
+        return Status::OK();
+      }
+      dict_size = dict.size();
+      for (const auto& v : dict) {
+        PutVarint64(&dict_body, v.size());
+        dict_body.append(v);
+      }
+      break;
+    }
+  }
+  PutVarint64(out, dict_size);
+  out->append(dict_body);
+  int width = BitsRequired(dict_size > 0 ? dict_size - 1 : 0);
+  out->push_back(static_cast<char>(width));
+  if (width > 0) {
+    BitPacker packer(width);
+    for (uint32_t idx : indexes) packer.Append(idx);
+    out->append(packer.Finish());
+  }
+  return Status::OK();
+}
+
+Status EncodeDeltaRange(const ColumnVector& col, size_t start, size_t count,
+                        std::string* out) {
+  if (StorageClassOf(col.type) == StorageClass::kInt64) {
+    PutVarint64(out, ZigZagEncode(col.ints[start]));
+    for (size_t i = 1; i < count; ++i) {
+      // Mod-2^64 delta avoids signed overflow on full-range data.
+      uint64_t d = static_cast<uint64_t>(col.ints[start + i]) -
+                   static_cast<uint64_t>(col.ints[start + i - 1]);
+      PutVarint64(out, ZigZagEncode(static_cast<int64_t>(d)));
+    }
+  } else {
+    uint64_t prev = DoubleToOrderedKey(col.doubles[start]);
+    PutFixed(out, prev);
+    for (size_t i = 1; i < count; ++i) {
+      uint64_t key = DoubleToOrderedKey(col.doubles[start + i]);
+      PutVarint64(out, ZigZagEncode(static_cast<int64_t>(key - prev)));
+      prev = key;
+    }
+  }
+  return Status::OK();
+}
+
+Status EncodeCommonDelta(const ColumnVector& col, size_t start, size_t count,
+                         std::string* out, bool* feasible) {
+  *feasible = true;
+  PutVarint64(out, ZigZagEncode(col.ints[start]));
+  if (count <= 1) {
+    PutVarint64(out, 0);  // empty delta dictionary
+    return Status::OK();
+  }
+  // Dictionary of distinct deltas.
+  std::unordered_map<int64_t, uint32_t> map;
+  std::vector<int64_t> dict;
+  std::vector<uint32_t> symbols(count - 1);
+  for (size_t i = 1; i < count; ++i) {
+    int64_t d = static_cast<int64_t>(static_cast<uint64_t>(col.ints[start + i]) -
+                                     static_cast<uint64_t>(col.ints[start + i - 1]));
+    auto [it, inserted] = map.emplace(d, static_cast<uint32_t>(dict.size()));
+    if (inserted) {
+      dict.push_back(d);
+      if (dict.size() > kDictLimit) {
+        *feasible = false;
+        return Status::OK();
+      }
+    }
+    symbols[i - 1] = it->second;
+  }
+  PutVarint64(out, dict.size());
+  for (int64_t d : dict) PutVarint64(out, ZigZagEncode(d));
+  return HuffmanEncode(symbols, static_cast<uint32_t>(dict.size()), out);
+}
+
+// --- decoders ---------------------------------------------------------------
+
+Status DecodePlain(const std::string& data, size_t* offset, size_t count,
+                   ColumnVector* out) {
+  switch (StorageClassOf(out->type)) {
+    case StorageClass::kInt64: {
+      size_t bytes = count * sizeof(int64_t);
+      if (*offset + bytes > data.size()) return Status::Corruption("plain: truncated");
+      size_t old = out->ints.size();
+      out->ints.resize(old + count);
+      std::memcpy(out->ints.data() + old, data.data() + *offset, bytes);
+      *offset += bytes;
+      return Status::OK();
+    }
+    case StorageClass::kFloat64: {
+      size_t bytes = count * sizeof(double);
+      if (*offset + bytes > data.size()) return Status::Corruption("plain: truncated");
+      size_t old = out->doubles.size();
+      out->doubles.resize(old + count);
+      std::memcpy(out->doubles.data() + old, data.data() + *offset, bytes);
+      *offset += bytes;
+      return Status::OK();
+    }
+    case StorageClass::kString:
+      for (size_t i = 0; i < count; ++i) {
+        uint64_t len;
+        if (!GetVarint64(data, offset, &len) || *offset + len > data.size())
+          return Status::Corruption("plain: bad string");
+        out->strings.emplace_back(data, *offset, len);
+        *offset += len;
+      }
+      return Status::OK();
+  }
+  return Status::Internal("bad storage class");
+}
+
+Status DecodeRle(const std::string& data, size_t* offset, ColumnVector* out,
+                 bool keep_runs) {
+  uint64_t num_runs;
+  if (!GetVarint64(data, offset, &num_runs)) return Status::Corruption("rle: bad header");
+  for (uint64_t r = 0; r < num_runs; ++r) {
+    STRATICA_RETURN_NOT_OK(GetScalar(data, offset, out));
+    uint64_t run_len;
+    if (!GetVarint64(data, offset, &run_len)) return Status::Corruption("rle: bad run");
+    if (keep_runs) {
+      if (out->runs.size() + 1 < out->PhysicalSize())
+        out->runs.resize(out->PhysicalSize() - 1, 1);
+      out->runs.push_back(static_cast<uint32_t>(run_len));
+    } else {
+      // Expand: the scalar was appended once; append run_len-1 more copies.
+      for (uint64_t k = 1; k < run_len; ++k) {
+        switch (StorageClassOf(out->type)) {
+          case StorageClass::kInt64: out->ints.push_back(out->ints.back()); break;
+          case StorageClass::kFloat64: out->doubles.push_back(out->doubles.back()); break;
+          case StorageClass::kString: out->strings.push_back(out->strings.back()); break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeDeltaValue(const std::string& data, size_t* offset, size_t count,
+                        ColumnVector* out) {
+  uint64_t zz;
+  if (!GetVarint64(data, offset, &zz)) return Status::Corruption("deltaval: bad min");
+  int64_t min = ZigZagDecode(zz);
+  if (*offset >= data.size()) return Status::Corruption("deltaval: bad width");
+  int width = static_cast<uint8_t>(data[(*offset)++]);
+  if (width == 0) {
+    out->ints.insert(out->ints.end(), count, min);
+    return Status::OK();
+  }
+  BitUnpacker unpacker(data, *offset, width);
+  for (size_t i = 0; i < count; ++i)
+    out->ints.push_back(
+        static_cast<int64_t>(static_cast<uint64_t>(min) + unpacker.Next()));
+  *offset = unpacker.position();
+  return Status::OK();
+}
+
+Status DecodeBlockDict(const std::string& data, size_t* offset, size_t count,
+                       ColumnVector* out) {
+  uint64_t dict_size;
+  if (!GetVarint64(data, offset, &dict_size)) return Status::Corruption("dict: bad size");
+  ColumnVector dict(out->type);
+  for (uint64_t i = 0; i < dict_size; ++i)
+    STRATICA_RETURN_NOT_OK(GetScalar(data, offset, &dict));
+  if (*offset >= data.size()) return Status::Corruption("dict: bad width");
+  int width = static_cast<uint8_t>(data[(*offset)++]);
+  auto emit = [&](uint64_t idx) -> Status {
+    if (idx >= dict_size) return Status::Corruption("dict: index out of range");
+    switch (StorageClassOf(out->type)) {
+      case StorageClass::kInt64: out->ints.push_back(dict.ints[idx]); break;
+      case StorageClass::kFloat64: out->doubles.push_back(dict.doubles[idx]); break;
+      case StorageClass::kString: out->strings.push_back(dict.strings[idx]); break;
+    }
+    return Status::OK();
+  };
+  if (width == 0) {
+    for (size_t i = 0; i < count; ++i) STRATICA_RETURN_NOT_OK(emit(0));
+    return Status::OK();
+  }
+  BitUnpacker unpacker(data, *offset, width);
+  for (size_t i = 0; i < count; ++i) STRATICA_RETURN_NOT_OK(emit(unpacker.Next()));
+  *offset = unpacker.position();
+  return Status::OK();
+}
+
+Status DecodeDeltaRange(const std::string& data, size_t* offset, size_t count,
+                        ColumnVector* out) {
+  if (StorageClassOf(out->type) == StorageClass::kInt64) {
+    uint64_t zz;
+    if (!GetVarint64(data, offset, &zz)) return Status::Corruption("deltarange: bad first");
+    int64_t prev = ZigZagDecode(zz);
+    out->ints.push_back(prev);
+    for (size_t i = 1; i < count; ++i) {
+      if (!GetVarint64(data, offset, &zz))
+        return Status::Corruption("deltarange: bad delta");
+      prev = static_cast<int64_t>(static_cast<uint64_t>(prev) +
+                                  static_cast<uint64_t>(ZigZagDecode(zz)));
+      out->ints.push_back(prev);
+    }
+  } else {
+    uint64_t prev;
+    if (!GetFixed(data, offset, &prev)) return Status::Corruption("deltarange: bad first");
+    out->doubles.push_back(OrderedKeyToDouble(prev));
+    for (size_t i = 1; i < count; ++i) {
+      uint64_t zz;
+      if (!GetVarint64(data, offset, &zz))
+        return Status::Corruption("deltarange: bad delta");
+      prev += static_cast<uint64_t>(ZigZagDecode(zz));
+      out->doubles.push_back(OrderedKeyToDouble(prev));
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeCommonDelta(const std::string& data, size_t* offset, size_t count,
+                         ColumnVector* out) {
+  uint64_t zz;
+  if (!GetVarint64(data, offset, &zz)) return Status::Corruption("commondelta: bad first");
+  int64_t value = ZigZagDecode(zz);
+  out->ints.push_back(value);
+  uint64_t dict_size;
+  if (!GetVarint64(data, offset, &dict_size))
+    return Status::Corruption("commondelta: bad dict");
+  if (count <= 1) return Status::OK();
+  std::vector<int64_t> dict(dict_size);
+  for (auto& d : dict) {
+    if (!GetVarint64(data, offset, &zz))
+      return Status::Corruption("commondelta: bad dict entry");
+    d = ZigZagDecode(zz);
+  }
+  std::vector<uint32_t> symbols;
+  STRATICA_RETURN_NOT_OK(HuffmanDecode(data, offset, &symbols));
+  if (symbols.size() != count - 1) return Status::Corruption("commondelta: count mismatch");
+  for (uint32_t s : symbols) {
+    if (s >= dict.size()) return Status::Corruption("commondelta: bad symbol");
+    value = static_cast<int64_t>(static_cast<uint64_t>(value) +
+                                 static_cast<uint64_t>(dict[s]));
+    out->ints.push_back(value);
+  }
+  return Status::OK();
+}
+
+Status EncodeWith(EncodingId enc, const ColumnVector& col, size_t start, size_t count,
+                  std::string* out, bool* feasible) {
+  *feasible = true;
+  switch (enc) {
+    case EncodingId::kPlain: return EncodePlain(col, start, count, out);
+    case EncodingId::kRle: return EncodeRle(col, start, count, out);
+    case EncodingId::kDeltaValue: return EncodeDeltaValue(col, start, count, out);
+    case EncodingId::kBlockDict: return EncodeBlockDict(col, start, count, out, feasible);
+    case EncodingId::kCompressedDeltaRange:
+      return EncodeDeltaRange(col, start, count, out);
+    case EncodingId::kCompressedCommonDelta:
+      return EncodeCommonDelta(col, start, count, out, feasible);
+    case EncodingId::kAuto: return Status::Internal("kAuto must be resolved by caller");
+  }
+  return Status::Internal("unknown encoding");
+}
+
+}  // namespace
+
+Status EncodeBlock(EncodingId enc, const ColumnVector& col, size_t start, size_t count,
+                   std::string* out) {
+  if (col.IsRle()) return Status::Internal("EncodeBlock requires a flat column");
+  std::string header;
+  PutVarint64(&header, count);
+  AppendNullSection(&header, col, start, count);
+
+  if (count == 0) {
+    out->push_back(static_cast<char>(EncodingId::kPlain));
+    out->append(header);
+    return Status::OK();
+  }
+
+  if (enc != EncodingId::kAuto) {
+    bool feasible = true;
+    std::string payload;
+    STRATICA_RETURN_NOT_OK(EncodeWith(enc, col, start, count, &payload, &feasible));
+    if (!feasible) {
+      // Cardinality guard tripped: fall back to plain rather than exploding.
+      payload.clear();
+      enc = EncodingId::kPlain;
+      STRATICA_RETURN_NOT_OK(EncodeWith(enc, col, start, count, &payload, &feasible));
+    }
+    out->push_back(static_cast<char>(enc));
+    out->append(header);
+    out->append(payload);
+    return Status::OK();
+  }
+
+  // Auto: try every supported encoding, keep the smallest (the paper's DBD
+  // performs the same empirical selection during storage optimization).
+  static const EncodingId kCandidates[] = {
+      EncodingId::kRle,
+      EncodingId::kDeltaValue,
+      EncodingId::kBlockDict,
+      EncodingId::kCompressedDeltaRange,
+      EncodingId::kCompressedCommonDelta,
+      EncodingId::kPlain,
+  };
+  std::string best;
+  EncodingId best_enc = EncodingId::kPlain;
+  for (EncodingId cand : kCandidates) {
+    if (!EncodingSupports(cand, StorageClassOf(col.type))) continue;
+    std::string payload;
+    bool feasible = true;
+    STRATICA_RETURN_NOT_OK(EncodeWith(cand, col, start, count, &payload, &feasible));
+    if (!feasible) continue;
+    if (best.empty() || payload.size() < best.size()) {
+      best = std::move(payload);
+      best_enc = cand;
+    }
+  }
+  out->push_back(static_cast<char>(best_enc));
+  out->append(header);
+  out->append(best);
+  return Status::OK();
+}
+
+namespace {
+Status DecodeBlockImpl(const std::string& data, size_t* offset, TypeId type,
+                       ColumnVector* out, bool keep_runs) {
+  if (*offset >= data.size()) return Status::Corruption("block: empty");
+  auto enc = static_cast<EncodingId>(data[(*offset)++]);
+  uint64_t count;
+  if (!GetVarint64(data, offset, &count)) return Status::Corruption("block: bad count");
+  std::vector<uint8_t> nulls;
+  STRATICA_RETURN_NOT_OK(ReadNullSection(data, offset, count, &nulls));
+  out->type = type;
+
+  size_t phys_before = out->PhysicalSize();
+  // Runs only survive when the block is RLE and carries no NULLs (the common
+  // case for sort-key columns, which is where the RLE fast paths matter).
+  keep_runs = keep_runs && enc == EncodingId::kRle && nulls.empty();
+  switch (enc) {
+    case EncodingId::kPlain:
+      STRATICA_RETURN_NOT_OK(DecodePlain(data, offset, count, out));
+      break;
+    case EncodingId::kRle:
+      STRATICA_RETURN_NOT_OK(DecodeRle(data, offset, out, keep_runs));
+      break;
+    case EncodingId::kDeltaValue:
+      STRATICA_RETURN_NOT_OK(DecodeDeltaValue(data, offset, count, out));
+      break;
+    case EncodingId::kBlockDict:
+      STRATICA_RETURN_NOT_OK(DecodeBlockDict(data, offset, count, out));
+      break;
+    case EncodingId::kCompressedDeltaRange:
+      STRATICA_RETURN_NOT_OK(DecodeDeltaRange(data, offset, count, out));
+      break;
+    case EncodingId::kCompressedCommonDelta:
+      STRATICA_RETURN_NOT_OK(DecodeCommonDelta(data, offset, count, out));
+      break;
+    case EncodingId::kAuto:
+      return Status::Corruption("block encoded as kAuto");
+  }
+
+  if (!nulls.empty()) {
+    if (out->nulls.empty()) out->nulls.assign(phys_before, 0);
+    out->nulls.insert(out->nulls.end(), nulls.begin(), nulls.end());
+  } else if (!out->nulls.empty()) {
+    out->nulls.resize(out->PhysicalSize(), 0);
+  }
+  // Keep `runs` parallel to the physical entries when a mixed-encoding file
+  // interleaves RLE blocks (which keep runs) with flat ones.
+  if (!out->runs.empty() && out->runs.size() < out->PhysicalSize()) {
+    out->runs.resize(out->PhysicalSize(), 1);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status DecodeBlock(const std::string& data, size_t* offset, TypeId type,
+                   ColumnVector* out) {
+  return DecodeBlockImpl(data, offset, type, out, /*keep_runs=*/false);
+}
+
+Status DecodeBlockRuns(const std::string& data, size_t* offset, TypeId type,
+                       ColumnVector* out) {
+  return DecodeBlockImpl(data, offset, type, out, /*keep_runs=*/true);
+}
+
+Result<EncodingId> PeekBlockEncoding(const std::string& data, size_t offset) {
+  if (offset >= data.size()) return Status::Corruption("block: empty");
+  return static_cast<EncodingId>(data[offset]);
+}
+
+void EncodeValue(std::string* out, const Value& v) {
+  out->push_back(v.is_null() ? 1 : 0);
+  if (v.is_null()) return;
+  switch (StorageClassOf(v.type())) {
+    case StorageClass::kInt64: PutVarint64(out, ZigZagEncode(v.i64())); break;
+    case StorageClass::kFloat64: PutFixed(out, v.f64()); break;
+    case StorageClass::kString:
+      PutVarint64(out, v.str().size());
+      out->append(v.str());
+      break;
+  }
+}
+
+Status DecodeValue(const std::string& data, size_t* offset, TypeId type, Value* out) {
+  if (*offset >= data.size()) return Status::Corruption("value: truncated");
+  bool null = data[(*offset)++] != 0;
+  if (null) {
+    *out = Value::Null(type);
+    return Status::OK();
+  }
+  switch (StorageClassOf(type)) {
+    case StorageClass::kInt64: {
+      uint64_t zz;
+      if (!GetVarint64(data, offset, &zz)) return Status::Corruption("value: bad int");
+      *out = Value::OfInt(type, ZigZagDecode(zz));
+      return Status::OK();
+    }
+    case StorageClass::kFloat64: {
+      double d;
+      if (!GetFixed(data, offset, &d)) return Status::Corruption("value: bad float");
+      *out = Value::Float64(d);
+      return Status::OK();
+    }
+    case StorageClass::kString: {
+      uint64_t len;
+      if (!GetVarint64(data, offset, &len) || *offset + len > data.size())
+        return Status::Corruption("value: bad string");
+      *out = Value::String(std::string(data, *offset, len));
+      *offset += len;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad storage class");
+}
+
+}  // namespace stratica

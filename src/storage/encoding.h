@@ -1,0 +1,76 @@
+// Column encodings (paper Section 3.4.1).
+//
+// Every column in every projection carries an encoding; the same column may
+// be encoded differently in different projections. Encodings operate on
+// fixed-row-count blocks; each encoded block is self-describing (its first
+// byte names the encoding actually used, so kAuto resolves per block).
+//
+// Implemented encoding types, mirroring the paper's list:
+//   1. Auto                    — picks the smallest candidate per block.
+//   2. RLE                     — (value, count) pairs; best for sorted,
+//                                low-cardinality columns.
+//   3. Delta Value             — frame-of-reference: offsets from the block
+//                                minimum, bit-packed; unsorted many-valued ints.
+//   4. Block Dictionary        — per-block dictionary + packed indexes;
+//                                few-valued unsorted columns.
+//   5. Compressed Delta Range  — delta from the previous value, zigzag
+//                                varint; sorted/range-confined numerics
+//                                (doubles delta their monotone bit patterns).
+//   6. Compressed Common Delta — dictionary of the block's distinct deltas,
+//                                Huffman-coded indexes; periodic sequences
+//                                (timestamps, primary keys).
+// Plus kPlain, the uncompressed fallback every type supports.
+#ifndef STRATICA_STORAGE_ENCODING_H_
+#define STRATICA_STORAGE_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/row_block.h"
+#include "common/status.h"
+
+namespace stratica {
+
+enum class EncodingId : uint8_t {
+  kAuto = 0,
+  kPlain = 1,
+  kRle = 2,
+  kDeltaValue = 3,
+  kBlockDict = 4,
+  kCompressedDeltaRange = 5,
+  kCompressedCommonDelta = 6,
+};
+
+const char* EncodingName(EncodingId id);
+Result<EncodingId> EncodingFromName(const std::string& name);
+
+/// True if `enc` can encode columns of storage class `sc`.
+bool EncodingSupports(EncodingId enc, StorageClass sc);
+
+/// Encode `count` physical entries of `col` starting at `start` into `out`.
+/// `enc == kAuto` tries all supported encodings and keeps the smallest.
+/// Layout: [actual EncodingId u8][count varint][null section][payload].
+Status EncodeBlock(EncodingId enc, const ColumnVector& col, size_t start, size_t count,
+                   std::string* out);
+
+/// Decode one block (produced by EncodeBlock) into a flat column; `*offset`
+/// advances past the block.
+Status DecodeBlock(const std::string& data, size_t* offset, TypeId type,
+                   ColumnVector* out);
+
+/// Like DecodeBlock but preserves run-length form when the block is RLE
+/// encoded, enabling operators to work directly on encoded data (§6.1).
+Status DecodeBlockRuns(const std::string& data, size_t* offset, TypeId type,
+                       ColumnVector* out);
+
+/// Read the encoding id actually used by an encoded block.
+Result<EncodingId> PeekBlockEncoding(const std::string& data, size_t offset);
+
+/// Serialize / parse a Value (used by position indexes and container stats).
+void EncodeValue(std::string* out, const Value& v);
+Status DecodeValue(const std::string& data, size_t* offset, TypeId type, Value* out);
+
+}  // namespace stratica
+
+#endif  // STRATICA_STORAGE_ENCODING_H_

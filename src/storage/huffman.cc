@@ -1,0 +1,189 @@
+#include "storage/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/bitutil.h"
+
+namespace stratica {
+
+namespace {
+
+/// Compute Huffman code lengths from frequencies (0 freq -> 0 length).
+std::vector<uint8_t> CodeLengths(const std::vector<uint64_t>& freq) {
+  struct Node {
+    uint64_t weight;
+    int left = -1, right = -1;
+    int symbol = -1;
+  };
+  std::vector<Node> nodes;
+  using QE = std::pair<uint64_t, int>;  // (weight, node index)
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  for (size_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] == 0) continue;
+    nodes.push_back({freq[s], -1, -1, static_cast<int>(s)});
+    pq.push({freq[s], static_cast<int>(nodes.size() - 1)});
+  }
+  std::vector<uint8_t> lengths(freq.size(), 0);
+  if (nodes.empty()) return lengths;
+  if (pq.size() == 1) {
+    lengths[nodes[0].symbol] = 1;  // degenerate single-symbol alphabet
+    return lengths;
+  }
+  while (pq.size() > 1) {
+    auto [wa, a] = pq.top();
+    pq.pop();
+    auto [wb, b] = pq.top();
+    pq.pop();
+    nodes.push_back({wa + wb, a, b, -1});
+    pq.push({wa + wb, static_cast<int>(nodes.size() - 1)});
+  }
+  // Depth-first walk assigning depths as code lengths.
+  std::vector<std::pair<int, uint8_t>> stack = {{pq.top().second, 0}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[idx];
+    if (n.symbol >= 0) {
+      lengths[n.symbol] = depth == 0 ? 1 : depth;
+    } else {
+      stack.push_back({n.left, static_cast<uint8_t>(depth + 1)});
+      stack.push_back({n.right, static_cast<uint8_t>(depth + 1)});
+    }
+  }
+  return lengths;
+}
+
+/// Canonical code assignment: symbols sorted by (length, symbol).
+std::vector<uint64_t> CanonicalCodes(const std::vector<uint8_t>& lengths) {
+  std::vector<int> order;
+  for (size_t s = 0; s < lengths.size(); ++s)
+    if (lengths[s] > 0) order.push_back(static_cast<int>(s));
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return lengths[a] != lengths[b] ? lengths[a] < lengths[b] : a < b;
+  });
+  std::vector<uint64_t> codes(lengths.size(), 0);
+  uint64_t code = 0;
+  uint8_t prev_len = 0;
+  for (int s : order) {
+    code <<= (lengths[s] - prev_len);
+    codes[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+  return codes;
+}
+
+}  // namespace
+
+Status HuffmanEncode(const std::vector<uint32_t>& symbols, uint32_t alphabet_size,
+                     std::string* out) {
+  std::vector<uint64_t> freq(alphabet_size, 0);
+  for (uint32_t s : symbols) {
+    if (s >= alphabet_size) return Status::Internal("huffman symbol out of range");
+    ++freq[s];
+  }
+  std::vector<uint8_t> lengths = CodeLengths(freq);
+  for (uint8_t len : lengths) {
+    if (len > 57) return Status::Internal("huffman code too long");  // fits u64 buffer
+  }
+  std::vector<uint64_t> codes = CanonicalCodes(lengths);
+
+  PutVarint64(out, alphabet_size);
+  out->append(reinterpret_cast<const char*>(lengths.data()), lengths.size());
+  PutVarint64(out, symbols.size());
+
+  // MSB-first bit stream.
+  uint64_t buffer = 0;
+  int bits = 0;
+  for (uint32_t s : symbols) {
+    buffer = (buffer << lengths[s]) | codes[s];
+    bits += lengths[s];
+    while (bits >= 8) {
+      out->push_back(static_cast<char>((buffer >> (bits - 8)) & 0xff));
+      bits -= 8;
+    }
+  }
+  if (bits > 0) out->push_back(static_cast<char>((buffer << (8 - bits)) & 0xff));
+  return Status::OK();
+}
+
+Status HuffmanDecode(const std::string& data, size_t* offset,
+                     std::vector<uint32_t>* symbols) {
+  uint64_t alphabet_size = 0;
+  if (!GetVarint64(data, offset, &alphabet_size))
+    return Status::Corruption("huffman: bad alphabet size");
+  if (*offset + alphabet_size > data.size())
+    return Status::Corruption("huffman: truncated lengths");
+  std::vector<uint8_t> lengths(alphabet_size);
+  std::memcpy(lengths.data(), data.data() + *offset, alphabet_size);
+  *offset += alphabet_size;
+  uint64_t count = 0;
+  if (!GetVarint64(data, offset, &count))
+    return Status::Corruption("huffman: bad symbol count");
+
+  std::vector<uint64_t> codes = CanonicalCodes(lengths);
+  // Build (length -> list of (code, symbol)) lookup sorted by code; decode
+  // by extending the candidate code one bit at a time.
+  uint8_t max_len = 0;
+  for (uint8_t len : lengths) max_len = std::max(max_len, len);
+  // first_code[len], first_index[len] per canonical decoding.
+  std::vector<int> order;
+  for (size_t s = 0; s < lengths.size(); ++s)
+    if (lengths[s] > 0) order.push_back(static_cast<int>(s));
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return lengths[a] != lengths[b] ? lengths[a] < lengths[b] : a < b;
+  });
+  std::vector<uint64_t> first_code(max_len + 2, 0);
+  std::vector<size_t> first_index(max_len + 2, 0);
+  {
+    size_t i = 0;
+    for (uint8_t len = 1; len <= max_len; ++len) {
+      first_index[len] = i;
+      if (i < order.size() && lengths[order[i]] == len) {
+        first_code[len] = codes[order[i]];
+        while (i < order.size() && lengths[order[i]] == len) ++i;
+      } else {
+        // No codes at this length: derive the canonical boundary anyway.
+        first_code[len] = (len == 1) ? 0 : (first_code[len - 1] << 1);
+        continue;
+      }
+    }
+  }
+
+  symbols->clear();
+  symbols->reserve(count);
+  uint64_t acc = 0;
+  uint8_t acc_len = 0;
+  size_t byte_pos = *offset;
+  int bit_pos = 7;
+  for (uint64_t k = 0; k < count; ++k) {
+    acc = 0;
+    acc_len = 0;
+    for (;;) {
+      if (byte_pos >= data.size()) return Status::Corruption("huffman: truncated stream");
+      uint64_t bit = (static_cast<uint8_t>(data[byte_pos]) >> bit_pos) & 1;
+      if (--bit_pos < 0) {
+        bit_pos = 7;
+        ++byte_pos;
+      }
+      acc = (acc << 1) | bit;
+      ++acc_len;
+      // Candidate: is acc a valid code of this length?
+      size_t begin = first_index[acc_len];
+      size_t end = acc_len + 1 <= max_len ? first_index[acc_len + 1] : order.size();
+      if (begin < end) {
+        uint64_t fc = codes[order[begin]];
+        if (acc >= fc && acc < fc + (end - begin)) {
+          symbols->push_back(static_cast<uint32_t>(order[begin + (acc - fc)]));
+          break;
+        }
+      }
+      if (acc_len > max_len) return Status::Corruption("huffman: invalid code");
+    }
+  }
+  *offset = byte_pos + (bit_pos == 7 ? 0 : 1);
+  return Status::OK();
+}
+
+}  // namespace stratica

@@ -1,0 +1,31 @@
+// Canonical Huffman coding over small symbol alphabets.
+//
+// Used by the Compressed Common Delta encoding (Section 3.4.1 #6), which
+// "builds a dictionary of all the deltas in the block and then stores
+// indexes into the dictionary using entropy coding".
+#ifndef STRATICA_STORAGE_HUFFMAN_H_
+#define STRATICA_STORAGE_HUFFMAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stratica {
+
+/// \brief Encode `symbols` (values < alphabet_size) with canonical Huffman
+/// codes derived from their frequencies. Output layout:
+///   [alphabet_size varint][code length u8 x alphabet][symbol count varint]
+///   [bitstream]
+Status HuffmanEncode(const std::vector<uint32_t>& symbols, uint32_t alphabet_size,
+                     std::string* out);
+
+/// Decode a stream produced by HuffmanEncode starting at *offset; advances
+/// *offset past the consumed bytes.
+Status HuffmanDecode(const std::string& data, size_t* offset,
+                     std::vector<uint32_t>* symbols);
+
+}  // namespace stratica
+
+#endif  // STRATICA_STORAGE_HUFFMAN_H_

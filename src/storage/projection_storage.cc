@@ -1,0 +1,536 @@
+#include "storage/projection_storage.h"
+
+#include <algorithm>
+
+#include "storage/sort_util.h"
+
+namespace stratica {
+
+uint64_t StorageSnapshot::TotalRows() const {
+  uint64_t n = 0;
+  for (const auto& c : ros) n += c->row_count;
+  for (const auto& w : wos) n += w->NumRows();
+  return n;
+}
+
+ProjectionStorage::ProjectionStorage(FileSystem* fs, std::string base_dir,
+                                     ProjectionStorageConfig cfg)
+    : fs_(fs), base_dir_(std::move(base_dir)), cfg_(std::move(cfg)) {}
+
+std::pair<uint64_t, std::string> ProjectionStorage::AllocateContainer() {
+  uint64_t id = next_container_id_.fetch_add(1);
+  return {id, base_dir_ + "/c" + std::to_string(id)};
+}
+
+uint32_t ProjectionStorage::LocalSegmentOf(uint64_t hash) const {
+  if (cfg_.num_local_segments <= 1) return 0;
+  uint64_t lo = cfg_.range_lo;
+  uint64_t hi = cfg_.range_hi;
+  if (hash < lo) hash = lo;
+  if (hash > hi) hash = hi;
+  unsigned __int128 span = static_cast<unsigned __int128>(hi) - lo + 1;
+  unsigned __int128 off = static_cast<unsigned __int128>(hash - lo);
+  return static_cast<uint32_t>((off * cfg_.num_local_segments) / span);
+}
+
+Status ProjectionStorage::SplitForStorage(
+    const RowBlock& rows,
+    std::map<std::pair<int64_t, uint32_t>, std::vector<uint32_t>>* groups) const {
+  size_t n = rows.NumRows();
+  std::vector<int64_t> part_keys(n, kNoPartitionKey);
+  if (cfg_.partition_expr) {
+    ColumnVector keys;
+    STRATICA_RETURN_NOT_OK(EvalExpr(*cfg_.partition_expr, rows, &keys));
+    for (size_t i = 0; i < n; ++i) part_keys[i] = keys.IsNull(i) ? kNoPartitionKey
+                                                                 : keys.ints[i];
+  }
+  std::vector<uint32_t> segs(n, 0);
+  if (cfg_.segmentation_expr && cfg_.num_local_segments > 1) {
+    ColumnVector hashes;
+    STRATICA_RETURN_NOT_OK(EvalExpr(*cfg_.segmentation_expr, rows, &hashes));
+    for (size_t i = 0; i < n; ++i)
+      segs[i] = LocalSegmentOf(static_cast<uint64_t>(hashes.ints[i]));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    (*groups)[{part_keys[i], segs[i]}].push_back(static_cast<uint32_t>(i));
+  }
+  return Status::OK();
+}
+
+Status ProjectionStorage::InsertWos(RowBlock rows, Transaction* txn) {
+  rows.DecodeAll();
+  auto chunk = std::make_shared<WosChunk>();
+  chunk->txn_id = txn->id();
+  chunk->rows = std::move(rows);
+  {
+    std::lock_guard lock(mu_);
+    chunk->start_pos = wos_next_pos_;
+    wos_next_pos_ += chunk->NumRows();
+    wos_.push_back(chunk);
+  }
+  txn->MarkDml();
+  txn->OnCommit([chunk](Epoch e) { chunk->epoch = e; });
+  txn->OnRollback([this, chunk]() {
+    std::lock_guard lock(mu_);
+    wos_.erase(std::remove(wos_.begin(), wos_.end(), chunk), wos_.end());
+  });
+  return Status::OK();
+}
+
+Status ProjectionStorage::WriteContainers(RowBlock sorted, Transaction* txn) {
+  std::map<std::pair<int64_t, uint32_t>, std::vector<uint32_t>> groups;
+  STRATICA_RETURN_NOT_OK(SplitForStorage(sorted, &groups));
+  std::vector<std::shared_ptr<RosContainer>> created;
+  for (const auto& [key, row_indexes] : groups) {
+    auto [id, dir] = AllocateContainer();
+    RosWriter writer(fs_, dir, id, cfg_.projection, cfg_.column_names,
+                     cfg_.column_types, cfg_.encodings);
+    RowBlock group;
+    group.columns.reserve(sorted.NumColumns());
+    for (const auto& col : sorted.columns) {
+      ColumnVector gc(col.type);
+      gc.Reserve(row_indexes.size());
+      for (uint32_t r : row_indexes) gc.AppendFrom(col, r);
+      group.columns.push_back(std::move(gc));
+    }
+    STRATICA_RETURN_NOT_OK(writer.Append(group, {}));
+    STRATICA_ASSIGN_OR_RETURN(RosContainerPtr ros,
+                              writer.Finish(key.first, key.second, kUncommittedEpoch));
+    auto mutable_ros = std::const_pointer_cast<RosContainer>(ros);
+    mutable_ros->creating_txn = txn->id();
+    created.push_back(mutable_ros);
+  }
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& c : created) ros_.push_back(c);
+  }
+  txn->MarkDml();
+  txn->OnCommit([this, created](Epoch e) {
+    for (const auto& c : created) {
+      (void)StampRosEpoch(fs_, c.get(), c->dir + "/meta", e);
+      c->creating_txn = 0;
+    }
+    std::lock_guard lock(mu_);
+    // Direct loads leave nothing pending in the WOS, so if the WOS is empty
+    // the projection's Last Good Epoch advances with the commit.
+    if (wos_.empty()) lge_ = std::max(lge_, e);
+  });
+  txn->OnRollback([this, created]() {
+    std::lock_guard lock(mu_);
+    for (const auto& c : created) {
+      ros_.erase(std::remove(ros_.begin(), ros_.end(), c), ros_.end());
+      for (const auto& col : c->columns) {
+        (void)fs_->Delete(col.data_path);
+        (void)fs_->Delete(col.index_path);
+      }
+      (void)fs_->Delete(c->dir + "/meta");
+    }
+  });
+  return Status::OK();
+}
+
+Status ProjectionStorage::InsertDirectRos(RowBlock rows, Transaction* txn) {
+  rows.DecodeAll();
+  auto perm = ComputeSortPermutation(rows, cfg_.sort_columns);
+  RowBlock sorted = ApplyPermutation(rows, perm);
+  return WriteContainers(std::move(sorted), txn);
+}
+
+Status ProjectionStorage::AddDeletes(uint64_t target_id, std::vector<uint64_t> positions,
+                                     Transaction* txn) {
+  if (positions.empty()) return Status::OK();
+  std::sort(positions.begin(), positions.end());
+  auto chunk = std::make_shared<DeleteVectorChunk>();
+  chunk->target_id = target_id;
+  chunk->txn_id = txn->id();
+  chunk->positions = std::move(positions);
+  chunk->epochs.assign(chunk->positions.size(), kUncommittedEpoch);
+  {
+    std::lock_guard lock(mu_);
+    deletes_.push_back(chunk);
+  }
+  txn->MarkDml();
+  txn->OnCommit([chunk](Epoch e) {
+    std::fill(chunk->epochs.begin(), chunk->epochs.end(), e);
+  });
+  txn->OnRollback([this, chunk]() {
+    std::lock_guard lock(mu_);
+    deletes_.erase(std::remove(deletes_.begin(), deletes_.end(), chunk),
+                   deletes_.end());
+  });
+  return Status::OK();
+}
+
+StorageSnapshot ProjectionStorage::GetSnapshot(Epoch epoch, uint64_t txn_id) const {
+  std::lock_guard lock(mu_);
+  StorageSnapshot snap;
+  snap.epoch = epoch;
+  for (const auto& c : ros_) {
+    bool committed_visible = c->min_epoch != kUncommittedEpoch && c->min_epoch <= epoch;
+    bool own = txn_id != 0 && c->creating_txn == txn_id;
+    if (committed_visible || own) snap.ros.push_back(c);
+  }
+  for (const auto& w : wos_) {
+    bool committed_visible = w->epoch != kUncommittedEpoch && w->epoch <= epoch;
+    bool own = txn_id != 0 && w->txn_id == txn_id && w->epoch == kUncommittedEpoch;
+    if (committed_visible || own) snap.wos.push_back(w);
+  }
+  for (const auto& d : deletes_) {
+    bool own = txn_id != 0 && d->txn_id == txn_id;
+    snap.deletes.Add(*d, own ? kUncommittedEpoch : epoch);
+  }
+  return snap;
+}
+
+std::vector<WosChunkPtr> ProjectionStorage::CommittedWosChunks(Epoch up_to) const {
+  std::lock_guard lock(mu_);
+  std::vector<WosChunkPtr> out;
+  for (const auto& w : wos_) {
+    if (w->epoch != kUncommittedEpoch && w->epoch <= up_to) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<DeleteVectorChunkPtr> ProjectionStorage::WosDeleteChunks() const {
+  std::lock_guard lock(mu_);
+  std::vector<DeleteVectorChunkPtr> out;
+  for (const auto& d : deletes_) {
+    if (d->target_id == kWosTargetId) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<RosContainerPtr> ProjectionStorage::Containers() const {
+  std::lock_guard lock(mu_);
+  std::vector<RosContainerPtr> out;
+  out.reserve(ros_.size());
+  for (const auto& c : ros_) out.push_back(c);
+  return out;
+}
+
+std::vector<DeleteVectorChunkPtr> ProjectionStorage::ContainerDeleteChunks(
+    uint64_t container_id) const {
+  std::lock_guard lock(mu_);
+  std::vector<DeleteVectorChunkPtr> out;
+  for (const auto& d : deletes_) {
+    if (d->target_id == container_id) out.push_back(d);
+  }
+  return out;
+}
+
+Status ProjectionStorage::ApplyMoveout(const MoveoutApply& apply) {
+  std::lock_guard lock(mu_);
+  // Ranges of WOS positions consumed by the moveout.
+  std::vector<std::pair<uint64_t, uint64_t>> consumed;
+  for (const auto& chunk : apply.consumed_chunks) {
+    consumed.emplace_back(chunk->start_pos, chunk->start_pos + chunk->NumRows());
+    wos_.erase(std::remove(wos_.begin(), wos_.end(), chunk), wos_.end());
+  }
+  auto in_consumed = [&](uint64_t pos) {
+    for (const auto& [lo, hi] : consumed) {
+      if (pos >= lo && pos < hi) return true;
+    }
+    return false;
+  };
+  // Drop WOS-target delete entries that were translated to container
+  // targets by the moveout (they arrive in apply.new_dvs).
+  for (auto& d : deletes_) {
+    if (d->target_id != kWosTargetId) continue;
+    std::vector<uint64_t> keep_pos;
+    std::vector<Epoch> keep_ep;
+    for (size_t i = 0; i < d->positions.size(); ++i) {
+      if (!in_consumed(d->positions[i])) {
+        keep_pos.push_back(d->positions[i]);
+        keep_ep.push_back(d->epochs[i]);
+      }
+    }
+    d->positions = std::move(keep_pos);
+    d->epochs = std::move(keep_ep);
+  }
+  deletes_.erase(std::remove_if(deletes_.begin(), deletes_.end(),
+                                [](const DeleteVectorChunkPtr& d) {
+                                  return d->target_id == kWosTargetId && d->size() == 0;
+                                }),
+                 deletes_.end());
+  for (const auto& c : apply.new_containers) ros_.push_back(c);
+  for (const auto& d : apply.new_dvs) deletes_.push_back(d);
+  lge_ = std::max(lge_, apply.new_lge);
+  return Status::OK();
+}
+
+Status ProjectionStorage::ApplyMergeout(const MergeoutApply& apply) {
+  std::vector<std::shared_ptr<RosContainer>> removed;
+  {
+    std::lock_guard lock(mu_);
+    for (uint64_t id : apply.removed_container_ids) {
+      for (auto it = ros_.begin(); it != ros_.end(); ++it) {
+        if ((*it)->id == id) {
+          removed.push_back(*it);
+          ros_.erase(it);
+          break;
+        }
+      }
+      deletes_.erase(std::remove_if(deletes_.begin(), deletes_.end(),
+                                    [id](const DeleteVectorChunkPtr& d) {
+                                      return d->target_id == id;
+                                    }),
+                     deletes_.end());
+    }
+    if (apply.new_container) ros_.push_back(apply.new_container);
+    for (const auto& d : apply.new_dvs) deletes_.push_back(d);
+  }
+  // Delete replaced files outside the lock. Hard-linked backups keep the
+  // bytes alive (Section 5.2).
+  for (const auto& c : removed) {
+    for (const auto& col : c->columns) {
+      (void)fs_->Delete(col.data_path);
+      (void)fs_->Delete(col.index_path);
+    }
+    if (!c->epoch_data_path.empty()) {
+      (void)fs_->Delete(c->epoch_data_path);
+      (void)fs_->Delete(c->epoch_index_path);
+    }
+    (void)fs_->Delete(c->dir + "/meta");
+  }
+  return Status::OK();
+}
+
+void ProjectionStorage::AdoptContainer(std::shared_ptr<RosContainer> container,
+                                       std::vector<DeleteVectorChunkPtr> dvs) {
+  std::lock_guard lock(mu_);
+  if (container) ros_.push_back(std::move(container));
+  for (auto& d : dvs) deletes_.push_back(std::move(d));
+}
+
+Epoch ProjectionStorage::TruncateForRecovery(Epoch lge) {
+  std::vector<std::shared_ptr<RosContainer>> dropped;
+  Epoch trunc = lge;
+  {
+    std::lock_guard lock(mu_);
+    wos_.clear();  // WOS content is gone after a failure anyway
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto it = ros_.begin(); it != ros_.end();) {
+        if ((*it)->max_epoch == kUncommittedEpoch || (*it)->max_epoch > trunc) {
+          // Mergeout may have mixed pre-LGE rows into this container; back
+          // the truncation point off so the copy-back has no gaps.
+          if ((*it)->min_epoch != kUncommittedEpoch && (*it)->min_epoch <= trunc) {
+            trunc = (*it)->min_epoch - 1;
+            changed = true;
+          }
+          dropped.push_back(*it);
+          it = ros_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Drop delete entries newer than the truncation point and all entries
+    // targeting dropped containers.
+    for (auto& d : deletes_) {
+      if (d->target_id == kWosTargetId) {
+        d->positions.clear();
+        d->epochs.clear();
+        continue;
+      }
+      bool target_dropped = false;
+      for (const auto& c : dropped) target_dropped |= (c->id == d->target_id);
+      std::vector<uint64_t> keep_pos;
+      std::vector<Epoch> keep_ep;
+      if (!target_dropped) {
+        for (size_t i = 0; i < d->positions.size(); ++i) {
+          if (d->epochs[i] <= trunc) {
+            keep_pos.push_back(d->positions[i]);
+            keep_ep.push_back(d->epochs[i]);
+          }
+        }
+      }
+      d->positions = std::move(keep_pos);
+      d->epochs = std::move(keep_ep);
+    }
+    deletes_.erase(std::remove_if(deletes_.begin(), deletes_.end(),
+                                  [](const DeleteVectorChunkPtr& d) {
+                                    return d->size() == 0;
+                                  }),
+                   deletes_.end());
+    lge_ = std::min(lge_, trunc);
+  }
+  for (const auto& c : dropped) {
+    for (const auto& col : c->columns) {
+      (void)fs_->Delete(col.data_path);
+      (void)fs_->Delete(col.index_path);
+    }
+    if (!c->epoch_data_path.empty()) {
+      (void)fs_->Delete(c->epoch_data_path);
+      (void)fs_->Delete(c->epoch_index_path);
+    }
+    (void)fs_->Delete(c->dir + "/meta");
+  }
+  return trunc;
+}
+
+Status ProjectionStorage::IngestRecovered(RowBlock rows, std::vector<Epoch> row_epochs,
+                                          std::vector<Epoch> delete_epochs,
+                                          Epoch new_lge) {
+  rows.DecodeAll();
+  size_t n = rows.NumRows();
+  if (row_epochs.size() != n || delete_epochs.size() != n)
+    return Status::Internal("IngestRecovered: vector size mismatch");
+  if (n > 0) {
+    std::vector<uint32_t> perm = ComputeSortPermutation(rows, cfg_.sort_columns);
+    RowBlock sorted = ApplyPermutation(rows, perm);
+    std::vector<Epoch> sorted_epochs(n), sorted_dels(n);
+    for (size_t i = 0; i < n; ++i) {
+      sorted_epochs[i] = row_epochs[perm[i]];
+      sorted_dels[i] = delete_epochs[perm[i]];
+    }
+    std::map<std::pair<int64_t, uint32_t>, std::vector<uint32_t>> groups;
+    STRATICA_RETURN_NOT_OK(SplitForStorage(sorted, &groups));
+    for (const auto& [key, idxs] : groups) {
+      auto [id, dir] = AllocateContainer();
+      RosWriter writer(fs_, dir, id, cfg_.projection, cfg_.column_names,
+                       cfg_.column_types, cfg_.encodings);
+      RowBlock group(std::vector<TypeId>(cfg_.column_types));
+      std::vector<Epoch> group_epochs;
+      auto dv = std::make_shared<DeleteVectorChunk>();
+      dv->target_id = id;
+      for (uint32_t r : idxs) {
+        group.AppendRowFrom(sorted, r);
+        group_epochs.push_back(sorted_epochs[r]);
+        if (sorted_dels[r] != 0) {
+          dv->positions.push_back(group_epochs.size() - 1);
+          dv->epochs.push_back(sorted_dels[r]);
+        }
+      }
+      STRATICA_RETURN_NOT_OK(writer.Append(group, group_epochs));
+      STRATICA_ASSIGN_OR_RETURN(RosContainerPtr ros, writer.Finish(key.first, key.second, 0));
+      std::vector<DeleteVectorChunkPtr> dvs;
+      if (!dv->positions.empty()) dvs.push_back(dv);
+      AdoptContainer(std::const_pointer_cast<RosContainer>(ros), std::move(dvs));
+    }
+  }
+  std::lock_guard lock(mu_);
+  lge_ = std::max(lge_, new_lge);
+  return Status::OK();
+}
+
+Result<uint64_t> ProjectionStorage::DropPartition(int64_t partition_key) {
+  std::vector<std::shared_ptr<RosContainer>> dropped;
+  {
+    std::lock_guard lock(mu_);
+    for (auto it = ros_.begin(); it != ros_.end();) {
+      if ((*it)->partition_key == partition_key) {
+        dropped.push_back(*it);
+        it = ros_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& c : dropped) {
+      uint64_t id = c->id;
+      deletes_.erase(std::remove_if(deletes_.begin(), deletes_.end(),
+                                    [id](const DeleteVectorChunkPtr& d) {
+                                      return d->target_id == id;
+                                    }),
+                     deletes_.end());
+    }
+  }
+  uint64_t rows = 0;
+  for (const auto& c : dropped) {
+    rows += c->row_count;
+    for (const auto& col : c->columns) {
+      (void)fs_->Delete(col.data_path);
+      (void)fs_->Delete(col.index_path);
+    }
+    if (!c->epoch_data_path.empty()) {
+      (void)fs_->Delete(c->epoch_data_path);
+      (void)fs_->Delete(c->epoch_index_path);
+    }
+    (void)fs_->Delete(c->dir + "/meta");
+  }
+  return rows;
+}
+
+void ProjectionStorage::Clear(bool delete_files) {
+  std::lock_guard lock(mu_);
+  if (delete_files) {
+    for (const auto& c : ros_) {
+      for (const auto& col : c->columns) {
+        (void)fs_->Delete(col.data_path);
+        (void)fs_->Delete(col.index_path);
+      }
+      if (!c->epoch_data_path.empty()) {
+        (void)fs_->Delete(c->epoch_data_path);
+        (void)fs_->Delete(c->epoch_index_path);
+      }
+      (void)fs_->Delete(c->dir + "/meta");
+    }
+  }
+  wos_.clear();
+  ros_.clear();
+  deletes_.clear();
+  wos_next_pos_ = 0;
+  lge_ = 0;
+}
+
+void ProjectionStorage::CrashVolatileState() {
+  std::lock_guard lock(mu_);
+  wos_.clear();
+  // Uncommitted containers and all in-memory (non-persisted) delete chunks
+  // are lost with the node.
+  ros_.erase(std::remove_if(ros_.begin(), ros_.end(),
+                            [](const std::shared_ptr<RosContainer>& c) {
+                              return c->min_epoch == kUncommittedEpoch;
+                            }),
+             ros_.end());
+  deletes_.erase(std::remove_if(deletes_.begin(), deletes_.end(),
+                                [](const DeleteVectorChunkPtr& d) {
+                                  return !d->persisted;
+                                }),
+                 deletes_.end());
+}
+
+uint64_t ProjectionStorage::WosRowCount() const {
+  std::lock_guard lock(mu_);
+  uint64_t n = 0;
+  for (const auto& w : wos_) n += w->NumRows();
+  return n;
+}
+
+bool ProjectionStorage::WosSaturated() const {
+  return WosRowCount() >= cfg_.wos_capacity_rows;
+}
+
+Epoch ProjectionStorage::lge() const {
+  std::lock_guard lock(mu_);
+  return lge_;
+}
+
+size_t ProjectionStorage::NumContainers() const {
+  std::lock_guard lock(mu_);
+  return ros_.size();
+}
+
+uint64_t ProjectionStorage::TotalRosBytes() const {
+  std::lock_guard lock(mu_);
+  uint64_t n = 0;
+  for (const auto& c : ros_) n += c->total_bytes;
+  return n;
+}
+
+uint64_t ProjectionStorage::TotalRosRawBytes() const {
+  std::lock_guard lock(mu_);
+  uint64_t n = 0;
+  for (const auto& c : ros_) n += c->raw_bytes;
+  return n;
+}
+
+uint64_t ProjectionStorage::TotalRosRows() const {
+  std::lock_guard lock(mu_);
+  uint64_t n = 0;
+  for (const auto& c : ros_) n += c->row_count;
+  return n;
+}
+
+}  // namespace stratica

@@ -1,0 +1,211 @@
+// Per-(node, projection) storage runtime: the WOS, the set of ROS
+// containers, and the delete vectors (Sections 3.5-3.7).
+//
+// Concurrency model follows the paper's never-modify-in-place policy:
+// ROS containers and committed WOS chunks are immutable; all mutations are
+// list swaps under a mutex, and scans operate on snapshots.
+#ifndef STRATICA_STORAGE_PROJECTION_STORAGE_H_
+#define STRATICA_STORAGE_PROJECTION_STORAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/row_block.h"
+#include "common/status.h"
+#include "expr/expr.h"
+#include "storage/delete_vector.h"
+#include "storage/ros.h"
+#include "txn/transaction.h"
+
+namespace stratica {
+
+/// \brief One uncommitted-or-committed batch of WOS rows.
+///
+/// The WOS is in memory and unencoded (Section 3.7); rows are segmented for
+/// this node but unsorted. `start_pos` gives the chunk's rows global WOS
+/// positions for delete-vector targeting.
+struct WosChunk {
+  uint64_t start_pos = 0;
+  Epoch epoch = kUncommittedEpoch;
+  uint64_t txn_id = 0;
+  RowBlock rows;  // flat, projection column order
+
+  size_t NumRows() const { return rows.NumRows(); }
+};
+
+using WosChunkPtr = std::shared_ptr<WosChunk>;
+
+/// Static configuration for a projection's storage on one node.
+struct ProjectionStorageConfig {
+  std::string projection;
+  std::vector<std::string> column_names;
+  std::vector<TypeId> column_types;
+  std::vector<EncodingId> encodings;
+  std::vector<uint32_t> sort_columns;
+
+  /// Bound against the projection schema; null = unpartitioned. (Partition
+  /// expressions referencing columns a narrow projection lacks leave that
+  /// projection unpartitioned; bulk drop then falls back to delete vectors.)
+  ExprPtr partition_expr;
+  /// Bound against the projection schema; null = replicated projection.
+  ExprPtr segmentation_expr;
+
+  /// Local segments (Section 3.6): tuples are kept physically segregated
+  /// within the node to make rebalance a wholesale file transfer.
+  uint32_t num_local_segments = 3;
+  /// This node's slice of the segmentation ring, set by the cluster layer.
+  uint64_t range_lo = 0;
+  uint64_t range_hi = UINT64_MAX;
+
+  /// WOS capacity in rows; beyond this the WOS is "saturated" and loads
+  /// spill directly to new ROS containers (Section 4).
+  uint64_t wos_capacity_rows = 1 << 20;
+};
+
+/// Consistent view of a projection's storage for one scan.
+struct StorageSnapshot {
+  Epoch epoch = 0;
+  std::vector<RosContainerPtr> ros;
+  std::vector<std::shared_ptr<const WosChunk>> wos;
+  DeleteIndex deletes;
+  uint64_t TotalRows() const;
+};
+
+/// Result of a moveout or WOS-spill computation, applied atomically.
+struct MoveoutApply {
+  std::vector<WosChunkPtr> consumed_chunks;
+  std::vector<std::shared_ptr<RosContainer>> new_containers;
+  std::vector<DeleteVectorChunkPtr> new_dvs;  // re-targeted at new containers
+  Epoch new_lge = 0;
+};
+
+/// Result of one mergeout operation, applied atomically.
+struct MergeoutApply {
+  std::vector<uint64_t> removed_container_ids;
+  std::shared_ptr<RosContainer> new_container;
+  std::vector<DeleteVectorChunkPtr> new_dvs;
+};
+
+/// \brief Storage state and operations for one projection on one node.
+class ProjectionStorage {
+ public:
+  ProjectionStorage(FileSystem* fs, std::string base_dir, ProjectionStorageConfig cfg);
+
+  const ProjectionStorageConfig& config() const { return cfg_; }
+  FileSystem* fs() const { return fs_; }
+  const std::string& base_dir() const { return base_dir_; }
+
+  // --- write path ----------------------------------------------------------
+
+  /// Buffer rows in the WOS as an uncommitted chunk owned by `txn`
+  /// (stamped/discarded via the transaction's callbacks).
+  Status InsertWos(RowBlock rows, Transaction* txn);
+
+  /// Bulk-load path that bypasses the WOS: sort, split by (partition, local
+  /// segment) and write ROS containers directly (Section 7, "Direct
+  /// Loading to the ROS").
+  Status InsertDirectRos(RowBlock rows, Transaction* txn);
+
+  /// Record deletions of `positions` on `target_id` (container id or
+  /// kWosTargetId), attached to `txn`.
+  Status AddDeletes(uint64_t target_id, std::vector<uint64_t> positions,
+                    Transaction* txn);
+
+  // --- read path -----------------------------------------------------------
+
+  /// Snapshot for reads at `epoch`; `txn_id` additionally exposes that
+  /// transaction's own uncommitted data (read-your-writes).
+  StorageSnapshot GetSnapshot(Epoch epoch, uint64_t txn_id = 0) const;
+
+  // --- tuple mover interface ------------------------------------------------
+
+  /// Committed WOS chunks with epoch <= up_to (moveout input).
+  std::vector<WosChunkPtr> CommittedWosChunks(Epoch up_to) const;
+
+  /// Delete-vector chunks targeting the WOS (moveout must translate these).
+  std::vector<DeleteVectorChunkPtr> WosDeleteChunks() const;
+
+  /// Committed containers (mergeout input), plus their delete chunks.
+  std::vector<RosContainerPtr> Containers() const;
+  std::vector<DeleteVectorChunkPtr> ContainerDeleteChunks(uint64_t container_id) const;
+
+  Status ApplyMoveout(const MoveoutApply& apply);
+  Status ApplyMergeout(const MergeoutApply& apply);
+
+  /// Register a container built externally (recovery, refresh, rebalance).
+  void AdoptContainer(std::shared_ptr<RosContainer> container,
+                      std::vector<DeleteVectorChunkPtr> dvs);
+
+  /// Recovery truncation (Section 5.2: "the node truncates all tuples that
+  /// were inserted after its LGE"). Drops every container holding any row
+  /// newer than the LGE; if a merged container mixed older rows in, the
+  /// truncation point backs off so no surviving epoch range has gaps.
+  /// Returns the final truncation epoch (all remaining data is <= it).
+  Epoch TruncateForRecovery(Epoch lge);
+
+  /// Ingest rows copied from a buddy during recovery/refresh/rebalance:
+  /// sorts, splits by (partition, segment), writes committed containers
+  /// carrying the original per-row epochs, and rebuilds delete vectors from
+  /// `delete_epochs` (0 = row is live). Advances the LGE to `new_lge`.
+  Status IngestRecovered(RowBlock rows, std::vector<Epoch> row_epochs,
+                         std::vector<Epoch> delete_epochs, Epoch new_lge);
+
+  /// Drop every container whose partition key matches (fast bulk deletion,
+  /// Section 3.5: "as simple as deleting files from a filesystem").
+  /// Returns the number of rows dropped.
+  Result<uint64_t> DropPartition(int64_t partition_key);
+
+  /// Remove all state (node crash simulation / DROP PROJECTION). WOS and
+  /// uncommitted data are lost; ROS files are deleted when `delete_files`.
+  void Clear(bool delete_files);
+
+  /// Wipe volatile state only (what a node loses on failure: WOS content,
+  /// uncommitted artifacts, in-memory DVWOS entries).
+  void CrashVolatileState();
+
+  // --- stats ----------------------------------------------------------------
+  uint64_t WosRowCount() const;
+  bool WosSaturated() const;
+  Epoch lge() const;
+  size_t NumContainers() const;
+  uint64_t TotalRosBytes() const;
+  uint64_t TotalRosRawBytes() const;
+  uint64_t TotalRosRows() const;
+
+  /// Allocate a container id + directory (also used by the tuple mover).
+  std::pair<uint64_t, std::string> AllocateContainer();
+
+  /// Split rows into (partition_key, local_segment) groups; exposed for the
+  /// tuple mover, which must preserve both boundaries.
+  Status SplitForStorage(
+      const RowBlock& rows,
+      std::map<std::pair<int64_t, uint32_t>, std::vector<uint32_t>>* groups) const;
+
+  /// Local segment of a segmentation-hash value within this node's range.
+  uint32_t LocalSegmentOf(uint64_t hash) const;
+
+ private:
+  Status WriteContainers(RowBlock sorted, Transaction* txn);
+
+  FileSystem* fs_;
+  std::string base_dir_;
+  ProjectionStorageConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::vector<WosChunkPtr> wos_;
+  std::vector<std::shared_ptr<RosContainer>> ros_;
+  std::vector<DeleteVectorChunkPtr> deletes_;
+  uint64_t wos_next_pos_ = 0;
+  Epoch lge_ = 0;
+  std::atomic<uint64_t> next_container_id_{1};
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_STORAGE_PROJECTION_STORAGE_H_

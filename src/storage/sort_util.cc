@@ -1,0 +1,53 @@
+#include "storage/sort_util.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace stratica {
+
+std::vector<uint32_t> ComputeSortPermutation(const RowBlock& block,
+                                             const std::vector<uint32_t>& key_columns) {
+  std::vector<uint32_t> perm(block.NumRows());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    for (uint32_t k : key_columns) {
+      int c = ColumnVector::CompareEntries(block.columns[k], a, block.columns[k], b);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  return perm;
+}
+
+RowBlock ApplyPermutation(const RowBlock& block, const std::vector<uint32_t>& perm) {
+  RowBlock out;
+  out.columns.reserve(block.NumColumns());
+  for (const auto& col : block.columns) {
+    ColumnVector oc(col.type);
+    oc.Reserve(perm.size());
+    for (uint32_t idx : perm) oc.AppendFrom(col, idx);
+    out.columns.push_back(std::move(oc));
+  }
+  return out;
+}
+
+int CompareRows(const RowBlock& a, size_t ia, const RowBlock& b, size_t ib,
+                const std::vector<uint32_t>& keys_a,
+                const std::vector<uint32_t>& keys_b) {
+  for (size_t k = 0; k < keys_a.size(); ++k) {
+    int c = ColumnVector::CompareEntries(a.columns[keys_a[k]], ia, b.columns[keys_b[k]],
+                                         ib);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+bool IsSorted(const RowBlock& block, const std::vector<uint32_t>& key_columns) {
+  size_t n = block.NumRows();
+  for (size_t i = 1; i < n; ++i) {
+    if (CompareRows(block, i - 1, block, i, key_columns, key_columns) > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace stratica

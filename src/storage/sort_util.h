@@ -1,0 +1,31 @@
+// Sorting utilities shared by the load path, the tuple mover and the
+// execution engine's Sort operator.
+#ifndef STRATICA_STORAGE_SORT_UTIL_H_
+#define STRATICA_STORAGE_SORT_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/row_block.h"
+
+namespace stratica {
+
+/// Stable sort permutation of `block`'s rows by the given key columns
+/// (ascending, NULL first). The block must be flat (no RLE columns).
+std::vector<uint32_t> ComputeSortPermutation(const RowBlock& block,
+                                             const std::vector<uint32_t>& key_columns);
+
+/// Materialize `perm` over a flat block.
+RowBlock ApplyPermutation(const RowBlock& block, const std::vector<uint32_t>& perm);
+
+/// Lexicographic comparison of row `ia` of `a` vs row `ib` of `b` over
+/// parallel key column lists.
+int CompareRows(const RowBlock& a, size_t ia, const RowBlock& b, size_t ib,
+                const std::vector<uint32_t>& keys_a, const std::vector<uint32_t>& keys_b);
+
+/// True if the flat block is sorted by the key columns.
+bool IsSorted(const RowBlock& block, const std::vector<uint32_t>& key_columns);
+
+}  // namespace stratica
+
+#endif  // STRATICA_STORAGE_SORT_UTIL_H_

@@ -1,0 +1,283 @@
+#include "tuplemover/tuple_mover.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "storage/sort_util.h"
+
+namespace stratica {
+
+int TupleMover::Stratum(uint64_t bytes) const {
+  // Stratum s covers (base * factor^(s-1), base * factor^s].
+  if (bytes <= cfg_.strata_base_bytes) return 0;
+  double ratio = static_cast<double>(bytes) / static_cast<double>(cfg_.strata_base_bytes);
+  return static_cast<int>(
+      std::ceil(std::log(ratio) / std::log(cfg_.strata_factor) - 1e-9));
+}
+
+Status TupleMover::Moveout(ProjectionStorage* ps) {
+  Epoch up_to = epochs_->LatestQueryableEpoch();
+  std::vector<WosChunkPtr> chunks = ps->CommittedWosChunks(up_to);
+  if (chunks.empty()) return Status::OK();
+
+  // An uncommitted delete transaction may still be pointing at WOS
+  // positions; moving them out from under it would corrupt its targets.
+  // The paper serializes these cases with the T lock; we detect and defer.
+  for (const auto& d : ps->WosDeleteChunks()) {
+    for (Epoch e : d->epochs) {
+      if (e == kUncommittedEpoch) return Status::OK();  // retry later
+    }
+  }
+
+  // Concatenate the chunks, tracking each row's global WOS position and
+  // commit epoch.
+  const auto& cfg = ps->config();
+  RowBlock all(std::vector<TypeId>(cfg.column_types));
+  std::vector<uint64_t> wos_pos;
+  std::vector<Epoch> row_epochs;
+  for (const auto& chunk : chunks) {
+    size_t n = chunk->NumRows();
+    for (size_t r = 0; r < n; ++r) {
+      all.AppendRowFrom(chunk->rows, r);
+      wos_pos.push_back(chunk->start_pos + r);
+      row_epochs.push_back(chunk->epoch);
+    }
+  }
+
+  // Sort by the projection's sort order.
+  std::vector<uint32_t> perm = ComputeSortPermutation(all, cfg.sort_columns);
+  RowBlock sorted = ApplyPermutation(all, perm);
+  std::vector<uint64_t> sorted_pos(perm.size());
+  std::vector<Epoch> sorted_epochs(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    sorted_pos[i] = wos_pos[perm[i]];
+    sorted_epochs[i] = row_epochs[perm[i]];
+  }
+
+  // Split by (partition key, local segment) — moveout never mixes them.
+  std::map<std::pair<int64_t, uint32_t>, std::vector<uint32_t>> groups;
+  STRATICA_RETURN_NOT_OK(ps->SplitForStorage(sorted, &groups));
+
+  MoveoutApply apply;
+  apply.consumed_chunks = chunks;
+  apply.new_lge = up_to;
+  // Map from global WOS position to (container, new position) so delete
+  // vectors can chase their rows.
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> pos_map;
+
+  for (const auto& [key, rows] : groups) {
+    auto [id, dir] = ps->AllocateContainer();
+    RosWriter writer(ps->fs(), dir, id, cfg.projection, cfg.column_names,
+                     cfg.column_types, cfg.encodings);
+    RowBlock group(std::vector<TypeId>(cfg.column_types));
+    std::vector<Epoch> group_epochs;
+    for (uint32_t r : rows) {
+      group.AppendRowFrom(sorted, r);
+      group_epochs.push_back(sorted_epochs[r]);
+      pos_map[sorted_pos[r]] = {id, group_epochs.size() - 1};
+    }
+    STRATICA_RETURN_NOT_OK(writer.Append(group, group_epochs));
+    STRATICA_ASSIGN_OR_RETURN(RosContainerPtr ros,
+                              writer.Finish(key.first, key.second, up_to));
+    apply.new_containers.push_back(std::const_pointer_cast<RosContainer>(ros));
+    stats_.rows_moved_out += rows.size();
+  }
+
+  // Translate committed WOS delete entries that point at moved rows.
+  std::map<uint64_t, DeleteVectorChunkPtr> new_dvs;
+  for (const auto& d : ps->WosDeleteChunks()) {
+    for (size_t i = 0; i < d->positions.size(); ++i) {
+      auto it = pos_map.find(d->positions[i]);
+      if (it == pos_map.end()) continue;  // row still in WOS
+      auto [cid, newpos] = it->second;
+      auto& chunk = new_dvs[cid];
+      if (!chunk) {
+        chunk = std::make_shared<DeleteVectorChunk>();
+        chunk->target_id = cid;
+      }
+      chunk->positions.push_back(newpos);
+      chunk->epochs.push_back(d->epochs[i]);
+    }
+  }
+  for (auto& [cid, chunk] : new_dvs) {
+    // Keep positions sorted within the chunk.
+    std::vector<size_t> order(chunk->positions.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return chunk->positions[a] < chunk->positions[b];
+    });
+    DeleteVectorChunk sorted_chunk;
+    sorted_chunk.target_id = cid;
+    for (size_t i : order) {
+      sorted_chunk.positions.push_back(chunk->positions[i]);
+      sorted_chunk.epochs.push_back(chunk->epochs[i]);
+    }
+    *chunk = std::move(sorted_chunk);
+    apply.new_dvs.push_back(chunk);
+  }
+
+  ++stats_.moveouts;
+  return ps->ApplyMoveout(apply);
+}
+
+Result<bool> TupleMover::MergeoutOnce(ProjectionStorage* ps) {
+  std::vector<RosContainerPtr> containers = ps->Containers();
+  // Candidate groups: committed containers keyed by (partition, segment,
+  // stratum). Partition and local-segment boundaries are always preserved.
+  std::map<std::tuple<int64_t, uint32_t, int>, std::vector<RosContainerPtr>> buckets;
+  for (const auto& c : containers) {
+    if (c->min_epoch == kUncommittedEpoch) continue;
+    buckets[{c->partition_key, c->local_segment, Stratum(c->total_bytes)}].push_back(c);
+  }
+  // Lowest stratum first: small files hurt the most (seeks, handles, merge
+  // fan-in), and merging upward keeps rewrite counts logarithmic.
+  const std::vector<RosContainerPtr>* best = nullptr;
+  std::tuple<int64_t, uint32_t, int> best_key;
+  for (const auto& [key, group] : buckets) {
+    if (group.size() < cfg_.merge_fanin_min) continue;
+    if (!best || std::get<2>(key) < std::get<2>(best_key)) {
+      best = &group;
+      best_key = key;
+    }
+  }
+  if (!best) return false;
+
+  std::vector<RosContainerPtr> inputs = *best;
+  std::sort(inputs.begin(), inputs.end(),
+            [](const RosContainerPtr& a, const RosContainerPtr& b) {
+              return a->total_bytes < b->total_bytes;
+            });
+  if (inputs.size() > cfg_.merge_fanin_max) inputs.resize(cfg_.merge_fanin_max);
+  // Respect the maximum container size.
+  uint64_t total = 0;
+  size_t take = 0;
+  for (; take < inputs.size(); ++take) {
+    if (total + inputs[take]->total_bytes > cfg_.max_ros_bytes) break;
+    total += inputs[take]->total_bytes;
+  }
+  if (take < cfg_.merge_fanin_min) return false;
+  inputs.resize(take);
+
+  const auto& cfg = ps->config();
+  Epoch ahm = epochs_->ahm();
+
+  // Load sources (each already sorted by the projection sort order) along
+  // with epochs and delete entries.
+  struct Source {
+    RowBlock rows;
+    std::vector<Epoch> epochs;
+    std::vector<std::pair<uint64_t, Epoch>> deletes;  // sorted by position
+    size_t cursor = 0;
+  };
+  std::vector<Source> sources(inputs.size());
+  for (size_t s = 0; s < inputs.size(); ++s) {
+    STRATICA_RETURN_NOT_OK(
+        ReadRosContainer(ps->fs(), *inputs[s], &sources[s].rows, &sources[s].epochs));
+    for (const auto& d : ps->ContainerDeleteChunks(inputs[s]->id)) {
+      for (size_t i = 0; i < d->positions.size(); ++i) {
+        sources[s].deletes.emplace_back(d->positions[i], d->epochs[i]);
+      }
+    }
+    std::sort(sources[s].deletes.begin(), sources[s].deletes.end());
+  }
+
+  auto [new_id, dir] = ps->AllocateContainer();
+  RosWriter writer(ps->fs(), dir, new_id, cfg.projection, cfg.column_names,
+                   cfg.column_types, cfg.encodings);
+
+  auto new_dv = std::make_shared<DeleteVectorChunk>();
+  new_dv->target_id = new_id;
+
+  // K-way merge; batched appends to the writer.
+  RowBlock out_batch(std::vector<TypeId>(cfg.column_types));
+  std::vector<Epoch> out_epochs;
+  uint64_t out_pos = 0;
+  constexpr size_t kBatch = 8192;
+  for (;;) {
+    int min_src = -1;
+    for (size_t s = 0; s < sources.size(); ++s) {
+      if (sources[s].cursor >= sources[s].rows.NumRows()) continue;
+      if (min_src < 0 ||
+          CompareRows(sources[s].rows, sources[s].cursor, sources[min_src].rows,
+                      sources[min_src].cursor, cfg.sort_columns,
+                      cfg.sort_columns) < 0) {
+        min_src = static_cast<int>(s);
+      }
+    }
+    if (min_src < 0) break;
+    Source& src = sources[min_src];
+    uint64_t pos = src.cursor;
+    // Deleted state of this row.
+    auto it = std::lower_bound(src.deletes.begin(), src.deletes.end(),
+                               std::make_pair(pos, Epoch{0}));
+    bool deleted = it != src.deletes.end() && it->first == pos;
+    Epoch del_epoch = deleted ? it->second : 0;
+    if (deleted && del_epoch <= ahm) {
+      // Purge: no one can query history at or before the AHM.
+      ++stats_.rows_purged;
+    } else {
+      out_batch.AppendRowFrom(src.rows, pos);
+      out_epochs.push_back(src.epochs[pos]);
+      if (deleted) {
+        new_dv->positions.push_back(out_pos);
+        new_dv->epochs.push_back(del_epoch);
+      }
+      ++out_pos;
+      if (out_batch.NumRows() >= kBatch) {
+        STRATICA_RETURN_NOT_OK(writer.Append(out_batch, out_epochs));
+        out_batch.Clear();
+        out_epochs.clear();
+      }
+    }
+    ++src.cursor;
+    ++stats_.rows_merged;
+  }
+  if (out_batch.NumRows() > 0) {
+    STRATICA_RETURN_NOT_OK(writer.Append(out_batch, out_epochs));
+  }
+
+  auto [pk, seg] = std::make_pair(inputs[0]->partition_key, inputs[0]->local_segment);
+  STRATICA_ASSIGN_OR_RETURN(RosContainerPtr merged, writer.Finish(pk, seg, 0));
+
+  MergeoutApply apply;
+  for (const auto& c : inputs) apply.removed_container_ids.push_back(c->id);
+  apply.new_container = std::const_pointer_cast<RosContainer>(merged);
+  if (!new_dv->positions.empty()) apply.new_dvs.push_back(new_dv);
+  ++stats_.mergeouts;
+  STRATICA_RETURN_NOT_OK(ps->ApplyMergeout(apply));
+  return true;
+}
+
+Status TupleMover::MergeoutAll(ProjectionStorage* ps) {
+  for (;;) {
+    STRATICA_ASSIGN_OR_RETURN(bool merged, MergeoutOnce(ps));
+    if (!merged) return Status::OK();
+  }
+}
+
+Status TupleMover::MoveDeleteVectors(ProjectionStorage* ps) {
+  // DVWOS -> DVROS: persist committed, unpersisted chunks using the same
+  // storage format as user data.
+  for (const auto& d : ps->ContainerDeleteChunks(kWosTargetId)) {
+    (void)d;  // WOS-target chunks stay in memory until their rows move out.
+  }
+  std::vector<RosContainerPtr> containers = ps->Containers();
+  for (const auto& c : containers) {
+    for (const auto& d : ps->ContainerDeleteChunks(c->id)) {
+      if (d->persisted || d->size() == 0) continue;
+      bool committed = true;
+      for (Epoch e : d->epochs) committed &= (e != kUncommittedEpoch);
+      if (!committed) continue;
+      std::string path = c->dir + "/dv" + std::to_string(reinterpret_cast<uintptr_t>(d.get()));
+      STRATICA_RETURN_NOT_OK(WriteDvRos(ps->fs(), *d, path));
+      d->persisted = true;
+      d->dv_path = path;
+      ++stats_.dv_chunks_persisted;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace stratica

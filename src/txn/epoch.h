@@ -1,0 +1,58 @@
+// Epoch management (Section 5, 5.1).
+//
+// Every tuple is stamped with the epoch of the transaction that committed
+// it; delete markers carry the epoch of the deletion. An epoch boundary is
+// a globally consistent snapshot, so snapshot reads need no locks. Vertica
+// advances the epoch automatically as part of any DML commit (a change from
+// C-Store's time-window epochs that confused READ COMMITTED users).
+#ifndef STRATICA_TXN_EPOCH_H_
+#define STRATICA_TXN_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace stratica {
+
+using Epoch = uint64_t;
+
+/// Sentinel for data written by an uncommitted transaction.
+constexpr Epoch kUncommittedEpoch = UINT64_MAX;
+
+/// \brief Tracks the current epoch, the Last Good Epoch bookkeeping hook and
+/// the Ancient History Mark.
+class EpochManager {
+ public:
+  EpochManager() : current_(1), ahm_(0) {}
+
+  /// The epoch new DML commits will receive.
+  Epoch current() const { return current_.load(std::memory_order_acquire); }
+
+  /// READ COMMITTED queries target the latest complete epoch:
+  /// current epoch - 1.
+  Epoch LatestQueryableEpoch() const { return current() - 1; }
+
+  /// Called under the commit lock for a DML commit: returns the commit
+  /// epoch and advances the current epoch past it.
+  Epoch CommitAndAdvance() { return current_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Ancient History Mark: history at or before this epoch may be purged by
+  /// the tuple mover (deleted rows elided, delete vectors dropped).
+  Epoch ahm() const { return ahm_.load(std::memory_order_acquire); }
+
+  /// Advance the AHM (never backwards). Policy decisions — e.g. holding the
+  /// AHM while nodes are down so recovery can replay history — live in the
+  /// cluster layer.
+  void AdvanceAhm(Epoch e) {
+    Epoch cur = ahm_.load(std::memory_order_relaxed);
+    while (e > cur && !ahm_.compare_exchange_weak(cur, e)) {
+    }
+  }
+
+ private:
+  std::atomic<Epoch> current_;
+  std::atomic<Epoch> ahm_;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_TXN_EPOCH_H_

@@ -1,0 +1,103 @@
+#include "txn/lock_manager.h"
+
+namespace stratica {
+
+const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kS: return "S";
+    case LockMode::kI: return "I";
+    case LockMode::kSI: return "SI";
+    case LockMode::kX: return "X";
+    case LockMode::kT: return "T";
+    case LockMode::kU: return "U";
+    case LockMode::kO: return "O";
+  }
+  return "?";
+}
+
+namespace {
+// Table 1: rows = requested mode, columns = granted mode, order S I SI X T U O.
+constexpr bool kCompat[kNumLockModes][kNumLockModes] = {
+    /* S  */ {true, false, false, false, true, true, false},
+    /* I  */ {false, true, false, false, true, true, false},
+    /* SI */ {false, false, false, false, true, true, false},
+    /* X  */ {false, false, false, false, false, true, false},
+    /* T  */ {true, true, true, false, true, true, false},
+    /* U  */ {true, true, true, true, true, true, false},
+    /* O  */ {false, false, false, false, false, false, false},
+};
+
+// Table 2: rows = requested mode, columns = granted (currently held) mode.
+constexpr LockMode kConvert[kNumLockModes][kNumLockModes] = {
+    /* S  */ {LockMode::kS, LockMode::kSI, LockMode::kSI, LockMode::kX, LockMode::kS,
+              LockMode::kS, LockMode::kO},
+    /* I  */ {LockMode::kSI, LockMode::kI, LockMode::kSI, LockMode::kX, LockMode::kI,
+              LockMode::kI, LockMode::kO},
+    /* SI */ {LockMode::kSI, LockMode::kSI, LockMode::kSI, LockMode::kX, LockMode::kSI,
+              LockMode::kSI, LockMode::kO},
+    /* X  */ {LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kX,
+              LockMode::kX, LockMode::kO},
+    /* T  */ {LockMode::kS, LockMode::kI, LockMode::kSI, LockMode::kX, LockMode::kT,
+              LockMode::kT, LockMode::kO},
+    /* U  */ {LockMode::kS, LockMode::kI, LockMode::kSI, LockMode::kX, LockMode::kT,
+              LockMode::kU, LockMode::kO},
+    /* O  */ {LockMode::kO, LockMode::kO, LockMode::kO, LockMode::kO, LockMode::kO,
+              LockMode::kO, LockMode::kO},
+};
+}  // namespace
+
+bool LockCompatible(LockMode requested, LockMode granted) {
+  return kCompat[static_cast<int>(requested)][static_cast<int>(granted)];
+}
+
+LockMode LockConvert(LockMode requested, LockMode granted) {
+  return kConvert[static_cast<int>(requested)][static_cast<int>(granted)];
+}
+
+bool LockManager::CanGrant(const TableLocks& tl, uint64_t txn_id,
+                           LockMode target) const {
+  for (const auto& [other_txn, other_mode] : tl.holders) {
+    if (other_txn == txn_id) continue;
+    if (!LockCompatible(target, other_mode)) return false;
+  }
+  return true;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, const std::string& table, LockMode mode,
+                            std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  TableLocks& tl = tables_[table];
+  for (;;) {
+    LockMode target = mode;
+    auto held = tl.holders.find(txn_id);
+    if (held != tl.holders.end()) target = LockConvert(mode, held->second);
+    if (CanGrant(tl, txn_id, target)) {
+      tl.holders[txn_id] = target;
+      return Status::OK();
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::LockTimeout("txn ", txn_id, " timed out waiting for ",
+                                 LockModeName(mode), " on ", table);
+    }
+  }
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  std::lock_guard lock(mu_);
+  bool released = false;
+  for (auto& [table, tl] : tables_) released |= tl.holders.erase(txn_id) > 0;
+  if (released) cv_.notify_all();
+}
+
+Result<LockMode> LockManager::Held(uint64_t txn_id, const std::string& table) const {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no locks on table ", table);
+  auto h = it->second.holders.find(txn_id);
+  if (h == it->second.holders.end())
+    return Status::NotFound("txn holds no lock on ", table);
+  return h->second;
+}
+
+}  // namespace stratica

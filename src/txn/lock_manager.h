@@ -1,0 +1,77 @@
+// Table locking (Section 5, Tables 1 and 2).
+//
+// Vertica's analytic-appropriate lock model: most queries read a snapshot
+// epoch and take no locks at all; the seven table-lock modes coordinate
+// writers, the tuple mover and DDL. The compatibility and conversion
+// matrices below are transcribed cell-for-cell from the paper.
+#ifndef STRATICA_TXN_LOCK_MANAGER_H_
+#define STRATICA_TXN_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stratica {
+
+/// The seven lock modes of Table 1.
+enum class LockMode : uint8_t {
+  kS = 0,   ///< Shared: blocks concurrent modification (SERIALIZABLE reads).
+  kI = 1,   ///< Insert: compatible with itself so parallel loads proceed.
+  kSI = 2,  ///< SharedInsert: read + insert, but not update/delete.
+  kX = 3,   ///< eXclusive: deletes and updates.
+  kT = 4,   ///< Tuple mover: short delete-vector operations.
+  kU = 5,   ///< Usage: parts of moveout/mergeout.
+  kO = 6,   ///< Owner: significant DDL (drop partition, add column).
+};
+
+constexpr int kNumLockModes = 7;
+
+const char* LockModeName(LockMode m);
+
+/// Table 1: may `requested` be granted while `granted` is held by another
+/// transaction?
+bool LockCompatible(LockMode requested, LockMode granted);
+
+/// Table 2: mode resulting from a holder of `granted` requesting
+/// `requested` on the same table.
+LockMode LockConvert(LockMode requested, LockMode granted);
+
+/// \brief Per-table lock manager with conversion and timeout.
+///
+/// Locks are held by transaction id and released all at once at commit or
+/// rollback, as in the paper's model.
+class LockManager {
+ public:
+  /// Block until the lock is granted or `timeout` elapses
+  /// (StatusCode::kLockTimeout). Re-entrant: a transaction already holding
+  /// a mode upgrades via the conversion matrix.
+  Status Acquire(uint64_t txn_id, const std::string& table, LockMode mode,
+                 std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Release every lock held by the transaction.
+  void ReleaseAll(uint64_t txn_id);
+
+  /// Mode currently held by txn on table (for tests/introspection).
+  Result<LockMode> Held(uint64_t txn_id, const std::string& table) const;
+
+ private:
+  struct TableLocks {
+    std::map<uint64_t, LockMode> holders;
+  };
+
+  bool CanGrant(const TableLocks& tl, uint64_t txn_id, LockMode target) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, TableLocks> tables_;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,38 @@
+#include "txn/transaction.h"
+
+namespace stratica {
+
+TransactionPtr TransactionManager::Begin() {
+  return std::make_shared<Transaction>(next_txn_id_.fetch_add(1),
+                                       epochs_->LatestQueryableEpoch());
+}
+
+Result<Epoch> TransactionManager::Commit(const TransactionPtr& txn) {
+  std::lock_guard lock(commit_mu_);
+  if (txn->finished_) return Status::TxnAborted("transaction already finished");
+  Epoch commit_epoch = 0;
+  if (txn->is_dml()) commit_epoch = epochs_->CommitAndAdvance();
+  for (auto& fn : txn->commit_fns_) fn(commit_epoch);
+  txn->finished_ = true;
+  locks_->ReleaseAll(txn->id());
+  return commit_epoch;
+}
+
+Status TransactionManager::CommitAt(const TransactionPtr& txn, Epoch epoch) {
+  std::lock_guard lock(commit_mu_);
+  if (txn->finished_) return Status::TxnAborted("transaction already finished");
+  for (auto& fn : txn->commit_fns_) fn(epoch);
+  txn->finished_ = true;
+  locks_->ReleaseAll(txn->id());
+  return Status::OK();
+}
+
+void TransactionManager::Rollback(const TransactionPtr& txn) {
+  std::lock_guard lock(commit_mu_);
+  if (txn->finished_) return;
+  for (auto& fn : txn->rollback_fns_) fn();
+  txn->finished_ = true;
+  locks_->ReleaseAll(txn->id());
+}
+
+}  // namespace stratica

@@ -1,0 +1,91 @@
+// Transactions (Section 5).
+//
+// Vertica never modifies storage in place: a transaction accumulates new
+// WOS chunks, ROS containers and delete-vector chunks, all stamped
+// kUncommittedEpoch. Commit assigns the commit epoch (advancing the global
+// epoch when the transaction contains DML) and stamps everything; rollback
+// "simply entails discarding any ROS container or WOS data created by the
+// transaction".
+#ifndef STRATICA_TXN_TRANSACTION_H_
+#define STRATICA_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/epoch.h"
+#include "txn/lock_manager.h"
+
+namespace stratica {
+
+/// \brief One transaction's state: snapshot epoch, DML flag, and the
+/// stamp/discard callbacks registered by the storage layer.
+class Transaction {
+ public:
+  Transaction(uint64_t id, Epoch snapshot) : id_(id), snapshot_epoch_(snapshot) {}
+
+  uint64_t id() const { return id_; }
+  /// Epoch this transaction's reads target (READ COMMITTED: the latest
+  /// complete epoch at Begin).
+  Epoch snapshot_epoch() const { return snapshot_epoch_; }
+
+  bool is_dml() const { return is_dml_; }
+  void MarkDml() { is_dml_ = true; }
+
+  /// Storage registers how to stamp its uncommitted artifacts with the
+  /// commit epoch, and how to discard them on rollback.
+  void OnCommit(std::function<void(Epoch)> fn) { commit_fns_.push_back(std::move(fn)); }
+  void OnRollback(std::function<void()> fn) { rollback_fns_.push_back(std::move(fn)); }
+
+ private:
+  friend class TransactionManager;
+  uint64_t id_;
+  Epoch snapshot_epoch_;
+  bool is_dml_ = false;
+  bool finished_ = false;
+  std::vector<std::function<void(Epoch)>> commit_fns_;
+  std::vector<std::function<void()>> rollback_fns_;
+};
+
+using TransactionPtr = std::shared_ptr<Transaction>;
+
+/// \brief Begin/commit/rollback plus the commit-serialization point that
+/// makes "one epoch per DML commit" well defined on a node.
+///
+/// Cluster-wide quorum commit (Section 5: no two-phase commit; nodes that
+/// miss a commit are ejected and later recover) is layered on top by
+/// cluster::Cluster, which drives one TransactionManager per node with the
+/// same commit epoch.
+class TransactionManager {
+ public:
+  TransactionManager(EpochManager* epochs, LockManager* locks)
+      : epochs_(epochs), locks_(locks) {}
+
+  TransactionPtr Begin();
+
+  /// Commit: DML transactions receive a fresh epoch (auto epoch
+  /// advancement, Section 5.1); read-only transactions just release locks.
+  /// Returns the commit epoch (0 for read-only).
+  Result<Epoch> Commit(const TransactionPtr& txn);
+
+  /// Commit with an externally agreed epoch (cluster quorum commit path).
+  Status CommitAt(const TransactionPtr& txn, Epoch epoch);
+
+  void Rollback(const TransactionPtr& txn);
+
+  LockManager* locks() { return locks_; }
+  EpochManager* epochs() { return epochs_; }
+
+ private:
+  EpochManager* epochs_;
+  LockManager* locks_;
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::mutex commit_mu_;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_TXN_TRANSACTION_H_

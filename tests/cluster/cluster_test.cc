@@ -1,0 +1,431 @@
+// Cluster tests: segmentation ring invariants, buddy placement, quorum
+// commit with ejection, recovery equivalence, refresh, rebalance, backup.
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+
+namespace stratica {
+namespace {
+
+TEST(SegmentationRingTest, EveryHashMapsToExactlyOneNode) {
+  Rng rng(1);
+  for (uint32_t n : {1u, 2u, 3u, 4u, 7u, 16u}) {
+    SegmentationRing ring(n);
+    for (int i = 0; i < 1000; ++i) {
+      uint64_t h = rng.Next();
+      uint32_t node = ring.NodeFor(h, 0);
+      EXPECT_LT(node, n);
+      auto [lo, hi] = ring.RangeStoredBy(node, 0);
+      EXPECT_GE(h, lo);
+      EXPECT_LE(h, hi);
+    }
+  }
+}
+
+TEST(SegmentationRingTest, RangesPartitionTheSpace) {
+  for (uint32_t n : {1u, 2u, 3u, 5u, 8u}) {
+    SegmentationRing ring(n);
+    uint64_t expected_lo = 0;
+    for (uint32_t slot = 0; slot < n; ++slot) {
+      auto [lo, hi] = ring.SlotRange(slot);
+      EXPECT_EQ(lo, expected_lo) << "n=" << n << " slot=" << slot;
+      if (slot + 1 == n) {
+        EXPECT_EQ(hi, UINT64_MAX);
+      } else {
+        expected_lo = hi + 1;
+      }
+    }
+  }
+}
+
+TEST(SegmentationRingTest, BuddyOffsetNeverColocates) {
+  Rng rng(2);
+  for (uint32_t n : {2u, 3u, 4u, 8u}) {
+    SegmentationRing ring(n);
+    for (int i = 0; i < 500; ++i) {
+      uint64_t h = rng.Next();
+      EXPECT_NE(ring.NodeFor(h, 0), ring.NodeFor(h, 1))
+          << "buddy co-located at n=" << n;
+    }
+  }
+}
+
+TEST(SegmentationRingTest, RoughlyBalanced) {
+  SegmentationRing ring(4);
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[ring.NodeFor(Mix64(rng.Next()), 0)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+class ClusterFixture : public ::testing::Test {
+ protected:
+  ClusterFixture() { Init(4, 1); }
+
+  void Init(uint32_t nodes, uint32_t k) {
+    ClusterConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.k_safety = k;
+    cfg.direct_ros_row_threshold = 1000000;  // default through WOS in tests
+    cluster_ = std::make_unique<Cluster>(cfg, &fs_, &catalog_);
+
+    TableDef sales;
+    sales.name = "sales";
+    sales.columns = {{"sale_id", TypeId::kInt64, false},
+                     {"cust", TypeId::kInt64, true},
+                     {"price", TypeId::kFloat64, true}};
+    ASSERT_TRUE(cluster_->CreateTableWithSuperProjection(std::move(sales)).ok());
+  }
+
+  RowBlock MakeRows(int start, int count) {
+    RowBlock rows({TypeId::kInt64, TypeId::kInt64, TypeId::kFloat64});
+    for (int i = start; i < start + count; ++i) {
+      rows.columns[0].ints.push_back(i);
+      rows.columns[1].ints.push_back(i % 50);
+      rows.columns[2].doubles.push_back(i * 1.25);
+    }
+    return rows;
+  }
+
+  Epoch LoadAndCommit(int start, int count) {
+    auto txn = cluster_->txns()->Begin();
+    auto result = cluster_->Load("sales", MakeRows(start, count), txn.get());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    auto e = cluster_->Commit(txn);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return e.ok() ? e.value() : 0;
+  }
+
+  // Sum of visible sale_ids across all up nodes for one projection family,
+  // used as a cheap content fingerprint.
+  int64_t Fingerprint(const std::string& projection) {
+    int64_t sum = 0;
+    Epoch now = cluster_->epochs()->LatestQueryableEpoch();
+    for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+      auto* ps = cluster_->node(n)->GetStorage(projection);
+      if (!ps || !cluster_->node(n)->up()) continue;
+      RowBlock rows;
+      std::vector<Epoch> dels;
+      EXPECT_TRUE(
+          ReadProjectionRows(&fs_, ps, now, &rows, nullptr, &dels, nullptr).ok());
+      // Sum sale_id wherever the projection stores it.
+      size_t id_col = 0;
+      for (size_t c = 0; c < ps->config().column_names.size(); ++c) {
+        if (ps->config().column_names[c] == "sale_id") id_col = c;
+      }
+      for (size_t r = 0; r < rows.NumRows(); ++r) {
+        if (dels[r] == 0) sum += rows.columns[id_col].ints[r];
+      }
+    }
+    return sum;
+  }
+
+  MemFileSystem fs_;
+  Catalog catalog_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ClusterFixture, SuperProjectionAndBuddyCreated) {
+  auto names = catalog_.ProjectionNames();
+  std::set<std::string> set(names.begin(), names.end());
+  EXPECT_TRUE(set.count("sales_super"));
+  EXPECT_TRUE(set.count("sales_super_b1"));  // K=1 buddy
+  auto buddy = catalog_.GetProjection("sales_super_b1");
+  ASSERT_TRUE(buddy.ok());
+  EXPECT_EQ(buddy.value().buddy_of, "sales_super");
+  EXPECT_EQ(buddy.value().segmentation.node_offset, 1u);
+}
+
+TEST_F(ClusterFixture, LoadSegmentsAcrossNodesAndBuddiesDisjoint) {
+  LoadAndCommit(0, 1000);
+  // Expected fingerprint: sum 0..999.
+  int64_t expected = 999 * 1000 / 2;
+  EXPECT_EQ(Fingerprint("sales_super"), expected);
+  EXPECT_EQ(Fingerprint("sales_super_b1"), expected);
+
+  // No row is stored on the same node by both the primary and its buddy.
+  Epoch now = cluster_->epochs()->LatestQueryableEpoch();
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    RowBlock prim, bud;
+    ASSERT_TRUE(ReadProjectionRows(&fs_, cluster_->node(n)->GetStorage("sales_super"),
+                                   now, &prim, nullptr, nullptr, nullptr)
+                    .ok());
+    ASSERT_TRUE(
+        ReadProjectionRows(&fs_, cluster_->node(n)->GetStorage("sales_super_b1"), now,
+                           &bud, nullptr, nullptr, nullptr)
+            .ok());
+    std::set<int64_t> prim_ids(prim.columns[0].ints.begin(),
+                               prim.columns[0].ints.end());
+    for (int64_t id : bud.columns[0].ints) {
+      EXPECT_FALSE(prim_ids.count(id)) << "row " << id << " co-located on node " << n;
+    }
+  }
+}
+
+TEST_F(ClusterFixture, RejectsNullInNonNullableColumn) {
+  RowBlock rows({TypeId::kInt64, TypeId::kInt64, TypeId::kFloat64});
+  rows.columns[0].Append(Value::Int64(1));
+  rows.columns[0].Append(Value::Null(TypeId::kInt64));  // sale_id NOT NULL
+  rows.columns[1].Append(Value::Int64(5));
+  rows.columns[1].Append(Value::Int64(6));
+  rows.columns[2].Append(Value::Float64(1.0));
+  rows.columns[2].Append(Value::Float64(2.0));
+  auto txn = cluster_->txns()->Begin();
+  auto result = cluster_->Load("sales", rows, txn.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows_loaded, 1u);
+  ASSERT_EQ(result.value().rejected.size(), 1u);
+  EXPECT_EQ(result.value().rejected[0].row_index, 1u);
+  ASSERT_TRUE(cluster_->Commit(txn).ok());
+}
+
+TEST_F(ClusterFixture, CommitFailureEjectsNodeButCommitSucceeds) {
+  cluster_->node(2)->FailNextCommit();
+  LoadAndCommit(0, 400);
+  EXPECT_FALSE(cluster_->node(2)->up());
+  EXPECT_EQ(cluster_->NumUpNodes(), 3u);
+  // The ejected node lost its WOS slice, but every row survives in either
+  // the primary or the buddy on an up node (K-safety).
+  EXPECT_TRUE(cluster_->IsDataAvailable("sales"));
+  Epoch now = cluster_->epochs()->LatestQueryableEpoch();
+  std::set<int64_t> ids;
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    if (!cluster_->node(n)->up()) continue;
+    for (const std::string proj : {"sales_super", "sales_super_b1"}) {
+      RowBlock rows;
+      ASSERT_TRUE(ReadProjectionRows(&fs_, cluster_->node(n)->GetStorage(proj), now,
+                                     &rows, nullptr, nullptr, nullptr)
+                      .ok());
+      for (int64_t id : rows.columns[0].ints) ids.insert(id);
+    }
+  }
+  EXPECT_EQ(ids.size(), 400u) << "some rows lost despite K-safety";
+  // After recovery the primary is whole again.
+  ASSERT_TRUE(cluster_->RecoverNode(2).ok());
+  EXPECT_EQ(Fingerprint("sales_super"), 399 * 400 / 2);
+}
+
+TEST_F(ClusterFixture, QuorumLossBlocksCommit) {
+  ASSERT_TRUE(cluster_->MarkNodeDown(0).ok());
+  EXPECT_TRUE(cluster_->HasQuorum());  // 3 of 4 >= N/2+1
+  ASSERT_TRUE(cluster_->MarkNodeDown(1).ok());
+  EXPECT_FALSE(cluster_->HasQuorum());  // 2 of 4: split-brain guard trips
+  auto txn = cluster_->txns()->Begin();
+  auto result = cluster_->Load("sales", MakeRows(0, 10), txn.get());
+  EXPECT_EQ(result.status().code(), StatusCode::kClusterUnavailable);
+}
+
+TEST_F(ClusterFixture, KSafetyDataAvailability) {
+  EXPECT_TRUE(cluster_->IsDataAvailable("sales"));
+  ASSERT_TRUE(cluster_->MarkNodeDown(1).ok());
+  EXPECT_TRUE(cluster_->IsDataAvailable("sales"));  // K=1 tolerates 1 down
+  ASSERT_TRUE(cluster_->MarkNodeDown(2).ok());
+  // Adjacent nodes down: slot stored primarily on node 1 has its buddy on
+  // node 2 -> unavailable.
+  EXPECT_FALSE(cluster_->IsDataAvailable("sales"));
+}
+
+TEST_F(ClusterFixture, RecoveryRestoresExactContent) {
+  LoadAndCommit(0, 500);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+
+  int64_t before = Fingerprint("sales_super");
+  ASSERT_TRUE(cluster_->MarkNodeDown(1).ok());
+  // DML while the node is down: it misses these rows.
+  LoadAndCommit(500, 300);
+  LoadAndCommit(800, 200);
+
+  ASSERT_TRUE(cluster_->RecoverNode(1).ok());
+  EXPECT_TRUE(cluster_->node(1)->up());
+  int64_t expected = 999 * 1000 / 2;
+  EXPECT_EQ(Fingerprint("sales_super"), expected);
+  EXPECT_EQ(Fingerprint("sales_super_b1"), expected);
+  EXPECT_GT(before, 0);
+}
+
+TEST_F(ClusterFixture, RecoveryReplaysMissedDeletes) {
+  LoadAndCommit(0, 100);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+  ASSERT_TRUE(cluster_->MarkNodeDown(0).ok());
+
+  // Delete sale_id 0..9 cluster-wide while node 0 is down, by issuing
+  // delete vectors on up nodes (simulating a DELETE statement's effect).
+  Epoch now = cluster_->epochs()->LatestQueryableEpoch();
+  auto txn = cluster_->txns()->Begin();
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    if (!cluster_->node(n)->up()) continue;
+    for (const std::string proj : {"sales_super", "sales_super_b1"}) {
+      auto* ps = cluster_->node(n)->GetStorage(proj);
+      RowBlock rows;
+      std::vector<std::pair<uint64_t, uint64_t>> pos;
+      ASSERT_TRUE(
+          ReadProjectionRows(&fs_, ps, now, &rows, nullptr, nullptr, &pos).ok());
+      std::map<uint64_t, std::vector<uint64_t>> by_target;
+      for (size_t r = 0; r < rows.NumRows(); ++r) {
+        if (rows.columns[0].ints[r] < 10) by_target[pos[r].first].push_back(pos[r].second);
+      }
+      for (auto& [target, positions] : by_target) {
+        ASSERT_TRUE(ps->AddDeletes(target, positions, txn.get()).ok());
+      }
+    }
+  }
+  auto e = cluster_->Commit(txn);
+  ASSERT_TRUE(e.ok());
+
+  ASSERT_TRUE(cluster_->RecoverNode(0).ok());
+  int64_t expected = 99 * 100 / 2 - 45;  // sum 0..99 minus deleted 0..9
+  EXPECT_EQ(Fingerprint("sales_super"), expected);
+  EXPECT_EQ(Fingerprint("sales_super_b1"), expected);
+}
+
+TEST_F(ClusterFixture, RefreshPopulatesLateProjection) {
+  LoadAndCommit(0, 300);
+  // Narrow projection created after the data was loaded (Section 5.2).
+  ProjectionDef narrow;
+  narrow.name = "sales_by_cust";
+  narrow.anchor_table = "sales";
+  narrow.columns = {{"cust", -1, EncodingId::kRle},
+                    {"price", -1, EncodingId::kAuto},
+                    {"sale_id", -1, EncodingId::kAuto}};
+  narrow.sort_columns = {0};
+  narrow.segmentation.expr = Func(FuncKind::kHash, {Col("cust")});
+  ASSERT_TRUE(cluster_->CreateProjectionWithBuddies(narrow).ok());
+  EXPECT_EQ(Fingerprint("sales_by_cust"), 0);  // empty before refresh
+
+  ASSERT_TRUE(cluster_->RefreshProjection("sales_by_cust").ok());
+  ASSERT_TRUE(cluster_->RefreshProjection("sales_by_cust_b1").ok());
+  int64_t expected = 299 * 300 / 2;
+  EXPECT_EQ(Fingerprint("sales_by_cust"), expected);
+  EXPECT_EQ(Fingerprint("sales_by_cust_b1"), expected);
+}
+
+TEST_F(ClusterFixture, AddNodeRebalancePreservesContentAndPlacement) {
+  LoadAndCommit(0, 600);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+  int64_t expected = 599 * 600 / 2;
+  ASSERT_EQ(Fingerprint("sales_super"), expected);
+
+  ASSERT_TRUE(cluster_->AddNodeAndRebalance().ok());
+  EXPECT_EQ(cluster_->num_nodes(), 5u);
+  EXPECT_EQ(Fingerprint("sales_super"), expected);
+  EXPECT_EQ(Fingerprint("sales_super_b1"), expected);
+
+  // Placement matches the new ring.
+  Epoch now = cluster_->epochs()->LatestQueryableEpoch();
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    auto* ps = cluster_->node(n)->GetStorage("sales_super");
+    RowBlock rows;
+    ASSERT_TRUE(
+        ReadProjectionRows(&fs_, ps, now, &rows, nullptr, nullptr, nullptr).ok());
+    ColumnVector hashes;
+    ASSERT_TRUE(EvalExpr(*ps->config().segmentation_expr, rows, &hashes).ok());
+    for (size_t r = 0; r < rows.NumRows(); ++r) {
+      EXPECT_EQ(cluster_->ring().NodeFor(static_cast<uint64_t>(hashes.ints[r]), 0), n);
+    }
+  }
+  // The new node actually received data.
+  EXPECT_GT(cluster_->node(4)->GetStorage("sales_super")->TotalRosRows(), 0u);
+}
+
+TEST_F(ClusterFixture, BackupHardLinksSurviveMergeout) {
+  LoadAndCommit(0, 200);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+  auto files = cluster_->Backup("snap1");
+  ASSERT_TRUE(files.ok());
+  EXPECT_GT(files.value(), 0u);
+
+  // Mergeout replaces and deletes original files; backup content persists.
+  LoadAndCommit(200, 200);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+  auto backup_files = fs_.List("backup/snap1/");
+  ASSERT_TRUE(backup_files.ok());
+  EXPECT_EQ(backup_files.value().size(), files.value() + 1);  // +1 catalog
+  for (const auto& f : backup_files.value()) {
+    EXPECT_TRUE(fs_.ReadFile(f).ok()) << f;
+  }
+}
+
+TEST_F(ClusterFixture, AhmHeldWhileNodeDown) {
+  LoadAndCommit(0, 100);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+  ASSERT_TRUE(cluster_->AdvanceAhm().ok());
+  Epoch ahm1 = cluster_->epochs()->ahm();
+  EXPECT_GT(ahm1, 0u);
+
+  ASSERT_TRUE(cluster_->MarkNodeDown(3).ok());
+  LoadAndCommit(100, 100);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+  ASSERT_TRUE(cluster_->AdvanceAhm().ok());
+  EXPECT_EQ(cluster_->epochs()->ahm(), ahm1) << "AHM advanced while a node was down";
+
+  ASSERT_TRUE(cluster_->RecoverNode(3).ok());
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+  ASSERT_TRUE(cluster_->AdvanceAhm().ok());
+  EXPECT_GT(cluster_->epochs()->ahm(), ahm1);
+}
+
+TEST_F(ClusterFixture, PrejoinProjectionDenormalizesAndRejectsOrphans) {
+  TableDef dim;
+  dim.name = "customers";
+  dim.columns = {{"cust_id", TypeId::kInt64, false},
+                 {"region", TypeId::kString, true}};
+  ASSERT_TRUE(cluster_->CreateTableWithSuperProjection(std::move(dim)).ok());
+  RowBlock dim_rows({TypeId::kInt64, TypeId::kString});
+  for (int i = 0; i < 40; ++i) {  // cust 0..39 only; sales reference 0..49
+    dim_rows.columns[0].ints.push_back(i);
+    dim_rows.columns[1].strings.push_back(i % 2 ? "east" : "west");
+  }
+  auto txn = cluster_->txns()->Begin();
+  ASSERT_TRUE(cluster_->Load("customers", dim_rows, txn.get()).ok());
+  ASSERT_TRUE(cluster_->Commit(txn).ok());
+
+  ProjectionDef prejoin;
+  prejoin.name = "sales_prejoin";
+  prejoin.anchor_table = "sales";
+  prejoin.columns = {{"sale_id", -1, EncodingId::kAuto},
+                     {"cust", -1, EncodingId::kAuto},
+                     {"price", -1, EncodingId::kAuto},
+                     {"customers.region", -1, EncodingId::kRle}};
+  prejoin.sort_columns = {1};
+  prejoin.segmentation.expr = Func(FuncKind::kHash, {Col("sale_id")});
+  prejoin.prejoins.push_back({"customers", {"cust"}, {"cust_id"}});
+  ASSERT_TRUE(cluster_->CreateProjectionWithBuddies(prejoin).ok());
+
+  auto txn2 = cluster_->txns()->Begin();
+  auto result = cluster_->Load("sales", MakeRows(0, 100), txn2.get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(cluster_->Commit(txn2).ok());
+  // Rows with cust in 40..49 have no dimension match: rejected from the
+  // prejoin projection (Section 7, rejected records).
+  EXPECT_EQ(result.value().rejected.size(), 20u);  // 100 rows, cust = i%50
+
+  // The prejoin projection stores the denormalized region column.
+  Epoch now = cluster_->epochs()->LatestQueryableEpoch();
+  uint64_t prejoin_rows = 0;
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    auto* ps = cluster_->node(n)->GetStorage("sales_prejoin");
+    ASSERT_NE(ps, nullptr);
+    RowBlock rows;
+    ASSERT_TRUE(
+        ReadProjectionRows(&fs_, ps, now, &rows, nullptr, nullptr, nullptr).ok());
+    prejoin_rows += rows.NumRows();
+    for (size_t r = 0; r < rows.NumRows(); ++r) {
+      int64_t cust = rows.columns[1].ints[r];
+      EXPECT_EQ(rows.columns[3].strings[r], cust % 2 ? "east" : "west");
+    }
+  }
+  EXPECT_EQ(prejoin_rows, 80u);
+}
+
+}  // namespace
+}  // namespace stratica

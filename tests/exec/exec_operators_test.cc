@@ -1,0 +1,422 @@
+// Execution-engine operator tests: scan pruning/SIP/deletes, group-by
+// flavors (incl. spill and runtime prepass disable), joins (incl. runtime
+// hash->merge switch), sort spill, analytic windows, exchanges.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "exec/analytic.h"
+#include "exec/exchange.h"
+#include "exec/group_by.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+#include "exec/simple_ops.h"
+
+namespace stratica {
+namespace {
+
+class ExecFixture : public ::testing::Test {
+ protected:
+  ExecFixture() {
+    ClusterConfig ccfg;
+    ccfg.num_nodes = 1;
+    ccfg.k_safety = 0;
+    ccfg.direct_ros_row_threshold = 1000000;
+    // Single local segment => one container after moveout, so the RLE
+    // passthrough path (single sorted source) engages.
+    ccfg.local_segments_per_node = 1;
+    cluster_ = std::make_unique<Cluster>(ccfg, &fs_, &catalog_);
+    TableDef t;
+    t.name = "sales";
+    t.columns = {{"id", TypeId::kInt64, false},
+                 {"cust", TypeId::kInt64, true},
+                 {"price", TypeId::kFloat64, true}};
+    // Sort by cust so RLE and pipelined group-by paths engage.
+    ProjectionDef p;
+    p.name = "sales_super";
+    p.anchor_table = "sales";
+    p.columns = {{"cust", -1, EncodingId::kRle},
+                 {"id", -1, EncodingId::kAuto},
+                 {"price", -1, EncodingId::kAuto}};
+    p.sort_columns = {0, 1};
+    p.segmentation.expr = Func(FuncKind::kHash, {Col("id")});
+    EXPECT_TRUE(catalog_.CreateTable(std::move(t)).ok());
+    EXPECT_TRUE(cluster_->CreateProjectionWithBuddies(p).ok());
+
+    RowBlock rows({TypeId::kInt64, TypeId::kInt64, TypeId::kFloat64});
+    for (int i = 0; i < 1000; ++i) {
+      rows.columns[0].ints.push_back(i);
+      rows.columns[1].ints.push_back(i % 10);
+      rows.columns[2].doubles.push_back(i * 0.5);
+    }
+    auto txn = cluster_->txns()->Begin();
+    EXPECT_TRUE(cluster_->Load("sales", rows, txn.get()).ok());
+    EXPECT_TRUE(cluster_->Commit(txn).ok());
+    EXPECT_TRUE(cluster_->RunTupleMover().ok());
+
+    ps_ = cluster_->node(0)->GetStorage("sales_super");
+    ctx_.fs = &fs_;
+    ctx_.epoch = cluster_->epochs()->LatestQueryableEpoch();
+    ctx_.stats = &stats_;
+  }
+
+  ScanSpec BaseScan() {
+    ScanSpec spec;
+    spec.storage = ps_;
+    spec.projection_columns = {0, 1, 2};  // cust, id, price
+    spec.output_names = {"cust", "id", "price"};
+    spec.output_types = {TypeId::kInt64, TypeId::kInt64, TypeId::kFloat64};
+    return spec;
+  }
+
+  MemFileSystem fs_;
+  Catalog catalog_;
+  std::unique_ptr<Cluster> cluster_;
+  ProjectionStorage* ps_ = nullptr;
+  ExecStats stats_;
+  ExecContext ctx_;
+};
+
+TEST_F(ExecFixture, ScanReadsEverything) {
+  ScanOperator scan(BaseScan());
+  auto rows = DrainOperator(&scan, &ctx_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().NumRows(), 1000u);
+}
+
+TEST_F(ExecFixture, ScanPredicateAndPruning) {
+  ScanSpec spec = BaseScan();
+  auto pred = Cmp(CompareOp::kEq, Col("cust"), Lit(Value::Int64(3)));
+  BindSchema schema;
+  schema.Add("cust", TypeId::kInt64);
+  schema.Add("id", TypeId::kInt64);
+  schema.Add("price", TypeId::kFloat64);
+  ASSERT_TRUE(BindExpr(pred, schema).ok());
+  spec.predicate = pred;
+  spec.prune_bounds = {{0, CompareOp::kEq, Value::Int64(3)}};
+  ScanOperator scan(spec);
+  auto rows = DrainOperator(&scan, &ctx_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().NumRows(), 100u);
+  for (size_t r = 0; r < rows.value().NumRows(); ++r)
+    EXPECT_EQ(rows.value().columns[0].ints[r], 3);
+}
+
+TEST_F(ExecFixture, ScanHonorsDeleteVectorsAndEpochs) {
+  // Delete rows with cust==0 via positions.
+  auto containers = ps_->Containers();
+  ASSERT_FALSE(containers.empty());
+  auto txn = cluster_->txns()->Begin();
+  for (const auto& c : containers) {
+    RowBlock rows;
+    ASSERT_TRUE(ReadRosContainer(&fs_, *c, &rows, nullptr).ok());
+    std::vector<uint64_t> pos;
+    for (size_t r = 0; r < rows.NumRows(); ++r) {
+      if (rows.columns[0].ints[r] == 0) pos.push_back(r);
+    }
+    ASSERT_TRUE(ps_->AddDeletes(c->id, pos, txn.get()).ok());
+  }
+  auto e_del = cluster_->Commit(txn);
+  ASSERT_TRUE(e_del.ok());
+
+  // At the old epoch the rows are still visible (snapshot isolation)...
+  ScanOperator old_scan(BaseScan());
+  ExecContext old_ctx = ctx_;
+  auto old_rows = DrainOperator(&old_scan, &old_ctx);
+  ASSERT_TRUE(old_rows.ok());
+  EXPECT_EQ(old_rows.value().NumRows(), 1000u);
+  // ...at the new epoch they are gone.
+  ExecContext new_ctx = ctx_;
+  new_ctx.epoch = e_del.value();
+  ScanOperator new_scan(BaseScan());
+  auto new_rows = DrainOperator(&new_scan, &new_ctx);
+  ASSERT_TRUE(new_rows.ok());
+  EXPECT_EQ(new_rows.value().NumRows(), 900u);
+}
+
+TEST_F(ExecFixture, HashGroupBySumsCorrectly) {
+  GroupBySpec spec;
+  spec.group_columns = {0};
+  spec.aggs = {{AggKind::kCountStar, -1, TypeId::kInt64},
+               {AggKind::kSum, 2, TypeId::kFloat64}};
+  spec.output_names = {"cust", "n", "total"};
+  auto gb = std::make_unique<HashGroupByOperator>(
+      std::make_unique<ScanOperator>(BaseScan()), spec);
+  auto rows = DrainOperator(gb.get(), &ctx_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().NumRows(), 10u);
+  double total = 0;
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(rows.value().columns[1].ints[r], 100);
+    total += rows.value().columns[2].doubles[r];
+  }
+  EXPECT_DOUBLE_EQ(total, 999 * 1000 / 2 * 0.5);
+}
+
+TEST_F(ExecFixture, HashGroupBySpillsUnderTinyBudgetSameAnswer) {
+  ResourceBudget budget(1);  // force grace partitioning immediately
+  ExecContext tight = ctx_;
+  tight.budget = &budget;
+  GroupBySpec spec;
+  spec.group_columns = {1};  // id: 1000 groups
+  spec.aggs = {{AggKind::kSum, 2, TypeId::kFloat64}};
+  spec.output_names = {"id", "total"};
+  auto gb = std::make_unique<HashGroupByOperator>(
+      std::make_unique<ScanOperator>(BaseScan()), spec);
+  auto rows = DrainOperator(gb.get(), &tight);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().NumRows(), 1000u);
+  EXPECT_GT(stats_.rows_spilled.load(), 0u);
+}
+
+TEST_F(ExecFixture, PipelinedGroupByConsumesRleRuns) {
+  ScanSpec sspec = BaseScan();
+  sspec.rle_passthrough = true;
+  sspec.sorted_output = true;
+  sspec.sort_key_outputs = {0};
+  GroupBySpec spec;
+  spec.group_columns = {0};
+  spec.aggs = {{AggKind::kCountStar, -1, TypeId::kInt64}};
+  spec.output_names = {"cust", "n"};
+  auto gb = std::make_unique<PipelinedGroupByOperator>(
+      std::make_unique<ScanOperator>(sspec), spec);
+  auto rows = DrainOperator(gb.get(), &ctx_);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().NumRows(), 10u);
+  for (size_t r = 0; r < 10; ++r) EXPECT_EQ(rows.value().columns[1].ints[r], 100);
+  EXPECT_GT(gb->runs_consumed(), 0u);
+  // Far fewer runs than rows: aggregation happened on encoded data.
+  EXPECT_LT(gb->runs_consumed(), 200u);
+}
+
+TEST_F(ExecFixture, PrepassReducesAndCombines) {
+  GroupBySpec partial;
+  partial.group_columns = {0};
+  partial.aggs = {{AggKind::kCountStar, -1, TypeId::kInt64},
+                  {AggKind::kAvg, 2, TypeId::kFloat64}};
+  partial.output_names = {"cust", "n", "avg_sum", "avg_n"};
+  auto prepass = std::make_unique<PrepassGroupByOperator>(
+      std::make_unique<ScanOperator>(BaseScan()), partial, /*capacity=*/64);
+
+  GroupBySpec combine = partial;
+  combine.phase = AggPhase::kCombine;
+  combine.output_names = {"cust", "n", "avg"};
+  auto final_gb =
+      std::make_unique<HashGroupByOperator>(std::move(prepass), combine);
+  auto rows = DrainOperator(final_gb.get(), &ctx_);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().NumRows(), 10u);
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(rows.value().columns[1].ints[r], 100);
+    int64_t cust = rows.value().columns[0].ints[r];
+    // avg over {cust, cust+10, ..., cust+990} * 0.5
+    EXPECT_DOUBLE_EQ(rows.value().columns[2].doubles[r], (cust + 495.0) * 0.5);
+  }
+}
+
+TEST_F(ExecFixture, PrepassDisablesOnHighCardinality) {
+  GroupBySpec partial;
+  partial.group_columns = {1};  // id: all distinct, no reduction
+  partial.aggs = {{AggKind::kCountStar, -1, TypeId::kInt64}};
+  partial.output_names = {"id", "n"};
+  auto prepass = std::make_unique<PrepassGroupByOperator>(
+      std::make_unique<ScanOperator>(BaseScan()), partial, /*capacity=*/16);
+  auto rows = DrainOperator(prepass.get(), &ctx_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().NumRows(), 1000u);  // partials, 1:1
+  EXPECT_TRUE(prepass->disabled());
+  EXPECT_GT(stats_.prepass_disabled.load(), 0u);
+}
+
+RowBlock SmallBlock(std::vector<int64_t> keys, std::vector<int64_t> vals) {
+  RowBlock b({TypeId::kInt64, TypeId::kInt64});
+  b.columns[0].ints = std::move(keys);
+  b.columns[1].ints = std::move(vals);
+  return b;
+}
+
+TEST_F(ExecFixture, HashJoinAllTypes) {
+  // probe: keys 1,2,3,4 ; build: keys 3,4,5
+  auto mk_probe = [] {
+    return std::make_unique<MaterializedOperator>(
+        SmallBlock({1, 2, 3, 4}, {10, 20, 30, 40}),
+        std::vector<std::string>{"k", "v"});
+  };
+  auto mk_build = [] {
+    return std::make_unique<MaterializedOperator>(
+        SmallBlock({3, 4, 5}, {300, 400, 500}),
+        std::vector<std::string>{"bk", "bv"});
+  };
+  struct Case {
+    JoinType type;
+    size_t expected_rows;
+  };
+  for (Case c : {Case{JoinType::kInner, 2}, Case{JoinType::kLeft, 4},
+                 Case{JoinType::kRight, 3}, Case{JoinType::kFull, 5},
+                 Case{JoinType::kSemi, 2}, Case{JoinType::kAnti, 2}}) {
+    JoinSpec spec;
+    spec.type = c.type;
+    spec.probe_keys = {0};
+    spec.build_keys = {0};
+    HashJoinOperator join(mk_probe(), mk_build(), spec);
+    auto rows = DrainOperator(&join, &ctx_);
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows.value().NumRows(), c.expected_rows)
+        << JoinTypeName(c.type);
+  }
+}
+
+TEST_F(ExecFixture, MergeJoinMatchesHashJoin) {
+  auto mk_probe = [] {
+    return std::make_unique<MaterializedOperator>(
+        SmallBlock({1, 2, 2, 3}, {10, 20, 21, 30}),
+        std::vector<std::string>{"k", "v"});
+  };
+  auto mk_build = [] {
+    return std::make_unique<MaterializedOperator>(
+        SmallBlock({2, 2, 3, 4}, {200, 201, 300, 400}),
+        std::vector<std::string>{"bk", "bv"});
+  };
+  JoinSpec spec;
+  spec.probe_keys = {0};
+  spec.build_keys = {0};
+  for (JoinType t : {JoinType::kInner, JoinType::kLeft, JoinType::kFull}) {
+    spec.type = t;
+    HashJoinOperator hj(mk_probe(), mk_build(), spec);
+    MergeJoinOperator mj(mk_probe(), mk_build(), spec);
+    auto h = DrainOperator(&hj, &ctx_);
+    auto m = DrainOperator(&mj, &ctx_);
+    ASSERT_TRUE(h.ok() && m.ok());
+    EXPECT_EQ(h.value().NumRows(), m.value().NumRows()) << JoinTypeName(t);
+  }
+}
+
+TEST_F(ExecFixture, HashJoinSwitchesToMergeUnderPressure) {
+  ResourceBudget budget(1);
+  ExecContext tight = ctx_;
+  tight.budget = &budget;
+  JoinSpec spec;
+  spec.type = JoinType::kInner;
+  spec.probe_keys = {1};  // id
+  spec.build_keys = {1};
+  auto probe = std::make_unique<ScanOperator>(BaseScan());
+  auto build = std::make_unique<ScanOperator>(BaseScan());
+  HashJoinOperator join(std::move(probe), std::move(build), spec);
+  auto rows = DrainOperator(&join, &tight);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().NumRows(), 1000u);  // id is unique: 1:1 self join
+  EXPECT_TRUE(join.switched_to_merge());
+  EXPECT_GT(stats_.hash_to_merge_switches.load(), 0u);
+}
+
+TEST_F(ExecFixture, SipFilterPrunesProbeRowsAtScan) {
+  auto sip = std::make_shared<SipFilter>();
+  sip->probe_columns = {1};  // id column of probe scan
+  ScanSpec probe_spec = BaseScan();
+  probe_spec.sips = {sip};
+
+  // Build side: only ids 0..9 -> SIP should cut probe rows from 1000 to 10.
+  RowBlock build_rows({TypeId::kInt64});
+  for (int i = 0; i < 10; ++i) build_rows.columns[0].ints.push_back(i);
+  JoinSpec spec;
+  spec.type = JoinType::kInner;
+  spec.probe_keys = {1};
+  spec.build_keys = {0};
+  spec.sip = sip;
+  HashJoinOperator join(std::make_unique<ScanOperator>(probe_spec),
+                        std::make_unique<MaterializedOperator>(
+                            std::move(build_rows), std::vector<std::string>{"bk"}),
+                        spec);
+  auto rows = DrainOperator(&join, &ctx_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().NumRows(), 10u);
+  EXPECT_EQ(stats_.rows_sip_filtered.load(), 990u);
+}
+
+TEST_F(ExecFixture, SortSpillsAndStillSorts) {
+  ResourceBudget budget(1);
+  ExecContext tight = ctx_;
+  tight.budget = &budget;
+  auto sort = std::make_unique<SortOperator>(
+      std::make_unique<ScanOperator>(BaseScan()),
+      std::vector<SortKey>{{2, /*descending=*/true}});
+  auto rows = DrainOperator(sort.get(), &tight);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().NumRows(), 1000u);
+  for (size_t r = 1; r < 1000; ++r) {
+    EXPECT_GE(rows.value().columns[2].doubles[r - 1],
+              rows.value().columns[2].doubles[r]);
+  }
+  EXPECT_GT(stats_.spill_files.load(), 0u);
+}
+
+TEST_F(ExecFixture, AnalyticWindowFunctions) {
+  // rows: cust, id, price; partition by cust order by id.
+  AnalyticSpec spec;
+  spec.partition_columns = {0};
+  spec.order_keys = {{1, false}};
+  spec.windows = {{WindowFunc::kRowNumber, -1, "rn"},
+                  {WindowFunc::kSum, 2, "running"}};
+  auto sort = std::make_unique<SortOperator>(
+      std::make_unique<ScanOperator>(BaseScan()),
+      std::vector<SortKey>{{0, false}, {1, false}});
+  AnalyticOperator analytic(std::move(sort), spec);
+  auto rows = DrainOperator(&analytic, &ctx_);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().NumRows(), 1000u);
+  // First row of each partition: rn == 1 and running == its own price.
+  for (size_t r = 0; r < 1000; ++r) {
+    if (rows.value().columns[3].ints[r] == 1) {
+      EXPECT_DOUBLE_EQ(rows.value().columns[4].doubles[r],
+                       rows.value().columns[2].doubles[r]);
+    }
+  }
+}
+
+TEST_F(ExecFixture, RepartitionExchangeParallelGroupBy) {
+  // Figure 3 shape: StorageUnion resegments to parallel GroupBys whose
+  // results merge through a ParallelUnion.
+  auto snap = ps_->GetSnapshot(ctx_.epoch);
+  auto regions = PlanScanRegions(snap, 2);
+  std::vector<OperatorPtr> producers;
+  for (auto& region_list : regions) {
+    ScanSpec s = BaseScan();
+    s.use_regions = true;
+    s.regions = region_list;
+    s.include_wos = producers.empty();
+    producers.push_back(std::make_unique<ScanOperator>(s));
+  }
+  auto consumers = MakeRepartitionExchange(std::move(producers), 3, {0},
+                                           "StorageUnion", false);
+  std::vector<OperatorPtr> groupbys;
+  for (auto& consumer : consumers) {
+    GroupBySpec g;
+    g.group_columns = {0};
+    g.aggs = {{AggKind::kSum, 2, TypeId::kFloat64}};
+    g.output_names = {"cust", "total"};
+    groupbys.push_back(
+        std::make_unique<HashGroupByOperator>(std::move(consumer), g));
+  }
+  auto root = MakeUnionExchange(std::move(groupbys), "ParallelUnion", false);
+  auto rows = DrainOperator(root.get(), &ctx_);
+  ASSERT_TRUE(rows.ok());
+  // Resegmentation by cust means each group computed exactly once.
+  EXPECT_EQ(rows.value().NumRows(), 10u);
+  double total = 0;
+  for (size_t r = 0; r < rows.value().NumRows(); ++r)
+    total += rows.value().columns[1].doubles[r];
+  EXPECT_DOUBLE_EQ(total, 999 * 1000 / 2 * 0.5);
+}
+
+TEST_F(ExecFixture, LimitStopsEarlyThroughExchange) {
+  std::vector<OperatorPtr> producers;
+  producers.push_back(std::make_unique<ScanOperator>(BaseScan()));
+  auto root = MakeUnionExchange(std::move(producers), "Recv", true);
+  LimitOperator limit(std::move(root), 5);
+  auto rows = DrainOperator(&limit, &ctx_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().NumRows(), 5u);
+  EXPECT_GT(stats_.exchange_bytes.load(), 0u);
+}
+
+}  // namespace
+}  // namespace stratica

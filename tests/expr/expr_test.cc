@@ -1,0 +1,235 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace stratica {
+namespace {
+
+RowBlock MakeBlock() {
+  // Columns: a INT, b FLOAT, s VARCHAR, d DATE
+  RowBlock block({TypeId::kInt64, TypeId::kFloat64, TypeId::kString, TypeId::kDate});
+  auto& a = block.columns[0];
+  auto& b = block.columns[1];
+  auto& s = block.columns[2];
+  auto& d = block.columns[3];
+  a.ints = {1, 2, 3, 4, 5};
+  b.doubles = {1.5, 2.5, 3.5, 4.5, 5.5};
+  s.strings = {"apple", "banana", "cherry", "apricot", "fig"};
+  d.ints = {MakeDate(2012, 3, 1), MakeDate(2012, 4, 1), MakeDate(2012, 5, 1),
+            MakeDate(2012, 6, 1), MakeDate(2011, 12, 31)};
+  return block;
+}
+
+BindSchema Schema() {
+  BindSchema s;
+  s.Add("a", TypeId::kInt64);
+  s.Add("b", TypeId::kFloat64);
+  s.Add("s", TypeId::kString);
+  s.Add("d", TypeId::kDate);
+  return s;
+}
+
+TEST(ExprTest, BindResolvesColumnsAndTypes) {
+  auto e = Cmp(CompareOp::kGt, Col("a"), Lit(Value::Int64(2)));
+  ASSERT_TRUE(BindExpr(e, Schema()).ok());
+  EXPECT_EQ(e->children[0]->column_index, 0);
+  EXPECT_EQ(e->type, TypeId::kBool);
+}
+
+TEST(ExprTest, BindRejectsUnknownColumn) {
+  auto e = Col("nope");
+  EXPECT_FALSE(BindExpr(e, Schema()).ok());
+}
+
+TEST(ExprTest, BindRejectsStringIntComparison) {
+  auto e = Cmp(CompareOp::kEq, Col("s"), Lit(Value::Int64(1)));
+  EXPECT_FALSE(BindExpr(e, Schema()).ok());
+}
+
+TEST(ExprTest, QualifiedNameSuffixMatch) {
+  BindSchema s;
+  s.Add("t1.x", TypeId::kInt64);
+  s.Add("t2.y", TypeId::kInt64);
+  auto e = Col("y");
+  ASSERT_TRUE(BindExpr(e, s).ok());
+  EXPECT_EQ(e->column_index, 1);
+}
+
+TEST(ExprTest, ComparePredicateFastPath) {
+  auto block = MakeBlock();
+  auto e = Cmp(CompareOp::kGe, Col("a"), Lit(Value::Int64(3)));
+  ASSERT_TRUE(BindExpr(e, Schema()).ok());
+  std::vector<uint8_t> sel;
+  ASSERT_TRUE(EvalPredicate(*e, block, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint8_t>{0, 0, 1, 1, 1}));
+}
+
+TEST(ExprTest, ConjunctionPredicate) {
+  auto block = MakeBlock();
+  auto e = And(Cmp(CompareOp::kGt, Col("a"), Lit(Value::Int64(1))),
+               Cmp(CompareOp::kLt, Col("b"), Lit(Value::Float64(5.0))));
+  ASSERT_TRUE(BindExpr(e, Schema()).ok());
+  std::vector<uint8_t> sel;
+  ASSERT_TRUE(EvalPredicate(*e, block, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint8_t>{0, 1, 1, 1, 0}));
+}
+
+TEST(ExprTest, ArithmeticPromotion) {
+  auto block = MakeBlock();
+  auto e = Arith(ArithOp::kAdd, Col("a"), Col("b"));
+  ASSERT_TRUE(BindExpr(e, Schema()).ok());
+  EXPECT_EQ(e->type, TypeId::kFloat64);
+  ColumnVector out;
+  ASSERT_TRUE(EvalExpr(*e, block, &out).ok());
+  EXPECT_DOUBLE_EQ(out.doubles[0], 2.5);
+  EXPECT_DOUBLE_EQ(out.doubles[4], 10.5);
+}
+
+TEST(ExprTest, DivisionByZeroYieldsNull) {
+  auto block = MakeBlock();
+  auto e = Arith(ArithOp::kDiv, Col("a"), Lit(Value::Int64(0)));
+  ASSERT_TRUE(BindExpr(e, Schema()).ok());
+  ColumnVector out;
+  ASSERT_TRUE(EvalExpr(*e, block, &out).ok());
+  for (size_t i = 0; i < 5; ++i) EXPECT_TRUE(out.IsNull(i));
+}
+
+TEST(ExprTest, ExtractYearMonth) {
+  auto block = MakeBlock();
+  auto e = Func(FuncKind::kYearMonth, {Col("d")});
+  ASSERT_TRUE(BindExpr(e, Schema()).ok());
+  ColumnVector out;
+  ASSERT_TRUE(EvalExpr(*e, block, &out).ok());
+  EXPECT_EQ(out.ints[0], 201203);
+  EXPECT_EQ(out.ints[4], 201112);
+}
+
+TEST(ExprTest, HashIsDeterministicAndSpread) {
+  auto block = MakeBlock();
+  auto e = Func(FuncKind::kHash, {Col("a"), Col("s")});
+  ASSERT_TRUE(BindExpr(e, Schema()).ok());
+  ColumnVector out1, out2;
+  ASSERT_TRUE(EvalExpr(*e, block, &out1).ok());
+  ASSERT_TRUE(EvalExpr(*e, block, &out2).ok());
+  EXPECT_EQ(out1.ints, out2.ints);
+  // All 5 hashes distinct (overwhelmingly likely for a decent hash).
+  for (int i = 0; i < 5; ++i)
+    for (int j = i + 1; j < 5; ++j) EXPECT_NE(out1.ints[i], out1.ints[j]);
+}
+
+TEST(ExprTest, InListAndNegation) {
+  auto block = MakeBlock();
+  auto e = InList(Col("a"), {Value::Int64(2), Value::Int64(4)});
+  ASSERT_TRUE(BindExpr(e, Schema()).ok());
+  std::vector<uint8_t> sel;
+  ASSERT_TRUE(EvalPredicate(*e, block, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint8_t>{0, 1, 0, 1, 0}));
+
+  auto ne = InList(Col("a"), {Value::Int64(2), Value::Int64(4)}, /*negated=*/true);
+  ASSERT_TRUE(BindExpr(ne, Schema()).ok());
+  ASSERT_TRUE(EvalPredicate(*ne, block, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint8_t>{1, 0, 1, 0, 1}));
+}
+
+TEST(ExprTest, LikePatterns) {
+  EXPECT_TRUE(LikeMatch("apple", "a%"));
+  EXPECT_TRUE(LikeMatch("apple", "%le"));
+  EXPECT_TRUE(LikeMatch("apple", "a__le"));
+  EXPECT_TRUE(LikeMatch("apple", "%p%l%"));
+  EXPECT_FALSE(LikeMatch("apple", "b%"));
+  EXPECT_FALSE(LikeMatch("apple", "a_le"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+}
+
+TEST(ExprTest, ThreeValuedLogic) {
+  RowBlock block({TypeId::kBool, TypeId::kBool});
+  auto& x = block.columns[0];
+  auto& y = block.columns[1];
+  // x: T F N ; y: N N N
+  x.ints = {1, 0, 0};
+  x.nulls = {0, 0, 1};
+  y.ints = {0, 0, 0};
+  y.nulls = {1, 1, 1};
+  BindSchema s;
+  s.Add("x", TypeId::kBool);
+  s.Add("y", TypeId::kBool);
+
+  // x AND y: N, F, N
+  auto e = And(Col("x"), Col("y"));
+  ASSERT_TRUE(BindExpr(e, s).ok());
+  ColumnVector out;
+  ASSERT_TRUE(EvalExpr(*e, block, &out).ok());
+  EXPECT_TRUE(out.IsNull(0));
+  EXPECT_FALSE(out.IsNull(1));
+  EXPECT_EQ(out.ints[1], 0);
+  EXPECT_TRUE(out.IsNull(2));
+
+  // x OR y: T, N, N
+  auto o = Or(Col("x"), Col("y"));
+  ASSERT_TRUE(BindExpr(o, s).ok());
+  ASSERT_TRUE(EvalExpr(*o, block, &out).ok());
+  EXPECT_EQ(out.ints[0], 1);
+  EXPECT_FALSE(out.IsNull(0));
+  EXPECT_TRUE(out.IsNull(1));
+  EXPECT_TRUE(out.IsNull(2));
+}
+
+TEST(ExprTest, IsNullOperator) {
+  RowBlock block({TypeId::kInt64});
+  block.columns[0].ints = {1, 0, 3};
+  block.columns[0].nulls = {0, 1, 0};
+  BindSchema s;
+  s.Add("x", TypeId::kInt64);
+  auto e = IsNull(Col("x"));
+  ASSERT_TRUE(BindExpr(e, s).ok());
+  std::vector<uint8_t> sel;
+  ASSERT_TRUE(EvalPredicate(*e, block, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint8_t>{0, 1, 0}));
+}
+
+TEST(ExprTest, ToStringRendersSql) {
+  auto e = And(Cmp(CompareOp::kGt, Col("a"), Lit(Value::Int64(2))),
+               Like(Col("s"), "ap%"));
+  EXPECT_EQ(e->ToString(), "((a > 2) AND (s LIKE 'ap%'))");
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto e = Cmp(CompareOp::kGt, Col("a"), Lit(Value::Int64(2)));
+  auto c = CloneExpr(e);
+  ASSERT_TRUE(BindExpr(c, Schema()).ok());
+  EXPECT_EQ(c->children[0]->column_index, 0);
+  EXPECT_EQ(e->children[0]->column_index, -1);  // original untouched
+}
+
+TEST(ExprTest, EvalScalarSingleRow) {
+  auto block = MakeBlock();
+  auto e = Arith(ArithOp::kMul, Col("a"), Lit(Value::Int64(10)));
+  ASSERT_TRUE(BindExpr(e, Schema()).ok());
+  auto v = EvalScalar(*e, block, 2);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().i64(), 30);
+}
+
+TEST(ExprTest, CollectColumnsFindsAllRefs) {
+  auto e = And(Cmp(CompareOp::kGt, Col("a"), Lit(Value::Int64(2))),
+               Cmp(CompareOp::kLt, Col("d"), Lit(Value::Date(100))));
+  ASSERT_TRUE(BindExpr(e, Schema()).ok());
+  std::vector<int> cols;
+  CollectColumns(*e, &cols);
+  EXPECT_EQ(cols, (std::vector<int>{0, 3}));
+}
+
+TEST(ExprTest, DateParsingAndFormatting) {
+  auto d = ParseDate("2012-08-21");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(FormatDate(d.value()), "2012-08-21");
+  EXPECT_EQ(DateYear(d.value()), 2012);
+  EXPECT_EQ(DateMonth(d.value()), 8);
+  EXPECT_EQ(MakeDate(2000, 1, 1), 0);
+  EXPECT_EQ(MakeDate(2000, 1, 2), 1);
+  EXPECT_FALSE(ParseDate("not-a-date").ok());
+}
+
+}  // namespace
+}  // namespace stratica

@@ -1,0 +1,131 @@
+#include "storage/column_file.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stratica {
+namespace {
+
+TEST(ColumnFileTest, WriteReadRoundTrip) {
+  MemFileSystem fs;
+  ColumnWriter writer(TypeId::kInt64, EncodingId::kAuto, /*rows_per_block=*/100);
+  ColumnVector col(TypeId::kInt64);
+  for (int i = 0; i < 1234; ++i) col.ints.push_back(i * 3);
+  ASSERT_TRUE(writer.Append(col).ok());
+  auto meta = writer.Finish(&fs, "c.dat", "c.idx");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value().num_rows, 1234u);
+  EXPECT_EQ(meta.value().blocks.size(), 13u);  // ceil(1234/100)
+
+  auto reader = ColumnReader::Open(&fs, "c.dat", "c.idx");
+  ASSERT_TRUE(reader.ok());
+  ColumnVector out;
+  ASSERT_TRUE(reader.value().ReadAll(&out).ok());
+  ASSERT_EQ(out.ints.size(), 1234u);
+  for (int i = 0; i < 1234; ++i) EXPECT_EQ(out.ints[i], i * 3);
+}
+
+TEST(ColumnFileTest, BlockMetaMinMaxAndPositions) {
+  MemFileSystem fs;
+  ColumnWriter writer(TypeId::kInt64, EncodingId::kPlain, 10);
+  ColumnVector col(TypeId::kInt64);
+  for (int i = 0; i < 35; ++i) col.ints.push_back(100 - i);
+  ASSERT_TRUE(writer.Append(col).ok());
+  auto meta = writer.Finish(&fs, "c.dat", "c.idx");
+  ASSERT_TRUE(meta.ok());
+  const auto& blocks = meta.value().blocks;
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0].row_start, 0u);
+  EXPECT_EQ(blocks[0].row_count, 10u);
+  EXPECT_EQ(blocks[0].min.i64(), 91);
+  EXPECT_EQ(blocks[0].max.i64(), 100);
+  EXPECT_EQ(blocks[3].row_start, 30u);
+  EXPECT_EQ(blocks[3].row_count, 5u);
+  EXPECT_EQ(blocks[3].min.i64(), 66);
+  // Column-level bounds.
+  EXPECT_EQ(meta.value().min.i64(), 66);
+  EXPECT_EQ(meta.value().max.i64(), 100);
+}
+
+TEST(ColumnFileTest, SingleBlockRandomRead) {
+  MemFileSystem fs;
+  ColumnWriter writer(TypeId::kString, EncodingId::kAuto, 8);
+  ColumnVector col(TypeId::kString);
+  for (int i = 0; i < 20; ++i) col.strings.push_back("val" + std::to_string(i));
+  ASSERT_TRUE(writer.Append(col).ok());
+  ASSERT_TRUE(writer.Finish(&fs, "s.dat", "s.idx").ok());
+
+  auto reader = ColumnReader::Open(&fs, "s.dat", "s.idx");
+  ASSERT_TRUE(reader.ok());
+  ColumnVector out(TypeId::kString);
+  ASSERT_TRUE(reader.value().ReadBlock(1, false, &out).ok());
+  ASSERT_EQ(out.strings.size(), 8u);
+  EXPECT_EQ(out.strings[0], "val8");
+  EXPECT_EQ(out.strings[7], "val15");
+}
+
+TEST(ColumnFileTest, NullsAcrossBlocks) {
+  MemFileSystem fs;
+  ColumnWriter writer(TypeId::kFloat64, EncodingId::kAuto, 7);
+  for (int i = 0; i < 50; ++i) {
+    Value v = (i % 5 == 0) ? Value::Null(TypeId::kFloat64)
+                           : Value::Float64(i * 1.5);
+    ASSERT_TRUE(writer.AppendValue(v).ok());
+  }
+  ASSERT_TRUE(writer.Finish(&fs, "f.dat", "f.idx").ok());
+  auto reader = ColumnReader::Open(&fs, "f.dat", "f.idx");
+  ASSERT_TRUE(reader.ok());
+  ColumnVector out;
+  ASSERT_TRUE(reader.value().ReadAll(&out).ok());
+  ASSERT_EQ(out.PhysicalSize(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(out.IsNull(i), i % 5 == 0) << i;
+    if (i % 5 != 0) EXPECT_DOUBLE_EQ(out.doubles[i], i * 1.5);
+  }
+}
+
+TEST(ColumnFileTest, PositionIndexIsSmallFractionOfData) {
+  // The paper: position index ~ 1/1000 of raw column data.
+  MemFileSystem fs;
+  ColumnWriter writer(TypeId::kInt64, EncodingId::kPlain, kDefaultRowsPerBlock);
+  ColumnVector col(TypeId::kInt64);
+  Rng rng(3);
+  for (int i = 0; i < 500000; ++i) col.ints.push_back(static_cast<int64_t>(rng.Next()));
+  ASSERT_TRUE(writer.Append(col).ok());
+  auto meta = writer.Finish(&fs, "big.dat", "big.idx");
+  ASSERT_TRUE(meta.ok());
+  auto data_size = fs.FileSize("big.dat");
+  auto index_size = fs.FileSize("big.idx");
+  ASSERT_TRUE(data_size.ok() && index_size.ok());
+  EXPECT_LT(index_size.value() * 500, data_size.value());
+}
+
+TEST(ColumnFileTest, MetaSerializationRoundTrip) {
+  ColumnFileMeta meta;
+  meta.type = TypeId::kDate;
+  meta.num_rows = 777;
+  meta.raw_bytes = 6216;
+  meta.encoded_bytes = 123;
+  meta.min = Value::Date(10);
+  meta.max = Value::Date(500);
+  BlockMeta b;
+  b.offset = 0;
+  b.encoded_bytes = 123;
+  b.row_start = 0;
+  b.row_count = 777;
+  b.min = meta.min;
+  b.max = meta.max;
+  b.null_count = 3;
+  meta.blocks.push_back(b);
+  auto parsed = ParseColumnFileMeta(SerializeColumnFileMeta(meta));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().num_rows, 777u);
+  EXPECT_EQ(parsed.value().blocks.size(), 1u);
+  EXPECT_EQ(parsed.value().blocks[0].min.i64(), 10);
+  EXPECT_EQ(parsed.value().blocks[0].null_count, 3u);
+  EXPECT_EQ(parsed.value().type, TypeId::kDate);
+}
+
+}  // namespace
+}  // namespace stratica

@@ -1,0 +1,75 @@
+#include "storage/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stratica {
+namespace {
+
+void ExpectRoundTrip(const std::vector<uint32_t>& symbols, uint32_t alphabet) {
+  std::string buf;
+  ASSERT_TRUE(HuffmanEncode(symbols, alphabet, &buf).ok());
+  size_t offset = 0;
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(HuffmanDecode(buf, &offset, &out).ok());
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_EQ(out, symbols);
+}
+
+TEST(HuffmanTest, SingleSymbolAlphabet) {
+  ExpectRoundTrip(std::vector<uint32_t>(100, 0), 1);
+}
+
+TEST(HuffmanTest, TwoSymbols) {
+  std::vector<uint32_t> syms;
+  for (int i = 0; i < 1000; ++i) syms.push_back(i % 17 == 0 ? 1 : 0);
+  ExpectRoundTrip(syms, 2);
+}
+
+TEST(HuffmanTest, SkewedDistributionCompresses) {
+  // 95% symbol 0 -> entropy ~0.3 bits/symbol; expect much less than 1 B/sym.
+  Rng rng(11);
+  std::vector<uint32_t> syms;
+  for (int i = 0; i < 10000; ++i)
+    syms.push_back(rng.Uniform(100) < 95 ? 0 : 1 + static_cast<uint32_t>(rng.Uniform(7)));
+  std::string buf;
+  ASSERT_TRUE(HuffmanEncode(syms, 8, &buf).ok());
+  EXPECT_LT(buf.size(), 2000u);
+  size_t offset = 0;
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(HuffmanDecode(buf, &offset, &out).ok());
+  EXPECT_EQ(out, syms);
+}
+
+TEST(HuffmanTest, UniformLargeAlphabet) {
+  Rng rng(12);
+  std::vector<uint32_t> syms;
+  for (int i = 0; i < 5000; ++i) syms.push_back(static_cast<uint32_t>(rng.Uniform(256)));
+  ExpectRoundTrip(syms, 256);
+}
+
+TEST(HuffmanTest, EmptyStream) { ExpectRoundTrip({}, 4); }
+
+TEST(HuffmanTest, OutOfRangeSymbolRejected) {
+  std::string buf;
+  EXPECT_FALSE(HuffmanEncode({5}, 4, &buf).ok());
+}
+
+class HuffmanPropertyTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HuffmanPropertyTest, RandomRoundTrip) {
+  auto [alphabet, count] = GetParam();
+  Rng rng(static_cast<uint64_t>(alphabet) * 131 + count);
+  std::vector<uint32_t> syms;
+  for (int i = 0; i < count; ++i)
+    syms.push_back(static_cast<uint32_t>(rng.Skewed(alphabet)));
+  ExpectRoundTrip(syms, alphabet);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HuffmanPropertyTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 16, 100, 1000),
+                                            ::testing::Values(1, 10, 1000)));
+
+}  // namespace
+}  // namespace stratica

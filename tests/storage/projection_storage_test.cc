@@ -1,0 +1,342 @@
+// WOS/ROS/delete-vector lifecycle and snapshot-visibility tests.
+#include "storage/projection_storage.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/sort_util.h"
+#include "tuplemover/tuple_mover.h"
+
+namespace stratica {
+namespace {
+
+class StorageFixture : public ::testing::Test {
+ protected:
+  StorageFixture()
+      : tm_(&epochs_, &locks_),
+        mover_(&epochs_),
+        ps_(&fs_, "node0/p_sales", MakeConfig()) {}
+
+  static ProjectionStorageConfig MakeConfig() {
+    ProjectionStorageConfig cfg;
+    cfg.projection = "p_sales";
+    cfg.column_names = {"sale_id", "date", "price"};
+    cfg.column_types = {TypeId::kInt64, TypeId::kDate, TypeId::kFloat64};
+    cfg.encodings = {EncodingId::kAuto, EncodingId::kRle, EncodingId::kAuto};
+    cfg.sort_columns = {1, 0};  // by date, then sale_id
+    cfg.num_local_segments = 1;
+    BindSchema schema;
+    schema.Add("sale_id", TypeId::kInt64);
+    schema.Add("date", TypeId::kDate);
+    schema.Add("price", TypeId::kFloat64);
+    cfg.segmentation_expr = Func(FuncKind::kHash, {Col("sale_id")});
+    EXPECT_TRUE(BindExpr(cfg.segmentation_expr, schema).ok());
+    return cfg;
+  }
+
+  RowBlock MakeRows(int start, int count) {
+    RowBlock rows({TypeId::kInt64, TypeId::kDate, TypeId::kFloat64});
+    for (int i = start; i < start + count; ++i) {
+      rows.columns[0].ints.push_back(i);
+      rows.columns[1].ints.push_back(MakeDate(2012, 1 + (i % 4), 1));
+      rows.columns[2].doubles.push_back(i * 0.5);
+    }
+    return rows;
+  }
+
+  Epoch InsertAndCommit(RowBlock rows) {
+    auto txn = tm_.Begin();
+    EXPECT_TRUE(ps_.InsertWos(std::move(rows), txn.get()).ok());
+    auto e = tm_.Commit(txn);
+    EXPECT_TRUE(e.ok());
+    return e.value();
+  }
+
+  MemFileSystem fs_;
+  EpochManager epochs_;
+  LockManager locks_;
+  TransactionManager tm_;
+  TupleMover mover_;
+  ProjectionStorage ps_;
+};
+
+TEST_F(StorageFixture, UncommittedWosInvisibleToOthers) {
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(ps_.InsertWos(MakeRows(0, 10), txn.get()).ok());
+  auto snap_other = ps_.GetSnapshot(epochs_.LatestQueryableEpoch());
+  EXPECT_EQ(snap_other.TotalRows(), 0u);
+  // Read-your-writes: same transaction sees its chunk.
+  auto snap_self = ps_.GetSnapshot(txn->snapshot_epoch(), txn->id());
+  EXPECT_EQ(snap_self.TotalRows(), 10u);
+  tm_.Rollback(txn);
+  EXPECT_EQ(ps_.WosRowCount(), 0u);
+}
+
+TEST_F(StorageFixture, CommitMakesWosVisibleAtNewEpoch) {
+  Epoch e = InsertAndCommit(MakeRows(0, 25));
+  auto before = ps_.GetSnapshot(e - 1);
+  EXPECT_EQ(before.TotalRows(), 0u);
+  auto after = ps_.GetSnapshot(e);
+  EXPECT_EQ(after.TotalRows(), 25u);
+}
+
+TEST_F(StorageFixture, MoveoutSortsSplitsAndAdvancesLge) {
+  InsertAndCommit(MakeRows(0, 100));
+  Epoch last = InsertAndCommit(MakeRows(100, 100));
+  EXPECT_EQ(ps_.WosRowCount(), 200u);
+  EXPECT_EQ(ps_.lge(), 0u);
+
+  ASSERT_TRUE(mover_.Moveout(&ps_).ok());
+  EXPECT_EQ(ps_.WosRowCount(), 0u);
+  EXPECT_EQ(ps_.lge(), last);
+  EXPECT_GT(ps_.NumContainers(), 0u);
+  EXPECT_EQ(ps_.TotalRosRows(), 200u);
+
+  // Containers are sorted by the projection sort order.
+  for (const auto& c : ps_.Containers()) {
+    RowBlock rows;
+    ASSERT_TRUE(ReadRosContainer(&fs_, *c, &rows, nullptr).ok());
+    EXPECT_TRUE(IsSorted(rows, {1, 0}));
+  }
+
+  // Snapshot total preserved.
+  auto snap = ps_.GetSnapshot(last);
+  EXPECT_EQ(snap.TotalRows(), 200u);
+}
+
+TEST_F(StorageFixture, DirectRosLoadBypassesWos) {
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(ps_.InsertDirectRos(MakeRows(0, 50), txn.get()).ok());
+  EXPECT_EQ(ps_.WosRowCount(), 0u);
+  // Invisible before commit...
+  EXPECT_EQ(ps_.GetSnapshot(epochs_.LatestQueryableEpoch()).TotalRows(), 0u);
+  auto e = tm_.Commit(txn);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ps_.GetSnapshot(e.value()).TotalRows(), 50u);
+  // LGE advanced directly (nothing pending in WOS).
+  EXPECT_EQ(ps_.lge(), e.value());
+}
+
+TEST_F(StorageFixture, DirectRosRollbackDeletesFiles) {
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(ps_.InsertDirectRos(MakeRows(0, 50), txn.get()).ok());
+  auto files = fs_.List("node0/p_sales");
+  ASSERT_TRUE(files.ok());
+  EXPECT_GT(files.value().size(), 0u);
+  tm_.Rollback(txn);
+  files = fs_.List("node0/p_sales");
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files.value().size(), 0u);
+  EXPECT_EQ(ps_.NumContainers(), 0u);
+}
+
+TEST_F(StorageFixture, DeleteVectorHidesRowsAtSnapshot) {
+  Epoch e_ins = InsertAndCommit(MakeRows(0, 10));
+  ASSERT_TRUE(mover_.Moveout(&ps_).ok());
+  auto containers = ps_.Containers();
+  ASSERT_FALSE(containers.empty());
+
+  // Delete positions 0 and 1 of the first container.
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(ps_.AddDeletes(containers[0]->id, {0, 1}, txn.get()).ok());
+  auto e_del = tm_.Commit(txn);
+  ASSERT_TRUE(e_del.ok());
+
+  auto before = ps_.GetSnapshot(e_ins);
+  EXPECT_EQ(before.deletes.TotalDeleted(), 0u);  // time travel: not yet deleted
+  auto after = ps_.GetSnapshot(e_del.value());
+  EXPECT_EQ(after.deletes.TotalDeleted(), 2u);
+  EXPECT_TRUE(after.deletes.IsDeleted(containers[0]->id, 0));
+  EXPECT_FALSE(after.deletes.IsDeleted(containers[0]->id, 5));
+}
+
+TEST_F(StorageFixture, MoveoutTranslatesWosDeletes) {
+  InsertAndCommit(MakeRows(0, 20));
+  // Delete WOS positions 3 and 7 (rows with sale_id 3 and 7).
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(ps_.AddDeletes(kWosTargetId, {3, 7}, txn.get()).ok());
+  auto e_del = tm_.Commit(txn);
+  ASSERT_TRUE(e_del.ok());
+
+  ASSERT_TRUE(mover_.Moveout(&ps_).ok());
+  auto snap = ps_.GetSnapshot(epochs_.LatestQueryableEpoch());
+  // Two rows still deleted after translation to container targets.
+  EXPECT_EQ(snap.deletes.TotalDeleted(), 2u);
+  // And the deleted rows are sale_id 3 and 7: check by reading back.
+  uint64_t deleted_ids = 0;
+  for (const auto& c : ps_.Containers()) {
+    RowBlock rows;
+    ASSERT_TRUE(ReadRosContainer(&fs_, *c, &rows, nullptr).ok());
+    for (uint64_t pos : snap.deletes.DeletedPositions(c->id)) {
+      deleted_ids += rows.columns[0].ints[pos];
+    }
+  }
+  EXPECT_EQ(deleted_ids, 10u);  // 3 + 7
+}
+
+TEST_F(StorageFixture, MergeoutCoalescesContainers) {
+  for (int batch = 0; batch < 5; ++batch) {
+    InsertAndCommit(MakeRows(batch * 40, 40));
+    ASSERT_TRUE(mover_.Moveout(&ps_).ok());
+  }
+  size_t before = ps_.NumContainers();
+  EXPECT_GE(before, 5u);
+  ASSERT_TRUE(mover_.MergeoutAll(&ps_).ok());
+  size_t after = ps_.NumContainers();
+  EXPECT_LT(after, before);
+  EXPECT_EQ(ps_.TotalRosRows(), 200u);
+  // Merged data still sorted and complete.
+  auto snap = ps_.GetSnapshot(epochs_.LatestQueryableEpoch());
+  EXPECT_EQ(snap.TotalRows(), 200u);
+}
+
+TEST_F(StorageFixture, MergeoutPurgesAhmHistoryAndRemapsDeletes) {
+  InsertAndCommit(MakeRows(0, 30));
+  ASSERT_TRUE(mover_.Moveout(&ps_).ok());
+  InsertAndCommit(MakeRows(30, 30));
+  ASSERT_TRUE(mover_.Moveout(&ps_).ok());
+
+  // Delete rows in the first batch of containers.
+  auto containers = ps_.Containers();
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(ps_.AddDeletes(containers[0]->id, {0, 1, 2}, txn.get()).ok());
+  auto e_del = tm_.Commit(txn);
+  ASSERT_TRUE(e_del.ok());
+
+  // Case 1: AHM before the delete -> rows survive the merge with their
+  // delete markers remapped.
+  ASSERT_TRUE(mover_.MergeoutAll(&ps_).ok());
+  auto snap = ps_.GetSnapshot(epochs_.LatestQueryableEpoch());
+  EXPECT_EQ(snap.deletes.TotalDeleted(), 3u);
+  EXPECT_EQ(ps_.TotalRosRows(), 60u);
+
+  // Case 2: advance AHM past the delete; next merge purges the rows.
+  epochs_.AdvanceAhm(e_del.value());
+  InsertAndCommit(MakeRows(60, 30));
+  ASSERT_TRUE(mover_.Moveout(&ps_).ok());
+  ASSERT_TRUE(mover_.MergeoutAll(&ps_).ok());
+  EXPECT_EQ(ps_.TotalRosRows(), 87u);  // 90 loaded - 3 purged
+  snap = ps_.GetSnapshot(epochs_.LatestQueryableEpoch());
+  EXPECT_EQ(snap.deletes.TotalDeleted(), 0u);
+  EXPECT_EQ(snap.TotalRows(), 87u);
+}
+
+TEST_F(StorageFixture, StrataAssignment) {
+  TupleMoverConfig cfg;
+  cfg.strata_base_bytes = 1000;
+  cfg.strata_factor = 10.0;
+  TupleMover mover(&epochs_, cfg);
+  EXPECT_EQ(mover.Stratum(10), 0);
+  EXPECT_EQ(mover.Stratum(1000), 0);
+  EXPECT_EQ(mover.Stratum(1001), 1);
+  EXPECT_EQ(mover.Stratum(10000), 1);
+  EXPECT_EQ(mover.Stratum(100001), 3);
+}
+
+TEST_F(StorageFixture, DvRosRoundTrip) {
+  DeleteVectorChunk chunk;
+  chunk.target_id = 7;
+  chunk.positions = {10, 11, 12, 50, 1000};
+  chunk.epochs = {3, 3, 3, 4, 4};
+  ASSERT_TRUE(WriteDvRos(&fs_, chunk, "dv_test").ok());
+  auto rt = ReadDvRos(&fs_, "dv_test", 7);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt.value()->positions, chunk.positions);
+  EXPECT_EQ(rt.value()->epochs, chunk.epochs);
+  EXPECT_TRUE(rt.value()->persisted);
+}
+
+TEST_F(StorageFixture, CrashLosesWosKeepsRos) {
+  InsertAndCommit(MakeRows(0, 50));
+  ASSERT_TRUE(mover_.Moveout(&ps_).ok());
+  InsertAndCommit(MakeRows(50, 25));  // stays in WOS
+  EXPECT_EQ(ps_.GetSnapshot(epochs_.LatestQueryableEpoch()).TotalRows(), 75u);
+
+  ps_.CrashVolatileState();
+  // WOS rows lost; ROS rows survive. This is why the LGE exists.
+  EXPECT_EQ(ps_.GetSnapshot(epochs_.LatestQueryableEpoch()).TotalRows(), 50u);
+  EXPECT_EQ(ps_.WosRowCount(), 0u);
+}
+
+class PartitionedStorageFixture : public StorageFixture {
+ protected:
+  PartitionedStorageFixture() : pps_(&fs_, "node0/p_part", MakePartitionedConfig()) {}
+
+  static ProjectionStorageConfig MakePartitionedConfig() {
+    ProjectionStorageConfig cfg = MakeConfig();
+    cfg.projection = "p_part";
+    BindSchema schema;
+    schema.Add("sale_id", TypeId::kInt64);
+    schema.Add("date", TypeId::kDate);
+    schema.Add("price", TypeId::kFloat64);
+    cfg.partition_expr = Func(FuncKind::kYearMonth, {Col("date")});
+    EXPECT_TRUE(BindExpr(cfg.partition_expr, schema).ok());
+    cfg.num_local_segments = 3;
+    return cfg;
+  }
+
+  ProjectionStorage pps_;
+};
+
+TEST_F(PartitionedStorageFixture, MoveoutSplitsByPartitionAndLocalSegment) {
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(pps_.InsertWos(MakeRows(0, 400), txn.get()).ok());
+  ASSERT_TRUE(tm_.Commit(txn).ok());
+  ASSERT_TRUE(mover_.Moveout(&pps_).ok());
+
+  // 4 months x 3 local segments = up to 12 containers; each holds a single
+  // partition key (Section 3.5 invariant).
+  auto containers = pps_.Containers();
+  EXPECT_GE(containers.size(), 4u);
+  EXPECT_LE(containers.size(), 12u);
+  for (const auto& c : containers) {
+    RowBlock rows;
+    ASSERT_TRUE(ReadRosContainer(&fs_, *c, &rows, nullptr).ok());
+    for (size_t r = 0; r < rows.NumRows(); ++r) {
+      int64_t ym = DateYear(rows.columns[1].ints[r]) * 100 +
+                   DateMonth(rows.columns[1].ints[r]);
+      EXPECT_EQ(ym, c->partition_key);
+    }
+  }
+}
+
+TEST_F(PartitionedStorageFixture, MergeoutPreservesPartitionBoundaries) {
+  for (int b = 0; b < 4; ++b) {
+    auto txn = tm_.Begin();
+    ASSERT_TRUE(pps_.InsertWos(MakeRows(b * 100, 100), txn.get()).ok());
+    ASSERT_TRUE(tm_.Commit(txn).ok());
+    ASSERT_TRUE(mover_.Moveout(&pps_).ok());
+  }
+  ASSERT_TRUE(mover_.MergeoutAll(&pps_).ok());
+  for (const auto& c : pps_.Containers()) {
+    RowBlock rows;
+    ASSERT_TRUE(ReadRosContainer(&fs_, *c, &rows, nullptr).ok());
+    for (size_t r = 0; r < rows.NumRows(); ++r) {
+      int64_t ym = DateYear(rows.columns[1].ints[r]) * 100 +
+                   DateMonth(rows.columns[1].ints[r]);
+      EXPECT_EQ(ym, c->partition_key) << "partition boundary violated by mergeout";
+    }
+  }
+  EXPECT_EQ(pps_.TotalRosRows(), 400u);
+}
+
+TEST_F(PartitionedStorageFixture, DropPartitionIsFileLevelAndImmediate) {
+  auto txn = tm_.Begin();
+  ASSERT_TRUE(pps_.InsertWos(MakeRows(0, 400), txn.get()).ok());
+  ASSERT_TRUE(tm_.Commit(txn).ok());
+  ASSERT_TRUE(mover_.Moveout(&pps_).ok());
+
+  uint64_t before_rows = pps_.TotalRosRows();
+  uint64_t before_files = fs_.List("node0/p_part").value().size();
+  auto dropped = pps_.DropPartition(201202);  // drop February 2012
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_GT(dropped.value(), 0u);
+  EXPECT_EQ(pps_.TotalRosRows(), before_rows - dropped.value());
+  EXPECT_LT(fs_.List("node0/p_part").value().size(), before_files);
+  // Remaining data has no February rows.
+  for (const auto& c : pps_.Containers()) {
+    EXPECT_NE(c->partition_key, 201202);
+  }
+}
+
+}  // namespace
+}  // namespace stratica

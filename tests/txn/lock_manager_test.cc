@@ -1,0 +1,129 @@
+// Verifies the lock compatibility matrix (Table 1) and conversion matrix
+// (Table 2) cell by cell, plus LockManager acquisition semantics.
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace stratica {
+namespace {
+
+constexpr LockMode kModes[] = {LockMode::kS, LockMode::kI, LockMode::kSI, LockMode::kX,
+                               LockMode::kT, LockMode::kU, LockMode::kO};
+
+// Table 1 from the paper, row = requested, column = granted.
+constexpr bool kExpectedCompat[7][7] = {
+    /* S  */ {1, 0, 0, 0, 1, 1, 0},
+    /* I  */ {0, 1, 0, 0, 1, 1, 0},
+    /* SI */ {0, 0, 0, 0, 1, 1, 0},
+    /* X  */ {0, 0, 0, 0, 0, 1, 0},
+    /* T  */ {1, 1, 1, 0, 1, 1, 0},
+    /* U  */ {1, 1, 1, 1, 1, 1, 0},
+    /* O  */ {0, 0, 0, 0, 0, 0, 0},
+};
+
+// Table 2 from the paper, row = requested, column = granted.
+const char* kExpectedConvert[7][7] = {
+    /* S  */ {"S", "SI", "SI", "X", "S", "S", "O"},
+    /* I  */ {"SI", "I", "SI", "X", "I", "I", "O"},
+    /* SI */ {"SI", "SI", "SI", "X", "SI", "SI", "O"},
+    /* X  */ {"X", "X", "X", "X", "X", "X", "O"},
+    /* T  */ {"S", "I", "SI", "X", "T", "T", "O"},
+    /* U  */ {"S", "I", "SI", "X", "T", "U", "O"},
+    /* O  */ {"O", "O", "O", "O", "O", "O", "O"},
+};
+
+TEST(LockMatrixTest, CompatibilityMatchesTable1) {
+  for (int r = 0; r < 7; ++r) {
+    for (int g = 0; g < 7; ++g) {
+      EXPECT_EQ(LockCompatible(kModes[r], kModes[g]), kExpectedCompat[r][g])
+          << "requested " << LockModeName(kModes[r]) << " granted "
+          << LockModeName(kModes[g]);
+    }
+  }
+}
+
+TEST(LockMatrixTest, ConversionMatchesTable2) {
+  for (int r = 0; r < 7; ++r) {
+    for (int g = 0; g < 7; ++g) {
+      EXPECT_STREQ(LockModeName(LockConvert(kModes[r], kModes[g])),
+                   kExpectedConvert[r][g])
+          << "requested " << LockModeName(kModes[r]) << " granted "
+          << LockModeName(kModes[g]);
+    }
+  }
+}
+
+TEST(LockMatrixTest, InsertCompatibleWithItselfForParallelLoads) {
+  // The paper calls this out as critical for high ingest rates.
+  EXPECT_TRUE(LockCompatible(LockMode::kI, LockMode::kI));
+  EXPECT_FALSE(LockCompatible(LockMode::kX, LockMode::kX));
+}
+
+TEST(LockManagerTest, ConcurrentInsertsGranted) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kI).ok());
+  ASSERT_TRUE(lm.Acquire(2, "t", LockMode::kI).ok());
+  ASSERT_TRUE(lm.Acquire(3, "t", LockMode::kI).ok());
+}
+
+TEST(LockManagerTest, ExclusiveBlocksInsertUntilRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kX).ok());
+  auto st = lm.Acquire(2, "t", LockMode::kI, std::chrono::milliseconds(50));
+  EXPECT_EQ(st.code(), StatusCode::kLockTimeout);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Acquire(2, "t", LockMode::kI).ok());
+}
+
+TEST(LockManagerTest, ConversionSharedPlusInsertBecomesSharedInsert) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kI).ok());
+  auto held = lm.Held(1, "t");
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(held.value(), LockMode::kSI);
+}
+
+TEST(LockManagerTest, ConversionRespectsOtherHolders) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(2, "t", LockMode::kS).ok());
+  // Txn 1 upgrading S -> X must wait for txn 2 (S incompatible with X).
+  auto st = lm.Acquire(1, "t", LockMode::kX, std::chrono::milliseconds(50));
+  EXPECT_EQ(st.code(), StatusCode::kLockTimeout);
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(lm.Acquire(1, "t", LockMode::kX).ok());
+}
+
+TEST(LockManagerTest, TupleMoverLockCompatibleWithLoadButNotDelete) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kI).ok());  // load in progress
+  EXPECT_TRUE(lm.Acquire(2, "t", LockMode::kT).ok());  // tuple mover proceeds
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  ASSERT_TRUE(lm.Acquire(3, "t", LockMode::kX).ok());  // delete in progress
+  auto st = lm.Acquire(4, "t", LockMode::kT, std::chrono::milliseconds(50));
+  EXPECT_EQ(st.code(), StatusCode::kLockTimeout);  // T waits for X
+}
+
+TEST(LockManagerTest, LocksAreFineGrainedPerTable) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "a", LockMode::kX).ok());
+  EXPECT_TRUE(lm.Acquire(2, "b", LockMode::kX).ok());  // different table
+}
+
+TEST(LockManagerTest, WaiterWakesOnRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kX).ok());
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm.Acquire(2, "t", LockMode::kS, std::chrono::milliseconds(2000)).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lm.ReleaseAll(1);
+  waiter.join();
+}
+
+}  // namespace
+}  // namespace stratica

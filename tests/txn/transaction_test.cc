@@ -1,0 +1,98 @@
+#include "txn/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace stratica {
+namespace {
+
+TEST(EpochTest, DmlCommitAdvancesEpoch) {
+  EpochManager epochs;
+  LockManager locks;
+  TransactionManager tm(&epochs, &locks);
+  Epoch before = epochs.current();
+
+  auto txn = tm.Begin();
+  txn->MarkDml();
+  auto committed = tm.Commit(txn);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed.value(), before);
+  EXPECT_EQ(epochs.current(), before + 1);
+}
+
+TEST(EpochTest, ReadOnlyCommitDoesNotAdvance) {
+  EpochManager epochs;
+  LockManager locks;
+  TransactionManager tm(&epochs, &locks);
+  Epoch before = epochs.current();
+  auto txn = tm.Begin();
+  ASSERT_TRUE(tm.Commit(txn).ok());
+  EXPECT_EQ(epochs.current(), before);
+}
+
+TEST(EpochTest, SnapshotIsLatestCompleteEpoch) {
+  EpochManager epochs;
+  LockManager locks;
+  TransactionManager tm(&epochs, &locks);
+  auto t1 = tm.Begin();
+  // READ COMMITTED: snapshot = current - 1.
+  EXPECT_EQ(t1->snapshot_epoch(), epochs.current() - 1);
+  t1->MarkDml();
+  ASSERT_TRUE(tm.Commit(t1).ok());
+  auto t2 = tm.Begin();
+  EXPECT_EQ(t2->snapshot_epoch(), t1->snapshot_epoch() + 1);
+}
+
+TEST(EpochTest, CommitCallbacksReceiveEpoch) {
+  EpochManager epochs;
+  LockManager locks;
+  TransactionManager tm(&epochs, &locks);
+  auto txn = tm.Begin();
+  txn->MarkDml();
+  Epoch seen = 0;
+  txn->OnCommit([&](Epoch e) { seen = e; });
+  auto committed = tm.Commit(txn);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(seen, committed.value());
+}
+
+TEST(EpochTest, RollbackRunsDiscardCallbacksOnly) {
+  EpochManager epochs;
+  LockManager locks;
+  TransactionManager tm(&epochs, &locks);
+  auto txn = tm.Begin();
+  txn->MarkDml();
+  bool committed = false, rolled_back = false;
+  txn->OnCommit([&](Epoch) { committed = true; });
+  txn->OnRollback([&] { rolled_back = true; });
+  tm.Rollback(txn);
+  EXPECT_FALSE(committed);
+  EXPECT_TRUE(rolled_back);
+  // Rollback does not consume an epoch.
+  EXPECT_EQ(epochs.current(), 1u);
+  // Double-finish is rejected.
+  EXPECT_FALSE(tm.Commit(txn).ok());
+}
+
+TEST(EpochTest, CommitReleasesLocks) {
+  EpochManager epochs;
+  LockManager locks;
+  TransactionManager tm(&epochs, &locks);
+  auto t1 = tm.Begin();
+  ASSERT_TRUE(locks.Acquire(t1->id(), "t", LockMode::kX).ok());
+  ASSERT_TRUE(tm.Commit(t1).ok());
+  auto t2 = tm.Begin();
+  EXPECT_TRUE(locks.Acquire(t2->id(), "t", LockMode::kX).ok());
+}
+
+TEST(EpochTest, AhmOnlyAdvances) {
+  EpochManager epochs;
+  epochs.AdvanceAhm(5);
+  EXPECT_EQ(epochs.ahm(), 5u);
+  epochs.AdvanceAhm(3);
+  EXPECT_EQ(epochs.ahm(), 5u);
+  epochs.AdvanceAhm(9);
+  EXPECT_EQ(epochs.ahm(), 9u);
+}
+
+}  // namespace
+}  // namespace stratica
