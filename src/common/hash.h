@@ -48,6 +48,16 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t h) {
   return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
 }
 
+/// Hash value of a NULL entry (shared by scalar HashEntry and the batched
+/// HashColumn/HashRows loops so every hashing path agrees on NULLs).
+inline constexpr uint64_t kNullHash = 0x5ca1ab1e;
+
+/// Seed for group-key hashing (group-by tables, exchange repartitioning).
+inline constexpr uint64_t kGroupKeySeed = 0x6b7d;
+/// Seed for SIP key hashing (join build side and scan-side filtering must
+/// agree bit-for-bit).
+inline constexpr uint64_t kSipSeed = 0x9b97;
+
 }  // namespace stratica
 
 #endif  // STRATICA_COMMON_HASH_H_

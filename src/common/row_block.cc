@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/hash.h"
+
 namespace stratica {
 
 void ColumnVector::Reserve(size_t n) {
@@ -153,13 +155,124 @@ size_t ColumnVector::MemoryBytes() const {
 }
 
 uint64_t ColumnVector::HashEntry(size_t phys) const {
-  if (IsNull(phys)) return 0x5ca1ab1e;
+  if (IsNull(phys)) return kNullHash;
   switch (StorageClassOf(type)) {
     case StorageClass::kInt64: return HashInt64(ints[phys]);
     case StorageClass::kFloat64: return HashDouble(doubles[phys]);
     case StorageClass::kString: return HashString(strings[phys]);
   }
   return 0;
+}
+
+namespace {
+
+// Core of the batched hashers: one tight loop per (storage class, nullness,
+// emit-mode, masked-vs-full) combination. Emit modes: kWrite stores the
+// entry hash, kCombine folds it into the running key hash, kWriteSeeded
+// stores HashCombine(seed, h) — the first column of a masked multi-column
+// key, avoiding a separate seed-fill pass. `sel` (when kMasked) skips rows
+// already filtered out so selective consumers (SIP after range pruning)
+// never pay for dead rows.
+enum class HashEmit { kWrite, kCombine, kWriteSeeded };
+
+template <HashEmit kEmit, bool kMasked, typename Data, typename HashFn>
+void HashLoop(const Data* data, const uint8_t* nulls, const uint8_t* sel, size_t n,
+              uint64_t seed, uint64_t* out, HashFn hash_fn) {
+  auto emit = [&](size_t i, uint64_t h) {
+    if (kEmit == HashEmit::kWrite) {
+      out[i] = h;
+    } else if (kEmit == HashEmit::kCombine) {
+      out[i] = HashCombine(out[i], h);
+    } else {
+      out[i] = HashCombine(seed, h);
+    }
+  };
+  if (nulls == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (kMasked && !sel[i]) continue;
+      emit(i, hash_fn(data[i]));
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (kMasked && !sel[i]) continue;
+      emit(i, nulls[i] ? kNullHash : hash_fn(data[i]));
+    }
+  }
+}
+
+template <HashEmit kEmit, bool kMasked>
+void HashColumnImpl(const ColumnVector& col, const uint8_t* sel, uint64_t seed,
+                    uint64_t* out) {
+  size_t n = col.PhysicalSize();
+  const uint8_t* nulls = col.nulls.empty() ? nullptr : col.nulls.data();
+  switch (StorageClassOf(col.type)) {
+    case StorageClass::kInt64:
+      HashLoop<kEmit, kMasked>(col.ints.data(), nulls, sel, n, seed, out,
+                               [](int64_t v) { return HashInt64(v); });
+      break;
+    case StorageClass::kFloat64:
+      HashLoop<kEmit, kMasked>(col.doubles.data(), nulls, sel, n, seed, out,
+                               [](double v) { return HashDouble(v); });
+      break;
+    case StorageClass::kString:
+      HashLoop<kEmit, kMasked>(col.strings.data(), nulls, sel, n, seed, out,
+                               [](const std::string& v) { return HashString(v); });
+      break;
+  }
+}
+
+}  // namespace
+
+void HashColumn(const ColumnVector& col, uint64_t* out) {
+  HashColumnImpl<HashEmit::kWrite, false>(col, nullptr, 0, out);
+}
+
+void HashColumnCombine(const ColumnVector& col, uint64_t* out) {
+  HashColumnImpl<HashEmit::kCombine, false>(col, nullptr, 0, out);
+}
+
+void HashRows(const RowBlock& block, const std::vector<uint32_t>& cols, uint64_t seed,
+              std::vector<uint64_t>* out) {
+  size_t n = block.NumRows();
+  if (cols.empty()) {
+    out->assign(n, seed);
+    return;
+  }
+  out->resize(n);
+  for (size_t ci = 0; ci < cols.size(); ++ci) {
+    const ColumnVector& col = block.columns[cols[ci]];
+    if (ci == 0) {
+      HashColumnImpl<HashEmit::kWriteSeeded, false>(col, nullptr, seed, out->data());
+    } else {
+      HashColumnImpl<HashEmit::kCombine, false>(col, nullptr, 0, out->data());
+    }
+  }
+}
+
+void NullKeyMask(const RowBlock& block, const std::vector<uint32_t>& cols,
+                 std::vector<uint8_t>* out) {
+  size_t n = block.NumRows();
+  out->assign(n, 0);
+  for (uint32_t c : cols) {
+    const auto& nulls = block.columns[c].nulls;
+    if (nulls.empty()) continue;
+    for (size_t i = 0; i < n; ++i) (*out)[i] |= nulls[i];
+  }
+}
+
+void HashRowsMasked(const RowBlock& block, const std::vector<uint32_t>& cols,
+                    uint64_t seed, const uint8_t* sel, std::vector<uint64_t>* out) {
+  size_t n = block.NumRows();
+  out->resize(n);  // unselected rows are left unwritten; callers must not read them
+  if (cols.empty()) return;
+  for (size_t ci = 0; ci < cols.size(); ++ci) {
+    const ColumnVector& col = block.columns[cols[ci]];
+    if (ci == 0) {
+      HashColumnImpl<HashEmit::kWriteSeeded, true>(col, sel, seed, out->data());
+    } else {
+      HashColumnImpl<HashEmit::kCombine, true>(col, sel, 0, out->data());
+    }
+  }
 }
 
 int ColumnVector::CompareEntries(const ColumnVector& a, size_t ia, const ColumnVector& b,

@@ -139,6 +139,39 @@ struct RowBlock {
   std::string ToString(size_t max_rows = 20) const;
 };
 
+// ---------------------------------------------------------------------------
+// Batched hashing (the vectorized counterpart of ColumnVector::HashEntry).
+//
+// One type-specialized loop per storage class, null-aware, writing 64-bit
+// hashes for a whole column at once — the per-row type switch happens once
+// per block instead of once per row. All functions produce bit-identical
+// results to per-row HashEntry/HashCombine chains, so scalar and batched
+// paths may be mixed freely.
+
+/// out[i] = hash of physical entry i (i in [0, col.PhysicalSize())).
+void HashColumn(const ColumnVector& col, uint64_t* out);
+
+/// out[i] = HashCombine(out[i], hash of physical entry i) — accumulate a
+/// multi-column key hash column by column.
+void HashColumnCombine(const ColumnVector& col, uint64_t* out);
+
+/// Combined hash of `cols` for every row of a flat block, seeded with
+/// `seed`: the batched equivalent of HashGroupKey. Resizes *out.
+void HashRows(const RowBlock& block, const std::vector<uint32_t>& cols, uint64_t seed,
+              std::vector<uint64_t>* out);
+
+/// HashRows restricted to rows with sel[i] != 0 (out entries of unselected
+/// rows are uninitialized — callers must not read them), for consumers that
+/// pre-filter rows cheaply (e.g. SIP range pruning) and must not pay
+/// hashing cost for dead rows.
+void HashRowsMasked(const RowBlock& block, const std::vector<uint32_t>& cols,
+                    uint64_t seed, const uint8_t* sel, std::vector<uint64_t>* out);
+
+/// out[i] = 1 iff any of `cols` is NULL at row i — the batched "NULL keys
+/// never join/match" mask shared by join build/probe and scan-side SIP.
+void NullKeyMask(const RowBlock& block, const std::vector<uint32_t>& cols,
+                 std::vector<uint8_t>* out);
+
 }  // namespace stratica
 
 #endif  // STRATICA_COMMON_ROW_BLOCK_H_

@@ -1,6 +1,6 @@
 #include "exec/exchange.h"
 
-#include "exec/group_by.h"
+#include "common/hash.h"
 
 namespace stratica {
 
@@ -58,6 +58,7 @@ void ExchangeState::CloseAll() {
 void ExchangeState::ProducerLoop(size_t p, ExecContext* ctx) {
   Operator* op = producers_[p].get();
   Status st = op->Open(ctx);
+  std::vector<uint64_t> hashes;  // partition-hash scratch, reused per block
   while (st.ok()) {
     RowBlock block;
     st = op->GetNext(&block);
@@ -75,9 +76,11 @@ void ExchangeState::ProducerLoop(size_t p, ExecContext* ctx) {
       std::vector<TypeId> types;
       for (const auto& c : block.columns) types.push_back(c.type);
       for (size_t q = 0; q < queues_.size(); ++q) parts.emplace_back(types);
+      // Batched partition hashing: one type-specialized pass per key column
+      // instead of a per-row HashEntry dispatch.
+      HashRows(block, partition_columns_, kGroupKeySeed, &hashes);
       for (size_t r = 0; r < block.NumRows(); ++r) {
-        uint64_t h = HashGroupKey(block, partition_columns_, r);
-        parts[h % queues_.size()].AppendRowFrom(block, r);
+        parts[hashes[r] % queues_.size()].AppendRowFrom(block, r);
       }
       for (size_t q = 0; q < queues_.size() && alive; ++q) {
         if (parts[q].NumRows() > 0) alive = Push(q, std::move(parts[q]));

@@ -6,7 +6,7 @@ namespace stratica {
 
 uint64_t HashGroupKey(const RowBlock& block, const std::vector<uint32_t>& cols,
                       size_t row) {
-  uint64_t h = 0x6b7d;
+  uint64_t h = kGroupKeySeed;
   for (uint32_t c : cols) h = HashCombine(h, block.columns[c].HashEntry(row));
   return h;
 }
@@ -37,49 +37,61 @@ std::vector<TypeId> HashGroupByOperator::OutputTypes() const {
   return GroupByOutputTypes(GroupTypes(), spec_.aggs, spec_.phase);
 }
 
-Status HashGroupByOperator::ConsumeInto(Table* table, const RowBlock& block,
-                                        size_t row) {
-  uint64_t h = HashGroupKey(block, spec_.group_columns, row);
-  uint32_t group = UINT32_MAX;
-  auto [lo, hi] = table->index.equal_range(h);
-  for (auto it = lo; it != hi; ++it) {
-    if (GroupKeyEquals(table->keys, identity_cols_, it->second, block,
-                       spec_.group_columns, row)) {
-      group = it->second;
-      break;
-    }
+uint32_t HashGroupByOperator::FindOrInsertGroup(Table* table, const RowBlock& block,
+                                                const std::vector<uint32_t>& key_cols,
+                                                size_t row, uint64_t h) {
+  for (uint32_t e = table->index.Probe(h); e != FlatHashTable::kNone;
+       e = table->index.Next(e)) {
+    if (GroupKeyEquals(table->keys, identity_cols_, e, block, key_cols, row)) return e;
   }
-  if (group == UINT32_MAX) {
-    group = static_cast<uint32_t>(table->states.size());
-    for (size_t i = 0; i < spec_.group_columns.size(); ++i) {
-      table->keys.columns[i].AppendFrom(block.columns[spec_.group_columns[i]], row);
-    }
-    table->states.emplace_back(spec_.aggs.size());
-    table->index.emplace(h, group);
-    table->bytes += 64 + 48 * spec_.aggs.size();
+  uint32_t group = table->index.Insert(h);
+  for (size_t i = 0; i < key_cols.size(); ++i) {
+    table->keys.columns[i].AppendFrom(block.columns[key_cols[i]], row);
   }
-  auto& states = table->states[group];
-  for (size_t a = 0; a < spec_.aggs.size(); ++a) {
-    const AggSpec& agg = spec_.aggs[a];
-    if (spec_.phase == AggPhase::kCombine) {
-      // Input columns: group columns first, then each agg's partial columns.
-      size_t first = spec_.group_columns.size();
-      for (size_t p = 0; p < a; ++p) first += spec_.aggs[p].PartialTypes().size();
-      states[a].UpdatePartial(agg, block, first, row);
-    } else if (agg.kind == AggKind::kCountStar) {
-      states[a].UpdateCountStar(1);
-    } else {
-      size_t before = states[a].MemoryBytes();
-      states[a].Update(agg, block.columns[agg.input_column], row, 1);
-      table->bytes += states[a].MemoryBytes() - before;
-    }
-  }
-  return Status::OK();
+  table->states.emplace_back(spec_.aggs.size());
+  table->bytes += 64 + 48 * spec_.aggs.size();
+  return group;
 }
 
 Status HashGroupByOperator::Consume(const RowBlock& block) {
-  for (size_t r = 0; r < block.NumRows(); ++r) {
-    STRATICA_RETURN_NOT_OK(ConsumeInto(&table_, block, r));
+  size_t n = block.NumRows();
+  // Hash the whole block once (type-specialized per-column loops), then
+  // probe in a batch; only rows that miss or collide fall back to the
+  // serial find-or-insert walk.
+  HashRows(block, spec_.group_columns, kGroupKeySeed, &hash_buf_);
+  head_buf_.resize(n);
+  table_.index.ProbeBatch(hash_buf_.data(), n, head_buf_.data());
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t group = FlatHashTable::kNone;
+    // Fast path: the batched probe found the chain head; walk candidates.
+    // Chain heads are entry ids and stay valid across inserts, but a miss
+    // must re-probe: an earlier row of this block may have added the group.
+    for (uint32_t e = head_buf_[r]; e != FlatHashTable::kNone; e = table_.index.Next(e)) {
+      if (GroupKeyEquals(table_.keys, identity_cols_, e, block, spec_.group_columns,
+                         r)) {
+        group = e;
+        break;
+      }
+    }
+    if (group == FlatHashTable::kNone) {
+      group = FindOrInsertGroup(&table_, block, spec_.group_columns, r, hash_buf_[r]);
+    }
+    auto& states = table_.states[group];
+    for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+      const AggSpec& agg = spec_.aggs[a];
+      if (spec_.phase == AggPhase::kCombine) {
+        // Input columns: group columns first, then each agg's partial columns.
+        size_t first = spec_.group_columns.size();
+        for (size_t p = 0; p < a; ++p) first += spec_.aggs[p].PartialTypes().size();
+        states[a].UpdatePartial(agg, block, first, r);
+      } else if (agg.kind == AggKind::kCountStar) {
+        states[a].UpdateCountStar(1);
+      } else {
+        size_t before = states[a].MemoryBytes();
+        states[a].Update(agg, block.columns[agg.input_column], r, 1);
+        table_.bytes += states[a].MemoryBytes() - before;
+      }
+    }
   }
   // Externalize when over budget: flush groups (key + serialized states) to
   // grace partitions by key hash.
@@ -105,9 +117,9 @@ Status HashGroupByOperator::SpillTable() {
   for (size_t p = 0; p < kSpillPartitions; ++p) per_part.emplace_back(rec_types);
   std::vector<uint32_t> key_cols(spec_.group_columns.size());
   for (size_t i = 0; i < key_cols.size(); ++i) key_cols[i] = static_cast<uint32_t>(i);
+  HashRows(table_.keys, key_cols, kGroupKeySeed, &hash_buf_);
   for (size_t g = 0; g < table_.states.size(); ++g) {
-    uint64_t h = HashGroupKey(table_.keys, key_cols, g);
-    RowBlock& dst = per_part[(h >> 32) % kSpillPartitions];
+    RowBlock& dst = per_part[(hash_buf_[g] >> 32) % kSpillPartitions];
     for (size_t i = 0; i < key_cols.size(); ++i)
       dst.columns[i].AppendFrom(table_.keys.columns[i], g);
     for (size_t a = 0; a < spec_.aggs.size(); ++a) {
@@ -188,23 +200,10 @@ Status HashGroupByOperator::Open(ExecContext* ctx) {
         RowBlock rec;
         STRATICA_RETURN_NOT_OK(reader.Next(&rec));
         if (rec.NumRows() == 0) break;
+        HashRows(rec, key_cols, kGroupKeySeed, &hash_buf_);
         for (size_t r = 0; r < rec.NumRows(); ++r) {
-          uint64_t h = HashGroupKey(rec, key_cols, r);
-          uint32_t group = UINT32_MAX;
-          auto [lo, hi] = merged.index.equal_range(h);
-          for (auto it = lo; it != hi; ++it) {
-            if (GroupKeyEquals(merged.keys, key_cols, it->second, rec, key_cols, r)) {
-              group = it->second;
-              break;
-            }
-          }
-          if (group == UINT32_MAX) {
-            group = static_cast<uint32_t>(merged.states.size());
-            for (size_t i = 0; i < key_cols.size(); ++i)
-              merged.keys.columns[i].AppendFrom(rec.columns[i], r);
-            merged.states.emplace_back(spec_.aggs.size());
-            merged.index.emplace(h, group);
-          }
+          uint32_t group =
+              FindOrInsertGroup(&merged, rec, key_cols, r, hash_buf_[r]);
           for (size_t a = 0; a < spec_.aggs.size(); ++a) {
             STRATICA_ASSIGN_OR_RETURN(
                 AggState st,
@@ -397,7 +396,8 @@ Status PrepassGroupByOperator::Open(ExecContext* ctx) {
   for (uint32_t c : spec_.group_columns) group_types.push_back(child_types[c]);
   keys_ = RowBlock(group_types);
   states_.clear();
-  index_.clear();
+  index_.Clear();
+  index_.Reserve(capacity_);
   output_.clear();
   input_done_ = false;
   rows_in_ = rows_out_ = flushes_ = 0;
@@ -421,7 +421,7 @@ Status PrepassGroupByOperator::Flush() {
   output_.push_back(std::move(out));
   keys_.Clear();
   states_.clear();
-  index_.clear();
+  index_.Clear();
   ++flushes_;
   // Runtime shutoff check: a prepass that emits nearly as many rows as it
   // consumes is pure overhead.
@@ -466,26 +466,26 @@ Status PrepassGroupByOperator::GetNext(RowBlock* out) {
       output_.push_back(std::move(pass));
       break;
     }
+    // Hash the whole block once; per-row work is probe + verify only.
+    HashRows(block, spec_.group_columns, kGroupKeySeed, &hash_buf_);
     for (size_t r = 0; r < block.NumRows(); ++r) {
-      uint64_t h = HashGroupKey(block, spec_.group_columns, r);
-      uint32_t group = UINT32_MAX;
-      auto [lo, hi] = index_.equal_range(h);
-      for (auto it = lo; it != hi; ++it) {
-        if (GroupKeyEquals(keys_, identity_cols_, it->second, block, spec_.group_columns, r)) {
-          group = it->second;
+      uint64_t h = hash_buf_[r];
+      uint32_t group = FlatHashTable::kNone;
+      for (uint32_t e = index_.Probe(h); e != FlatHashTable::kNone; e = index_.Next(e)) {
+        if (GroupKeyEquals(keys_, identity_cols_, e, block, spec_.group_columns, r)) {
+          group = e;
           break;
         }
       }
-      if (group == UINT32_MAX) {
+      if (group == FlatHashTable::kNone) {
         if (keys_.NumRows() >= capacity_) {
           // Table full: emit current contents and start afresh (§6.1).
           STRATICA_RETURN_NOT_OK(Flush());
         }
-        group = static_cast<uint32_t>(keys_.NumRows());
+        group = index_.Insert(h);
         for (size_t i = 0; i < spec_.group_columns.size(); ++i)
           keys_.columns[i].AppendFrom(block.columns[spec_.group_columns[i]], r);
         states_.emplace_back(spec_.aggs.size());
-        index_.emplace(h, group);
       }
       for (size_t a = 0; a < spec_.aggs.size(); ++a) {
         if (spec_.aggs[a].kind == AggKind::kCountStar) {

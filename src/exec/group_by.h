@@ -12,9 +12,9 @@
 #define STRATICA_EXEC_GROUP_BY_H_
 
 #include <deque>
-#include <unordered_map>
 
 #include "exec/agg.h"
+#include "exec/hash_table.h"
 #include "exec/operator.h"
 #include "exec/spill.h"
 
@@ -45,12 +45,16 @@ class HashGroupByOperator : public Operator {
   struct Table {
     RowBlock keys;                         // one row per group
     std::vector<std::vector<AggState>> states;  // [group][agg]
-    std::unordered_multimap<uint64_t, uint32_t> index;
+    FlatHashTable index;                   // group id == table entry id
     size_t bytes = 0;
   };
 
   Status Consume(const RowBlock& block);
-  Status ConsumeInto(Table* table, const RowBlock& block, size_t row);
+  /// Find or create the group for `row` (key hash `h` precomputed by the
+  /// batched hasher); returns the group id.
+  uint32_t FindOrInsertGroup(Table* table, const RowBlock& block,
+                             const std::vector<uint32_t>& key_cols, size_t row,
+                             uint64_t h);
   Status SpillTable();
   Status EmitTable(const Table& table);
   std::vector<TypeId> GroupTypes() const;
@@ -60,6 +64,8 @@ class HashGroupByOperator : public Operator {
   ExecContext* ctx_ = nullptr;
   Table table_;
   std::vector<uint32_t> identity_cols_;  // 0..num_group_cols-1, hoisted
+  std::vector<uint64_t> hash_buf_;       // per-block batched key hashes
+  std::vector<uint32_t> head_buf_;       // per-block batched probe results
   static constexpr size_t kSpillPartitions = 16;
   std::vector<std::unique_ptr<SpillWriter>> partitions_;
   std::deque<RowBlock> output_;
@@ -126,7 +132,8 @@ class PrepassGroupByOperator : public Operator {
 
   RowBlock keys_;
   std::vector<std::vector<AggState>> states_;
-  std::unordered_multimap<uint64_t, uint32_t> index_;
+  FlatHashTable index_;
+  std::vector<uint64_t> hash_buf_;
   std::vector<uint32_t> identity_cols_;
   std::deque<RowBlock> output_;
   bool input_done_ = false;
@@ -136,7 +143,9 @@ class PrepassGroupByOperator : public Operator {
   bool disabled_ = false;
 };
 
-/// Shared helper: hash of the group-key columns of one row.
+/// Scalar reference for the batched HashRows(block, cols, kGroupKeySeed)
+/// path: hash of the group-key columns of one row. Hot loops use HashRows;
+/// this stays as the executable spec (tests assert batch == scalar).
 uint64_t HashGroupKey(const RowBlock& block, const std::vector<uint32_t>& cols,
                       size_t row);
 

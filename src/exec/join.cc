@@ -67,7 +67,7 @@ std::vector<Operator*> HashJoinOperator::Children() const {
 
 Status HashJoinOperator::BuildTable() {
   build_rows_ = RowBlock(build_->OutputTypes());
-  index_.clear();
+  index_.Clear();
   build_bytes_ = 0;
   for (;;) {
     RowBlock block;
@@ -98,7 +98,7 @@ Status HashJoinOperator::BuildTable() {
       ctx_->budget->Release(build_bytes_);
       build_bytes_ = 0;
       build_rows_ = RowBlock(build_->OutputTypes());
-      index_.clear();
+      index_.Clear();
 
       std::vector<SortKey> lkeys, rkeys;
       for (uint32_t k : spec_.probe_keys) lkeys.push_back({k, false});
@@ -115,13 +115,14 @@ Status HashJoinOperator::BuildTable() {
       return fallback_->Open(ctx_);
     }
     build_bytes_ += bytes;
-    size_t base = build_rows_.NumRows();
     for (size_t r = 0; r < block.NumRows(); ++r) build_rows_.AppendRowFrom(block, r);
-    for (size_t r = 0; r < block.NumRows(); ++r) {
-      if (AnyNullKey(block, spec_.build_keys, r)) continue;  // NULLs never join
-      uint64_t h = HashGroupKey(block, spec_.build_keys, r);
-      index_.emplace(h, static_cast<uint32_t>(base + r));
-    }
+    // Batch insert: hash all key columns once, then append entries whose ids
+    // are exactly the build_rows_ row indexes. NULL-key rows never join, so
+    // they enter the table unlinked (kept only for RIGHT/FULL emission).
+    size_t n = block.NumRows();
+    HashRows(block, spec_.build_keys, kGroupKeySeed, &hash_buf_);
+    NullKeyMask(block, spec_.build_keys, &null_key_buf_);
+    index_.InsertBatch(hash_buf_.data(), n, null_key_buf_.data());
   }
   build_matched_.assign(build_rows_.NumRows(), 0);
 
@@ -131,13 +132,16 @@ Status HashJoinOperator::BuildTable() {
         spec_.build_keys.size() == 1 &&
         StorageClassOf(build_rows_.columns[spec_.build_keys[0]].type) ==
             StorageClass::kInt64;
+    size_t n = build_rows_.NumRows();
+    HashRows(build_rows_, spec_.build_keys, kSipSeed, &hash_buf_);
+    NullKeyMask(build_rows_, spec_.build_keys, &null_key_buf_);
+    // No Reserve: distinct-key count is unknown (often << n) and the set
+    // grows geometrically; reserving for n rows would allocate O(rows)
+    // outside the operator budget.
     bool first = true;
-    for (size_t r = 0; r < build_rows_.NumRows(); ++r) {
-      if (AnyNullKey(build_rows_, spec_.build_keys, r)) continue;
-      uint64_t h = 0x9b97;
-      for (uint32_t k : spec_.build_keys)
-        h = HashCombine(h, build_rows_.columns[k].HashEntry(r));
-      spec_.sip->key_hashes.insert(h);
+    for (size_t r = 0; r < n; ++r) {
+      if (null_key_buf_[r]) continue;
+      spec_.sip->key_hashes.Insert(hash_buf_[r]);
       if (single_int_key) {
         int64_t v = build_rows_.columns[spec_.build_keys[0]].ints[r];
         if (first) {
@@ -201,25 +205,48 @@ Status HashJoinOperator::GetNext(RowBlock* out) {
     std::vector<uint32_t> probe_idx, build_idx;  // matched pairs
     std::vector<uint32_t> lonely_probe;          // unmatched probe rows
     size_t n = probe_block_.NumRows();
+    // Hash the whole probe block once, then resolve every row's chain head
+    // in one batched probe pass; the per-row loop only walks candidates.
+    HashRows(probe_block_, spec_.probe_keys, kGroupKeySeed, &hash_buf_);
+    NullKeyMask(probe_block_, spec_.probe_keys, &null_key_buf_);
+    head_buf_.resize(n);
+    index_.ProbeBatch(hash_buf_.data(), n, head_buf_.data());
+    // Single int-class key fast path: candidates reached via the chain have
+    // non-NULL build keys (NULL-key rows are unlinked) and the probe row's
+    // key is non-NULL when we get here, so raw value compare suffices.
+    const int64_t* probe_ints = nullptr;
+    const int64_t* build_ints = nullptr;
+    if (spec_.probe_keys.size() == 1 &&
+        StorageClassOf(probe_block_.columns[spec_.probe_keys[0]].type) ==
+            StorageClass::kInt64 &&
+        StorageClassOf(build_rows_.columns[spec_.build_keys[0]].type) ==
+            StorageClass::kInt64) {
+      probe_ints = probe_block_.columns[spec_.probe_keys[0]].ints.data();
+      build_ints = build_rows_.columns[spec_.build_keys[0]].ints.data();
+    }
     for (size_t r = 0; r < n; ++r) {
       size_t matches = 0;
-      if (!AnyNullKey(probe_block_, spec_.probe_keys, r)) {
-        uint64_t h = HashGroupKey(probe_block_, spec_.probe_keys, r);
-        auto [lo, hi] = index_.equal_range(h);
-        for (auto it = lo; it != hi; ++it) {
-          bool eq = true;
-          for (size_t k = 0; k < spec_.probe_keys.size() && eq; ++k) {
-            eq = ColumnVector::CompareEntries(
-                     probe_block_.columns[spec_.probe_keys[k]], r,
-                     build_rows_.columns[spec_.build_keys[k]], it->second) == 0;
+      if (!null_key_buf_[r]) {
+        for (uint32_t e = head_buf_[r]; e != FlatHashTable::kNone;
+             e = index_.Next(e)) {
+          bool eq;
+          if (probe_ints) {
+            eq = probe_ints[r] == build_ints[e];
+          } else {
+            eq = true;
+            for (size_t k = 0; k < spec_.probe_keys.size() && eq; ++k) {
+              eq = ColumnVector::CompareEntries(
+                       probe_block_.columns[spec_.probe_keys[k]], r,
+                       build_rows_.columns[spec_.build_keys[k]], e) == 0;
+            }
           }
           if (!eq) continue;
           ++matches;
-          build_matched_[it->second] = 1;
+          build_matched_[e] = 1;
           if (spec_.type == JoinType::kSemi || spec_.type == JoinType::kAnti) break;
           if (build_output) {
             probe_idx.push_back(static_cast<uint32_t>(r));
-            build_idx.push_back(it->second);
+            build_idx.push_back(e);
           }
         }
       }

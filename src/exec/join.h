@@ -13,8 +13,7 @@
 #ifndef STRATICA_EXEC_JOIN_H_
 #define STRATICA_EXEC_JOIN_H_
 
-#include <unordered_map>
-
+#include "exec/hash_table.h"
 #include "exec/operator.h"
 #include "exec/scan.h"
 #include "exec/simple_ops.h"
@@ -58,9 +57,13 @@ class HashJoinOperator : public Operator {
   ExecContext* ctx_ = nullptr;
 
   RowBlock build_rows_;
-  std::unordered_multimap<uint64_t, uint32_t> index_;
+  /// Entry id == build_rows_ row index; NULL-key rows are unlinked entries.
+  FlatHashTable index_;
   std::vector<uint8_t> build_matched_;
   size_t build_bytes_ = 0;
+  std::vector<uint64_t> hash_buf_;  // batched key hashes (build + probe)
+  std::vector<uint32_t> head_buf_;  // batched probe chain heads
+  std::vector<uint8_t> null_key_buf_;
 
   RowBlock probe_block_;
   size_t probe_cursor_ = 0;

@@ -54,10 +54,24 @@ std::vector<std::vector<ScanRegion>> PlanScanRegions(const StorageSnapshot& snap
                                                      size_t k) {
   if (k == 0) k = 1;
   // Split every container into ~k block ranges, then deal ranges round-robin
-  // so each worker touches a balanced share of every container.
+  // so each worker touches a balanced share of every container — one large
+  // container still spreads across all k workers (Section 3.5: runtime
+  // division into logical regions, no physical sub-partitioning).
   std::vector<ScanRegion> all;
   for (const auto& c : snap.ros) {
-    all.push_back({c, 0, SIZE_MAX});
+    size_t num_blocks = c->columns.empty() ? 0 : c->columns[0].meta.blocks.size();
+    if (num_blocks <= 1 || k == 1) {
+      all.push_back({c, 0, SIZE_MAX});
+      continue;
+    }
+    size_t pieces = std::min(k, num_blocks);
+    size_t per = num_blocks / pieces, extra = num_blocks % pieces;
+    size_t lo = 0;
+    for (size_t p = 0; p < pieces; ++p) {
+      size_t take = per + (p < extra ? 1 : 0);
+      all.push_back({c, lo, lo + take});
+      lo += take;
+    }
   }
   std::vector<std::vector<ScanRegion>> out(k);
   for (size_t i = 0; i < all.size(); ++i) out[i % k].push_back(all[i]);
@@ -182,6 +196,9 @@ Status ScanOperator::FilterBlock(Source* src, RowBlock* block, uint64_t row_star
   if (any_sip_ready) {
     uint64_t before = 0, after = 0;
     for (uint8_t s : sel) before += s;
+    // Nothing above the SIPs filtered rows yet => sel is still all-ones and
+    // the dense batched-membership path applies (until a SIP dirties it).
+    bool sel_dense = before == sel.size();
     for (const auto& sip : spec_.sips) {
       if (!sip->ready.load(std::memory_order_acquire)) continue;
       if (sip->has_range && sip->probe_columns.size() == 1) {
@@ -190,17 +207,33 @@ Status ScanOperator::FilterBlock(Source* src, RowBlock* block, uint64_t row_star
           if (sel[i] && (col.IsNull(i) || col.ints[i] < sip->min || col.ints[i] > sip->max))
             sel[i] = 0;
         }
+        sel_dense = false;
       }
-      for (size_t i = 0; i < sel.size(); ++i) {
-        if (!sel[i]) continue;
-        uint64_t h = 0x9b97;
-        bool null_key = false;
-        for (int c : sip->probe_columns) {
-          null_key |= block->columns[c].IsNull(i);
-          h = HashCombine(h, block->columns[c].HashEntry(i));
+      // Batch-hash the probe key columns for the rows still selected (the
+      // range prune above often kills most of a block), then resolve
+      // membership; rows with a NULL key never join.
+      size_t n = sel.size();
+      sip_cols_.assign(sip->probe_columns.begin(), sip->probe_columns.end());
+      HashRowsMasked(*block, sip_cols_, kSipSeed, sel.data(), &hash_buf_);
+      bool any_nulls = false;
+      for (uint32_t c : sip_cols_) any_nulls |= !block->columns[c].nulls.empty();
+      if (any_nulls) {  // 1 in hit_buf_ = NULL key, which never joins
+        NullKeyMask(*block, sip_cols_, &null_buf_);
+        for (size_t i = 0; i < n; ++i) {
+          if (!sel[i]) continue;
+          if (null_buf_[i] || !sip->key_hashes.Contains(hash_buf_[i])) sel[i] = 0;
         }
-        if (null_key || !sip->key_hashes.count(h)) sel[i] = 0;
+      } else if (sel_dense) {
+        // Every row probes: batched membership with home-slot prefetch.
+        hit_buf_.resize(n);
+        sip->key_hashes.ContainsBatch(hash_buf_.data(), n, hit_buf_.data());
+        for (size_t i = 0; i < n; ++i) sel[i] &= hit_buf_[i];
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (sel[i] && !sip->key_hashes.Contains(hash_buf_[i])) sel[i] = 0;
+        }
       }
+      sel_dense = false;  // this SIP may have zeroed rows
     }
     for (uint8_t s : sel) after += s;
     if (ctx_->stats) ctx_->stats->rows_sip_filtered.fetch_add(before - after);

@@ -15,8 +15,8 @@
 
 #include <atomic>
 #include <memory>
-#include <unordered_set>
 
+#include "exec/hash_table.h"
 #include "exec/operator.h"
 #include "expr/expr.h"
 #include "storage/projection_storage.h"
@@ -30,7 +30,7 @@ namespace stratica {
 struct SipFilter {
   std::vector<int> probe_columns;  ///< Key columns, as scan-output indexes.
   std::atomic<bool> ready{false};
-  std::unordered_set<uint64_t> key_hashes;
+  FlatHashSet key_hashes;  ///< Build-side key hashes (seed kSipSeed).
   bool has_range = false;  ///< Min/max fast path for single int-class keys.
   int64_t min = 0, max = 0;
 };
@@ -101,6 +101,12 @@ class ScanOperator : public Operator {
   std::vector<std::unique_ptr<Source>> sources_;
   size_t current_source_ = 0;
   bool merge_mode_ = false;
+
+  // Scratch for batched SIP filtering (reused across blocks).
+  std::vector<uint32_t> sip_cols_;
+  std::vector<uint64_t> hash_buf_;
+  std::vector<uint8_t> hit_buf_;
+  std::vector<uint8_t> null_buf_;
 };
 
 /// Partition a snapshot's containers into `k` balanced region lists for

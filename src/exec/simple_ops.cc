@@ -42,12 +42,11 @@ Result<RowBlock> DrainOperator(Operator* op, ExecContext* ctx) {
 
 Status MaterializedOperator::GetNext(RowBlock* out) {
   *out = RowBlock(OutputTypes());
-  size_t n = block_.NumRows();
+  const RowBlock& rows = Rows();
+  size_t n = rows.NumRows();
   if (cursor_ >= n) return Status::OK();
   size_t take = std::min(ctx_->vector_size, n - cursor_);
-  RowBlock flat = block_;
-  flat.DecodeAll();
-  for (size_t r = 0; r < take; ++r) out->AppendRowFrom(flat, cursor_ + r);
+  for (size_t r = 0; r < take; ++r) out->AppendRowFrom(rows, cursor_ + r);
   cursor_ += take;
   return Status::OK();
 }

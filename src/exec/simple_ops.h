@@ -20,6 +20,16 @@ class MaterializedOperator : public Operator {
   Status Open(ExecContext* ctx) override {
     ctx_ = ctx;
     cursor_ = 0;
+    // Decode once at first Open — and only if any column is actually RLE,
+    // so a flat materialized table isn't held in memory twice.
+    if (flat_.columns.empty()) {
+      bool any_rle = false;
+      for (const auto& c : block_.columns) any_rle |= c.IsRle();
+      if (any_rle) {
+        flat_ = block_;
+        flat_.DecodeAll();
+      }
+    }
     return Status::OK();
   }
   Status GetNext(RowBlock* out) override;
@@ -33,7 +43,12 @@ class MaterializedOperator : public Operator {
   std::string DebugString() const override { return "Materialized"; }
 
  private:
+  /// Rows to serve: flat_ when block_ needed RLE decoding, block_ itself
+  /// otherwise (no duplicate copy of already-flat data).
+  const RowBlock& Rows() const { return flat_.columns.empty() ? block_ : flat_; }
+
   RowBlock block_;
+  RowBlock flat_;  ///< decoded copy, only populated when block_ has RLE columns
   std::vector<std::string> names_;
   ExecContext* ctx_ = nullptr;
   size_t cursor_ = 0;

@@ -14,14 +14,24 @@ namespace stratica {
 
 namespace {
 
-// Merge two null maps: result is null where either input is.
-std::vector<uint8_t> UnionNulls(const ColumnVector& a, const ColumnVector& b) {
+// Physical index stride for broadcasting: a size-1 vector (e.g. a scalar
+// subexpression) is read at index 0 for every logical row, larger vectors
+// advance row by row. Prevents the out-of-bounds reads the old
+// `max(l, r)`-sized loops performed on mixed-size operands.
+inline size_t BroadcastStride(const ColumnVector& v, size_t n) {
+  return (n > 1 && v.PhysicalSize() == 1) ? 0 : 1;
+}
+
+// Merge two null maps: result is null where either input is (size-1 inputs
+// broadcast).
+std::vector<uint8_t> UnionNulls(const ColumnVector& a, const ColumnVector& b,
+                                size_t n) {
   if (a.nulls.empty() && b.nulls.empty()) return {};
-  size_t n = std::max(a.PhysicalSize(), b.PhysicalSize());
+  size_t sa = BroadcastStride(a, n), sb = BroadcastStride(b, n);
   std::vector<uint8_t> out(n, 0);
   for (size_t i = 0; i < n; ++i) {
-    bool an = !a.nulls.empty() && a.nulls[i];
-    bool bn = !b.nulls.empty() && b.nulls[i];
+    bool an = !a.nulls.empty() && a.nulls[i * sa];
+    bool bn = !b.nulls.empty() && b.nulls[i * sb];
     out[i] = (an || bn) ? 1 : 0;
   }
   return out;
@@ -76,26 +86,29 @@ Status EvalCompare(const Expr& e, const RowBlock& input, ColumnVector* out) {
   STRATICA_RETURN_NOT_OK(EvalExpr(*e.children[1], input, &r));
   out->Clear();
   out->type = TypeId::kBool;
-  out->nulls = UnionNulls(l, r);
   bool as_double = StorageClassOf(l.type) == StorageClass::kFloat64 ||
                    StorageClassOf(r.type) == StorageClass::kFloat64;
   size_t n = std::max(l.PhysicalSize(), r.PhysicalSize());
+  out->nulls = UnionNulls(l, r, n);
+  size_t ls = BroadcastStride(l, n), rs = BroadcastStride(r, n);
   out->ints.resize(n);
   auto emit = [&](auto op) {
     if (StorageClassOf(l.type) == StorageClass::kString) {
-      for (size_t i = 0; i < n; ++i) out->ints[i] = op(l.strings[i], r.strings[i]) ? 1 : 0;
+      for (size_t i = 0; i < n; ++i)
+        out->ints[i] = op(l.strings[i * ls], r.strings[i * rs]) ? 1 : 0;
     } else if (as_double) {
       for (size_t i = 0; i < n; ++i) {
         double x = StorageClassOf(l.type) == StorageClass::kFloat64
-                       ? l.doubles[i]
-                       : static_cast<double>(l.ints[i]);
+                       ? l.doubles[i * ls]
+                       : static_cast<double>(l.ints[i * ls]);
         double y = StorageClassOf(r.type) == StorageClass::kFloat64
-                       ? r.doubles[i]
-                       : static_cast<double>(r.ints[i]);
+                       ? r.doubles[i * rs]
+                       : static_cast<double>(r.ints[i * rs]);
         out->ints[i] = op(x, y) ? 1 : 0;
       }
     } else {
-      for (size_t i = 0; i < n; ++i) out->ints[i] = op(l.ints[i], r.ints[i]) ? 1 : 0;
+      for (size_t i = 0; i < n; ++i)
+        out->ints[i] = op(l.ints[i * ls], r.ints[i * rs]) ? 1 : 0;
     }
   };
   switch (e.cmp) {
@@ -115,8 +128,9 @@ Status EvalArith(const Expr& e, const RowBlock& input, ColumnVector* out) {
   STRATICA_RETURN_NOT_OK(EvalExpr(*e.children[1], input, &r));
   out->Clear();
   out->type = e.type;
-  out->nulls = UnionNulls(l, r);
   size_t n = std::max(l.PhysicalSize(), r.PhysicalSize());
+  out->nulls = UnionNulls(l, r, n);
+  size_t ls = BroadcastStride(l, n), rs = BroadcastStride(r, n);
   if (e.type == TypeId::kFloat64) {
     out->doubles.resize(n);
     auto get = [](const ColumnVector& v, size_t i) {
@@ -125,7 +139,7 @@ Status EvalArith(const Expr& e, const RowBlock& input, ColumnVector* out) {
                  : static_cast<double>(v.ints[i]);
     };
     for (size_t i = 0; i < n; ++i) {
-      double x = get(l, i), y = get(r, i);
+      double x = get(l, i * ls), y = get(r, i * rs);
       double res = 0;
       switch (e.arith) {
         case ArithOp::kAdd: res = x + y; break;
@@ -146,7 +160,7 @@ Status EvalArith(const Expr& e, const RowBlock& input, ColumnVector* out) {
   } else {
     out->ints.resize(n);
     for (size_t i = 0; i < n; ++i) {
-      int64_t x = l.ints[i], y = r.ints[i];
+      int64_t x = l.ints[i * ls], y = r.ints[i * rs];
       int64_t res = 0;
       switch (e.arith) {
         case ArithOp::kAdd: res = x + y; break;
@@ -182,13 +196,15 @@ Status EvalLogical(const Expr& e, const RowBlock& input, ColumnVector* out) {
   }
   ColumnVector r;
   STRATICA_RETURN_NOT_OK(EvalExpr(*e.children[1], input, &r));
+  n = std::max(l.PhysicalSize(), r.PhysicalSize());
+  size_t ls = BroadcastStride(l, n), rs = BroadcastStride(r, n);
   out->ints.resize(n);
   // Kleene three-valued logic: UNKNOWN handled via null maps.
   out->nulls.assign(n, 0);
   bool any_null = false;
   for (size_t i = 0; i < n; ++i) {
-    int lv = l.IsNull(i) ? -1 : (l.ints[i] ? 1 : 0);
-    int rv = r.IsNull(i) ? -1 : (r.ints[i] ? 1 : 0);
+    int lv = l.IsNull(i * ls) ? -1 : (l.ints[i * ls] ? 1 : 0);
+    int rv = r.IsNull(i * rs) ? -1 : (r.ints[i * rs] ? 1 : 0);
     int res;
     if (e.logic == LogicalOp::kAnd) {
       res = (lv == 0 || rv == 0) ? 0 : ((lv == 1 && rv == 1) ? 1 : -1);
@@ -436,13 +452,17 @@ Status EvalPredicate(const Expr& e, const RowBlock& input, std::vector<uint8_t>*
       }
     }
   }
-  // Fast path: conjunction — AND the children's selections.
+  // Fast path: conjunction — AND the children's selections (a size-1 side,
+  // from an all-scalar subpredicate, broadcasts).
   if (e.kind == ExprKind::kLogical && e.logic == LogicalOp::kAnd) {
     std::vector<uint8_t> left, right;
     STRATICA_RETURN_NOT_OK(EvalPredicate(*e.children[0], input, &left));
     STRATICA_RETURN_NOT_OK(EvalPredicate(*e.children[1], input, &right));
-    sel->resize(left.size());
-    for (size_t i = 0; i < left.size(); ++i) (*sel)[i] = left[i] & right[i];
+    size_t n = std::max(left.size(), right.size());
+    size_t ls = (n > 1 && left.size() == 1) ? 0 : 1;
+    size_t rs = (n > 1 && right.size() == 1) ? 0 : 1;
+    sel->resize(n);
+    for (size_t i = 0; i < n; ++i) (*sel)[i] = left[i * ls] & right[i * rs];
     return Status::OK();
   }
   // General path.

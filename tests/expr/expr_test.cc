@@ -220,6 +220,51 @@ TEST(ExprTest, CollectColumnsFindsAllRefs) {
   EXPECT_EQ(cols, (std::vector<int>{0, 3}));
 }
 
+TEST(ExprTest, ScalarOperandsBroadcastInCompareAndArith) {
+  // A size-1 operand (scalar subexpression) must broadcast against a
+  // size-n operand instead of being indexed out of bounds.
+  RowBlock block({TypeId::kInt64, TypeId::kInt64});
+  block.columns[0].ints = {1, 2, 3, 4, 5};
+  block.columns[1].ints = {3};  // scalar: physical size 1
+
+  auto cmp = Cmp(CompareOp::kGe, ColIdx(0, TypeId::kInt64), ColIdx(1, TypeId::kInt64));
+  cmp->type = TypeId::kBool;
+  ColumnVector out;
+  ASSERT_TRUE(EvalExpr(*cmp, block, &out).ok());
+  ASSERT_EQ(out.ints.size(), 5u);
+  EXPECT_EQ(out.ints, (std::vector<int64_t>{0, 0, 1, 1, 1}));
+
+  auto arith = Arith(ArithOp::kMul, ColIdx(0, TypeId::kInt64), ColIdx(1, TypeId::kInt64));
+  arith->type = TypeId::kInt64;
+  ASSERT_TRUE(EvalExpr(*arith, block, &out).ok());
+  ASSERT_EQ(out.ints.size(), 5u);
+  EXPECT_EQ(out.ints, (std::vector<int64_t>{3, 6, 9, 12, 15}));
+
+  // Logical AND with an all-scalar side (both operands size-1, so the
+  // compare evaluates to a size-1 vector) broadcasts, both through
+  // EvalExpr and the EvalPredicate conjunction fast path.
+  auto scalar_true = Cmp(CompareOp::kEq, ColIdx(1, TypeId::kInt64),
+                         ColIdx(1, TypeId::kInt64));
+  scalar_true->type = TypeId::kBool;
+  auto conj = And(Cmp(CompareOp::kGe, ColIdx(0, TypeId::kInt64),
+                      Lit(Value::Int64(3))),
+                  std::move(scalar_true));
+  conj->type = TypeId::kBool;
+  conj->children[0]->type = TypeId::kBool;
+  ASSERT_TRUE(EvalExpr(*conj, block, &out).ok());
+  ASSERT_EQ(out.ints.size(), 5u);
+  EXPECT_EQ(out.ints, (std::vector<int64_t>{0, 0, 1, 1, 1}));
+  std::vector<uint8_t> sel;
+  ASSERT_TRUE(EvalPredicate(*conj, block, &sel).ok());
+  EXPECT_EQ(sel, (std::vector<uint8_t>{0, 0, 1, 1, 1}));
+
+  // NULL maps broadcast too: a null scalar nullifies every row.
+  block.columns[1].nulls = {1};
+  ASSERT_TRUE(EvalExpr(*arith, block, &out).ok());
+  ASSERT_EQ(out.nulls.size(), 5u);
+  for (uint8_t nb : out.nulls) EXPECT_EQ(nb, 1);
+}
+
 TEST(ExprTest, DateParsingAndFormatting) {
   auto d = ParseDate("2012-08-21");
   ASSERT_TRUE(d.ok());
