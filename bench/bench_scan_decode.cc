@@ -1,0 +1,110 @@
+// Late-materialization scan ablation (Section 6.1, DESIGN.md §7).
+//
+// Sweeps predicate selectivity from 0.01% to 100% over a projection with
+// one filter column and three payload columns (int, float, string), and
+// runs each point both ways: late materialization (payload columns decoded
+// only for surviving rows) versus eager decode (every column of every block
+// decoded before filtering — the legacy behavior, kept behind
+// ScanSpec::eager_decode). The string payload is where eager decode bleeds:
+// every unselected row still heap-allocates a std::string.
+#include <benchmark/benchmark.h>
+
+#include "api/database.h"
+#include "common/rng.h"
+#include "exec/scan.h"
+#include "exec/simple_ops.h"
+
+namespace stratica {
+namespace {
+
+constexpr int64_t kRows = 4000000;
+constexpr int64_t kKeySpace = 1000000;  // k uniform in [0, kKeySpace)
+
+struct Fixture {
+  Fixture() {
+    DatabaseOptions opts;
+    opts.num_nodes = 1;
+    opts.local_segments_per_node = 1;
+    db = std::make_unique<Database>(opts);
+    (void)db->Execute(
+        "CREATE TABLE fact (k INT, a INT, f FLOAT, s VARCHAR)");
+    RowBlock rows(
+        {TypeId::kInt64, TypeId::kInt64, TypeId::kFloat64, TypeId::kString});
+    Rng rng(17);
+    for (int64_t i = 0; i < kRows; ++i) {
+      rows.columns[0].ints.push_back(rng.Range(0, kKeySpace - 1));
+      rows.columns[1].ints.push_back(rng.Range(0, 1 << 20));
+      rows.columns[2].doubles.push_back(rng.NextDouble());
+      rows.columns[3].strings.push_back("payload-" + std::to_string(rng.Uniform(100000)));
+    }
+    (void)db->Load("fact", rows, true);
+    (void)db->RunTupleMover();
+    ps = db->cluster()->node(0)->GetStorage("fact_super");
+  }
+  std::unique_ptr<Database> db;
+  ProjectionStorage* ps;
+};
+
+Fixture& GetFixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_ScanDecode(benchmark::State& state) {
+  auto& f = GetFixture();
+  int64_t sel_ppm = state.range(0);  // selectivity in parts per million
+  bool eager = state.range(1) != 0;
+  int64_t threshold = kKeySpace * sel_ppm / 1000000;
+
+  uint64_t rows_out = 0;
+  for (auto _ : state) {
+    ExecContext ctx = f.db->MakeExecContext();
+    ScanSpec spec;
+    spec.storage = f.ps;
+    spec.projection_columns = {0, 1, 2, 3};
+    spec.output_names = {"k", "a", "f", "s"};
+    spec.output_types = {TypeId::kInt64, TypeId::kInt64, TypeId::kFloat64,
+                         TypeId::kString};
+    spec.eager_decode = eager;
+    auto pred = Cmp(CompareOp::kLt, Col("k"), Lit(Value::Int64(threshold)));
+    BindSchema schema;
+    schema.Add("k", TypeId::kInt64);
+    schema.Add("a", TypeId::kInt64);
+    schema.Add("f", TypeId::kFloat64);
+    schema.Add("s", TypeId::kString);
+    if (!BindExpr(pred, schema).ok()) {
+      state.SkipWithError("bind failed");
+      return;
+    }
+    spec.predicate = pred;
+    ScanOperator scan(spec);
+    auto rows = DrainOperator(&scan, &ctx);
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    rows_out = rows.value().NumRows();
+    benchmark::DoNotOptimize(rows_out);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);  // scanned rows/sec
+  state.SetLabel("sel=" + std::to_string(sel_ppm / 10000.0) + "%/" +
+                 (eager ? "eager" : "late") + "/rows_out=" +
+                 std::to_string(rows_out));
+}
+
+BENCHMARK(BM_ScanDecode)
+    ->ArgNames({"ppm", "eager"})
+    ->Args({100, 0})       // 0.01%
+    ->Args({100, 1})
+    ->Args({10000, 0})     // 1%
+    ->Args({10000, 1})
+    ->Args({100000, 0})    // 10%
+    ->Args({100000, 1})
+    ->Args({1000000, 0})   // 100%
+    ->Args({1000000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stratica
+
+BENCHMARK_MAIN();

@@ -108,6 +108,33 @@ class BitPacker {
   std::string bytes_;
 };
 
+/// Bytes a BitPacker emits for `count` values of `width` bits.
+inline size_t PackedBytes(size_t count, int width) {
+  return (count * static_cast<size_t>(width) + 7) / 8;
+}
+
+/// Random-access read of the value at bit offset `bit_off` in a BitPacker
+/// stream (LSB-first within bytes). `base` points at the first packed byte;
+/// the caller guarantees the stream holds at least bit_off + width bits.
+/// Values wider than 32 bits are stored by BitPacker as (low 32, high rest)
+/// which is bit-identical to one contiguous LSB-first field, so a single
+/// read suffices for any width up to 64.
+inline uint64_t ReadPackedBits(const char* base, size_t bit_off, int width) {
+  uint64_t result = 0;
+  int got = 0;
+  size_t byte = bit_off >> 3;
+  int skip = static_cast<int>(bit_off & 7);
+  while (got < width) {
+    uint64_t b = static_cast<uint8_t>(base[byte]) >> skip;
+    result |= b << got;
+    got += 8 - skip;
+    ++byte;
+    skip = 0;
+  }
+  if (width < 64) result &= (1ULL << width) - 1;
+  return result;
+}
+
 /// \brief Reads values written by BitPacker.
 class BitUnpacker {
  public:

@@ -8,6 +8,13 @@ namespace stratica {
 
 namespace stdfs = std::filesystem;
 
+Status FileSystem::ReadRangeInto(const std::string& path, uint64_t offset,
+                                 uint64_t length, std::string* out) const {
+  STRATICA_ASSIGN_OR_RETURN(std::string data, ReadRange(path, offset, length));
+  *out = std::move(data);
+  return Status::OK();
+}
+
 Result<uint64_t> FileSystem::TotalSize(const std::string& prefix) const {
   STRATICA_ASSIGN_OR_RETURN(std::vector<std::string> names, List(prefix));
   uint64_t total = 0;
@@ -42,6 +49,18 @@ Result<std::string> MemFileSystem::ReadRange(const std::string& path, uint64_t o
   const std::string& data = *it->second;
   if (offset > data.size()) return Status::IoError("read past EOF: ", path);
   return data.substr(offset, length);
+}
+
+Status MemFileSystem::ReadRangeInto(const std::string& path, uint64_t offset,
+                                    uint64_t length, std::string* out) const {
+  std::shared_lock lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: ", path);
+  const std::string& data = *it->second;
+  if (offset > data.size()) return Status::IoError("read past EOF: ", path);
+  size_t n = std::min<uint64_t>(length, data.size() - offset);
+  out->assign(data.data() + offset, n);  // reuses the buffer's capacity
+  return Status::OK();
 }
 
 Result<uint64_t> MemFileSystem::FileSize(const std::string& path) const {
@@ -125,6 +144,17 @@ Result<std::string> LocalFileSystem::ReadRange(const std::string& path, uint64_t
   in.read(data.data(), static_cast<std::streamsize>(length));
   data.resize(static_cast<size_t>(in.gcount()));
   return data;
+}
+
+Status LocalFileSystem::ReadRangeInto(const std::string& path, uint64_t offset,
+                                      uint64_t length, std::string* out) const {
+  std::ifstream in(Absolute(path), std::ios::binary);
+  if (!in) return Status::NotFound("no such file: ", path);
+  in.seekg(static_cast<std::streamoff>(offset));
+  out->resize(static_cast<size_t>(length));  // keeps existing capacity
+  in.read(out->data(), static_cast<std::streamsize>(length));
+  out->resize(static_cast<size_t>(in.gcount()));
+  return Status::OK();
 }
 
 Result<uint64_t> LocalFileSystem::FileSize(const std::string& path) const {

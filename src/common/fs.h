@@ -39,6 +39,12 @@ class FileSystem {
   virtual Result<std::string> ReadRange(const std::string& path, uint64_t offset,
                                         uint64_t length) const = 0;
 
+  /// Like ReadRange, but fills a caller-owned buffer so hot read loops
+  /// (block scans) can reuse one allocation. Implementations overwrite
+  /// `*out` (capacity is reused). The default adapter copies via ReadRange.
+  virtual Status ReadRangeInto(const std::string& path, uint64_t offset,
+                               uint64_t length, std::string* out) const;
+
   virtual Result<uint64_t> FileSize(const std::string& path) const = 0;
   virtual bool Exists(const std::string& path) const = 0;
   virtual Status Delete(const std::string& path) = 0;
@@ -62,6 +68,8 @@ class MemFileSystem : public FileSystem {
   Result<std::string> ReadFile(const std::string& path) const override;
   Result<std::string> ReadRange(const std::string& path, uint64_t offset,
                                 uint64_t length) const override;
+  Status ReadRangeInto(const std::string& path, uint64_t offset, uint64_t length,
+                       std::string* out) const override;
   Result<uint64_t> FileSize(const std::string& path) const override;
   bool Exists(const std::string& path) const override;
   Status Delete(const std::string& path) override;
@@ -84,6 +92,8 @@ class LocalFileSystem : public FileSystem {
   Result<std::string> ReadFile(const std::string& path) const override;
   Result<std::string> ReadRange(const std::string& path, uint64_t offset,
                                 uint64_t length) const override;
+  Status ReadRangeInto(const std::string& path, uint64_t offset, uint64_t length,
+                       std::string* out) const override;
   Result<uint64_t> FileSize(const std::string& path) const override;
   bool Exists(const std::string& path) const override;
   Status Delete(const std::string& path) override;

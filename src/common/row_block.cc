@@ -56,6 +56,34 @@ void ColumnVector::AppendRunFrom(const ColumnVector& src, size_t phys, uint32_t 
   if (!runs.empty()) runs.push_back(n);
 }
 
+void ColumnVector::AppendRange(const ColumnVector& src, size_t start, size_t count) {
+  if (count == 0) return;
+  size_t before = PhysicalSize();
+  switch (StorageClassOf(type)) {
+    case StorageClass::kInt64:
+      ints.insert(ints.end(), src.ints.begin() + start, src.ints.begin() + start + count);
+      break;
+    case StorageClass::kFloat64:
+      doubles.insert(doubles.end(), src.doubles.begin() + start,
+                     src.doubles.begin() + start + count);
+      break;
+    case StorageClass::kString:
+      strings.insert(strings.end(), src.strings.begin() + start,
+                     src.strings.begin() + start + count);
+      break;
+  }
+  if (!src.nulls.empty() || !nulls.empty()) {
+    if (nulls.empty()) nulls.assign(before, 0);
+    if (src.nulls.empty()) {
+      nulls.resize(before + count, 0);
+    } else {
+      nulls.insert(nulls.end(), src.nulls.begin() + start,
+                   src.nulls.begin() + start + count);
+    }
+  }
+  if (!runs.empty()) runs.resize(runs.size() + count, 1);
+}
+
 Value ColumnVector::GetValue(size_t phys) const {
   if (IsNull(phys)) return Value::Null(type);
   switch (StorageClassOf(type)) {

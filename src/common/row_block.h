@@ -71,6 +71,10 @@ struct ColumnVector {
   /// if this vector already uses runs or n > 1).
   void AppendRunFrom(const ColumnVector& src, size_t phys, uint32_t n);
 
+  /// Bulk-append physical entries [start, start+count) of a flat `src` (the
+  /// vectorized counterpart of a per-row AppendFrom loop).
+  void AppendRange(const ColumnVector& src, size_t start, size_t count);
+
   /// Scalar accessor by physical index (slow path).
   Value GetValue(size_t phys) const;
 

@@ -26,6 +26,15 @@ struct ExecStats {
   std::atomic<uint64_t> blocks_pruned{0};      ///< position-index min/max pruning
   std::atomic<uint64_t> containers_pruned{0};  ///< container/partition pruning
   std::atomic<uint64_t> rows_sip_filtered{0};  ///< removed by SIP at the scan
+  /// Physical values materialized for payload (non-filter) columns by the
+  /// late-materialization scan — one count per column per row decoded, so a
+  /// selective scan reports ≈ rows_selected × payload_columns, not
+  /// rows_scanned × payload_columns (DESIGN.md §7).
+  std::atomic<uint64_t> rows_decoded{0};
+  /// Encoded bytes of payload-column blocks never read because the block's
+  /// selection came back empty (zero I/O, zero decode).
+  std::atomic<uint64_t> payload_bytes_skipped{0};
+  std::atomic<uint64_t> bytes_read{0};         ///< encoded bytes fetched by scans
   std::atomic<uint64_t> rows_spilled{0};
   std::atomic<uint64_t> spill_files{0};
   std::atomic<uint64_t> prepass_disabled{0};   ///< runtime prepass shutoffs

@@ -24,6 +24,17 @@ bool RangeMayMatch(const Value& min, const Value& max, CompareOp op, const Value
   return true;
 }
 
+/// Rebind a cloned predicate's column references from scan-output space into
+/// filter-view space (every referenced column is in the view by
+/// construction).
+void RemapColumnRefs(Expr* e, const std::vector<int>& pos) {
+  if (e->kind == ExprKind::kColumnRef && e->column_index >= 0 &&
+      e->column_index < static_cast<int>(pos.size())) {
+    e->column_index = pos[e->column_index];
+  }
+  for (auto& c : e->children) RemapColumnRefs(c.get(), pos);
+}
+
 }  // namespace
 
 /// One stream of filtered blocks: a container region or the WOS.
@@ -119,16 +130,27 @@ Status ScanOperator::OpenWosSource() {
   src->is_wos = true;
   RowBlock rows(spec_.output_types);
   // Gather visible WOS rows (restricted to the scanned columns), applying
-  // delete vectors by global WOS position.
+  // delete vectors in one merged pass over the sorted position list: copy
+  // the contiguous keep-segments between deleted positions wholesale.
   auto wos_deleted = snap_.deletes.DeletedPositions(kWosTargetId);
   for (const auto& chunk : snap_.wos) {
-    for (size_t r = 0; r < chunk->NumRows(); ++r) {
-      uint64_t pos = chunk->start_pos + r;
-      if (std::binary_search(wos_deleted.begin(), wos_deleted.end(), pos)) continue;
+    size_t nrows = chunk->NumRows();
+    uint64_t start = chunk->start_pos;
+    auto append_segment = [&](size_t from, size_t to) {
+      if (to <= from) return;
       for (size_t c = 0; c < spec_.projection_columns.size(); ++c) {
-        rows.columns[c].AppendFrom(chunk->rows.columns[spec_.projection_columns[c]], r);
+        rows.columns[c].AppendRange(chunk->rows.columns[spec_.projection_columns[c]],
+                                    from, to - from);
       }
+    };
+    size_t keep_from = 0;
+    for (auto it = std::lower_bound(wos_deleted.begin(), wos_deleted.end(), start);
+         it != wos_deleted.end() && *it < start + nrows; ++it) {
+      size_t local = static_cast<size_t>(*it - start);
+      append_segment(keep_from, local);
+      keep_from = local + 1;
     }
+    append_segment(keep_from, nrows);
   }
   if (spec_.sorted_output && !spec_.sort_key_outputs.empty()) {
     auto perm = ComputeSortPermutation(rows, spec_.sort_key_outputs);
@@ -154,121 +176,205 @@ Status ScanOperator::Open(ExecContext* ctx) {
     STRATICA_RETURN_NOT_OK(OpenWosSource());
   }
   merge_mode_ = spec_.sorted_output && sources_.size() > 1;
+
+  // Build the filter view: the output columns the selection vector depends
+  // on (predicate + SIP probe columns; prune bounds only touch metadata).
+  size_t ncols = spec_.output_types.size();
+  std::vector<char> needed(ncols, 0);
+  if (spec_.predicate) {
+    std::vector<int> cols;
+    CollectColumns(*spec_.predicate, &cols);
+    for (int c : cols) {
+      if (c >= 0 && c < static_cast<int>(ncols)) needed[c] = 1;
+    }
+  }
+  for (const auto& sip : spec_.sips) {
+    for (int c : sip->probe_columns) {
+      if (c >= 0 && c < static_cast<int>(ncols)) needed[c] = 1;
+    }
+  }
+  // A predicate with no column references (e.g. a constant) still needs one
+  // real column in the view so literal operands broadcast to the block size.
+  if (spec_.predicate && ncols > 0) {
+    bool any = false;
+    for (char c : needed) any |= c != 0;
+    if (!any) needed[0] = 1;
+  }
+  filter_cols_.clear();
+  filter_types_.clear();
+  filter_pos_.assign(ncols, -1);
+  for (size_t c = 0; c < ncols; ++c) {
+    if (!needed[c]) continue;
+    filter_pos_[c] = static_cast<int>(filter_cols_.size());
+    filter_cols_.push_back(static_cast<int>(c));
+    filter_types_.push_back(spec_.output_types[c]);
+  }
+  filter_predicate_ = nullptr;
+  if (spec_.predicate) {
+    filter_predicate_ = CloneExpr(spec_.predicate);
+    RemapColumnRefs(filter_predicate_.get(), filter_pos_);
+  }
+  sip_filter_cols_.clear();
+  sip_output_cols_.clear();
+  for (const auto& sip : spec_.sips) {
+    std::vector<uint32_t> view, outc;
+    for (int c : sip->probe_columns) {
+      if (c < 0 || c >= static_cast<int>(ncols)) continue;  // same guard as above
+      outc.push_back(static_cast<uint32_t>(c));
+      view.push_back(static_cast<uint32_t>(filter_pos_[c]));
+    }
+    sip_output_cols_.push_back(std::move(outc));
+    sip_filter_cols_.push_back(std::move(view));
+  }
+
   if (merge_mode_) {
     for (auto& src : sources_) STRATICA_RETURN_NOT_OK(Advance(src.get()));
   }
   return Status::OK();
 }
 
-Status ScanOperator::FilterBlock(Source* src, RowBlock* block, uint64_t row_start) {
-  size_t n = block->NumRows();
-  if (n == 0) return Status::OK();
-  // RLE columns must be expanded before row-aligned filtering; passthrough
-  // is only kept when nothing filters rows below.
-  bool need_row_filter =
-      spec_.predicate != nullptr || !src->deleted.empty() ||
-      src->epoch_reader != nullptr;
-  bool any_sip_ready = false;
-  for (const auto& sip : spec_.sips) any_sip_ready |= sip->ready.load();
-  need_row_filter |= any_sip_ready;
-  if (need_row_filter) block->DecodeAll();
-
-  std::vector<uint8_t> sel(need_row_filter ? block->columns[0].PhysicalSize() : 0, 1);
-  if (src->epoch_reader) {
+Status ScanOperator::ComputeSelection(Source* src, size_t block_idx, uint64_t row_start,
+                                      const RowBlock& fblock, size_t n,
+                                      const Expr* predicate,
+                                      const std::vector<std::vector<uint32_t>>& sip_cols,
+                                      std::vector<uint8_t>* sel, size_t* selected) {
+  sel->assign(n, 1);
+  if (src != nullptr && src->epoch_reader) {
     ColumnVector epochs(TypeId::kInt64);
-    STRATICA_RETURN_NOT_OK(
-        src->epoch_reader->ReadBlock(src->next_block - 1, false, &epochs));
-    for (size_t i = 0; i < sel.size(); ++i) {
-      if (static_cast<Epoch>(epochs.ints[i]) > ctx_->epoch) sel[i] = 0;
+    STRATICA_RETURN_NOT_OK(src->epoch_reader->ReadBlock(block_idx, false, &epochs));
+    for (size_t i = 0; i < n; ++i) {
+      if (static_cast<Epoch>(epochs.ints[i]) > ctx_->epoch) (*sel)[i] = 0;
     }
   }
-  if (!src->deleted.empty()) {
+  if (src != nullptr && !src->deleted.empty()) {
     auto lo = std::lower_bound(src->deleted.begin(), src->deleted.end(), row_start);
     for (auto it = lo; it != src->deleted.end() && *it < row_start + n; ++it) {
-      sel[*it - row_start] = 0;
+      (*sel)[*it - row_start] = 0;
     }
   }
-  if (spec_.predicate) {
-    std::vector<uint8_t> pred_sel;
-    STRATICA_RETURN_NOT_OK(EvalPredicate(*spec_.predicate, *block, &pred_sel));
-    for (size_t i = 0; i < sel.size(); ++i) sel[i] &= pred_sel[i];
+  if (predicate != nullptr) {
+    // Selection-in/selection-out: rows already dead (epoch/deletes) are
+    // never evaluated, and AND chains evaluate right sides only over the
+    // left sides' survivors. Swap keeps both buffers' capacity alive.
+    STRATICA_RETURN_NOT_OK(EvalPredicateMasked(*predicate, fblock, *sel, &pred_scratch_));
+    sel->swap(pred_scratch_);
   }
+  bool any_sip_ready = false;
+  for (const auto& sip : spec_.sips) any_sip_ready |= sip->ready.load();
+  size_t after = 0;
   if (any_sip_ready) {
-    uint64_t before = 0, after = 0;
-    for (uint8_t s : sel) before += s;
+    uint64_t before = 0;
+    for (uint8_t s : *sel) before += s;
     // Nothing above the SIPs filtered rows yet => sel is still all-ones and
     // the dense batched-membership path applies (until a SIP dirties it).
-    bool sel_dense = before == sel.size();
-    for (const auto& sip : spec_.sips) {
+    bool sel_dense = before == n;
+    for (size_t si = 0; si < spec_.sips.size(); ++si) {
+      const auto& sip = spec_.sips[si];
       if (!sip->ready.load(std::memory_order_acquire)) continue;
-      if (sip->has_range && sip->probe_columns.size() == 1) {
-        const ColumnVector& col = block->columns[sip->probe_columns[0]];
-        for (size_t i = 0; i < sel.size(); ++i) {
-          if (sel[i] && (col.IsNull(i) || col.ints[i] < sip->min || col.ints[i] > sip->max))
-            sel[i] = 0;
+      const std::vector<uint32_t>& cols = sip_cols[si];
+      if (cols.empty()) continue;  // no valid probe columns: nothing to test
+      if (sip->has_range && cols.size() == 1) {
+        const ColumnVector& col = fblock.columns[cols[0]];
+        for (size_t i = 0; i < n; ++i) {
+          if ((*sel)[i] &&
+              (col.IsNull(i) || col.ints[i] < sip->min || col.ints[i] > sip->max)) {
+            (*sel)[i] = 0;
+          }
         }
         sel_dense = false;
       }
       // Batch-hash the probe key columns for the rows still selected (the
       // range prune above often kills most of a block), then resolve
       // membership; rows with a NULL key never join.
-      size_t n = sel.size();
-      sip_cols_.assign(sip->probe_columns.begin(), sip->probe_columns.end());
-      HashRowsMasked(*block, sip_cols_, kSipSeed, sel.data(), &hash_buf_);
+      HashRowsMasked(fblock, cols, kSipSeed, sel->data(), &hash_buf_);
       bool any_nulls = false;
-      for (uint32_t c : sip_cols_) any_nulls |= !block->columns[c].nulls.empty();
-      if (any_nulls) {  // 1 in hit_buf_ = NULL key, which never joins
-        NullKeyMask(*block, sip_cols_, &null_buf_);
+      for (uint32_t c : cols) any_nulls |= !fblock.columns[c].nulls.empty();
+      if (any_nulls) {  // 1 in null_buf_ = NULL key, which never joins
+        NullKeyMask(fblock, cols, &null_buf_);
         for (size_t i = 0; i < n; ++i) {
-          if (!sel[i]) continue;
-          if (null_buf_[i] || !sip->key_hashes.Contains(hash_buf_[i])) sel[i] = 0;
+          if (!(*sel)[i]) continue;
+          if (null_buf_[i] || !sip->key_hashes.Contains(hash_buf_[i])) (*sel)[i] = 0;
         }
       } else if (sel_dense) {
         // Every row probes: batched membership with home-slot prefetch.
         hit_buf_.resize(n);
         sip->key_hashes.ContainsBatch(hash_buf_.data(), n, hit_buf_.data());
-        for (size_t i = 0; i < n; ++i) sel[i] &= hit_buf_[i];
+        for (size_t i = 0; i < n; ++i) (*sel)[i] &= hit_buf_[i];
       } else {
         for (size_t i = 0; i < n; ++i) {
-          if (sel[i] && !sip->key_hashes.Contains(hash_buf_[i])) sel[i] = 0;
+          if ((*sel)[i] && !sip->key_hashes.Contains(hash_buf_[i])) (*sel)[i] = 0;
         }
       }
       sel_dense = false;  // this SIP may have zeroed rows
     }
-    for (uint8_t s : sel) after += s;
+    for (uint8_t s : *sel) after += s;
     if (ctx_->stats) ctx_->stats->rows_sip_filtered.fetch_add(before - after);
+  } else {
+    for (uint8_t s : *sel) after += s;
   }
-  if (need_row_filter) {
-    for (auto& col : block->columns) col.FilterPhysical(sel);
-  }
+  *selected = after;
   return Status::OK();
 }
 
-Status ScanOperator::Advance(Source* src) {
-  src->current.Clear();
-  src->current = RowBlock(spec_.output_types);
-  src->cursor = 0;
-  if (src->is_wos) {
-    // Emit WOS rows in vector_size slices; predicate/SIP still apply.
-    while (src->wos_cursor < src->wos_rows.NumRows()) {
-      size_t take = std::min(ctx_->vector_size,
-                             src->wos_rows.NumRows() - src->wos_cursor);
+Status ScanOperator::AdvanceWos(Source* src) {
+  bool any_sip_ready = false;
+  for (const auto& sip : spec_.sips) any_sip_ready |= sip->ready.load();
+  // WOS deletes/epochs were applied when the source was opened; only the
+  // predicate and SIP filters remain. Rows are already decoded in memory,
+  // but copies still follow the predicate-first order: the selection is
+  // computed on a filter-view slice and payload columns are gathered for
+  // survivors only.
+  bool need_row_filter = spec_.predicate != nullptr || any_sip_ready;
+  while (src->wos_cursor < src->wos_rows.NumRows()) {
+    size_t take = std::min(ctx_->vector_size,
+                           src->wos_rows.NumRows() - src->wos_cursor);
+    size_t at = src->wos_cursor;
+    src->wos_cursor += take;
+    if (ctx_->stats) ctx_->stats->rows_scanned.fetch_add(take);
+    if (!need_row_filter) {
       RowBlock slice(spec_.output_types);
-      for (size_t r = 0; r < take; ++r)
-        slice.AppendRowFrom(src->wos_rows, src->wos_cursor + r);
-      src->wos_cursor += take;
-      if (ctx_->stats) ctx_->stats->rows_scanned.fetch_add(take);
-      // WOS deletes/epochs already handled; run predicate + SIP only.
-      Source pseudo;  // no deletes, no epoch reader
-      STRATICA_RETURN_NOT_OK(FilterBlock(&pseudo, &slice, 0));
-      if (slice.NumRows() > 0) {
-        src->current = std::move(slice);
-        return Status::OK();
+      for (size_t c = 0; c < slice.columns.size(); ++c) {
+        slice.columns[c].AppendRange(src->wos_rows.columns[c], at, take);
+      }
+      src->current = std::move(slice);
+      return Status::OK();
+    }
+    RowBlock fview(filter_types_);
+    for (size_t i = 0; i < filter_cols_.size(); ++i) {
+      fview.columns[i].AppendRange(src->wos_rows.columns[filter_cols_[i]], at, take);
+    }
+    size_t selected = 0;
+    STRATICA_RETURN_NOT_OK(ComputeSelection(nullptr, 0, 0, fview, take,
+                                            filter_predicate_.get(), sip_filter_cols_,
+                                            &sel_scratch_, &selected));
+    if (selected == 0) continue;
+    RowBlock slice(spec_.output_types);
+    std::vector<uint32_t> idx;
+    if (selected < take) {
+      idx.reserve(selected);
+      for (size_t i = 0; i < take; ++i) {
+        if (sel_scratch_[i]) idx.push_back(static_cast<uint32_t>(at + i));
       }
     }
-    src->exhausted = true;
+    for (size_t c = 0; c < slice.columns.size(); ++c) {
+      int fpos = filter_pos_[c];
+      if (fpos >= 0) {
+        slice.columns[c] = std::move(fview.columns[fpos]);
+        if (selected < take) slice.columns[c].FilterPhysical(sel_scratch_);
+      } else if (selected == take) {
+        slice.columns[c].AppendRange(src->wos_rows.columns[c], at, take);
+      } else {
+        slice.columns[c].AppendGather(src->wos_rows.columns[c], idx);
+      }
+    }
+    src->current = std::move(slice);
     return Status::OK();
   }
+  src->exhausted = true;
+  return Status::OK();
+}
+
+Status ScanOperator::AdvanceRos(Source* src) {
   while (src->next_block < src->block_hi) {
     size_t b = src->next_block;
     const BlockMeta& bm0 = src->readers[0].meta().blocks[b];
@@ -288,20 +394,98 @@ Status ScanOperator::Advance(Source* src) {
       if (ctx_->stats) ctx_->stats->blocks_pruned.fetch_add(1);
       continue;
     }
+    size_t n = bm0.row_count;
+    if (ctx_->stats) ctx_->stats->rows_scanned.fetch_add(n);
+
+    bool any_sip_ready = false;
+    for (const auto& sip : spec_.sips) any_sip_ready |= sip->ready.load();
+    bool deletes_here = false;
+    if (!src->deleted.empty()) {
+      auto lo =
+          std::lower_bound(src->deleted.begin(), src->deleted.end(), bm0.row_start);
+      deletes_here = lo != src->deleted.end() && *lo < bm0.row_start + n;
+    }
+    bool need_row_filter = spec_.predicate != nullptr || deletes_here ||
+                           src->epoch_reader != nullptr || any_sip_ready;
+
+    if (!need_row_filter || spec_.eager_decode) {
+      // Eager path: nothing filters rows (RLE passthrough may engage), or
+      // late materialization is explicitly disabled for A/B comparison.
+      RowBlock block(spec_.output_types);
+      bool keep_runs = spec_.rle_passthrough && !merge_mode_ && !need_row_filter;
+      for (size_t c = 0; c < src->readers.size(); ++c) {
+        STRATICA_RETURN_NOT_OK(
+            src->readers[c].ReadBlock(b, keep_runs, &block.columns[c]));
+      }
+      if (need_row_filter) {
+        // Columns are flat here: keep_runs is false whenever filtering runs.
+        size_t selected = 0;
+        STRATICA_RETURN_NOT_OK(ComputeSelection(src, b, bm0.row_start, block, n,
+                                                spec_.predicate.get(),
+                                                sip_output_cols_, &sel_scratch_,
+                                                &selected));
+        if (selected < n) {
+          for (auto& col : block.columns) col.FilterPhysical(sel_scratch_);
+        }
+      }
+      if (block.NumRows() > 0) {
+        src->current = std::move(block);
+        return Status::OK();
+      }
+      continue;
+    }
+
+    // Late materialization (DESIGN.md §7): read and decode only the filter
+    // view, compute the full selection from it, and touch payload columns
+    // only for surviving rows — not at all when the block comes back empty.
+    RowBlock fblock(filter_types_);
+    for (size_t i = 0; i < filter_cols_.size(); ++i) {
+      STRATICA_RETURN_NOT_OK(
+          src->readers[filter_cols_[i]].ReadBlock(b, false, &fblock.columns[i]));
+    }
+    size_t selected = 0;
+    STRATICA_RETURN_NOT_OK(ComputeSelection(src, b, bm0.row_start, fblock, n,
+                                            filter_predicate_.get(), sip_filter_cols_,
+                                            &sel_scratch_, &selected));
+    if (selected == 0) {
+      if (ctx_->stats) {
+        uint64_t skipped = 0;
+        for (size_t c = 0; c < src->readers.size(); ++c) {
+          if (filter_pos_[c] < 0) skipped += src->readers[c].meta().blocks[b].encoded_bytes;
+        }
+        ctx_->stats->payload_bytes_skipped.fetch_add(skipped);
+      }
+      continue;
+    }
     RowBlock block(spec_.output_types);
-    bool keep_runs = spec_.rle_passthrough && !merge_mode_;
     for (size_t c = 0; c < src->readers.size(); ++c) {
-      STRATICA_RETURN_NOT_OK(src->readers[c].ReadBlock(b, keep_runs, &block.columns[c]));
+      int fpos = filter_pos_[c];
+      if (fpos >= 0) {
+        block.columns[c] = std::move(fblock.columns[fpos]);
+        if (selected < n) block.columns[c].FilterPhysical(sel_scratch_);
+      } else if (selected == n) {
+        // Fully-selected block: the plain decoder is the fastest gather.
+        STRATICA_RETURN_NOT_OK(src->readers[c].ReadBlock(b, false, &block.columns[c]));
+        if (ctx_->stats) ctx_->stats->rows_decoded.fetch_add(n);
+      } else {
+        STRATICA_RETURN_NOT_OK(
+            src->readers[c].ReadBlockSelected(b, sel_scratch_, &block.columns[c]));
+        if (ctx_->stats) ctx_->stats->rows_decoded.fetch_add(selected);
+      }
     }
-    if (ctx_->stats) ctx_->stats->rows_scanned.fetch_add(bm0.row_count);
-    STRATICA_RETURN_NOT_OK(FilterBlock(src, &block, bm0.row_start));
-    if (block.NumRows() > 0) {
-      src->current = std::move(block);
-      return Status::OK();
-    }
+    src->current = std::move(block);
+    return Status::OK();
   }
   src->exhausted = true;
   return Status::OK();
+}
+
+Status ScanOperator::Advance(Source* src) {
+  src->current.Clear();
+  src->current = RowBlock(spec_.output_types);
+  src->cursor = 0;
+  if (src->is_wos) return AdvanceWos(src);
+  return AdvanceRos(src);
 }
 
 Status ScanOperator::GetNext(RowBlock* out) {
@@ -351,6 +535,16 @@ Status ScanOperator::GetNext(RowBlock* out) {
 }
 
 Status ScanOperator::Close() {
+  // Roll every reader's I/O tally into the shared stats once, off the hot
+  // path (I/O amplification reporting for benches).
+  if (ctx_ != nullptr && ctx_->stats) {
+    uint64_t total = 0;
+    for (const auto& src : sources_) {
+      for (const auto& r : src->readers) total += r.bytes_read();
+      if (src->epoch_reader) total += src->epoch_reader->bytes_read();
+    }
+    ctx_->stats->bytes_read.fetch_add(total);
+  }
   sources_.clear();
   return Status::OK();
 }
@@ -363,6 +557,7 @@ std::string ScanOperator::DebugString() const {
   if (!spec_.sips.empty()) s += ", SIP filters: " + std::to_string(spec_.sips.size());
   if (spec_.sorted_output) s += ", sorted";
   if (spec_.rle_passthrough) s += ", rle";
+  if (spec_.eager_decode) s += ", eager";
   s += ")";
   return s;
 }

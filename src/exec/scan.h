@@ -69,6 +69,12 @@ struct ScanSpec {
   bool use_regions = false;  ///< restrict to `regions` (+ WOS if include_wos)
   std::vector<ScanRegion> regions;
   bool include_wos = true;
+
+  /// Disable late materialization: read + decode every projection column of
+  /// every block before filtering (the legacy eager behavior). Kept as an
+  /// A/B knob for benchmarks and differential tests; production plans leave
+  /// it off. See DESIGN.md §7.
+  bool eager_decode = false;
 };
 
 class ScanOperator : public Operator {
@@ -93,7 +99,17 @@ class ScanOperator : public Operator {
   /// Load + filter the next block of `src`; repeats until a non-empty block
   /// or source exhaustion.
   Status Advance(Source* src);
-  Status FilterBlock(Source* src, RowBlock* block, uint64_t row_start);
+  Status AdvanceRos(Source* src);
+  Status AdvanceWos(Source* src);
+  /// Compute the full selection vector (epoch, deletes, predicate, SIP) for
+  /// one block of `n` rows using only the columns present in `fblock`.
+  /// `predicate` and `sip_cols` must be expressed in fblock's column space.
+  /// `src` may be null (WOS slices: deletes/epochs already applied).
+  /// `*selected` receives the surviving row count.
+  Status ComputeSelection(Source* src, size_t block_idx, uint64_t row_start,
+                          const RowBlock& fblock, size_t n, const Expr* predicate,
+                          const std::vector<std::vector<uint32_t>>& sip_cols,
+                          std::vector<uint8_t>* sel, size_t* selected);
 
   ScanSpec spec_;
   ExecContext* ctx_ = nullptr;
@@ -102,8 +118,21 @@ class ScanOperator : public Operator {
   size_t current_source_ = 0;
   bool merge_mode_ = false;
 
-  // Scratch for batched SIP filtering (reused across blocks).
-  std::vector<uint32_t> sip_cols_;
+  // Late materialization (DESIGN.md §7), precomputed at Open: the "filter
+  // view" is the subset of output columns the selection vector depends on
+  // (predicate + SIP probe columns). Payload columns — everything else —
+  // are decoded only for surviving rows, and not at all for dead blocks.
+  std::vector<int> filter_cols_;        ///< output indexes, ascending
+  std::vector<int> filter_pos_;         ///< output index -> filter-view slot (-1)
+  std::vector<TypeId> filter_types_;
+  ExprPtr filter_predicate_;            ///< predicate rebound to the filter view
+  std::vector<std::vector<uint32_t>> sip_filter_cols_;  ///< per SIP, view slots
+  std::vector<std::vector<uint32_t>> sip_output_cols_;  ///< per SIP, output idxs
+
+  // Scratch reused across blocks: selection vectors and batched SIP buffers
+  // (the hot loop must not allocate per block).
+  std::vector<uint8_t> sel_scratch_;
+  std::vector<uint8_t> pred_scratch_;
   std::vector<uint64_t> hash_buf_;
   std::vector<uint8_t> hit_buf_;
   std::vector<uint8_t> null_buf_;

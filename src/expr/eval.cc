@@ -53,29 +53,50 @@ void CompareConstLoop(const std::vector<T>& a, T c, std::vector<int64_t>* out, O
 }
 
 // Specialized predicate kernels: column <op> constant directly into the
-// selection byte vector, fused with null suppression.
+// selection byte vector, fused with null suppression. `active` (nullable)
+// masks rows already filtered out upstream.
 template <typename T, typename Op>
-void SelConstLoop(const std::vector<T>& a, const std::vector<uint8_t>& nulls, T c,
-                  std::vector<uint8_t>* sel, Op op) {
+void SelConstLoop(const std::vector<T>& a, const std::vector<uint8_t>& nulls,
+                  const uint8_t* active, T c, std::vector<uint8_t>* sel, Op op) {
   size_t n = a.size();
   sel->resize(n);
-  if (nulls.empty()) {
-    for (size_t i = 0; i < n; ++i) (*sel)[i] = op(a[i], c) ? 1 : 0;
+  if (active == nullptr) {
+    if (nulls.empty()) {
+      for (size_t i = 0; i < n; ++i) (*sel)[i] = op(a[i], c) ? 1 : 0;
+    } else {
+      for (size_t i = 0; i < n; ++i) (*sel)[i] = (!nulls[i] && op(a[i], c)) ? 1 : 0;
+    }
   } else {
-    for (size_t i = 0; i < n; ++i) (*sel)[i] = (!nulls[i] && op(a[i], c)) ? 1 : 0;
+    if (nulls.empty()) {
+      for (size_t i = 0; i < n; ++i) (*sel)[i] = (active[i] && op(a[i], c)) ? 1 : 0;
+    } else {
+      for (size_t i = 0; i < n; ++i)
+        (*sel)[i] = (active[i] && !nulls[i] && op(a[i], c)) ? 1 : 0;
+    }
   }
 }
 
 template <typename T>
 Status DispatchSelConst(const std::vector<T>& data, const std::vector<uint8_t>& nulls,
-                        CompareOp cmp, T c, std::vector<uint8_t>* sel) {
+                        const uint8_t* active, CompareOp cmp, T c,
+                        std::vector<uint8_t>* sel) {
   switch (cmp) {
-    case CompareOp::kEq: SelConstLoop(data, nulls, c, sel, std::equal_to<T>()); break;
-    case CompareOp::kNe: SelConstLoop(data, nulls, c, sel, std::not_equal_to<T>()); break;
-    case CompareOp::kLt: SelConstLoop(data, nulls, c, sel, std::less<T>()); break;
-    case CompareOp::kLe: SelConstLoop(data, nulls, c, sel, std::less_equal<T>()); break;
-    case CompareOp::kGt: SelConstLoop(data, nulls, c, sel, std::greater<T>()); break;
-    case CompareOp::kGe: SelConstLoop(data, nulls, c, sel, std::greater_equal<T>()); break;
+    case CompareOp::kEq:
+      SelConstLoop(data, nulls, active, c, sel, std::equal_to<T>());
+      break;
+    case CompareOp::kNe:
+      SelConstLoop(data, nulls, active, c, sel, std::not_equal_to<T>());
+      break;
+    case CompareOp::kLt: SelConstLoop(data, nulls, active, c, sel, std::less<T>()); break;
+    case CompareOp::kLe:
+      SelConstLoop(data, nulls, active, c, sel, std::less_equal<T>());
+      break;
+    case CompareOp::kGt:
+      SelConstLoop(data, nulls, active, c, sel, std::greater<T>());
+      break;
+    case CompareOp::kGe:
+      SelConstLoop(data, nulls, active, c, sel, std::greater_equal<T>());
+      break;
   }
   return Status::OK();
 }
@@ -427,31 +448,47 @@ Status EvalExpr(const Expr& e, const RowBlock& input, ColumnVector* out) {
   return Status::Internal("unhandled expr kind in EvalExpr");
 }
 
+namespace {
+
+// Shared compare-const fast-path matcher. Returns true (and fills `sel`)
+// when `e` is `<flat column> <op> <non-null literal>` of a supported type.
+bool TrySelConstFastPath(const Expr& e, const RowBlock& input, const uint8_t* active,
+                         size_t n_active, std::vector<uint8_t>* sel) {
+  if (e.kind != ExprKind::kCompare || e.children[0]->kind != ExprKind::kColumnRef ||
+      e.children[1]->kind != ExprKind::kLiteral || e.children[1]->literal.is_null()) {
+    return false;
+  }
+  int idx = e.children[0]->column_index;
+  if (idx < 0 || idx >= static_cast<int>(input.NumColumns()) ||
+      input.columns[idx].IsRle()) {
+    return false;
+  }
+  const ColumnVector& col = input.columns[idx];
+  if (active != nullptr && col.PhysicalSize() != n_active) return false;
+  const Value& lit = e.children[1]->literal;
+  if (StorageClassOf(col.type) == StorageClass::kInt64 &&
+      StorageClassOf(lit.type()) == StorageClass::kInt64) {
+    DispatchSelConst<int64_t>(col.ints, col.nulls, active, e.cmp, lit.i64(), sel);
+    return true;
+  }
+  if (StorageClassOf(col.type) == StorageClass::kFloat64 &&
+      lit.type() != TypeId::kString) {
+    DispatchSelConst<double>(col.doubles, col.nulls, active, e.cmp, lit.AsDouble(), sel);
+    return true;
+  }
+  if (StorageClassOf(col.type) == StorageClass::kString &&
+      lit.type() == TypeId::kString) {
+    DispatchSelConst<std::string>(col.strings, col.nulls, active, e.cmp, lit.str(), sel);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Status EvalPredicate(const Expr& e, const RowBlock& input, std::vector<uint8_t>* sel) {
   // Fast path: <column> <op> <literal> over a flat column.
-  if (e.kind == ExprKind::kCompare && e.children[0]->kind == ExprKind::kColumnRef &&
-      e.children[1]->kind == ExprKind::kLiteral && !e.children[1]->literal.is_null()) {
-    int idx = e.children[0]->column_index;
-    if (idx >= 0 && idx < static_cast<int>(input.NumColumns()) &&
-        !input.columns[idx].IsRle()) {
-      const ColumnVector& col = input.columns[idx];
-      const Value& lit = e.children[1]->literal;
-      if (StorageClassOf(col.type) == StorageClass::kInt64 &&
-          StorageClassOf(lit.type()) == StorageClass::kInt64) {
-        return DispatchSelConst<int64_t>(col.ints, col.nulls, e.cmp, lit.i64(), sel);
-      }
-      if (StorageClassOf(col.type) == StorageClass::kFloat64 &&
-          lit.type() != TypeId::kString) {
-        return DispatchSelConst<double>(col.doubles, col.nulls, e.cmp, lit.AsDouble(),
-                                        sel);
-      }
-      if (StorageClassOf(col.type) == StorageClass::kString &&
-          lit.type() == TypeId::kString) {
-        return DispatchSelConst<std::string>(col.strings, col.nulls, e.cmp, lit.str(),
-                                             sel);
-      }
-    }
-  }
+  if (TrySelConstFastPath(e, input, /*active=*/nullptr, 0, sel)) return Status::OK();
   // Fast path: conjunction — AND the children's selections (a size-1 side,
   // from an all-scalar subpredicate, broadcasts).
   if (e.kind == ExprKind::kLogical && e.logic == LogicalOp::kAnd) {
@@ -472,6 +509,83 @@ Status EvalPredicate(const Expr& e, const RowBlock& input, std::vector<uint8_t>*
   sel->resize(n);
   for (size_t i = 0; i < n; ++i)
     (*sel)[i] = (!result.IsNull(i) && result.ints[i] != 0) ? 1 : 0;
+  return Status::OK();
+}
+
+Status EvalPredicateMasked(const Expr& e, const RowBlock& input,
+                           const std::vector<uint8_t>& active,
+                           std::vector<uint8_t>* sel) {
+  size_t n = active.size();
+  size_t live = 0;
+  for (uint8_t a : active) live += a != 0;
+  if (live == 0) {
+    sel->assign(n, 0);
+    return Status::OK();
+  }
+  // Compare-const: one fused loop, op applied only under the mask.
+  if (TrySelConstFastPath(e, input, active.data(), n, sel)) return Status::OK();
+  // Conjunction: the left side's survivors become the right side's mask, so
+  // the right side only evaluates over rows the left side kept.
+  if (e.kind == ExprKind::kLogical && e.logic == LogicalOp::kAnd) {
+    std::vector<uint8_t> left;
+    STRATICA_RETURN_NOT_OK(EvalPredicateMasked(*e.children[0], input, active, &left));
+    return EvalPredicateMasked(*e.children[1], input, left, sel);
+  }
+  // General shapes: when most rows are already dead, gather the live rows
+  // into a compact block, evaluate there, and scatter the verdicts back.
+  // Only columns the predicate references are gathered — unreferenced ones
+  // (e.g. SIP probe columns sharing the scan's filter view) stay empty.
+  std::vector<char> want(input.NumColumns(), 0);
+  {
+    std::vector<int> refs;
+    CollectColumns(e, &refs);
+    for (int c : refs) {
+      if (c >= 0 && c < static_cast<int>(want.size())) want[c] = 1;
+    }
+  }
+  bool gatherable = live * 2 <= n;
+  for (size_t ci = 0; ci < input.NumColumns(); ++ci) {
+    if (!want[ci]) continue;
+    gatherable = gatherable && !input.columns[ci].IsRle() &&
+                 input.columns[ci].PhysicalSize() == n;
+  }
+  if (gatherable && !input.columns.empty()) {
+    std::vector<uint32_t> idx;
+    idx.reserve(live);
+    for (size_t i = 0; i < n; ++i) {
+      if (active[i]) idx.push_back(static_cast<uint32_t>(i));
+    }
+    RowBlock compact;
+    compact.columns.reserve(input.NumColumns());
+    for (size_t ci = 0; ci < input.NumColumns(); ++ci) {
+      ColumnVector c(input.columns[ci].type);
+      if (want[ci]) c.AppendGather(input.columns[ci], idx);
+      compact.columns.push_back(std::move(c));
+    }
+    if (!want[0]) {
+      // Literal operands broadcast to NumRows() == columns[0].Size(): give
+      // the unreferenced anchor column the right size without copying data.
+      ColumnVector& c0 = compact.columns[0];
+      switch (StorageClassOf(c0.type)) {
+        case StorageClass::kInt64: c0.ints.resize(idx.size()); break;
+        case StorageClass::kFloat64: c0.doubles.resize(idx.size()); break;
+        case StorageClass::kString: c0.strings.resize(idx.size()); break;
+      }
+    }
+    std::vector<uint8_t> csel;
+    STRATICA_RETURN_NOT_OK(EvalPredicate(e, compact, &csel));
+    size_t cs = (csel.size() == 1 && idx.size() > 1) ? 0 : 1;
+    sel->assign(n, 0);
+    for (size_t k = 0; k < idx.size(); ++k) (*sel)[idx[k]] = csel[k * cs] ? 1 : 0;
+    return Status::OK();
+  }
+  // Mostly-live block (or ungatherable input): evaluate in full, then mask.
+  std::vector<uint8_t> full;
+  STRATICA_RETURN_NOT_OK(EvalPredicate(e, input, &full));
+  size_t fs = (full.size() == 1 && n > 1) ? 0 : 1;
+  if (full.size() != n && fs == 1) return Status::Internal("predicate size mismatch");
+  sel->resize(n);
+  for (size_t i = 0; i < n; ++i) (*sel)[i] = (active[i] & full[i * fs]) ? 1 : 0;
   return Status::OK();
 }
 

@@ -121,6 +121,16 @@ Status EvalExpr(const Expr& e, const RowBlock& input, ColumnVector* out);
 /// (1 = row passes). NULL results count as not passing (SQL semantics).
 Status EvalPredicate(const Expr& e, const RowBlock& input, std::vector<uint8_t>* sel);
 
+/// Selection-in/selection-out predicate evaluation (late materialization):
+/// sel[i] = active[i] AND e(row i), with sel sized like `active` (which must
+/// have one entry per input row). Rows already dead in `active` are skipped
+/// where the expression shape allows — in particular the right side of an
+/// AND only evaluates over rows the left side kept, and general expressions
+/// evaluate on a compacted block when most rows are dead.
+Status EvalPredicateMasked(const Expr& e, const RowBlock& input,
+                           const std::vector<uint8_t>& active,
+                           std::vector<uint8_t>* sel);
+
 /// Evaluate a bound expression against a single row (slow path).
 Result<Value> EvalScalar(const Expr& e, const RowBlock& input, size_t row);
 

@@ -149,20 +149,45 @@ Result<ColumnReader> ColumnReader::Open(const FileSystem* fs, const std::string&
   return ColumnReader(fs, data_path, std::move(meta));
 }
 
+Status ColumnReader::FetchBlock(size_t idx) const {
+  const BlockMeta& b = meta_.blocks[idx];
+  STRATICA_RETURN_NOT_OK(
+      fs_->ReadRangeInto(data_path_, b.offset, b.encoded_bytes, &scratch_));
+  bytes_read_ += b.encoded_bytes;
+  return Status::OK();
+}
+
 Status ColumnReader::ReadBlock(size_t idx, bool keep_runs, ColumnVector* out) const {
   if (idx >= meta_.blocks.size()) return Status::InvalidArgument("block out of range");
-  const BlockMeta& b = meta_.blocks[idx];
-  STRATICA_ASSIGN_OR_RETURN(std::string bytes,
-                            fs_->ReadRange(data_path_, b.offset, b.encoded_bytes));
+  STRATICA_RETURN_NOT_OK(FetchBlock(idx));
   size_t offset = 0;
-  if (keep_runs) return DecodeBlockRuns(bytes, &offset, meta_.type, out);
-  return DecodeBlock(bytes, &offset, meta_.type, out);
+  if (keep_runs) return DecodeBlockRuns(scratch_, &offset, meta_.type, out);
+  return DecodeBlock(scratch_, &offset, meta_.type, out);
+}
+
+Status ColumnReader::ReadBlockSelected(size_t idx, const std::vector<uint8_t>& sel,
+                                       ColumnVector* out) const {
+  if (idx >= meta_.blocks.size()) return Status::InvalidArgument("block out of range");
+  STRATICA_RETURN_NOT_OK(FetchBlock(idx));
+  size_t offset = 0;
+  return DecodeBlockSelected(scratch_, &offset, meta_.type, sel, out);
 }
 
 Status ColumnReader::ReadAll(ColumnVector* out) const {
   out->type = meta_.type;
-  for (size_t i = 0; i < meta_.blocks.size(); ++i)
-    STRATICA_RETURN_NOT_OK(ReadBlock(i, /*keep_runs=*/false, out));
+  if (meta_.blocks.empty()) return Status::OK();
+  // Blocks are written back to back, so the whole column is one contiguous
+  // span: fetch it with a single ranged read into the reusable buffer
+  // instead of one allocation per block.
+  const BlockMeta& last = meta_.blocks.back();
+  uint64_t span = last.offset + last.encoded_bytes;
+  STRATICA_RETURN_NOT_OK(fs_->ReadRangeInto(data_path_, 0, span, &scratch_));
+  bytes_read_ += span;
+  out->Reserve(out->PhysicalSize() + meta_.num_rows);
+  for (const BlockMeta& b : meta_.blocks) {
+    size_t offset = b.offset;
+    STRATICA_RETURN_NOT_OK(DecodeBlock(scratch_, &offset, meta_.type, out));
+  }
   return Status::OK();
 }
 

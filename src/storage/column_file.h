@@ -77,6 +77,10 @@ class ColumnWriter {
 };
 
 /// \brief Random and sequential access to one column file pair.
+///
+/// Not thread-safe: each reader owns a scratch buffer reused across block
+/// reads so the per-block heap allocation of the old path is gone. Parallel
+/// scans give every worker pipeline its own readers.
 class ColumnReader {
  public:
   /// Open by reading and parsing the index file; block data is fetched
@@ -91,16 +95,29 @@ class ColumnReader {
   /// surface run-length form for encoded-data-aware operators.
   Status ReadBlock(size_t idx, bool keep_runs, ColumnVector* out) const;
 
-  /// Decode the whole column.
+  /// Late-materialization read (DESIGN.md §7): decode only the entries of
+  /// block `idx` with sel[i] != 0. `sel` must have one entry per block row.
+  /// Output is bit-identical to ReadBlock + FilterPhysical(sel).
+  Status ReadBlockSelected(size_t idx, const std::vector<uint8_t>& sel,
+                           ColumnVector* out) const;
+
+  /// Decode the whole column with a single ranged read of the data file.
   Status ReadAll(ColumnVector* out) const;
+
+  /// Encoded bytes fetched through this reader (I/O amplification metric).
+  uint64_t bytes_read() const { return bytes_read_; }
 
  private:
   ColumnReader(const FileSystem* fs, std::string data_path, ColumnFileMeta meta)
       : fs_(fs), data_path_(std::move(data_path)), meta_(std::move(meta)) {}
 
+  Status FetchBlock(size_t idx) const;
+
   const FileSystem* fs_;
   std::string data_path_;
   ColumnFileMeta meta_;
+  mutable std::string scratch_;       // reused block buffer
+  mutable uint64_t bytes_read_ = 0;
 };
 
 /// Serialize / parse the index file representation (exposed for tests).

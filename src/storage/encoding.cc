@@ -412,30 +412,42 @@ Status DecodeDeltaValue(const std::string& data, size_t* offset, size_t count,
   return Status::OK();
 }
 
+// Shared BlockDict header parse (dictionary + index bit width) and entry
+// emission, used by the full and the selective decoder so the layout and
+// the bounds-checked dispatch each live in one place.
+Status ParseDictHeader(const std::string& data, size_t* offset, ColumnVector* dict,
+                       uint64_t* dict_size, int* width) {
+  if (!GetVarint64(data, offset, dict_size)) return Status::Corruption("dict: bad size");
+  for (uint64_t i = 0; i < *dict_size; ++i)
+    STRATICA_RETURN_NOT_OK(GetScalar(data, offset, dict));
+  if (*offset >= data.size()) return Status::Corruption("dict: bad width");
+  *width = static_cast<uint8_t>(data[(*offset)++]);
+  return Status::OK();
+}
+
+Status EmitDictEntry(const ColumnVector& dict, uint64_t idx, ColumnVector* out) {
+  if (idx >= dict.PhysicalSize()) return Status::Corruption("dict: index out of range");
+  switch (StorageClassOf(out->type)) {
+    case StorageClass::kInt64: out->ints.push_back(dict.ints[idx]); break;
+    case StorageClass::kFloat64: out->doubles.push_back(dict.doubles[idx]); break;
+    case StorageClass::kString: out->strings.push_back(dict.strings[idx]); break;
+  }
+  return Status::OK();
+}
+
 Status DecodeBlockDict(const std::string& data, size_t* offset, size_t count,
                        ColumnVector* out) {
   uint64_t dict_size;
-  if (!GetVarint64(data, offset, &dict_size)) return Status::Corruption("dict: bad size");
   ColumnVector dict(out->type);
-  for (uint64_t i = 0; i < dict_size; ++i)
-    STRATICA_RETURN_NOT_OK(GetScalar(data, offset, &dict));
-  if (*offset >= data.size()) return Status::Corruption("dict: bad width");
-  int width = static_cast<uint8_t>(data[(*offset)++]);
-  auto emit = [&](uint64_t idx) -> Status {
-    if (idx >= dict_size) return Status::Corruption("dict: index out of range");
-    switch (StorageClassOf(out->type)) {
-      case StorageClass::kInt64: out->ints.push_back(dict.ints[idx]); break;
-      case StorageClass::kFloat64: out->doubles.push_back(dict.doubles[idx]); break;
-      case StorageClass::kString: out->strings.push_back(dict.strings[idx]); break;
-    }
-    return Status::OK();
-  };
+  int width;
+  STRATICA_RETURN_NOT_OK(ParseDictHeader(data, offset, &dict, &dict_size, &width));
   if (width == 0) {
-    for (size_t i = 0; i < count; ++i) STRATICA_RETURN_NOT_OK(emit(0));
+    for (size_t i = 0; i < count; ++i) STRATICA_RETURN_NOT_OK(EmitDictEntry(dict, 0, out));
     return Status::OK();
   }
   BitUnpacker unpacker(data, *offset, width);
-  for (size_t i = 0; i < count; ++i) STRATICA_RETURN_NOT_OK(emit(unpacker.Next()));
+  for (size_t i = 0; i < count; ++i)
+    STRATICA_RETURN_NOT_OK(EmitDictEntry(dict, unpacker.Next(), out));
   *offset = unpacker.position();
   return Status::OK();
 }
@@ -493,6 +505,247 @@ Status DecodeCommonDelta(const std::string& data, size_t* offset, size_t count,
     value = static_cast<int64_t>(static_cast<uint64_t>(value) +
                                  static_cast<uint64_t>(dict[s]));
     out->ints.push_back(value);
+  }
+  return Status::OK();
+}
+
+// --- selective decoders (late materialization, DESIGN.md §7) ----------------
+//
+// Each mirrors its full decoder but materializes only entries with
+// sel[i] != 0. Sequentially-dependent encodings (delta chains) still walk
+// the stream, but stop doing arithmetic after the last selected position and
+// never append dead values; positionally-addressable encodings (plain
+// scalars, bit-packed slots) touch only the selected slots.
+
+/// Advance past one LEB128 varint without decoding it.
+bool SkipVarint(const std::string& data, size_t* offset) {
+  while (*offset < data.size()) {
+    bool more = (static_cast<uint8_t>(data[*offset]) & 0x80) != 0;
+    ++*offset;
+    if (!more) return true;
+  }
+  return false;
+}
+
+/// Index of the last set entry, or SIZE_MAX when none are.
+size_t LastSelected(const std::vector<uint8_t>& sel) {
+  for (size_t i = sel.size(); i > 0; --i) {
+    if (sel[i - 1]) return i - 1;
+  }
+  return SIZE_MAX;
+}
+
+Status DecodePlainSelected(const std::string& data, size_t* offset, size_t count,
+                           const std::vector<uint8_t>& sel, ColumnVector* out) {
+  switch (StorageClassOf(out->type)) {
+    case StorageClass::kInt64: {
+      size_t bytes = count * sizeof(int64_t);
+      if (*offset + bytes > data.size()) return Status::Corruption("plain: truncated");
+      const char* base = data.data() + *offset;
+      for (size_t i = 0; i < count; ++i) {
+        if (!sel[i]) continue;
+        int64_t v;
+        std::memcpy(&v, base + i * sizeof(int64_t), sizeof(v));
+        out->ints.push_back(v);
+      }
+      *offset += bytes;
+      return Status::OK();
+    }
+    case StorageClass::kFloat64: {
+      size_t bytes = count * sizeof(double);
+      if (*offset + bytes > data.size()) return Status::Corruption("plain: truncated");
+      const char* base = data.data() + *offset;
+      for (size_t i = 0; i < count; ++i) {
+        if (!sel[i]) continue;
+        double v;
+        std::memcpy(&v, base + i * sizeof(double), sizeof(v));
+        out->doubles.push_back(v);
+      }
+      *offset += bytes;
+      return Status::OK();
+    }
+    case StorageClass::kString:
+      // Unselected strings are skipped by length — their bytes are never
+      // copied out of the block buffer.
+      for (size_t i = 0; i < count; ++i) {
+        uint64_t len;
+        if (!GetVarint64(data, offset, &len) || *offset + len > data.size())
+          return Status::Corruption("plain: bad string");
+        if (sel[i]) out->strings.emplace_back(data, *offset, len);
+        *offset += len;
+      }
+      return Status::OK();
+  }
+  return Status::Internal("bad storage class");
+}
+
+Status DecodeRleSelected(const std::string& data, size_t* offset, size_t count,
+                         const std::vector<uint8_t>& sel, ColumnVector* out) {
+  uint64_t num_runs;
+  if (!GetVarint64(data, offset, &num_runs)) return Status::Corruption("rle: bad header");
+  StorageClass sc = StorageClassOf(out->type);
+  size_t pos = 0;
+  for (uint64_t r = 0; r < num_runs; ++r) {
+    // Read the run value lazily: strings are only constructed when at least
+    // one row of the run survives.
+    int64_t iv = 0;
+    double dv = 0;
+    size_t str_at = 0;
+    uint64_t str_len = 0;
+    switch (sc) {
+      case StorageClass::kInt64: {
+        uint64_t zz;
+        if (!GetVarint64(data, offset, &zz)) return Status::Corruption("rle: bad value");
+        iv = ZigZagDecode(zz);
+        break;
+      }
+      case StorageClass::kFloat64:
+        if (!GetFixed(data, offset, &dv)) return Status::Corruption("rle: bad value");
+        break;
+      case StorageClass::kString:
+        if (!GetVarint64(data, offset, &str_len) || *offset + str_len > data.size())
+          return Status::Corruption("rle: bad value");
+        str_at = *offset;
+        *offset += str_len;
+        break;
+    }
+    uint64_t run_len;
+    if (!GetVarint64(data, offset, &run_len)) return Status::Corruption("rle: bad run");
+    if (pos + run_len > count) return Status::Corruption("rle: run overflows block");
+    size_t take = 0;
+    for (size_t i = 0; i < run_len; ++i) take += sel[pos + i] != 0;
+    if (take > 0) {  // dead runs are skipped wholesale
+      switch (sc) {
+        case StorageClass::kInt64: out->ints.insert(out->ints.end(), take, iv); break;
+        case StorageClass::kFloat64:
+          out->doubles.insert(out->doubles.end(), take, dv);
+          break;
+        case StorageClass::kString:
+          out->strings.insert(out->strings.end(), take,
+                              std::string(data, str_at, str_len));
+          break;
+      }
+    }
+    pos += run_len;
+  }
+  if (pos != count) return Status::Corruption("rle: row count mismatch");
+  return Status::OK();
+}
+
+Status DecodeDeltaValueSelected(const std::string& data, size_t* offset, size_t count,
+                                const std::vector<uint8_t>& sel, ColumnVector* out) {
+  uint64_t zz;
+  if (!GetVarint64(data, offset, &zz)) return Status::Corruption("deltaval: bad min");
+  int64_t min = ZigZagDecode(zz);
+  if (*offset >= data.size()) return Status::Corruption("deltaval: bad width");
+  int width = static_cast<uint8_t>(data[(*offset)++]);
+  if (width == 0) {
+    size_t take = 0;
+    for (uint8_t s : sel) take += s != 0;
+    out->ints.insert(out->ints.end(), take, min);
+    return Status::OK();
+  }
+  size_t payload = PackedBytes(count, width);
+  if (*offset + payload > data.size()) return Status::Corruption("deltaval: truncated");
+  const char* base = data.data() + *offset;
+  for (size_t i = 0; i < count; ++i) {  // bit-unpacks only the selected slots
+    if (!sel[i]) continue;
+    out->ints.push_back(static_cast<int64_t>(
+        static_cast<uint64_t>(min) +
+        ReadPackedBits(base, i * static_cast<size_t>(width), width)));
+  }
+  *offset += payload;
+  return Status::OK();
+}
+
+Status DecodeBlockDictSelected(const std::string& data, size_t* offset, size_t count,
+                               const std::vector<uint8_t>& sel, ColumnVector* out) {
+  uint64_t dict_size;
+  ColumnVector dict(out->type);
+  int width;
+  STRATICA_RETURN_NOT_OK(ParseDictHeader(data, offset, &dict, &dict_size, &width));
+  if (width == 0) {
+    for (size_t i = 0; i < count; ++i) {
+      if (sel[i]) STRATICA_RETURN_NOT_OK(EmitDictEntry(dict, 0, out));
+    }
+    return Status::OK();
+  }
+  size_t payload = PackedBytes(count, width);
+  if (*offset + payload > data.size()) return Status::Corruption("dict: truncated");
+  const char* base = data.data() + *offset;
+  for (size_t i = 0; i < count; ++i) {  // materializes only selected codes
+    if (!sel[i]) continue;
+    STRATICA_RETURN_NOT_OK(EmitDictEntry(
+        dict, ReadPackedBits(base, i * static_cast<size_t>(width), width), out));
+  }
+  *offset += payload;
+  return Status::OK();
+}
+
+Status DecodeDeltaRangeSelected(const std::string& data, size_t* offset, size_t count,
+                                const std::vector<uint8_t>& sel, ColumnVector* out) {
+  size_t last = LastSelected(sel);
+  size_t i = 1;
+  if (StorageClassOf(out->type) == StorageClass::kInt64) {
+    uint64_t zz;
+    if (!GetVarint64(data, offset, &zz)) return Status::Corruption("deltarange: bad first");
+    int64_t prev = ZigZagDecode(zz);
+    if (count > 0 && sel[0]) out->ints.push_back(prev);
+    for (; last != SIZE_MAX && i <= last; ++i) {
+      if (!GetVarint64(data, offset, &zz))
+        return Status::Corruption("deltarange: bad delta");
+      prev = static_cast<int64_t>(static_cast<uint64_t>(prev) +
+                                  static_cast<uint64_t>(ZigZagDecode(zz)));
+      if (sel[i]) out->ints.push_back(prev);
+    }
+  } else {
+    uint64_t prev;
+    if (!GetFixed(data, offset, &prev)) return Status::Corruption("deltarange: bad first");
+    if (count > 0 && sel[0]) out->doubles.push_back(OrderedKeyToDouble(prev));
+    for (; last != SIZE_MAX && i <= last; ++i) {
+      uint64_t zz;
+      if (!GetVarint64(data, offset, &zz))
+        return Status::Corruption("deltarange: bad delta");
+      prev += static_cast<uint64_t>(ZigZagDecode(zz));
+      if (sel[i]) out->doubles.push_back(OrderedKeyToDouble(prev));
+    }
+  }
+  // Past the last selected position the deltas are dead weight: skip their
+  // varint bytes without zigzag/accumulate work.
+  for (; i < count; ++i) {
+    if (!SkipVarint(data, offset)) return Status::Corruption("deltarange: bad delta");
+  }
+  return Status::OK();
+}
+
+Status DecodeCommonDeltaSelected(const std::string& data, size_t* offset, size_t count,
+                                 const std::vector<uint8_t>& sel, ColumnVector* out) {
+  uint64_t zz;
+  if (!GetVarint64(data, offset, &zz)) return Status::Corruption("commondelta: bad first");
+  int64_t value = ZigZagDecode(zz);
+  if (count > 0 && sel[0]) out->ints.push_back(value);
+  uint64_t dict_size;
+  if (!GetVarint64(data, offset, &dict_size))
+    return Status::Corruption("commondelta: bad dict");
+  if (count <= 1) return Status::OK();
+  std::vector<int64_t> dict(dict_size);
+  for (auto& d : dict) {
+    if (!GetVarint64(data, offset, &zz))
+      return Status::Corruption("commondelta: bad dict entry");
+    d = ZigZagDecode(zz);
+  }
+  // The entropy stream must be decoded in full (prefix codes have no random
+  // access), but accumulation stops after the last selected row.
+  std::vector<uint32_t> symbols;
+  STRATICA_RETURN_NOT_OK(HuffmanDecode(data, offset, &symbols));
+  if (symbols.size() != count - 1) return Status::Corruption("commondelta: count mismatch");
+  size_t last = LastSelected(sel);
+  for (size_t r = 1; last != SIZE_MAX && r <= last; ++r) {
+    uint32_t s = symbols[r - 1];
+    if (s >= dict.size()) return Status::Corruption("commondelta: bad symbol");
+    value = static_cast<int64_t>(static_cast<uint64_t>(value) +
+                                 static_cast<uint64_t>(dict[s]));
+    if (sel[r]) out->ints.push_back(value);
   }
   return Status::OK();
 }
@@ -575,38 +828,59 @@ Status EncodeBlock(EncodingId enc, const ColumnVector& col, size_t start, size_t
 }
 
 namespace {
+// Shared block framing for full, runs-preserving, and selective decode:
+// `sel` (nullable) engages the selective decoders; an all-ones selection
+// falls through to the full decoders (callers never keep runs AND select).
 Status DecodeBlockImpl(const std::string& data, size_t* offset, TypeId type,
-                       ColumnVector* out, bool keep_runs) {
+                       ColumnVector* out, bool keep_runs,
+                       const std::vector<uint8_t>* sel) {
   if (*offset >= data.size()) return Status::Corruption("block: empty");
   auto enc = static_cast<EncodingId>(data[(*offset)++]);
   uint64_t count;
   if (!GetVarint64(data, offset, &count)) return Status::Corruption("block: bad count");
+  if (sel != nullptr && sel->size() != count)
+    return Status::InvalidArgument("selection size != block row count");
   std::vector<uint8_t> nulls;
   STRATICA_RETURN_NOT_OK(ReadNullSection(data, offset, count, &nulls));
   out->type = type;
 
+  bool dense = true;
+  if (sel != nullptr) {
+    for (uint8_t s : *sel) dense = dense && s != 0;
+  }
   size_t phys_before = out->PhysicalSize();
   // Runs only survive when the block is RLE and carries no NULLs (the common
   // case for sort-key columns, which is where the RLE fast paths matter).
   keep_runs = keep_runs && enc == EncodingId::kRle && nulls.empty();
   switch (enc) {
     case EncodingId::kPlain:
-      STRATICA_RETURN_NOT_OK(DecodePlain(data, offset, count, out));
+      STRATICA_RETURN_NOT_OK(dense
+                                 ? DecodePlain(data, offset, count, out)
+                                 : DecodePlainSelected(data, offset, count, *sel, out));
       break;
     case EncodingId::kRle:
-      STRATICA_RETURN_NOT_OK(DecodeRle(data, offset, out, keep_runs));
+      STRATICA_RETURN_NOT_OK(dense ? DecodeRle(data, offset, out, keep_runs)
+                                   : DecodeRleSelected(data, offset, count, *sel, out));
       break;
     case EncodingId::kDeltaValue:
-      STRATICA_RETURN_NOT_OK(DecodeDeltaValue(data, offset, count, out));
+      STRATICA_RETURN_NOT_OK(
+          dense ? DecodeDeltaValue(data, offset, count, out)
+                : DecodeDeltaValueSelected(data, offset, count, *sel, out));
       break;
     case EncodingId::kBlockDict:
-      STRATICA_RETURN_NOT_OK(DecodeBlockDict(data, offset, count, out));
+      STRATICA_RETURN_NOT_OK(
+          dense ? DecodeBlockDict(data, offset, count, out)
+                : DecodeBlockDictSelected(data, offset, count, *sel, out));
       break;
     case EncodingId::kCompressedDeltaRange:
-      STRATICA_RETURN_NOT_OK(DecodeDeltaRange(data, offset, count, out));
+      STRATICA_RETURN_NOT_OK(
+          dense ? DecodeDeltaRange(data, offset, count, out)
+                : DecodeDeltaRangeSelected(data, offset, count, *sel, out));
       break;
     case EncodingId::kCompressedCommonDelta:
-      STRATICA_RETURN_NOT_OK(DecodeCommonDelta(data, offset, count, out));
+      STRATICA_RETURN_NOT_OK(
+          dense ? DecodeCommonDelta(data, offset, count, out)
+                : DecodeCommonDeltaSelected(data, offset, count, *sel, out));
       break;
     case EncodingId::kAuto:
       return Status::Corruption("block encoded as kAuto");
@@ -614,7 +888,13 @@ Status DecodeBlockImpl(const std::string& data, size_t* offset, TypeId type,
 
   if (!nulls.empty()) {
     if (out->nulls.empty()) out->nulls.assign(phys_before, 0);
-    out->nulls.insert(out->nulls.end(), nulls.begin(), nulls.end());
+    if (dense) {
+      out->nulls.insert(out->nulls.end(), nulls.begin(), nulls.end());
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        if ((*sel)[i]) out->nulls.push_back(nulls[i]);
+      }
+    }
   } else if (!out->nulls.empty()) {
     out->nulls.resize(out->PhysicalSize(), 0);
   }
@@ -629,12 +909,17 @@ Status DecodeBlockImpl(const std::string& data, size_t* offset, TypeId type,
 
 Status DecodeBlock(const std::string& data, size_t* offset, TypeId type,
                    ColumnVector* out) {
-  return DecodeBlockImpl(data, offset, type, out, /*keep_runs=*/false);
+  return DecodeBlockImpl(data, offset, type, out, /*keep_runs=*/false, nullptr);
 }
 
 Status DecodeBlockRuns(const std::string& data, size_t* offset, TypeId type,
                        ColumnVector* out) {
-  return DecodeBlockImpl(data, offset, type, out, /*keep_runs=*/true);
+  return DecodeBlockImpl(data, offset, type, out, /*keep_runs=*/true, nullptr);
+}
+
+Status DecodeBlockSelected(const std::string& data, size_t* offset, TypeId type,
+                           const std::vector<uint8_t>& sel, ColumnVector* out) {
+  return DecodeBlockImpl(data, offset, type, out, /*keep_runs=*/false, &sel);
 }
 
 Result<EncodingId> PeekBlockEncoding(const std::string& data, size_t offset) {

@@ -64,6 +64,17 @@ Status DecodeBlock(const std::string& data, size_t* offset, TypeId type,
 Status DecodeBlockRuns(const std::string& data, size_t* offset, TypeId type,
                        ColumnVector* out);
 
+/// Selection-aware decode for late materialization (§6.1, DESIGN.md §7):
+/// appends only the entries with sel[i] != 0, producing output bit-identical
+/// to DecodeBlock followed by FilterPhysical(sel). `sel` must have exactly
+/// one entry per row of the block. Each encoding materializes only selected
+/// values: RLE skips dead runs wholesale, DeltaValue and BlockDict bit-unpack
+/// only selected slots, the varint delta encodings stop decoding after the
+/// last selected position, and string payloads never copy unselected bytes.
+/// `*offset` still advances past the whole block.
+Status DecodeBlockSelected(const std::string& data, size_t* offset, TypeId type,
+                           const std::vector<uint8_t>& sel, ColumnVector* out);
+
 /// Read the encoding id actually used by an encoded block.
 Result<EncodingId> PeekBlockEncoding(const std::string& data, size_t offset);
 

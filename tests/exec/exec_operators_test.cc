@@ -407,6 +407,244 @@ TEST_F(ExecFixture, RepartitionExchangeParallelGroupBy) {
   EXPECT_DOUBLE_EQ(total, 999 * 1000 / 2 * 0.5);
 }
 
+// ---------------------------------------------------------------------------
+// Late-materialization scan (DESIGN.md §7).
+
+class LateMatFixture : public ::testing::Test {
+ protected:
+  LateMatFixture() {
+    ClusterConfig ccfg;
+    ccfg.num_nodes = 1;
+    ccfg.k_safety = 0;
+    ccfg.direct_ros_row_threshold = 1000000;
+    ccfg.local_segments_per_node = 1;
+    cluster_ = std::make_unique<Cluster>(ccfg, &fs_, &catalog_);
+    TableDef t;
+    t.name = "events";
+    t.columns = {{"k", TypeId::kInt64, false},
+                 {"v", TypeId::kInt64, true},
+                 {"s", TypeId::kString, true}};
+    ProjectionDef p;
+    p.name = "events_super";
+    p.anchor_table = "events";
+    p.columns = {{"k", -1, EncodingId::kAuto},
+                 {"v", -1, EncodingId::kAuto},
+                 {"s", -1, EncodingId::kAuto}};
+    p.sort_columns = {0};
+    p.segmentation.expr = Func(FuncKind::kHash, {Col("k")});
+    EXPECT_TRUE(catalog_.CreateTable(std::move(t)).ok());
+    EXPECT_TRUE(cluster_->CreateProjectionWithBuddies(p).ok());
+    ps_ = cluster_->node(0)->GetStorage("events_super");
+    ctx_.fs = &fs_;
+    ctx_.stats = &stats_;
+  }
+
+  /// Load `count` rows with keys [base, base+count): k sorted, v = 2k,
+  /// s = "p<k%10>". Returns the commit epoch.
+  Epoch LoadBatch(int64_t base, int64_t count) {
+    RowBlock rows({TypeId::kInt64, TypeId::kInt64, TypeId::kString});
+    for (int64_t i = base; i < base + count; ++i) {
+      rows.columns[0].ints.push_back(i);
+      rows.columns[1].ints.push_back(i * 2);
+      rows.columns[2].strings.push_back("p" + std::to_string(i % 10));
+    }
+    auto txn = cluster_->txns()->Begin();
+    EXPECT_TRUE(cluster_->Load("events", rows, txn.get()).ok());
+    auto e = cluster_->Commit(txn);
+    EXPECT_TRUE(e.ok());
+    return e.value();
+  }
+
+  ScanSpec BaseScan() {
+    ScanSpec spec;
+    spec.storage = ps_;
+    spec.projection_columns = {0, 1, 2};
+    spec.output_names = {"k", "v", "s"};
+    spec.output_types = {TypeId::kInt64, TypeId::kInt64, TypeId::kString};
+    return spec;
+  }
+
+  ExprPtr BoundPred(ExprPtr e) {
+    BindSchema schema;
+    schema.Add("k", TypeId::kInt64);
+    schema.Add("v", TypeId::kInt64);
+    schema.Add("s", TypeId::kString);
+    EXPECT_TRUE(BindExpr(e, schema).ok());
+    return e;
+  }
+
+  MemFileSystem fs_;
+  Catalog catalog_;
+  std::unique_ptr<Cluster> cluster_;
+  ProjectionStorage* ps_ = nullptr;
+  ExecStats stats_;
+  ExecContext ctx_;
+};
+
+TEST_F(LateMatFixture, StatsProveSelectiveDecode) {
+  // 40000 sorted rows -> 3 blocks. The predicate matches only rows inside
+  // the middle block, so the two dead blocks must skip their payload
+  // columns entirely and the middle block must decode payload values only
+  // for selected rows.
+  LoadBatch(0, 40000);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+  ctx_.epoch = cluster_->epochs()->LatestQueryableEpoch();
+
+  ScanSpec spec = BaseScan();
+  spec.predicate = BoundPred(
+      And(Cmp(CompareOp::kGe, Col("k"), Lit(Value::Int64(20000))),
+          Cmp(CompareOp::kLt, Col("k"), Lit(Value::Int64(20100)))));
+  ScanOperator scan(spec);
+  auto rows = DrainOperator(&scan, &ctx_);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().NumRows(), 100u);
+  for (size_t r = 0; r < 100; ++r) {
+    int64_t k = rows.value().columns[0].ints[r];
+    EXPECT_EQ(rows.value().columns[1].ints[r], k * 2);
+    EXPECT_EQ(rows.value().columns[2].strings[r], "p" + std::to_string(k % 10));
+  }
+  // Two payload columns (v, s) x 100 selected rows — not x 40000 scanned.
+  EXPECT_EQ(stats_.rows_decoded.load(), 200u);
+  // The two fully-filtered blocks never read their payload columns.
+  EXPECT_GT(stats_.payload_bytes_skipped.load(), 0u);
+  EXPECT_GT(stats_.bytes_read.load(), 0u);
+  EXPECT_EQ(stats_.rows_scanned.load(), 40000u);
+
+  // The eager A/B knob pays for every payload block.
+  ExecStats eager_stats;
+  ExecContext eager_ctx = ctx_;
+  eager_ctx.stats = &eager_stats;
+  spec.eager_decode = true;
+  ScanOperator eager(spec);
+  auto eager_rows = DrainOperator(&eager, &eager_ctx);
+  ASSERT_TRUE(eager_rows.ok());
+  EXPECT_EQ(eager_rows.value().NumRows(), 100u);
+  EXPECT_EQ(eager_stats.payload_bytes_skipped.load(), 0u);
+  EXPECT_GT(eager_stats.bytes_read.load(), stats_.bytes_read.load());
+}
+
+TEST_F(LateMatFixture, MatchesEagerWithDeletesEpochPredicateAndSip) {
+  // Build a container with per-row epochs: two merged loads, then a delete,
+  // then a third load merged on top, scanned at the delete's epoch so all
+  // four filters (epoch, deletes, predicate, SIP) are live at once.
+  LoadBatch(0, 10000);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+  LoadBatch(10000, 10000);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+
+  // Delete every k % 7 == 0 row currently in ROS.
+  auto txn = cluster_->txns()->Begin();
+  for (const auto& c : ps_->Containers()) {
+    RowBlock rows;
+    ASSERT_TRUE(ReadRosContainer(&fs_, *c, &rows, nullptr).ok());
+    std::vector<uint64_t> pos;
+    for (size_t r = 0; r < rows.NumRows(); ++r) {
+      if (rows.columns[0].ints[r] % 7 == 0) pos.push_back(r);
+    }
+    ASSERT_TRUE(ps_->AddDeletes(c->id, pos, txn.get()).ok());
+  }
+  auto e_del = cluster_->Commit(txn);
+  ASSERT_TRUE(e_del.ok());
+
+  LoadBatch(20000, 10000);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+
+  // Epoch e_del: batches 1+2 visible, deletes visible, batch 3 not yet.
+  ctx_.epoch = e_del.value();
+
+  auto run = [&](bool eager) {
+    ScanSpec spec = BaseScan();
+    spec.eager_decode = eager;
+    spec.predicate = BoundPred(Cmp(CompareOp::kLt, Col("k"), Lit(Value::Int64(5000))));
+    auto sip = std::make_shared<SipFilter>();
+    sip->probe_columns = {0};
+    spec.sips = {sip};
+    RowBlock build({TypeId::kInt64});
+    for (int64_t i = 0; i < 30000; i += 3) build.columns[0].ints.push_back(i);
+    JoinSpec jspec;
+    jspec.type = JoinType::kInner;
+    jspec.probe_keys = {0};
+    jspec.build_keys = {0};
+    jspec.sip = sip;
+    HashJoinOperator join(std::make_unique<ScanOperator>(spec),
+                          std::make_unique<MaterializedOperator>(
+                              build, std::vector<std::string>{"bk"}),
+                          jspec);
+    auto rows = DrainOperator(&join, &ctx_);
+    EXPECT_TRUE(rows.ok());
+    return rows.value();
+  };
+
+  RowBlock late = run(false);
+  RowBlock eager = run(true);
+  // k < 5000, k % 3 == 0 (SIP+join), k % 7 != 0 (deleted): 1667 - 239 = 1428.
+  size_t expected = 0;
+  for (int64_t k = 0; k < 5000; k += 3) expected += (k % 7 != 0);
+  EXPECT_EQ(late.NumRows(), expected);
+  EXPECT_EQ(eager.NumRows(), expected);
+  ASSERT_EQ(late.NumRows(), eager.NumRows());
+  EXPECT_EQ(late.ToString(late.NumRows() + 1), eager.ToString(eager.NumRows() + 1));
+
+  // Sanity: the epoch filter is really engaged — at the final epoch the
+  // third batch's keys join too (none pass k < 5000, so instead check a
+  // full scan sees them).
+  ExecContext head_ctx = ctx_;
+  head_ctx.epoch = cluster_->epochs()->LatestQueryableEpoch();
+  ScanOperator full(BaseScan());
+  auto all_rows = DrainOperator(&full, &head_ctx);
+  ASSERT_TRUE(all_rows.ok());
+  EXPECT_GT(all_rows.value().NumRows(), late.NumRows());
+  ScanOperator at_del(BaseScan());
+  auto del_rows = DrainOperator(&at_del, &ctx_);
+  ASSERT_TRUE(del_rows.ok());
+  size_t deleted = 0;
+  for (int64_t k = 0; k < 20000; ++k) deleted += (k % 7 == 0);
+  EXPECT_EQ(del_rows.value().NumRows(), 20000u - deleted);
+}
+
+TEST_F(LateMatFixture, ConstantPredicateHasNoColumnsToFilterBy) {
+  LoadBatch(0, 2000);
+  ASSERT_TRUE(cluster_->RunTupleMover().ok());
+  ctx_.epoch = cluster_->epochs()->LatestQueryableEpoch();
+  for (int64_t truth : {1, 0}) {
+    ScanSpec spec = BaseScan();
+    spec.predicate = BoundPred(
+        Cmp(CompareOp::kEq, Lit(Value::Int64(truth)), Lit(Value::Int64(1))));
+    ScanOperator scan(spec);
+    auto rows = DrainOperator(&scan, &ctx_);
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows.value().NumRows(), truth ? 2000u : 0u);
+  }
+}
+
+TEST_F(LateMatFixture, WosScanAppliesDeletesAndPredicate) {
+  // No tuple mover: rows stay in the WOS; the scan's ranged-copy gather and
+  // one-pass delete masking must agree with the filters.
+  LoadBatch(0, 5000);
+  auto txn = cluster_->txns()->Begin();
+  std::vector<uint64_t> pos;
+  for (uint64_t r = 0; r < 5000; r += 5) pos.push_back(r);  // delete k%5==0
+  ASSERT_TRUE(ps_->AddDeletes(kWosTargetId, pos, txn.get()).ok());
+  auto e_del = cluster_->Commit(txn);
+  ASSERT_TRUE(e_del.ok());
+  ctx_.epoch = e_del.value();
+
+  ScanSpec spec = BaseScan();
+  spec.predicate = BoundPred(Cmp(CompareOp::kLt, Col("k"), Lit(Value::Int64(1000))));
+  ScanOperator scan(spec);
+  auto rows = DrainOperator(&scan, &ctx_);
+  ASSERT_TRUE(rows.ok());
+  // k < 1000 and k % 5 != 0 -> 800 rows.
+  ASSERT_EQ(rows.value().NumRows(), 800u);
+  for (size_t r = 0; r < rows.value().NumRows(); ++r) {
+    int64_t k = rows.value().columns[0].ints[r];
+    EXPECT_NE(k % 5, 0);
+    EXPECT_LT(k, 1000);
+    EXPECT_EQ(rows.value().columns[1].ints[r], k * 2);
+    EXPECT_EQ(rows.value().columns[2].strings[r], "p" + std::to_string(k % 10));
+  }
+}
+
 TEST_F(ExecFixture, LimitStopsEarlyThroughExchange) {
   std::vector<OperatorPtr> producers;
   producers.push_back(std::make_unique<ScanOperator>(BaseScan()));

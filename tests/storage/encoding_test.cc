@@ -208,6 +208,193 @@ TEST(EncodingTest, AutoBeatsPlainOnEveryShapedInput) {
 }
 
 // ---------------------------------------------------------------------------
+// Selective decode (late materialization): DecodeBlockSelected must be
+// bit-identical to DecodeBlock + FilterPhysical for every encoding, shape,
+// and selection pattern, and must consume the same number of block bytes.
+
+std::vector<uint8_t> MakeSelection(int kind, size_t n) {
+  std::vector<uint8_t> sel(n, 0);
+  switch (kind) {
+    case 0: break;                                          // empty
+    case 1:                                                 // sparse: ~1%
+      for (size_t i = 0; i < n; i += 97) sel[i] = 1;
+      break;
+    case 2:                                                 // dense: all but ~8%
+      sel.assign(n, 1);
+      for (size_t i = 5; i < n; i += 13) sel[i] = 0;
+      break;
+    case 3: sel.assign(n, 1); break;                        // all-ones
+    case 4:                                                 // single last row
+      if (n > 0) sel[n - 1] = 1;
+      break;
+  }
+  return sel;
+}
+
+void ExpectSelectedMatches(EncodingId enc, const ColumnVector& col,
+                           const std::vector<uint8_t>& sel) {
+  std::string buf;
+  ASSERT_TRUE(EncodeBlock(enc, col, 0, col.PhysicalSize(), &buf).ok());
+
+  ColumnVector ref(col.type);
+  size_t ref_offset = 0;
+  ASSERT_TRUE(DecodeBlock(buf, &ref_offset, col.type, &ref).ok());
+  ref.FilterPhysical(sel);
+
+  ColumnVector out(col.type);
+  size_t offset = 0;
+  ASSERT_TRUE(DecodeBlockSelected(buf, &offset, col.type, sel, &out).ok())
+      << EncodingName(enc);
+  EXPECT_EQ(offset, ref_offset) << "selected decode must consume the whole block";
+  ASSERT_EQ(out.PhysicalSize(), ref.PhysicalSize()) << EncodingName(enc);
+  EXPECT_EQ(out.nulls.size(), ref.nulls.size());
+  for (size_t i = 0; i < ref.PhysicalSize(); ++i) {
+    EXPECT_EQ(out.IsNull(i), ref.IsNull(i)) << "row " << i;
+    if (!ref.IsNull(i)) {
+      EXPECT_EQ(ColumnVector::CompareEntries(out, i, ref, i), 0)
+          << "row " << i << " enc " << EncodingName(enc);
+    }
+  }
+}
+
+constexpr EncodingId kAllEncodings[] = {
+    EncodingId::kPlain,        EncodingId::kRle,
+    EncodingId::kDeltaValue,   EncodingId::kBlockDict,
+    EncodingId::kCompressedDeltaRange, EncodingId::kCompressedCommonDelta,
+    EncodingId::kAuto,
+};
+
+TEST(SelectiveDecodeTest, StringsAllEncodings) {
+  Rng rng(11);
+  std::vector<std::string> names = {"GOOG", "AAPL", "MSFT", "HP", ""};
+  std::vector<std::string> v;
+  for (int i = 0; i < 3000; ++i) {
+    v.push_back(i % 5 == 0 ? std::string(1 + rng.Uniform(30), 'x' + i % 3)
+                           : names[rng.Uniform(5)]);
+  }
+  ColumnVector col = MakeStrings(v);
+  for (EncodingId enc : {EncodingId::kPlain, EncodingId::kRle, EncodingId::kBlockDict,
+                         EncodingId::kAuto}) {
+    for (int kind = 0; kind < 5; ++kind) {
+      ExpectSelectedMatches(enc, col, MakeSelection(kind, v.size()));
+    }
+  }
+}
+
+TEST(SelectiveDecodeTest, SortedStringsRle) {
+  std::vector<std::string> v;
+  for (int run = 0; run < 40; ++run)
+    for (int i = 0; i < 100; ++i) v.push_back("key" + std::to_string(run));
+  ColumnVector col = MakeStrings(v);
+  for (int kind = 0; kind < 5; ++kind) {
+    ExpectSelectedMatches(EncodingId::kRle, col, MakeSelection(kind, v.size()));
+  }
+}
+
+TEST(SelectiveDecodeTest, DoublesAllEncodings) {
+  Rng rng(12);
+  std::vector<double> v;
+  double x = -100.0;
+  for (int i = 0; i < 3000; ++i) {
+    x += rng.NextDouble();
+    v.push_back(i % 7 == 0 ? -x : x);
+  }
+  ColumnVector col = MakeDoubles(v);
+  for (EncodingId enc : {EncodingId::kPlain, EncodingId::kRle, EncodingId::kBlockDict,
+                         EncodingId::kCompressedDeltaRange, EncodingId::kAuto}) {
+    for (int kind = 0; kind < 5; ++kind) {
+      ExpectSelectedMatches(enc, col, MakeSelection(kind, v.size()));
+    }
+  }
+}
+
+TEST(SelectiveDecodeTest, NullsAllEncodings) {
+  ColumnVector col(TypeId::kInt64);
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 7 == 0) {
+      col.Append(Value::Null(TypeId::kInt64));
+    } else {
+      col.Append(Value::Int64(i / 10));
+    }
+  }
+  for (EncodingId enc : kAllEncodings) {
+    for (int kind = 0; kind < 5; ++kind) {
+      ExpectSelectedMatches(enc, col, MakeSelection(kind, col.PhysicalSize()));
+    }
+  }
+}
+
+TEST(SelectiveDecodeTest, SelectionSizeMismatchRejected) {
+  ColumnVector col = MakeInts({1, 2, 3, 4});
+  std::string buf;
+  ASSERT_TRUE(EncodeBlock(EncodingId::kPlain, col, 0, 4, &buf).ok());
+  ColumnVector out(TypeId::kInt64);
+  size_t offset = 0;
+  std::vector<uint8_t> bad_sel(3, 1);
+  EXPECT_FALSE(DecodeBlockSelected(buf, &offset, TypeId::kInt64, bad_sel, &out).ok());
+}
+
+TEST(SelectiveDecodeTest, AppendsAfterExistingContent) {
+  // The scan appends across blocks; selected decode must honor prior
+  // content, including a null-map prefix.
+  ColumnVector col = MakeInts({10, 20, 30, 40, 50});
+  std::string buf;
+  ASSERT_TRUE(EncodeBlock(EncodingId::kDeltaValue, col, 0, 5, &buf).ok());
+  ColumnVector out(TypeId::kInt64);
+  out.Append(Value::Null(TypeId::kInt64));
+  out.Append(Value::Int64(7));
+  size_t offset = 0;
+  std::vector<uint8_t> sel = {0, 1, 0, 1, 0};
+  ASSERT_TRUE(DecodeBlockSelected(buf, &offset, TypeId::kInt64, sel, &out).ok());
+  ASSERT_EQ(out.PhysicalSize(), 4u);
+  EXPECT_TRUE(out.IsNull(0));
+  EXPECT_EQ(out.ints[1], 7);
+  EXPECT_EQ(out.ints[2], 20);
+  EXPECT_EQ(out.ints[3], 40);
+  EXPECT_FALSE(out.IsNull(2));
+  EXPECT_FALSE(out.IsNull(3));
+}
+
+class SelectiveDecodePropertyTest
+    : public ::testing::TestWithParam<std::tuple<EncodingId, int, int, size_t>> {};
+
+TEST_P(SelectiveDecodePropertyTest, MatchesEagerDecodePlusFilter) {
+  auto [enc, shape_idx, sel_kind, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(shape_idx) * 7919 + n);
+  std::vector<int64_t> v;
+  switch (shape_idx) {
+    case 0: {  // sorted with runs
+      int64_t x = -500;
+      for (size_t i = 0; i < n; ++i) v.push_back(x += rng.Range(0, 2));
+      break;
+    }
+    case 1:  // random full-range
+      for (size_t i = 0; i < n; ++i) v.push_back(static_cast<int64_t>(rng.Next()));
+      break;
+    case 2:  // low cardinality
+      for (size_t i = 0; i < n; ++i) v.push_back(rng.Range(-3, 3));
+      break;
+    case 3: {  // periodic (common-delta territory)
+      int64_t t = 0;
+      for (size_t i = 0; i < n; ++i) v.push_back(t += rng.Uniform(50) == 0 ? 7777 : 60);
+      break;
+    }
+    default:  // constant
+      v.assign(n, 42);
+      break;
+  }
+  ColumnVector col = MakeInts(v);
+  ExpectSelectedMatches(enc, col, MakeSelection(sel_kind, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SelectiveDecodePropertyTest,
+    ::testing::Combine(::testing::ValuesIn(kAllEncodings),
+                       ::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values<size_t>(1, 2, 100, 4096)));
+
+// ---------------------------------------------------------------------------
 // Property sweep: every (encoding, shape, size) combination round-trips.
 
 struct Shape {
