@@ -47,6 +47,7 @@ ExecContext Database::MakeExecContext() {
   ctx.budget = budget_.get();
   ctx.stats = &stats_;
   ctx.intra_node_parallelism = options_.intra_node_parallelism;
+  ctx.sort_memory_bytes = options_.sort_memory_budget;
   return ctx;
 }
 

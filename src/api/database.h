@@ -22,6 +22,9 @@ struct DatabaseOptions {
   uint32_t k_safety = 0;
   uint32_t local_segments_per_node = 3;
   size_t query_memory_budget = 256ull << 20;
+  /// Per-Sort buffering ceiling before run generation spills to disk
+  /// (external sort, DESIGN.md §8). 0 disables the cap.
+  size_t sort_memory_budget = 64ull << 20;
   size_t intra_node_parallelism = 4;
   uint64_t direct_ros_row_threshold = 100000;
   TupleMoverConfig tuple_mover;

@@ -37,6 +37,11 @@ struct ExecStats {
   std::atomic<uint64_t> bytes_read{0};         ///< encoded bytes fetched by scans
   std::atomic<uint64_t> rows_spilled{0};
   std::atomic<uint64_t> spill_files{0};
+  std::atomic<uint64_t> sort_runs{0};           ///< sorted runs spilled by Sort
+  std::atomic<uint64_t> sort_spilled_bytes{0};  ///< serialized bytes of those runs
+  /// Rows a top-k Sort discarded without buffering (they could not beat the
+  /// current k-th key) — the savings of the fused Limit+Sort path.
+  std::atomic<uint64_t> topk_rows_pruned{0};
   std::atomic<uint64_t> prepass_disabled{0};   ///< runtime prepass shutoffs
   std::atomic<uint64_t> hash_to_merge_switches{0};
   std::atomic<uint64_t> exchange_bytes{0};     ///< simulated interconnect traffic
@@ -78,6 +83,11 @@ struct ExecContext {
       std::make_shared<std::atomic<uint64_t>>(0);
   size_t vector_size = kDefaultVectorSize;
   size_t intra_node_parallelism = 4;  ///< StorageUnion worker pipelines.
+  /// Per-Sort buffering ceiling before run generation spills (Section 6.1:
+  /// operators must handle inputs of any size regardless of allocated
+  /// memory). Enforced even when no ResourceBudget is installed; 0 disables
+  /// the cap (tests only).
+  size_t sort_memory_bytes = 64ull << 20;
 
   std::string NextSpillPath() {
     return spill_dir + "/s" + std::to_string(spill_seq->fetch_add(1));

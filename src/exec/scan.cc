@@ -58,6 +58,24 @@ struct ScanOperator::Source {
   bool exhausted = false;
 };
 
+/// Feeds one Source's filtered blocks into the loser-tree merge. Blocks
+/// are handed over whole; the merger owns cursor state and key building.
+struct ScanOperator::SourceMergeInput : public MergeInput {
+  SourceMergeInput(ScanOperator* scan, Source* src) : scan(scan), src(src) {}
+  Status NextBlock(RowBlock* out) override {
+    STRATICA_RETURN_NOT_OK(scan->Advance(src));
+    if (src->exhausted) {
+      *out = RowBlock();
+      return Status::OK();
+    }
+    *out = std::move(src->current);
+    src->current = RowBlock();
+    return Status::OK();
+  }
+  ScanOperator* scan;
+  Source* src;
+};
+
 ScanOperator::ScanOperator(ScanSpec spec) : spec_(std::move(spec)) {}
 ScanOperator::~ScanOperator() = default;
 
@@ -164,6 +182,7 @@ Status ScanOperator::OpenWosSource() {
 Status ScanOperator::Open(ExecContext* ctx) {
   ctx_ = ctx;
   snap_ = spec_.storage->GetSnapshot(ctx->epoch, ctx->txn_id);
+  merger_.reset();
   sources_.clear();
   current_source_ = 0;
   if (spec_.use_regions) {
@@ -228,7 +247,16 @@ Status ScanOperator::Open(ExecContext* ctx) {
   }
 
   if (merge_mode_) {
-    for (auto& src : sources_) STRATICA_RETURN_NOT_OK(Advance(src.get()));
+    // Sorted output over multiple sources: a loser-tree merge keyed on the
+    // sort-prefix outputs (ascending, matching the stored sort order).
+    std::vector<std::unique_ptr<MergeInput>> inputs;
+    for (auto& src : sources_) {
+      inputs.push_back(std::make_unique<SourceMergeInput>(this, src.get()));
+    }
+    std::vector<SortKey> keys;
+    for (uint32_t c : spec_.sort_key_outputs) keys.push_back({c, false});
+    merger_ = std::make_unique<LoserTreeMerger>(std::move(inputs), keys);
+    STRATICA_RETURN_NOT_OK(merger_->Init());
   }
   return Status::OK();
 }
@@ -511,27 +539,8 @@ Status ScanOperator::GetNext(RowBlock* out) {
     }
     return Status::OK();  // EOF
   }
-  // Merge mode: k-way merge by the sort key outputs.
-  while (out->NumRows() < ctx_->vector_size) {
-    Source* best = nullptr;
-    for (auto& sp : sources_) {
-      Source* src = sp.get();
-      if (src->exhausted) continue;
-      if (src->cursor >= src->current.NumRows()) {
-        STRATICA_RETURN_NOT_OK(Advance(src));
-        if (src->exhausted) continue;
-      }
-      if (!best ||
-          CompareRows(src->current, src->cursor, best->current, best->cursor,
-                      spec_.sort_key_outputs, spec_.sort_key_outputs) < 0) {
-        best = src;
-      }
-    }
-    if (!best) break;  // all exhausted
-    out->AppendRowFrom(best->current, best->cursor);
-    ++best->cursor;
-  }
-  return Status::OK();
+  // Merge mode: k-way loser-tree merge by the sort key outputs.
+  return merger_->Next(out, ctx_->vector_size);
 }
 
 Status ScanOperator::Close() {
@@ -545,6 +554,7 @@ Status ScanOperator::Close() {
     }
     ctx_->stats->bytes_read.fetch_add(total);
   }
+  merger_.reset();  // holds raw Source pointers; must go before sources_
   sources_.clear();
   return Status::OK();
 }

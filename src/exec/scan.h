@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "exec/hash_table.h"
+#include "exec/merge.h"
 #include "exec/operator.h"
 #include "expr/expr.h"
 #include "storage/projection_storage.h"
@@ -93,6 +94,7 @@ class ScanOperator : public Operator {
 
  private:
   struct Source;
+  struct SourceMergeInput;  ///< adapts a Source to the k-way merge kernel
 
   Status OpenContainerSource(const ScanRegion& region);
   Status OpenWosSource();
@@ -117,6 +119,8 @@ class ScanOperator : public Operator {
   std::vector<std::unique_ptr<Source>> sources_;
   size_t current_source_ = 0;
   bool merge_mode_ = false;
+  /// Sorted-output k-way merge over the sources (DESIGN.md §8).
+  std::unique_ptr<LoserTreeMerger> merger_;
 
   // Late materialization (DESIGN.md §7), precomputed at Open: the "filter
   // view" is the subset of output columns the selection vector depends on

@@ -98,28 +98,15 @@ Status FilterOperator::GetNext(RowBlock* out) {
   }
 }
 
-int CompareRowsDirected(const RowBlock& a, size_t ia, const RowBlock& b, size_t ib,
-                        const std::vector<SortKey>& keys) {
-  for (const auto& key : keys) {
-    int c = ColumnVector::CompareEntries(a.columns[key.column], ia,
-                                         b.columns[key.column], ib);
-    if (c != 0) return key.descending ? -c : c;
-  }
-  return 0;
-}
-
 RowBlock SortOperator::SortBuffer() {
-  std::vector<uint32_t> perm(buffer_.NumRows());
-  std::iota(perm.begin(), perm.end(), 0);
-  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
-    return CompareRowsDirected(buffer_, x, buffer_, y, keys_) < 0;
-  });
-  RowBlock sorted(child_->OutputTypes());
-  for (uint32_t r : perm) sorted.AppendRowFrom(buffer_, r);
-  return sorted;
+  std::vector<uint32_t> perm = ComputeSortPermutationDirected(buffer_, keys_);
+  return ApplyPermutation(buffer_, perm);
 }
 
-Status SortOperator::SpillRun(RowBlock sorted) {
+Status SortOperator::SpillRun() {
+  RowBlock sorted = SortBuffer();
+  buffer_ = RowBlock(child_->OutputTypes());
+  buffer_bytes_ = 0;
   if (sorted.NumRows() == 0) return Status::OK();
   SpillWriter writer(ctx_->fs, ctx_->NextSpillPath());
   STRATICA_RETURN_NOT_OK(writer.Append(sorted));
@@ -127,11 +114,146 @@ Status SortOperator::SpillRun(RowBlock sorted) {
   if (ctx_->stats) {
     ctx_->stats->rows_spilled.fetch_add(sorted.NumRows());
     ctx_->stats->spill_files.fetch_add(1);
+    ctx_->stats->sort_runs.fetch_add(1);
+    auto size = ctx_->fs->FileSize(writer.path());
+    if (size.ok()) ctx_->stats->sort_spilled_bytes.fetch_add(size.value());
   }
-  Run run;
-  run.reader = std::make_unique<SpillReader>(ctx_->fs, writer.path(),
-                                             child_->OutputTypes());
-  runs_.push_back(std::move(run));
+  run_paths_.push_back(writer.path());
+  return Status::OK();
+}
+
+Status SortOperator::ConsumeRuns() {
+  for (;;) {
+    RowBlock in;
+    STRATICA_RETURN_NOT_OK(child_->GetNext(&in));
+    if (in.NumRows() == 0) break;
+    in.DecodeAll();
+    size_t bytes = in.MemoryBytes();
+    for (size_t c = 0; c < buffer_.columns.size(); ++c) {
+      buffer_.columns[c].AppendRange(in.columns[c], 0, in.NumRows());
+    }
+    buffer_bytes_ += bytes;
+    // Externalize when either limit runs out (Section 6.1: all operators can
+    // handle arbitrary inputs regardless of allocated memory): the shared
+    // ResourceBudget when one is installed, and the per-sort spill ceiling
+    // always — an unbudgeted context must not buffer the whole input.
+    bool over_budget = ctx_->budget != nullptr && !ctx_->budget->TryReserve(bytes);
+    if (!over_budget && ctx_->budget != nullptr) reserved_ += bytes;
+    bool over_limit =
+        ctx_->sort_memory_bytes > 0 && buffer_bytes_ > ctx_->sort_memory_bytes;
+    if (over_budget || over_limit) {
+      STRATICA_RETURN_NOT_OK(SpillRun());
+      if (ctx_->budget != nullptr) {
+        ctx_->budget->Release(reserved_);
+        reserved_ = 0;
+      }
+    }
+  }
+
+  if (run_paths_.empty()) {
+    sorted_ = SortBuffer();
+    buffer_ = RowBlock(child_->OutputTypes());
+    merge_mode_ = false;
+    return Status::OK();
+  }
+  // The final run stays in memory; spilled runs stream back block-wise.
+  // Input order = run order (earlier input rows in earlier runs), so the
+  // merger's low-index tie-break keeps the overall sort stable.
+  std::vector<std::unique_ptr<MergeInput>> inputs;
+  for (const auto& path : run_paths_) {
+    inputs.push_back(
+        std::make_unique<SpillMergeInput>(ctx_->fs, path, child_->OutputTypes()));
+  }
+  RowBlock last = SortBuffer();
+  buffer_ = RowBlock(child_->OutputTypes());
+  if (last.NumRows() > 0) {
+    inputs.push_back(std::make_unique<BlockMergeInput>(std::move(last)));
+  }
+  merger_ = std::make_unique<LoserTreeMerger>(std::move(inputs), keys_);
+  STRATICA_RETURN_NOT_OK(merger_->Init());
+  merge_mode_ = true;
+  return Status::OK();
+}
+
+void SortOperator::CompactTopKStore() {
+  std::vector<uint32_t> live;
+  live.reserve(heap_.size());
+  for (const auto& e : heap_) live.push_back(e.row);
+  RowBlock compact(child_->OutputTypes());
+  for (size_t c = 0; c < compact.columns.size(); ++c) {
+    compact.columns[c].AppendGather(topk_store_.columns[c], live);
+  }
+  topk_store_ = std::move(compact);
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    heap_[i].row = static_cast<uint32_t>(i);
+  }
+}
+
+Status SortOperator::ConsumeTopK() {
+  // Max-heap ordered by (key, seq): the root is the current k-th (worst)
+  // kept row. A new row displaces it only when strictly smaller — an equal
+  // key loses to the incumbent's earlier sequence number, which is exactly
+  // the tie a stable full sort would resolve the same way.
+  auto worse = [](const TopKEntry& a, const TopKEntry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq < b.seq;
+  };
+  const size_t k = static_cast<size_t>(limit_hint_);
+  NormalizedKeys nk;
+  uint64_t pruned = 0;
+  for (;;) {
+    RowBlock in;
+    STRATICA_RETURN_NOT_OK(child_->GetNext(&in));
+    if (in.NumRows() == 0) break;
+    in.DecodeAll();
+    BuildNormalizedKeys(in, keys_, &nk);
+    for (size_t r = 0; r < in.NumRows(); ++r) {
+      const char* kd = reinterpret_cast<const char*>(nk.Data(r));
+      size_t kl = nk.Length(r);
+      if (heap_.size() < k) {
+        topk_store_.AppendRowFrom(in, r);
+        heap_.push_back({std::string(kd, kl), topk_seq_++,
+                         static_cast<uint32_t>(topk_store_.NumRows() - 1)});
+        std::push_heap(heap_.begin(), heap_.end(), worse);
+        continue;
+      }
+      const TopKEntry& top = heap_.front();
+      if (top.key.compare(0, top.key.size(), kd, kl) <= 0) {
+        ++topk_seq_;
+        ++pruned;
+        continue;  // cannot beat the current k-th row
+      }
+      std::pop_heap(heap_.begin(), heap_.end(), worse);
+      topk_store_.AppendRowFrom(in, r);
+      heap_.back() = {std::string(kd, kl), topk_seq_++,
+                      static_cast<uint32_t>(topk_store_.NumRows() - 1)};
+      std::push_heap(heap_.begin(), heap_.end(), worse);
+      // Compact on row growth, or on byte growth for wide rows — the store
+      // must not outgrow the sort budget just because replaced rows linger
+      // (live rows are O(result) and must fit to be returned at all). The
+      // byte check walks the store, so it runs every 1024 insertions.
+      if (topk_store_.NumRows() > 4 * k + 1024 ||
+          ((topk_store_.NumRows() & 1023) == 0 && ctx_->sort_memory_bytes > 0 &&
+           topk_store_.NumRows() > 2 * k &&
+           topk_store_.MemoryBytes() > ctx_->sort_memory_bytes)) {
+        CompactTopKStore();
+      }
+    }
+  }
+  if (ctx_->stats && pruned > 0) ctx_->stats->topk_rows_pruned.fetch_add(pruned);
+
+  std::vector<TopKEntry> final_order = std::move(heap_);
+  heap_.clear();
+  std::sort(final_order.begin(), final_order.end(), worse);
+  std::vector<uint32_t> rows;
+  rows.reserve(final_order.size());
+  for (const auto& e : final_order) rows.push_back(e.row);
+  sorted_ = RowBlock(child_->OutputTypes());
+  for (size_t c = 0; c < sorted_.columns.size(); ++c) {
+    sorted_.columns[c].AppendGather(topk_store_.columns[c], rows);
+  }
+  topk_store_ = RowBlock(child_->OutputTypes());
+  merge_mode_ = false;
   return Status::OK();
 }
 
@@ -139,47 +261,24 @@ Status SortOperator::Open(ExecContext* ctx) {
   ctx_ = ctx;
   STRATICA_RETURN_NOT_OK(child_->Open(ctx));
   buffer_ = RowBlock(child_->OutputTypes());
-  runs_.clear();
+  topk_store_ = RowBlock(child_->OutputTypes());
+  heap_.clear();
+  run_paths_.clear();
+  merger_.reset();
+  sorted_ = RowBlock(child_->OutputTypes());
   cursor_ = 0;
   reserved_ = 0;
+  buffer_bytes_ = 0;
+  topk_seq_ = 0;
+  merge_mode_ = false;
 
-  for (;;) {
-    RowBlock in;
-    STRATICA_RETURN_NOT_OK(child_->GetNext(&in));
-    if (in.NumRows() == 0) break;
-    in.DecodeAll();
-    size_t bytes = in.MemoryBytes();
-    for (size_t r = 0; r < in.NumRows(); ++r) buffer_.AppendRowFrom(in, r);
-    // Externalize when the budget runs out (Section 6.1: all operators can
-    // handle arbitrary inputs regardless of allocated memory).
-    if (ctx->budget && !ctx->budget->TryReserve(bytes)) {
-      STRATICA_RETURN_NOT_OK(SpillRun(SortBuffer()));
-      buffer_ = RowBlock(child_->OutputTypes());
-      ctx->budget->Release(reserved_);
-      reserved_ = 0;
-    } else if (ctx->budget) {
-      reserved_ += bytes;
-    }
-  }
-
-  if (runs_.empty()) {
-    sorted_ = SortBuffer();
-    merge_mode_ = false;
-  } else {
-    if (buffer_.NumRows() > 0) STRATICA_RETURN_NOT_OK(SpillRun(SortBuffer()));
-    buffer_ = RowBlock(child_->OutputTypes());
-    for (auto& run : runs_) {
-      STRATICA_RETURN_NOT_OK(run.reader->Open());
-      STRATICA_RETURN_NOT_OK(run.reader->Next(&run.current));
-      run.exhausted = run.current.NumRows() == 0;
-    }
-    merge_mode_ = true;
-  }
-  if (ctx->budget) {
+  Status consumed =
+      limit_hint_ > 0 ? ConsumeTopK() : ConsumeRuns();
+  if (ctx->budget != nullptr) {
     ctx->budget->Release(reserved_);
     reserved_ = 0;
   }
-  return Status::OK();
+  return consumed;
 }
 
 Status SortOperator::GetNext(RowBlock* out) {
@@ -188,32 +287,13 @@ Status SortOperator::GetNext(RowBlock* out) {
     size_t n = sorted_.NumRows();
     if (cursor_ >= n) return Status::OK();
     size_t take = std::min(ctx_->vector_size, n - cursor_);
-    for (size_t r = 0; r < take; ++r) out->AppendRowFrom(sorted_, cursor_ + r);
+    for (size_t c = 0; c < out->columns.size(); ++c) {
+      out->columns[c].AppendRange(sorted_.columns[c], cursor_, take);
+    }
     cursor_ += take;
     return Status::OK();
   }
-  while (out->NumRows() < ctx_->vector_size) {
-    Run* best = nullptr;
-    for (auto& run : runs_) {
-      if (run.exhausted) continue;
-      if (run.cursor >= run.current.NumRows()) {
-        STRATICA_RETURN_NOT_OK(run.reader->Next(&run.current));
-        run.cursor = 0;
-        if (run.current.NumRows() == 0) {
-          run.exhausted = true;
-          continue;
-        }
-      }
-      if (!best || CompareRowsDirected(run.current, run.cursor, best->current,
-                                       best->cursor, keys_) < 0) {
-        best = &run;
-      }
-    }
-    if (!best) break;
-    out->AppendRowFrom(best->current, best->cursor);
-    ++best->cursor;
-  }
-  return Status::OK();
+  return merger_->Next(out, ctx_->vector_size);
 }
 
 std::string SortOperator::DebugString() const {
@@ -223,7 +303,9 @@ std::string SortOperator::DebugString() const {
     s += std::to_string(keys_[i].column);
     if (keys_[i].descending) s += " DESC";
   }
-  if (!runs_.empty()) s += ", external runs: " + std::to_string(runs_.size());
+  if (limit_hint_ > 0) s += ", top-k: " + std::to_string(limit_hint_);
+  if (!run_paths_.empty())
+    s += ", external runs: " + std::to_string(run_paths_.size());
   return s + ")";
 }
 

@@ -5,9 +5,11 @@
 
 #include <memory>
 
+#include "exec/merge.h"
 #include "exec/operator.h"
 #include "exec/spill.h"
 #include "expr/expr.h"
+#include "storage/sort_util.h"
 
 namespace stratica {
 
@@ -96,23 +98,18 @@ class FilterOperator : public Operator {
   ExprPtr predicate_;
 };
 
-/// Sort key with direction.
-struct SortKey {
-  uint32_t column;
-  bool descending = false;
-};
-
-/// Compare rows under directed sort keys.
-int CompareRowsDirected(const RowBlock& a, size_t ia, const RowBlock& b, size_t ib,
-                        const std::vector<SortKey>& keys);
-
-/// \brief Sort (Section 6.1 #5): externalizing sort. Buffers input under
-/// the memory budget; overflow sorts and spills runs, finishing with a
-/// k-way run merge.
+/// \brief Sort (Section 6.1 #5): externalizing sort over normalized keys
+/// (DESIGN.md §8). Run generation buffers input up to the spill memory
+/// limit (ExecContext::sort_memory_bytes and/or the ResourceBudget), sorts
+/// each run with a memcmp-class normalized-key sort and spills it; the
+/// final run stays in memory and all runs stream through a k-way
+/// loser-tree merge. When a Limit sits above the Sort, the planner passes
+/// `limit_hint` and the operator switches to a fused top-k heap that keeps
+/// at most `limit_hint` rows buffered and never spills.
 class SortOperator : public Operator {
  public:
-  SortOperator(OperatorPtr child, std::vector<SortKey> keys)
-      : child_(std::move(child)), keys_(std::move(keys)) {}
+  SortOperator(OperatorPtr child, std::vector<SortKey> keys, uint64_t limit_hint = 0)
+      : child_(std::move(child)), keys_(std::move(keys)), limit_hint_(limit_hint) {}
 
   Status Open(ExecContext* ctx) override;
   Status GetNext(RowBlock* out) override;
@@ -122,28 +119,42 @@ class SortOperator : public Operator {
   std::string DebugString() const override;
   std::vector<Operator*> Children() const override { return {child_.get()}; }
 
-  size_t runs_spilled() const { return runs_.size(); }
+  size_t runs_spilled() const { return run_paths_.size(); }
 
  private:
-  Status SpillRun(RowBlock sorted);
-  RowBlock SortBuffer();
+  Status ConsumeRuns();       ///< run generation + spill (general path)
+  Status ConsumeTopK();       ///< bounded heap (limit-hint path)
+  Status SpillRun();          ///< sort + spill the current buffer
+  RowBlock SortBuffer();      ///< normalized-key sort of buffer_
+  void CompactTopKStore();
 
   OperatorPtr child_;
   std::vector<SortKey> keys_;
+  uint64_t limit_hint_;
   ExecContext* ctx_ = nullptr;
-  RowBlock buffer_;
-  size_t reserved_ = 0;
 
-  struct Run {
-    std::unique_ptr<SpillReader> reader;
-    RowBlock current;
-    size_t cursor = 0;
-    bool exhausted = false;
-  };
-  std::vector<Run> runs_;
-  RowBlock sorted_;  // in-memory result when no spill happened
+  RowBlock buffer_;
+  size_t buffer_bytes_ = 0;
+  size_t reserved_ = 0;
+  std::vector<std::string> run_paths_;
+  std::unique_ptr<LoserTreeMerger> merger_;
+
+  RowBlock sorted_;  ///< in-memory result when nothing spilled (or top-k)
   size_t cursor_ = 0;
   bool merge_mode_ = false;
+
+  /// Top-k: max-heap of the best `limit_hint_` rows seen so far, ordered by
+  /// (normalized key, arrival sequence) so duplicates resolve exactly like a
+  /// stable full sort. Rows live append-only in topk_store_ and are
+  /// compacted when the store outgrows the heap 4:1.
+  struct TopKEntry {
+    std::string key;
+    uint64_t seq;
+    uint32_t row;  ///< row in topk_store_
+  };
+  std::vector<TopKEntry> heap_;
+  RowBlock topk_store_;
+  uint64_t topk_seq_ = 0;
 };
 
 /// \brief LIMIT n (with optional OFFSET).

@@ -913,7 +913,18 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
                                      e->ToString());
       keys.push_back({static_cast<uint32_t>(idx), desc});
     }
-    root = std::make_unique<SortOperator>(std::move(root), keys);
+    // A LIMIT above the Sort fuses into a top-k heap: the sort keeps only
+    // limit+offset rows buffered and never externalizes (DESIGN.md §8).
+    // The heap itself never spills, so huge limits (where top-k barely
+    // beats a full sort anyway) stay on the externalizing path; LIMIT 0
+    // still sorts as top-1 rather than sorting everything for no rows.
+    constexpr uint64_t kMaxTopKHint = 128 * 1024;
+    uint64_t limit_hint = 0;
+    if (stmt.limit >= 0) {
+      uint64_t k = static_cast<uint64_t>(stmt.limit) + static_cast<uint64_t>(stmt.offset);
+      if (k <= kMaxTopKHint) limit_hint = k > 0 ? k : 1;
+    }
+    root = std::make_unique<SortOperator>(std::move(root), keys, limit_hint);
   }
 
   if (stmt.limit >= 0) {

@@ -335,6 +335,7 @@ Status EncodeCommonDelta(const ColumnVector& col, size_t start, size_t count,
 
 Status DecodePlain(const std::string& data, size_t* offset, size_t count,
                    ColumnVector* out) {
+  if (count == 0) return Status::OK();  // memcpy from an empty vector is UB
   switch (StorageClassOf(out->type)) {
     case StorageClass::kInt64: {
       size_t bytes = count * sizeof(int64_t);

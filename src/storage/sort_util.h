@@ -1,14 +1,101 @@
 // Sorting utilities shared by the load path, the tuple mover and the
 // execution engine's Sort operator.
+//
+// The hot paths run on *normalized keys* (DESIGN.md §8): each row's
+// composite sort key is encoded into a byte string whose memcmp order
+// equals the row comparison order — order-preserving transforms for
+// int64/double/string, a NULL marker byte per key column (NULL first),
+// and DESC handled by complementing the column's bytes. Sorting and
+// merging then reduce to memcmp (or plain integer compares when the
+// composite key packs into 8 bytes) instead of a per-row type switch.
 #ifndef STRATICA_STORAGE_SORT_UTIL_H_
 #define STRATICA_STORAGE_SORT_UTIL_H_
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/row_block.h"
 
 namespace stratica {
+
+/// Sort key with direction (shared by the Sort operator, the merge kernel
+/// and the tuple mover; plain column lists mean ascending).
+struct SortKey {
+  uint32_t column;
+  bool descending = false;
+};
+
+/// Compare rows under directed sort keys (NULL first under ASC; the
+/// comparator fallback of the normalized-key paths).
+int CompareRowsDirected(const RowBlock& a, size_t ia, const RowBlock& b, size_t ib,
+                        const std::vector<SortKey>& keys);
+
+/// CompareRowsDirected with the normalized-key total order on doubles
+/// (-0.0 == +0.0, every NaN equal and after +inf). Merge paths that
+/// compare rows directly against key-sorted runs must use this so both
+/// orders agree; CompareRowsDirected has no NaN order at all.
+int CompareRowsDirectedTotal(const RowBlock& a, size_t ia, const RowBlock& b,
+                             size_t ib, const std::vector<SortKey>& keys);
+
+/// A/B knob (DESIGN.md §8): when disabled, ComputeSortPermutation* and the
+/// loser-tree merge fall back to per-row comparator sort. On by default;
+/// benches and differential tests toggle it.
+void SetNormalizedKeySortEnabled(bool enabled);
+bool NormalizedKeySortEnabled();
+
+/// \brief Packed, byte-comparable composite keys for one block.
+///
+/// Row i's key occupies bytes [offsets[i], offsets[i+1]). When every key
+/// column is fixed-width (no strings), `fixed_width` is set and `offsets`
+/// stays empty — row i's key is bytes[i * fixed_width, (i+1) * fixed_width).
+struct NormalizedKeys {
+  std::vector<uint8_t> bytes;
+  std::vector<uint64_t> offsets;  ///< rows + 1 entries; empty when fixed-width
+  size_t fixed_width = 0;         ///< bytes per key when no string columns
+  size_t rows = 0;
+
+  const uint8_t* Data(size_t i) const {
+    return bytes.data() + (offsets.empty() ? i * fixed_width : offsets[i]);
+  }
+  size_t Length(size_t i) const {
+    return offsets.empty() ? fixed_width : offsets[i + 1] - offsets[i];
+  }
+  /// memcmp semantics: <0, 0, >0.
+  int Compare(size_t a, size_t b) const {
+    return CompareSlices(Data(a), Length(a), Data(b), Length(b));
+  }
+  /// Compare row a of *this against row b of `other`.
+  int CompareWith(size_t a, const NormalizedKeys& other, size_t b) const {
+    return CompareSlices(Data(a), Length(a), other.Data(b), other.Length(b));
+  }
+
+  static int CompareSlices(const uint8_t* a, size_t alen, const uint8_t* b,
+                           size_t blen) {
+    size_t n = alen < blen ? alen : blen;
+    int c = n == 0 ? 0 : std::memcmp(a, b, n);
+    if (c != 0) return c;
+    return alen < blen ? -1 : (alen > blen ? 1 : 0);
+  }
+};
+
+/// Encode the composite sort key of every row of a flat block. The encoding
+/// is order-preserving: memcmp of two keys == CompareRowsDirected of the
+/// rows (with -0.0 canonicalized to +0.0 and NaN to one quiet-NaN pattern
+/// so floats keep a total order).
+void BuildNormalizedKeys(const RowBlock& block, const std::vector<SortKey>& keys,
+                         NormalizedKeys* out);
+
+/// Append row `row`'s encoded key to *out — the single-row variant of
+/// BuildNormalizedKeys (property tests lock the two to the same bytes).
+void AppendNormalizedKey(const RowBlock& block, size_t row,
+                         const std::vector<SortKey>& keys,
+                         std::vector<uint8_t>* out);
+
+/// Stable sort permutation of `block`'s rows under directed keys, via
+/// normalized keys (or the comparator fallback when the knob is off).
+std::vector<uint32_t> ComputeSortPermutationDirected(const RowBlock& block,
+                                                     const std::vector<SortKey>& keys);
 
 /// Stable sort permutation of `block`'s rows by the given key columns
 /// (ascending, NULL first). The block must be flat (no RLE columns).

@@ -1,0 +1,165 @@
+// Tuple mover tests (DESIGN.md §8): the loser-tree moveout/mergeout path
+// must produce byte-identical container files, delete vectors and stats to
+// the legacy comparator path, including delete re-targeting and AHM purges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "storage/projection_storage.h"
+#include "storage/sort_util.h"
+#include "tuplemover/tuple_mover.h"
+#include "txn/transaction.h"
+
+namespace stratica {
+namespace {
+
+struct MoverWorld {
+  MemFileSystem fs;
+  EpochManager epochs;
+  LockManager locks;
+  std::unique_ptr<TransactionManager> tm;
+  std::unique_ptr<ProjectionStorage> ps;
+  std::unique_ptr<TupleMover> mover;
+
+  explicit MoverWorld(bool use_loser_tree) {
+    tm = std::make_unique<TransactionManager>(&epochs, &locks);
+    TupleMoverConfig cfg;
+    cfg.strata_base_bytes = 16 << 10;
+    cfg.merge_fanin_min = 2;
+    cfg.use_loser_tree = use_loser_tree;
+    mover = std::make_unique<TupleMover>(&epochs, cfg);
+    ProjectionStorageConfig pcfg;
+    pcfg.projection = "p";
+    pcfg.column_names = {"k", "s", "v"};
+    pcfg.column_types = {TypeId::kInt64, TypeId::kString, TypeId::kInt64};
+    pcfg.encodings = {EncodingId::kAuto, EncodingId::kAuto, EncodingId::kAuto};
+    pcfg.sort_columns = {0, 1};  // int + string: fixed and variable key parts
+    pcfg.num_local_segments = 1;
+    ps = std::make_unique<ProjectionStorage>(&fs, "node0/p", pcfg);
+  }
+
+  /// Identical deterministic workload on every world: batches of skewed
+  /// keys (duplicates across and within batches), per-batch moveout, some
+  /// committed deletes, partial AHM advance, then mergeout to quiescence.
+  void RunWorkload() {
+    Rng rng(77);
+    for (int batch = 0; batch < 6; ++batch) {
+      RowBlock rows({TypeId::kInt64, TypeId::kString, TypeId::kInt64});
+      for (int i = 0; i < 500; ++i) {
+        rows.columns[0].ints.push_back(rng.Range(0, 40));
+        rows.columns[1].strings.push_back(rng.RandomString(rng.Uniform(5)));
+        rows.columns[2].ints.push_back(batch * 1000 + i);
+      }
+      auto txn = tm->Begin();
+      ASSERT_TRUE(ps->InsertWos(std::move(rows), txn.get()).ok());
+      ASSERT_TRUE(tm->Commit(txn).ok());
+      ASSERT_TRUE(mover->Moveout(ps.get()).ok());
+    }
+    // Committed deletes on the first two containers: some will purge (AHM
+    // passes their epoch), some must re-target to the merged container.
+    auto containers = ps->Containers();
+    ASSERT_GE(containers.size(), 2u);
+    std::sort(containers.begin(), containers.end(),
+              [](const RosContainerPtr& a, const RosContainerPtr& b) {
+                return a->id < b->id;
+              });
+    for (int round = 0; round < 2; ++round) {
+      auto txn = tm->Begin();
+      std::vector<uint64_t> positions;
+      for (uint64_t p = static_cast<uint64_t>(round); p < 60; p += 7) {
+        positions.push_back(p);
+      }
+      ASSERT_TRUE(
+          ps->AddDeletes(containers[round]->id, std::move(positions), txn.get()).ok());
+      ASSERT_TRUE(tm->Commit(txn).ok());
+    }
+    // AHM between the two delete epochs: round 0's deletes purge at
+    // mergeout, round 1's survive as re-targeted delete vectors.
+    epochs.AdvanceAhm(epochs.LatestQueryableEpoch() - 1);
+    ASSERT_TRUE(mover->MergeoutAll(ps.get()).ok());
+  }
+};
+
+std::map<std::string, std::string> AllFiles(const MemFileSystem& fs) {
+  std::map<std::string, std::string> files;
+  auto list = fs.List("");
+  EXPECT_TRUE(list.ok());
+  for (const auto& path : list.value()) {
+    auto data = fs.ReadFile(path);
+    EXPECT_TRUE(data.ok());
+    files[path] = data.value();
+  }
+  return files;
+}
+
+TEST(TupleMoverMergePathTest, LoserTreeByteIdenticalToComparatorPath) {
+  MoverWorld fast(/*use_loser_tree=*/true);
+  MoverWorld legacy(/*use_loser_tree=*/false);
+  fast.RunWorkload();
+  legacy.RunWorkload();
+
+  // Same work done...
+  EXPECT_GT(fast.mover->stats().mergeouts, 0u);
+  EXPECT_GT(fast.mover->stats().rows_purged, 0u);
+  EXPECT_EQ(fast.mover->stats().mergeouts, legacy.mover->stats().mergeouts);
+  EXPECT_EQ(fast.mover->stats().rows_merged, legacy.mover->stats().rows_merged);
+  EXPECT_EQ(fast.mover->stats().rows_purged, legacy.mover->stats().rows_purged);
+  EXPECT_EQ(fast.ps->NumContainers(), legacy.ps->NumContainers());
+
+  // ...and byte-identical artifacts: every container data/index/meta file.
+  auto fast_files = AllFiles(fast.fs);
+  auto legacy_files = AllFiles(legacy.fs);
+  ASSERT_EQ(fast_files.size(), legacy_files.size());
+  for (const auto& [path, data] : legacy_files) {
+    auto it = fast_files.find(path);
+    ASSERT_NE(it, fast_files.end()) << "missing " << path;
+    EXPECT_EQ(it->second, data) << "content differs: " << path;
+  }
+
+  // Surviving (post-AHM) deletes re-targeted identically.
+  auto dv_of = [](ProjectionStorage* ps) {
+    std::vector<std::pair<uint64_t, Epoch>> all;
+    for (const auto& c : ps->Containers()) {
+      for (const auto& d : ps->ContainerDeleteChunks(c->id)) {
+        for (size_t i = 0; i < d->positions.size(); ++i) {
+          all.emplace_back(d->positions[i], d->epochs[i]);
+        }
+      }
+    }
+    std::sort(all.begin(), all.end());
+    return all;
+  };
+  auto fast_dvs = dv_of(fast.ps.get());
+  EXPECT_FALSE(fast_dvs.empty());
+  EXPECT_EQ(fast_dvs, dv_of(legacy.ps.get()));
+}
+
+TEST(TupleMoverMergePathTest, MoveoutProducesSortedContainers) {
+  MoverWorld world(/*use_loser_tree=*/true);
+  Rng rng(5);
+  // Several committed chunks in one moveout: the per-chunk-sort + k-way
+  // merge path must still produce a fully sorted container.
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    RowBlock rows({TypeId::kInt64, TypeId::kString, TypeId::kInt64});
+    for (int i = 0; i < 300; ++i) {
+      rows.columns[0].ints.push_back(rng.Range(0, 25));
+      rows.columns[1].strings.push_back(rng.RandomString(3));
+      rows.columns[2].ints.push_back(i);
+    }
+    auto txn = world.tm->Begin();
+    ASSERT_TRUE(world.ps->InsertWos(std::move(rows), txn.get()).ok());
+    ASSERT_TRUE(world.tm->Commit(txn).ok());
+  }
+  ASSERT_TRUE(world.mover->Moveout(world.ps.get()).ok());
+  EXPECT_EQ(world.ps->WosRowCount(), 0u);
+  for (const auto& c : world.ps->Containers()) {
+    RowBlock rows;
+    std::vector<Epoch> epochs;
+    ASSERT_TRUE(ReadRosContainer(&world.fs, *c, &rows, &epochs).ok());
+    EXPECT_TRUE(IsSorted(rows, {0, 1}));
+  }
+}
+
+}  // namespace
+}  // namespace stratica
