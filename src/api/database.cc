@@ -38,6 +38,52 @@ Database::Database(DatabaseOptions options) : options_(std::move(options)) {
   cluster_ = std::make_unique<Cluster>(ccfg, fs_.get(), &catalog_);
   planner_ = std::make_unique<Planner>(cluster_.get());
   budget_ = std::make_unique<ResourceBudget>(options_.query_memory_budget);
+  ResourceManagerConfig rmcfg;
+  rmcfg.memory_pool_bytes = options_.query_memory_budget;
+  rmcfg.max_concurrent_queries = options_.max_concurrent_queries;
+  rmcfg.admission_timeout = std::chrono::milliseconds(options_.admission_timeout_ms);
+  resource_manager_ = std::make_unique<ResourceManager>(rmcfg);
+  spill_seq_ = std::make_shared<std::atomic<uint64_t>>(0);
+  if (options_.tuple_mover_interval_ms > 0) StartBackgroundTupleMover();
+}
+
+Database::~Database() { StopBackgroundTupleMover(); }
+
+/// Per-query execution environment, built at admission. stats/budget are
+/// heap-held so the session stays movable (ExecStats is all atomics).
+struct Database::QuerySession {
+  AdmissionTicket ticket;
+  Epoch epoch = 0;
+  std::unique_ptr<ExecStats> stats;
+  std::unique_ptr<ResourceBudget> budget;
+};
+
+Result<Database::QuerySession> Database::AdmitQuery(size_t reserve_bytes) {
+  QuerySession session;
+  STRATICA_ASSIGN_OR_RETURN(session.ticket, resource_manager_->Admit(reserve_bytes));
+  // The snapshot is pinned here, at admission: a queued query sees data
+  // committed while it waited, and holds exactly this epoch for its whole
+  // run no matter what commits later (lock-free snapshot reads, Section 5).
+  session.epoch = cluster_->epochs()->LatestQueryableEpoch();
+  session.stats = std::make_unique<ExecStats>();
+  session.budget = std::make_unique<ResourceBudget>(session.ticket.bytes());
+  return session;
+}
+
+ExecContext Database::SessionContext(QuerySession* session) {
+  ExecContext ctx;
+  ctx.fs = fs_.get();
+  ctx.epoch = session->epoch;
+  ctx.budget = session->budget.get();
+  ctx.stats = session->stats.get();
+  ctx.spill_seq = spill_seq_;
+  ctx.intra_node_parallelism = options_.intra_node_parallelism;
+  ctx.sort_memory_bytes = options_.sort_memory_budget;
+  return ctx;
+}
+
+void Database::MergeSessionStats(const QuerySession& session) {
+  stats_.MergeFrom(*session.stats);
 }
 
 ExecContext Database::MakeExecContext() {
@@ -46,6 +92,7 @@ ExecContext Database::MakeExecContext() {
   ctx.epoch = cluster_->epochs()->LatestQueryableEpoch();
   ctx.budget = budget_.get();
   ctx.stats = &stats_;
+  ctx.spill_seq = spill_seq_;
   ctx.intra_node_parallelism = options_.intra_node_parallelism;
   ctx.sort_memory_bytes = options_.sort_memory_budget;
   return ctx;
@@ -57,19 +104,31 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
     case Statement::Type::kSelect:
       return RunSelect(stmt.select);
     case Statement::Type::kExplain: {
+      // Plans but never executes, so it bypasses admission.
       STRATICA_ASSIGN_OR_RETURN(std::string tree, planner_->Explain(stmt.select));
       QueryResult result;
       result.message = tree;
       return result;
     }
-    case Statement::Type::kInsert:
+    // DML admits at the statement level with the floor reservation (its
+    // working set is the statement's own row block, not a plan tree — no
+    // exec session needed, just the reservation and a concurrency slot).
+    case Statement::Type::kInsert: {
+      STRATICA_ASSIGN_OR_RETURN(AdmissionTicket ticket, resource_manager_->Admit(0));
       return RunInsert(stmt.insert);
-    case Statement::Type::kCopy:
+    }
+    case Statement::Type::kCopy: {
+      STRATICA_ASSIGN_OR_RETURN(AdmissionTicket ticket, resource_manager_->Admit(0));
       return RunCopy(stmt.copy);
-    case Statement::Type::kDelete:
+    }
+    case Statement::Type::kDelete: {
+      STRATICA_ASSIGN_OR_RETURN(AdmissionTicket ticket, resource_manager_->Admit(0));
       return RunDelete(stmt.del);
-    case Statement::Type::kUpdate:
+    }
+    case Statement::Type::kUpdate: {
+      STRATICA_ASSIGN_OR_RETURN(AdmissionTicket ticket, resource_manager_->Admit(0));
       return RunUpdate(stmt.update);
+    }
     case Statement::Type::kCreateTable: {
       STRATICA_RETURN_NOT_OK(
           cluster_->CreateTableWithSuperProjection(stmt.create_table.def));
@@ -81,11 +140,17 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
       STRATICA_RETURN_NOT_OK(
           cluster_->CreateProjectionWithBuddies(stmt.create_projection.def));
       // Populate from existing data if the anchor table already has rows.
+      // A refresh failure must surface AND undo the DDL: a half-created,
+      // unpopulated projection would answer queries with missing rows.
       STRATICA_ASSIGN_OR_RETURN(ProjectionDef stored,
                                 catalog_.GetProjection(stmt.create_projection.def.name));
-      (void)cluster_->RefreshProjection(stored.name);
-      for (uint32_t k = 1; k <= options_.k_safety; ++k) {
-        (void)cluster_->RefreshProjection(stored.name + "_b" + std::to_string(k));
+      Status refreshed = cluster_->RefreshProjection(stored.name);
+      for (uint32_t k = 1; refreshed.ok() && k <= options_.k_safety; ++k) {
+        refreshed = cluster_->RefreshProjection(stored.name + "_b" + std::to_string(k));
+      }
+      if (!refreshed.ok()) {
+        (void)cluster_->DropProjectionWithBuddies(stored.name);
+        return refreshed;
       }
       QueryResult result;
       result.message = "CREATE PROJECTION";
@@ -103,12 +168,16 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
 
 Result<QueryResult> Database::RunSelect(const SelectStmt& stmt) {
   STRATICA_ASSIGN_OR_RETURN(PhysicalPlan plan, planner_->PlanSelect(stmt));
-  ExecContext ctx = MakeExecContext();
-  STRATICA_ASSIGN_OR_RETURN(RowBlock rows, DrainOperator(plan.root.get(), &ctx));
+  STRATICA_ASSIGN_OR_RETURN(QuerySession session,
+                            AdmitQuery(plan.estimated_memory_bytes));
+  ExecContext ctx = SessionContext(&session);
+  auto rows = DrainOperator(plan.root.get(), &ctx);
+  MergeSessionStats(session);
+  if (!rows.ok()) return rows.status();
   QueryResult result;
   result.column_names = plan.column_names;
   result.column_types = plan.column_types;
-  result.rows = std::move(rows);
+  result.rows = std::move(rows).value();
   return result;
 }
 
@@ -126,6 +195,43 @@ Result<LoadResult> Database::Load(const std::string& table, const RowBlock& rows
 }
 
 Status Database::RunTupleMover() { return cluster_->RunTupleMover(); }
+
+void Database::StartBackgroundTupleMover() {
+  std::lock_guard lock(tm_mu_);
+  if (tm_thread_.joinable()) return;  // already running
+  auto stop = std::make_shared<std::atomic<bool>>(false);
+  tm_stop_ = stop;
+  uint32_t interval_ms =
+      options_.tuple_mover_interval_ms > 0 ? options_.tuple_mover_interval_ms : 100;
+  tm_thread_ = std::thread([this, stop, interval_ms] {
+    std::unique_lock lock(tm_mu_);
+    while (!stop->load()) {
+      if (tm_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                          [&] { return stop->load(); })) {
+        break;
+      }
+      lock.unlock();
+      // Failures here are retried next tick; the mover skips busy tables
+      // on its own (T-lock timeout in Cluster::RunTupleMover).
+      (void)cluster_->RunTupleMover();
+      lock.lock();
+    }
+  });
+}
+
+void Database::StopBackgroundTupleMover() {
+  std::thread finished;
+  {
+    std::lock_guard lock(tm_mu_);
+    if (!tm_thread_.joinable()) return;
+    tm_stop_->store(true);
+    // Hand the thread out under the mutex so a concurrent Start sees the
+    // service as stopped and can launch a fresh one (with its own flag).
+    finished = std::move(tm_thread_);
+  }
+  tm_cv_.notify_all();
+  finished.join();
+}
 
 Result<QueryResult> Database::RunInsert(const InsertStmt& stmt) {
   STRATICA_ASSIGN_OR_RETURN(TableDef def, catalog_.GetTable(stmt.table));

@@ -7,11 +7,16 @@
 #ifndef STRATICA_API_DATABASE_H_
 #define STRATICA_API_DATABASE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "exec/resource_manager.h"
 #include "opt/planner.h"
 #include "sql/parser.h"
 
@@ -21,13 +26,24 @@ struct DatabaseOptions {
   uint32_t num_nodes = 1;
   uint32_t k_safety = 0;
   uint32_t local_segments_per_node = 3;
+  /// Total memory the resource manager may reserve across all concurrently
+  /// admitted queries (DESIGN.md §9).
   size_t query_memory_budget = 256ull << 20;
+  /// Concurrency slot cap: queries beyond this queue at admission even if
+  /// memory is free. 0 = bounded by memory alone.
+  size_t max_concurrent_queries = 0;
+  /// How long a query waits in the admission queue before failing with
+  /// ResourceExhausted.
+  uint32_t admission_timeout_ms = 10000;
   /// Per-Sort buffering ceiling before run generation spills to disk
   /// (external sort, DESIGN.md §8). 0 disables the cap.
   size_t sort_memory_budget = 64ull << 20;
   size_t intra_node_parallelism = 4;
   uint64_t direct_ros_row_threshold = 100000;
   TupleMoverConfig tuple_mover;
+  /// Interval of the background tuple-mover service thread; 0 keeps the
+  /// tuple mover manual (RunTupleMover), as tests and benches expect.
+  uint32_t tuple_mover_interval_ms = 0;
   /// Null = in-memory filesystem (tests, benches).
   std::shared_ptr<FileSystem> fs;
 };
@@ -48,8 +64,15 @@ struct QueryResult {
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
+  ~Database();
 
-  /// Execute one SQL statement.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Execute one SQL statement. Safe to call from many threads: each query
+  /// is admitted by the resource manager against `query_memory_budget`,
+  /// pinned to the latest queryable epoch at admission, and runs with its
+  /// own ExecStats and memory budget (DESIGN.md §9).
   Result<QueryResult> Execute(const std::string& sql);
 
   /// Bulk load a block of rows (the programmatic COPY path). Set `direct`
@@ -60,18 +83,40 @@ class Database {
   /// One tuple-mover pass (moveout + mergeout + DV moves) on every node.
   Status RunTupleMover();
 
+  /// Start/stop the background tuple-mover service: a thread running
+  /// RunTupleMover every `tuple_mover_interval_ms` concurrently with live
+  /// queries (started automatically when the option is nonzero). Stop is
+  /// idempotent and joins the thread.
+  void StartBackgroundTupleMover();
+  void StopBackgroundTupleMover();
+
   /// Advance the Ancient History Mark per the default policy.
   Status AdvanceAhm() { return cluster_->AdvanceAhm(); }
 
   Cluster* cluster() { return cluster_.get(); }
   Catalog* catalog() { return &catalog_; }
   FileSystem* fs() { return fs_.get(); }
+  /// Cumulative counters across all finished queries (each query runs with
+  /// its own ExecStats, merged here on completion).
   ExecStats* stats() { return &stats_; }
+  ResourceManager* resource_manager() { return resource_manager_.get(); }
 
-  /// Execution context for hand-built operator trees (benches).
+  /// Execution context for hand-built operator trees (benches). Shares the
+  /// database-wide cumulative stats and budget: single-caller use only.
   ExecContext MakeExecContext();
 
  private:
+  /// Per-query execution environment: admission ticket, pinned snapshot
+  /// epoch, private stats and memory budget.
+  struct QuerySession;
+
+  /// Admit a query (DML statements reserve the floor amount) and build its
+  /// session. Fails with ResourceExhausted on admission timeout.
+  Result<QuerySession> AdmitQuery(size_t reserve_bytes);
+  ExecContext SessionContext(QuerySession* session);
+  /// Fold a finished query's counters into the cumulative totals.
+  void MergeSessionStats(const QuerySession& session);
+
   Result<QueryResult> RunSelect(const SelectStmt& stmt);
   Result<QueryResult> RunInsert(const InsertStmt& stmt);
   Result<QueryResult> RunCopy(const CopyStmt& stmt);
@@ -89,6 +134,18 @@ class Database {
   std::unique_ptr<Planner> planner_;
   ExecStats stats_;
   std::unique_ptr<ResourceBudget> budget_;
+  std::unique_ptr<ResourceManager> resource_manager_;
+  /// Spill-path sequence shared by every query context so concurrent
+  /// spills never collide on a file name.
+  std::shared_ptr<std::atomic<uint64_t>> spill_seq_;
+
+  // Background tuple-mover service. Each service thread owns its stop
+  // flag, so a Start racing an in-progress Stop launches a fresh thread
+  // instead of silently no-oping (or resurrecting the stopping one).
+  std::thread tm_thread_;
+  std::mutex tm_mu_;
+  std::condition_variable tm_cv_;
+  std::shared_ptr<std::atomic<bool>> tm_stop_;
 };
 
 }  // namespace stratica

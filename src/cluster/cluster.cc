@@ -175,13 +175,62 @@ Status Cluster::CreateTableWithSuperProjection(TableDef table) {
 }
 
 Status Cluster::DropTable(const std::string& table) {
-  std::lock_guard lock(ddl_mu_);
-  auto projections = catalog_->ProjectionsForTable(table);
-  STRATICA_RETURN_NOT_OK(catalog_->DropTable(table));
-  for (const auto& p : projections) {
-    for (auto& node : nodes_) node->DropStorage(p.name);
+  // Owner lock (Table 1: compatible with nothing): freeing storage must
+  // not race DML or a tuple-mover pass still holding pointers into it.
+  // Snapshot queries take no locks — catalog versioning, not locking, is
+  // how Vertica isolates those; see DESIGN.md §9 limitations.
+  auto txn = txns_.Begin();
+  Status locked = locks_.Acquire(txn->id(), table, LockMode::kO);
+  if (!locked.ok()) {
+    txns_.Rollback(txn);
+    return locked;
   }
-  return Status::OK();
+  Status st = Status::OK();
+  {
+    std::lock_guard lock(ddl_mu_);
+    auto projections = catalog_->ProjectionsForTable(table);
+    st = catalog_->DropTable(table);
+    if (st.ok()) {
+      for (const auto& p : projections) {
+        for (auto& node : nodes_) node->DropStorage(p.name);
+      }
+    }
+  }
+  txns_.Rollback(txn);
+  return st;
+}
+
+Status Cluster::DropProjectionWithBuddies(const std::string& projection) {
+  // Owner lock on the anchor table: the background tuple mover caches
+  // ProjectionStorage pointers for the duration of its per-table pass
+  // (under T), so freeing them here without a conflicting lock would be a
+  // use-after-free.
+  auto def = catalog_->GetProjection(projection);
+  TransactionPtr txn;
+  if (def.ok()) {
+    txn = txns_.Begin();
+    Status locked = locks_.Acquire(txn->id(), def.value().anchor_table, LockMode::kO);
+    if (!locked.ok()) {
+      txns_.Rollback(txn);
+      return locked;
+    }
+  }
+  Status st = Status::OK();
+  {
+    std::lock_guard lock(ddl_mu_);
+    std::vector<std::string> names{projection};
+    for (const auto& name : catalog_->ProjectionNames()) {
+      auto p = catalog_->GetProjection(name);
+      if (p.ok() && p.value().buddy_of == projection) names.push_back(name);
+    }
+    for (const auto& name : names) {
+      Status dropped = catalog_->DropProjection(name);
+      if (!dropped.ok() && st.ok()) st = dropped;
+      for (auto& node : nodes_) node->DropStorage(name);
+    }
+  }
+  if (txn) txns_.Rollback(txn);
+  return st;
 }
 
 Result<RowBlock> Cluster::BuildPrejoinRows(const ProjectionDef& proj,
@@ -479,14 +528,40 @@ Status Cluster::AdvanceAhm() {
 }
 
 Status Cluster::RunTupleMover() {
-  for (auto& node : nodes_) {
-    if (!node->up()) continue;
-    for (const auto& name : node->StorageNames()) {
-      auto* ps = node->GetStorage(name);
-      STRATICA_RETURN_NOT_OK(node->mover()->Moveout(ps));
-      STRATICA_RETURN_NOT_OK(node->mover()->MergeoutAll(ps));
-      STRATICA_RETURN_NOT_OK(node->mover()->MoveDeleteVectors(ps));
+  // One pass at a time: TupleMover is thread-compatible, not thread-safe,
+  // and the background service may run concurrently with manual calls.
+  std::lock_guard tm_lock(tuple_mover_mu_);
+  // Per-table T lock (Table 1): compatible with queries and inserts, but
+  // incompatible with X, so no delete transaction can be registering or
+  // stamping delete vectors while moveout/mergeout translate them. A busy
+  // table (live X holder) is skipped and retried on the next pass rather
+  // than stalling the mover.
+  for (const auto& table : catalog_->TableNames()) {
+    auto txn = txns_.Begin();
+    Status locked = locks_.Acquire(txn->id(), table, LockMode::kT,
+                                   std::chrono::milliseconds(1000));
+    if (!locked.ok()) {
+      txns_.Rollback(txn);
+      continue;
     }
+    Status st = Status::OK();
+    for (const auto& proj : catalog_->ProjectionsForTable(table)) {
+      for (auto& node : nodes_) {
+        if (!node->up()) continue;
+        auto* ps = node->GetStorage(proj.name);
+        if (ps == nullptr) continue;  // dropped concurrently
+        st = node->mover()->Moveout(ps);
+        if (st.ok()) st = node->mover()->MergeoutAll(ps);
+        if (st.ok()) st = node->mover()->MoveDeleteVectors(ps);
+        // Reclaim mergeout-replaced files whose snapshots have drained —
+        // every tick, not only when new merge work exists.
+        ps->GcRetired();
+        if (!st.ok()) break;
+      }
+      if (!st.ok()) break;
+    }
+    txns_.Rollback(txn);  // bookkeeping txn held no data; releases the T lock
+    STRATICA_RETURN_NOT_OK(st);
   }
   return Status::OK();
 }

@@ -124,6 +124,11 @@ class Cluster {
 
   Status DropTable(const std::string& table);
 
+  /// Drop a projection and its K buddies from the catalog and every node's
+  /// storage (used to undo a CREATE PROJECTION whose refresh failed: an
+  /// unpopulated projection would answer queries with missing rows).
+  Status DropProjectionWithBuddies(const std::string& projection);
+
   // --- load path ---------------------------------------------------------------
 
   /// Route `rows` of `table` to every projection copy on every up node.
@@ -199,6 +204,11 @@ class Cluster {
                                     Epoch snapshot);
   Status RecoverProjectionOnNode(const ProjectionDef& def, uint32_t node_id,
                                  Epoch up_to, bool take_lock, uint64_t txn_id);
+  /// RefreshProjection body; runs with the anchor table's S lock held so
+  /// every error path still releases it in the caller.
+  Status RefreshProjectionLocked(const std::string& projection,
+                                 const ProjectionDef& def, const TableDef& table,
+                                 const ProjectionDef& src, Epoch now);
 
   ClusterConfig cfg_;
   FileSystem* fs_;
@@ -210,6 +220,9 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<uint64_t> network_bytes_{0};
   mutable std::mutex ddl_mu_;
+  /// Serializes tuple-mover passes (manual RunTupleMover vs the Database's
+  /// background service thread).
+  std::mutex tuple_mover_mu_;
 };
 
 /// Read one node's rows of a projection at a snapshot epoch into a block

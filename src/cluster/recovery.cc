@@ -213,12 +213,21 @@ Status Cluster::RefreshProjection(const std::string& projection) {
   STRATICA_RETURN_NOT_OK(
       locks_.Acquire(txn->id(), def.anchor_table, LockMode::kS));
   Epoch now = epochs_.LatestQueryableEpoch();
+  Status st = RefreshProjectionLocked(projection, def, table, supers.front(), now);
+  // Release on every path — an early error return must not leak the S
+  // lock (it would wedge all future DML on the anchor table).
+  txns_.Rollback(txn);  // bookkeeping txn held no data
+  return st;
+}
 
+Status Cluster::RefreshProjectionLocked(const std::string& projection,
+                                        const ProjectionDef& def,
+                                        const TableDef& table,
+                                        const ProjectionDef& src, Epoch now) {
   // Gather all rows of the table (each segmented super copy contributes its
   // nodes' rows; a replicated one contributes a single node's).
   RowBlock all(table.ToBindSchema().types);
   std::vector<Epoch> all_epochs, all_dels;
-  const ProjectionDef& src = supers.front();
   for (auto& node : nodes_) {
     auto* ps = node->GetStorage(src.name);
     if (!ps) continue;
@@ -276,8 +285,6 @@ Status Cluster::RefreshProjection(const std::string& projection) {
     STRATICA_RETURN_NOT_OK(ps->IngestRecovered(std::move(mine), std::move(mine_epochs),
                                                std::move(mine_dels), now));
   }
-  locks_.ReleaseAll(txn->id());
-  txns_.Rollback(txn);
   return Status::OK();
 }
 

@@ -23,6 +23,7 @@ enum class StatusCode {
   kNotImplemented,
   kResourceExhausted,  // memory budget exceeded and spill impossible
   kLockTimeout,        // could not acquire a table lock
+  kDeadlock,           // lock-conversion cycle; caller must abort the txn
   kTxnAborted,
   kClusterUnavailable,  // quorum lost or data unavailable (K-safety violated)
   kParseError,
@@ -62,6 +63,7 @@ class Status {
       case StatusCode::kNotImplemented: return "NotImplemented";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kLockTimeout: return "LockTimeout";
+      case StatusCode::kDeadlock: return "Deadlock";
       case StatusCode::kTxnAborted: return "TxnAborted";
       case StatusCode::kClusterUnavailable: return "ClusterUnavailable";
       case StatusCode::kParseError: return "ParseError";
@@ -86,6 +88,7 @@ class Status {
   STRATICA_STATUS_FACTORY(NotImplemented, kNotImplemented)
   STRATICA_STATUS_FACTORY(ResourceExhausted, kResourceExhausted)
   STRATICA_STATUS_FACTORY(LockTimeout, kLockTimeout)
+  STRATICA_STATUS_FACTORY(Deadlock, kDeadlock)
   STRATICA_STATUS_FACTORY(TxnAborted, kTxnAborted)
   STRATICA_STATUS_FACTORY(ClusterUnavailable, kClusterUnavailable)
   STRATICA_STATUS_FACTORY(ParseError, kParseError)

@@ -40,6 +40,10 @@ class HashGroupByOperator : public Operator {
   std::vector<std::string> OutputNames() const override { return spec_.output_names; }
   std::string DebugString() const override;
   std::vector<Operator*> Children() const override { return {child_.get()}; }
+  size_t MemoryEstimateBytes() const override {
+    // Hash table + group keys/states up to the grace-spill threshold.
+    return 8 << 20;
+  }
 
  private:
   struct Table {

@@ -45,6 +45,10 @@ class HashJoinOperator : public Operator {
   std::vector<std::string> OutputNames() const override;
   std::string DebugString() const override;
   std::vector<Operator*> Children() const override;
+  size_t MemoryEstimateBytes() const override {
+    // Build-side rows + hash table up to the spill-to-merge threshold.
+    return 8 << 20;
+  }
 
   bool switched_to_merge() const { return fallback_ != nullptr; }
 

@@ -45,6 +45,27 @@ struct ExecStats {
   std::atomic<uint64_t> prepass_disabled{0};   ///< runtime prepass shutoffs
   std::atomic<uint64_t> hash_to_merge_switches{0};
   std::atomic<uint64_t> exchange_bytes{0};     ///< simulated interconnect traffic
+
+  /// Fold another query's counters into this one (Database keeps one
+  /// cumulative ExecStats; each query runs against its own and merges on
+  /// completion so concurrent queries never interleave counters).
+  void MergeFrom(const ExecStats& other) {
+    rows_scanned += other.rows_scanned.load(std::memory_order_relaxed);
+    blocks_pruned += other.blocks_pruned.load(std::memory_order_relaxed);
+    containers_pruned += other.containers_pruned.load(std::memory_order_relaxed);
+    rows_sip_filtered += other.rows_sip_filtered.load(std::memory_order_relaxed);
+    rows_decoded += other.rows_decoded.load(std::memory_order_relaxed);
+    payload_bytes_skipped += other.payload_bytes_skipped.load(std::memory_order_relaxed);
+    bytes_read += other.bytes_read.load(std::memory_order_relaxed);
+    rows_spilled += other.rows_spilled.load(std::memory_order_relaxed);
+    spill_files += other.spill_files.load(std::memory_order_relaxed);
+    sort_runs += other.sort_runs.load(std::memory_order_relaxed);
+    sort_spilled_bytes += other.sort_spilled_bytes.load(std::memory_order_relaxed);
+    topk_rows_pruned += other.topk_rows_pruned.load(std::memory_order_relaxed);
+    prepass_disabled += other.prepass_disabled.load(std::memory_order_relaxed);
+    hash_to_merge_switches += other.hash_to_merge_switches.load(std::memory_order_relaxed);
+    exchange_bytes += other.exchange_bytes.load(std::memory_order_relaxed);
+  }
 };
 
 /// \brief Byte budget shared by the operators of one plan zone.
@@ -110,9 +131,20 @@ class Operator {
   /// One-line description for EXPLAIN trees.
   virtual std::string DebugString() const = 0;
   virtual std::vector<Operator*> Children() const { return {}; }
+
+  /// Working-set estimate for this operator alone (no children), used by
+  /// the resource manager's admission reservation. Deliberately coarse —
+  /// the paper's resource manager also plans against budgeted estimates,
+  /// not measured usage — and conservative for blocking operators, whose
+  /// spill thresholds bound the true footprint.
+  virtual size_t MemoryEstimateBytes() const { return 256 << 10; }
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Sum of MemoryEstimateBytes over the whole plan tree: the admission
+/// reservation the planner attaches to a PhysicalPlan.
+size_t EstimatePlanMemory(const Operator& root);
 
 /// Render an operator tree as an indented EXPLAIN listing.
 std::string ExplainTree(const Operator& root);

@@ -91,6 +91,10 @@ class ScanOperator : public Operator {
   std::vector<TypeId> OutputTypes() const override { return spec_.output_types; }
   std::vector<std::string> OutputNames() const override { return spec_.output_names; }
   std::string DebugString() const override;
+  size_t MemoryEstimateBytes() const override {
+    // Per-column decode scratch + one in-flight vector per pipeline stage.
+    return spec_.output_types.size() * (64 << 10) + (1 << 20);
+  }
 
  private:
   struct Source;

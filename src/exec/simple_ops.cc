@@ -26,6 +26,12 @@ std::string ExplainTree(const Operator& root) {
   return out.str();
 }
 
+size_t EstimatePlanMemory(const Operator& root) {
+  size_t total = root.MemoryEstimateBytes();
+  for (const Operator* child : root.Children()) total += EstimatePlanMemory(*child);
+  return total;
+}
+
 Result<RowBlock> DrainOperator(Operator* op, ExecContext* ctx) {
   STRATICA_RETURN_NOT_OK(op->Open(ctx));
   RowBlock all(op->OutputTypes());

@@ -118,6 +118,11 @@ class SortOperator : public Operator {
   std::vector<std::string> OutputNames() const override { return child_->OutputNames(); }
   std::string DebugString() const override;
   std::vector<Operator*> Children() const override { return {child_.get()}; }
+  size_t MemoryEstimateBytes() const override {
+    // Top-k keeps at most limit_hint rows; a full sort buffers up to the
+    // run-generation ceiling before spilling.
+    return limit_hint_ > 0 ? (1 << 20) : (16 << 20);
+  }
 
   size_t runs_spilled() const { return run_paths_.size(); }
 

@@ -934,6 +934,7 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
   }
 
   plan.column_types = root->OutputTypes();
+  plan.estimated_memory_bytes = EstimatePlanMemory(*root);
   plan.root = std::move(root);
   return plan;
 }

@@ -34,6 +34,9 @@ struct PhysicalPlan {
   OperatorPtr root;  ///< runs at the initiator node
   std::vector<std::string> column_names;
   std::vector<TypeId> column_types;
+  /// Admission reservation: summed MemoryEstimateBytes over the tree. The
+  /// resource manager clamps it into [min reserve, pool size] at Admit.
+  size_t estimated_memory_bytes = 0;
 };
 
 class Planner {

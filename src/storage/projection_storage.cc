@@ -69,7 +69,13 @@ Status ProjectionStorage::InsertWos(RowBlock rows, Transaction* txn) {
     wos_.push_back(chunk);
   }
   txn->MarkDml();
-  txn->OnCommit([chunk](Epoch e) { chunk->epoch = e; });
+  // Stamp under the storage mutex: GetSnapshot and the tuple mover read
+  // chunk epochs under mu_, so an unlocked write here is a data race with
+  // any concurrent snapshot read.
+  txn->OnCommit([this, chunk](Epoch e) {
+    std::lock_guard lock(mu_);
+    chunk->epoch = e;
+  });
   txn->OnRollback([this, chunk]() {
     std::lock_guard lock(mu_);
     wos_.erase(std::remove(wos_.begin(), wos_.end(), chunk), wos_.end());
@@ -106,14 +112,26 @@ Status ProjectionStorage::WriteContainers(RowBlock sorted, Transaction* txn) {
   }
   txn->MarkDml();
   txn->OnCommit([this, created](Epoch e) {
-    for (const auto& c : created) {
-      (void)StampRosEpoch(fs_, c.get(), c->dir + "/meta", e);
-      c->creating_txn = 0;
+    {
+      // The in-memory stamp runs under mu_: container min/max epochs gate
+      // snapshot visibility, so they may only change under the same mutex
+      // GetSnapshot reads them with.
+      std::lock_guard lock(mu_);
+      for (const auto& c : created) {
+        c->min_epoch = e;
+        c->max_epoch = e;
+        c->creating_txn = 0;
+      }
+      // Direct loads leave nothing pending in the WOS, so if the WOS is
+      // empty the projection's Last Good Epoch advances with the commit.
+      if (wos_.empty()) lge_ = std::max(lge_, e);
     }
-    std::lock_guard lock(mu_);
-    // Direct loads leave nothing pending in the WOS, so if the WOS is empty
-    // the projection's Last Good Epoch advances with the commit.
-    if (wos_.empty()) lge_ = std::max(lge_, e);
+    // Meta-file rewrites stay off the mutex (concurrent scans would stall
+    // behind the I/O): commits are serialized by the transaction manager,
+    // and the stamped fields above are final.
+    for (const auto& c : created) {
+      (void)fs_->WriteFile(c->dir + "/meta", SerializeRosMeta(*c));
+    }
   });
   txn->OnRollback([this, created]() {
     std::lock_guard lock(mu_);
@@ -150,7 +168,8 @@ Status ProjectionStorage::AddDeletes(uint64_t target_id, std::vector<uint64_t> p
     deletes_.push_back(chunk);
   }
   txn->MarkDml();
-  txn->OnCommit([chunk](Epoch e) {
+  txn->OnCommit([this, chunk](Epoch e) {
+    std::lock_guard lock(mu_);
     std::fill(chunk->epochs.begin(), chunk->epochs.end(), e);
   });
   txn->OnRollback([this, chunk]() {
@@ -233,19 +252,25 @@ Status ProjectionStorage::ApplyMoveout(const MoveoutApply& apply) {
     return false;
   };
   // Drop WOS-target delete entries that were translated to container
-  // targets by the moveout (they arrive in apply.new_dvs).
+  // targets by the moveout (they arrive in apply.new_dvs). Copy-on-write:
+  // concurrent readers (ReadProjectionRows, a racing moveout scan) may
+  // still iterate the old chunk outside mu_, so trimmed chunks are
+  // replaced, never mutated in place.
   for (auto& d : deletes_) {
     if (d->target_id != kWosTargetId) continue;
-    std::vector<uint64_t> keep_pos;
-    std::vector<Epoch> keep_ep;
+    bool any_consumed = false;
+    for (uint64_t pos : d->positions) any_consumed |= in_consumed(pos);
+    if (!any_consumed) continue;
+    auto trimmed = std::make_shared<DeleteVectorChunk>();
+    trimmed->target_id = d->target_id;
+    trimmed->txn_id = d->txn_id;
     for (size_t i = 0; i < d->positions.size(); ++i) {
       if (!in_consumed(d->positions[i])) {
-        keep_pos.push_back(d->positions[i]);
-        keep_ep.push_back(d->epochs[i]);
+        trimmed->positions.push_back(d->positions[i]);
+        trimmed->epochs.push_back(d->epochs[i]);
       }
     }
-    d->positions = std::move(keep_pos);
-    d->epochs = std::move(keep_ep);
+    d = std::move(trimmed);
   }
   deletes_.erase(std::remove_if(deletes_.begin(), deletes_.end(),
                                 [](const DeleteVectorChunkPtr& d) {
@@ -259,13 +284,13 @@ Status ProjectionStorage::ApplyMoveout(const MoveoutApply& apply) {
 }
 
 Status ProjectionStorage::ApplyMergeout(const MergeoutApply& apply) {
-  std::vector<std::shared_ptr<RosContainer>> removed;
+  std::vector<std::shared_ptr<RosContainer>> gc;
   {
     std::lock_guard lock(mu_);
     for (uint64_t id : apply.removed_container_ids) {
       for (auto it = ros_.begin(); it != ros_.end(); ++it) {
         if ((*it)->id == id) {
-          removed.push_back(*it);
+          retired_.push_back(*it);
           ros_.erase(it);
           break;
         }
@@ -278,21 +303,50 @@ Status ProjectionStorage::ApplyMergeout(const MergeoutApply& apply) {
     }
     if (apply.new_container) ros_.push_back(apply.new_container);
     for (const auto& d : apply.new_dvs) deletes_.push_back(d);
+    CollectRetiredLocked(&gc);
   }
-  // Delete replaced files outside the lock. Hard-linked backups keep the
-  // bytes alive (Section 5.2).
-  for (const auto& c : removed) {
-    for (const auto& col : c->columns) {
-      (void)fs_->Delete(col.data_path);
-      (void)fs_->Delete(col.index_path);
-    }
-    if (!c->epoch_data_path.empty()) {
-      (void)fs_->Delete(c->epoch_data_path);
-      (void)fs_->Delete(c->epoch_index_path);
-    }
-    (void)fs_->Delete(c->dir + "/meta");
-  }
+  // Replaced files are deleted only once the last query snapshot holding
+  // them drains (with no concurrent readers this deletes immediately, as
+  // before), and the deletion itself runs off the mutex so scans never
+  // stall behind it. Hard-linked backups keep the bytes alive (§5.2).
+  for (const auto& c : gc) DeleteContainerFiles(*c);
   return Status::OK();
+}
+
+void ProjectionStorage::DeleteContainerFiles(const RosContainer& c) {
+  for (const auto& col : c.columns) {
+    (void)fs_->Delete(col.data_path);
+    (void)fs_->Delete(col.index_path);
+  }
+  if (!c.epoch_data_path.empty()) {
+    (void)fs_->Delete(c.epoch_data_path);
+    (void)fs_->Delete(c.epoch_index_path);
+  }
+  (void)fs_->Delete(c.dir + "/meta");
+}
+
+void ProjectionStorage::CollectRetiredLocked(
+    std::vector<std::shared_ptr<RosContainer>>* out) {
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    // use_count()==1 means `retired_` holds the last reference: no snapshot
+    // can still be scanning the container, and none can re-acquire it since
+    // it left ros_ under this same mutex.
+    if (it->use_count() == 1) {
+      out->push_back(std::move(*it));
+      it = retired_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ProjectionStorage::GcRetired() {
+  std::vector<std::shared_ptr<RosContainer>> gc;
+  {
+    std::lock_guard lock(mu_);
+    CollectRetiredLocked(&gc);
+  }
+  for (const auto& c : gc) DeleteContainerFiles(*c);
 }
 
 void ProjectionStorage::AdoptContainer(std::shared_ptr<RosContainer> container,
@@ -455,20 +509,12 @@ Result<uint64_t> ProjectionStorage::DropPartition(int64_t partition_key) {
 void ProjectionStorage::Clear(bool delete_files) {
   std::lock_guard lock(mu_);
   if (delete_files) {
-    for (const auto& c : ros_) {
-      for (const auto& col : c->columns) {
-        (void)fs_->Delete(col.data_path);
-        (void)fs_->Delete(col.index_path);
-      }
-      if (!c->epoch_data_path.empty()) {
-        (void)fs_->Delete(c->epoch_data_path);
-        (void)fs_->Delete(c->epoch_index_path);
-      }
-      (void)fs_->Delete(c->dir + "/meta");
-    }
+    for (const auto& c : ros_) DeleteContainerFiles(*c);
+    for (const auto& c : retired_) DeleteContainerFiles(*c);
   }
   wos_.clear();
   ros_.clear();
+  retired_.clear();
   deletes_.clear();
   wos_next_pos_ = 0;
   lge_ = 0;

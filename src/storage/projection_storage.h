@@ -169,6 +169,11 @@ class ProjectionStorage {
   /// uncommitted artifacts, in-memory DVWOS entries).
   void CrashVolatileState();
 
+  /// Delete the files of retired (mergeout-replaced) containers no query
+  /// snapshot references anymore. The tuple-mover pass calls this every
+  /// tick so retention stays bounded even when no new merges happen.
+  void GcRetired();
+
   // --- stats ----------------------------------------------------------------
   uint64_t WosRowCount() const;
   bool WosSaturated() const;
@@ -192,6 +197,11 @@ class ProjectionStorage {
 
  private:
   Status WriteContainers(RowBlock sorted, Transaction* txn);
+  /// Move unreferenced retired containers into `out` (mergeout replaces
+  /// containers while scans may still be reading the old ones; deleting
+  /// eagerly would fail those scans). File deletion happens off-mutex.
+  void CollectRetiredLocked(std::vector<std::shared_ptr<RosContainer>>* out);
+  void DeleteContainerFiles(const RosContainer& c);
 
   FileSystem* fs_;
   std::string base_dir_;
@@ -200,6 +210,8 @@ class ProjectionStorage {
   mutable std::mutex mu_;
   std::vector<WosChunkPtr> wos_;
   std::vector<std::shared_ptr<RosContainer>> ros_;
+  /// Replaced by mergeout but possibly still referenced by live snapshots.
+  std::vector<std::shared_ptr<RosContainer>> retired_;
   std::vector<DeleteVectorChunkPtr> deletes_;
   uint64_t wos_next_pos_ = 0;
   Epoch lge_ = 0;

@@ -63,23 +63,56 @@ bool LockManager::CanGrant(const TableLocks& tl, uint64_t txn_id,
   return true;
 }
 
+bool LockManager::InConversionDeadlock(const TableLocks& tl, uint64_t txn_id,
+                                       LockMode target) const {
+  auto held = tl.holders.find(txn_id);
+  if (held == tl.holders.end()) return false;  // holding nothing blocks no one
+  for (const auto& [other_txn, other_mode] : tl.holders) {
+    if (other_txn == txn_id) continue;
+    if (LockCompatible(target, other_mode)) continue;  // not blocking us
+    auto waiting = tl.waiting.find(other_txn);
+    if (waiting == tl.waiting.end()) continue;  // blocker can still finish
+    // The blocker waits for a conversion our held mode blocks: neither of
+    // us can proceed until the other releases — a cycle.
+    if (!LockCompatible(waiting->second, held->second)) return true;
+  }
+  return false;
+}
+
 Status LockManager::Acquire(uint64_t txn_id, const std::string& table, LockMode mode,
                             std::chrono::milliseconds timeout) {
   std::unique_lock lock(mu_);
   auto deadline = std::chrono::steady_clock::now() + timeout;
   TableLocks& tl = tables_[table];
+  bool timed_out = false;
   for (;;) {
     LockMode target = mode;
     auto held = tl.holders.find(txn_id);
     if (held != tl.holders.end()) target = LockConvert(mode, held->second);
     if (CanGrant(tl, txn_id, target)) {
       tl.holders[txn_id] = target;
+      tl.waiting.erase(txn_id);
       return Status::OK();
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    // Fail on timeout only after the grant re-check above: a lock released
+    // right at the deadline must still be won, not spuriously timed out.
+    if (timed_out) {
+      tl.waiting.erase(txn_id);
       return Status::LockTimeout("txn ", txn_id, " timed out waiting for ",
                                  LockModeName(mode), " on ", table);
     }
+    if (InConversionDeadlock(tl, txn_id, target)) {
+      tl.waiting.erase(txn_id);
+      return Status::Deadlock("txn ", txn_id, " requesting ", LockModeName(mode),
+                              " on ", table,
+                              " would deadlock with a holder awaiting conversion; "
+                              "abort the transaction to release its locks");
+    }
+    // Registering after the cycle check makes the victim deterministic:
+    // the first converter is already parked in `waiting`, so the second
+    // fails before it ever registers — exactly one waiter dies.
+    tl.waiting[txn_id] = target;
+    timed_out = cv_.wait_until(lock, deadline) == std::cv_status::timeout;
   }
 }
 

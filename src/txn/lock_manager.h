@@ -51,6 +51,13 @@ class LockManager {
   /// Block until the lock is granted or `timeout` elapses
   /// (StatusCode::kLockTimeout). Re-entrant: a transaction already holding
   /// a mode upgrades via the conversion matrix.
+  ///
+  /// Mutual conversion stalls are detected eagerly: when two holders each
+  /// wait for a conversion the other's held mode blocks (the classic S+S
+  /// both-upgrade-to-X cycle), the later requester fails immediately with
+  /// StatusCode::kDeadlock instead of burning the full timeout. The victim
+  /// keeps its current locks; the caller must abort its transaction to
+  /// release them (which unblocks the survivor).
   Status Acquire(uint64_t txn_id, const std::string& table, LockMode mode,
                  std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
 
@@ -63,9 +70,15 @@ class LockManager {
  private:
   struct TableLocks {
     std::map<uint64_t, LockMode> holders;
+    /// Transactions blocked in Acquire on this table -> conversion target.
+    std::map<uint64_t, LockMode> waiting;
   };
 
   bool CanGrant(const TableLocks& tl, uint64_t txn_id, LockMode target) const;
+  /// True if granting `target` to `txn_id` is blocked by a holder that is
+  /// itself waiting for a mode incompatible with what `txn_id` holds.
+  bool InConversionDeadlock(const TableLocks& tl, uint64_t txn_id,
+                            LockMode target) const;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -125,5 +125,90 @@ TEST(LockManagerTest, WaiterWakesOnRelease) {
   waiter.join();
 }
 
+// The mutual-upgrade stall (both hold S, both request X): the second
+// converter must fail immediately with kDeadlock instead of both spinning
+// until the full timeout.
+TEST(LockManagerTest, MutualUpgradeFailsSecondConverterImmediately) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(2, "t", LockMode::kS).ok());
+
+  std::thread first([&] {
+    // Txn 1 upgrades first and parks; it must survive and win the X once
+    // the deadlock victim aborts.
+    EXPECT_TRUE(lm.Acquire(1, "t", LockMode::kX, std::chrono::seconds(5)).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  auto start = std::chrono::steady_clock::now();
+  auto st = lm.Acquire(2, "t", LockMode::kX, std::chrono::seconds(5));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(st.code(), StatusCode::kDeadlock) << st.ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(1))
+      << "victim should fail without burning the timeout";
+
+  // The victim keeps its S until its transaction aborts...
+  auto held = lm.Held(2, "t");
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(held.value(), LockMode::kS);
+  // ...and aborting it unblocks the survivor's conversion.
+  lm.ReleaseAll(2);
+  first.join();
+  auto winner = lm.Held(1, "t");
+  ASSERT_TRUE(winner.ok());
+  EXPECT_EQ(winner.value(), LockMode::kX);
+}
+
+// A plain waiter (no lock held) never triggers deadlock detection: it
+// cannot block the holder it waits for.
+TEST(LockManagerTest, PlainWaiterDoesNotTriggerDeadlock) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "t", LockMode::kX).ok());
+  std::thread waiter([&] {
+    // Holds nothing; just waits for the X to go away.
+    EXPECT_TRUE(lm.Acquire(2, "t", LockMode::kX, std::chrono::seconds(5)).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Txn 1 converting X->X re-grants trivially; then release so 2 proceeds.
+  EXPECT_TRUE(lm.Acquire(1, "t", LockMode::kX, std::chrono::milliseconds(100)).ok());
+  lm.ReleaseAll(1);
+  waiter.join();
+}
+
+// Contention sweep: many threads take S then upgrade to X. Deadlock
+// victims abort (release) and retry, so every thread must eventually get
+// its X without any LockTimeout — the stall is always broken eagerly.
+TEST(LockManagerTest, UpgradeContentionResolvesWithoutTimeouts) {
+  LockManager lm;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 10;
+  std::vector<std::thread> threads;
+  std::atomic<int> completed{0};
+  std::atomic<int> deadlocks{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t txn = 100 + t;
+      for (int r = 0; r < kRounds; ++r) {
+        for (;;) {
+          Status s = lm.Acquire(txn, "t", LockMode::kS, std::chrono::seconds(30));
+          ASSERT_TRUE(s.ok()) << s.ToString();
+          Status x = lm.Acquire(txn, "t", LockMode::kX, std::chrono::seconds(30));
+          if (x.ok()) break;
+          ASSERT_EQ(x.code(), StatusCode::kDeadlock) << x.ToString();
+          deadlocks.fetch_add(1);
+          lm.ReleaseAll(txn);  // abort...
+          // ...and back off before retrying, giving the surviving
+          // converter room to finish (as a real aborted txn would).
+          std::this_thread::sleep_for(std::chrono::milliseconds(1 + t));
+        }
+        completed.fetch_add(1);
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(completed.load(), kThreads * kRounds);
+}
+
 }  // namespace
 }  // namespace stratica
