@@ -7,7 +7,7 @@
 // them):
 //
 //   BM_ReadOnlyIoBound  — the headline scaling figure. Storage reads go
-//       through a filesystem wrapper that adds a fixed per-read latency,
+//       through a FaultFs latency rule that adds a fixed per-read delay,
 //       modeling the paper's disk-resident deployments. Independent queries
 //       overlap their I/O stalls, so aggregate throughput must scale with
 //       client threads (≥3x at 8 clients) — this held even on a 1-core
@@ -22,62 +22,20 @@
 // manager on a trivial query (single client, no contention).
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <memory>
-#include <thread>
 
 #include "api/database.h"
+#include "common/fault_fs.h"
 
 namespace stratica {
 namespace {
 
-/// MemFileSystem wrapper that sleeps on every ranged read, simulating a
-/// storage device with fixed access latency. Writes stay fast (loads and
-/// spills are not what this bench measures).
-class SimLatencyFs : public FileSystem {
- public:
-  SimLatencyFs(std::shared_ptr<FileSystem> base, std::chrono::microseconds latency)
-      : base_(std::move(base)), latency_(latency) {}
-
-  Status WriteFile(const std::string& path, const std::string& data) override {
-    return base_->WriteFile(path, data);
-  }
-  Result<std::string> ReadFile(const std::string& path) const override {
-    std::this_thread::sleep_for(latency_);
-    return base_->ReadFile(path);
-  }
-  Result<std::string> ReadRange(const std::string& path, uint64_t offset,
-                                uint64_t length) const override {
-    std::this_thread::sleep_for(latency_);
-    return base_->ReadRange(path, offset, length);
-  }
-  Status ReadRangeInto(const std::string& path, uint64_t offset, uint64_t length,
-                       std::string* out) const override {
-    std::this_thread::sleep_for(latency_);
-    return base_->ReadRangeInto(path, offset, length, out);
-  }
-  Result<uint64_t> FileSize(const std::string& path) const override {
-    return base_->FileSize(path);
-  }
-  bool Exists(const std::string& path) const override { return base_->Exists(path); }
-  Status Delete(const std::string& path) override { return base_->Delete(path); }
-  Result<std::vector<std::string>> List(const std::string& prefix) const override {
-    return base_->List(prefix);
-  }
-  Status HardLink(const std::string& source, const std::string& target) override {
-    return base_->HardLink(source, target);
-  }
-
- private:
-  std::shared_ptr<FileSystem> base_;
-  std::chrono::microseconds latency_;
-};
-
 constexpr int64_t kRows = 50000;
-/// Per-ranged-read latency of the simulated device. Sized so the read query
-/// is clearly I/O-bound (~80% stall at one client), as on the paper's
+/// Per-read latency of the simulated device, injected via a FaultFs kLatency
+/// rule (the same harness the chaos tests use). Sized so the read query is
+/// clearly I/O-bound (~80% stall at one client), as on the paper's
 /// disk-resident deployments.
-constexpr auto kSimReadLatency = std::chrono::microseconds(800);
+constexpr uint64_t kSimReadLatencyUs = 800;
 
 std::unique_ptr<Database> MakeDb(std::shared_ptr<FileSystem> fs) {
   DatabaseOptions opts;
@@ -105,10 +63,17 @@ constexpr const char* kReadQuery =
     "SELECT grp, COUNT(*) AS n, SUM(val) AS s FROM t WHERE val < 500 GROUP BY grp";
 
 Database* IoBoundDb() {
-  static Database* db =
-      MakeDb(std::make_shared<SimLatencyFs>(std::make_shared<MemFileSystem>(),
-                                            kSimReadLatency))
-          .release();
+  static Database* db = [] {
+    // Leaked intentionally (static singleton): FaultFs borrows the base FS.
+    auto* base = new MemFileSystem();
+    auto fault_fs = std::make_shared<FaultFs>(base, /*seed=*/7);
+    FaultRule slow_reads;  // every read pays the device latency
+    slow_reads.op_mask = kFaultRead;
+    slow_reads.kind = FaultKind::kLatency;
+    slow_reads.latency_us = kSimReadLatencyUs;
+    fault_fs->AddRule(slow_reads);
+    return MakeDb(std::move(fault_fs)).release();
+  }();
   return db;
 }
 

@@ -167,18 +167,39 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
 }
 
 Result<QueryResult> Database::RunSelect(const SelectStmt& stmt) {
-  STRATICA_ASSIGN_OR_RETURN(PhysicalPlan plan, planner_->PlanSelect(stmt));
-  STRATICA_ASSIGN_OR_RETURN(QuerySession session,
-                            AdmitQuery(plan.estimated_memory_bytes));
-  ExecContext ctx = SessionContext(&session);
-  auto rows = DrainOperator(plan.root.get(), &ctx);
-  MergeSessionStats(session);
-  if (!rows.ok()) return rows.status();
-  QueryResult result;
-  result.column_names = plan.column_names;
-  result.column_types = plan.column_types;
-  result.rows = std::move(rows).value();
-  return result;
+  // Degraded execution (DESIGN.md §10): a persistent read failure mid-scan
+  // has already quarantined the failing projection copy, so planning again
+  // routes that segment to a buddy. Bounded replan-retries keep the query
+  // alive through K quarantines; when no healthy copy remains the planner
+  // itself returns ClusterUnavailable, which is terminal.
+  constexpr int kMaxPlanAttempts = 3;
+  Status last;
+  for (int attempt = 0; attempt < kMaxPlanAttempts; ++attempt) {
+    STRATICA_ASSIGN_OR_RETURN(PhysicalPlan plan, planner_->PlanSelect(stmt));
+    STRATICA_ASSIGN_OR_RETURN(QuerySession session,
+                              AdmitQuery(plan.estimated_memory_bytes));
+    if (attempt > 0) session.stats->reads_failed_over.fetch_add(1);
+    ExecContext ctx = SessionContext(&session);
+    auto rows = DrainOperator(plan.root.get(), &ctx);
+    // Tear the operator tree down before the session: on the error path
+    // DrainOperator leaves exchange producer threads running, and they hold
+    // pointers to the session's per-query stats until joined by the tree's
+    // destructor. (plan.column_names/types survive the root's teardown.)
+    plan.root.reset();
+    MergeSessionStats(session);
+    if (rows.ok()) {
+      QueryResult result;
+      result.column_names = plan.column_names;
+      result.column_types = plan.column_types;
+      result.rows = std::move(rows).value();
+      return result;
+    }
+    last = rows.status();
+    bool retryable = last.code() == StatusCode::kIoError ||
+                     last.code() == StatusCode::kCorruption;
+    if (!retryable) return last;
+  }
+  return last;
 }
 
 Result<LoadResult> Database::Load(const std::string& table, const RowBlock& rows,

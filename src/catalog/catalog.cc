@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/checksum.h"
 #include "expr/serialize.h"
 
 namespace stratica {
@@ -266,7 +267,9 @@ Status Catalog::Save(FileSystem* fs, const std::string& path) const {
       out << "\n";
     }
   }
-  return fs->WriteFile(path, out.str());
+  // Catalog snapshots carry the integrity footer: a torn backup must fail
+  // restore loudly, not parse a prefix (DESIGN.md §10).
+  return WriteFileChecksummed(fs, path, out.str());
 }
 
 namespace {
@@ -297,7 +300,7 @@ std::vector<std::string> SplitCommas(const std::string& s) {
 }  // namespace
 
 Status Catalog::Load(FileSystem* fs, const std::string& path) {
-  STRATICA_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(path));
+  STRATICA_ASSIGN_OR_RETURN(std::string data, ReadFileChecksummed(fs, path));
   std::lock_guard lock(mu_);
   tables_.clear();
   projections_.clear();

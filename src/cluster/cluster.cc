@@ -21,6 +21,7 @@ ProjectionStorage* Node::AddStorage(const std::string& projection,
   std::lock_guard lock(mu_);
   auto ps = std::make_unique<ProjectionStorage>(fs_, BaseDir() + "/" + projection,
                                                 std::move(cfg));
+  ps->SetHostUpFlag(&up_);
   auto* raw = ps.get();
   storage_[projection] = std::move(ps);
   return raw;
@@ -380,8 +381,12 @@ Status Cluster::RouteAndInsert(const ProjectionDef& proj, const RowBlock& rows,
       if (!ps) return Status::Internal("missing storage for ", proj.name);
       RowBlock copy = rows;
       if (node->id() != 0) AddNetworkBytes(block_bytes);
-      STRATICA_RETURN_NOT_OK(direct_ros ? ps->InsertDirectRos(std::move(copy), txn)
-                                        : ps->InsertWos(std::move(copy), txn));
+      Status st = direct_ros ? ps->InsertDirectRos(std::move(copy), txn)
+                             : ps->InsertWos(std::move(copy), txn);
+      // A node crashing between the up() check above and the insert is the
+      // same case as failing the check: skip it, the buddy recovers the rows.
+      if (st.code() == StatusCode::kClusterUnavailable) continue;
+      STRATICA_RETURN_NOT_OK(st);
     }
     return Status::OK();
   }
@@ -412,8 +417,11 @@ Status Cluster::RouteAndInsert(const ProjectionDef& proj, const RowBlock& rows,
         }()));
     for (uint32_t r : per_node[n]) part.AppendRowFrom(rows, r);
     if (n != 0) AddNetworkBytes(part.MemoryBytes());
-    STRATICA_RETURN_NOT_OK(direct_ros ? ps->InsertDirectRos(std::move(part), txn)
-                                      : ps->InsertWos(std::move(part), txn));
+    Status st = direct_ros ? ps->InsertDirectRos(std::move(part), txn)
+                           : ps->InsertWos(std::move(part), txn);
+    // Crash raced the up() check: same as a down node, skip (see above).
+    if (st.code() == StatusCode::kClusterUnavailable) continue;
+    STRATICA_RETURN_NOT_OK(st);
   }
   return Status::OK();
 }
@@ -563,6 +571,9 @@ Status Cluster::RunTupleMover() {
     txns_.Rollback(txn);  // bookkeeping txn held no data; releases the T lock
     STRATICA_RETURN_NOT_OK(st);
   }
+  // Opportunistic re-recovery of quarantined projection copies rides the
+  // mover tick; a failed repair keeps its flag set and retries next pass.
+  (void)RepairQuarantined();
   return Status::OK();
 }
 

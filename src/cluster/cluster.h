@@ -156,6 +156,13 @@ class Cluster {
   /// automatically while any node is down (Section 5.1).
   Status AdvanceAhm();
 
+  /// Re-recover every projection copy quarantined by a scan after a
+  /// persistent read failure (DESIGN.md §10): rebuild it from a buddy, then
+  /// clear the flag. Copies whose repair fails stay quarantined and are
+  /// retried on the next call (the tuple-mover tick drives this). Returns
+  /// the number of copies repaired.
+  Result<uint64_t> RepairQuarantined();
+
   // --- online operations -------------------------------------------------------
 
   /// Populate a projection created after its table was loaded, reading from
@@ -202,8 +209,20 @@ class Cluster {
   Result<RowBlock> BuildPrejoinRows(const ProjectionDef& proj, const RowBlock& rows,
                                     std::vector<RejectedRecord>* rejected,
                                     Epoch snapshot);
+  /// Copy epochs (lge, up_to] — or (0, up_to] when `full_rebuild`, which
+  /// also guts the target copy, but only *after* the source read succeeded
+  /// (a failed read must not destroy the last intact data of the copy).
   Status RecoverProjectionOnNode(const ProjectionDef& def, uint32_t node_id,
-                                 Epoch up_to, bool take_lock, uint64_t txn_id);
+                                 Epoch up_to, bool take_lock, uint64_t txn_id,
+                                 bool full_rebuild = false);
+  /// Up copy holding exactly `node_id`'s rows of `def`, fit to serve as the
+  /// source for a recovery that replays epochs after `needed_from`; null
+  /// when K-safety is exhausted for that slot. Quarantined copies still
+  /// holding their data qualify (reads are checksum-verified); copies a
+  /// failed repair gutted qualify only when gutted at or before
+  /// `needed_from` — such a copy is complete after the gut point only.
+  ProjectionStorage* FindRecoverySource(const ProjectionDef& def, uint32_t node_id,
+                                        Epoch needed_from);
   /// RefreshProjection body; runs with the anchor table's S lock held so
   /// every error path still releases it in the caller.
   Status RefreshProjectionLocked(const std::string& projection,
@@ -223,6 +242,10 @@ class Cluster {
   /// Serializes tuple-mover passes (manual RunTupleMover vs the Database's
   /// background service thread).
   std::mutex tuple_mover_mu_;
+  /// Serializes whole-copy recovery paths (RecoverNode vs RepairQuarantined):
+  /// both truncate/clear a copy and re-ingest from a buddy, and two of them
+  /// interleaving on one storage double-applies the overlapping epoch range.
+  std::mutex recovery_mu_;
 };
 
 /// Read one node's rows of a projection at a snapshot epoch into a block

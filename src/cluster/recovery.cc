@@ -26,41 +26,77 @@ uint64_t RowContentHash(const RowBlock& rows, size_t r) {
 
 }  // namespace
 
+namespace {
+
+/// Which copies may serve a recovery range (needed_from, now]?
+///
+/// A quarantined copy that still has its data IS usable: its reads are
+/// checksum-verified end to end, so either the copy serves correct bytes or
+/// the recovery fails cleanly and is retried — and recovery_mu_ guarantees
+/// no repair is concurrently rebuilding it under us. Rejecting it instead
+/// deadlocks the common double-fault: the quarantined copy's buddy goes
+/// down, each side is the only possible source for the other.
+///
+/// A copy a failed repair *gutted* is the exception: its files are
+/// checksum-clean but history below the gut point is gone. It kept
+/// receiving every commit since the gut, so it is complete — and usable —
+/// only for ranges starting at or after that point.
+bool UsableAsSource(const ProjectionStorage* cand, Epoch needed_from) {
+  if (cand == nullptr) return false;
+  if (cand->repair_gutted()) return cand->gutted_at() <= needed_from;
+  return true;
+}
+
+}  // namespace
+
+ProjectionStorage* Cluster::FindRecoverySource(const ProjectionDef& def,
+                                               uint32_t node_id,
+                                               Epoch needed_from) {
+  // A live source holding exactly this node's rows.
+  if (def.segmentation.replicated) {
+    for (auto& other : nodes_) {
+      if (other->id() == static_cast<int>(node_id) || !other->up()) continue;
+      auto* cand = other->GetStorage(def.name);
+      if (!UsableAsSource(cand, needed_from)) continue;
+      return cand;
+    }
+    return nullptr;
+  }
+  // Ring slot this node stores for `def`; any projection in the same
+  // family stores the same slot on a (hopefully up) different node.
+  uint32_t slot = ring_.SlotStoredBy(node_id, def.segmentation.node_offset);
+  std::string family = def.buddy_of.empty() ? def.name : def.buddy_of;
+  for (const auto& copy : catalog_->ProjectionsForTable(def.anchor_table)) {
+    std::string copy_family = copy.buddy_of.empty() ? copy.name : copy.buddy_of;
+    if (copy_family != family || copy.name == def.name) continue;
+    if (copy.segmentation.replicated) continue;
+    uint32_t host = (slot + copy.segmentation.node_offset) % ring_.num_nodes();
+    if (!nodes_[host]->up()) continue;
+    auto* cand = nodes_[host]->GetStorage(copy.name);
+    if (!UsableAsSource(cand, needed_from)) continue;
+    return cand;
+  }
+  return nullptr;
+}
+
 Status Cluster::RecoverProjectionOnNode(const ProjectionDef& def, uint32_t node_id,
-                                        Epoch up_to, bool take_lock, uint64_t txn_id) {
+                                        Epoch up_to, bool take_lock, uint64_t txn_id,
+                                        bool full_rebuild) {
   Node* node = nodes_[node_id].get();
   auto* ps = node->GetStorage(def.name);
   if (!ps) return Status::Internal("recovering node lacks storage for ", def.name);
 
   if (take_lock) {
     STRATICA_RETURN_NOT_OK(locks_.Acquire(txn_id, def.anchor_table, LockMode::kS));
+    // Resample the horizon now that inserts are fenced: a commit that
+    // landed between the caller sampling `up_to` and the lock grant is
+    // otherwise invisible to the copy and lost on this node.
+    up_to = epochs_.LatestQueryableEpoch();
   }
 
-  Epoch start = ps->lge();
+  Epoch start = full_rebuild ? 0 : ps->lge();
 
-  // Find a live source holding exactly this node's rows.
-  ProjectionStorage* source = nullptr;
-  if (def.segmentation.replicated) {
-    for (auto& other : nodes_) {
-      if (other->id() == static_cast<int>(node_id) || !other->up()) continue;
-      source = other->GetStorage(def.name);
-      if (source) break;
-    }
-  } else {
-    // Ring slot this node stores for `def`; any projection in the same
-    // family stores the same slot on a (hopefully up) different node.
-    uint32_t slot = ring_.SlotStoredBy(node_id, def.segmentation.node_offset);
-    std::string family = def.buddy_of.empty() ? def.name : def.buddy_of;
-    for (const auto& copy : catalog_->ProjectionsForTable(def.anchor_table)) {
-      std::string copy_family = copy.buddy_of.empty() ? copy.name : copy.buddy_of;
-      if (copy_family != family || copy.name == def.name) continue;
-      if (copy.segmentation.replicated) continue;
-      uint32_t host = (slot + copy.segmentation.node_offset) % ring_.num_nodes();
-      if (!nodes_[host]->up()) continue;
-      source = nodes_[host]->GetStorage(copy.name);
-      if (source) break;
-    }
-  }
+  ProjectionStorage* source = FindRecoverySource(def, node_id, start);
   if (!source) {
     return Status::ClusterUnavailable("no live buddy to recover ", def.name,
                                       " on node ", node_id);
@@ -90,6 +126,19 @@ Status Cluster::RecoverProjectionOnNode(const ProjectionDef& def, uint32_t node_
     } else if (delete_epochs[r] > start) {
       old_row_deletes.push_back({r, delete_epochs[r]});
     }
+  }
+  if (full_rebuild) {
+    // Only now — with the source's full view safely in memory — destroy
+    // the damaged copy. Ordering the read before the wipe means a source
+    // that dies or errors mid-read leaves this copy untouched (still
+    // quarantined, still revalidatable, still holding its history), rather
+    // than gutted with no way to rebuild. The gut horizon records the last
+    // epoch the wipe discards; every later commit still lands here, so even
+    // if the ingest below fails, the copy remains a valid source for
+    // post-horizon ranges.
+    ps->MarkRepairGutted(up_to);
+    ps->Clear(/*delete_files=*/true);
+    STRATICA_RETURN_NOT_OK(ps->ScrubFiles().status());
   }
   STRATICA_RETURN_NOT_OK(ps->IngestRecovered(std::move(to_copy), std::move(copy_epochs),
                                              std::move(copy_dels), up_to));
@@ -148,36 +197,112 @@ Status Cluster::RecoverNode(uint32_t node_id) {
   if (node_id >= nodes_.size()) return Status::InvalidArgument("no such node");
   Node* node = nodes_[node_id].get();
   if (node->up()) return Status::InvalidArgument("node ", node_id, " is not down");
+  // One whole-copy recovery at a time: a quarantine repair interleaving
+  // with node recovery on the same storage truncates under the other's
+  // ingest and double-applies the overlapping epoch range (duplicate rows).
+  std::lock_guard recovery_lock(recovery_mu_);
 
   // Phase 0: truncate everything past the LGE so the node starts from a
-  // consistent prefix of history.
+  // consistent prefix of history, then scrub the disk — files orphaned by
+  // transactions that died with the node, and torn writes that never got
+  // their rename, are GC'd instead of failing replay (DESIGN.md §10).
   for (const auto& name : node->StorageNames()) {
     auto* ps = node->GetStorage(name);
     ps->TruncateForRecovery(ps->lge());
+    auto scrubbed = ps->ScrubFiles();
+    if (!scrubbed.ok()) return scrubbed.status();
   }
 
   auto txn = txns_.Begin();
-
-  // Historical phase: no locks, copy up to the epoch horizon sampled now.
-  Epoch horizon = epochs_.LatestQueryableEpoch();
-  for (const auto& name : node->StorageNames()) {
-    STRATICA_ASSIGN_OR_RETURN(ProjectionDef def, catalog_->GetProjection(name));
-    STRATICA_RETURN_NOT_OK(
-        RecoverProjectionOnNode(def, node_id, horizon, /*take_lock=*/false, txn->id()));
+  // Both copy phases early-return on I/O, corruption or lock errors. Route
+  // every exit through a single cleanup: an error must not leak the
+  // bookkeeping txn or the current phase's S locks (a leaked S lock wedges
+  // all future DML on the anchor table).
+  Status st = [&]() -> Status {
+    // Historical phase: no locks, copy up to the epoch horizon sampled now.
+    Epoch horizon = epochs_.LatestQueryableEpoch();
+    for (const auto& name : node->StorageNames()) {
+      STRATICA_ASSIGN_OR_RETURN(ProjectionDef def, catalog_->GetProjection(name));
+      STRATICA_RETURN_NOT_OK(RecoverProjectionOnNode(def, node_id, horizon,
+                                                     /*take_lock=*/false, txn->id()));
+    }
+    // Current phase: catch the tail under Shared locks, then rejoin.
+    Epoch now = epochs_.LatestQueryableEpoch();
+    for (const auto& name : node->StorageNames()) {
+      STRATICA_ASSIGN_OR_RETURN(ProjectionDef def, catalog_->GetProjection(name));
+      STRATICA_RETURN_NOT_OK(RecoverProjectionOnNode(def, node_id, now,
+                                                     /*take_lock=*/true, txn->id()));
+    }
+    return Status::OK();
+  }();
+  // Rejoin while the S locks are still held: inserts take I locks (which S
+  // blocks), so no commit can land between "caught up to now" and "marked
+  // up". Flipping up() after the release would let a commit slip into that
+  // window, skip the still-down node, and leave its copy short forever.
+  if (st.ok()) {
+    for (const auto& name : node->StorageNames()) {
+      auto* ps = node->GetStorage(name);
+      // A copy a failed repair gutted before this node went down still has
+      // its pre-gut hole: recovery replayed (lge, now], and moveout may
+      // have pushed lge past the gut point. Leave it quarantined —
+      // RepairQuarantined rebuilds it from the buddy once we are back up.
+      if (!ps->repair_gutted()) ps->ClearQuarantine();
+    }
+    node->set_up(true);
   }
+  txns_.Rollback(txn);  // bookkeeping txn held no data; releases all S locks
+  return st;
+}
 
-  // Current phase: catch the tail under Shared locks, then rejoin.
-  Epoch now = epochs_.LatestQueryableEpoch();
-  for (const auto& name : node->StorageNames()) {
-    STRATICA_ASSIGN_OR_RETURN(ProjectionDef def, catalog_->GetProjection(name));
-    STRATICA_RETURN_NOT_OK(
-        RecoverProjectionOnNode(def, node_id, now, /*take_lock=*/true, txn->id()));
+Result<uint64_t> Cluster::RepairQuarantined() {
+  // Re-recover projection copies quarantined by scans after a persistent
+  // read failure (DESIGN.md §10). The copy is rebuilt wholesale from a
+  // buddy — same machinery as node recovery, scoped to one projection. A
+  // failed repair (e.g. no live buddy right now) keeps the quarantine flag
+  // set and is retried on the next tuple-mover tick, so the error state is
+  // never silently dropped.
+  std::lock_guard recovery_lock(recovery_mu_);  // see RecoverNode
+  uint64_t repaired = 0;
+  for (auto& node : nodes_) {
+    if (!node->up()) continue;
+    for (const auto& name : node->StorageNames()) {
+      auto* ps = node->GetStorage(name);
+      if (!ps || !ps->quarantined()) continue;
+      auto def = catalog_->GetProjection(name);
+      if (!def.ok()) continue;  // dropped concurrently; flag dies with storage
+      auto txn = txns_.Begin();
+      Status st = [&]() -> Status {
+        // Fence inserts *before* touching the copy: Clear outside the lock
+        // races a concurrent load routing rows into this storage — the
+        // wipe would eat the in-flight chunk after the commit succeeded.
+        STRATICA_RETURN_NOT_OK(
+            locks_.Acquire(txn->id(), def.value().anchor_table, LockMode::kS));
+        // Cheap path first: if a full checksummed read of the copy passes,
+        // the quarantine came from since-cleared read errors, not damage —
+        // lift it without a rebuild. This is also what breaks the deadlock
+        // when every copy of a slot is quarantined at once: no copy could
+        // serve as the other's rebuild source, but each can self-verify.
+        // Never for a copy a previous failed repair already gutted: its
+        // files are checksum-clean but the data is gone — a vacuous pass
+        // here would put an empty copy back in service.
+        if (!ps->repair_gutted() && ps->Revalidate().ok()) return Status::OK();
+        // Real damage: rebuild wholesale from a buddy. The rebuild reads
+        // the source's complete history into memory *before* it wipes this
+        // copy (see RecoverProjectionOnNode), so a source that errors or
+        // dies mid-read costs nothing — the copy keeps its data and the
+        // repair is simply retried on a later tick.
+        Epoch now = epochs_.LatestQueryableEpoch();
+        return RecoverProjectionOnNode(def.value(), static_cast<uint32_t>(node->id()),
+                                       now, /*take_lock=*/true, txn->id(),
+                                       /*full_rebuild=*/true);
+      }();
+      if (st.ok()) ps->ClearQuarantine();  // before the S lock drops
+      txns_.Rollback(txn);  // releases the S lock on every path
+      if (!st.ok()) continue;
+      ++repaired;
+    }
   }
-  locks_.ReleaseAll(txn->id());
-  txns_.Rollback(txn);  // bookkeeping txn held no data
-
-  node->set_up(true);
-  return Status::OK();
+  return repaired;
 }
 
 Status Cluster::RefreshProjection(const std::string& projection) {

@@ -1,0 +1,119 @@
+#include "common/checksum.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/fs.h"
+
+namespace stratica {
+
+namespace {
+
+constexpr uint32_t kCrc32cPoly = 0x82f63b78u;  // reflected Castagnoli
+constexpr char kFooterMagic[4] = {'S', 'c', 'k', '1'};
+
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) crc = (crc >> 1) ^ ((crc & 1) ? kCrc32cPoly : 0);
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t seed, const void* data, size_t n) {
+  const auto& t = Tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (n >= 4) {
+    uint32_t w;
+    std::memcpy(&w, p, 4);
+    crc ^= w;
+    crc = t[3][crc & 0xff] ^ t[2][(crc >> 8) & 0xff] ^ t[1][(crc >> 16) & 0xff] ^
+          t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xff];
+  return ~crc;
+}
+
+void AppendCrcFooter(std::string* buf) {
+  uint32_t crc = Crc32c(buf->data(), buf->size());
+  char trailer[kCrcFooterSize];
+  trailer[0] = static_cast<char>(crc & 0xff);
+  trailer[1] = static_cast<char>((crc >> 8) & 0xff);
+  trailer[2] = static_cast<char>((crc >> 16) & 0xff);
+  trailer[3] = static_cast<char>((crc >> 24) & 0xff);
+  std::memcpy(trailer + 4, kFooterMagic, 4);
+  buf->append(trailer, kCrcFooterSize);
+}
+
+Status VerifyAndStripCrcFooter(std::string* buf, const std::string& path) {
+  if (buf->size() < kCrcFooterSize) {
+    return Status::Corruption("truncated file (no integrity footer): ", path,
+                              " at offset 0, size ", buf->size());
+  }
+  const char* trailer = buf->data() + buf->size() - kCrcFooterSize;
+  if (std::memcmp(trailer + 4, kFooterMagic, 4) != 0) {
+    return Status::Corruption("missing integrity footer magic: ", path,
+                              " at offset ", buf->size() - 4);
+  }
+  uint32_t stored = static_cast<uint8_t>(trailer[0]) |
+                    (static_cast<uint32_t>(static_cast<uint8_t>(trailer[1])) << 8) |
+                    (static_cast<uint32_t>(static_cast<uint8_t>(trailer[2])) << 16) |
+                    (static_cast<uint32_t>(static_cast<uint8_t>(trailer[3])) << 24);
+  size_t payload = buf->size() - kCrcFooterSize;
+  uint32_t actual = Crc32c(buf->data(), payload);
+  if (stored != actual) {
+    return Status::Corruption("checksum mismatch: ", path, " at offset 0..", payload,
+                              " (stored ", stored, ", computed ", actual, ")");
+  }
+  buf->resize(payload);
+  return Status::OK();
+}
+
+Status VerifyBlockCrc(const std::string& buf, size_t buf_offset, size_t len,
+                      uint32_t expected, const std::string& path,
+                      uint64_t file_offset) {
+  if (buf_offset + len > buf.size()) {
+    return Status::Corruption("truncated block: ", path, " at offset ", file_offset,
+                              " need ", len, " bytes, have ",
+                              buf.size() > buf_offset ? buf.size() - buf_offset : 0);
+  }
+  uint32_t actual = Crc32c(buf.data() + buf_offset, len);
+  if (actual != expected) {
+    return Status::Corruption("block checksum mismatch: ", path, " at offset ",
+                              file_offset, " len ", len, " (stored ", expected,
+                              ", computed ", actual, ")");
+  }
+  return Status::OK();
+}
+
+Status WriteFileChecksummed(FileSystem* fs, const std::string& path,
+                            std::string data) {
+  AppendCrcFooter(&data);
+  return fs->WriteFile(path, data);
+}
+
+Result<std::string> ReadFileChecksummed(const FileSystem* fs, const std::string& path) {
+  STRATICA_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(path));
+  STRATICA_RETURN_NOT_OK(VerifyAndStripCrcFooter(&data, path));
+  return data;
+}
+
+}  // namespace stratica

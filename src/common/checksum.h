@@ -1,0 +1,54 @@
+// CRC32C checksums and the footer format guarding every on-disk structure
+// (DESIGN.md §10). ROS column blocks carry a per-block CRC in the position
+// index; whole files (index, ros meta, DVROS, catalog snapshots) carry an
+// 8-byte trailing footer so a torn or bit-flipped file is detected at read
+// time instead of silently decoding garbage.
+#ifndef STRATICA_COMMON_CHECKSUM_H_
+#define STRATICA_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace stratica {
+
+/// CRC32C (Castagnoli polynomial, as used by iSCSI/ext4/RocksDB), software
+/// slicing-by-4 implementation. `seed` allows incremental computation:
+/// Crc32c(Crc32c(0, a), b) == Crc32c(0, a||b).
+uint32_t Crc32c(uint32_t seed, const void* data, size_t n);
+inline uint32_t Crc32c(const void* data, size_t n) { return Crc32c(0, data, n); }
+inline uint32_t Crc32c(const std::string& s) { return Crc32c(0, s.data(), s.size()); }
+
+/// Footer layout: payload || crc32c(payload) LE32 || "Sck1" magic.
+constexpr size_t kCrcFooterSize = 8;
+
+/// Append the 8-byte integrity footer over the current contents of `buf`.
+void AppendCrcFooter(std::string* buf);
+
+/// Verify `buf`'s trailing footer and strip it, leaving the payload.
+/// Returns Corruption carrying `path` and the byte offset of the damage
+/// region (0 for the footer itself) when the file is torn or mismatched.
+Status VerifyAndStripCrcFooter(std::string* buf, const std::string& path);
+
+/// Verify a block's stored CRC against `buf[buf_offset, buf_offset+len)`;
+/// on mismatch returns Corruption carrying `path` and `file_offset` (the
+/// block's position in the file, which may differ from its position in the
+/// fetched buffer).
+Status VerifyBlockCrc(const std::string& buf, size_t buf_offset, size_t len,
+                      uint32_t expected, const std::string& path,
+                      uint64_t file_offset);
+
+class FileSystem;
+
+/// WriteFile with the integrity footer appended.
+Status WriteFileChecksummed(FileSystem* fs, const std::string& path,
+                            std::string data);
+
+/// ReadFile + footer verification; returns the payload.
+Result<std::string> ReadFileChecksummed(const FileSystem* fs, const std::string& path);
+
+}  // namespace stratica
+
+#endif  // STRATICA_COMMON_CHECKSUM_H_

@@ -1,0 +1,351 @@
+#include "common/fault_fs.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/hash.h"
+
+namespace stratica {
+
+namespace {
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kTransientError: return "transient-error";
+    case FaultKind::kPersistentError: return "persistent-error";
+    case FaultKind::kCorruptBits: return "corrupt-bits";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kLatency: return "latency";
+  }
+  return "?";
+}
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case kFaultRead: return "read";
+    case kFaultWrite: return "write";
+    case kFaultDelete: return "delete";
+    case kFaultLink: return "link";
+    case kFaultMeta: return "meta";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+FaultFs::FaultFs(FileSystem* base, uint64_t seed)
+    : base_(base), rng_state_(Mix64(seed ^ 0xfa017f5u)) {
+  op_log_.reserve(256);
+}
+
+size_t FaultFs::AddRule(FaultRule rule) {
+  std::lock_guard lock(mu_);
+  Rule r;
+  r.match_all = rule.path_pattern.empty();
+  if (!r.match_all) {
+    r.re = std::regex(rule.path_pattern);
+    // Longest literal prefix of the pattern, used as a pre-regex filter.
+    static constexpr char kMeta[] = ".^$|()[]{}*+?\\";
+    size_t n = rule.path_pattern.find_first_of(kMeta);
+    r.literal = rule.path_pattern.substr(0, n);
+  }
+  r.spec = std::move(rule);
+  rules_.push_back(std::move(r));
+  return rules_.size() - 1;
+}
+
+void FaultFs::RemoveRule(size_t id) {
+  std::lock_guard lock(mu_);
+  if (id < rules_.size()) rules_[id].removed = true;
+}
+
+void FaultFs::ClearRules() {
+  std::lock_guard lock(mu_);
+  rules_.clear();
+}
+
+bool FaultFs::PlanFault(FaultOp op, const std::string& path, FaultKind* kind,
+                        uint64_t* latency_us, uint64_t* fault_seq) const {
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  if (!enabled_.load(std::memory_order_acquire)) {
+    LogOp(op, path, false, FaultKind::kTransientError);
+    return false;
+  }
+  std::lock_guard lock(mu_);
+  bool fire = false;
+  for (auto& r : rules_) {
+    if (r.removed || r.fires >= r.spec.max_fires) continue;
+    if ((r.spec.op_mask & op) == 0) continue;
+    if (!r.match_all) {
+      if (!r.literal.empty() && path.find(r.literal) == std::string::npos) continue;
+      if (!std::regex_search(path, r.re)) continue;
+    }
+    ++r.matches;
+    if (r.spec.probability > 0.0) {
+      rng_state_ = Mix64(rng_state_ + 0x9e3779b97f4a7c15ULL);
+      double u = static_cast<double>(rng_state_ >> 11) * (1.0 / 9007199254740992.0);
+      fire = u < r.spec.probability;
+    } else {
+      uint64_t nth = r.spec.every_nth == 0 ? 1 : r.spec.every_nth;
+      fire = r.matches % nth == 0;
+    }
+    if (!fire) continue;
+    ++r.fires;
+    *kind = r.spec.kind;
+    *latency_us = r.spec.latency_us;
+    rng_state_ = Mix64(rng_state_ + 0x6a09e667f3bcc909ULL);
+    *fault_seq = rng_state_;
+    break;
+  }
+  // Log and count under the same lock so records stay ordered.
+  FaultOpRecord rec{op, path, fire, fire ? *kind : FaultKind::kTransientError};
+  if (op_log_.size() < kMaxOpLog) {
+    op_log_.push_back(std::move(rec));
+  } else {
+    op_log_[op_log_head_] = std::move(rec);
+    op_log_head_ = (op_log_head_ + 1) % kMaxOpLog;
+  }
+  if (fire) {
+    stats_.faults.fetch_add(1, std::memory_order_relaxed);
+    switch (*kind) {
+      case FaultKind::kTransientError:
+        stats_.transient_errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultKind::kPersistentError:
+        stats_.persistent_errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultKind::kCorruptBits:
+        stats_.corruptions.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultKind::kTruncate:
+        stats_.truncations.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultKind::kLatency:
+        stats_.latency_injections.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  return fire;
+}
+
+void FaultFs::LogOp(FaultOp op, const std::string& path, bool faulted,
+                    FaultKind kind) const {
+  std::lock_guard lock(mu_);
+  FaultOpRecord rec{op, path, faulted, kind};
+  if (op_log_.size() < kMaxOpLog) {
+    op_log_.push_back(std::move(rec));
+  } else {
+    op_log_[op_log_head_] = std::move(rec);
+    op_log_head_ = (op_log_head_ + 1) % kMaxOpLog;
+  }
+}
+
+void FaultFs::Corrupt(std::string* data, uint64_t fault_seq) const {
+  if (data->empty()) return;
+  size_t byte = static_cast<size_t>(fault_seq % data->size());
+  (*data)[byte] = static_cast<char>((*data)[byte] ^ (1u << (fault_seq >> 8) % 8));
+}
+
+std::vector<FaultOpRecord> FaultFs::OpLog() const {
+  std::lock_guard lock(mu_);
+  std::vector<FaultOpRecord> out;
+  if (op_log_.empty()) return out;
+  out.reserve(op_log_.size());
+  for (size_t i = 0; i < op_log_.size(); ++i) {
+    out.push_back(op_log_[(op_log_head_ + i) % op_log_.size()]);
+  }
+  return out;
+}
+
+std::string FaultFs::DumpOpLog() const {
+  std::ostringstream out;
+  out << "fault_fs stats: ops=" << stats_.ops.load()
+      << " faults=" << stats_.faults.load()
+      << " transient=" << stats_.transient_errors.load()
+      << " persistent=" << stats_.persistent_errors.load()
+      << " corruptions=" << stats_.corruptions.load()
+      << " truncations=" << stats_.truncations.load()
+      << " latency=" << stats_.latency_injections.load() << "\n";
+  for (const auto& rec : OpLog()) {
+    out << FaultOpName(rec.op) << "\t" << rec.path;
+    if (rec.faulted) out << "\tFAULT:" << FaultKindName(rec.kind);
+    out << "\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// FileSystem interface
+
+Status FaultFs::WriteFile(const std::string& path, const std::string& data) {
+  FaultKind kind;
+  uint64_t latency_us = 0, seq = 0;
+  if (PlanFault(kFaultWrite, path, &kind, &latency_us, &seq)) {
+    switch (kind) {
+      case FaultKind::kTransientError:
+        return Status::TransientIoError("injected transient write error: ", path);
+      case FaultKind::kPersistentError:
+        return Status::IoError("injected write error: ", path);
+      case FaultKind::kLatency:
+        std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+        break;
+      case FaultKind::kCorruptBits:
+      case FaultKind::kTruncate: {
+        // Write-side damage: persist a corrupted/torn copy (the write
+        // itself "succeeds", checksums catch it at read time).
+        std::string bad = data;
+        if (kind == FaultKind::kTruncate) {
+          bad.resize(bad.size() - std::min<size_t>(bad.size(), 1 + seq % 16));
+        } else {
+          Corrupt(&bad, seq);
+        }
+        return base_->WriteFile(path, bad);
+      }
+    }
+  }
+  return base_->WriteFile(path, data);
+}
+
+Result<std::string> FaultFs::ReadFile(const std::string& path) const {
+  FaultKind kind;
+  uint64_t latency_us = 0, seq = 0;
+  if (PlanFault(kFaultRead, path, &kind, &latency_us, &seq)) {
+    switch (kind) {
+      case FaultKind::kTransientError:
+        return Status::TransientIoError("injected transient read error: ", path);
+      case FaultKind::kPersistentError:
+        return Status::IoError("injected read error: ", path);
+      case FaultKind::kLatency:
+        std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+        break;
+      case FaultKind::kCorruptBits: {
+        STRATICA_ASSIGN_OR_RETURN(std::string data, base_->ReadFile(path));
+        Corrupt(&data, seq);
+        return data;
+      }
+      case FaultKind::kTruncate: {
+        STRATICA_ASSIGN_OR_RETURN(std::string data, base_->ReadFile(path));
+        data.resize(data.size() - std::min<size_t>(data.size(), 1 + seq % 16));
+        return data;
+      }
+    }
+  }
+  return base_->ReadFile(path);
+}
+
+Result<std::string> FaultFs::ReadRange(const std::string& path, uint64_t offset,
+                                       uint64_t length) const {
+  FaultKind kind;
+  uint64_t latency_us = 0, seq = 0;
+  if (PlanFault(kFaultRead, path, &kind, &latency_us, &seq)) {
+    switch (kind) {
+      case FaultKind::kTransientError:
+        return Status::TransientIoError("injected transient read error: ", path);
+      case FaultKind::kPersistentError:
+        return Status::IoError("injected read error: ", path);
+      case FaultKind::kLatency:
+        std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+        break;
+      case FaultKind::kCorruptBits: {
+        STRATICA_ASSIGN_OR_RETURN(std::string data, base_->ReadRange(path, offset, length));
+        Corrupt(&data, seq);
+        return data;
+      }
+      case FaultKind::kTruncate: {
+        STRATICA_ASSIGN_OR_RETURN(std::string data, base_->ReadRange(path, offset, length));
+        data.resize(data.size() - std::min<size_t>(data.size(), 1 + seq % 16));
+        return data;
+      }
+    }
+  }
+  return base_->ReadRange(path, offset, length);
+}
+
+Status FaultFs::ReadRangeInto(const std::string& path, uint64_t offset,
+                              uint64_t length, std::string* out) const {
+  FaultKind kind;
+  uint64_t latency_us = 0, seq = 0;
+  if (PlanFault(kFaultRead, path, &kind, &latency_us, &seq)) {
+    switch (kind) {
+      case FaultKind::kTransientError:
+        return Status::TransientIoError("injected transient read error: ", path);
+      case FaultKind::kPersistentError:
+        return Status::IoError("injected read error: ", path);
+      case FaultKind::kLatency:
+        std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+        break;
+      case FaultKind::kCorruptBits: {
+        STRATICA_RETURN_NOT_OK(base_->ReadRangeInto(path, offset, length, out));
+        Corrupt(out, seq);
+        return Status::OK();
+      }
+      case FaultKind::kTruncate: {
+        STRATICA_RETURN_NOT_OK(base_->ReadRangeInto(path, offset, length, out));
+        out->resize(out->size() - std::min<size_t>(out->size(), 1 + seq % 16));
+        return Status::OK();
+      }
+    }
+  }
+  return base_->ReadRangeInto(path, offset, length, out);
+}
+
+Result<uint64_t> FaultFs::FileSize(const std::string& path) const {
+  FaultKind kind;
+  uint64_t latency_us = 0, seq = 0;
+  if (PlanFault(kFaultMeta, path, &kind, &latency_us, &seq)) {
+    if (kind == FaultKind::kTransientError)
+      return Status::TransientIoError("injected transient stat error: ", path);
+    if (kind == FaultKind::kPersistentError)
+      return Status::IoError("injected stat error: ", path);
+    if (kind == FaultKind::kLatency)
+      std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  }
+  return base_->FileSize(path);
+}
+
+bool FaultFs::Exists(const std::string& path) const { return base_->Exists(path); }
+
+Status FaultFs::Delete(const std::string& path) {
+  FaultKind kind;
+  uint64_t latency_us = 0, seq = 0;
+  if (PlanFault(kFaultDelete, path, &kind, &latency_us, &seq)) {
+    if (kind == FaultKind::kTransientError)
+      return Status::TransientIoError("injected transient delete error: ", path);
+    if (kind == FaultKind::kPersistentError)
+      return Status::IoError("injected delete error: ", path);
+    if (kind == FaultKind::kLatency)
+      std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  }
+  return base_->Delete(path);
+}
+
+Result<std::vector<std::string>> FaultFs::List(const std::string& prefix) const {
+  FaultKind kind;
+  uint64_t latency_us = 0, seq = 0;
+  if (PlanFault(kFaultMeta, prefix, &kind, &latency_us, &seq)) {
+    if (kind == FaultKind::kTransientError)
+      return Status::TransientIoError("injected transient list error: ", prefix);
+    if (kind == FaultKind::kPersistentError)
+      return Status::IoError("injected list error: ", prefix);
+    if (kind == FaultKind::kLatency)
+      std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  }
+  return base_->List(prefix);
+}
+
+Status FaultFs::HardLink(const std::string& source, const std::string& target) {
+  FaultKind kind;
+  uint64_t latency_us = 0, seq = 0;
+  if (PlanFault(kFaultLink, source, &kind, &latency_us, &seq)) {
+    if (kind == FaultKind::kTransientError)
+      return Status::TransientIoError("injected transient link error: ", source);
+    if (kind == FaultKind::kPersistentError)
+      return Status::IoError("injected link error: ", source);
+    if (kind == FaultKind::kLatency)
+      std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  }
+  return base_->HardLink(source, target);
+}
+
+}  // namespace stratica

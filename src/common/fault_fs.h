@@ -1,0 +1,144 @@
+// Fault-injecting FileSystem wrapper (DESIGN.md §10).
+//
+// Wraps any FileSystem and executes a seeded, deterministic fault plan:
+// rules match operations by path regex and operation kind, trigger on every
+// nth matching op or with a seeded probability, and inject transient or
+// persistent I/O errors, read corruption (bit flips / truncation) or
+// latency. The latency kind subsumes the old bench-only SimLatencyFs, so
+// benches and chaos tests share one implementation. Every operation is
+// recorded in a bounded op log and per-kind fault stats so tests can prove
+// degraded paths actually fired.
+#ifndef STRATICA_COMMON_FAULT_FS_H_
+#define STRATICA_COMMON_FAULT_FS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+
+namespace stratica {
+
+/// Operation classes a fault rule can match (bitmask).
+enum FaultOp : uint32_t {
+  kFaultRead = 1u << 0,    // ReadFile / ReadRange / ReadRangeInto
+  kFaultWrite = 1u << 1,   // WriteFile
+  kFaultDelete = 1u << 2,  // Delete
+  kFaultLink = 1u << 3,    // HardLink
+  kFaultMeta = 1u << 4,    // FileSize / Exists / List
+  kFaultAnyOp = 0xffffffffu,
+};
+
+enum class FaultKind {
+  kTransientError,   ///< Status::TransientIoError — retry should succeed
+  kPersistentError,  ///< Status::IoError — retries keep failing
+  kCorruptBits,      ///< flip one bit of returned read data
+  kTruncate,         ///< drop the tail of returned read data
+  kLatency,          ///< sleep latency_us, then succeed normally
+};
+
+struct FaultRule {
+  std::string path_pattern;  ///< ECMAScript regex; empty matches all paths
+  uint32_t op_mask = kFaultRead;
+  /// Trigger: fire when probability > 0 with that per-op chance, else on
+  /// every `every_nth` matching operation (1 = every op).
+  double probability = 0.0;
+  uint64_t every_nth = 1;
+  uint64_t max_fires = UINT64_MAX;  ///< rule disarms after this many fires
+  FaultKind kind = FaultKind::kTransientError;
+  uint64_t latency_us = 0;  ///< kLatency only
+};
+
+/// One entry of the bounded operation log (newest kept).
+struct FaultOpRecord {
+  FaultOp op;
+  std::string path;
+  bool faulted = false;
+  FaultKind kind = FaultKind::kTransientError;  // valid when faulted
+};
+
+class FaultFs : public FileSystem {
+ public:
+  /// Does not own `base`; `seed` drives probabilistic triggers and the
+  /// corruption positions deterministically.
+  FaultFs(FileSystem* base, uint64_t seed);
+
+  /// Install a rule; returns its id (for RemoveRule).
+  size_t AddRule(FaultRule rule);
+  void RemoveRule(size_t id);
+  void ClearRules();
+  /// Master switch: when disabled, all rules are bypassed (ops still pass
+  /// through and are logged). Lets chaos tests quiesce for final verify.
+  void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_release); }
+
+  struct Stats {
+    std::atomic<uint64_t> ops{0};
+    std::atomic<uint64_t> faults{0};
+    std::atomic<uint64_t> transient_errors{0};
+    std::atomic<uint64_t> persistent_errors{0};
+    std::atomic<uint64_t> corruptions{0};
+    std::atomic<uint64_t> truncations{0};
+    std::atomic<uint64_t> latency_injections{0};
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Copy of the op log (bounded to the newest kMaxOpLog entries).
+  std::vector<FaultOpRecord> OpLog() const;
+  /// Render the op log + stats as text (CI artifact).
+  std::string DumpOpLog() const;
+
+  // FileSystem interface -----------------------------------------------------
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  Result<std::string> ReadRange(const std::string& path, uint64_t offset,
+                                uint64_t length) const override;
+  Status ReadRangeInto(const std::string& path, uint64_t offset, uint64_t length,
+                       std::string* out) const override;
+  Result<uint64_t> FileSize(const std::string& path) const override;
+  bool Exists(const std::string& path) const override;
+  Status Delete(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) const override;
+  Status HardLink(const std::string& source, const std::string& target) override;
+
+  static constexpr size_t kMaxOpLog = 4096;
+
+ private:
+  struct Rule {
+    FaultRule spec;
+    std::regex re;
+    /// Leading literal run of the pattern (up to the first regex
+    /// metacharacter). Any unanchored match must contain it, so a cheap
+    /// substring test rejects most paths without touching std::regex —
+    /// this is what keeps an armed-but-missing rule set inside the <3%
+    /// overhead budget on the hot read path (DESIGN.md §10).
+    std::string literal;
+    bool match_all = false;
+    uint64_t matches = 0;  // matching ops seen (for every_nth)
+    uint64_t fires = 0;
+    bool removed = false;
+  };
+
+  /// Decide the fault (if any) for one operation, log it, and bump stats.
+  /// Returns true with *kind set when a fault should be injected.
+  bool PlanFault(FaultOp op, const std::string& path, FaultKind* kind,
+                 uint64_t* latency_us, uint64_t* fault_seq) const;
+  void Corrupt(std::string* data, uint64_t fault_seq) const;
+  void LogOp(FaultOp op, const std::string& path, bool faulted, FaultKind kind) const;
+
+  FileSystem* base_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;  // guards rules_, rng state, op log
+  mutable std::vector<Rule> rules_;
+  mutable uint64_t rng_state_;
+  mutable std::vector<FaultOpRecord> op_log_;
+  mutable size_t op_log_head_ = 0;  // ring-buffer cursor once full
+  mutable Stats stats_;
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_COMMON_FAULT_FS_H_

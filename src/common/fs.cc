@@ -34,32 +34,38 @@ Status MemFileSystem::WriteFile(const std::string& path, const std::string& data
   return Status::OK();
 }
 
-Result<std::string> MemFileSystem::ReadFile(const std::string& path) const {
+// Reads snapshot the refcounted buffer under the lock and copy bytes after
+// releasing it: a concurrent Delete or WriteFile (mergeout GC racing a
+// scan) only drops the map entry — the shared_ptr keeps this reader's view
+// alive, exactly as an open file descriptor survives an unlink.
+std::shared_ptr<const std::string> MemFileSystem::Snapshot(
+    const std::string& path) const {
   std::shared_lock lock(mu_);
   auto it = files_.find(path);
-  if (it == files_.end()) return Status::NotFound("no such file: ", path);
-  return *it->second;
+  return it == files_.end() ? nullptr : it->second;
+}
+
+Result<std::string> MemFileSystem::ReadFile(const std::string& path) const {
+  auto data = Snapshot(path);
+  if (!data) return Status::NotFound("no such file: ", path);
+  return *data;
 }
 
 Result<std::string> MemFileSystem::ReadRange(const std::string& path, uint64_t offset,
                                              uint64_t length) const {
-  std::shared_lock lock(mu_);
-  auto it = files_.find(path);
-  if (it == files_.end()) return Status::NotFound("no such file: ", path);
-  const std::string& data = *it->second;
-  if (offset > data.size()) return Status::IoError("read past EOF: ", path);
-  return data.substr(offset, length);
+  auto data = Snapshot(path);
+  if (!data) return Status::NotFound("no such file: ", path);
+  if (offset > data->size()) return Status::IoError("read past EOF: ", path);
+  return data->substr(offset, length);
 }
 
 Status MemFileSystem::ReadRangeInto(const std::string& path, uint64_t offset,
                                     uint64_t length, std::string* out) const {
-  std::shared_lock lock(mu_);
-  auto it = files_.find(path);
-  if (it == files_.end()) return Status::NotFound("no such file: ", path);
-  const std::string& data = *it->second;
-  if (offset > data.size()) return Status::IoError("read past EOF: ", path);
-  size_t n = std::min<uint64_t>(length, data.size() - offset);
-  out->assign(data.data() + offset, n);  // reuses the buffer's capacity
+  auto data = Snapshot(path);
+  if (!data) return Status::NotFound("no such file: ", path);
+  if (offset > data->size()) return Status::IoError("read past EOF: ", path);
+  size_t n = std::min<uint64_t>(length, data->size() - offset);
+  out->assign(data->data() + offset, n);  // reuses the buffer's capacity
   return Status::OK();
 }
 

@@ -77,6 +77,10 @@ class MemFileSystem : public FileSystem {
   Status HardLink(const std::string& source, const std::string& target) override;
 
  private:
+  /// Grab a refcounted view of `path` (null if absent); byte copies happen
+  /// outside the lock so Delete/HardLink never race an in-flight read.
+  std::shared_ptr<const std::string> Snapshot(const std::string& path) const;
+
   mutable std::shared_mutex mu_;
   // shared_ptr contents model hard links: two paths may share one buffer.
   std::map<std::string, std::shared_ptr<const std::string>> files_;

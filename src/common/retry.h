@@ -1,0 +1,54 @@
+// Bounded exponential backoff with deterministic jitter for transient I/O
+// errors (DESIGN.md §10). Only Status::IsTransient() failures are retried;
+// persistent IoError and Corruption surface immediately so failover (not
+// retry) handles them.
+#ifndef STRATICA_COMMON_RETRY_H_
+#define STRATICA_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace stratica {
+
+struct RetryPolicy {
+  int max_attempts = 4;           ///< total tries, including the first
+  uint64_t base_backoff_us = 20;  ///< doubled per retry
+  uint64_t max_backoff_us = 2000;
+  /// Mixed with the attempt number to derive the jitter fraction; callers
+  /// seed it per-site (e.g. from a path hash) so concurrent retriers do not
+  /// thunder in lockstep while runs stay reproducible.
+  uint64_t jitter_seed = 0;
+};
+
+/// Backoff for retry number `attempt` (1-based): min(base << (attempt-1),
+/// max), then scaled by a deterministic jitter factor in [0.5, 1.0].
+inline uint64_t RetryBackoffUs(const RetryPolicy& p, int attempt) {
+  uint64_t shift = attempt > 0 ? static_cast<uint64_t>(attempt - 1) : 0;
+  uint64_t backoff = shift >= 63 ? p.max_backoff_us : p.base_backoff_us << shift;
+  if (backoff > p.max_backoff_us) backoff = p.max_backoff_us;
+  uint64_t j = Mix64(p.jitter_seed + 0x9e3779b97f4a7c15ULL * (attempt + 1));
+  return backoff / 2 + (backoff / 2) * (j % 1024) / 1024;
+}
+
+/// Run `fn` (returning Status), retrying while the result is transient, up
+/// to max_attempts. `retries` (may be null) accumulates the retry count —
+/// including those of an ultimately failed call, so stats still show the
+/// degraded path fired.
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& p, uint64_t* retries, Fn&& fn) {
+  Status st;
+  for (int attempt = 1;; ++attempt) {
+    st = fn();
+    if (st.ok() || !st.IsTransient() || attempt >= p.max_attempts) return st;
+    std::this_thread::sleep_for(std::chrono::microseconds(RetryBackoffUs(p, attempt)));
+    if (retries != nullptr) ++*retries;
+  }
+}
+
+}  // namespace stratica
+
+#endif  // STRATICA_COMMON_RETRY_H_

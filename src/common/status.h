@@ -46,6 +46,22 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 
+  /// True for I/O errors expected to succeed on retry (e.g. an injected or
+  /// real EINTR/EAGAIN-class failure). Retry policies back off on these;
+  /// everything else — including Corruption — is terminal for the attempt.
+  bool IsTransient() const { return transient_; }
+
+  /// A retryable I/O error: same code as IoError (existing kIoError checks
+  /// still apply) plus the transient classification.
+  template <typename... Args>
+  static Status TransientIoError(Args&&... args) {
+    std::ostringstream ss;
+    (ss << ... << args);
+    Status st(StatusCode::kIoError, ss.str());
+    st.transient_ = true;
+    return st;
+  }
+
   /// Human-readable one-line rendering, e.g. "IoError: open failed".
   std::string ToString() const {
     if (ok()) return "OK";
@@ -98,6 +114,7 @@ class Status {
 
  private:
   StatusCode code_;
+  bool transient_ = false;
   std::string msg_;
 };
 

@@ -13,6 +13,14 @@ ExchangeState::ExchangeState(std::vector<OperatorPtr> producers, size_t num_cons
       queues_(num_consumers) {}
 
 ExchangeState::~ExchangeState() {
+  {
+    // A failed query can destroy the tree without draining or closing every
+    // consumer; producers may be blocked in Push waiting for queue room.
+    // Cancel first or the joins below deadlock.
+    std::unique_lock lock(mu_);
+    cancelled_ = true;
+    cv_.notify_all();
+  }
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }

@@ -45,6 +45,11 @@ struct ExecStats {
   std::atomic<uint64_t> prepass_disabled{0};   ///< runtime prepass shutoffs
   std::atomic<uint64_t> hash_to_merge_switches{0};
   std::atomic<uint64_t> exchange_bytes{0};     ///< simulated interconnect traffic
+  /// Transient I/O errors absorbed by reader-level retry (DESIGN.md §10).
+  std::atomic<uint64_t> io_retries{0};
+  /// Reads rerouted to a buddy copy after a persistent failure quarantined
+  /// the originally-planned projection storage.
+  std::atomic<uint64_t> reads_failed_over{0};
 
   /// Fold another query's counters into this one (Database keeps one
   /// cumulative ExecStats; each query runs against its own and merges on
@@ -65,6 +70,8 @@ struct ExecStats {
     prepass_disabled += other.prepass_disabled.load(std::memory_order_relaxed);
     hash_to_merge_switches += other.hash_to_merge_switches.load(std::memory_order_relaxed);
     exchange_bytes += other.exchange_bytes.load(std::memory_order_relaxed);
+    io_retries += other.io_retries.load(std::memory_order_relaxed);
+    reads_failed_over += other.reads_failed_over.load(std::memory_order_relaxed);
   }
 };
 

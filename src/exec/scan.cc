@@ -107,6 +107,19 @@ std::vector<std::vector<ScanRegion>> PlanScanRegions(const StorageSnapshot& snap
   return out;
 }
 
+Status ScanOperator::NoteRosFailure(const Source* src, Status st) {
+  if (st.ok()) return st;
+  // Corruption is terminal by definition; an IoError reaching the scan has
+  // already exhausted the reader's retry budget, so it counts as persistent
+  // too — either way this copy is unhealthy.
+  bool persistent = st.code() == StatusCode::kCorruption ||
+                    st.code() == StatusCode::kIoError;
+  if (persistent && spec_.storage != nullptr && src != nullptr && src->container) {
+    spec_.storage->Quarantine(src->container->id, st.message());
+  }
+  return st;
+}
+
 Status ScanOperator::OpenContainerSource(const ScanRegion& region) {
   const RosContainer& c = *region.container;
   // Container-level pruning from column min/max (includes partition
@@ -123,15 +136,14 @@ Status ScanOperator::OpenContainerSource(const ScanRegion& region) {
   auto src = std::make_unique<Source>();
   src->container = region.container;
   for (int proj_col : spec_.projection_columns) {
-    STRATICA_ASSIGN_OR_RETURN(ColumnReader reader,
-                              OpenRosColumn(ctx_->fs, c, proj_col));
-    src->readers.push_back(std::move(reader));
+    auto reader = OpenRosColumn(ctx_->fs, c, proj_col);
+    if (!reader.ok()) return NoteRosFailure(src.get(), reader.status());
+    src->readers.push_back(std::move(reader).value());
   }
   if (!c.epoch_data_path.empty() && c.max_epoch > ctx_->epoch) {
-    STRATICA_ASSIGN_OR_RETURN(
-        ColumnReader er, ColumnReader::Open(ctx_->fs, c.epoch_data_path,
-                                            c.epoch_index_path));
-    src->epoch_reader = std::make_unique<ColumnReader>(std::move(er));
+    auto er = ColumnReader::Open(ctx_->fs, c.epoch_data_path, c.epoch_index_path);
+    if (!er.ok()) return NoteRosFailure(src.get(), er.status());
+    src->epoch_reader = std::make_unique<ColumnReader>(std::move(er).value());
   }
   src->deleted = snap_.deletes.DeletedPositions(c.id);
   src->next_block = region.block_lo;
@@ -182,6 +194,15 @@ Status ScanOperator::OpenWosSource() {
 Status ScanOperator::Open(ExecContext* ctx) {
   ctx_ = ctx;
   snap_ = spec_.storage->GetSnapshot(ctx->epoch, ctx->txn_id);
+  // The planner checked liveness at plan time; re-check after snapshotting.
+  // MarkNodeDown clears the flag before crashing volatile state, so a true
+  // read here proves the snapshot predates any crash. A false read means the
+  // WOS may have been wiped under us — fail over to a buddy instead of
+  // silently returning a partial snapshot.
+  if (!spec_.storage->HostUp()) {
+    return Status::TransientIoError("host node of ", spec_.storage->config().projection,
+                                    " went down after planning; replan");
+  }
   merger_.reset();
   sources_.clear();
   current_source_ = 0;
@@ -269,7 +290,8 @@ Status ScanOperator::ComputeSelection(Source* src, size_t block_idx, uint64_t ro
   sel->assign(n, 1);
   if (src != nullptr && src->epoch_reader) {
     ColumnVector epochs(TypeId::kInt64);
-    STRATICA_RETURN_NOT_OK(src->epoch_reader->ReadBlock(block_idx, false, &epochs));
+    STRATICA_RETURN_NOT_OK(
+        NoteRosFailure(src, src->epoch_reader->ReadBlock(block_idx, false, &epochs)));
     for (size_t i = 0; i < n; ++i) {
       if (static_cast<Epoch>(epochs.ints[i]) > ctx_->epoch) (*sel)[i] = 0;
     }
@@ -442,8 +464,8 @@ Status ScanOperator::AdvanceRos(Source* src) {
       RowBlock block(spec_.output_types);
       bool keep_runs = spec_.rle_passthrough && !merge_mode_ && !need_row_filter;
       for (size_t c = 0; c < src->readers.size(); ++c) {
-        STRATICA_RETURN_NOT_OK(
-            src->readers[c].ReadBlock(b, keep_runs, &block.columns[c]));
+        STRATICA_RETURN_NOT_OK(NoteRosFailure(
+            src, src->readers[c].ReadBlock(b, keep_runs, &block.columns[c])));
       }
       if (need_row_filter) {
         // Columns are flat here: keep_runs is false whenever filtering runs.
@@ -468,8 +490,8 @@ Status ScanOperator::AdvanceRos(Source* src) {
     // only for surviving rows — not at all when the block comes back empty.
     RowBlock fblock(filter_types_);
     for (size_t i = 0; i < filter_cols_.size(); ++i) {
-      STRATICA_RETURN_NOT_OK(
-          src->readers[filter_cols_[i]].ReadBlock(b, false, &fblock.columns[i]));
+      STRATICA_RETURN_NOT_OK(NoteRosFailure(
+          src, src->readers[filter_cols_[i]].ReadBlock(b, false, &fblock.columns[i])));
     }
     size_t selected = 0;
     STRATICA_RETURN_NOT_OK(ComputeSelection(src, b, bm0.row_start, fblock, n,
@@ -493,11 +515,13 @@ Status ScanOperator::AdvanceRos(Source* src) {
         if (selected < n) block.columns[c].FilterPhysical(sel_scratch_);
       } else if (selected == n) {
         // Fully-selected block: the plain decoder is the fastest gather.
-        STRATICA_RETURN_NOT_OK(src->readers[c].ReadBlock(b, false, &block.columns[c]));
+        STRATICA_RETURN_NOT_OK(
+            NoteRosFailure(src, src->readers[c].ReadBlock(b, false, &block.columns[c])));
         if (ctx_->stats) ctx_->stats->rows_decoded.fetch_add(n);
       } else {
-        STRATICA_RETURN_NOT_OK(
-            src->readers[c].ReadBlockSelected(b, sel_scratch_, &block.columns[c]));
+        STRATICA_RETURN_NOT_OK(NoteRosFailure(
+            src,
+            src->readers[c].ReadBlockSelected(b, sel_scratch_, &block.columns[c])));
         if (ctx_->stats) ctx_->stats->rows_decoded.fetch_add(selected);
       }
     }
@@ -548,11 +572,19 @@ Status ScanOperator::Close() {
   // path (I/O amplification reporting for benches).
   if (ctx_ != nullptr && ctx_->stats) {
     uint64_t total = 0;
+    uint64_t retries = 0;
     for (const auto& src : sources_) {
-      for (const auto& r : src->readers) total += r.bytes_read();
-      if (src->epoch_reader) total += src->epoch_reader->bytes_read();
+      for (const auto& r : src->readers) {
+        total += r.bytes_read();
+        retries += r.io_retries();
+      }
+      if (src->epoch_reader) {
+        total += src->epoch_reader->bytes_read();
+        retries += src->epoch_reader->io_retries();
+      }
     }
     ctx_->stats->bytes_read.fetch_add(total);
+    if (retries > 0) ctx_->stats->io_retries.fetch_add(retries);
   }
   merger_.reset();  // holds raw Source pointers; must go before sources_
   sources_.clear();

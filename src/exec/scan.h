@@ -102,6 +102,10 @@ class ScanOperator : public Operator {
 
   Status OpenContainerSource(const ScanRegion& region);
   Status OpenWosSource();
+  /// Persistent I/O failure / corruption on a container read: quarantine
+  /// this projection copy (the planner then reroutes its segment to a buddy,
+  /// DESIGN.md §10) and pass the error through to the caller.
+  Status NoteRosFailure(const Source* src, Status st);
   /// Load + filter the next block of `src`; repeats until a non-empty block
   /// or source exhaustion.
   Status Advance(Source* src);

@@ -314,13 +314,20 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
 
     // Scan units with buddy substitution: for every ring slot pick an up
     // node among the projection family (replan-with-buddy, Section 6.2).
+    // A quarantined copy (persistent read failure / corruption, DESIGN.md
+    // §10) is as unusable as a down node: skip it and let a buddy serve
+    // the slot until re-recovery clears the flag.
     if (slot.projection.segmentation.replicated) {
       for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
         if (!cluster_->node(n)->up()) continue;
-        slot.units = {cluster_->node(n)->GetStorage(slot.projection.name)};
+        auto* ps = cluster_->node(n)->GetStorage(slot.projection.name);
+        if (!ps || ps->quarantined()) continue;
+        slot.units = {ps};
         break;
       }
-      if (slot.units.empty()) return Status::ClusterUnavailable("no node up");
+      if (slot.units.empty())
+        return Status::ClusterUnavailable("no healthy copy of ",
+                                          slot.projection.name);
     } else {
       std::vector<ProjectionDef> family = {slot.projection};
       for (const auto& p : candidates) {
@@ -332,8 +339,10 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
           uint32_t host =
               (ring_slot + copy.segmentation.node_offset) % cluster_->num_nodes();
           if (!cluster_->node(host)->up()) continue;
-          unit = cluster_->node(host)->GetStorage(copy.name);
-          if (unit) break;
+          auto* ps = cluster_->node(host)->GetStorage(copy.name);
+          if (!ps || ps->quarantined()) continue;
+          unit = ps;
+          break;
         }
         if (!unit) {
           return Status::ClusterUnavailable(

@@ -1,6 +1,9 @@
 #include "storage/column_file.h"
 
 #include "common/bitutil.h"
+#include "common/checksum.h"
+#include "common/hash.h"
+#include "common/retry.h"
 
 namespace stratica {
 
@@ -63,6 +66,7 @@ Status ColumnWriter::FlushBlock(size_t start, size_t count) {
                                           : 8);
   STRATICA_RETURN_NOT_OK(EncodeBlock(encoding_, buffer_, start, count, &data_));
   bm.encoded_bytes = static_cast<uint32_t>(data_.size() - bm.offset);
+  bm.crc = Crc32c(data_.data() + bm.offset, bm.encoded_bytes);
   meta_.num_rows += count;
   if (!bm.min.is_null() && (meta_.min.is_null() || bm.min.Compare(meta_.min) < 0))
     meta_.min = bm.min;
@@ -82,7 +86,10 @@ Result<ColumnFileMeta> ColumnWriter::Finish(FileSystem* fs, const std::string& d
   meta_.max = meta_.max.is_null() ? Value::Null(type_) : meta_.max;
   meta_.encoded_bytes = data_.size();
   STRATICA_RETURN_NOT_OK(fs->WriteFile(data_path, data_));
-  STRATICA_RETURN_NOT_OK(fs->WriteFile(index_path, SerializeColumnFileMeta(meta_)));
+  // The data file's blocks are individually CRC-guarded via the index; the
+  // index itself gets a whole-file footer so a torn index never parses.
+  STRATICA_RETURN_NOT_OK(
+      WriteFileChecksummed(fs, index_path, SerializeColumnFileMeta(meta_)));
   return meta_;
 }
 
@@ -103,6 +110,7 @@ std::string SerializeColumnFileMeta(const ColumnFileMeta& meta) {
     EncodeValue(&out, b.min);
     EncodeValue(&out, b.max);
     PutVarint64(&out, b.null_count);
+    PutVarint64(&out, b.crc);
   }
   return out;
 }
@@ -138,13 +146,34 @@ Result<ColumnFileMeta> ParseColumnFileMeta(const std::string& data) {
     STRATICA_RETURN_NOT_OK(DecodeValue(data, &offset, meta.type, &b.max));
     if (!GetVarint64(data, &offset, &x)) return Status::Corruption("index: nulls");
     b.null_count = static_cast<uint32_t>(x);
+    if (!GetVarint64(data, &offset, &x)) return Status::Corruption("index: crc");
+    b.crc = static_cast<uint32_t>(x);
   }
   return meta;
 }
 
+namespace {
+
+/// Reader-side retry policy: transient I/O errors back off and retry before
+/// anything surfaces to the scan; the jitter seed is derived from the path
+/// so concurrent readers of different files desynchronize.
+RetryPolicy ReaderRetryPolicy(const std::string& path) {
+  RetryPolicy p;
+  p.jitter_seed = HashBytes(path.data(), path.size());
+  return p;
+}
+
+}  // namespace
+
 Result<ColumnReader> ColumnReader::Open(const FileSystem* fs, const std::string& data_path,
                                         const std::string& index_path) {
-  STRATICA_ASSIGN_OR_RETURN(std::string index_bytes, fs->ReadFile(index_path));
+  std::string index_bytes;
+  STRATICA_RETURN_NOT_OK(
+      RetryTransient(ReaderRetryPolicy(index_path), nullptr, [&]() -> Status {
+        STRATICA_ASSIGN_OR_RETURN(index_bytes, fs->ReadFile(index_path));
+        return Status::OK();
+      }));
+  STRATICA_RETURN_NOT_OK(VerifyAndStripCrcFooter(&index_bytes, index_path));
   STRATICA_ASSIGN_OR_RETURN(ColumnFileMeta meta, ParseColumnFileMeta(index_bytes));
   return ColumnReader(fs, data_path, std::move(meta));
 }
@@ -152,7 +181,11 @@ Result<ColumnReader> ColumnReader::Open(const FileSystem* fs, const std::string&
 Status ColumnReader::FetchBlock(size_t idx) const {
   const BlockMeta& b = meta_.blocks[idx];
   STRATICA_RETURN_NOT_OK(
-      fs_->ReadRangeInto(data_path_, b.offset, b.encoded_bytes, &scratch_));
+      RetryTransient(ReaderRetryPolicy(data_path_), &io_retries_, [&] {
+        return fs_->ReadRangeInto(data_path_, b.offset, b.encoded_bytes, &scratch_);
+      }));
+  STRATICA_RETURN_NOT_OK(
+      VerifyBlockCrc(scratch_, 0, b.encoded_bytes, b.crc, data_path_, b.offset));
   bytes_read_ += b.encoded_bytes;
   return Status::OK();
 }
@@ -181,10 +214,15 @@ Status ColumnReader::ReadAll(ColumnVector* out) const {
   // instead of one allocation per block.
   const BlockMeta& last = meta_.blocks.back();
   uint64_t span = last.offset + last.encoded_bytes;
-  STRATICA_RETURN_NOT_OK(fs_->ReadRangeInto(data_path_, 0, span, &scratch_));
+  STRATICA_RETURN_NOT_OK(
+      RetryTransient(ReaderRetryPolicy(data_path_), &io_retries_, [&] {
+        return fs_->ReadRangeInto(data_path_, 0, span, &scratch_);
+      }));
   bytes_read_ += span;
   out->Reserve(out->PhysicalSize() + meta_.num_rows);
   for (const BlockMeta& b : meta_.blocks) {
+    STRATICA_RETURN_NOT_OK(VerifyBlockCrc(scratch_, b.offset, b.encoded_bytes, b.crc,
+                                          data_path_, b.offset));
     size_t offset = b.offset;
     STRATICA_RETURN_NOT_OK(DecodeBlock(scratch_, &offset, meta_.type, out));
   }

@@ -31,6 +31,7 @@ struct BlockMeta {
   uint32_t row_count = 0;
   Value min, max;              ///< Over non-null values (null when all-NULL).
   uint32_t null_count = 0;
+  uint32_t crc = 0;            ///< CRC32C of the encoded block bytes.
 };
 
 /// Parsed position index plus summary stats for one column file.
@@ -107,6 +108,10 @@ class ColumnReader {
   /// Encoded bytes fetched through this reader (I/O amplification metric).
   uint64_t bytes_read() const { return bytes_read_; }
 
+  /// Transient-error retries performed by this reader's fetches (rolled
+  /// into ExecStats::io_retries by the scan, like bytes_read).
+  uint64_t io_retries() const { return io_retries_; }
+
  private:
   ColumnReader(const FileSystem* fs, std::string data_path, ColumnFileMeta meta)
       : fs_(fs), data_path_(std::move(data_path)), meta_(std::move(meta)) {}
@@ -118,6 +123,7 @@ class ColumnReader {
   ColumnFileMeta meta_;
   mutable std::string scratch_;       // reused block buffer
   mutable uint64_t bytes_read_ = 0;
+  mutable uint64_t io_retries_ = 0;
 };
 
 /// Serialize / parse the index file representation (exposed for tests).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checksum.h"
 #include "common/row_block.h"
 #include "storage/encoding.h"
 
@@ -21,12 +22,12 @@ Status WriteDvRos(FileSystem* fs, const DeleteVectorChunk& chunk,
   STRATICA_RETURN_NOT_OK(
       EncodeBlock(EncodingId::kAuto, pos, 0, pos.ints.size(), &data));
   STRATICA_RETURN_NOT_OK(EncodeBlock(EncodingId::kRle, ep, 0, ep.ints.size(), &data));
-  return fs->WriteFile(path, data);
+  return WriteFileChecksummed(fs, path, std::move(data));
 }
 
 Result<DeleteVectorChunkPtr> ReadDvRos(const FileSystem* fs, const std::string& path,
                                        uint64_t target_id) {
-  STRATICA_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(path));
+  STRATICA_ASSIGN_OR_RETURN(std::string data, ReadFileChecksummed(fs, path));
   auto chunk = std::make_shared<DeleteVectorChunk>();
   chunk->target_id = target_id;
   chunk->persisted = true;

@@ -1,7 +1,11 @@
 #include "storage/projection_storage.h"
 
 #include <algorithm>
+#include <set>
 
+#include "common/checksum.h"
+#include "common/hash.h"
+#include "common/retry.h"
 #include "storage/sort_util.h"
 
 namespace stratica {
@@ -64,6 +68,13 @@ Status ProjectionStorage::InsertWos(RowBlock rows, Transaction* txn) {
   chunk->rows = std::move(rows);
   {
     std::lock_guard lock(mu_);
+    // Checked under mu_ so the insert is atomic with CrashVolatileState's
+    // WOS wipe: MarkNodeDown clears the host-up flag before crashing, so a
+    // chunk admitted here is either wiped by the crash or the host was
+    // still up. Without this, an insert racing the crash lands *after* the
+    // wipe — a committed "zombie" chunk recovery knows nothing about, whose
+    // rows are then re-copied from the buddy (duplicates).
+    if (!HostUp()) return Status::ClusterUnavailable("host node is down");
     chunk->start_pos = wos_next_pos_;
     wos_next_pos_ += chunk->NumRows();
     wos_.push_back(chunk);
@@ -106,9 +117,27 @@ Status ProjectionStorage::WriteContainers(RowBlock sorted, Transaction* txn) {
     mutable_ros->creating_txn = txn->id();
     created.push_back(mutable_ros);
   }
+  bool host_down = false;
   {
     std::lock_guard lock(mu_);
-    for (const auto& c : created) ros_.push_back(c);
+    // Atomic with CrashVolatileState, same reasoning as InsertWos.
+    if (!HostUp()) {
+      host_down = true;
+    } else {
+      for (const auto& c : created) ros_.push_back(c);
+    }
+  }
+  if (host_down) {
+    // Registration raced a node crash. The files were written before the
+    // check; drop them rather than leaving orphans for the scrub to chase.
+    for (const auto& c : created) {
+      for (const auto& col : c->columns) {
+        (void)fs_->Delete(col.data_path);
+        (void)fs_->Delete(col.index_path);
+      }
+      (void)fs_->Delete(c->dir + "/meta");
+    }
+    return Status::ClusterUnavailable("host node is down");
   }
   txn->MarkDml();
   txn->OnCommit([this, created](Epoch e) {
@@ -128,9 +157,19 @@ Status ProjectionStorage::WriteContainers(RowBlock sorted, Transaction* txn) {
     }
     // Meta-file rewrites stay off the mutex (concurrent scans would stall
     // behind the I/O): commits are serialized by the transaction manager,
-    // and the stamped fields above are final.
+    // and the stamped fields above are final. Transient write errors are
+    // retried with backoff; a terminal failure is recorded rather than
+    // swallowed — the in-memory commit is authoritative and the meta file
+    // is restored by the startup scrub or buddy recovery.
     for (const auto& c : created) {
-      (void)fs_->WriteFile(c->dir + "/meta", SerializeRosMeta(*c));
+      std::string meta_path = c->dir + "/meta";
+      RetryPolicy policy;
+      policy.jitter_seed = HashBytes(meta_path.data(), meta_path.size());
+      uint64_t retries = 0;
+      Status st = RetryTransient(policy, &retries,
+                                 [&] { return WriteRosMeta(fs_, *c, meta_path); });
+      commit_meta_retries_.fetch_add(retries, std::memory_order_relaxed);
+      if (!st.ok()) commit_meta_failures_.fetch_add(1, std::memory_order_relaxed);
     }
   });
   txn->OnRollback([this, created]() {
@@ -165,6 +204,8 @@ Status ProjectionStorage::AddDeletes(uint64_t target_id, std::vector<uint64_t> p
   chunk->epochs.assign(chunk->positions.size(), kUncommittedEpoch);
   {
     std::lock_guard lock(mu_);
+    // Atomic with CrashVolatileState, same reasoning as InsertWos.
+    if (!HostUp()) return Status::ClusterUnavailable("host node is down");
     deletes_.push_back(chunk);
   }
   txn->MarkDml();
@@ -239,6 +280,13 @@ std::vector<DeleteVectorChunkPtr> ProjectionStorage::ContainerDeleteChunks(
 
 Status ProjectionStorage::ApplyMoveout(const MoveoutApply& apply) {
   std::lock_guard lock(mu_);
+  if (apply.base_generation != generation_.load(std::memory_order_relaxed)) {
+    // A crash/truncate/scrub ran after the moveout sampled its inputs: the
+    // consumed WOS chunks may be gone and the new files may have been
+    // scrubbed. Registering the result would resurrect crashed rows or
+    // point the manifest at deleted files.
+    return Status::TxnAborted("storage generation changed during moveout");
+  }
   // Ranges of WOS positions consumed by the moveout.
   std::vector<std::pair<uint64_t, uint64_t>> consumed;
   for (const auto& chunk : apply.consumed_chunks) {
@@ -287,6 +335,9 @@ Status ProjectionStorage::ApplyMergeout(const MergeoutApply& apply) {
   std::vector<std::shared_ptr<RosContainer>> gc;
   {
     std::lock_guard lock(mu_);
+    if (apply.base_generation != generation_.load(std::memory_order_relaxed)) {
+      return Status::TxnAborted("storage generation changed during mergeout");
+    }
     for (uint64_t id : apply.removed_container_ids) {
       for (auto it = ros_.begin(); it != ros_.end(); ++it) {
         if ((*it)->id == id) {
@@ -361,6 +412,7 @@ Epoch ProjectionStorage::TruncateForRecovery(Epoch lge) {
   Epoch trunc = lge;
   {
     std::lock_guard lock(mu_);
+    generation_.fetch_add(1, std::memory_order_acq_rel);
     wos_.clear();  // WOS content is gone after a failure anyway
     bool changed = true;
     while (changed) {
@@ -508,6 +560,7 @@ Result<uint64_t> ProjectionStorage::DropPartition(int64_t partition_key) {
 
 void ProjectionStorage::Clear(bool delete_files) {
   std::lock_guard lock(mu_);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   if (delete_files) {
     for (const auto& c : ros_) DeleteContainerFiles(*c);
     for (const auto& c : retired_) DeleteContainerFiles(*c);
@@ -522,6 +575,7 @@ void ProjectionStorage::Clear(bool delete_files) {
 
 void ProjectionStorage::CrashVolatileState() {
   std::lock_guard lock(mu_);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   wos_.clear();
   // Uncommitted containers and all in-memory (non-persisted) delete chunks
   // are lost with the node.
@@ -535,6 +589,113 @@ void ProjectionStorage::CrashVolatileState() {
                                   return !d->persisted;
                                 }),
                  deletes_.end());
+}
+
+void ProjectionStorage::Quarantine(uint64_t container_id, const std::string& reason) {
+  std::lock_guard lock(mu_);
+  if (quarantined_.load(std::memory_order_relaxed)) return;
+  quarantined_container_ = container_id;
+  quarantine_reason_ = reason;
+  quarantined_.store(true, std::memory_order_release);
+}
+
+std::string ProjectionStorage::quarantine_reason() const {
+  std::lock_guard lock(mu_);
+  return quarantine_reason_;
+}
+
+void ProjectionStorage::ClearQuarantine() {
+  std::lock_guard lock(mu_);
+  quarantined_container_ = 0;
+  quarantine_reason_.clear();
+  repair_gutted_.store(false, std::memory_order_release);
+  gutted_at_.store(0, std::memory_order_release);
+  quarantined_.store(false, std::memory_order_release);
+}
+
+Result<uint64_t> ProjectionStorage::ScrubFiles() {
+  std::set<std::string> referenced;
+  std::vector<std::shared_ptr<RosContainer>> live;
+  {
+    std::lock_guard lock(mu_);
+    // The scrub may delete files a concurrent tuple-mover operation is in
+    // the middle of writing (they look like orphans until the apply step
+    // registers them); bumping the generation first guarantees that apply
+    // is rejected instead of publishing a container with scrubbed files.
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+    auto add = [&](const RosContainer& c) {
+      for (const auto& col : c.columns) {
+        referenced.insert(col.data_path);
+        referenced.insert(col.index_path);
+      }
+      if (!c.epoch_data_path.empty()) {
+        referenced.insert(c.epoch_data_path);
+        referenced.insert(c.epoch_index_path);
+      }
+      referenced.insert(c.dir + "/meta");
+    };
+    for (const auto& c : ros_) {
+      add(*c);
+      live.push_back(c);
+    }
+    for (const auto& c : retired_) add(*c);
+    for (const auto& d : deletes_) {
+      if (d->persisted && !d->dv_path.empty()) referenced.insert(d->dv_path);
+    }
+  }
+  // Heal referenced meta files that are missing or fail their checksum:
+  // after replay the in-memory manifest is the source of truth, so a torn
+  // meta is rewritten rather than trusted.
+  for (const auto& c : live) {
+    std::string meta_path = c->dir + "/meta";
+    if (ReadRosMeta(fs_, meta_path).ok()) continue;
+    STRATICA_RETURN_NOT_OK(WriteRosMeta(fs_, *c, meta_path));
+  }
+  // Everything else under the projection directory is an orphan — residue
+  // of a transaction that died before commit, or a torn write that never
+  // got its rename. Replay tolerates them by deletion, not by failure.
+  STRATICA_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                            fs_->List(base_dir_ + "/"));
+  uint64_t removed = 0;
+  for (const auto& f : files) {
+    if (referenced.count(f)) continue;
+    if (fs_->Delete(f).ok()) ++removed;
+  }
+  return removed;
+}
+
+Status ProjectionStorage::Revalidate() const {
+  std::vector<std::shared_ptr<RosContainer>> live;
+  std::vector<std::string> dv_paths;
+  {
+    std::lock_guard lock(mu_);
+    live = ros_;
+    for (const auto& d : deletes_) {
+      if (d->persisted && !d->dv_path.empty()) dv_paths.push_back(d->dv_path);
+    }
+  }
+  // Off-mutex: full checksummed read of every file the manifest references.
+  // ColumnReader verifies the index footer at Open and per-block CRCs in
+  // ReadAll; meta and DVROS files carry whole-file footers.
+  for (const auto& c : live) {
+    STRATICA_RETURN_NOT_OK(ReadRosMeta(fs_, c->dir + "/meta").status());
+    for (size_t col = 0; col < c->columns.size(); ++col) {
+      STRATICA_ASSIGN_OR_RETURN(ColumnReader reader, OpenRosColumn(fs_, *c, col));
+      ColumnVector scratch;
+      STRATICA_RETURN_NOT_OK(reader.ReadAll(&scratch));
+    }
+    if (!c->epoch_data_path.empty()) {
+      STRATICA_ASSIGN_OR_RETURN(
+          ColumnReader reader,
+          ColumnReader::Open(fs_, c->epoch_data_path, c->epoch_index_path));
+      ColumnVector scratch;
+      STRATICA_RETURN_NOT_OK(reader.ReadAll(&scratch));
+    }
+  }
+  for (const auto& path : dv_paths) {
+    STRATICA_RETURN_NOT_OK(ReadFileChecksummed(fs_, path).status());
+  }
+  return Status::OK();
 }
 
 uint64_t ProjectionStorage::WosRowCount() const {

@@ -83,6 +83,9 @@ struct MoveoutApply {
   std::vector<std::shared_ptr<RosContainer>> new_containers;
   std::vector<DeleteVectorChunkPtr> new_dvs;  // re-targeted at new containers
   Epoch new_lge = 0;
+  /// Storage generation sampled before the moveout read its inputs; the
+  /// apply is rejected (TxnAborted) if recovery mutated the storage since.
+  uint64_t base_generation = 0;
 };
 
 /// Result of one mergeout operation, applied atomically.
@@ -90,6 +93,7 @@ struct MergeoutApply {
   std::vector<uint64_t> removed_container_ids;
   std::shared_ptr<RosContainer> new_container;
   std::vector<DeleteVectorChunkPtr> new_dvs;
+  uint64_t base_generation = 0;  ///< See MoveoutApply::base_generation.
 };
 
 /// \brief Storage state and operations for one projection on one node.
@@ -174,6 +178,66 @@ class ProjectionStorage {
   /// tick so retention stays bounded even when no new merges happen.
   void GcRetired();
 
+  // --- fault handling (DESIGN.md §10) ---------------------------------------
+
+  /// Mark this projection copy damaged after a persistent read failure on
+  /// `container_id`. A quarantined copy is skipped by the planner (treated
+  /// like a down node, buddies serve its ring slot) until re-recovery
+  /// clears it. Idempotent; keeps the first reason.
+  void Quarantine(uint64_t container_id, const std::string& reason);
+  bool quarantined() const { return quarantined_.load(std::memory_order_acquire); }
+  std::string quarantine_reason() const;
+  void ClearQuarantine();
+
+  /// Set by repair right before it guts the copy (Clear + rebuild). While
+  /// set, the copy is incomplete by construction, so a checksum-clean
+  /// Revalidate must NOT lift the quarantine — only a successful rebuild
+  /// (which calls ClearQuarantine) may. `horizon` is the queryable epoch at
+  /// gut time: commits keep landing in the copy afterwards, so it remains a
+  /// valid recovery *source* for epoch ranges starting at or after it.
+  void MarkRepairGutted(Epoch horizon) {
+    gutted_at_.store(horizon, std::memory_order_release);
+    repair_gutted_.store(true, std::memory_order_release);
+  }
+  bool repair_gutted() const { return repair_gutted_.load(std::memory_order_acquire); }
+  Epoch gutted_at() const { return gutted_at_.load(std::memory_order_acquire); }
+
+  /// Startup / recovery scrub: reconcile on-disk files against the
+  /// in-memory manifest. Orphaned files (from a crashed transaction or a
+  /// torn write) are deleted instead of failing replay; a referenced meta
+  /// file that is missing or fails its checksum is rewritten from the
+  /// manifest. Returns the number of orphans removed.
+  Result<uint64_t> ScrubFiles();
+
+  /// End-to-end integrity pass: read every live container column (index
+  /// footer + per-block CRCs) and persisted delete vector. OK means the
+  /// on-disk copy is provably intact — a quarantine caused by injected or
+  /// environmental read errors can be lifted without a buddy rebuild;
+  /// a Corruption/IoError result means the copy really needs one.
+  Status Revalidate() const;
+
+  /// Commit-path telemetry: transient meta-write retries and terminal
+  /// failures (the in-memory commit is authoritative; a lost meta file is
+  /// restored by scrub or buddy recovery).
+  uint64_t commit_meta_retries() const { return commit_meta_retries_.load(); }
+  uint64_t commit_meta_failures() const { return commit_meta_failures_.load(); }
+
+  /// Liveness flag of the node hosting this copy (null = standalone, always
+  /// up). Scans re-check it *after* snapshotting: MarkNodeDown clears the
+  /// flag before crashing volatile state, so a snapshot taken while the
+  /// flag still reads true is guaranteed pre-crash and complete.
+  void SetHostUpFlag(const std::atomic<bool>* up) { host_up_ = up; }
+  bool HostUp() const {
+    return host_up_ == nullptr || host_up_->load(std::memory_order_acquire);
+  }
+
+  /// Bumped by every destructive recovery mutation (crash, truncate, clear,
+  /// scrub). A tuple-mover operation samples it before reading its inputs;
+  /// ApplyMoveout/ApplyMergeout reject the result if it changed, because
+  /// the inputs may be gone and the freshly written output files may
+  /// already have been scrubbed as orphans.
+  uint64_t generation() const { return generation_.load(std::memory_order_acquire); }
+
   // --- stats ----------------------------------------------------------------
   uint64_t WosRowCount() const;
   bool WosSaturated() const;
@@ -216,6 +280,16 @@ class ProjectionStorage {
   uint64_t wos_next_pos_ = 0;
   Epoch lge_ = 0;
   std::atomic<uint64_t> next_container_id_{1};
+
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<bool> quarantined_{false};
+  std::atomic<bool> repair_gutted_{false};
+  std::atomic<Epoch> gutted_at_{0};
+  std::string quarantine_reason_;        // under mu_
+  uint64_t quarantined_container_ = 0;   // under mu_
+  std::atomic<uint64_t> commit_meta_retries_{0};
+  std::atomic<uint64_t> commit_meta_failures_{0};
+  const std::atomic<bool>* host_up_ = nullptr;  // owned by the hosting Node
 };
 
 }  // namespace stratica

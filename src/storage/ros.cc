@@ -3,6 +3,9 @@
 #include <sstream>
 
 #include "common/bitutil.h"
+#include "common/checksum.h"
+#include "common/hash.h"
+#include "common/retry.h"
 
 namespace stratica {
 
@@ -101,7 +104,7 @@ Result<RosContainerPtr> RosWriter::Finish(int64_t partition_key, uint32_t local_
     ros->min_epoch = uniform_epoch;
     ros->max_epoch = uniform_epoch;
   }
-  STRATICA_RETURN_NOT_OK(fs_->WriteFile(dir_ + "/meta", SerializeRosMeta(*ros)));
+  STRATICA_RETURN_NOT_OK(WriteRosMeta(fs_, *ros, dir_ + "/meta"));
   return RosContainerPtr(ros);
 }
 
@@ -198,11 +201,24 @@ Result<RosContainer> ParseRosMeta(const std::string& data) {
   return ros;
 }
 
+Status WriteRosMeta(FileSystem* fs, const RosContainer& ros,
+                    const std::string& meta_path) {
+  return WriteFileChecksummed(fs, meta_path, SerializeRosMeta(ros));
+}
+
+Result<RosContainer> ReadRosMeta(const FileSystem* fs, const std::string& meta_path) {
+  STRATICA_ASSIGN_OR_RETURN(std::string data, ReadFileChecksummed(fs, meta_path));
+  return ParseRosMeta(data);
+}
+
 Status StampRosEpoch(FileSystem* fs, RosContainer* ros, const std::string& meta_path,
-                     Epoch epoch) {
+                     Epoch epoch, uint64_t* retries) {
   ros->min_epoch = epoch;
   ros->max_epoch = epoch;
-  return fs->WriteFile(meta_path, SerializeRosMeta(*ros));
+  RetryPolicy policy;
+  policy.jitter_seed = HashBytes(meta_path.data(), meta_path.size());
+  return RetryTransient(policy, retries,
+                        [&] { return WriteRosMeta(fs, *ros, meta_path); });
 }
 
 }  // namespace stratica

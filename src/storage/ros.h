@@ -127,10 +127,20 @@ Status ReadRosContainer(const FileSystem* fs, const RosContainer& ros,
 std::string SerializeRosMeta(const RosContainer& ros);
 Result<RosContainer> ParseRosMeta(const std::string& data);
 
+/// Write / read a container's meta file with the integrity footer. Reading
+/// a torn or bit-flipped meta returns Corruption (startup scrub relies on
+/// this to distinguish orphans from live containers).
+Status WriteRosMeta(FileSystem* fs, const RosContainer& ros,
+                    const std::string& meta_path);
+Result<RosContainer> ReadRosMeta(const FileSystem* fs, const std::string& meta_path);
+
 /// Stamp an uncommitted container with its commit epoch (commit callback).
 /// Containers are immutable *after commit*; stamping rewrites the meta file.
+/// Transient write failures are retried with backoff (the commit-meta write
+/// path must not eject a node over a blip); `retries` (optional)
+/// accumulates the retry count.
 Status StampRosEpoch(FileSystem* fs, RosContainer* ros, const std::string& meta_path,
-                     Epoch epoch);
+                     Epoch epoch, uint64_t* retries = nullptr);
 
 }  // namespace stratica
 

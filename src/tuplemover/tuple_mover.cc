@@ -10,6 +10,25 @@
 
 namespace stratica {
 
+namespace {
+
+// Remove a discarded mover output's files (the apply was rejected because
+// recovery mutated the storage mid-operation; some files may already have
+// been scrubbed, so failures are ignored).
+void DeleteDiscardedContainerFiles(FileSystem* fs, const RosContainer& c) {
+  for (const auto& col : c.columns) {
+    (void)fs->Delete(col.data_path);
+    (void)fs->Delete(col.index_path);
+  }
+  if (!c.epoch_data_path.empty()) {
+    (void)fs->Delete(c.epoch_data_path);
+    (void)fs->Delete(c.epoch_index_path);
+  }
+  (void)fs->Delete(c.dir + "/meta");
+}
+
+}  // namespace
+
 int TupleMover::Stratum(uint64_t bytes) const {
   // Stratum s covers (base * factor^(s-1), base * factor^s].
   if (bytes <= cfg_.strata_base_bytes) return 0;
@@ -19,6 +38,9 @@ int TupleMover::Stratum(uint64_t bytes) const {
 }
 
 Status TupleMover::Moveout(ProjectionStorage* ps) {
+  // Sampled before any input is read: if recovery bumps it while we work,
+  // the apply below is rejected and the output discarded.
+  const uint64_t gen = ps->generation();
   Epoch up_to = epochs_->LatestQueryableEpoch();
   std::vector<WosChunkPtr> chunks = ps->CommittedWosChunks(up_to);
   if (chunks.empty()) return Status::OK();
@@ -153,11 +175,23 @@ Status TupleMover::Moveout(ProjectionStorage* ps) {
     apply.new_dvs.push_back(chunk);
   }
 
-  ++stats_.moveouts;
-  return ps->ApplyMoveout(apply);
+  apply.base_generation = gen;
+  Status st = ps->ApplyMoveout(apply);
+  if (st.code() == StatusCode::kTxnAborted) {
+    // The node crashed / was recovered while this moveout ran; the consumed
+    // WOS chunks no longer exist and the output must not be published.
+    for (const auto& c : apply.new_containers) {
+      DeleteDiscardedContainerFiles(ps->fs(), *c);
+    }
+    ++stats_.stale_applies;
+    return Status::OK();
+  }
+  if (st.ok()) ++stats_.moveouts;
+  return st;
 }
 
 Result<bool> TupleMover::MergeoutOnce(ProjectionStorage* ps) {
+  const uint64_t gen = ps->generation();
   std::vector<RosContainerPtr> containers = ps->Containers();
   // Candidate groups: committed containers keyed by (partition, segment,
   // stratum). Partition and local-segment boundaries are always preserved.
@@ -339,8 +373,17 @@ Result<bool> TupleMover::MergeoutOnce(ProjectionStorage* ps) {
   for (const auto& c : inputs) apply.removed_container_ids.push_back(c->id);
   apply.new_container = std::const_pointer_cast<RosContainer>(merged);
   if (!new_dv->positions.empty()) apply.new_dvs.push_back(new_dv);
+  apply.base_generation = gen;
+  Status st = ps->ApplyMergeout(apply);
+  if (st.code() == StatusCode::kTxnAborted) {
+    // Recovery rewrote the storage under this mergeout; discard the output
+    // (its inputs may be truncated and its files already scrubbed).
+    DeleteDiscardedContainerFiles(ps->fs(), *apply.new_container);
+    ++stats_.stale_applies;
+    return false;
+  }
+  STRATICA_RETURN_NOT_OK(st);
   ++stats_.mergeouts;
-  STRATICA_RETURN_NOT_OK(ps->ApplyMergeout(apply));
   return true;
 }
 
@@ -352,6 +395,7 @@ Status TupleMover::MergeoutAll(ProjectionStorage* ps) {
 }
 
 Status TupleMover::MoveDeleteVectors(ProjectionStorage* ps) {
+  const uint64_t gen = ps->generation();
   // DVWOS -> DVROS: persist committed, unpersisted chunks using the same
   // storage format as user data.
   for (const auto& d : ps->ContainerDeleteChunks(kWosTargetId)) {
@@ -364,6 +408,10 @@ Status TupleMover::MoveDeleteVectors(ProjectionStorage* ps) {
       bool committed = true;
       for (Epoch e : d->epochs) committed &= (e != kUncommittedEpoch);
       if (!committed) continue;
+      // Recovery rewrote the storage: the chunk may no longer be in the
+      // manifest and the target directory may be gone. Stop; the next pass
+      // re-reads a consistent state.
+      if (ps->generation() != gen) return Status::OK();
       std::string path = c->dir + "/dv" + std::to_string(reinterpret_cast<uintptr_t>(d.get()));
       STRATICA_RETURN_NOT_OK(WriteDvRos(ps->fs(), *d, path));
       d->persisted = true;

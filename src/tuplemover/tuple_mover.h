@@ -50,6 +50,9 @@ struct TupleMoverStats {
   uint64_t rows_merged = 0;        ///< Rows read+written by mergeout (rewrites).
   uint64_t rows_purged = 0;        ///< Deleted-before-AHM rows elided.
   uint64_t dv_chunks_persisted = 0;
+  /// Moveout/mergeout results discarded because recovery (crash, truncate,
+  /// clear, scrub) mutated the storage while the operation ran.
+  uint64_t stale_applies = 0;
 };
 
 /// \brief Per-node tuple mover. Thread-compatible: callers serialize

@@ -11,8 +11,19 @@ Result<Epoch> TransactionManager::Commit(const TransactionPtr& txn) {
   std::lock_guard lock(commit_mu_);
   if (txn->finished_) return Status::TxnAborted("transaction already finished");
   Epoch commit_epoch = 0;
-  if (txn->is_dml()) commit_epoch = epochs_->CommitAndAdvance();
-  for (auto& fn : txn->commit_fns_) fn(commit_epoch);
+  if (txn->is_dml()) {
+    // Stamp every copy at the upcoming epoch *before* advancing the
+    // counter: the instant the counter moves, that epoch is queryable, so
+    // a scan between advance and stamp would see a torn commit (some
+    // copies stamped, others still uncommitted). Commits serialize under
+    // commit_mu_, so the counter cannot move between the read and the
+    // advance.
+    commit_epoch = epochs_->LatestQueryableEpoch() + 1;
+    for (auto& fn : txn->commit_fns_) fn(commit_epoch);
+    (void)epochs_->CommitAndAdvance();  // returns commit_epoch
+  } else {
+    for (auto& fn : txn->commit_fns_) fn(commit_epoch);
+  }
   txn->finished_ = true;
   locks_->ReleaseAll(txn->id());
   return commit_epoch;

@@ -1,0 +1,337 @@
+#include "common/fault_fs.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/checksum.h"
+#include "common/retry.h"
+
+namespace stratica {
+namespace {
+
+// --- CRC32C / footer ---------------------------------------------------------
+
+TEST(ChecksumTest, Crc32cKnownVector) {
+  // RFC 3720 test vector: CRC32C("123456789") = 0xE3069283.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32c(s, 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(ChecksumTest, FooterRoundTrip) {
+  std::string buf = "hello, durable world";
+  std::string original = buf;
+  AppendCrcFooter(&buf);
+  EXPECT_EQ(buf.size(), original.size() + kCrcFooterSize);
+  ASSERT_TRUE(VerifyAndStripCrcFooter(&buf, "x").ok());
+  EXPECT_EQ(buf, original);
+}
+
+TEST(ChecksumTest, FooterDetectsBitFlip) {
+  std::string buf = "payload bytes";
+  AppendCrcFooter(&buf);
+  buf[3] ^= 0x40;
+  Status st = VerifyAndStripCrcFooter(&buf, "some/path");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("some/path"), std::string::npos);
+}
+
+TEST(ChecksumTest, FooterDetectsTruncation) {
+  std::string buf = "payload bytes";
+  AppendCrcFooter(&buf);
+  buf.resize(buf.size() - 3);  // torn write: tail lost
+  Status st = VerifyAndStripCrcFooter(&buf, "p");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  // Shorter than the footer itself must also fail cleanly.
+  std::string tiny = "abc";
+  EXPECT_EQ(VerifyAndStripCrcFooter(&tiny, "p").code(), StatusCode::kCorruption);
+}
+
+TEST(ChecksumTest, WriteReadFileChecksummed) {
+  MemFileSystem fs;
+  ASSERT_TRUE(WriteFileChecksummed(&fs, "f", "content").ok());
+  auto read = ReadFileChecksummed(&fs, "f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "content");
+  // Damage the stored bytes; the checked read must fail, a raw read not.
+  auto raw = fs.ReadFile("f");
+  ASSERT_TRUE(raw.ok());
+  std::string damaged = raw.value();
+  damaged[0] ^= 1;
+  ASSERT_TRUE(fs.WriteFile("f", damaged).ok());
+  EXPECT_EQ(ReadFileChecksummed(&fs, "f").status().code(), StatusCode::kCorruption);
+}
+
+TEST(ChecksumTest, BlockCrcVerifiesAndReportsOffset) {
+  std::string block = "block-bytes-here";
+  uint32_t crc = Crc32c(block.data(), block.size());
+  EXPECT_TRUE(VerifyBlockCrc(block, 0, block.size(), crc, "d.dat", 4096).ok());
+  std::string bad = block;
+  bad[5] ^= 2;
+  Status st = VerifyBlockCrc(bad, 0, bad.size(), crc, "d.dat", 4096);
+  ASSERT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("d.dat"), std::string::npos);
+  EXPECT_NE(st.message().find("4096"), std::string::npos);
+  // A buffer shorter than the block (truncated read) is corruption too.
+  EXPECT_EQ(VerifyBlockCrc(block, 4, block.size(), crc, "d.dat", 0).code(),
+            StatusCode::kCorruption);
+}
+
+// --- Status transient classification + retry policy --------------------------
+
+TEST(RetryTest, TransientFlagRidesIoError) {
+  Status t = Status::TransientIoError("blip on ", "path");
+  EXPECT_EQ(t.code(), StatusCode::kIoError);  // existing kIoError checks hold
+  EXPECT_TRUE(t.IsTransient());
+  EXPECT_FALSE(Status::IoError("disk gone").IsTransient());
+  EXPECT_FALSE(Status::Corruption("bad crc").IsTransient());
+}
+
+TEST(RetryTest, RetriesTransientThenSucceeds) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 1;
+  policy.max_backoff_us = 10;
+  int calls = 0;
+  uint64_t retries = 0;
+  Status st = RetryTransient(policy, &retries, [&]() -> Status {
+    return ++calls < 3 ? Status::TransientIoError("blip") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryTest, PersistentErrorNotRetried) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 1;
+  int calls = 0;
+  uint64_t retries = 0;
+  Status st = RetryTransient(policy, &retries,
+                             [&] { ++calls; return Status::IoError("dead"); });
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_us = 1;
+  policy.max_backoff_us = 5;
+  int calls = 0;
+  Status st = RetryTransient(policy, nullptr,
+                             [&] { ++calls; return Status::TransientIoError("x"); });
+  EXPECT_TRUE(st.IsTransient());
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, BackoffBoundedAndJittered) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 20;
+  policy.max_backoff_us = 100;
+  policy.jitter_seed = 7;
+  for (int attempt = 1; attempt < 10; ++attempt) {
+    uint64_t b = RetryBackoffUs(policy, attempt);
+    EXPECT_GE(b, 1u);
+    EXPECT_LE(b, policy.max_backoff_us);
+  }
+}
+
+// --- FaultFs -----------------------------------------------------------------
+
+TEST(FaultFsTest, PassThroughWithoutRules) {
+  MemFileSystem base;
+  FaultFs fs(&base, 1);
+  ASSERT_TRUE(fs.WriteFile("a", "data").ok());
+  auto read = fs.ReadFile("a");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "data");
+  EXPECT_TRUE(fs.Exists("a"));
+  EXPECT_GE(fs.stats().ops.load(), 2u);
+  EXPECT_EQ(fs.stats().faults.load(), 0u);
+}
+
+TEST(FaultFsTest, EveryNthTransientError) {
+  MemFileSystem base;
+  FaultFs fs(&base, 1);
+  ASSERT_TRUE(fs.WriteFile("a", "data").ok());
+  FaultRule rule;
+  rule.op_mask = kFaultRead;
+  rule.every_nth = 2;
+  rule.kind = FaultKind::kTransientError;
+  fs.AddRule(rule);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto read = fs.ReadFile("a");
+    if (!read.ok()) {
+      EXPECT_TRUE(read.status().IsTransient());
+      EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 5);
+  EXPECT_EQ(fs.stats().transient_errors.load(), 5u);
+}
+
+TEST(FaultFsTest, PathPatternScopesRule) {
+  MemFileSystem base;
+  FaultFs fs(&base, 1);
+  ASSERT_TRUE(fs.WriteFile("node0/p/c1/x.dat", "a").ok());
+  ASSERT_TRUE(fs.WriteFile("node1/p/c1/x.dat", "b").ok());
+  FaultRule rule;
+  rule.path_pattern = "node0/.*\\.dat";
+  rule.op_mask = kFaultRead;
+  rule.kind = FaultKind::kPersistentError;
+  fs.AddRule(rule);
+  EXPECT_FALSE(fs.ReadFile("node0/p/c1/x.dat").ok());
+  EXPECT_TRUE(fs.ReadFile("node1/p/c1/x.dat").ok());
+}
+
+TEST(FaultFsTest, MaxFiresDisarmsRule) {
+  MemFileSystem base;
+  FaultFs fs(&base, 1);
+  ASSERT_TRUE(fs.WriteFile("a", "data").ok());
+  FaultRule rule;
+  rule.op_mask = kFaultRead;
+  rule.kind = FaultKind::kPersistentError;
+  rule.max_fires = 3;
+  fs.AddRule(rule);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) failures += fs.ReadFile("a").ok() ? 0 : 1;
+  EXPECT_EQ(failures, 3);
+}
+
+TEST(FaultFsTest, CorruptBitsDamagesReadNotDisk) {
+  MemFileSystem base;
+  FaultFs fs(&base, 99);
+  ASSERT_TRUE(fs.WriteFile("a", "immutable bytes on disk").ok());
+  FaultRule rule;
+  rule.op_mask = kFaultRead;
+  rule.kind = FaultKind::kCorruptBits;
+  size_t id = fs.AddRule(rule);
+  auto corrupted = fs.ReadFile("a");
+  ASSERT_TRUE(corrupted.ok());  // read "succeeds" — checksums catch it
+  EXPECT_NE(corrupted.value(), "immutable bytes on disk");
+  EXPECT_EQ(fs.stats().corruptions.load(), 1u);
+  fs.RemoveRule(id);
+  auto clean = fs.ReadFile("a");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value(), "immutable bytes on disk");  // disk was never touched
+}
+
+TEST(FaultFsTest, TruncateShortensRead) {
+  MemFileSystem base;
+  FaultFs fs(&base, 5);
+  std::string data(64, 'z');
+  ASSERT_TRUE(fs.WriteFile("a", data).ok());
+  FaultRule rule;
+  rule.op_mask = kFaultRead;
+  rule.kind = FaultKind::kTruncate;
+  fs.AddRule(rule);
+  auto read = fs.ReadFile("a");
+  ASSERT_TRUE(read.ok());
+  EXPECT_LT(read.value().size(), data.size());
+  EXPECT_EQ(fs.stats().truncations.load(), 1u);
+}
+
+TEST(FaultFsTest, CorruptedWritePersistsDamage) {
+  // Write-path corruption models a misdirected/bit-rotted write: the write
+  // reports success but the bytes on disk are wrong, so only a checksummed
+  // read catches it.
+  MemFileSystem base;
+  FaultFs fs(&base, 7);
+  FaultRule rule;
+  rule.op_mask = kFaultWrite;
+  rule.kind = FaultKind::kCorruptBits;
+  fs.AddRule(rule);
+  ASSERT_TRUE(WriteFileChecksummed(&fs, "f", "important data").ok());
+  fs.ClearRules();
+  EXPECT_EQ(ReadFileChecksummed(&fs, "f").status().code(), StatusCode::kCorruption);
+}
+
+TEST(FaultFsTest, SetEnabledQuiescesAllRules) {
+  MemFileSystem base;
+  FaultFs fs(&base, 1);
+  ASSERT_TRUE(fs.WriteFile("a", "data").ok());
+  FaultRule rule;
+  rule.op_mask = kFaultRead;
+  rule.kind = FaultKind::kPersistentError;
+  fs.AddRule(rule);
+  EXPECT_FALSE(fs.ReadFile("a").ok());
+  fs.SetEnabled(false);
+  EXPECT_TRUE(fs.ReadFile("a").ok());
+  fs.SetEnabled(true);
+  EXPECT_FALSE(fs.ReadFile("a").ok());
+}
+
+TEST(FaultFsTest, ProbabilityIsSeededDeterministic) {
+  auto run = [](uint64_t seed) {
+    MemFileSystem base;
+    FaultFs fs(&base, seed);
+    (void)fs.WriteFile("a", "data");
+    FaultRule rule;
+    rule.op_mask = kFaultRead;
+    rule.probability = 0.5;
+    rule.kind = FaultKind::kPersistentError;
+    fs.AddRule(rule);
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) pattern += fs.ReadFile("a").ok() ? '.' : 'X';
+    return pattern;
+  };
+  EXPECT_EQ(run(42), run(42));  // same seed, same fault schedule
+  EXPECT_NE(run(42).find('X'), std::string::npos);
+  EXPECT_NE(run(42).find('.'), std::string::npos);
+}
+
+TEST(FaultFsTest, LatencyInjectionStillSucceeds) {
+  MemFileSystem base;
+  FaultFs fs(&base, 1);
+  ASSERT_TRUE(fs.WriteFile("a", "data").ok());
+  FaultRule rule;
+  rule.op_mask = kFaultRead;
+  rule.kind = FaultKind::kLatency;
+  rule.latency_us = 100;
+  fs.AddRule(rule);
+  auto read = fs.ReadFile("a");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "data");
+  EXPECT_EQ(fs.stats().latency_injections.load(), 1u);
+}
+
+TEST(FaultFsTest, OpLogRecordsAndBounds) {
+  MemFileSystem base;
+  FaultFs fs(&base, 1);
+  ASSERT_TRUE(fs.WriteFile("a", "data").ok());
+  for (size_t i = 0; i < FaultFs::kMaxOpLog + 100; ++i) (void)fs.ReadFile("a");
+  auto log = fs.OpLog();
+  EXPECT_EQ(log.size(), FaultFs::kMaxOpLog);
+  for (const auto& rec : log) EXPECT_EQ(rec.op, kFaultRead);
+  std::string dump = fs.DumpOpLog();
+  EXPECT_NE(dump.find("ops="), std::string::npos);
+}
+
+TEST(FaultFsTest, ConcurrentOpsAreSafe) {
+  MemFileSystem base;
+  FaultFs fs(&base, 3);
+  ASSERT_TRUE(fs.WriteFile("a", "data").ok());
+  FaultRule rule;
+  rule.op_mask = kFaultRead;
+  rule.probability = 0.3;
+  rule.kind = FaultKind::kTransientError;
+  fs.AddRule(rule);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) (void)fs.ReadFile("a");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fs.stats().ops.load(), 801u);  // 800 reads + 1 write
+  EXPECT_GT(fs.stats().transient_errors.load(), 0u);
+}
+
+}  // namespace
+}  // namespace stratica
