@@ -1,0 +1,166 @@
+// Query latency at simulated cluster scale (DESIGN.md §11): a VirtualCluster
+// at 64/128/256 nodes serving a fan-out aggregate, healthy and with 5% of
+// the nodes degraded to stragglers. Straggler hedging re-issues zero-progress
+// exchange partitions against buddy copies after a 5ms deadline, so the
+// degraded tail should stay bounded: the repo target is hedged p99 < 2x the
+// all-healthy p99 at the same node count. Run with
+//   bench_cluster_scale --benchmark_format=json --benchmark_out=BENCH_cluster_scale.json
+//
+//   BM_ClusterScaleQuery/<nodes>/<slow_pct> — one aggregate per iteration;
+//       reports p50_ms / p99_ms over the iterations plus the hedge and
+//       failover counters the run accumulated.
+//   BM_HedgedTailPair/<nodes> — healthy and 5%-slow clusters interleaved in
+//       one run; reports hedged_p99_over_baseline, the headline number CI
+//       tracks against the <2x budget.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <vector>
+
+#include "cluster/virtual_cluster.h"
+
+namespace stratica {
+namespace {
+
+constexpr const char* kQuery = "SELECT SUM(val) FROM s";
+
+/// One straggler per 20 nodes (5%), spread across the ring so no single
+/// buddy pair absorbs every hedge.
+uint32_t SlowCount(uint32_t nodes, int slow_pct) {
+  if (slow_pct == 0) return 0;
+  return std::max(1u, nodes * static_cast<uint32_t>(slow_pct) / 100);
+}
+
+VirtualCluster* ScaleCluster(uint32_t nodes, int slow_pct) {
+  // Keyed static leak (bench_concurrency.cc idiom): cluster construction
+  // preloads nodes*50 rows and is far too heavy to repeat per benchmark.
+  static std::map<std::pair<uint32_t, int>, VirtualCluster*>* cache =
+      new std::map<std::pair<uint32_t, int>, VirtualCluster*>();
+  auto it = cache->find({nodes, slow_pct});
+  if (it != cache->end()) return it->second;
+
+  VirtualClusterOptions opts;
+  opts.num_nodes = nodes;
+  opts.k_safety = 1;
+  opts.seed = 4242;
+  // A straggler pays 8ms per file op — ~1000x a healthy op and past the 5ms
+  // zero-progress deadline, so its scan partitions always hedge onto
+  // buddies. One op is also the exit bound for an abandoned straggler
+  // pipeline, which the hedged query's teardown awaits; it must stay small
+  // against the all-healthy p99 at the smallest node count.
+  opts.model.slow_latency_us = 8000;
+  opts.model.slow_jitter_us = 500;
+  opts.db.hedge_deadline_ms = 5;
+  opts.db.intra_node_parallelism = 1;
+  auto* vc = new VirtualCluster(opts);
+
+  Database* db = vc->db();
+  if (!db->Execute("CREATE TABLE s (id INT NOT NULL, val INT)").ok()) std::exit(1);
+  RowBlock rows({TypeId::kInt64, TypeId::kInt64});
+  for (int64_t i = 0; i < static_cast<int64_t>(nodes) * 50; ++i) {
+    rows.columns[0].ints.push_back(i);
+    rows.columns[1].ints.push_back(1);
+  }
+  if (!db->Load("s", rows).ok()) std::exit(1);
+  if (!db->RunTupleMover().ok()) std::exit(1);
+  // Quiesce: latency measurements must not race background mergeout.
+  db->StopBackgroundTupleMover();
+
+  for (uint32_t i = 0; i < SlowCount(nodes, slow_pct); ++i) {
+    if (!vc->SetNodeHealth((i * 20 + 1) % nodes, NodeHealth::kSlow).ok()) {
+      std::exit(1);
+    }
+  }
+  (*cache)[{nodes, slow_pct}] = vc;
+  return vc;
+}
+
+/// Run `query` once and return its wall time in milliseconds.
+double TimedQuery(benchmark::State& state, Database* db) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto r = db->Execute(kQuery);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!r.ok()) {
+    state.SkipWithError(r.status().ToString().c_str());
+    return -1;
+  }
+  benchmark::DoNotOptimize(r.value().NumRows());
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double Percentile(std::vector<double>* times, double p) {
+  std::sort(times->begin(), times->end());
+  size_t idx = std::min(times->size() - 1,
+                        static_cast<size_t>(p * static_cast<double>(times->size())));
+  return (*times)[idx];
+}
+
+void BM_ClusterScaleQuery(benchmark::State& state) {
+  const uint32_t nodes = static_cast<uint32_t>(state.range(0));
+  const int slow_pct = static_cast<int>(state.range(1));
+  VirtualCluster* vc = ScaleCluster(nodes, slow_pct);
+  Database* db = vc->db();
+  uint64_t hedges_before = db->stats()->exchange_hedges.load();
+  uint64_t reroutes_before = db->stats()->exchange_reroutes.load();
+  std::vector<double> times;
+  for (auto _ : state) {
+    double ms = TimedQuery(state, db);
+    if (ms < 0) return;
+    times.push_back(ms);
+  }
+  if (times.empty()) return;
+  state.counters["p50_ms"] = Percentile(&times, 0.50);
+  state.counters["p99_ms"] = Percentile(&times, 0.99);
+  state.counters["hedges"] =
+      static_cast<double>(db->stats()->exchange_hedges.load() - hedges_before);
+  state.counters["reroutes"] =
+      static_cast<double>(db->stats()->exchange_reroutes.load() - reroutes_before);
+}
+
+BENCHMARK(BM_ClusterScaleQuery)
+    ->Args({64, 0})
+    ->Args({64, 5})
+    ->Args({128, 0})
+    ->Args({128, 5})
+    ->Args({256, 0})
+    ->Args({256, 5})
+    ->Unit(benchmark::kMillisecond);
+
+/// Interleaves the healthy and 5%-slow clusters in one run so both see the
+/// same machine state, and reports the degraded-tail ratio directly.
+void BM_HedgedTailPair(benchmark::State& state) {
+  const uint32_t nodes = static_cast<uint32_t>(state.range(0));
+  Database* healthy = ScaleCluster(nodes, 0)->db();
+  Database* degraded = ScaleCluster(nodes, 5)->db();
+  std::vector<double> healthy_ms, degraded_ms;
+  for (auto _ : state) {
+    double h = TimedQuery(state, healthy);
+    if (h < 0) return;
+    double d = TimedQuery(state, degraded);
+    if (d < 0) return;
+    healthy_ms.push_back(h);
+    degraded_ms.push_back(d);
+  }
+  if (healthy_ms.empty()) return;
+  double base_p99 = Percentile(&healthy_ms, 0.99);
+  state.counters["baseline_p99_ms"] = base_p99;
+  state.counters["hedged_p99_ms"] = Percentile(&degraded_ms, 0.99);
+  if (base_p99 > 0) {
+    state.counters["hedged_p99_over_baseline"] =
+        Percentile(&degraded_ms, 0.99) / base_p99;
+  }
+}
+
+BENCHMARK(BM_HedgedTailPair)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+}  // namespace
+}  // namespace stratica
+
+BENCHMARK_MAIN();

@@ -28,6 +28,7 @@ std::string QueryResult::ToString(size_t max_rows) const {
 }
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  hedge_deadline_ms_.store(options_.hedge_deadline_ms, std::memory_order_relaxed);
   fs_ = options_.fs ? options_.fs : std::make_shared<MemFileSystem>();
   ClusterConfig ccfg;
   ccfg.num_nodes = options_.num_nodes;
@@ -79,6 +80,8 @@ ExecContext Database::SessionContext(QuerySession* session) {
   ctx.spill_seq = spill_seq_;
   ctx.intra_node_parallelism = options_.intra_node_parallelism;
   ctx.sort_memory_bytes = options_.sort_memory_budget;
+  ctx.hedge_deadline_ms = hedge_deadline_ms_.load(std::memory_order_relaxed);
+  ctx.hedge_max_attempts = options_.hedge_max_attempts;
   return ctx;
 }
 
@@ -95,6 +98,8 @@ ExecContext Database::MakeExecContext() {
   ctx.spill_seq = spill_seq_;
   ctx.intra_node_parallelism = options_.intra_node_parallelism;
   ctx.sort_memory_bytes = options_.sort_memory_budget;
+  ctx.hedge_deadline_ms = hedge_deadline_ms_.load(std::memory_order_relaxed);
+  ctx.hedge_max_attempts = options_.hedge_max_attempts;
   return ctx;
 }
 

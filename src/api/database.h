@@ -39,6 +39,12 @@ struct DatabaseOptions {
   /// (external sort, DESIGN.md §8). 0 disables the cap.
   size_t sort_memory_budget = 64ull << 20;
   size_t intra_node_parallelism = 4;
+  /// Straggler hedging for exchanges (DESIGN.md §11): a producer pipeline
+  /// with zero progress by this deadline is speculatively re-issued against
+  /// a buddy copy; the deadline doubles per attempt. 0 disables hedging
+  /// (reroute-on-failure against buddies stays on regardless).
+  uint64_t hedge_deadline_ms = 0;
+  uint32_t hedge_max_attempts = 2;
   uint64_t direct_ros_row_threshold = 100000;
   TupleMoverConfig tuple_mover;
   /// Interval of the background tuple-mover service thread; 0 keeps the
@@ -90,6 +96,14 @@ class Database {
   void StartBackgroundTupleMover();
   void StopBackgroundTupleMover();
 
+  /// Adjust the exchange straggler-hedging deadline at runtime (0 disables
+  /// hedging; reroute-on-failure stays on). Applies to queries admitted
+  /// after the call. Chaos harnesses use this to isolate the reroute path
+  /// from speculative hedges.
+  void SetHedgeDeadlineMs(uint64_t ms) {
+    hedge_deadline_ms_.store(ms, std::memory_order_relaxed);
+  }
+
   /// Advance the Ancient History Mark per the default policy.
   Status AdvanceAhm() { return cluster_->AdvanceAhm(); }
 
@@ -128,6 +142,8 @@ class Database {
                                Transaction* txn, RowBlock* deleted_rows);
 
   DatabaseOptions options_;
+  /// Live hedging deadline (seeded from options_, see SetHedgeDeadlineMs).
+  std::atomic<uint64_t> hedge_deadline_ms_{0};
   std::shared_ptr<FileSystem> fs_;
   Catalog catalog_;
   std::unique_ptr<Cluster> cluster_;

@@ -27,6 +27,24 @@ ProjectionStorage* Node::AddStorage(const std::string& projection,
   return raw;
 }
 
+std::unique_ptr<ProjectionStorage> Node::ReplaceStorage(
+    const std::string& projection, std::unique_ptr<ProjectionStorage> ps) {
+  std::lock_guard lock(mu_);
+  ps->SetHostUpFlag(&up_);
+  auto& slot = storage_[projection];
+  slot.swap(ps);
+  return ps;  // the previous storage (null when the node had none)
+}
+
+std::unique_ptr<ProjectionStorage> Node::TakeStorage(const std::string& projection) {
+  std::lock_guard lock(mu_);
+  auto it = storage_.find(projection);
+  if (it == storage_.end()) return nullptr;
+  auto out = std::move(it->second);
+  storage_.erase(it);
+  return out;
+}
+
 void Node::DropStorage(const std::string& projection) {
   std::lock_guard lock(mu_);
   auto it = storage_.find(projection);
@@ -47,23 +65,26 @@ std::vector<std::string> Node::StorageNames() const {
 // Cluster
 
 Cluster::Cluster(ClusterConfig cfg, FileSystem* fs, Catalog* catalog)
-    : cfg_(cfg),
-      fs_(fs),
-      catalog_(catalog),
-      txns_(&epochs_, &locks_),
-      ring_(cfg.num_nodes) {
+    : cfg_(cfg), fs_(fs), catalog_(catalog), txns_(&epochs_, &locks_) {
+  // Reserve headroom for elastic adds up front: node(i) readers race
+  // push_back during a rebalance, which is only safe while the vector never
+  // reallocates.
+  nodes_.reserve(cfg.num_nodes + kMaxAddedNodes);
   for (uint32_t i = 0; i < cfg.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(i, fs_, &epochs_, cfg.tuple_mover));
   }
+  active_nodes_.store(cfg.num_nodes, std::memory_order_release);
 }
 
 size_t Cluster::NumUpNodes() const {
-  size_t n = 0;
-  for (const auto& node : nodes_) n += node->up() ? 1 : 0;
-  return n;
+  size_t up = 0;
+  uint32_t n = num_nodes();
+  for (uint32_t i = 0; i < n; ++i) up += nodes_[i]->up() ? 1 : 0;
+  return up;
 }
 
 bool Cluster::IsDataAvailable(const std::string& table) const {
+  SegmentationRing ring = this->ring();
   auto projections = catalog_->ProjectionsForTable(table);
   // Group copies by family (primary name).
   std::map<std::string, std::vector<const ProjectionDef*>> families;
@@ -71,14 +92,14 @@ bool Cluster::IsDataAvailable(const std::string& table) const {
     families[p.buddy_of.empty() ? p.name : p.buddy_of].push_back(&p);
   }
   for (const auto& [family, copies] : families) {
-    for (uint32_t slot = 0; slot < ring_.num_nodes(); ++slot) {
+    for (uint32_t slot = 0; slot < ring.num_nodes(); ++slot) {
       bool available = false;
       for (const auto* p : copies) {
         if (p->segmentation.replicated) {
           // Any up node serves a replicated copy.
           available = available || NumUpNodes() > 0;
         } else {
-          uint32_t node_id = (slot + p->segmentation.node_offset) % ring_.num_nodes();
+          uint32_t node_id = (slot + p->segmentation.node_offset) % ring.num_nodes();
           available = available || nodes_[node_id]->up();
         }
       }
@@ -90,6 +111,11 @@ bool Cluster::IsDataAvailable(const std::string& table) const {
 
 Result<ProjectionStorageConfig> Cluster::MakeStorageConfig(const ProjectionDef& def,
                                                            uint32_t node_id) const {
+  return MakeStorageConfig(def, node_id, ring());
+}
+
+Result<ProjectionStorageConfig> Cluster::MakeStorageConfig(
+    const ProjectionDef& def, uint32_t node_id, const SegmentationRing& ring) const {
   STRATICA_ASSIGN_OR_RETURN(TableDef table, catalog_->GetTable(def.anchor_table));
   ProjectionStorageConfig cfg;
   cfg.projection = def.name;
@@ -125,7 +151,7 @@ Result<ProjectionStorageConfig> Cluster::MakeStorageConfig(const ProjectionDef& 
     ExprPtr se = CloneExpr(def.segmentation.expr);
     STRATICA_RETURN_NOT_OK(BindExpr(se, proj_schema));
     cfg.segmentation_expr = se;
-    auto [lo, hi] = ring_.RangeStoredBy(node_id, def.segmentation.node_offset);
+    auto [lo, hi] = ring.RangeStoredBy(node_id, def.segmentation.node_offset);
     cfg.range_lo = lo;
     cfg.range_hi = hi;
     cfg.num_local_segments = cfg_.local_segments_per_node;
@@ -137,19 +163,20 @@ Result<ProjectionStorageConfig> Cluster::MakeStorageConfig(const ProjectionDef& 
 }
 
 Status Cluster::SetupProjectionStorage(const ProjectionDef& def) {
-  for (auto& node : nodes_) {
+  uint32_t n = num_nodes();
+  for (uint32_t i = 0; i < n; ++i) {
     STRATICA_ASSIGN_OR_RETURN(ProjectionStorageConfig cfg,
-                              MakeStorageConfig(def, node->id()));
-    node->AddStorage(def.name, std::move(cfg));
+                              MakeStorageConfig(def, nodes_[i]->id()));
+    nodes_[i]->AddStorage(def.name, std::move(cfg));
   }
   return Status::OK();
 }
 
 Status Cluster::CreateProjectionWithBuddies(ProjectionDef def) {
   std::lock_guard lock(ddl_mu_);
-  if (!def.segmentation.replicated && cfg_.k_safety >= nodes_.size()) {
+  if (!def.segmentation.replicated && cfg_.k_safety >= num_nodes()) {
     return Status::InvalidArgument("k-safety ", cfg_.k_safety,
-                                   " requires more than ", nodes_.size(), " nodes");
+                                   " requires more than ", num_nodes(), " nodes");
   }
   STRATICA_RETURN_NOT_OK(catalog_->CreateProjection(def));
   STRATICA_ASSIGN_OR_RETURN(ProjectionDef stored, catalog_->GetProjection(def.name));
@@ -261,8 +288,10 @@ Result<RowBlock> Cluster::BuildPrejoinRows(const ProjectionDef& proj,
       // Concatenate across nodes (dimension projections may be segmented).
       RowBlock all(dim_table.ToBindSchema().types);
       bool complete = true;
+      uint32_t n = num_nodes();
       if (dp.segmentation.replicated) {
-        for (auto& node : nodes_) {
+        for (uint32_t i = 0; i < n; ++i) {
+          Node* node = nodes_[i].get();
           if (!node->up()) continue;
           auto* ps = node->GetStorage(dp.name);
           if (!ps) continue;
@@ -273,7 +302,8 @@ Result<RowBlock> Cluster::BuildPrejoinRows(const ProjectionDef& proj,
           break;
         }
       } else {
-        for (auto& node : nodes_) {
+        for (uint32_t i = 0; i < n; ++i) {
+          Node* node = nodes_[i].get();
           auto* ps = node->GetStorage(dp.name);
           if (!ps) continue;
           if (!node->up()) {
@@ -374,8 +404,14 @@ Status Cluster::RouteAndInsert(const ProjectionDef& proj, const RowBlock& rows,
                                Transaction* txn, bool direct_ros) {
   if (rows.NumRows() == 0) return Status::OK();
   uint64_t block_bytes = rows.MemoryBytes();
+  // Topology snapshot for the whole routing pass. DML holds the table's I
+  // lock, and the rebalance swap holds S on every table, so the snapshot
+  // cannot go stale mid-route.
+  uint32_t num = num_nodes();
+  SegmentationRing ring = this->ring();
   if (proj.segmentation.replicated) {
-    for (auto& node : nodes_) {
+    for (uint32_t i = 0; i < num; ++i) {
+      Node* node = nodes_[i].get();
       if (!node->up()) continue;
       auto* ps = node->GetStorage(proj.name);
       if (!ps) return Status::Internal("missing storage for ", proj.name);
@@ -396,13 +432,13 @@ Status Cluster::RouteAndInsert(const ProjectionDef& proj, const RowBlock& rows,
   if (!any_ps) return Status::Internal("missing storage for ", proj.name);
   STRATICA_RETURN_NOT_OK(
       EvalExpr(*any_ps->config().segmentation_expr, rows, &hashes));
-  std::vector<std::vector<uint32_t>> per_node(nodes_.size());
+  std::vector<std::vector<uint32_t>> per_node(num);
   for (size_t r = 0; r < rows.NumRows(); ++r) {
-    uint32_t target = ring_.NodeFor(static_cast<uint64_t>(hashes.ints[r]),
-                                    proj.segmentation.node_offset);
+    uint32_t target = ring.NodeFor(static_cast<uint64_t>(hashes.ints[r]),
+                                   proj.segmentation.node_offset);
     per_node[target].push_back(static_cast<uint32_t>(r));
   }
-  for (uint32_t n = 0; n < nodes_.size(); ++n) {
+  for (uint32_t n = 0; n < num; ++n) {
     if (per_node[n].empty()) continue;
     // Rows destined to a down node are skipped; the node recovers them from
     // this projection's buddy after it rejoins (Section 5.2).
@@ -430,7 +466,7 @@ Result<LoadResult> Cluster::Load(const std::string& table, const RowBlock& rows,
                                  Transaction* txn, bool direct_ros) {
   if (!HasQuorum())
     return Status::ClusterUnavailable("quorum lost: ", NumUpNodes(), " of ",
-                                      nodes_.size(), " nodes up");
+                                      num_nodes(), " nodes up");
   STRATICA_ASSIGN_OR_RETURN(TableDef def, catalog_->GetTable(table));
   if (rows.NumColumns() != def.columns.size())
     return Status::InvalidArgument("column count mismatch loading ", table);
@@ -497,9 +533,10 @@ Result<Epoch> Cluster::Commit(const TransactionPtr& txn) {
   // Nodes injected with a commit failure are ejected from the cluster
   // (Section 5: "nodes either successfully complete the commit or are
   // ejected"); the commit itself succeeds if a quorum remains.
-  for (auto& node : nodes_) {
-    if (node->up() && node->ConsumeCommitFailure()) {
-      (void)MarkNodeDown(node->id());
+  uint32_t n = num_nodes();
+  for (uint32_t i = 0; i < n; ++i) {
+    if (nodes_[i]->up() && nodes_[i]->ConsumeCommitFailure()) {
+      (void)MarkNodeDown(nodes_[i]->id());
     }
   }
   if (!HasQuorum()) {
@@ -510,7 +547,7 @@ Result<Epoch> Cluster::Commit(const TransactionPtr& txn) {
 }
 
 Status Cluster::MarkNodeDown(uint32_t node_id) {
-  if (node_id >= nodes_.size()) return Status::InvalidArgument("no such node");
+  if (node_id >= num_nodes()) return Status::InvalidArgument("no such node");
   Node* node = nodes_[node_id].get();
   node->set_up(false);
   for (const auto& name : node->StorageNames()) {
@@ -522,13 +559,15 @@ Status Cluster::MarkNodeDown(uint32_t node_id) {
 Status Cluster::AdvanceAhm() {
   // The AHM does not advance while nodes are down, preserving the history
   // needed to replay DML during recovery (Section 5.1).
-  for (const auto& node : nodes_) {
-    if (!node->up()) return Status::OK();
+  uint32_t n = num_nodes();
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!nodes_[i]->up()) return Status::OK();
   }
   Epoch min_lge = epochs_.LatestQueryableEpoch();
-  for (const auto& node : nodes_) {
-    for (const auto& name : node->StorageNames()) {
-      min_lge = std::min(min_lge, node->GetStorage(name)->lge());
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const auto& name : nodes_[i]->StorageNames()) {
+      auto* ps = nodes_[i]->GetStorage(name);
+      if (ps) min_lge = std::min(min_lge, ps->lge());
     }
   }
   epochs_.AdvanceAhm(min_lge);
@@ -554,7 +593,9 @@ Status Cluster::RunTupleMover() {
     }
     Status st = Status::OK();
     for (const auto& proj : catalog_->ProjectionsForTable(table)) {
-      for (auto& node : nodes_) {
+      uint32_t n = num_nodes();
+      for (uint32_t i = 0; i < n; ++i) {
+        Node* node = nodes_[i].get();
         if (!node->up()) continue;
         auto* ps = node->GetStorage(proj.name);
         if (ps == nullptr) continue;  // dropped concurrently
@@ -579,8 +620,9 @@ Status Cluster::RunTupleMover() {
 
 Cluster::StorageCensus Cluster::Census(const std::string& projection) const {
   StorageCensus census;
-  for (const auto& node : nodes_) {
-    auto* ps = node->GetStorage(projection);
+  uint32_t n = num_nodes();
+  for (uint32_t i = 0; i < n; ++i) {
+    auto* ps = nodes_[i]->GetStorage(projection);
     if (!ps) continue;
     for (const auto& c : ps->Containers()) {
       ++census.containers;
@@ -599,9 +641,10 @@ Result<uint64_t> Cluster::Backup(const std::string& label) {
   // reclaims automatically when the links are dropped.
   STRATICA_RETURN_NOT_OK(catalog_->Save(fs_, "backup/" + label + "/catalog"));
   uint64_t files = 0;
-  for (const auto& node : nodes_) {
+  uint32_t n = num_nodes();
+  for (uint32_t i = 0; i < n; ++i) {
     STRATICA_ASSIGN_OR_RETURN(std::vector<std::string> names,
-                              fs_->List(node->BaseDir() + "/"));
+                              fs_->List(nodes_[i]->BaseDir() + "/"));
     for (const auto& name : names) {
       STRATICA_RETURN_NOT_OK(fs_->HardLink(name, "backup/" + label + "/" + name));
       ++files;

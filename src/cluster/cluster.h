@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,12 @@ class Node {
   ProjectionStorage* AddStorage(const std::string& projection,
                                 ProjectionStorageConfig cfg);
   void DropStorage(const std::string& projection);
+  /// Swap in a pre-built storage (rebalance): the old storage is returned
+  /// alive, not destroyed, so scans planned against it keep valid pointers.
+  std::unique_ptr<ProjectionStorage> ReplaceStorage(
+      const std::string& projection, std::unique_ptr<ProjectionStorage> ps);
+  /// Remove and return a storage without destroying it (node removal).
+  std::unique_ptr<ProjectionStorage> TakeStorage(const std::string& projection);
   std::vector<std::string> StorageNames() const;
 
   TupleMover* mover() { return &mover_; }
@@ -96,17 +103,29 @@ class Cluster {
   Cluster(ClusterConfig cfg, FileSystem* fs, Catalog* catalog);
 
   // --- topology --------------------------------------------------------------
-  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  /// Active node count. Nodes beyond it exist in nodes_ (removed or being
+  /// added by a rebalance) but hold no current data and serve no queries.
+  uint32_t num_nodes() const { return active_nodes_.load(std::memory_order_acquire); }
   Node* node(uint32_t i) { return nodes_[i].get(); }
-  const SegmentationRing& ring() const { return ring_; }
+  /// Snapshot of the segmentation ring (by value: the ring is replaced
+  /// atomically by an elastic rebalance, so callers hold a copy).
+  SegmentationRing ring() const { return SegmentationRing(num_nodes()); }
   EpochManager* epochs() { return &epochs_; }
   LockManager* locks() { return &locks_; }
   TransactionManager* txns() { return &txns_; }
   FileSystem* fs() { return fs_; }
   Catalog* catalog() { return catalog_; }
 
+  /// Shared guard for topology capture: a planner selecting scan units holds
+  /// this while it reads (num_nodes, per-node storages) so an elastic
+  /// rebalance cannot swap the topology out from under a half-built plan.
+  /// The rebalance swap takes the exclusive side for microseconds.
+  std::shared_lock<std::shared_mutex> LockTopologyShared() const {
+    return std::shared_lock<std::shared_mutex>(topology_mu_);
+  }
+
   size_t NumUpNodes() const;
-  bool HasQuorum() const { return NumUpNodes() * 2 > nodes_.size(); }
+  bool HasQuorum() const { return NumUpNodes() * 2 > num_nodes(); }
 
   /// True if every ring slot of every projection of `table` is served by at
   /// least one up node (considering buddies). False means the K-safety
@@ -169,9 +188,16 @@ class Cluster {
   /// a super projection (Section 5.2 "refresh").
   Status RefreshProjection(const std::string& projection);
 
-  /// Add a node and rebalance: local segments move wholesale where
-  /// possible (Section 3.6).
+  /// Add a node and rebalance online (Section 3.6): phase 1 builds
+  /// new-generation storages at a sampled epoch while queries and DML
+  /// continue; phase 2 briefly fences DML (S locks, timeout-bounded),
+  /// replays the delta and swaps the topology atomically. Requires all
+  /// nodes up.
   Status AddNodeAndRebalance();
+
+  /// Shrink the cluster by one node with the same two-phase protocol; the
+  /// leaving node's rows re-segment onto the survivors.
+  Status RemoveLastNodeAndRebalance();
 
   /// Hard-link backup of every data file plus a catalog snapshot
   /// (Section 5.2). Returns the number of files captured.
@@ -202,6 +228,19 @@ class Cluster {
   Status SetupProjectionStorage(const ProjectionDef& def);
   Result<ProjectionStorageConfig> MakeStorageConfig(const ProjectionDef& def,
                                                     uint32_t node_id) const;
+  Result<ProjectionStorageConfig> MakeStorageConfig(const ProjectionDef& def,
+                                                    uint32_t node_id,
+                                                    const SegmentationRing& ring) const;
+  /// Two-phase online rebalance core shared by add and remove.
+  Status RebalanceToNodeCount(uint32_t new_count);
+  /// Phase-2 helper: replay commits in (from, to] from the active storages
+  /// of `def` into the staged new-generation storages (routing by
+  /// `new_ring`), including content-matched translation of deletes that
+  /// target pre-`from` rows.
+  Status ReplayRebalanceDelta(const ProjectionDef& def,
+                              std::vector<std::unique_ptr<ProjectionStorage>>& staged,
+                              Epoch from, Epoch to, const SegmentationRing& new_ring,
+                              uint32_t old_count);
   Status RouteAndInsert(const ProjectionDef& proj, const RowBlock& rows,
                         Transaction* txn, bool direct_ros);
   /// Build prejoined rows for a prejoin projection (Section 3.3): N:1 join
@@ -235,8 +274,21 @@ class Cluster {
   EpochManager epochs_;
   LockManager locks_;
   TransactionManager txns_;
-  SegmentationRing ring_;
+  /// Node objects never move or die once created: nodes_ only grows (within
+  /// the capacity reserved by the constructor, so push_back never
+  /// reallocates under concurrent node(i) readers), and removal just drops
+  /// the active count. Concurrent paths iterate [0, num_nodes()), never
+  /// nodes_.size().
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<uint32_t> active_nodes_{0};
+  /// Extra node slots reserved beyond the configured size for elastic adds.
+  static constexpr uint32_t kMaxAddedNodes = 128;
+  mutable std::shared_mutex topology_mu_;  ///< see LockTopologyShared
+  uint32_t rebalance_gen_ = 0;             ///< generation suffix for staged dirs
+  /// Storages swapped out by a rebalance. Kept alive (files intact) until
+  /// cluster teardown: scans planned before the swap still hold pointers
+  /// into them, and buddy-rebuild closures may reroute onto them.
+  std::vector<std::unique_ptr<ProjectionStorage>> retired_storage_;
   std::atomic<uint64_t> network_bytes_{0};
   mutable std::mutex ddl_mu_;
   /// Serializes tuple-mover passes (manual RunTupleMover vs the Database's

@@ -24,6 +24,70 @@ uint64_t RowContentHash(const RowBlock& rows, size_t r) {
   return h;
 }
 
+/// A delete observed on a source copy that targets a row the destination
+/// already holds; must be re-resolved on the destination by content.
+struct MissedDelete {
+  size_t src_row;   ///< row index in the source block
+  Epoch del_epoch;  ///< epoch the delete committed at
+};
+
+/// Re-target `deletes` (rows of `src_rows`) onto `ps` by content match: read
+/// the destination's live rows as of `read_at`, find each deleted row's twin
+/// and register a delete-vector chunk carrying the original delete epoch.
+/// Shared by node recovery and elastic rebalance (the paper's "separate
+/// plan" for moving delete vectors).
+Status TranslateDeletesByContent(const FileSystem* fs, ProjectionStorage* ps,
+                                 const RowBlock& src_rows,
+                                 const std::vector<MissedDelete>& deletes,
+                                 Epoch read_at) {
+  if (deletes.empty()) return Status::OK();
+  RowBlock own;
+  std::vector<std::pair<uint64_t, uint64_t>> own_pos;
+  std::vector<Epoch> own_dels;
+  STRATICA_RETURN_NOT_OK(
+      ReadProjectionRows(fs, ps, read_at, &own, nullptr, &own_dels, &own_pos));
+  std::unordered_multimap<uint64_t, size_t> index;
+  index.reserve(own.NumRows());
+  for (size_t r = 0; r < own.NumRows(); ++r) {
+    if (own_dels[r] == 0) index.emplace(RowContentHash(own, r), r);
+  }
+  std::map<uint64_t, std::vector<uint64_t>> new_deletes;  // target -> positions
+  std::map<uint64_t, std::vector<Epoch>> new_del_epochs;
+  for (const auto& miss : deletes) {
+    uint64_t h = RowContentHash(src_rows, miss.src_row);
+    auto [lo, hi] = index.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      // Verify full content equality, then consume the match.
+      bool equal = true;
+      for (size_t c = 0; c < own.columns.size() && equal; ++c) {
+        equal = ColumnVector::CompareEntries(own.columns[c], it->second,
+                                             src_rows.columns[c], miss.src_row) == 0;
+      }
+      if (!equal) continue;
+      auto [target, pos] = own_pos[it->second];
+      new_deletes[target].push_back(pos);
+      new_del_epochs[target].push_back(miss.del_epoch);
+      index.erase(it);
+      break;
+    }
+  }
+  for (auto& [target, positions] : new_deletes) {
+    auto chunk = std::make_shared<DeleteVectorChunk>();
+    chunk->target_id = target;
+    // Sort by position, keeping epochs parallel.
+    std::vector<size_t> order(positions.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return positions[a] < positions[b]; });
+    for (size_t i : order) {
+      chunk->positions.push_back(positions[i]);
+      chunk->epochs.push_back(new_del_epochs[target][i]);
+    }
+    ps->AdoptContainer(nullptr, {chunk});
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 namespace {
@@ -52,9 +116,11 @@ bool UsableAsSource(const ProjectionStorage* cand, Epoch needed_from) {
 ProjectionStorage* Cluster::FindRecoverySource(const ProjectionDef& def,
                                                uint32_t node_id,
                                                Epoch needed_from) {
+  uint32_t n = num_nodes();
   // A live source holding exactly this node's rows.
   if (def.segmentation.replicated) {
-    for (auto& other : nodes_) {
+    for (uint32_t i = 0; i < n; ++i) {
+      Node* other = nodes_[i].get();
       if (other->id() == static_cast<int>(node_id) || !other->up()) continue;
       auto* cand = other->GetStorage(def.name);
       if (!UsableAsSource(cand, needed_from)) continue;
@@ -64,13 +130,14 @@ ProjectionStorage* Cluster::FindRecoverySource(const ProjectionDef& def,
   }
   // Ring slot this node stores for `def`; any projection in the same
   // family stores the same slot on a (hopefully up) different node.
-  uint32_t slot = ring_.SlotStoredBy(node_id, def.segmentation.node_offset);
+  SegmentationRing ring = this->ring();
+  uint32_t slot = ring.SlotStoredBy(node_id, def.segmentation.node_offset);
   std::string family = def.buddy_of.empty() ? def.name : def.buddy_of;
   for (const auto& copy : catalog_->ProjectionsForTable(def.anchor_table)) {
     std::string copy_family = copy.buddy_of.empty() ? copy.name : copy.buddy_of;
     if (copy_family != family || copy.name == def.name) continue;
     if (copy.segmentation.replicated) continue;
-    uint32_t host = (slot + copy.segmentation.node_offset) % ring_.num_nodes();
+    uint32_t host = (slot + copy.segmentation.node_offset) % ring.num_nodes();
     if (!nodes_[host]->up()) continue;
     auto* cand = nodes_[host]->GetStorage(copy.name);
     if (!UsableAsSource(cand, needed_from)) continue;
@@ -112,11 +179,7 @@ Status Cluster::RecoverProjectionOnNode(const ProjectionDef& def, uint32_t node_
   // re-targeted at the node's existing containers by content.
   RowBlock to_copy(std::vector<TypeId>(ps->config().column_types));
   std::vector<Epoch> copy_epochs, copy_dels;
-  struct OldRowDelete {
-    size_t buddy_row;
-    Epoch del_epoch;
-  };
-  std::vector<OldRowDelete> old_row_deletes;
+  std::vector<MissedDelete> old_row_deletes;
   for (size_t r = 0; r < rows.NumRows(); ++r) {
     if (row_epochs[r] > start) {
       to_copy.AppendRowFrom(rows, r);
@@ -143,58 +206,12 @@ Status Cluster::RecoverProjectionOnNode(const ProjectionDef& def, uint32_t node_
   STRATICA_RETURN_NOT_OK(ps->IngestRecovered(std::move(to_copy), std::move(copy_epochs),
                                              std::move(copy_dels), up_to));
 
-  if (!old_row_deletes.empty()) {
-    // Content-match missed deletions against the node's surviving rows.
-    RowBlock own;
-    std::vector<std::pair<uint64_t, uint64_t>> own_pos;
-    std::vector<Epoch> own_dels;
-    STRATICA_RETURN_NOT_OK(
-        ReadProjectionRows(fs_, ps, start, &own, nullptr, &own_dels, &own_pos));
-    std::unordered_multimap<uint64_t, size_t> index;
-    index.reserve(own.NumRows());
-    for (size_t r = 0; r < own.NumRows(); ++r) {
-      if (own_dels[r] == 0) index.emplace(RowContentHash(own, r), r);
-    }
-    std::map<uint64_t, std::vector<uint64_t>> new_deletes;  // target -> positions
-    std::map<uint64_t, std::vector<Epoch>> new_del_epochs;
-    for (const auto& miss : old_row_deletes) {
-      uint64_t h = RowContentHash(rows, miss.buddy_row);
-      auto [lo, hi] = index.equal_range(h);
-      for (auto it = lo; it != hi; ++it) {
-        // Verify full content equality, then consume the match.
-        bool equal = true;
-        for (size_t c = 0; c < own.columns.size() && equal; ++c) {
-          equal = ColumnVector::CompareEntries(own.columns[c], it->second,
-                                               rows.columns[c], miss.buddy_row) == 0;
-        }
-        if (!equal) continue;
-        auto [target, pos] = own_pos[it->second];
-        new_deletes[target].push_back(pos);
-        new_del_epochs[target].push_back(miss.del_epoch);
-        index.erase(it);
-        break;
-      }
-    }
-    for (auto& [target, positions] : new_deletes) {
-      auto chunk = std::make_shared<DeleteVectorChunk>();
-      chunk->target_id = target;
-      // Sort by position, keeping epochs parallel.
-      std::vector<size_t> order(positions.size());
-      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::sort(order.begin(), order.end(),
-                [&](size_t a, size_t b) { return positions[a] < positions[b]; });
-      for (size_t i : order) {
-        chunk->positions.push_back(positions[i]);
-        chunk->epochs.push_back(new_del_epochs[target][i]);
-      }
-      ps->AdoptContainer(nullptr, {chunk});
-    }
-  }
-  return Status::OK();
+  // Content-match missed deletions against the node's surviving rows.
+  return TranslateDeletesByContent(fs_, ps, rows, old_row_deletes, start);
 }
 
 Status Cluster::RecoverNode(uint32_t node_id) {
-  if (node_id >= nodes_.size()) return Status::InvalidArgument("no such node");
+  if (node_id >= num_nodes()) return Status::InvalidArgument("no such node");
   Node* node = nodes_[node_id].get();
   if (node->up()) return Status::InvalidArgument("node ", node_id, " is not down");
   // One whole-copy recovery at a time: a quarantine repair interleaving
@@ -263,7 +280,9 @@ Result<uint64_t> Cluster::RepairQuarantined() {
   // never silently dropped.
   std::lock_guard recovery_lock(recovery_mu_);  // see RecoverNode
   uint64_t repaired = 0;
-  for (auto& node : nodes_) {
+  uint32_t num = num_nodes();
+  for (uint32_t ni = 0; ni < num; ++ni) {
+    Node* node = nodes_[ni].get();
     if (!node->up()) continue;
     for (const auto& name : node->StorageNames()) {
       auto* ps = node->GetStorage(name);
@@ -320,12 +339,13 @@ Status Cluster::RefreshProjection(const std::string& projection) {
   std::stable_sort(supers.begin(), supers.end(),
                    [&](const ProjectionDef& a, const ProjectionDef& b) {
                      auto rows = [&](const ProjectionDef& p) {
-                       uint64_t n = 0;
-                       for (auto& node : nodes_) {
-                         auto* ps = node->GetStorage(p.name);
-                         if (ps) n += ps->TotalRosRows() + ps->WosRowCount();
+                       uint64_t total = 0;
+                       uint32_t n = num_nodes();
+                       for (uint32_t i = 0; i < n; ++i) {
+                         auto* ps = nodes_[i]->GetStorage(p.name);
+                         if (ps) total += ps->TotalRosRows() + ps->WosRowCount();
                        }
-                       return n;
+                       return total;
                      };
                      return rows(a) > rows(b);
                    });
@@ -353,7 +373,10 @@ Status Cluster::RefreshProjectionLocked(const std::string& projection,
   // nodes' rows; a replicated one contributes a single node's).
   RowBlock all(table.ToBindSchema().types);
   std::vector<Epoch> all_epochs, all_dels;
-  for (auto& node : nodes_) {
+  uint32_t num = num_nodes();
+  SegmentationRing ring = this->ring();
+  for (uint32_t ni = 0; ni < num; ++ni) {
+    Node* node = nodes_[ni].get();
     auto* ps = node->GetStorage(src.name);
     if (!ps) continue;
     if (!node->up())
@@ -376,7 +399,8 @@ Status Cluster::RefreshProjectionLocked(const std::string& projection,
 
   // Route rows into the refreshed projection on each node with original
   // epochs preserved.
-  for (auto& node : nodes_) {
+  for (uint32_t ni = 0; ni < num; ++ni) {
+    Node* node = nodes_[ni].get();
     if (!node->up()) continue;
     auto* ps = node->GetStorage(projection);
     if (!ps) return Status::Internal("missing storage for ", projection);
@@ -399,8 +423,8 @@ Status Cluster::RefreshProjectionLocked(const std::string& projection,
       STRATICA_RETURN_NOT_OK(
           EvalExpr(*ps->config().segmentation_expr, proj_rows, &hashes));
       for (size_t r = 0; r < proj_rows.NumRows(); ++r) {
-        uint32_t target = ring_.NodeFor(static_cast<uint64_t>(hashes.ints[r]),
-                                        def.segmentation.node_offset);
+        uint32_t target = ring.NodeFor(static_cast<uint64_t>(hashes.ints[r]),
+                                       def.segmentation.node_offset);
         if (target != static_cast<uint32_t>(node->id())) continue;
         mine.AppendRowFrom(proj_rows, r);
         mine_epochs.push_back(all_epochs[r]);
@@ -413,74 +437,189 @@ Status Cluster::RefreshProjectionLocked(const std::string& projection,
   return Status::OK();
 }
 
-Status Cluster::AddNodeAndRebalance() {
-  std::lock_guard lock(ddl_mu_);
-  uint32_t new_id = static_cast<uint32_t>(nodes_.size());
-  nodes_.push_back(std::make_unique<Node>(new_id, fs_, &epochs_, cfg_.tuple_mover));
-  ring_ = SegmentationRing(new_id + 1);
+Status Cluster::AddNodeAndRebalance() { return RebalanceToNodeCount(num_nodes() + 1); }
 
-  Epoch now = epochs_.LatestQueryableEpoch();
-  // Re-create storage configs (ranges changed) and re-route rows. Local
-  // segments let most containers move wholesale; our simulation re-splits
-  // rows but preserves epochs and delete history exactly.
+Status Cluster::RemoveLastNodeAndRebalance() {
+  uint32_t n = num_nodes();
+  if (n <= 1) return Status::InvalidArgument("cannot remove the last node");
+  return RebalanceToNodeCount(n - 1);
+}
+
+Status Cluster::ReplayRebalanceDelta(
+    const ProjectionDef& def, std::vector<std::unique_ptr<ProjectionStorage>>& staged,
+    Epoch from, Epoch to, const SegmentationRing& new_ring, uint32_t old_count) {
+  SegmentationRing old_ring(old_count);
+  // Gather the source rows visible at `to` from the active copies (each node
+  // holds its segment; a replicated projection's first copy has everything).
+  RowBlock all;
+  std::vector<Epoch> all_epochs, all_dels;
+  bool first = true;
+  for (uint32_t n = 0; n < old_count; ++n) {
+    auto* ps = nodes_[n]->GetStorage(def.name);
+    if (!ps) continue;
+    RowBlock part;
+    std::vector<Epoch> pe, pd;
+    STRATICA_RETURN_NOT_OK(ReadProjectionRows(fs_, ps, to, &part, &pe, &pd, nullptr));
+    if (first) {
+      all = RowBlock(std::vector<TypeId>(ps->config().column_types));
+      first = false;
+    }
+    for (size_t r = 0; r < part.NumRows(); ++r) {
+      all.AppendRowFrom(part, r);
+      all_epochs.push_back(pe[r]);
+      all_dels.push_back(pd[r]);
+    }
+    if (def.segmentation.replicated) break;
+  }
+  if (first) return Status::Internal("no source storage for ", def.name);
+
+  ColumnVector hashes;
+  if (!def.segmentation.replicated) {
+    STRATICA_RETURN_NOT_OK(
+        EvalExpr(*staged[0]->config().segmentation_expr, all, &hashes));
+  }
+  for (uint32_t i = 0; i < staged.size(); ++i) {
+    ProjectionStorage* ps = staged[i].get();
+    RowBlock mine(std::vector<TypeId>(ps->config().column_types));
+    std::vector<Epoch> mine_epochs, mine_dels;
+    std::vector<MissedDelete> late_deletes;
+    for (size_t r = 0; r < all.NumRows(); ++r) {
+      if (!def.segmentation.replicated) {
+        uint64_t h = static_cast<uint64_t>(hashes.ints[r]);
+        if (new_ring.NodeFor(h, def.segmentation.node_offset) != i) continue;
+        if (old_ring.NodeFor(h, def.segmentation.node_offset) != i) AddNetworkBytes(64);
+      }
+      if (all_epochs[r] > from) {
+        // A row committed inside (from, to]: copy it with its epochs intact
+        // (including a deletion that also landed inside the window).
+        mine.AppendRowFrom(all, r);
+        mine_epochs.push_back(all_epochs[r]);
+        mine_dels.push_back(all_dels[r]);
+      } else if (all_dels[r] > from) {
+        // The row itself was staged in phase 1; only its deletion is new.
+        late_deletes.push_back({r, all_dels[r]});
+      }
+    }
+    STRATICA_RETURN_NOT_OK(ps->IngestRecovered(std::move(mine), std::move(mine_epochs),
+                                               std::move(mine_dels), to));
+    STRATICA_RETURN_NOT_OK(TranslateDeletesByContent(fs_, ps, all, late_deletes, from));
+  }
+  return Status::OK();
+}
+
+Status Cluster::RebalanceToNodeCount(uint32_t new_count) {
+  // Serialize against whole-copy recovery and DDL, but NOT against queries
+  // or DML: the bulk copy below runs lock-free against an epoch snapshot.
+  std::scoped_lock guard(recovery_mu_, ddl_mu_);
+  uint32_t old_count = num_nodes();
+  if (new_count == old_count) return Status::OK();
+  if (new_count <= cfg_.k_safety)
+    return Status::InvalidArgument("node count must exceed k-safety");
+  if (new_count > cfg_.num_nodes + kMaxAddedNodes)
+    return Status::InvalidArgument("cluster at maximum size");
+  for (uint32_t i = 0; i < old_count; ++i) {
+    if (!nodes_[i]->up())
+      return Status::ClusterUnavailable(
+          "rebalance requires all nodes up (recover node ", nodes_[i]->id(), " first)");
+  }
+  // Materialize Node objects for a grow. nodes_ was reserved at construction,
+  // so push_back never reallocates under concurrent node(i) readers; the new
+  // slots stay invisible until active_nodes_ is advanced at the swap.
+  while (nodes_.size() < new_count) {
+    nodes_.push_back(std::make_unique<Node>(static_cast<int>(nodes_.size()), fs_,
+                                            &epochs_, cfg_.tuple_mover));
+  }
+  for (uint32_t i = old_count; i < new_count; ++i) nodes_[i]->set_up(true);
+
+  uint32_t gen = ++rebalance_gen_;
+  SegmentationRing new_ring(new_count);
+
+  struct StagedProjection {
+    ProjectionDef def;
+    std::vector<std::unique_ptr<ProjectionStorage>> nodes;
+  };
+  std::vector<StagedProjection> staged;
+  auto discard_staged = [&staged] {
+    for (auto& sp : staged) {
+      for (auto& ps : sp.nodes) {
+        if (ps) ps->Clear(/*delete_files=*/true);
+      }
+    }
+  };
+
+  // ---- Phase 1 (lock-free): stage every projection under the new ring at a
+  // sampled horizon. Concurrent DML keeps committing; anything past the
+  // horizon is picked up by the delta replay in phase 2.
+  Epoch horizon = epochs_.LatestQueryableEpoch();
   for (const auto& pname : catalog_->ProjectionNames()) {
     STRATICA_ASSIGN_OR_RETURN(ProjectionDef def, catalog_->GetProjection(pname));
-    // Collect all rows of this projection from the old nodes.
-    RowBlock all;
-    std::vector<Epoch> all_epochs, all_dels;
-    bool first = true;
-    for (uint32_t n = 0; n < new_id; ++n) {
-      auto* ps = nodes_[n]->GetStorage(pname);
-      if (!ps) continue;
-      RowBlock part;
-      std::vector<Epoch> pe, pd;
-      STRATICA_RETURN_NOT_OK(ReadProjectionRows(fs_, ps, now, &part, &pe, &pd, nullptr));
-      if (first) {
-        all = RowBlock(std::vector<TypeId>(ps->config().column_types));
-        first = false;
-      }
-      for (size_t r = 0; r < part.NumRows(); ++r) {
-        all.AppendRowFrom(part, r);
-        all_epochs.push_back(pe[r]);
-        all_dels.push_back(pd[r]);
-      }
-      if (def.segmentation.replicated) break;
-    }
-    // Rebuild storage on every node under the new ring.
-    for (auto& node : nodes_) {
-      auto* old_ps = node->GetStorage(pname);
-      if (old_ps) old_ps->Clear(/*delete_files=*/true);
-      node->DropStorage(pname);
+    StagedProjection sp;
+    sp.def = def;
+    sp.nodes.resize(new_count);
+    for (uint32_t i = 0; i < new_count; ++i) {
       STRATICA_ASSIGN_OR_RETURN(ProjectionStorageConfig cfg,
-                                MakeStorageConfig(def, node->id()));
-      node->AddStorage(pname, std::move(cfg));
+                                MakeStorageConfig(def, i, new_ring));
+      sp.nodes[i] = std::make_unique<ProjectionStorage>(
+          fs_, nodes_[i]->BaseDir() + "/" + pname + ".g" + std::to_string(gen),
+          std::move(cfg));
     }
-    for (auto& node : nodes_) {
-      auto* ps = node->GetStorage(pname);
-      RowBlock mine(std::vector<TypeId>(ps->config().column_types));
-      std::vector<Epoch> mine_epochs, mine_dels;
-      if (def.segmentation.replicated) {
-        mine = all;
-        mine_epochs = all_epochs;
-        mine_dels = all_dels;
-      } else {
-        ColumnVector hashes;
-        STRATICA_RETURN_NOT_OK(
-            EvalExpr(*ps->config().segmentation_expr, all, &hashes));
-        for (size_t r = 0; r < all.NumRows(); ++r) {
-          uint32_t target = ring_.NodeFor(static_cast<uint64_t>(hashes.ints[r]),
-                                          def.segmentation.node_offset);
-          if (target != static_cast<uint32_t>(node->id())) continue;
-          mine.AppendRowFrom(all, r);
-          mine_epochs.push_back(all_epochs[r]);
-          mine_dels.push_back(all_dels[r]);
-          if (node->id() == static_cast<int>(new_id)) AddNetworkBytes(64);
-        }
-      }
-      STRATICA_RETURN_NOT_OK(ps->IngestRecovered(
-          std::move(mine), std::move(mine_epochs), std::move(mine_dels), now));
+    Status s = ReplayRebalanceDelta(def, sp.nodes, /*from=*/0, /*to=*/horizon,
+                                    new_ring, old_count);
+    if (!s.ok()) {
+      discard_staged();
+      return s;
+    }
+    staged.push_back(std::move(sp));
+  }
+
+  // ---- Phase 2: fence DML with S locks on every table (sorted, bounded
+  // wait — a concurrent DropTable holds O and then wants ddl_mu_, which we
+  // hold, so an unbounded wait here would deadlock), replay the
+  // (horizon, now] delta, and swap the staged storages in.
+  TransactionPtr txn = txns_.Begin();
+  std::vector<std::string> tables = catalog_->TableNames();
+  std::sort(tables.begin(), tables.end());
+  for (const auto& t : tables) {
+    Status s = locks_.Acquire(txn->id(), t, LockMode::kS,
+                              std::chrono::milliseconds(2000));
+    if (!s.ok()) {
+      txns_.Rollback(txn);
+      discard_staged();
+      return s;
     }
   }
+  Epoch now = epochs_.LatestQueryableEpoch();
+  for (auto& sp : staged) {
+    Status s = ReplayRebalanceDelta(sp.def, sp.nodes, /*from=*/horizon, /*to=*/now,
+                                    new_ring, old_count);
+    if (!s.ok()) {
+      txns_.Rollback(txn);
+      discard_staged();
+      return s;
+    }
+  }
+
+  {
+    // The swap itself: exclusive only for the pointer exchange. Planned
+    // queries keep reading the retired storages, which stay alive until
+    // cluster teardown.
+    std::unique_lock topo(topology_mu_);
+    for (auto& sp : staged) {
+      for (uint32_t i = 0; i < new_count; ++i) {
+        auto old = nodes_[i]->ReplaceStorage(sp.def.name, std::move(sp.nodes[i]));
+        if (old) retired_storage_.push_back(std::move(old));
+      }
+      for (uint32_t i = new_count; i < old_count; ++i) {
+        auto old = nodes_[i]->TakeStorage(sp.def.name);
+        if (old) retired_storage_.push_back(std::move(old));
+      }
+    }
+    active_nodes_.store(new_count, std::memory_order_release);
+    for (uint32_t i = new_count; i < static_cast<uint32_t>(nodes_.size()); ++i) {
+      nodes_[i]->set_up(false);
+    }
+  }
+  txns_.Rollback(txn);  // bookkeeping only: releases the S locks
   return Status::OK();
 }
 

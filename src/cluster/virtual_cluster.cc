@@ -1,0 +1,125 @@
+#include "cluster/virtual_cluster.h"
+
+namespace stratica {
+
+const char* NodeHealthName(NodeHealth h) {
+  switch (h) {
+    case NodeHealth::kHealthy:
+      return "healthy";
+    case NodeHealth::kSlow:
+      return "slow";
+    case NodeHealth::kFlaky:
+      return "flaky";
+    case NodeHealth::kDown:
+      return "down";
+  }
+  return "?";
+}
+
+VirtualCluster::VirtualCluster(VirtualClusterOptions opts) : opts_(std::move(opts)) {
+  base_fs_ = std::make_shared<MemFileSystem>();
+  fault_fs_ = std::make_shared<FaultFs>(base_fs_.get(), opts_.seed);
+  DatabaseOptions db_opts = opts_.db;
+  db_opts.fs = fault_fs_;
+  db_opts.num_nodes = opts_.num_nodes;
+  db_opts.k_safety = opts_.k_safety;
+  db_ = std::make_unique<Database>(db_opts);
+  health_.assign(opts_.num_nodes, NodeHealth::kHealthy);
+  rule_ids_.resize(opts_.num_nodes);
+}
+
+std::string VirtualCluster::NodePathPattern(uint32_t node) {
+  // The trailing slash keeps node7 from matching node70's files.
+  return "node" + std::to_string(node) + "/.*";
+}
+
+NodeHealth VirtualCluster::health(uint32_t node) const {
+  std::lock_guard lock(mu_);
+  return node < health_.size() ? health_[node] : NodeHealth::kHealthy;
+}
+
+size_t VirtualCluster::CountHealth(NodeHealth h) const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  for (NodeHealth cur : health_) n += cur == h ? 1 : 0;
+  return n;
+}
+
+Status VirtualCluster::SetNodeHealth(uint32_t node, NodeHealth health) {
+  std::lock_guard lock(mu_);
+  // Nodes added by an elastic rebalance appear lazily.
+  if (node >= health_.size()) {
+    if (node >= num_nodes()) return Status::InvalidArgument("no such node ", node);
+    health_.resize(node + 1, NodeHealth::kHealthy);
+    rule_ids_.resize(node + 1);
+  }
+  NodeHealth prev = health_[node];
+  if (prev == health) return Status::OK();
+
+  // Drop the previous state's degradation rules.
+  for (size_t id : rule_ids_[node]) fault_fs_->RemoveRule(id);
+  rule_ids_[node].clear();
+
+  // Leaving kDown means rejoining the cluster: truncate-to-LGE + two-phase
+  // copy from buddies (Section 5.2). Runs with the node's files healthy
+  // again; any new degradation is installed only after the rejoin.
+  if (prev == NodeHealth::kDown) {
+    Status s = db_->cluster()->RecoverNode(node);
+    if (!s.ok()) {
+      // Still down. Re-arm the unreachable rule so the simulation stays
+      // consistent and let the caller retry.
+      FaultRule dead;
+      dead.path_pattern = NodePathPattern(node);
+      dead.op_mask = kFaultAnyOp;
+      dead.kind = FaultKind::kPersistentError;
+      rule_ids_[node].push_back(fault_fs_->AddRule(dead));
+      return s;
+    }
+  }
+
+  switch (health) {
+    case NodeHealth::kHealthy:
+      break;
+    case NodeHealth::kSlow: {
+      FaultRule slow;
+      slow.path_pattern = NodePathPattern(node);
+      slow.op_mask = kFaultRead | kFaultWrite;
+      slow.kind = FaultKind::kLatency;
+      slow.latency_us = opts_.model.slow_latency_us;
+      slow.bytes_per_sec = opts_.model.slow_bytes_per_sec;
+      slow.jitter_us = opts_.model.slow_jitter_us;
+      rule_ids_[node].push_back(fault_fs_->AddRule(slow));
+      break;
+    }
+    case NodeHealth::kFlaky: {
+      FaultRule flaky;
+      flaky.path_pattern = NodePathPattern(node);
+      flaky.op_mask = kFaultRead | kFaultWrite;
+      flaky.probability = opts_.model.flaky_probability;
+      flaky.kind = FaultKind::kTransientError;
+      rule_ids_[node].push_back(fault_fs_->AddRule(flaky));
+      break;
+    }
+    case NodeHealth::kDown: {
+      // Unreachable first, then ejected: in-flight scans targeting this
+      // node start failing (and rerouting onto buddies) immediately, and
+      // the planner stops selecting it once it is marked down.
+      FaultRule dead;
+      dead.path_pattern = NodePathPattern(node);
+      dead.op_mask = kFaultAnyOp;
+      dead.kind = FaultKind::kPersistentError;
+      rule_ids_[node].push_back(fault_fs_->AddRule(dead));
+      Status s = db_->cluster()->MarkNodeDown(node);
+      if (!s.ok()) {
+        for (size_t id : rule_ids_[node]) fault_fs_->RemoveRule(id);
+        rule_ids_[node].clear();
+        return s;
+      }
+      break;
+    }
+  }
+  health_[node] = health;
+  return Status::OK();
+}
+
+}  // namespace stratica

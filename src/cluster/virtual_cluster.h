@@ -1,0 +1,104 @@
+// Virtual-node cluster simulation (DESIGN.md §11).
+//
+// Scales the simulated cluster to hundreds of nodes without hundreds of
+// processes: every node the Cluster facade manages already lives under its
+// own directory prefix (node<N>/...), so a per-node identity reduces to a
+// per-node fault plan on the shared FaultFs. A VirtualCluster bundles the
+// in-memory filesystem, the fault layer and a Database, and exposes one
+// knob per node — its health — behind which it installs or removes the
+// matching latency/bandwidth/error rules and drives the real
+// MarkNodeDown/RecoverNode protocol. Segmentation, exchange shuffles,
+// buddy failover and recovery run unmodified; only the physics of each
+// node (how slow, how flaky, whether reachable) is simulated.
+#ifndef STRATICA_CLUSTER_VIRTUAL_CLUSTER_H_
+#define STRATICA_CLUSTER_VIRTUAL_CLUSTER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "common/fault_fs.h"
+#include "common/rng.h"
+
+namespace stratica {
+
+/// Health of one virtual node. Transitions install/remove FaultFs rules
+/// scoped to the node's directory; entering/leaving kDown additionally
+/// drives the cluster's ejection/rejoin protocol.
+enum class NodeHealth {
+  kHealthy,  ///< no injected degradation
+  kSlow,     ///< straggler: every file op pays the latency/bandwidth model
+  kFlaky,    ///< transient I/O errors with the configured probability
+  kDown,     ///< ejected: every file op fails persistently until revived
+};
+
+const char* NodeHealthName(NodeHealth h);
+
+/// Degradation physics applied to unhealthy nodes (ZBStorage virtual_node
+/// style: delay = latency + bytes / bandwidth + U[0, jitter)).
+struct VirtualNodeModel {
+  uint64_t slow_latency_us = 2000;           ///< kSlow: fixed per-op delay
+  uint64_t slow_bytes_per_sec = 64ull << 20; ///< kSlow: simulated link speed
+  uint64_t slow_jitter_us = 500;             ///< kSlow: uniform jitter
+  double flaky_probability = 0.05;           ///< kFlaky: per-op error chance
+};
+
+struct VirtualClusterOptions {
+  uint32_t num_nodes = 64;
+  uint32_t k_safety = 1;
+  uint64_t seed = 42;  ///< drives FaultFs and all per-node derived seeds
+  VirtualNodeModel model;
+  /// Remaining database knobs (hedging deadlines, tuple-mover interval,
+  /// memory budgets). fs / num_nodes / k_safety are overwritten.
+  DatabaseOptions db;
+};
+
+/// \brief A simulated N-node cluster: MemFileSystem + FaultFs + Database,
+/// plus per-node health management. Thread-safe: health transitions are
+/// serialized internally and may run concurrently with queries and DML.
+class VirtualCluster {
+ public:
+  explicit VirtualCluster(VirtualClusterOptions opts);
+
+  Database* db() { return db_.get(); }
+  Cluster* cluster() { return db_->cluster(); }
+  FaultFs* fault_fs() { return fault_fs_.get(); }
+  uint32_t num_nodes() const { return db_->cluster()->num_nodes(); }
+
+  /// Deterministic per-node seed stream (rng.h): chaos actors working on
+  /// different nodes draw from uncorrelated sequences.
+  uint64_t node_seed(uint32_t node) const { return DeriveSeed(opts_.seed, node); }
+
+  NodeHealth health(uint32_t node) const;
+  size_t CountHealth(NodeHealth h) const;
+
+  /// Transition a node's health. Entering kDown ejects the node (volatile
+  /// state lost) and makes every access to its files fail; leaving kDown
+  /// runs the full rejoin protocol (RecoverNode) before any new degradation
+  /// applies. On failure the previous health sticks, so the caller can
+  /// retry (e.g. recovery refused while quorum is lost).
+  Status SetNodeHealth(uint32_t node, NodeHealth health);
+
+  Status KillNode(uint32_t node) { return SetNodeHealth(node, NodeHealth::kDown); }
+  Status ReviveNode(uint32_t node) { return SetNodeHealth(node, NodeHealth::kHealthy); }
+
+ private:
+  /// Anchored pattern for one node's files ("node7/" does not match
+  /// "node70/...").
+  static std::string NodePathPattern(uint32_t node);
+
+  VirtualClusterOptions opts_;
+  std::shared_ptr<MemFileSystem> base_fs_;
+  std::shared_ptr<FaultFs> fault_fs_;
+  std::unique_ptr<Database> db_;
+
+  mutable std::mutex mu_;  // guards health_ / rule_ids_ and serializes transitions
+  std::vector<NodeHealth> health_;
+  std::vector<std::vector<size_t>> rule_ids_;  ///< FaultFs rules per node
+};
+
+}  // namespace stratica
+
+#endif  // STRATICA_CLUSTER_VIRTUAL_CLUSTER_H_

@@ -4,7 +4,7 @@
 #include <sstream>
 #include <thread>
 
-#include "common/hash.h"
+#include "common/rng.h"
 
 namespace stratica {
 
@@ -35,7 +35,7 @@ const char* FaultOpName(FaultOp op) {
 }  // namespace
 
 FaultFs::FaultFs(FileSystem* base, uint64_t seed)
-    : base_(base), rng_state_(Mix64(seed ^ 0xfa017f5u)) {
+    : base_(base), rng_state_(DeriveSeed(seed, 0xfa017f5u)) {
   op_log_.reserve(256);
 }
 
@@ -50,6 +50,9 @@ size_t FaultFs::AddRule(FaultRule rule) {
     size_t n = rule.path_pattern.find_first_of(kMeta);
     r.literal = rule.path_pattern.substr(0, n);
   }
+  if (rule.kind == FaultKind::kLatency && rule.bytes_per_sec > 0) {
+    bandwidth_rules_.store(true, std::memory_order_release);
+  }
   r.spec = std::move(rule);
   rules_.push_back(std::move(r));
   return rules_.size() - 1;
@@ -63,10 +66,11 @@ void FaultFs::RemoveRule(size_t id) {
 void FaultFs::ClearRules() {
   std::lock_guard lock(mu_);
   rules_.clear();
+  bandwidth_rules_.store(false, std::memory_order_release);
 }
 
-bool FaultFs::PlanFault(FaultOp op, const std::string& path, FaultKind* kind,
-                        uint64_t* latency_us, uint64_t* fault_seq) const {
+bool FaultFs::PlanFault(FaultOp op, const std::string& path, uint64_t bytes,
+                        FaultKind* kind, uint64_t* latency_us, uint64_t* fault_seq) const {
   stats_.ops.fetch_add(1, std::memory_order_relaxed);
   if (!enabled_.load(std::memory_order_acquire)) {
     LogOp(op, path, false, FaultKind::kTransientError);
@@ -83,7 +87,7 @@ bool FaultFs::PlanFault(FaultOp op, const std::string& path, FaultKind* kind,
     }
     ++r.matches;
     if (r.spec.probability > 0.0) {
-      rng_state_ = Mix64(rng_state_ + 0x9e3779b97f4a7c15ULL);
+      rng_state_ = SplitMix64(rng_state_);
       double u = static_cast<double>(rng_state_ >> 11) * (1.0 / 9007199254740992.0);
       fire = u < r.spec.probability;
     } else {
@@ -94,7 +98,18 @@ bool FaultFs::PlanFault(FaultOp op, const std::string& path, FaultKind* kind,
     ++r.fires;
     *kind = r.spec.kind;
     *latency_us = r.spec.latency_us;
-    rng_state_ = Mix64(rng_state_ + 0x6a09e667f3bcc909ULL);
+    if (r.spec.kind == FaultKind::kLatency) {
+      // Bandwidth + jitter terms of the virtual-node latency model:
+      //   delay = base + bytes/bps + U[0, jitter).
+      if (r.spec.bytes_per_sec > 0) {
+        *latency_us += bytes * 1000000ULL / r.spec.bytes_per_sec;
+      }
+      if (r.spec.jitter_us > 0) {
+        rng_state_ = SplitMix64(rng_state_);
+        *latency_us += rng_state_ % r.spec.jitter_us;
+      }
+    }
+    rng_state_ = SplitMix64(rng_state_ ^ 0x6a09e667f3bcc909ULL);
     *fault_seq = rng_state_;
     break;
   }
@@ -181,7 +196,7 @@ std::string FaultFs::DumpOpLog() const {
 Status FaultFs::WriteFile(const std::string& path, const std::string& data) {
   FaultKind kind;
   uint64_t latency_us = 0, seq = 0;
-  if (PlanFault(kFaultWrite, path, &kind, &latency_us, &seq)) {
+  if (PlanFault(kFaultWrite, path, data.size(), &kind, &latency_us, &seq)) {
     switch (kind) {
       case FaultKind::kTransientError:
         return Status::TransientIoError("injected transient write error: ", path);
@@ -210,7 +225,12 @@ Status FaultFs::WriteFile(const std::string& path, const std::string& data) {
 Result<std::string> FaultFs::ReadFile(const std::string& path) const {
   FaultKind kind;
   uint64_t latency_us = 0, seq = 0;
-  if (PlanFault(kFaultRead, path, &kind, &latency_us, &seq)) {
+  uint64_t bytes = 0;
+  if (bandwidth_rules_.load(std::memory_order_acquire)) {
+    auto sz = base_->FileSize(path);
+    if (sz.ok()) bytes = sz.value();
+  }
+  if (PlanFault(kFaultRead, path, bytes, &kind, &latency_us, &seq)) {
     switch (kind) {
       case FaultKind::kTransientError:
         return Status::TransientIoError("injected transient read error: ", path);
@@ -238,7 +258,7 @@ Result<std::string> FaultFs::ReadRange(const std::string& path, uint64_t offset,
                                        uint64_t length) const {
   FaultKind kind;
   uint64_t latency_us = 0, seq = 0;
-  if (PlanFault(kFaultRead, path, &kind, &latency_us, &seq)) {
+  if (PlanFault(kFaultRead, path, length, &kind, &latency_us, &seq)) {
     switch (kind) {
       case FaultKind::kTransientError:
         return Status::TransientIoError("injected transient read error: ", path);
@@ -266,7 +286,7 @@ Status FaultFs::ReadRangeInto(const std::string& path, uint64_t offset,
                               uint64_t length, std::string* out) const {
   FaultKind kind;
   uint64_t latency_us = 0, seq = 0;
-  if (PlanFault(kFaultRead, path, &kind, &latency_us, &seq)) {
+  if (PlanFault(kFaultRead, path, length, &kind, &latency_us, &seq)) {
     switch (kind) {
       case FaultKind::kTransientError:
         return Status::TransientIoError("injected transient read error: ", path);
@@ -293,7 +313,7 @@ Status FaultFs::ReadRangeInto(const std::string& path, uint64_t offset,
 Result<uint64_t> FaultFs::FileSize(const std::string& path) const {
   FaultKind kind;
   uint64_t latency_us = 0, seq = 0;
-  if (PlanFault(kFaultMeta, path, &kind, &latency_us, &seq)) {
+  if (PlanFault(kFaultMeta, path, 0, &kind, &latency_us, &seq)) {
     if (kind == FaultKind::kTransientError)
       return Status::TransientIoError("injected transient stat error: ", path);
     if (kind == FaultKind::kPersistentError)
@@ -309,7 +329,7 @@ bool FaultFs::Exists(const std::string& path) const { return base_->Exists(path)
 Status FaultFs::Delete(const std::string& path) {
   FaultKind kind;
   uint64_t latency_us = 0, seq = 0;
-  if (PlanFault(kFaultDelete, path, &kind, &latency_us, &seq)) {
+  if (PlanFault(kFaultDelete, path, 0, &kind, &latency_us, &seq)) {
     if (kind == FaultKind::kTransientError)
       return Status::TransientIoError("injected transient delete error: ", path);
     if (kind == FaultKind::kPersistentError)
@@ -323,7 +343,7 @@ Status FaultFs::Delete(const std::string& path) {
 Result<std::vector<std::string>> FaultFs::List(const std::string& prefix) const {
   FaultKind kind;
   uint64_t latency_us = 0, seq = 0;
-  if (PlanFault(kFaultMeta, prefix, &kind, &latency_us, &seq)) {
+  if (PlanFault(kFaultMeta, prefix, 0, &kind, &latency_us, &seq)) {
     if (kind == FaultKind::kTransientError)
       return Status::TransientIoError("injected transient list error: ", prefix);
     if (kind == FaultKind::kPersistentError)
@@ -337,7 +357,7 @@ Result<std::vector<std::string>> FaultFs::List(const std::string& prefix) const 
 Status FaultFs::HardLink(const std::string& source, const std::string& target) {
   FaultKind kind;
   uint64_t latency_us = 0, seq = 0;
-  if (PlanFault(kFaultLink, source, &kind, &latency_us, &seq)) {
+  if (PlanFault(kFaultLink, source, 0, &kind, &latency_us, &seq)) {
     if (kind == FaultKind::kTransientError)
       return Status::TransientIoError("injected transient link error: ", source);
     if (kind == FaultKind::kPersistentError)

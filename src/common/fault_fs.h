@@ -50,7 +50,12 @@ struct FaultRule {
   uint64_t every_nth = 1;
   uint64_t max_fires = UINT64_MAX;  ///< rule disarms after this many fires
   FaultKind kind = FaultKind::kTransientError;
-  uint64_t latency_us = 0;  ///< kLatency only
+  uint64_t latency_us = 0;  ///< kLatency: fixed base delay
+  /// kLatency bandwidth model (ZBStorage virtual_node, SNIPPETS.md §1):
+  ///   delay = latency_us + bytes * 1e6 / bytes_per_sec + U[0, jitter_us).
+  /// 0 disables the respective term, so plain latency rules behave as before.
+  uint64_t bytes_per_sec = 0;
+  uint64_t jitter_us = 0;
 };
 
 /// One entry of the bounded operation log (newest kept).
@@ -123,14 +128,19 @@ class FaultFs : public FileSystem {
   };
 
   /// Decide the fault (if any) for one operation, log it, and bump stats.
-  /// Returns true with *kind set when a fault should be injected.
-  bool PlanFault(FaultOp op, const std::string& path, FaultKind* kind,
+  /// Returns true with *kind set when a fault should be injected. `bytes` is
+  /// the payload size of the operation (0 for metadata ops) and feeds the
+  /// kLatency bandwidth term; *latency_us comes back as the total delay.
+  bool PlanFault(FaultOp op, const std::string& path, uint64_t bytes, FaultKind* kind,
                  uint64_t* latency_us, uint64_t* fault_seq) const;
   void Corrupt(std::string* data, uint64_t fault_seq) const;
   void LogOp(FaultOp op, const std::string& path, bool faulted, FaultKind kind) const;
 
   FileSystem* base_;
   std::atomic<bool> enabled_{true};
+  /// True once any kLatency rule with a bandwidth term was installed; lets
+  /// ReadFile skip the extra FileSize lookup when no one models bandwidth.
+  std::atomic<bool> bandwidth_rules_{false};
   mutable std::mutex mu_;  // guards rules_, rng state, op log
   mutable std::vector<Rule> rules_;
   mutable uint64_t rng_state_;

@@ -8,6 +8,26 @@
 
 namespace stratica {
 
+/// One splitmix64 step: the canonical 64-bit finalizer used to seed and to
+/// derive independent streams. Every piece of chaos machinery (FaultFs
+/// triggers, chaos_test workload threads, VirtualCluster per-node plans)
+/// derives its state through this function so a single master seed
+/// reproduces the whole run.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derive the seed of an independent stream `stream` from a master seed.
+/// Distinct streams (node ids, thread ids, subsystem tags) give
+/// uncorrelated sequences; same (seed, stream) always gives the same one.
+inline uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  return SplitMix64(seed ^ SplitMix64(stream * 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL));
+}
+
 /// xoshiro256**-style deterministic generator (not for cryptography).
 class Rng {
  public:

@@ -1,24 +1,50 @@
 #include "exec/exchange.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 
 namespace stratica {
 
+ExchangeState::ExchangeState(std::vector<ExchangeProducerSpec> producers,
+                             size_t num_consumers,
+                             std::vector<uint32_t> partition_columns,
+                             bool count_network)
+    : partition_columns_(std::move(partition_columns)),
+      count_network_(count_network),
+      queues_(num_consumers) {
+  producers_.reserve(producers.size());
+  slots_.reserve(producers.size());
+  for (auto& spec : producers) {
+    producers_.push_back(std::move(spec.op));
+    Slot s;
+    s.origin = std::move(spec.origin);
+    s.rebuild = std::move(spec.rebuild);
+    slots_.push_back(std::move(s));
+  }
+}
+
 ExchangeState::ExchangeState(std::vector<OperatorPtr> producers, size_t num_consumers,
                              std::vector<uint32_t> partition_columns,
                              bool count_network)
-    : producers_(std::move(producers)),
-      partition_columns_(std::move(partition_columns)),
+    : partition_columns_(std::move(partition_columns)),
       count_network_(count_network),
-      queues_(num_consumers) {}
+      queues_(num_consumers) {
+  producers_ = std::move(producers);
+  slots_.resize(producers_.size());
+}
 
 ExchangeState::~ExchangeState() {
   {
     // A failed query can destroy the tree without draining or closing every
     // consumer; producers may be blocked in Push waiting for queue room.
-    // Cancel first or the joins below deadlock.
+    // Cancel first or the joins below deadlock. cancelled_ also stops any
+    // further hedge/reroute spawns, so iterating threads_ below is safe.
+    // Abandoning every source keeps the joins short: a producer mid-scan on
+    // a straggler bails after its current storage op instead of finishing.
     std::unique_lock lock(mu_);
     cancelled_ = true;
+    for (auto& s : slots_) AbandonLosers(s, -1);
     cv_.notify_all();
   }
   for (auto& t : threads_) {
@@ -30,18 +56,43 @@ void ExchangeState::Start(ExecContext* ctx) {
   std::unique_lock lock(mu_);
   if (started_) return;
   started_ = true;
-  producers_running_ = producers_.size();
+  ctx_ = ctx;
+  hedge_deadline_ms_ = ctx ? ctx->hedge_deadline_ms : 0;
+  max_sources_ = 1 + (ctx ? ctx->hedge_max_attempts : 0);
   if (producers_.empty()) {
     CloseAll();
     return;
   }
+  auto first_deadline = Clock::now() + std::chrono::milliseconds(hedge_deadline_ms_);
+  for (auto& s : slots_) {
+    s.running = 1;
+    s.deadline = first_deadline;
+    s.abandons.assign(1, std::make_shared<std::atomic<bool>>(false));
+  }
   for (size_t p = 0; p < producers_.size(); ++p) {
-    threads_.emplace_back([this, p, ctx] { ProducerLoop(p, ctx); });
+    Operator* op = producers_[p].get();
+    threads_.emplace_back([this, p, op, ctx] { ProducerLoop(p, /*source=*/0, op, ctx); });
   }
 }
 
-bool ExchangeState::Push(size_t c, RowBlock block) {
+bool ExchangeState::Push(size_t slot, int source, size_t c, RowBlock block) {
   std::unique_lock lock(mu_);
+  Slot& s = slots_[slot];
+  // First block out of any source claims the slot; later sources for the
+  // same slot are orphans and their output is dropped (no duplicates). The
+  // losers are told to stop scanning.
+  if (s.claimed_by == -1 && !s.done) {
+    s.claimed_by = source;
+    AbandonLosers(s, source);
+  }
+  if (s.claimed_by != source) return false;
+  // Count traffic under mu_ so the stat is visible before any consumer can
+  // pop the block. Orphaned hedges never reach here, so they can't inflate
+  // the stat; cancellation-dropped blocks count, as they always have.
+  if (count_network_ && ctx_ && ctx_->stats) {
+    ctx_->stats->exchange_bytes.fetch_add(block.MemoryBytes(),
+                                          std::memory_order_relaxed);
+  }
   cv_.wait(lock,
            [&] { return cancelled_ || queues_[c].blocks.size() < kQueueCapacity; });
   if (cancelled_) return false;
@@ -54,29 +105,171 @@ void ExchangeState::ConsumerClosed() {
   std::unique_lock lock(mu_);
   if (++consumers_closed_ >= queues_.size()) {
     cancelled_ = true;
+    for (auto& s : slots_) AbandonLosers(s, -1);
     cv_.notify_all();
   }
 }
 
 void ExchangeState::CloseAll() {
+  // Output is complete (or doomed): whatever any source still produces is
+  // unwanted, so tell them all to stop.
+  for (auto& s : slots_) AbandonLosers(s, -1);
   for (auto& q : queues_) q.closed = true;
   cv_.notify_all();
 }
 
-void ExchangeState::ProducerLoop(size_t p, ExecContext* ctx) {
-  Operator* op = producers_[p].get();
-  Status st = op->Open(ctx);
+void ExchangeState::AbandonLosers(Slot& s, int winner) {
+  for (size_t i = 0; i < s.abandons.size(); ++i) {
+    if (static_cast<int>(i) == winner || s.abandons[i] == nullptr) continue;
+    s.abandons[i]->store(true, std::memory_order_relaxed);
+  }
+}
+
+Status ExchangeState::ContextualError(size_t slot, const Status& st) const {
+  const std::string& origin = slots_[slot].origin;
+  return Status(st.code(), "exchange partition " + std::to_string(slot) + " (" +
+                               (origin.empty() ? "local" : origin) +
+                               "): " + st.message());
+}
+
+void ExchangeState::SpawnBackup(size_t slot, ExecContext* ctx) {
+  int source = static_cast<int>(slots_[slot].attempts) - 1;
+  slots_[slot].abandons.resize(static_cast<size_t>(source) + 1);
+  slots_[slot].abandons[source] = std::make_shared<std::atomic<bool>>(false);
+  threads_.emplace_back([this, slot, source, ctx] {
+    // Plan the replacement pipeline outside mu_: rebuild consults the
+    // cluster for a healthy buddy and may do real work.
+    Result<OperatorPtr> rebuilt = slots_[slot].rebuild();
+    if (!rebuilt.ok()) {
+      FinishSource(slot, source, rebuilt.status(), ctx);
+      return;
+    }
+    Operator* op = nullptr;
+    {
+      std::lock_guard lock(mu_);
+      backup_ops_.push_back(std::move(rebuilt).value());
+      op = backup_ops_.back().get();
+    }
+    ProducerLoop(slot, source, op, ctx);
+  });
+}
+
+ExchangeState::Clock::time_point ExchangeState::MaybeHedge(ExecContext* ctx) {
+  auto now = Clock::now();
+  auto next = Clock::time_point::max();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    // Only zero-progress slots with a live primary and a rebuild recipe are
+    // hedge-eligible; dead sources go through the FinishSource reroute path.
+    if (s.done || s.claimed_by != -1 || !s.rebuild) continue;
+    if (s.attempts >= max_sources_ || s.running == 0) continue;
+    if (s.deadline > now) {
+      next = std::min(next, s.deadline);
+      continue;
+    }
+    ++s.attempts;
+    ++s.running;
+    // Exponential backoff: each attempt doubles the wait for the next one.
+    s.deadline = now + std::chrono::milliseconds(hedge_deadline_ms_
+                                                 << (s.attempts - 1));
+    if (ctx && ctx->stats) {
+      ctx->stats->exchange_hedges.fetch_add(1, std::memory_order_relaxed);
+    }
+    SpawnBackup(i, ctx);
+    if (s.attempts < max_sources_) next = std::min(next, s.deadline);
+  }
+  return next;
+}
+
+void ExchangeState::FinishSource(size_t slot, int source, Status st,
+                                 ExecContext* ctx) {
+  std::unique_lock lock(mu_);
+  Slot& s = slots_[slot];
+  if (s.running > 0) --s.running;
+  if (s.done) return;  // slot already resolved by another source
+  if (s.claimed_by == source) {
+    if (st.ok()) {
+      s.done = true;
+      AbandonLosers(s, -1);
+      if (++slots_done_ == slots_.size()) CloseAll();
+    } else {
+      // The claimed source already emitted blocks; consumers may have seen
+      // them, so the exchange cannot replay this partition. Surface the
+      // error with its origin; statement-level replan handles recovery.
+      if (error_.ok()) error_ = ContextualError(slot, st);
+      CloseAll();
+    }
+    return;
+  }
+  if (s.claimed_by != -1) {
+    // Another source owns the slot. Usually an orphan exiting quietly — but
+    // if the planned PRIMARY is the one failing here, the partition has
+    // effectively failed over to the buddy that claimed it (a hedge that beat
+    // the primary to its error). Count the failover.
+    if (source == 0 && !st.ok() && ctx && ctx->stats) {
+      ctx->stats->exchange_reroutes.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (st.ok()) {
+    // Finished cleanly with an empty result: claim so late hedges drop out.
+    s.claimed_by = source;
+    s.done = true;
+    AbandonLosers(s, -1);
+    if (++slots_done_ == slots_.size()) CloseAll();
+    return;
+  }
+  // Zero-progress failure. A hedge may still be in flight for this slot —
+  // when the failing source is the planned primary, that in-flight backup is
+  // now the slot's only hope, so the failure IS a failover even though the
+  // re-issue predates it. Otherwise re-issue against the buddy copy here.
+  if (s.running > 0) {
+    if (source == 0 && ctx && ctx->stats) {
+      ctx->stats->exchange_reroutes.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (!cancelled_ && s.rebuild && s.attempts < max_sources_) {
+    ++s.attempts;
+    ++s.running;
+    if (ctx && ctx->stats) {
+      ctx->stats->exchange_reroutes.fetch_add(1, std::memory_order_relaxed);
+    }
+    SpawnBackup(slot, ctx);
+    return;
+  }
+  if (error_.ok()) error_ = ContextualError(slot, st);
+  CloseAll();
+}
+
+void ExchangeState::ProducerLoop(size_t slot, int source, Operator* op,
+                                 ExecContext* ctx) {
+  // Run the pipeline under a private copy of the query context carrying this
+  // source's abandon flag. Only the operator calls below see the copy — the
+  // original `ctx` goes to FinishSource, which may capture it into a backup
+  // thread outliving this stack frame.
+  std::shared_ptr<std::atomic<bool>> abandon;
+  {
+    std::lock_guard lock(mu_);
+    auto& flags = slots_[slot].abandons;
+    if (static_cast<size_t>(source) < flags.size()) abandon = flags[source];
+  }
+  ExecContext pctx;
+  ExecContext* op_ctx = ctx;
+  if (ctx != nullptr) {
+    pctx = *ctx;
+    pctx.abandon = abandon.get();
+    op_ctx = &pctx;
+  }
+  Status st = op->Open(op_ctx);
   std::vector<uint64_t> hashes;  // partition-hash scratch, reused per block
   while (st.ok()) {
     RowBlock block;
     st = op->GetNext(&block);
     if (!st.ok() || block.NumRows() == 0) break;
-    if (count_network_ && ctx->stats) {
-      ctx->stats->exchange_bytes.fetch_add(block.MemoryBytes());
-    }
     bool alive = true;
     if (partition_columns_.empty() || queues_.size() == 1) {
-      alive = Push(p % queues_.size(), std::move(block));
+      alive = Push(slot, source, slot % queues_.size(), std::move(block));
     } else {
       block.DecodeAll();
       std::vector<RowBlock> parts;
@@ -91,30 +284,44 @@ void ExchangeState::ProducerLoop(size_t p, ExecContext* ctx) {
         parts[hashes[r] % queues_.size()].AppendRowFrom(block, r);
       }
       for (size_t q = 0; q < queues_.size() && alive; ++q) {
-        if (parts[q].NumRows() > 0) alive = Push(q, std::move(parts[q]));
+        if (parts[q].NumRows() == 0) continue;
+        alive = Push(slot, source, q, std::move(parts[q]));
       }
     }
-    if (!alive) break;  // exchange cancelled by consumers
+    if (!alive) break;  // exchange cancelled, or this source lost its claim
   }
   if (st.ok()) st = op->Close();
-  std::unique_lock lock(mu_);
-  if (!st.ok() && error_.ok()) error_ = st;
-  if (--producers_running_ == 0) CloseAll();
+  FinishSource(slot, source, std::move(st), ctx);
 }
 
 Status ExchangeState::Pop(size_t c, RowBlock* out) {
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return !queues_[c].blocks.empty() || queues_[c].closed; });
-  if (!error_.ok()) return error_;
-  if (queues_[c].blocks.empty()) {
-    out->Clear();
-    out->columns.clear();
-    return Status::OK();  // EOF: empty block with no columns
+  for (;;) {
+    if (!error_.ok()) return error_;
+    if (!queues_[c].blocks.empty()) {
+      *out = std::move(queues_[c].blocks.front());
+      queues_[c].blocks.pop_front();
+      cv_.notify_all();
+      return Status::OK();
+    }
+    if (queues_[c].closed) {
+      out->Clear();
+      out->columns.clear();
+      return Status::OK();  // EOF: empty block with no columns
+    }
+    if (hedge_deadline_ms_ > 0) {
+      // Starving consumers double as the hedging clock: check overdue
+      // zero-progress producers, then sleep until the next deadline.
+      auto due = MaybeHedge(ctx_);
+      if (due == Clock::time_point::max()) {
+        cv_.wait(lock);
+      } else {
+        cv_.wait_until(lock, due);
+      }
+    } else {
+      cv_.wait(lock);
+    }
   }
-  *out = std::move(queues_[c].blocks.front());
-  queues_[c].blocks.pop_front();
-  cv_.notify_all();
-  return Status::OK();
 }
 
 std::string ExchangeConsumerOperator::DebugString() const {
@@ -136,6 +343,16 @@ OperatorPtr MakeUnionExchange(std::vector<OperatorPtr> producers, std::string la
                               bool count_network) {
   std::vector<TypeId> types = producers.front()->OutputTypes();
   std::vector<std::string> names = producers.front()->OutputNames();
+  auto state = std::make_shared<ExchangeState>(std::move(producers), 1,
+                                               std::vector<uint32_t>{}, count_network);
+  return std::make_unique<ExchangeConsumerOperator>(state, 0, types, names,
+                                                    std::move(label));
+}
+
+OperatorPtr MakeUnionExchange(std::vector<ExchangeProducerSpec> producers,
+                              std::string label, bool count_network) {
+  std::vector<TypeId> types = producers.front().op->OutputTypes();
+  std::vector<std::string> names = producers.front().op->OutputNames();
   auto state = std::make_shared<ExchangeState>(std::move(producers), 1,
                                                std::vector<uint32_t>{}, count_network);
   return std::make_unique<ExchangeConsumerOperator>(state, 0, types, names,

@@ -6,11 +6,22 @@
 //   Send/Recv     — ships tuples between (simulated) nodes, either
 //                   broadcast or segmented by an expression, with traffic
 //                   accounted in ExecStats::exchange_bytes.
+//
+// Straggler hedging (DESIGN.md §11): a producer pipeline that has made zero
+// progress by a deadline can be speculatively re-issued against a buddy copy
+// of the same data ("hedge"); a producer that fails outright before pushing
+// anything is re-issued the same way ("reroute"), so mid-query node death
+// degrades to a buddy read instead of failing the statement. Only
+// zero-progress pipelines are ever duplicated, so the first source to emit a
+// block claims the partition and exactly-once output needs no cross-source
+// dedup.
 #ifndef STRATICA_EXEC_EXCHANGE_H_
 #define STRATICA_EXEC_EXCHANGE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -19,12 +30,26 @@
 
 namespace stratica {
 
+/// \brief One producer pipeline of an exchange plus the metadata that makes
+/// it hedgeable: where it reads from (for error context) and how to rebuild
+/// an equivalent pipeline against a buddy copy (null = not hedgeable).
+struct ExchangeProducerSpec {
+  OperatorPtr op;
+  std::string origin;  ///< e.g. "node3" — carried in failure Status messages
+  /// Build a replacement pipeline reading the same data from a currently
+  /// healthy buddy copy. Called from a hedge thread (never under the
+  /// exchange lock); may fail when k-safety is exhausted.
+  std::function<Result<OperatorPtr>()> rebuild;
+};
+
 /// \brief Shared state of one exchange: P producer pipelines hash-partition
 /// their rows into C consumer queues.
 class ExchangeState {
  public:
   /// `partition_columns` empty means blocks pass through whole to queue
   /// (producer_index % consumers) — the union case.
+  ExchangeState(std::vector<ExchangeProducerSpec> producers, size_t num_consumers,
+                std::vector<uint32_t> partition_columns, bool count_network);
   ExchangeState(std::vector<OperatorPtr> producers, size_t num_consumers,
                 std::vector<uint32_t> partition_columns, bool count_network);
 
@@ -33,7 +58,8 @@ class ExchangeState {
   /// Launch producer threads (idempotent; first consumer Open calls this).
   void Start(ExecContext* ctx);
 
-  /// Pop the next block for consumer `c`; empty block = EOF.
+  /// Pop the next block for consumer `c`; empty block = EOF. Doubles as the
+  /// hedging clock: a starving consumer checks producer deadlines.
   Status Pop(size_t c, RowBlock* out);
 
   /// Called by consumer Close; when every consumer has closed, producers
@@ -44,15 +70,49 @@ class ExchangeState {
   const std::vector<OperatorPtr>& producers() const { return producers_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Queue {
     std::deque<RowBlock> blocks;
     bool closed = false;
   };
 
-  void ProducerLoop(size_t p, ExecContext* ctx);
-  /// Returns false when the exchange was cancelled.
-  bool Push(size_t c, RowBlock block);
+  /// Hedging state of one producer slot. A slot may be served by several
+  /// sources (primary = source 0, hedges/reroutes = 1..); the first source
+  /// to push a block — or to finish cleanly with an empty result — claims
+  /// the slot and the others become orphans whose output is dropped.
+  struct Slot {
+    std::string origin;
+    std::function<Result<OperatorPtr>()> rebuild;
+    int claimed_by = -1;
+    uint32_t attempts = 1;       ///< sources issued so far (primary counts)
+    uint32_t running = 0;        ///< sources currently executing
+    bool done = false;           ///< output complete
+    Clock::time_point deadline;  ///< next hedge-eligibility time
+    /// Per-source abandonment flags (ExecContext::abandon), indexed by
+    /// source id. Raised for the losers when a source claims the slot, and
+    /// for everyone on completion/cancellation, so a straggling orphan stops
+    /// scanning instead of being awaited to the end at teardown.
+    std::vector<std::shared_ptr<std::atomic<bool>>> abandons;
+  };
+
+  void ProducerLoop(size_t slot, int source, Operator* op, ExecContext* ctx);
+  /// Source finished; resolves the slot (done / reroute / error) under mu_.
+  void FinishSource(size_t slot, int source, Status st, ExecContext* ctx);
+  /// Returns false when the exchange was cancelled or `source` lost its
+  /// claim on the slot (another source produced output first).
+  bool Push(size_t slot, int source, size_t c, RowBlock block);
+  /// Spawn a replacement source for `slot` (caller holds mu_ and has already
+  /// bumped attempts/running and the hedge/reroute counter).
+  void SpawnBackup(size_t slot, ExecContext* ctx);
+  /// Hedge every overdue zero-progress slot; returns the earliest pending
+  /// deadline (time_point::max() when nothing is hedge-eligible).
+  Clock::time_point MaybeHedge(ExecContext* ctx);
+  Status ContextualError(size_t slot, const Status& st) const;
   void CloseAll();
+  /// Raise the abandon flag of every source of `s` except `winner` (-1 =
+  /// all). Caller holds mu_.
+  static void AbandonLosers(Slot& s, int winner);
 
   std::vector<OperatorPtr> producers_;
   std::vector<uint32_t> partition_columns_;
@@ -61,11 +121,16 @@ class ExchangeState {
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Queue> queues_;
-  size_t producers_running_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<OperatorPtr> backup_ops_;  ///< keeps hedge pipelines alive
+  size_t slots_done_ = 0;
   size_t consumers_closed_ = 0;
   bool started_ = false;
   bool cancelled_ = false;
   Status error_;
+  ExecContext* ctx_ = nullptr;        // set at Start; outlives the threads
+  uint64_t hedge_deadline_ms_ = 0;    // 0 = time-based hedging off
+  uint32_t max_sources_ = 1;          // primary + hedges/reroutes per slot
   std::vector<std::thread> threads_;
   static constexpr size_t kQueueCapacity = 16;
 };
@@ -108,6 +173,9 @@ class ExchangeConsumerOperator : public Operator {
 /// consumer, no resegmentation.
 OperatorPtr MakeUnionExchange(std::vector<OperatorPtr> producers, std::string label,
                               bool count_network);
+/// Hedging-aware variant: producers carry origin + buddy-rebuild factories.
+OperatorPtr MakeUnionExchange(std::vector<ExchangeProducerSpec> producers,
+                              std::string label, bool count_network);
 
 /// Build a resegmenting exchange: `producers` feed `num_consumers` queues
 /// partitioned by hash of `partition_columns`. Returns the consumers.

@@ -50,6 +50,14 @@ struct ExecStats {
   /// Reads rerouted to a buddy copy after a persistent failure quarantined
   /// the originally-planned projection storage.
   std::atomic<uint64_t> reads_failed_over{0};
+  /// Straggler mitigation (DESIGN.md §11): speculative re-issues of an
+  /// exchange partition against a buddy copy after its deadline expired with
+  /// zero progress.
+  std::atomic<uint64_t> exchange_hedges{0};
+  /// Exchange partitions where the planned primary producer failed and a
+  /// buddy copy served the slot instead — whether the backup was spawned in
+  /// response to the failure or was already in flight as a hedge.
+  std::atomic<uint64_t> exchange_reroutes{0};
 
   /// Fold another query's counters into this one (Database keeps one
   /// cumulative ExecStats; each query runs against its own and merges on
@@ -72,6 +80,8 @@ struct ExecStats {
     exchange_bytes += other.exchange_bytes.load(std::memory_order_relaxed);
     io_retries += other.io_retries.load(std::memory_order_relaxed);
     reads_failed_over += other.reads_failed_over.load(std::memory_order_relaxed);
+    exchange_hedges += other.exchange_hedges.load(std::memory_order_relaxed);
+    exchange_reroutes += other.exchange_reroutes.load(std::memory_order_relaxed);
   }
 };
 
@@ -116,6 +126,20 @@ struct ExecContext {
   /// memory). Enforced even when no ResourceBudget is installed; 0 disables
   /// the cap (tests only).
   size_t sort_memory_bytes = 64ull << 20;
+  /// Straggler-hedging policy for exchanges (DESIGN.md §11). 0 disables
+  /// hedging; otherwise a producer that has pushed nothing by the deadline
+  /// is speculatively re-issued against its buddy copy. The deadline doubles
+  /// on each attempt (exponential backoff) up to hedge_max_attempts.
+  uint64_t hedge_deadline_ms = 0;
+  uint32_t hedge_max_attempts = 2;
+  /// Cooperative abandonment (DESIGN.md §11): the exchange sets this flag
+  /// when the producer pipeline running under this context no longer matters
+  /// — another source claimed its partition, the slot completed, or the
+  /// exchange was cancelled. Leaf operators poll it between storage
+  /// operations and exit early with a clean EOF, so a straggling producer
+  /// (where every file op is slow) stops consuming I/O once hedged past and
+  /// does not stall query teardown for the rest of its scan.
+  const std::atomic<bool>* abandon = nullptr;
 
   std::string NextSpillPath() {
     return spill_dir + "/s" + std::to_string(spill_seq->fetch_add(1));

@@ -136,10 +136,14 @@ Status ScanOperator::OpenContainerSource(const ScanRegion& region) {
   auto src = std::make_unique<Source>();
   src->container = region.container;
   for (int proj_col : spec_.projection_columns) {
+    // Every reader open is a (possibly slow) file op; bail between them once
+    // the exchange stopped caring about this pipeline.
+    if (Abandoned()) return Status::OK();
     auto reader = OpenRosColumn(ctx_->fs, c, proj_col);
     if (!reader.ok()) return NoteRosFailure(src.get(), reader.status());
     src->readers.push_back(std::move(reader).value());
   }
+  if (Abandoned()) return Status::OK();
   if (!c.epoch_data_path.empty() && c.max_epoch > ctx_->epoch) {
     auto er = ColumnReader::Open(ctx_->fs, c.epoch_data_path, c.epoch_index_path);
     if (!er.ok()) return NoteRosFailure(src.get(), er.status());
@@ -207,14 +211,21 @@ Status ScanOperator::Open(ExecContext* ctx) {
   sources_.clear();
   current_source_ = 0;
   if (spec_.use_regions) {
-    for (const auto& region : spec_.regions)
+    for (const auto& region : spec_.regions) {
+      if (Abandoned()) break;
       STRATICA_RETURN_NOT_OK(OpenContainerSource(region));
-    if (spec_.include_wos) STRATICA_RETURN_NOT_OK(OpenWosSource());
+    }
+    if (spec_.include_wos && !Abandoned()) STRATICA_RETURN_NOT_OK(OpenWosSource());
   } else {
-    for (const auto& c : snap_.ros)
+    for (const auto& c : snap_.ros) {
+      if (Abandoned()) break;
       STRATICA_RETURN_NOT_OK(OpenContainerSource({c, 0, SIZE_MAX}));
-    STRATICA_RETURN_NOT_OK(OpenWosSource());
+    }
+    if (!Abandoned()) STRATICA_RETURN_NOT_OK(OpenWosSource());
   }
+  // An abandoned pipeline's output is dropped by the exchange anyway; empty
+  // sources make every later GetNext an immediate EOF.
+  if (Abandoned()) sources_.clear();
   merge_mode_ = spec_.sorted_output && sources_.size() > 1;
 
   // Build the filter view: the output columns the selection vector depends
@@ -426,6 +437,10 @@ Status ScanOperator::AdvanceWos(Source* src) {
 
 Status ScanOperator::AdvanceRos(Source* src) {
   while (src->next_block < src->block_hi) {
+    if (Abandoned()) {
+      src->exhausted = true;
+      return Status::OK();
+    }
     size_t b = src->next_block;
     const BlockMeta& bm0 = src->readers[0].meta().blocks[b];
     // Block-level pruning from the position index.
@@ -542,6 +557,7 @@ Status ScanOperator::Advance(Source* src) {
 
 Status ScanOperator::GetNext(RowBlock* out) {
   *out = RowBlock(spec_.output_types);
+  if (Abandoned()) return Status::OK();  // unwanted output: clean EOF
   if (!merge_mode_) {
     while (current_source_ < sources_.size()) {
       Source* src = sources_[current_source_].get();

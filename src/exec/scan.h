@@ -100,6 +100,14 @@ class ScanOperator : public Operator {
   struct Source;
   struct SourceMergeInput;  ///< adapts a Source to the k-way merge kernel
 
+  /// Cooperative abandonment (DESIGN.md §11): true once the exchange decided
+  /// this pipeline's output is unwanted. Polled between storage operations so
+  /// an orphaned scan on a straggler stops paying slow file ops promptly.
+  bool Abandoned() const {
+    return ctx_ != nullptr && ctx_->abandon != nullptr &&
+           ctx_->abandon->load(std::memory_order_relaxed);
+  }
+
   Status OpenContainerSource(const ScanRegion& region);
   Status OpenWosSource();
   /// Persistent I/O failure / corruption on a container read: quarantine

@@ -134,6 +134,10 @@ struct Planner::TableSlot {
   // Scan units: (storage, covering node) pairs; one per up node normally,
   // with buddies substituted for down nodes.
   std::vector<ProjectionStorage*> units;
+  std::vector<uint32_t> unit_hosts;  // node id serving each unit (error context)
+  // Remaining family copies per unit, health-checked again at hedge time so
+  // a straggling or dead unit can be re-issued against a buddy mid-query.
+  std::vector<std::vector<ProjectionStorage*>> unit_alts;
   uint32_t unit_offset = 0;  // ring offset of the projection serving units
 };
 
@@ -270,6 +274,11 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
   }
 
   // ---- choose projections + scan units (buddy substitution on failure) -----
+  // Capture the topology under a shared lock so an elastic rebalance can't
+  // swap storages mid-selection: every unit, host id and ring slot below
+  // must come from one consistent node count. A plan captured just before a
+  // swap keeps working — retired storages stay alive and readable.
+  auto topology = cluster_->LockTopologyShared();
   for (auto& slot : scope.tables) {
     auto candidates = catalog->ProjectionsForTable(slot.def.name);
     // Needed columns of this table.
@@ -318,16 +327,21 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
     // §10) is as unusable as a down node: skip it and let a buddy serve
     // the slot until re-recovery clears the flag.
     if (slot.projection.segmentation.replicated) {
+      std::vector<ProjectionStorage*> alts;
       for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
-        if (!cluster_->node(n)->up()) continue;
         auto* ps = cluster_->node(n)->GetStorage(slot.projection.name);
-        if (!ps || ps->quarantined()) continue;
-        slot.units = {ps};
-        break;
+        if (!ps) continue;
+        if (slot.units.empty() && cluster_->node(n)->up() && !ps->quarantined()) {
+          slot.units = {ps};
+          slot.unit_hosts = {n};
+        } else {
+          alts.push_back(ps);
+        }
       }
       if (slot.units.empty())
         return Status::ClusterUnavailable("no healthy copy of ",
                                           slot.projection.name);
+      slot.unit_alts = {std::move(alts)};
     } else {
       std::vector<ProjectionDef> family = {slot.projection};
       for (const auto& p : candidates) {
@@ -335,14 +349,19 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
       }
       for (uint32_t ring_slot = 0; ring_slot < cluster_->num_nodes(); ++ring_slot) {
         ProjectionStorage* unit = nullptr;
+        uint32_t unit_host = 0;
+        std::vector<ProjectionStorage*> alts;
         for (const auto& copy : family) {
           uint32_t host =
               (ring_slot + copy.segmentation.node_offset) % cluster_->num_nodes();
-          if (!cluster_->node(host)->up()) continue;
           auto* ps = cluster_->node(host)->GetStorage(copy.name);
-          if (!ps || ps->quarantined()) continue;
-          unit = ps;
-          break;
+          if (!ps) continue;
+          if (!unit && cluster_->node(host)->up() && !ps->quarantined()) {
+            unit = ps;
+            unit_host = host;
+          } else {
+            alts.push_back(ps);
+          }
         }
         if (!unit) {
           return Status::ClusterUnavailable(
@@ -350,6 +369,8 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
               " for ring slot ", ring_slot, " (K-safety exhausted)");
         }
         slot.units.push_back(unit);
+        slot.unit_hosts.push_back(unit_host);
+        slot.unit_alts.push_back(std::move(alts));
       }
     }
     slot.est_rows = 0;
@@ -571,32 +592,59 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
     }
     colocated[t] = replicated || both_segmented_alike;
     if (!colocated[t]) {
-      // Gather the build side once; every unit replays it (broadcast).
-      std::vector<OperatorPtr> scans;
-      for (auto* ps : scope.tables[t].units) {
+      // Gather the build side once; every unit replays it (broadcast). Each
+      // gather leg carries its host for error context plus a rebuild recipe
+      // so a straggling or dead leg re-issues against a buddy copy.
+      std::vector<ExchangeProducerSpec> scans;
+      const TableSlot& tslot = scope.tables[t];
+      for (size_t i = 0; i < tslot.units.size(); ++i) {
         ScanSpec s = table_plans[t].spec;
-        s.storage = ps;
-        scans.push_back(std::make_unique<ScanOperator>(s));
+        s.storage = tslot.units[i];
+        ExchangeProducerSpec spec;
+        spec.op = std::make_unique<ScanOperator>(s);
+        spec.origin = "node" + std::to_string(tslot.unit_hosts[i]);
+        spec.rebuild = [tmpl = table_plans[t].spec,
+                        alts = tslot.unit_alts[i], i]() -> Result<OperatorPtr> {
+          for (auto* ps : alts) {
+            if (!ps->HostUp() || ps->quarantined()) continue;
+            ScanSpec rs = tmpl;
+            rs.storage = ps;
+            return OperatorPtr(std::make_unique<ScanOperator>(rs));
+          }
+          return Status::ClusterUnavailable(
+              "no healthy buddy for broadcast leg ", i, " (K-safety exhausted)");
+        };
+        scans.push_back(std::move(spec));
       }
       OperatorPtr gathered = scans.size() == 1
-                                 ? std::move(scans[0])
+                                 ? std::move(scans[0].op)
                                  : MakeUnionExchange(std::move(scans), "Recv", true);
       broadcasts[t] = std::make_shared<BroadcastState>(std::move(gathered));
     }
   }
 
-  // Build one pipeline per fact unit: scan -> joins.
-  std::vector<OperatorPtr> unit_pipelines;
-  for (size_t u = 0; u < num_units; ++u) {
-    ScanSpec fact_spec = table_plans[fact].spec;
-    fact_spec.storage = scope.tables[fact].units[u];
-    OperatorPtr stream = std::make_unique<ScanOperator>(fact_spec);
+  // ---- per-unit pipeline builder ---------------------------------------------
+  // Join keys depend only on the join order, not the unit, so the join steps
+  // are computed once; only the SIP attachment, the colocated build unit and
+  // the fact storage vary per pipeline. Everything the builder needs is
+  // captured by value so exchange hedging can re-invoke it mid-query to
+  // construct a replacement pipeline against a buddy copy of the fact unit.
+  struct JoinStep {
+    JoinSpec jspec;                               // without sip
+    std::shared_ptr<SipFilter> sip;               // primary of unit 0 populates
+    bool colocated = false;
+    ScanSpec build_spec;                          // colocated: per-unit scan
+    std::vector<ProjectionStorage*> build_units;  //   "
+    std::shared_ptr<BroadcastState> broadcast;    // else: shared materialization
+  };
+  auto steps = std::make_shared<std::vector<JoinStep>>();
+  {
     std::vector<size_t> joined_order = {fact};
     for (size_t j = 1; j < order.size(); ++j) {
       size_t t = order[j];
       // Join keys between the current stream and table t.
-      JoinSpec jspec;
-      jspec.type = scope.tables[t].join_type;
+      JoinStep step;
+      step.jspec.type = scope.tables[t].join_type;
       auto stream_pos_of = [&](int combined_col) -> int {
         size_t owner = table_of_column(combined_col);
         int within = combined_col - scope.tables[owner].schema_offset;
@@ -623,43 +671,94 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
         }
         if (!probe_side) continue;
         for (size_t k = 0; k < probe_side->size(); ++k) {
-          jspec.probe_keys.push_back(static_cast<uint32_t>(stream_pos_of((*probe_side)[k])));
-          jspec.build_keys.push_back(static_cast<uint32_t>(
+          step.jspec.probe_keys.push_back(
+              static_cast<uint32_t>(stream_pos_of((*probe_side)[k])));
+          step.jspec.build_keys.push_back(static_cast<uint32_t>(
               (*build_side)[k] - scope.tables[t].schema_offset));
         }
       }
-      if (jspec.probe_keys.empty() && order.size() > 1)
+      if (step.jspec.probe_keys.empty() && order.size() > 1)
         return Status::NotImplemented("cross joins without predicates");
-      // SIP: one filter slot per (fact,t) edge was pre-created; fill from
-      // this join (only one unit needs to populate it — unit 0).
-      if (u == 0 && !table_plans[t].sips.empty()) jspec.sip = table_plans[t].sips[0];
-
+      // SIP: one filter slot per (fact,t) edge was pre-created.
+      if (!table_plans[t].sips.empty()) step.sip = table_plans[t].sips[0];
+      step.colocated = colocated[t];
+      if (step.colocated) {
+        step.build_spec = table_plans[t].spec;
+        step.build_units = scope.tables[t].units;
+      } else {
+        step.broadcast = broadcasts[t];
+      }
+      steps->push_back(std::move(step));
+      joined_order.push_back(t);
+    }
+  }
+  // Residual predicates (multi-table non-equi) are unit-independent: bind
+  // them once and share the expression, as per-unit scans already do for
+  // predicates and SIPs.
+  ExprPtr residual_expr;
+  if (!residuals.empty()) {
+    std::vector<ExprPtr> rebound;
+    for (const auto& r : residuals) {
+      STRATICA_ASSIGN_OR_RETURN(ExprPtr e, rebind_to_stream(r));
+      rebound.push_back(e);
+    }
+    residual_expr = CombineConjuncts(rebound);
+  }
+  auto build_unit_pipeline =
+      [steps, fact_template = table_plans[fact].spec, residual_expr](
+          ProjectionStorage* fact_storage, bool primary,
+          size_t u) -> Result<OperatorPtr> {
+    ScanSpec fact_spec = fact_template;
+    fact_spec.storage = fact_storage;
+    OperatorPtr stream = std::make_unique<ScanOperator>(fact_spec);
+    for (const auto& step : *steps) {
+      JoinSpec jspec = step.jspec;
+      // Only the primary pipeline of unit 0 populates shared SIP filters;
+      // hedge pipelines read them through their scans (a not-yet-ready SIP
+      // passes rows through) but never write them, so a replacement racing
+      // its orphaned primary cannot corrupt the filter.
+      if (primary && u == 0) jspec.sip = step.sip;
       OperatorPtr build_side_op;
-      if (colocated[t]) {
-        ScanSpec s = table_plans[t].spec;
-        s.storage = scope.tables[t].units[u % scope.tables[t].units.size()];
+      if (step.colocated) {
+        ScanSpec s = step.build_spec;
+        s.storage = step.build_units[u % step.build_units.size()];
         build_side_op = std::make_unique<ScanOperator>(s);
       } else {
-        build_side_op = std::make_unique<BroadcastConsumerOperator>(broadcasts[t],
-                                                                    /*primary=*/u == 0);
+        build_side_op = std::make_unique<BroadcastConsumerOperator>(
+            step.broadcast, /*primary=*/primary && u == 0);
       }
       stream = std::make_unique<HashJoinOperator>(std::move(stream),
                                                   std::move(build_side_op), jspec);
-      joined_order.push_back(t);
     }
-    // Residual predicates (multi-table non-equi) above the joins.
-    if (!residuals.empty()) {
-      std::vector<ExprPtr> rebound;
-      for (const auto& r : residuals) {
-        // joined_order == order, so the stream schema applies.
-        STRATICA_ASSIGN_OR_RETURN(ExprPtr e, rebind_to_stream(r));
-        rebound.push_back(e);
-      }
-      stream = std::make_unique<FilterOperator>(std::move(stream),
-                                                CombineConjuncts(rebound));
+    if (residual_expr) {
+      stream = std::make_unique<FilterOperator>(std::move(stream), residual_expr);
     }
-    unit_pipelines.push_back(std::move(stream));
-  }
+    return OperatorPtr(std::move(stream));
+  };
+  // One exchange producer per fact unit: origin for error context, rebuild
+  // recipe (first healthy buddy copy at hedge time) for stragglers and
+  // mid-query node death.
+  auto make_unit_specs =
+      [&](const std::function<Result<OperatorPtr>(ProjectionStorage*, bool, size_t)>&
+              build) -> Result<std::vector<ExchangeProducerSpec>> {
+    std::vector<ExchangeProducerSpec> specs;
+    const TableSlot& fslot = scope.tables[fact];
+    for (size_t u = 0; u < num_units; ++u) {
+      ExchangeProducerSpec spec;
+      STRATICA_ASSIGN_OR_RETURN(spec.op, build(fslot.units[u], true, u));
+      spec.origin = "node" + std::to_string(fslot.unit_hosts[u]);
+      spec.rebuild = [build, alts = fslot.unit_alts[u], u]() -> Result<OperatorPtr> {
+        for (auto* ps : alts) {
+          if (!ps->HostUp() || ps->quarantined()) continue;
+          return build(ps, false, u);
+        }
+        return Status::ClusterUnavailable("no healthy buddy for exchange partition ",
+                                          u, " (K-safety exhausted)");
+      };
+      specs.push_back(std::move(spec));
+    }
+    return specs;
+  };
 
   // ---- aggregation / projection ----------------------------------------------
   bool has_aggs = !stmt.group_by.empty() || !stmt.having_aggs.empty();
@@ -727,18 +826,26 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
     local.phase = partialable ? AggPhase::kPartial : AggPhase::kSingle;
     for (auto& name : eval_names) local.output_names.push_back(name);
 
-    std::vector<OperatorPtr> locals;
-    for (auto& pipeline : unit_pipelines) {
+    // Each local = unit pipeline + eval + partial aggregation; the whole
+    // stack is rebuildable against a buddy copy, so hedged units redo their
+    // partial aggregation from the replacement scan.
+    auto build_local = [build_unit_pipeline, eval_exprs, eval_names, local,
+                        partialable](ProjectionStorage* ps, bool primary,
+                                     size_t u) -> Result<OperatorPtr> {
+      STRATICA_ASSIGN_OR_RETURN(OperatorPtr pipeline,
+                                build_unit_pipeline(ps, primary, u));
       auto eval = std::make_unique<ProjectOperator>(
           std::move(pipeline), std::vector<ExprPtr>(eval_exprs), eval_names);
       if (partialable) {
-        locals.push_back(std::make_unique<HashGroupByOperator>(std::move(eval), local));
-      } else {
-        locals.push_back(std::move(eval));  // raw rows; single-stage at initiator
+        return OperatorPtr(
+            std::make_unique<HashGroupByOperator>(std::move(eval), local));
       }
-    }
+      return OperatorPtr(std::move(eval));  // raw rows; single-stage at initiator
+    };
+    STRATICA_ASSIGN_OR_RETURN(std::vector<ExchangeProducerSpec> locals,
+                              make_unit_specs(build_local));
     OperatorPtr gathered =
-        locals.size() == 1 ? std::move(locals[0])
+        locals.size() == 1 ? std::move(locals[0].op)
                            : MakeUnionExchange(std::move(locals), "Recv", true);
     GroupBySpec final_spec = local;
     final_spec.phase = partialable ? AggPhase::kCombine : AggPhase::kSingle;
@@ -799,8 +906,10 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
     root = std::make_unique<ProjectOperator>(std::move(root), out_exprs, out_names);
   } else {
     // No aggregation: gather rows, then project.
+    STRATICA_ASSIGN_OR_RETURN(std::vector<ExchangeProducerSpec> unit_pipelines,
+                              make_unit_specs(build_unit_pipeline));
     OperatorPtr gathered = unit_pipelines.size() == 1
-                               ? std::move(unit_pipelines[0])
+                               ? std::move(unit_pipelines[0].op)
                                : MakeUnionExchange(std::move(unit_pipelines), "Recv",
                                                    true);
     // Window functions: sort by (partition, order) then Analytic.

@@ -85,7 +85,12 @@ TEST(ChaosTest, ReadFailoverToBuddyAndRepair) {
   auto r = f.db->Execute("SELECT SUM(val) FROM t");
   ASSERT_TRUE(r.ok()) << r.status().ToString();  // buddy served the answer
   EXPECT_EQ(r.value().At(0, 0).i64(), 7 * 2000);
-  EXPECT_GE(f.db->stats()->reads_failed_over.load(), 1u);
+  // Recovery happens at whichever layer catches the failure first: an
+  // in-flight exchange partition reroutes onto the buddy copy, or the
+  // statement-level replan reads around the quarantined storage.
+  EXPECT_GE(f.db->stats()->reads_failed_over.load() +
+                f.db->stats()->exchange_reroutes.load(),
+            1u);
 
   // Some copy on node0 must now be quarantined.
   auto* node0 = f.db->cluster()->node(0);
@@ -319,7 +324,7 @@ TEST(ChaosTest, MixedWorkloadSurvivesFaultPlan) {
 
     std::vector<std::string> chaos_log;  // chaos thread only
     std::thread chaos([&] {
-      Rng rng(seed * 7 + 13);
+      Rng rng(DeriveSeed(seed, /*stream=*/1));
       int down_node = -1;
       std::vector<size_t> extra_rules;
       while (!dml_done.load(std::memory_order_acquire)) {
@@ -513,6 +518,125 @@ TEST(ChaosTest, MixedWorkloadSurvivesFaultPlan) {
   // Across the whole run the degraded paths must actually have fired.
   EXPECT_GT(total_faults, 0u);
   EXPECT_GT(total_retries + total_failovers, 0u);
+}
+
+// Elastic add-node / remove-node while writers, a deleter and readers are
+// live (the old rebalance assumed a quiesced system and raced with them).
+// The online protocol must make bounded progress under sustained DML, and
+// the oracle pins zero lost / duplicate / phantom rows and batch-atomic
+// snapshot counts throughout both topology changes.
+TEST(ChaosTest, ElasticRebalanceUnderLoad) {
+  constexpr int kBatch = 10;
+  constexpr int kBatches = 40;
+  const uint64_t seed = 77;
+  auto f = MakeFaultyDb(seed, /*nodes=*/3, /*k=*/1, /*mover=*/1);
+  ASSERT_TRUE(ExecOk(f.db.get(), "CREATE TABLE e (id INT NOT NULL, val INT)").ok());
+
+  std::set<int64_t> committed;  // whole batches, DML thread only
+  std::set<int64_t> uncertain;  // batches whose INSERT or DELETE failed
+  std::set<int64_t> deleted;    // batches whose DELETE committed
+  std::atomic<bool> dml_done{false};
+  std::atomic<int> snapshot_violations{0};
+
+  std::thread dml([&] {
+    Rng rng(DeriveSeed(seed, /*stream=*/2));
+    for (int b = 0; b < kBatches; ++b) {
+      int64_t base = static_cast<int64_t>(b) * kBatch;
+      std::string sql = "INSERT INTO e VALUES ";
+      for (int r = 0; r < kBatch; ++r) {
+        if (r) sql += ", ";
+        sql += "(" + std::to_string(base + r) + ", 1)";
+      }
+      if (ExecOk(f.db.get(), sql).ok()) {
+        committed.insert(base);
+      } else {
+        uncertain.insert(base);
+      }
+      // Periodically delete one committed batch in full: the rebalance's
+      // delta replay must carry these deletions across the ring change, and
+      // whole-batch deletes keep snapshot counts multiples of kBatch.
+      if (b % 5 == 4 && !committed.empty()) {
+        auto it = committed.begin();
+        std::advance(it, static_cast<long>(rng.Next() % committed.size()));
+        int64_t victim = *it;
+        Status s = ExecOk(f.db.get(),
+                          "DELETE FROM e WHERE id >= " + std::to_string(victim) +
+                              " AND id < " + std::to_string(victim + kBatch));
+        committed.erase(victim);
+        if (s.ok()) {
+          deleted.insert(victim);
+        } else {
+          uncertain.insert(victim);  // either state is acceptable
+        }
+      }
+    }
+    dml_done.store(true, std::memory_order_release);
+  });
+
+  std::thread reader([&] {
+    while (!dml_done.load(std::memory_order_acquire)) {
+      auto r = f.db->Execute("SELECT COUNT(*) FROM e");
+      if (!r.ok()) continue;
+      if (r.value().At(0, 0).i64() % kBatch != 0) snapshot_violations.fetch_add(1);
+    }
+  });
+
+  // Grow then shrink while the load runs. A single attempt may time out on
+  // the phase-2 S locks (bounded wait by design — see RebalanceToNodeCount);
+  // progress just has to be made within a few retries.
+  auto rebalance_with_retry = [&](bool add) {
+    Status last;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      last = add ? f.db->cluster()->AddNodeAndRebalance()
+                 : f.db->cluster()->RemoveLastNodeAndRebalance();
+      if (last.ok()) return last;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return last;
+  };
+  Status grow = rebalance_with_retry(/*add=*/true);
+  EXPECT_TRUE(grow.ok()) << grow.ToString();
+  EXPECT_EQ(f.db->cluster()->num_nodes(), 4u);
+  Status shrink = rebalance_with_retry(/*add=*/false);
+  EXPECT_TRUE(shrink.ok()) << shrink.ToString();
+  EXPECT_EQ(f.db->cluster()->num_nodes(), 3u);
+
+  dml.join();
+  reader.join();
+  EXPECT_EQ(snapshot_violations.load(), 0);
+
+  std::string dups = FindPhysicalDups(f, f.db->cluster()->num_nodes());
+  EXPECT_TRUE(dups.empty()) << dups;
+
+  auto ids = f.db->Execute("SELECT id FROM e ORDER BY id");
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  std::set<int64_t> present;
+  for (size_t r = 0; r < ids.value().NumRows(); ++r) {
+    int64_t id = ids.value().At(r, 0).i64();
+    EXPECT_TRUE(present.insert(id).second) << "duplicate id " << id;
+  }
+  for (int64_t base : committed) {
+    for (int r = 0; r < kBatch; ++r) {
+      EXPECT_TRUE(present.count(base + r)) << "lost committed row " << base + r;
+    }
+  }
+  for (int64_t base : deleted) {
+    for (int r = 0; r < kBatch; ++r) {
+      EXPECT_FALSE(present.count(base + r)) << "deleted row resurrected " << base + r;
+    }
+  }
+  for (int64_t base = 0; base < kBatches * kBatch; base += kBatch) {
+    bool attempted =
+        committed.count(base) || uncertain.count(base) || deleted.count(base);
+    int found = 0;
+    for (int r = 0; r < kBatch; ++r) found += present.count(base + r) ? 1 : 0;
+    if (!attempted) {
+      EXPECT_EQ(found, 0) << "phantom batch at " << base;
+    } else if (!uncertain.count(base)) {
+      EXPECT_TRUE(found == 0 || found == kBatch)
+          << "torn batch at " << base << ": " << found << "/" << kBatch;
+    }
+  }
 }
 
 // Scale check: the same machinery at 64 simulated nodes. One seeded pass,

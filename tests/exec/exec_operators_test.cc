@@ -656,5 +656,120 @@ TEST_F(ExecFixture, LimitStopsEarlyThroughExchange) {
   EXPECT_GT(stats_.exchange_bytes.load(), 0u);
 }
 
+// Deterministic producers for the exchange hedge/reroute tests: a fixed row
+// batch, optionally failing before any output or sleeping forever (until
+// cancelled at exchange teardown).
+class TestSourceOperator : public Operator {
+ public:
+  enum class Behavior { kEmit, kFailBeforeOutput, kStall };
+
+  TestSourceOperator(Behavior behavior, int64_t base, size_t rows)
+      : behavior_(behavior), base_(base), rows_(rows) {}
+
+  Status Open(ExecContext*) override { return Status::OK(); }
+  Status GetNext(RowBlock* out) override {
+    switch (behavior_) {
+      case Behavior::kFailBeforeOutput:
+        return Status::IoError("disk gone");
+      case Behavior::kStall:
+        // Long enough that the hedge always claims the slot first; the late
+        // push is then orphaned and the producer loop exits.
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        *out = RowBlock({TypeId::kInt64});
+        out->columns[0].ints.push_back(base_);
+        return Status::OK();
+      case Behavior::kEmit:
+        break;
+    }
+    *out = RowBlock({TypeId::kInt64});
+    if (!emitted_) {
+      emitted_ = true;
+      for (size_t r = 0; r < rows_; ++r) out->columns[0].ints.push_back(base_ + r);
+    }
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+  std::vector<TypeId> OutputTypes() const override { return {TypeId::kInt64}; }
+  std::vector<std::string> OutputNames() const override { return {"v"}; }
+  std::string DebugString() const override { return "TestSource"; }
+
+ private:
+  Behavior behavior_;
+  int64_t base_;
+  size_t rows_;
+  bool emitted_ = false;
+};
+
+// A producer that fails before pushing anything is rerouted onto its rebuild
+// factory (the "buddy copy"); the query completes with the buddy's rows and
+// the reroute counter fires. No hedge deadline needed: reroute-on-failure is
+// always on.
+TEST_F(ExecFixture, ExchangeReroutesFailedProducerToBuddy) {
+  std::vector<ExchangeProducerSpec> producers;
+  ExchangeProducerSpec spec;
+  spec.op = std::make_unique<TestSourceOperator>(
+      TestSourceOperator::Behavior::kFailBeforeOutput, 0, 0);
+  spec.origin = "node7";
+  spec.rebuild = []() -> Result<OperatorPtr> {
+    return OperatorPtr(
+        std::make_unique<TestSourceOperator>(TestSourceOperator::Behavior::kEmit, 100, 4));
+  };
+  producers.push_back(std::move(spec));
+  auto root = MakeUnionExchange(std::move(producers), "Recv", false);
+  auto rows = DrainOperator(root.get(), &ctx_);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().NumRows(), 4u);
+  EXPECT_EQ(rows.value().columns[0].ints[0], 100);
+  EXPECT_GE(stats_.exchange_reroutes.load(), 1u);
+  EXPECT_EQ(stats_.exchange_hedges.load(), 0u);
+}
+
+// When the failed producer has no buddy left (rebuild fails), the statement
+// error must carry the partition and origin node for forensics.
+TEST_F(ExecFixture, ExchangeErrorCarriesOriginAndPartition) {
+  std::vector<ExchangeProducerSpec> producers;
+  ExchangeProducerSpec spec;
+  spec.op = std::make_unique<TestSourceOperator>(
+      TestSourceOperator::Behavior::kFailBeforeOutput, 0, 0);
+  spec.origin = "node7";
+  spec.rebuild = []() -> Result<OperatorPtr> {
+    return Status::ClusterUnavailable("k-safety exhausted");
+  };
+  producers.push_back(std::move(spec));
+  auto root = MakeUnionExchange(std::move(producers), "Recv", false);
+  auto rows = DrainOperator(root.get(), &ctx_);
+  ASSERT_FALSE(rows.ok());
+  // The reroute's failure surfaces (not the original I/O error): the
+  // partition has no copies left, so a statement-level replan is pointless.
+  EXPECT_EQ(rows.status().code(), StatusCode::kClusterUnavailable);
+  EXPECT_NE(rows.status().ToString().find("exchange partition 0 (node7)"),
+            std::string::npos)
+      << rows.status().ToString();
+}
+
+// A zero-progress straggler past its deadline is hedged against the buddy;
+// the hedge claims the partition and the query returns the right rows.
+TEST_F(ExecFixture, ExchangeHedgesZeroProgressStraggler) {
+  ctx_.hedge_deadline_ms = 5;
+  ctx_.hedge_max_attempts = 2;
+  std::vector<ExchangeProducerSpec> producers;
+  ExchangeProducerSpec spec;
+  spec.op = std::make_unique<TestSourceOperator>(TestSourceOperator::Behavior::kStall,
+                                                 0, 0);
+  spec.origin = "node3";
+  spec.rebuild = []() -> Result<OperatorPtr> {
+    return OperatorPtr(
+        std::make_unique<TestSourceOperator>(TestSourceOperator::Behavior::kEmit, 500, 3));
+  };
+  producers.push_back(std::move(spec));
+  auto root = MakeUnionExchange(std::move(producers), "Recv", false);
+  auto rows = DrainOperator(root.get(), &ctx_);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().NumRows(), 3u);
+  EXPECT_EQ(rows.value().columns[0].ints[0], 500);
+  EXPECT_GE(stats_.exchange_hedges.load(), 1u);
+  ctx_.hedge_deadline_ms = 0;
+}
+
 }  // namespace
 }  // namespace stratica
