@@ -28,6 +28,7 @@ std::string QueryResult::ToString(size_t max_rows) const {
 }
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  scheduler_ = std::make_unique<Scheduler>(options_.worker_threads);
   hedge_deadline_ms_.store(options_.hedge_deadline_ms, std::memory_order_relaxed);
   fs_ = options_.fs ? options_.fs : std::make_shared<MemFileSystem>();
   ClusterConfig ccfg;
@@ -78,6 +79,7 @@ ExecContext Database::SessionContext(QuerySession* session) {
   ctx.budget = session->budget.get();
   ctx.stats = session->stats.get();
   ctx.spill_seq = spill_seq_;
+  ctx.scheduler = scheduler_.get();
   ctx.intra_node_parallelism = options_.intra_node_parallelism;
   ctx.sort_memory_bytes = options_.sort_memory_budget;
   ctx.hedge_deadline_ms = hedge_deadline_ms_.load(std::memory_order_relaxed);
@@ -96,6 +98,7 @@ ExecContext Database::MakeExecContext() {
   ctx.budget = budget_.get();
   ctx.stats = &stats_;
   ctx.spill_seq = spill_seq_;
+  ctx.scheduler = scheduler_.get();
   ctx.intra_node_parallelism = options_.intra_node_parallelism;
   ctx.sort_memory_bytes = options_.sort_memory_budget;
   ctx.hedge_deadline_ms = hedge_deadline_ms_.load(std::memory_order_relaxed);
@@ -110,7 +113,9 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
       return RunSelect(stmt.select);
     case Statement::Type::kExplain: {
       // Plans but never executes, so it bypasses admission.
-      STRATICA_ASSIGN_OR_RETURN(std::string tree, planner_->Explain(stmt.select));
+      STRATICA_ASSIGN_OR_RETURN(
+          std::string tree,
+          planner_->Explain(stmt.select, options_.intra_node_parallelism));
       QueryResult result;
       result.message = tree;
       return result;
@@ -180,11 +185,23 @@ Result<QueryResult> Database::RunSelect(const SelectStmt& stmt) {
   constexpr int kMaxPlanAttempts = 3;
   Status last;
   for (int attempt = 0; attempt < kMaxPlanAttempts; ++attempt) {
-    STRATICA_ASSIGN_OR_RETURN(PhysicalPlan plan, planner_->PlanSelect(stmt));
+    STRATICA_ASSIGN_OR_RETURN(
+        PhysicalPlan plan,
+        planner_->PlanSelect(stmt, options_.intra_node_parallelism));
     STRATICA_ASSIGN_OR_RETURN(QuerySession session,
                               AdmitQuery(plan.estimated_memory_bytes));
+    // The admission reservation is the one budget covering the query's
+    // worker fan-out (DESIGN.md §12): when the pool granted less than the
+    // plan assumed, replan at the proportionally smaller fan-out so
+    // per-fragment memory stays as estimated.
+    size_t allowed = ResourceManager::AllowedFanout(
+        session.ticket.bytes(), plan.estimated_memory_bytes, plan.fanout);
+    if (allowed < plan.fanout) {
+      STRATICA_ASSIGN_OR_RETURN(plan, planner_->PlanSelect(stmt, allowed));
+    }
     if (attempt > 0) session.stats->reads_failed_over.fetch_add(1);
     ExecContext ctx = SessionContext(&session);
+    ctx.intra_node_parallelism = plan.fanout;
     auto rows = DrainOperator(plan.root.get(), &ctx);
     // Tear the operator tree down before the session: on the error path
     // DrainOperator leaves exchange producer threads running, and they hold
@@ -224,12 +241,15 @@ Status Database::RunTupleMover() { return cluster_->RunTupleMover(); }
 
 void Database::StartBackgroundTupleMover() {
   std::lock_guard lock(tm_mu_);
-  if (tm_thread_.joinable()) return;  // already running
+  if (tm_task_.joinable()) return;  // already running
   auto stop = std::make_shared<std::atomic<bool>>(false);
   tm_stop_ = stop;
   uint32_t interval_ms =
       options_.tuple_mover_interval_ms > 0 ? options_.tuple_mover_interval_ms : 100;
-  tm_thread_ = std::thread([this, stop, interval_ms] {
+  // A pinned task on the unified pool (DESIGN.md §12): background storage
+  // work shares the query scheduler's cached reservoir instead of owning a
+  // raw thread.
+  tm_task_ = scheduler_->StartPinned([this, stop, interval_ms] {
     std::unique_lock lock(tm_mu_);
     while (!stop->load()) {
       if (tm_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
@@ -246,17 +266,17 @@ void Database::StartBackgroundTupleMover() {
 }
 
 void Database::StopBackgroundTupleMover() {
-  std::thread finished;
+  Scheduler::Pinned finished;
   {
     std::lock_guard lock(tm_mu_);
-    if (!tm_thread_.joinable()) return;
+    if (!tm_task_.joinable()) return;
     tm_stop_->store(true);
-    // Hand the thread out under the mutex so a concurrent Start sees the
+    // Hand the task out under the mutex so a concurrent Start sees the
     // service as stopped and can launch a fresh one (with its own flag).
-    finished = std::move(tm_thread_);
+    finished = std::move(tm_task_);
   }
   tm_cv_.notify_all();
-  finished.join();
+  finished.Join();
 }
 
 Result<QueryResult> Database::RunInsert(const InsertStmt& stmt) {

@@ -17,6 +17,7 @@
 
 #include "cluster/cluster.h"
 #include "exec/resource_manager.h"
+#include "exec/scheduler.h"
 #include "opt/planner.h"
 #include "sql/parser.h"
 
@@ -38,7 +39,12 @@ struct DatabaseOptions {
   /// Per-Sort buffering ceiling before run generation spills to disk
   /// (external sort, DESIGN.md §8). 0 disables the cap.
   size_t sort_memory_budget = 64ull << 20;
+  /// Morsel fragments per scan unit in SELECT plans (DESIGN.md §12);
+  /// admission may scale a query's fan-out down when the pool is tight.
   size_t intra_node_parallelism = 4;
+  /// Worker threads of the database's Scheduler (the unified pool running
+  /// morsel tasks and pinned pipeline drivers). 0 = hardware concurrency.
+  size_t worker_threads = 0;
   /// Straggler hedging for exchanges (DESIGN.md §11): a producer pipeline
   /// with zero progress by this deadline is speculatively re-issued against
   /// a buddy copy; the deadline doubles per attempt. 0 disables hedging
@@ -114,6 +120,9 @@ class Database {
   /// its own ExecStats, merged here on completion).
   ExecStats* stats() { return &stats_; }
   ResourceManager* resource_manager() { return resource_manager_.get(); }
+  /// The unified worker pool (DESIGN.md §12): morsel tasks, exchange
+  /// producers and the background tuple mover all run here.
+  Scheduler* scheduler() { return scheduler_.get(); }
 
   /// Execution context for hand-built operator trees (benches). Shares the
   /// database-wide cumulative stats and budget: single-caller use only.
@@ -142,6 +151,9 @@ class Database {
                                Transaction* txn, RowBlock* deleted_rows);
 
   DatabaseOptions options_;
+  /// Declared first so it is destroyed last: query teardown and the tuple
+  /// mover join their pinned tasks while the pool must still be alive.
+  std::unique_ptr<Scheduler> scheduler_;
   /// Live hedging deadline (seeded from options_, see SetHedgeDeadlineMs).
   std::atomic<uint64_t> hedge_deadline_ms_{0};
   std::shared_ptr<FileSystem> fs_;
@@ -155,10 +167,11 @@ class Database {
   /// spills never collide on a file name.
   std::shared_ptr<std::atomic<uint64_t>> spill_seq_;
 
-  // Background tuple-mover service. Each service thread owns its stop
-  // flag, so a Start racing an in-progress Stop launches a fresh thread
-  // instead of silently no-oping (or resurrecting the stopping one).
-  std::thread tm_thread_;
+  // Background tuple-mover service: a pinned task on the scheduler's
+  // reservoir. Each service task owns its stop flag, so a Start racing an
+  // in-progress Stop launches a fresh task instead of silently no-oping
+  // (or resurrecting the stopping one).
+  Scheduler::Pinned tm_task_;
   std::mutex tm_mu_;
   std::condition_variable tm_cv_;
   std::shared_ptr<std::atomic<bool>> tm_stop_;

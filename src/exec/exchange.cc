@@ -39,7 +39,7 @@ ExchangeState::~ExchangeState() {
     // A failed query can destroy the tree without draining or closing every
     // consumer; producers may be blocked in Push waiting for queue room.
     // Cancel first or the joins below deadlock. cancelled_ also stops any
-    // further hedge/reroute spawns, so iterating threads_ below is safe.
+    // further hedge/reroute spawns, so joining below is safe.
     // Abandoning every source keeps the joins short: a producer mid-scan on
     // a straggler bails after its current storage op instead of finishing.
     std::unique_lock lock(mu_);
@@ -47,9 +47,16 @@ ExchangeState::~ExchangeState() {
     for (auto& s : slots_) AbandonLosers(s, -1);
     cv_.notify_all();
   }
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
+  JoinProducers();
+}
+
+void ExchangeState::JoinProducers() {
+  std::vector<Scheduler::Pinned> tasks;
+  {
+    std::lock_guard lock(mu_);
+    tasks.swap(tasks_);
   }
+  for (auto& t : tasks) t.Join();
 }
 
 void ExchangeState::Start(ExecContext* ctx) {
@@ -59,6 +66,8 @@ void ExchangeState::Start(ExecContext* ctx) {
   ctx_ = ctx;
   hedge_deadline_ms_ = ctx ? ctx->hedge_deadline_ms : 0;
   max_sources_ = 1 + (ctx ? ctx->hedge_max_attempts : 0);
+  scheduler_ = (ctx && ctx->scheduler) ? ctx->scheduler : Scheduler::Default();
+  consumer_abandon_ = ctx ? ctx->abandon : nullptr;
   if (producers_.empty()) {
     CloseAll();
     return;
@@ -71,7 +80,8 @@ void ExchangeState::Start(ExecContext* ctx) {
   }
   for (size_t p = 0; p < producers_.size(); ++p) {
     Operator* op = producers_[p].get();
-    threads_.emplace_back([this, p, op, ctx] { ProducerLoop(p, /*source=*/0, op, ctx); });
+    tasks_.push_back(scheduler_->StartPinned(
+        [this, p, op, ctx] { ProducerLoop(p, /*source=*/0, op, ctx); }));
   }
 }
 
@@ -102,12 +112,21 @@ bool ExchangeState::Push(size_t slot, int source, size_t c, RowBlock block) {
 }
 
 void ExchangeState::ConsumerClosed() {
-  std::unique_lock lock(mu_);
-  if (++consumers_closed_ >= queues_.size()) {
-    cancelled_ = true;
-    for (auto& s : slots_) AbandonLosers(s, -1);
-    cv_.notify_all();
+  bool last = false;
+  {
+    std::unique_lock lock(mu_);
+    if (++consumers_closed_ >= queues_.size()) {
+      cancelled_ = true;
+      for (auto& s : slots_) AbandonLosers(s, -1);
+      cv_.notify_all();
+      last = true;
+    }
   }
+  // DESIGN.md §12 invariant: once the last consumer closes, every producer
+  // task is joined before Close returns — cancellation + abandonment above
+  // keeps the joins short, and nothing downstream can observe a worker
+  // touching plan state after teardown.
+  if (last) JoinProducers();
 }
 
 void ExchangeState::CloseAll() {
@@ -136,7 +155,7 @@ void ExchangeState::SpawnBackup(size_t slot, ExecContext* ctx) {
   int source = static_cast<int>(slots_[slot].attempts) - 1;
   slots_[slot].abandons.resize(static_cast<size_t>(source) + 1);
   slots_[slot].abandons[source] = std::make_shared<std::atomic<bool>>(false);
-  threads_.emplace_back([this, slot, source, ctx] {
+  tasks_.push_back(scheduler_->StartPinned([this, slot, source, ctx] {
     // Plan the replacement pipeline outside mu_: rebuild consults the
     // cluster for a healthy buddy and may do real work.
     Result<OperatorPtr> rebuilt = slots_[slot].rebuild();
@@ -151,7 +170,7 @@ void ExchangeState::SpawnBackup(size_t slot, ExecContext* ctx) {
       op = backup_ops_.back().get();
     }
     ProducerLoop(slot, source, op, ctx);
-  });
+  }));
 }
 
 ExchangeState::Clock::time_point ExchangeState::MaybeHedge(ExecContext* ctx) {
@@ -245,20 +264,25 @@ void ExchangeState::FinishSource(size_t slot, int source, Status st,
 void ExchangeState::ProducerLoop(size_t slot, int source, Operator* op,
                                  ExecContext* ctx) {
   // Run the pipeline under a private copy of the query context carrying this
-  // source's abandon flag. Only the operator calls below see the copy — the
-  // original `ctx` goes to FinishSource, which may capture it into a backup
-  // thread outliving this stack frame.
+  // source's abandon flag and a thread-local ExecStats — hot-path counters
+  // touch no shared cache line; they merge into the query's stats at the
+  // pipeline barrier below (DESIGN.md §12). Only the operator calls see the
+  // copy — the original `ctx` goes to FinishSource, which may capture it
+  // into a backup task outliving this stack frame.
   std::shared_ptr<std::atomic<bool>> abandon;
+  std::shared_ptr<ExecStats> local_stats = std::make_shared<ExecStats>();
   {
     std::lock_guard lock(mu_);
     auto& flags = slots_[slot].abandons;
     if (static_cast<size_t>(source) < flags.size()) abandon = flags[source];
+    source_stats_.push_back(local_stats);
   }
   ExecContext pctx;
   ExecContext* op_ctx = ctx;
   if (ctx != nullptr) {
     pctx = *ctx;
     pctx.abandon = abandon.get();
+    if (ctx->stats != nullptr) pctx.stats = local_stats.get();
     op_ctx = &pctx;
   }
   Status st = op->Open(op_ctx);
@@ -291,6 +315,12 @@ void ExchangeState::ProducerLoop(size_t slot, int source, Operator* op,
     if (!alive) break;  // exchange cancelled, or this source lost its claim
   }
   if (st.ok()) st = op->Close();
+  // Pipeline barrier: fold this source's thread-local counters into the
+  // query's stats exactly once, before the slot resolves. Orphaned hedges
+  // merge too — their scanned rows were really scanned, as before. (On
+  // error paths nested workers may still bump *local_stats afterwards; the
+  // state owns the object, so that is safe, merely uncounted.)
+  if (ctx != nullptr && ctx->stats != nullptr) ctx->stats->MergeFrom(*local_stats);
   FinishSource(slot, source, std::move(st), ctx);
 }
 
@@ -309,15 +339,30 @@ Status ExchangeState::Pop(size_t c, RowBlock* out) {
       out->columns.clear();
       return Status::OK();  // EOF: empty block with no columns
     }
+    if (consumer_abandon_ != nullptr &&
+        consumer_abandon_->load(std::memory_order_relaxed)) {
+      // The pipeline this exchange feeds was itself abandoned (we are a
+      // nested exchange under a hedged-past or cancelled producer). Cancel
+      // so our own producers' abandon flags rise — this is how abandonment
+      // reaches every morsel worker through nested exchanges — and return
+      // EOF; the dropped output was unwanted anyway.
+      cancelled_ = true;
+      for (auto& s : slots_) AbandonLosers(s, -1);
+      cv_.notify_all();
+      out->Clear();
+      out->columns.clear();
+      return Status::OK();
+    }
+    // Bounded waits: a starving consumer doubles as the hedging clock when
+    // hedging is on, and either way it must wake to notice consumer-side
+    // abandonment (there is no cv signal for a flag set by another
+    // exchange).
+    auto poll = Clock::now() + std::chrono::milliseconds(10);
     if (hedge_deadline_ms_ > 0) {
-      // Starving consumers double as the hedging clock: check overdue
-      // zero-progress producers, then sleep until the next deadline.
       auto due = MaybeHedge(ctx_);
-      if (due == Clock::time_point::max()) {
-        cv_.wait(lock);
-      } else {
-        cv_.wait_until(lock, due);
-      }
+      cv_.wait_until(lock, std::min(due, poll));
+    } else if (consumer_abandon_ != nullptr) {
+      cv_.wait_until(lock, poll);
     } else {
       cv_.wait(lock);
     }

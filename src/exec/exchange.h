@@ -15,6 +15,13 @@
 // zero-progress pipelines are ever duplicated, so the first source to emit a
 // block claims the partition and exactly-once output needs no cross-source
 // dedup.
+//
+// Producers run as pinned tasks on the query's Scheduler (DESIGN.md §12) —
+// the unified worker pool — each under a private ExecContext whose
+// thread-local ExecStats merge into the query's stats when the source
+// finishes (the pipeline barrier). When the last consumer closes, the
+// exchange cancels and JOINS every producer task before Close returns, so
+// no worker touches plan state after teardown.
 #ifndef STRATICA_EXEC_EXCHANGE_H_
 #define STRATICA_EXEC_EXCHANGE_H_
 
@@ -24,9 +31,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 
 #include "exec/operator.h"
+#include "exec/scheduler.h"
 
 namespace stratica {
 
@@ -55,7 +62,9 @@ class ExchangeState {
 
   ~ExchangeState();
 
-  /// Launch producer threads (idempotent; first consumer Open calls this).
+  /// Launch producers as pinned scheduler tasks (idempotent; first consumer
+  /// Open calls this). Uses ctx->scheduler, falling back to the process-wide
+  /// default pool for hand-built trees.
   void Start(ExecContext* ctx);
 
   /// Pop the next block for consumer `c`; empty block = EOF. Doubles as the
@@ -63,7 +72,9 @@ class ExchangeState {
   Status Pop(size_t c, RowBlock* out);
 
   /// Called by consumer Close; when every consumer has closed, producers
-  /// are cancelled so abandoned pipelines (e.g. under a LIMIT) terminate.
+  /// are cancelled AND joined before this returns (DESIGN.md §12: teardown
+  /// joins all morsel workers before operator Close), so abandoned
+  /// pipelines (e.g. under a LIMIT) terminate and release their threads.
   void ConsumerClosed();
 
   size_t num_consumers() const { return queues_.size(); }
@@ -110,10 +121,20 @@ class ExchangeState {
   Clock::time_point MaybeHedge(ExecContext* ctx);
   Status ContextualError(size_t slot, const Status& st) const;
   void CloseAll();
+  /// Join every producer task spawned so far (idempotent; never called
+  /// under mu_). No new task can be spawned once cancelled_ is set.
+  void JoinProducers();
   /// Raise the abandon flag of every source of `s` except `winner` (-1 =
   /// all). Caller holds mu_.
   static void AbandonLosers(Slot& s, int winner);
 
+  /// Thread-local per-source ExecStats, owned by the state — not the
+  /// producer's stack — because nested producer tasks can outlive their
+  /// parent source's frame on error paths (which skip Close). Merged into
+  /// the query stats at the source's pipeline barrier. Declared first so it
+  /// is destroyed after producers_/backup_ops_, whose destructors join
+  /// nested workers that may still be writing counters here.
+  std::vector<std::shared_ptr<ExecStats>> source_stats_;  ///< guarded by mu_
   std::vector<OperatorPtr> producers_;
   std::vector<uint32_t> partition_columns_;
   bool count_network_;
@@ -128,10 +149,16 @@ class ExchangeState {
   bool started_ = false;
   bool cancelled_ = false;
   Status error_;
-  ExecContext* ctx_ = nullptr;        // set at Start; outlives the threads
+  ExecContext* ctx_ = nullptr;        // set at Start; outlives the tasks
   uint64_t hedge_deadline_ms_ = 0;    // 0 = time-based hedging off
   uint32_t max_sources_ = 1;          // primary + hedges/reroutes per slot
-  std::vector<std::thread> threads_;
+  Scheduler* scheduler_ = nullptr;    // resolved at Start
+  /// Consumer-side abandonment: when this exchange itself feeds an
+  /// abandoned pipeline (a nested exchange under a hedged-past producer),
+  /// Pop notices and cancels, so abandon propagates through arbitrarily
+  /// nested exchanges down to every leaf worker.
+  const std::atomic<bool>* consumer_abandon_ = nullptr;
+  std::vector<Scheduler::Pinned> tasks_;
   static constexpr size_t kQueueCapacity = 16;
 };
 

@@ -1,6 +1,7 @@
 #include "exec/group_by.h"
 
 #include "common/hash.h"
+#include "exec/scheduler.h"
 
 namespace stratica {
 
@@ -137,7 +138,7 @@ Status HashGroupByOperator::SpillTable() {
   return Status::OK();
 }
 
-Status HashGroupByOperator::EmitTable(const Table& table) {
+Status HashGroupByOperator::EmitTable(const Table& table, std::deque<RowBlock>* dst) {
   RowBlock out(OutputTypes());
   for (size_t g = 0; g < table.states.size(); ++g) {
     for (size_t i = 0; i < spec_.group_columns.size(); ++i)
@@ -153,12 +154,40 @@ Status HashGroupByOperator::EmitTable(const Table& table) {
       }
     }
     if (out.NumRows() >= ctx_->vector_size) {
-      output_.push_back(std::move(out));
+      dst->push_back(std::move(out));
       out = RowBlock(OutputTypes());
     }
   }
-  if (out.NumRows() > 0) output_.push_back(std::move(out));
+  if (out.NumRows() > 0) dst->push_back(std::move(out));
   return Status::OK();
+}
+
+Status HashGroupByOperator::MergePartition(SpillWriter* part,
+                                           const std::vector<TypeId>& rec_types,
+                                           const std::vector<uint32_t>& key_cols,
+                                           std::deque<RowBlock>* out) {
+  SpillReader reader(ctx_->fs, part->path(), rec_types);
+  STRATICA_RETURN_NOT_OK(reader.Open());
+  Table merged;
+  merged.keys = RowBlock(GroupTypes());
+  std::vector<uint64_t> hashes;  // per-task: hash_buf_ is not shareable
+  for (;;) {
+    RowBlock rec;
+    STRATICA_RETURN_NOT_OK(reader.Next(&rec));
+    if (rec.NumRows() == 0) break;
+    HashRows(rec, key_cols, kGroupKeySeed, &hashes);
+    for (size_t r = 0; r < rec.NumRows(); ++r) {
+      uint32_t group = FindOrInsertGroup(&merged, rec, key_cols, r, hashes[r]);
+      for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+        STRATICA_ASSIGN_OR_RETURN(
+            AggState st,
+            AggState::Parse(spec_.aggs[a],
+                            rec.columns[key_cols.size() + a].strings[r]));
+        merged.states[group][a].Merge(spec_.aggs[a], st);
+      }
+    }
+  }
+  return EmitTable(merged, out);
 }
 
 Status HashGroupByOperator::Open(ExecContext* ctx) {
@@ -182,39 +211,36 @@ Status HashGroupByOperator::Open(ExecContext* ctx) {
   }
 
   if (partitions_.empty()) {
-    STRATICA_RETURN_NOT_OK(EmitTable(table_));
+    STRATICA_RETURN_NOT_OK(EmitTable(table_, &output_));
   } else {
-    // Flush the tail, then merge each grace partition in memory.
+    // Flush the tail, then merge the grace partitions. Partitions are
+    // hash-disjoint — no group spans two — so they re-aggregate as
+    // independent tasks on the query's worker pool (DESIGN.md §12); outputs
+    // splice back in partition order, keeping emission deterministic.
     STRATICA_RETURN_NOT_OK(SpillTable());
     std::vector<TypeId> rec_types = GroupTypes();
     for (size_t a = 0; a < spec_.aggs.size(); ++a) rec_types.push_back(TypeId::kString);
     std::vector<uint32_t> key_cols(spec_.group_columns.size());
     for (size_t i = 0; i < key_cols.size(); ++i) key_cols[i] = static_cast<uint32_t>(i);
-    for (auto& part : partitions_) {
-      STRATICA_RETURN_NOT_OK(part->Finish());
-      SpillReader reader(ctx_->fs, part->path(), rec_types);
-      STRATICA_RETURN_NOT_OK(reader.Open());
-      Table merged;
-      merged.keys = RowBlock(GroupTypes());
-      for (;;) {
-        RowBlock rec;
-        STRATICA_RETURN_NOT_OK(reader.Next(&rec));
-        if (rec.NumRows() == 0) break;
-        HashRows(rec, key_cols, kGroupKeySeed, &hash_buf_);
-        for (size_t r = 0; r < rec.NumRows(); ++r) {
-          uint32_t group =
-              FindOrInsertGroup(&merged, rec, key_cols, r, hash_buf_[r]);
-          for (size_t a = 0; a < spec_.aggs.size(); ++a) {
-            STRATICA_ASSIGN_OR_RETURN(
-                AggState st,
-                AggState::Parse(spec_.aggs[a],
-                                rec.columns[key_cols.size() + a].strings[r]));
-            merged.states[group][a].Merge(spec_.aggs[a], st);
-          }
-        }
-      }
-      STRATICA_RETURN_NOT_OK(EmitTable(merged));
-      (void)ctx_->fs->Delete(part->path());
+    for (auto& part : partitions_) STRATICA_RETURN_NOT_OK(part->Finish());
+    std::vector<std::deque<RowBlock>> part_out(partitions_.size());
+    std::vector<Status> part_status(partitions_.size());
+    auto merge_one = [&](size_t p) {
+      part_status[p] =
+          MergePartition(partitions_[p].get(), rec_types, key_cols, &part_out[p]);
+    };
+    if (ctx_->scheduler != nullptr && ctx_->intra_node_parallelism > 1) {
+      Scheduler::TaskSet tasks(ctx_->scheduler);
+      for (size_t p = 0; p < partitions_.size(); ++p)
+        tasks.Submit([&merge_one, p] { merge_one(p); });
+      tasks.Wait();
+    } else {
+      for (size_t p = 0; p < partitions_.size(); ++p) merge_one(p);
+    }
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      STRATICA_RETURN_NOT_OK(part_status[p]);
+      for (auto& block : part_out[p]) output_.push_back(std::move(block));
+      (void)ctx_->fs->Delete(partitions_[p]->path());
     }
   }
   // SQL: aggregation without GROUP BY yields exactly one row even over

@@ -27,7 +27,11 @@ struct GroupBySpec {
   std::vector<std::string> output_names;  ///< group names then agg names
 };
 
-/// \brief Hash aggregation with grace-partition externalization.
+/// \brief Hash aggregation with grace-partition externalization. When the
+/// table exceeds its budget, groups spill to 16 hash-disjoint partitions;
+/// at end of input the partitions merge back — as independent work-stealing
+/// tasks on the query's Scheduler when one is installed (DESIGN.md §12),
+/// since no group can span two partitions.
 class HashGroupByOperator : public Operator {
  public:
   HashGroupByOperator(OperatorPtr child, GroupBySpec spec)
@@ -60,7 +64,12 @@ class HashGroupByOperator : public Operator {
                              const std::vector<uint32_t>& key_cols, size_t row,
                              uint64_t h);
   Status SpillTable();
-  Status EmitTable(const Table& table);
+  Status EmitTable(const Table& table, std::deque<RowBlock>* out);
+  /// Re-aggregate one grace partition into `out`. Touches only the
+  /// partition's own reader/table/buffers, so partitions merge in parallel.
+  Status MergePartition(SpillWriter* part, const std::vector<TypeId>& rec_types,
+                        const std::vector<uint32_t>& key_cols,
+                        std::deque<RowBlock>* out);
   std::vector<TypeId> GroupTypes() const;
 
   OperatorPtr child_;

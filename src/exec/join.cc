@@ -2,6 +2,7 @@
 
 #include "common/hash.h"
 #include "exec/group_by.h"
+#include "exec/scheduler.h"
 #include "storage/sort_util.h"
 
 namespace stratica {
@@ -38,6 +39,139 @@ void AppendNullRow(RowBlock* out, size_t first_col, const std::vector<TypeId>& t
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// SharedJoinBuild
+
+SharedJoinBuild::SharedJoinBuild(OperatorPtr build, JoinSpec spec, size_t fanout)
+    : build_(std::move(build)),
+      spec_(std::move(spec)),
+      fanout_(fanout == 0 ? 1 : fanout),
+      open_fragments_(fanout == 0 ? 1 : fanout) {
+  size_t shards = 1;
+  while (shards < fanout_ && shards < 64) shards <<= 1;
+  shards_.resize(shards);
+  shard_mask_ = shards - 1;
+}
+
+Status SharedJoinBuild::Ensure(ExecContext* ctx) {
+  std::lock_guard lock(mu_);
+  if (done_) return status_;
+  done_ = true;
+  status_ = Build(ctx);
+  return status_;
+}
+
+Status SharedJoinBuild::Build(ExecContext* ctx) {
+  rows_ = RowBlock(build_->OutputTypes());
+  STRATICA_RETURN_NOT_OK(build_->Open(ctx));
+  for (;;) {
+    RowBlock block;
+    STRATICA_RETURN_NOT_OK(build_->GetNext(&block));
+    if (block.NumRows() == 0) break;
+    block.DecodeAll();
+    size_t block_bytes = block.MemoryBytes();
+    if (ctx->budget && !ctx->budget->TryReserve(block_bytes)) {
+      // Same runtime switch as the serial join: spool the build rows to one
+      // spill file; every fragment then sort-merges its own probe subset
+      // against the full spilled build (their union is the unit's result).
+      if (ctx->stats) ctx->stats->hash_to_merge_switches.fetch_add(1);
+      SpillWriter writer(ctx->fs, ctx->NextSpillPath());
+      STRATICA_RETURN_NOT_OK(writer.Append(rows_));
+      STRATICA_RETURN_NOT_OK(writer.Append(block));
+      for (;;) {
+        RowBlock more;
+        STRATICA_RETURN_NOT_OK(build_->GetNext(&more));
+        if (more.NumRows() == 0) break;
+        more.DecodeAll();
+        STRATICA_RETURN_NOT_OK(writer.Append(more));
+      }
+      STRATICA_RETURN_NOT_OK(writer.Finish());
+      if (ctx->stats) {
+        ctx->stats->rows_spilled.fetch_add(writer.rows());
+        ctx->stats->spill_files.fetch_add(1);
+      }
+      STRATICA_RETURN_NOT_OK(build_->Close());
+      ctx->budget->Release(bytes_);
+      bytes_ = 0;
+      rows_ = RowBlock(build_->OutputTypes());
+      spilled_ = true;
+      spill_path_ = writer.path();
+      return Status::OK();
+    }
+    bytes_ += block_bytes;
+    for (size_t r = 0; r < block.NumRows(); ++r) rows_.AppendRowFrom(block, r);
+  }
+  STRATICA_RETURN_NOT_OK(build_->Close());
+
+  // Partitioned parallel build: hash every row once, then one task per
+  // shard inserts the rows whose high hash bits select it. Each task owns
+  // its shard exclusively, so no insert synchronizes with another.
+  size_t n = rows_.NumRows();
+  std::vector<uint64_t> hashes;
+  std::vector<uint8_t> null_keys;
+  HashRows(rows_, spec_.build_keys, kGroupKeySeed, &hashes);
+  NullKeyMask(rows_, spec_.build_keys, &null_keys);
+  size_t num_shards = shards_.size();
+  auto insert_shard = [&](size_t s) {
+    Shard& sh = shards_[s];
+    sh.table.Reserve(n / num_shards + 16);
+    for (size_t r = 0; r < n; ++r) {
+      // NULL keys never match a probe; with RIGHT/FULL excluded from shared
+      // builds, the rows need not enter the table at all.
+      if (null_keys[r]) continue;
+      uint64_t h = hashes[r];
+      if (((h >> 32) & shard_mask_) != s) continue;
+      sh.table.Insert(h);
+      sh.rows.push_back(static_cast<uint32_t>(r));
+    }
+  };
+  constexpr size_t kParallelBuildMinRows = 8192;
+  if (ctx->scheduler != nullptr && num_shards > 1 && n >= kParallelBuildMinRows) {
+    Scheduler::TaskSet tasks(ctx->scheduler);
+    for (size_t s = 0; s < num_shards; ++s) tasks.Submit([&insert_shard, s] { insert_shard(s); });
+    tasks.Wait();
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) insert_shard(s);
+  }
+
+  // Publish the SIP filter exactly once, before any fragment's probe scan
+  // opens (they are all blocked in Ensure until this returns).
+  if (spec_.sip) {
+    bool single_int_key =
+        spec_.build_keys.size() == 1 &&
+        StorageClassOf(rows_.columns[spec_.build_keys[0]].type) ==
+            StorageClass::kInt64;
+    HashRows(rows_, spec_.build_keys, kSipSeed, &hashes);
+    bool first = true;
+    for (size_t r = 0; r < n; ++r) {
+      if (null_keys[r]) continue;
+      spec_.sip->key_hashes.Insert(hashes[r]);
+      if (single_int_key) {
+        int64_t v = rows_.columns[spec_.build_keys[0]].ints[r];
+        if (first) {
+          spec_.sip->min = spec_.sip->max = v;
+          first = false;
+        } else {
+          spec_.sip->min = std::min(spec_.sip->min, v);
+          spec_.sip->max = std::max(spec_.sip->max, v);
+        }
+      }
+    }
+    spec_.sip->has_range = single_int_key && !first;
+    spec_.sip->ready.store(true, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+void SharedJoinBuild::FragmentClosed(ExecContext* ctx) {
+  std::lock_guard lock(mu_);
+  if (open_fragments_ == 0) return;
+  if (--open_fragments_ == 0 && ctx != nullptr && ctx->budget != nullptr) {
+    ctx->budget->Release(bytes_);
+    bytes_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // HashJoinOperator
 
 std::vector<TypeId> HashJoinOperator::OutputTypes() const {
@@ -46,7 +180,8 @@ std::vector<TypeId> HashJoinOperator::OutputTypes() const {
   if (fallback_) return fallback_->OutputTypes();
   std::vector<TypeId> t = probe_->OutputTypes();
   if (!ProbeOnlyOutput(spec_.type)) {
-    for (TypeId bt : build_->OutputTypes()) t.push_back(bt);
+    for (TypeId bt : shared_ ? shared_->OutputTypes() : build_->OutputTypes())
+      t.push_back(bt);
   }
   return t;
 }
@@ -55,13 +190,20 @@ std::vector<std::string> HashJoinOperator::OutputNames() const {
   if (fallback_) return fallback_->OutputNames();
   std::vector<std::string> n = probe_->OutputNames();
   if (!ProbeOnlyOutput(spec_.type)) {
-    for (const auto& bn : build_->OutputNames()) n.push_back(bn);
+    for (const auto& bn : shared_ ? shared_->OutputNames() : build_->OutputNames())
+      n.push_back(bn);
   }
   return n;
 }
 
 std::vector<Operator*> HashJoinOperator::Children() const {
   if (fallback_) return {fallback_.get()};
+  // Shared build: the designated fragment exposes the build subtree so
+  // EXPLAIN and plan-memory estimation see it exactly once.
+  if (shared_) {
+    if (show_build_) return {probe_.get(), shared_->child()};
+    return {probe_.get()};
+  }
   return {probe_.get(), build_.get()};
 }
 
@@ -166,6 +308,30 @@ Status HashJoinOperator::Open(ExecContext* ctx) {
   emitting_unmatched_ = false;
   probe_cursor_ = 0;
   unmatched_cursor_ = 0;
+  if (shared_) {
+    if (spec_.type == JoinType::kRight || spec_.type == JoinType::kFull) {
+      return Status::InvalidArgument(
+          "shared join build cannot serve ", JoinTypeName(spec_.type),
+          ": unmatched build rows must be emitted exactly once");
+    }
+    STRATICA_RETURN_NOT_OK(shared_->Ensure(ctx));
+    if (shared_->spilled()) {
+      std::vector<SortKey> lkeys, rkeys;
+      for (uint32_t k : spec_.probe_keys) lkeys.push_back({k, false});
+      for (uint32_t k : spec_.build_keys) rkeys.push_back({k, false});
+      auto spill_src = std::make_unique<SpillSourceOperator>(
+          shared_->spill_path(), shared_->OutputTypes(), shared_->OutputNames());
+      auto sorted_build =
+          std::make_unique<SortOperator>(std::move(spill_src), rkeys);
+      auto sorted_probe = std::make_unique<SortOperator>(std::move(probe_), lkeys);
+      JoinSpec mj_spec = spec_;
+      mj_spec.sip = nullptr;
+      fallback_ = std::make_unique<MergeJoinOperator>(
+          std::move(sorted_probe), std::move(sorted_build), mj_spec);
+      return fallback_->Open(ctx);
+    }
+    return probe_->Open(ctx);
+  }
   STRATICA_RETURN_NOT_OK(build_->Open(ctx));
   STRATICA_RETURN_NOT_OK(BuildTable());
   if (fallback_) return Status::OK();  // probe was consumed by the fallback
@@ -192,6 +358,10 @@ Status HashJoinOperator::GetNext(RowBlock* out) {
   *out = RowBlock(OutputTypes());
   bool build_output = !ProbeOnlyOutput(spec_.type);
   size_t probe_width = probe_->OutputTypes().size();
+  // Shared-build mode reads the sibling-shared row store and sharded
+  // tables; the serial mode owns both. Either way `brows` rows are indexed
+  // by the global ids collected into build_idx below.
+  const RowBlock& brows = shared_ ? shared_->rows() : build_rows_;
 
   // Process one whole probe block per call: match indexes are collected
   // first, then columns materialize with typed batch gathers.
@@ -210,7 +380,16 @@ Status HashJoinOperator::GetNext(RowBlock* out) {
     HashRows(probe_block_, spec_.probe_keys, kGroupKeySeed, &hash_buf_);
     NullKeyMask(probe_block_, spec_.probe_keys, &null_key_buf_);
     head_buf_.resize(n);
-    index_.ProbeBatch(hash_buf_.data(), n, head_buf_.data());
+    if (shared_) {
+      for (size_t r = 0; r < n; ++r) {
+        head_buf_[r] = null_key_buf_[r]
+                           ? FlatHashTable::kNone
+                           : shared_->ProbeHead(shared_->ShardOf(hash_buf_[r]),
+                                                hash_buf_[r]);
+      }
+    } else {
+      index_.ProbeBatch(hash_buf_.data(), n, head_buf_.data());
+    }
     // Single int-class key fast path: candidates reached via the chain have
     // non-NULL build keys (NULL-key rows are unlinked) and the probe row's
     // key is non-NULL when we get here, so raw value compare suffices.
@@ -219,34 +398,38 @@ Status HashJoinOperator::GetNext(RowBlock* out) {
     if (spec_.probe_keys.size() == 1 &&
         StorageClassOf(probe_block_.columns[spec_.probe_keys[0]].type) ==
             StorageClass::kInt64 &&
-        StorageClassOf(build_rows_.columns[spec_.build_keys[0]].type) ==
+        StorageClassOf(brows.columns[spec_.build_keys[0]].type) ==
             StorageClass::kInt64) {
       probe_ints = probe_block_.columns[spec_.probe_keys[0]].ints.data();
-      build_ints = build_rows_.columns[spec_.build_keys[0]].ints.data();
+      build_ints = brows.columns[spec_.build_keys[0]].ints.data();
     }
     for (size_t r = 0; r < n; ++r) {
       size_t matches = 0;
       if (!null_key_buf_[r]) {
+        uint32_t shard = shared_ ? shared_->ShardOf(hash_buf_[r]) : 0;
         for (uint32_t e = head_buf_[r]; e != FlatHashTable::kNone;
-             e = index_.Next(e)) {
+             e = shared_ ? shared_->NextInShard(shard, e) : index_.Next(e)) {
+          uint32_t br = shared_ ? shared_->GlobalRow(shard, e) : e;
           bool eq;
           if (probe_ints) {
-            eq = probe_ints[r] == build_ints[e];
+            eq = probe_ints[r] == build_ints[br];
           } else {
             eq = true;
             for (size_t k = 0; k < spec_.probe_keys.size() && eq; ++k) {
               eq = ColumnVector::CompareEntries(
                        probe_block_.columns[spec_.probe_keys[k]], r,
-                       build_rows_.columns[spec_.build_keys[k]], e) == 0;
+                       brows.columns[spec_.build_keys[k]], br) == 0;
             }
           }
           if (!eq) continue;
           ++matches;
-          build_matched_[e] = 1;
+          // Matched bits feed RIGHT/FULL emission only; shared builds never
+          // serve those types, so sibling fragments need not synchronize.
+          if (!shared_) build_matched_[br] = 1;
           if (spec_.type == JoinType::kSemi || spec_.type == JoinType::kAnti) break;
           if (build_output) {
             probe_idx.push_back(static_cast<uint32_t>(r));
-            build_idx.push_back(e);
+            build_idx.push_back(br);
           }
         }
       }
@@ -261,8 +444,8 @@ Status HashJoinOperator::GetNext(RowBlock* out) {
       out->columns[c].AppendGather(probe_block_.columns[c], probe_idx);
     }
     if (build_output) {
-      for (size_t c = 0; c < build_rows_.NumColumns(); ++c) {
-        out->columns[probe_width + c].AppendGather(build_rows_.columns[c], build_idx);
+      for (size_t c = 0; c < brows.NumColumns(); ++c) {
+        out->columns[probe_width + c].AppendGather(brows.columns[c], build_idx);
       }
     }
     if (!lonely_probe.empty()) {
@@ -270,7 +453,7 @@ Status HashJoinOperator::GetNext(RowBlock* out) {
         out->columns[c].AppendGather(probe_block_.columns[c], lonely_probe);
       }
       if (build_output) {
-        auto build_types = build_->OutputTypes();
+        auto build_types = shared_ ? shared_->OutputTypes() : build_->OutputTypes();
         for (size_t i = 0; i < lonely_probe.size(); ++i) {
           AppendNullRow(out, probe_width, build_types);
         }
@@ -290,7 +473,15 @@ Status HashJoinOperator::GetNext(RowBlock* out) {
 }
 
 Status HashJoinOperator::Close() {
-  if (fallback_) return fallback_->Close();
+  if (fallback_) {
+    // A shared build that spilled still holds a fragment slot.
+    if (shared_) shared_->FragmentClosed(ctx_);
+    return fallback_->Close();
+  }
+  if (shared_) {
+    shared_->FragmentClosed(ctx_);  // last fragment releases the build bytes
+    return probe_->Close();
+  }
   if (ctx_ && ctx_->budget) ctx_->budget->Release(build_bytes_);
   build_bytes_ = 0;
   return probe_->Close();
@@ -299,6 +490,7 @@ Status HashJoinOperator::Close() {
 std::string HashJoinOperator::DebugString() const {
   std::string s = std::string("JoinHash(") + JoinTypeName(spec_.type);
   if (spec_.sip) s += ", SIP";
+  if (shared_) s += ", shared build /" + std::to_string(shared_->fanout());
   if (fallback_) s += ", switched to sort-merge at runtime";
   return s + ")";
 }

@@ -13,6 +13,9 @@
 #ifndef STRATICA_EXEC_JOIN_H_
 #define STRATICA_EXEC_JOIN_H_
 
+#include <algorithm>
+#include <mutex>
+
 #include "exec/hash_table.h"
 #include "exec/operator.h"
 #include "exec/scan.h"
@@ -33,10 +36,106 @@ struct JoinSpec {
   std::shared_ptr<SipFilter> sip;
 };
 
+/// \brief Hash-join build side shared by sibling morsel fragments
+/// (DESIGN.md §12): the inner table of one scan unit is read and hashed
+/// once, not once per fragment.
+///
+/// The first fragment to Open executes the build under the lock: it pulls
+/// the owned build child to completion, then inserts the rows into
+/// `fanout`-sharded FlatHashTables with one work-stealing task per shard on
+/// the query's Scheduler (shard = high hash bits, so a probe derives its
+/// shard from the key hash alone and only ever reads one shard). Later
+/// fragments block until the build resolves and probe the shards read-only.
+/// NULL-key rows are dropped at build time — shared builds never serve
+/// RIGHT/FULL joins, the only types that emit unmatched build rows (they
+/// would also race the matched-bit array across fragments; the planner
+/// keeps such plans serial). If the accumulated build side exceeds the
+/// memory budget, the rows are spooled to a single spill file and every
+/// fragment independently switches to a sort-merge join over it (each
+/// fragment's probe subset against the full build unions to the exact
+/// per-unit result).
+class SharedJoinBuild {
+ public:
+  /// `spec` carries the build keys and, for the pipeline that owns SIP
+  /// publication, the SIP filter to fill. `fanout` = number of fragments
+  /// that will share this build (also the shard-parallelism target).
+  SharedJoinBuild(OperatorPtr build, JoinSpec spec, size_t fanout);
+
+  /// Run or await the build; every fragment calls this from Open and shares
+  /// the first caller's status.
+  Status Ensure(ExecContext* ctx);
+  /// Last fragment to close releases the build's budget reservation.
+  void FragmentClosed(ExecContext* ctx);
+
+  /// Valid after Ensure: the build exceeded its budget and lives in
+  /// spill_path() instead of rows()/shards.
+  bool spilled() const { return spilled_; }
+  const std::string& spill_path() const { return spill_path_; }
+  const RowBlock& rows() const { return rows_; }
+  size_t fanout() const { return fanout_; }
+  Operator* child() const { return build_.get(); }
+  std::vector<TypeId> OutputTypes() const { return build_->OutputTypes(); }
+  std::vector<std::string> OutputNames() const { return build_->OutputNames(); }
+
+  uint32_t ShardOf(uint64_t hash) const {
+    return static_cast<uint32_t>((hash >> 32) & shard_mask_);
+  }
+  /// First local entry in `shard` whose hash matches, or kNone.
+  uint32_t ProbeHead(uint32_t shard, uint64_t hash) const {
+    return shards_[shard].table.Probe(hash);
+  }
+  uint32_t NextInShard(uint32_t shard, uint32_t local) const {
+    return shards_[shard].table.Next(local);
+  }
+  /// Map a shard-local entry id to its rows() index.
+  uint32_t GlobalRow(uint32_t shard, uint32_t local) const {
+    return shards_[shard].rows[local];
+  }
+
+ private:
+  struct Shard {
+    FlatHashTable table;         ///< local dense entry ids
+    std::vector<uint32_t> rows;  ///< local entry id -> rows_ row index
+  };
+
+  Status Build(ExecContext* ctx);  ///< caller holds mu_
+
+  OperatorPtr build_;
+  JoinSpec spec_;
+  const size_t fanout_;
+  std::mutex mu_;
+  bool done_ = false;  ///< guarded by mu_, as is everything below until set
+  Status status_;
+  bool spilled_ = false;
+  std::string spill_path_;
+  RowBlock rows_;
+  std::vector<Shard> shards_;
+  size_t shard_mask_ = 0;
+  size_t bytes_ = 0;           ///< budget reservation held until last close
+  size_t open_fragments_;      ///< fragments that have not closed yet
+};
+
+/// \brief Hash join (Section 6.1 #3): consumes the inner child into a flat
+/// hash table, then streams the probe side with batched hash/probe passes.
+/// Externalizes by switching to a sort-merge join at runtime when the build
+/// would not fit, and publishes a SIP filter after an in-memory build. In
+/// morsel-fragment plans the build is a SharedJoinBuild owned jointly with
+/// sibling fragments; only the probe side is per-fragment.
 class HashJoinOperator : public Operator {
  public:
   HashJoinOperator(OperatorPtr probe, OperatorPtr build, JoinSpec spec)
       : probe_(std::move(probe)), build_(std::move(build)), spec_(std::move(spec)) {}
+
+  /// Morsel-fragment variant (DESIGN.md §12): probe against a build shared
+  /// with sibling fragments. `show_build` lets exactly one fragment expose
+  /// the build subtree via Children() so EXPLAIN and plan-memory estimation
+  /// count it once.
+  HashJoinOperator(OperatorPtr probe, std::shared_ptr<SharedJoinBuild> shared,
+                   JoinSpec spec, bool show_build = false)
+      : probe_(std::move(probe)),
+        spec_(std::move(spec)),
+        shared_(std::move(shared)),
+        show_build_(show_build) {}
 
   Status Open(ExecContext* ctx) override;
   Status GetNext(RowBlock* out) override;
@@ -46,8 +145,12 @@ class HashJoinOperator : public Operator {
   std::string DebugString() const override;
   std::vector<Operator*> Children() const override;
   size_t MemoryEstimateBytes() const override {
-    // Build-side rows + hash table up to the spill-to-merge threshold.
-    return 8 << 20;
+    // Build-side rows + hash table up to the spill-to-merge threshold. A
+    // shared build is one table split across `fanout` sibling operators, so
+    // each fragment accounts a slice and the unit totals what one serial
+    // join would have reserved.
+    size_t e = 8 << 20;
+    return shared_ ? std::max<size_t>(e / shared_->fanout(), 64 << 10) : e;
   }
 
   bool switched_to_merge() const { return fallback_ != nullptr; }
@@ -56,8 +159,10 @@ class HashJoinOperator : public Operator {
   Status BuildTable();
   Status EmitUnmatchedBuild(RowBlock* out);
 
-  OperatorPtr probe_, build_;
+  OperatorPtr probe_, build_;  ///< build_ null when shared_ is set
   JoinSpec spec_;
+  std::shared_ptr<SharedJoinBuild> shared_;
+  bool show_build_ = false;
   ExecContext* ctx_ = nullptr;
 
   RowBlock build_rows_;

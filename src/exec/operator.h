@@ -20,6 +20,8 @@
 
 namespace stratica {
 
+class Scheduler;
+
 /// Execution counters surfaced by EXPLAIN/benches.
 struct ExecStats {
   std::atomic<uint64_t> rows_scanned{0};
@@ -120,7 +122,16 @@ struct ExecContext {
   std::shared_ptr<std::atomic<uint64_t>> spill_seq =
       std::make_shared<std::atomic<uint64_t>>(0);
   size_t vector_size = kDefaultVectorSize;
-  size_t intra_node_parallelism = 4;  ///< StorageUnion worker pipelines.
+  /// Worker fan-out this query may use for intra-node parallelism: morsel
+  /// pipelines per scan unit and TaskSet width for partitioned hash builds
+  /// (DESIGN.md §12). Derived from the admission reservation — see
+  /// ResourceManager::AllowedFanout — so memory authority stays with the
+  /// resource manager. 1 = serial; ignored when `scheduler` is null.
+  size_t intra_node_parallelism = 4;
+  /// Unified worker pool (DESIGN.md §12): exchange producers, morsel
+  /// fragments, and partitioned build tasks all run here. Null = spawn
+  /// nothing in parallel (operators fall back to their serial paths).
+  Scheduler* scheduler = nullptr;
   /// Per-Sort buffering ceiling before run generation spills (Section 6.1:
   /// operators must handle inputs of any size regardless of allocated
   /// memory). Enforced even when no ResourceBudget is installed; 0 disables

@@ -70,6 +70,17 @@ Result<AdmissionTicket> ResourceManager::Admit(size_t requested_bytes) {
   return AdmissionTicket(this, bytes);
 }
 
+size_t ResourceManager::AllowedFanout(size_t granted_bytes, size_t requested_bytes,
+                                      size_t requested_fanout) {
+  if (requested_fanout <= 1) return 1;
+  if (granted_bytes >= requested_bytes || requested_bytes == 0)
+    return requested_fanout;
+  // Proportional scale-down: the grant buys granted/requested of the plan's
+  // per-fragment memory, so run that fraction of the fragments.
+  size_t allowed = (granted_bytes * requested_fanout) / requested_bytes;
+  return std::max<size_t>(allowed, 1);
+}
+
 void ResourceManager::Release(size_t bytes) {
   {
     std::lock_guard lock(mu_);

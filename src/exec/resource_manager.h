@@ -86,6 +86,15 @@ class ResourceManager {
   /// Fails with ResourceExhausted after cfg.admission_timeout.
   Result<AdmissionTicket> Admit(size_t requested_bytes);
 
+  /// Map an admission grant to intra-query worker fan-out (DESIGN.md §12):
+  /// the reservation is the single budget that covers a query's parallelism,
+  /// so when the pool clamped the request below what the plan assumed, the
+  /// fan-out scales down proportionally (keeping per-fragment memory as
+  /// planned) instead of running `requested_fanout` fragments on a smaller
+  /// budget. Never returns less than 1.
+  static size_t AllowedFanout(size_t granted_bytes, size_t requested_bytes,
+                              size_t requested_fanout);
+
   ResourceManagerStats stats() const;
   const ResourceManagerConfig& config() const { return cfg_; }
 

@@ -107,6 +107,30 @@ std::vector<std::vector<ScanRegion>> PlanScanRegions(const StorageSnapshot& snap
   return out;
 }
 
+const StorageSnapshot& MorselDispenser::EnsureSnapshot(ProjectionStorage* storage,
+                                                       Epoch epoch, uint64_t txn_id) {
+  std::lock_guard lock(mu_);
+  if (!snapped_) {
+    snap_ = storage->GetSnapshot(epoch, txn_id);
+    auto lists = PlanScanRegions(snap_, fanout_ * kMorselsPerWorker);
+    // Flatten the per-worker lists into one claim queue; the round-robin
+    // deal already interleaved containers, so consecutive claims spread
+    // across containers instead of serializing on one.
+    for (auto& list : lists) {
+      for (auto& r : list) morsels_.push_back(std::move(r));
+    }
+    snapped_ = true;
+  }
+  return snap_;
+}
+
+bool MorselDispenser::Next(ScanRegion* out) {
+  size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= morsels_.size()) return false;
+  *out = morsels_[i];
+  return true;
+}
+
 Status ScanOperator::NoteRosFailure(const Source* src, Status st) {
   if (st.ok()) return st;
   // Corruption is terminal by definition; an IoError reaching the scan has
@@ -197,7 +221,17 @@ Status ScanOperator::OpenWosSource() {
 
 Status ScanOperator::Open(ExecContext* ctx) {
   ctx_ = ctx;
-  snap_ = spec_.storage->GetSnapshot(ctx->epoch, ctx->txn_id);
+  morsel_mode_ = spec_.morsels != nullptr;
+  if (morsel_mode_) {
+    if (spec_.sorted_output) {
+      return Status::InvalidArgument("morsel scan cannot produce sorted output");
+    }
+    // All sibling fragments share the dispenser's snapshot, so every morsel
+    // is scanned exactly once against one consistent epoch/container set.
+    snap_ = spec_.morsels->EnsureSnapshot(spec_.storage, ctx->epoch, ctx->txn_id);
+  } else {
+    snap_ = spec_.storage->GetSnapshot(ctx->epoch, ctx->txn_id);
+  }
   // The planner checked liveness at plan time; re-check after snapshotting.
   // MarkNodeDown clears the flag before crashing volatile state, so a true
   // read here proves the snapshot predates any crash. A false read means the
@@ -210,7 +244,14 @@ Status ScanOperator::Open(ExecContext* ctx) {
   merger_.reset();
   sources_.clear();
   current_source_ = 0;
-  if (spec_.use_regions) {
+  if (morsel_mode_) {
+    // ROS sources open lazily as morsels are claimed (GetNext); only the
+    // WOS — one indivisible morsel — is materialized here, by the single
+    // fragment that wins the claim.
+    if (spec_.include_wos && !Abandoned() && spec_.morsels->ClaimWos()) {
+      STRATICA_RETURN_NOT_OK(OpenWosSource());
+    }
+  } else if (spec_.use_regions) {
     for (const auto& region : spec_.regions) {
       if (Abandoned()) break;
       STRATICA_RETURN_NOT_OK(OpenContainerSource(region));
@@ -559,25 +600,32 @@ Status ScanOperator::GetNext(RowBlock* out) {
   *out = RowBlock(spec_.output_types);
   if (Abandoned()) return Status::OK();  // unwanted output: clean EOF
   if (!merge_mode_) {
-    while (current_source_ < sources_.size()) {
-      Source* src = sources_[current_source_].get();
-      if (src->exhausted) {
-        ++current_source_;
-        continue;
-      }
-      if (src->current.NumRows() == 0 || src->cursor > 0) {
-        STRATICA_RETURN_NOT_OK(Advance(src));
+    for (;;) {
+      while (current_source_ < sources_.size()) {
+        Source* src = sources_[current_source_].get();
         if (src->exhausted) {
           ++current_source_;
           continue;
         }
+        if (src->current.NumRows() == 0 || src->cursor > 0) {
+          STRATICA_RETURN_NOT_OK(Advance(src));
+          if (src->exhausted) {
+            ++current_source_;
+            continue;
+          }
+        }
+        *out = std::move(src->current);
+        src->current = RowBlock(spec_.output_types);
+        src->cursor = 1;  // force re-advance next call
+        return Status::OK();
       }
-      *out = std::move(src->current);
-      src->current = RowBlock(spec_.output_types);
-      src->cursor = 1;  // force re-advance next call
-      return Status::OK();
+      if (!morsel_mode_ || Abandoned()) return Status::OK();  // EOF
+      // Claim the next morsel and open it as a fresh source. A pruned or
+      // abandoned open appends nothing — loop and claim again.
+      ScanRegion region;
+      if (!spec_.morsels->Next(&region)) return Status::OK();  // drained
+      STRATICA_RETURN_NOT_OK(OpenContainerSource(region));
     }
-    return Status::OK();  // EOF
   }
   // Merge mode: k-way loser-tree merge by the sort key outputs.
   return merger_->Next(out, ctx_->vector_size);
@@ -613,6 +661,7 @@ std::string ScanOperator::DebugString() const {
   if (!spec_.prune_bounds.empty())
     s += ", prune bounds: " + std::to_string(spec_.prune_bounds.size());
   if (!spec_.sips.empty()) s += ", SIP filters: " + std::to_string(spec_.sips.size());
+  if (spec_.morsels) s += ", morsels";
   if (spec_.sorted_output) s += ", sorted";
   if (spec_.rle_passthrough) s += ", rle";
   if (spec_.eager_decode) s += ", eager";

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 
 #include "exec/hash_table.h"
 #include "exec/merge.h"
@@ -53,6 +54,53 @@ struct ScanRegion {
   size_t block_hi = SIZE_MAX;  // exclusive
 };
 
+/// \brief Shared morsel dispenser for one parallel scan (DESIGN.md §12).
+///
+/// Every sibling fragment scan of a unit holds the same dispenser. The
+/// first fragment to Open snapshots the storage and carves the snapshot
+/// into morsels (block-range ScanRegions via PlanScanRegions) under the
+/// lock; later fragments reuse that snapshot, so all fragments see one
+/// consistent epoch/container set. Fragments then claim morsels one at a
+/// time — dynamic self-scheduling, so a fragment stuck on an expensive
+/// morsel simply claims fewer of them. The WOS is a single implicit morsel
+/// claimed by exactly one fragment.
+class MorselDispenser {
+ public:
+  /// `fanout` is the number of sibling fragments that will share this
+  /// dispenser; the snapshot is carved into ~kMorselsPerWorker morsels per
+  /// fragment so claim-order imbalance can even out.
+  explicit MorselDispenser(size_t fanout) : fanout_(fanout == 0 ? 1 : fanout) {}
+
+  /// Snapshot + carve on first call (thread-safe); returns the shared
+  /// snapshot all fragments must scan against.
+  const StorageSnapshot& EnsureSnapshot(ProjectionStorage* storage, Epoch epoch,
+                                        uint64_t txn_id);
+  /// Claim the next morsel; false = dispenser drained.
+  bool Next(ScanRegion* out);
+  /// True exactly once: the claiming fragment scans the WOS.
+  bool ClaimWos() { return !wos_claimed_.exchange(true, std::memory_order_relaxed); }
+
+  size_t num_morsels() const { return morsels_.size(); }
+
+  /// Morsel granularity: enough claims per fragment that work-stealing by
+  /// claim order absorbs skewed per-morsel costs without making each claim
+  /// (a reader re-open per column) dominate.
+  static constexpr size_t kMorselsPerWorker = 4;
+
+ private:
+  const size_t fanout_;
+  std::mutex mu_;
+  bool snapped_ = false;  ///< guarded by mu_
+  StorageSnapshot snap_;
+  std::vector<ScanRegion> morsels_;
+  std::atomic<size_t> next_{0};
+  std::atomic<bool> wos_claimed_{false};
+};
+
+/// \brief Everything a ScanOperator needs: the storage to read, which
+/// projection columns to emit (and as what), and the filter/shape knobs —
+/// predicate + prune bounds + SIP filters, sorted or RLE-run output,
+/// fixed regions or a shared morsel dispenser.
 struct ScanSpec {
   ProjectionStorage* storage = nullptr;
   std::vector<int> projection_columns;  ///< projection col idx, in output order
@@ -71,6 +119,13 @@ struct ScanSpec {
   std::vector<ScanRegion> regions;
   bool include_wos = true;
 
+  /// Morsel-driven mode (DESIGN.md §12): claim block ranges from a shared
+  /// dispenser instead of scanning fixed regions. Takes precedence over
+  /// use_regions; include_wos still gates the WOS, but only the fragment
+  /// that wins MorselDispenser::ClaimWos scans it. Incompatible with
+  /// sorted_output (a morsel stream has no global order).
+  std::shared_ptr<MorselDispenser> morsels;
+
   /// Disable late materialization: read + decode every projection column of
   /// every block before filtering (the legacy eager behavior). Kept as an
   /// A/B knob for benchmarks and differential tests; production plans leave
@@ -78,6 +133,13 @@ struct ScanSpec {
   bool eager_decode = false;
 };
 
+/// \brief Late-materializing columnar scan (DESIGN.md §7): decodes filter
+/// columns first, computes the selection (epoch visibility, delete
+/// vectors, predicate, SIP), and decodes payload columns only for
+/// surviving rows. Reads ROS containers and, when included, the WOS; in
+/// morsel mode (ScanSpec::morsels) it claims block ranges from the shared
+/// dispenser until drained, polling ExecContext::abandon between storage
+/// operations.
 class ScanOperator : public Operator {
  public:
   // Constructor/destructor out-of-line: Source is an incomplete type here.
@@ -135,6 +197,9 @@ class ScanOperator : public Operator {
   std::vector<std::unique_ptr<Source>> sources_;
   size_t current_source_ = 0;
   bool merge_mode_ = false;
+  /// Morsel mode: sources are opened lazily, one per claimed morsel, so a
+  /// fragment pays reader opens only for the block ranges it actually runs.
+  bool morsel_mode_ = false;
   /// Sorted-output k-way merge over the sources (DESIGN.md §8).
   std::unique_ptr<LoserTreeMerger> merger_;
 
@@ -158,8 +223,15 @@ class ScanOperator : public Operator {
   std::vector<uint8_t> null_buf_;
 };
 
-/// Partition a snapshot's containers into `k` balanced region lists for
-/// StorageUnion worker pipelines.
+/// Carve a snapshot's containers into `k` balanced lists of block-range
+/// morsels. Each container is split into up to `k` contiguous block ranges
+/// (never fewer than one block per range — a single-block container is one
+/// indivisible morsel), and the ranges are dealt round-robin so every list
+/// holds a similar share of every container. Callers pick `k` to set morsel
+/// grain: static fragment assignment passes k = fan-out (one list per
+/// worker); the MorselDispenser passes k = fan-out × kMorselsPerWorker and
+/// flattens the lists into one claim queue, trading slightly smaller
+/// morsels for dynamic load balancing under skew (DESIGN.md §12).
 std::vector<std::vector<ScanRegion>> PlanScanRegions(const StorageSnapshot& snap,
                                                      size_t k);
 

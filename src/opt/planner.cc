@@ -146,7 +146,8 @@ struct Planner::Scope {
   BindSchema schema;  // combined: "alias.col" names
 };
 
-Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
+Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt,
+                                         size_t intra_node_parallelism) {
   Catalog* catalog = cluster_->catalog();
   Scope scope;
 
@@ -704,36 +705,107 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
     }
     residual_expr = CombineConjuncts(rebound);
   }
-  auto build_unit_pipeline =
-      [steps, fact_template = table_plans[fact].spec, residual_expr](
-          ProjectionStorage* fact_storage, bool primary,
-          size_t u) -> Result<OperatorPtr> {
-    ScanSpec fact_spec = fact_template;
-    fact_spec.storage = fact_storage;
-    OperatorPtr stream = std::make_unique<ScanOperator>(fact_spec);
+  // ---- intra-node fan-out gate (DESIGN.md §12) -------------------------------
+  // A unit pipeline splits into `fanout` morsel-driven fragments when the
+  // fact is big enough to amortize the extra pipelines and nothing in the
+  // plan needs what fragments cannot give: order-carrying scans
+  // (sorted_output / rle_passthrough) would interleave arbitrarily under the
+  // ParallelUnion, and RIGHT/FULL joins must emit unmatched build rows
+  // exactly once, which a build shared across fragments cannot.
+  size_t fanout = intra_node_parallelism == 0 ? 1 : intra_node_parallelism;
+  if (fanout > 1) {
+    constexpr uint64_t kMinParallelRowsPerUnit = 32768;
+    bool ok = scope.tables[fact].est_rows >=
+              kMinParallelRowsPerUnit * std::max<size_t>(num_units, 1);
+    const ScanSpec& ft = table_plans[fact].spec;
+    ok &= !ft.sorted_output && !ft.rle_passthrough;
     for (const auto& step : *steps) {
-      JoinSpec jspec = step.jspec;
-      // Only the primary pipeline of unit 0 populates shared SIP filters;
-      // hedge pipelines read them through their scans (a not-yet-ready SIP
-      // passes rows through) but never write them, so a replacement racing
-      // its orphaned primary cannot corrupt the filter.
-      if (primary && u == 0) jspec.sip = step.sip;
-      OperatorPtr build_side_op;
-      if (step.colocated) {
-        ScanSpec s = step.build_spec;
-        s.storage = step.build_units[u % step.build_units.size()];
-        build_side_op = std::make_unique<ScanOperator>(s);
-      } else {
-        build_side_op = std::make_unique<BroadcastConsumerOperator>(
-            step.broadcast, /*primary=*/primary && u == 0);
+      ok &= step.jspec.type != JoinType::kRight &&
+            step.jspec.type != JoinType::kFull;
+    }
+    if (!ok) fanout = 1;
+  }
+
+  // Applied to every fragment of a unit (serial plans: the one pipeline), so
+  // per-fragment work — expression eval, partial aggregation — runs inside
+  // the fragment, below the ParallelUnion, and fans out with the scan.
+  using FragmentFinisher = std::function<Result<OperatorPtr>(OperatorPtr)>;
+
+  auto build_unit_pipeline =
+      [steps, fact_template = table_plans[fact].spec, residual_expr, fanout](
+          ProjectionStorage* fact_storage, bool primary, size_t u,
+          const FragmentFinisher& finish) -> Result<OperatorPtr> {
+    // Fan-out state is created fresh per invocation: a hedge rebuild gets
+    // its own dispenser and builds because the loser pipeline's entire
+    // output (all its fragments) is dropped at the outer exchange slot.
+    std::shared_ptr<MorselDispenser> dispenser;
+    std::vector<std::shared_ptr<SharedJoinBuild>> shared_builds;
+    if (fanout > 1) {
+      dispenser = std::make_shared<MorselDispenser>(fanout);
+      for (const auto& step : *steps) {
+        OperatorPtr build_op;
+        if (step.colocated) {
+          ScanSpec s = step.build_spec;
+          s.storage = step.build_units[u % step.build_units.size()];
+          build_op = std::make_unique<ScanOperator>(s);
+        } else {
+          build_op = std::make_unique<BroadcastConsumerOperator>(
+              step.broadcast, /*primary=*/primary && u == 0);
+        }
+        JoinSpec jspec = step.jspec;
+        // The SIP is published exactly once, inside the shared build, before
+        // any fragment's probe opens (same writer rule as the serial path).
+        if (primary && u == 0) jspec.sip = step.sip;
+        shared_builds.push_back(std::make_shared<SharedJoinBuild>(
+            std::move(build_op), std::move(jspec), fanout));
       }
-      stream = std::make_unique<HashJoinOperator>(std::move(stream),
-                                                  std::move(build_side_op), jspec);
     }
-    if (residual_expr) {
-      stream = std::make_unique<FilterOperator>(std::move(stream), residual_expr);
+    auto build_fragment = [&](size_t f) -> Result<OperatorPtr> {
+      ScanSpec fact_spec = fact_template;
+      fact_spec.storage = fact_storage;
+      fact_spec.morsels = dispenser;  // null = plain full-unit scan
+      OperatorPtr stream = std::make_unique<ScanOperator>(fact_spec);
+      for (size_t si = 0; si < steps->size(); ++si) {
+        const JoinStep& step = (*steps)[si];
+        if (dispenser) {
+          // Probe against the build shared with sibling fragments; fragment
+          // 0 exposes the build subtree for EXPLAIN / memory estimation.
+          stream = std::make_unique<HashJoinOperator>(
+              std::move(stream), shared_builds[si], step.jspec,
+              /*show_build=*/f == 0);
+          continue;
+        }
+        JoinSpec jspec = step.jspec;
+        // Only the primary pipeline of unit 0 populates shared SIP filters;
+        // hedge pipelines read them through their scans (a not-yet-ready SIP
+        // passes rows through) but never write them, so a replacement racing
+        // its orphaned primary cannot corrupt the filter.
+        if (primary && u == 0) jspec.sip = step.sip;
+        OperatorPtr build_side_op;
+        if (step.colocated) {
+          ScanSpec s = step.build_spec;
+          s.storage = step.build_units[u % step.build_units.size()];
+          build_side_op = std::make_unique<ScanOperator>(s);
+        } else {
+          build_side_op = std::make_unique<BroadcastConsumerOperator>(
+              step.broadcast, /*primary=*/primary && u == 0);
+        }
+        stream = std::make_unique<HashJoinOperator>(std::move(stream),
+                                                    std::move(build_side_op), jspec);
+      }
+      if (residual_expr) {
+        stream = std::make_unique<FilterOperator>(std::move(stream), residual_expr);
+      }
+      return finish(std::move(stream));
+    };
+    if (fanout <= 1) return build_fragment(0);
+    std::vector<OperatorPtr> fragments;
+    for (size_t f = 0; f < fanout; ++f) {
+      STRATICA_ASSIGN_OR_RETURN(OperatorPtr frag, build_fragment(f));
+      fragments.push_back(std::move(frag));
     }
-    return OperatorPtr(std::move(stream));
+    return OperatorPtr(MakeUnionExchange(std::move(fragments), "ParallelUnion",
+                                         /*count_network=*/false));
   };
   // One exchange producer per fact unit: origin for error context, rebuild
   // recipe (first healthy buddy copy at hedge time) for stragglers and
@@ -828,19 +900,24 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
 
     // Each local = unit pipeline + eval + partial aggregation; the whole
     // stack is rebuildable against a buddy copy, so hedged units redo their
-    // partial aggregation from the replacement scan.
+    // partial aggregation from the replacement scan. The finisher runs per
+    // fragment, so under fan-out each morsel fragment carries its own eval
+    // + partial table and the aggregation parallelizes with the scan
+    // (Figure 3's parallel GroupBys above a StorageUnion).
     auto build_local = [build_unit_pipeline, eval_exprs, eval_names, local,
                         partialable](ProjectionStorage* ps, bool primary,
                                      size_t u) -> Result<OperatorPtr> {
-      STRATICA_ASSIGN_OR_RETURN(OperatorPtr pipeline,
-                                build_unit_pipeline(ps, primary, u));
-      auto eval = std::make_unique<ProjectOperator>(
-          std::move(pipeline), std::vector<ExprPtr>(eval_exprs), eval_names);
-      if (partialable) {
-        return OperatorPtr(
-            std::make_unique<HashGroupByOperator>(std::move(eval), local));
-      }
-      return OperatorPtr(std::move(eval));  // raw rows; single-stage at initiator
+      FragmentFinisher finish = [eval_exprs, eval_names, local, partialable](
+                                    OperatorPtr pipeline) -> Result<OperatorPtr> {
+        auto eval = std::make_unique<ProjectOperator>(
+            std::move(pipeline), std::vector<ExprPtr>(eval_exprs), eval_names);
+        if (partialable) {
+          return OperatorPtr(
+              std::make_unique<HashGroupByOperator>(std::move(eval), local));
+        }
+        return OperatorPtr(std::move(eval));  // raw rows; single-stage at initiator
+      };
+      return build_unit_pipeline(ps, primary, u, finish);
     };
     STRATICA_ASSIGN_OR_RETURN(std::vector<ExchangeProducerSpec> locals,
                               make_unit_specs(build_local));
@@ -906,8 +983,15 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
     root = std::make_unique<ProjectOperator>(std::move(root), out_exprs, out_names);
   } else {
     // No aggregation: gather rows, then project.
+    auto build_plain = [build_unit_pipeline](ProjectionStorage* ps, bool primary,
+                                             size_t u) -> Result<OperatorPtr> {
+      FragmentFinisher identity = [](OperatorPtr op) -> Result<OperatorPtr> {
+        return OperatorPtr(std::move(op));
+      };
+      return build_unit_pipeline(ps, primary, u, identity);
+    };
     STRATICA_ASSIGN_OR_RETURN(std::vector<ExchangeProducerSpec> unit_pipelines,
-                              make_unit_specs(build_unit_pipeline));
+                              make_unit_specs(build_plain));
     OperatorPtr gathered = unit_pipelines.size() == 1
                                ? std::move(unit_pipelines[0].op)
                                : MakeUnionExchange(std::move(unit_pipelines), "Recv",
@@ -1053,12 +1137,15 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt) {
 
   plan.column_types = root->OutputTypes();
   plan.estimated_memory_bytes = EstimatePlanMemory(*root);
+  plan.fanout = fanout;
   plan.root = std::move(root);
   return plan;
 }
 
-Result<std::string> Planner::Explain(const SelectStmt& stmt) {
-  STRATICA_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSelect(stmt));
+Result<std::string> Planner::Explain(const SelectStmt& stmt,
+                                     size_t intra_node_parallelism) {
+  STRATICA_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                            PlanSelect(stmt, intra_node_parallelism));
   return ExplainTree(*plan.root);
 }
 

@@ -37,17 +37,28 @@ struct PhysicalPlan {
   /// Admission reservation: summed MemoryEstimateBytes over the tree. The
   /// resource manager clamps it into [min reserve, pool size] at Admit.
   size_t estimated_memory_bytes = 0;
+  /// Morsel fragments per scan unit actually planned (DESIGN.md §12): the
+  /// requested intra-node parallelism, or 1 when the plan gated it off
+  /// (small fact, order-carrying scan, RIGHT/FULL join). The executor maps
+  /// this to worker fan-out; admission may replan at a smaller value.
+  size_t fanout = 1;
 };
 
 class Planner {
  public:
   explicit Planner(Cluster* cluster) : cluster_(cluster) {}
 
-  /// Plan a SELECT into an executable operator tree.
-  Result<PhysicalPlan> PlanSelect(const SelectStmt& stmt);
+  /// Plan a SELECT into an executable operator tree. When
+  /// `intra_node_parallelism` > 1, each scan-unit pipeline is split into
+  /// that many morsel-driven fragments sharing one dispenser and one build
+  /// per join (DESIGN.md §12), subject to the gates noted on
+  /// PhysicalPlan::fanout.
+  Result<PhysicalPlan> PlanSelect(const SelectStmt& stmt,
+                                  size_t intra_node_parallelism = 1);
 
   /// Plan and render the EXPLAIN tree without executing.
-  Result<std::string> Explain(const SelectStmt& stmt);
+  Result<std::string> Explain(const SelectStmt& stmt,
+                              size_t intra_node_parallelism = 1);
 
  private:
   struct TableSlot;  // resolved FROM entry

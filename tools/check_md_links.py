@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (CI `docs` job).
+
+Checks every inline link in ROADMAP.md, DESIGN.md, README-style root docs
+and docs/*.md:
+
+  * relative file links must resolve on disk (case-sensitive, as on CI);
+  * `#anchor` fragments — in-page or into another checked .md file — must
+    match a heading in the target, using GitHub's slugging rules;
+  * external (http/https/mailto) links are skipped: the job stays hermetic.
+
+Stdlib only; exits nonzero listing every broken link.
+"""
+import os
+import re
+import sys
+import unicodedata
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# ISSUE.md is the transient per-PR task card; SNIPPETS.md embeds third-party
+# example code whose bracketed text is not ours to police.
+SKIP = {"ISSUE.md", "SNIPPETS.md"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+(?:\([^()\s]*\)[^()\s]*)*)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def md_files():
+    files = []
+    for name in sorted(os.listdir(REPO)):
+        if name.endswith(".md") and name not in SKIP:
+            files.append(os.path.join(REPO, name))
+    docs = os.path.join(REPO, "docs")
+    if os.path.isdir(docs):
+        for root, _, names in os.walk(docs):
+            for name in sorted(names):
+                if name.endswith(".md"):
+                    files.append(os.path.join(root, name))
+    return files
+
+
+def github_slug(heading):
+    """GitHub's heading-to-anchor algorithm (close enough for our docs):
+    strip markdown emphasis/code markers, lowercase, drop everything that is
+    not a word character, space or hyphen, then spaces -> hyphens."""
+    text = re.sub(r"[`*_]", "", heading).strip()
+    text = unicodedata.normalize("NFKC", text).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def parse(path):
+    """Return (links, anchors): [(lineno, target)], {slug, ...}."""
+    links, anchors, counts = [], set(), {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slug = github_slug(m.group(1))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                anchors.add(slug if n == 0 else f"{slug}-{n}")
+            for lm in LINK_RE.finditer(line):
+                links.append((lineno, lm.group(1)))
+    return links, anchors
+
+
+def main():
+    files = md_files()
+    parsed = {path: parse(path) for path in files}
+    errors = []
+
+    for path, (links, _) in parsed.items():
+        rel = os.path.relpath(path, REPO)
+        for lineno, target in links:
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            target, _, fragment = target.partition("#")
+            if target:
+                dest = os.path.normpath(os.path.join(os.path.dirname(path), target))
+                if not os.path.exists(dest):
+                    errors.append(f"{rel}:{lineno}: broken link: {target}")
+                    continue
+            else:
+                dest = path  # in-page anchor
+            if fragment and dest in parsed:
+                _, anchors = parsed[dest]
+                if fragment.lower() not in anchors:
+                    errors.append(
+                        f"{rel}:{lineno}: broken anchor: "
+                        f"{os.path.relpath(dest, REPO)}#{fragment}")
+
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken link(s) across {len(files)} file(s)")
+        return 1
+    total = sum(len(links) for links, _ in parsed.values())
+    print(f"OK: {total} links across {len(files)} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
