@@ -1,16 +1,25 @@
-// Late-materialization scan ablation (Section 6.1, DESIGN.md §7).
+// Late-materialization scan ablation (Section 6.1, DESIGN.md §7) and the
+// compressed-execution sweep (DESIGN.md §13).
 //
-// Sweeps predicate selectivity from 0.01% to 100% over a projection with
-// one filter column and three payload columns (int, float, string), and
-// runs each point both ways: late materialization (payload columns decoded
-// only for surviving rows) versus eager decode (every column of every block
-// decoded before filtering — the legacy behavior, kept behind
-// ScanSpec::eager_decode). The string payload is where eager decode bleeds:
-// every unselected row still heap-allocates a std::string.
+// Part 1 (BM_ScanDecode) sweeps predicate selectivity from 0.01% to 100%
+// over a projection with one filter column and three payload columns (int,
+// float, string), and runs each point both ways: late materialization
+// (payload columns decoded only for surviving rows) versus eager decode
+// (every column of every block decoded before filtering — the legacy
+// behavior, kept behind ScanSpec::eager_decode). The string payload is
+// where eager decode bleeds: every unselected row still heap-allocates a
+// std::string.
+//
+// Part 2 (BM_Compressed*) is the encoded-eval versus decode-then-eval
+// sweep: predicate + COUNT(*) over each encoding (RLE / BlockDict / Delta /
+// plain) across the same selectivity range, plus group-by on a dictionary
+// key, each point run once on encoded views and once decode-first. CI
+// emits this part as BENCH_compressed_exec.json.
 #include <benchmark/benchmark.h>
 
 #include "api/database.h"
 #include "common/rng.h"
+#include "exec/group_by.h"
 #include "exec/scan.h"
 #include "exec/simple_ops.h"
 
@@ -102,6 +111,191 @@ BENCHMARK(BM_ScanDecode)
     ->Args({100000, 1})
     ->Args({1000000, 0})   // 100%
     ->Args({1000000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- compressed execution sweep (DESIGN.md §13) ----------------------------
+
+constexpr int64_t kCRows = 4000000;
+constexpr int64_t kCDistinct = 1000;  // low-distinct domain of every column
+
+// One projection pinning each sweep encoding to a column over the same
+// 1000-value domain: `r` leads the sort order (runs of ~4000 → RLE), `s` is
+// a 1000-string dictionary, `dv` ascends (delta), `p` is the plain control.
+struct CompressedFixture {
+  CompressedFixture() {
+    DatabaseOptions opts;
+    opts.num_nodes = 1;
+    opts.k_safety = 0;
+    opts.local_segments_per_node = 1;
+    db = std::make_unique<Database>(opts);
+    TableDef t;
+    t.name = "cfact";
+    t.columns = {{"r", TypeId::kInt64, false},
+                 {"s", TypeId::kString, false},
+                 {"dv", TypeId::kInt64, false},
+                 {"p", TypeId::kInt64, false}};
+    ProjectionDef proj;
+    proj.name = "cfact_super";
+    proj.anchor_table = "cfact";
+    proj.columns = {{"r", -1, EncodingId::kRle},
+                    {"s", -1, EncodingId::kBlockDict},
+                    {"dv", -1, EncodingId::kDeltaValue},
+                    {"p", -1, EncodingId::kPlain}};
+    proj.sort_columns = {0};
+    proj.is_super = true;
+    proj.segmentation.expr = Func(FuncKind::kHash, {Col("dv")});
+    (void)db->catalog()->CreateTable(std::move(t));
+    (void)db->cluster()->CreateProjectionWithBuddies(proj);
+    RowBlock rows({TypeId::kInt64, TypeId::kString, TypeId::kInt64, TypeId::kInt64});
+    Rng rng(23);
+    for (int64_t i = 0; i < kCRows; ++i) {
+      rows.columns[0].ints.push_back(i * kCDistinct / kCRows);
+      rows.columns[1].strings.push_back("d" + std::to_string(rng.Range(0, kCDistinct - 1)));
+      rows.columns[2].ints.push_back(i);
+      rows.columns[3].ints.push_back(rng.Range(0, kCDistinct - 1));
+    }
+    (void)db->Load("cfact", rows, true);
+    (void)db->RunTupleMover();
+    ps = db->cluster()->node(0)->GetStorage("cfact_super");
+  }
+  std::unique_ptr<Database> db;
+  ProjectionStorage* ps;
+};
+
+CompressedFixture& GetCompressedFixture() {
+  static CompressedFixture f;
+  return f;
+}
+
+const char* kEncNames[] = {"rle", "dict", "delta", "plain"};
+const char* kEncCols[] = {"r", "s", "dv", "p"};
+const TypeId kEncTypes[] = {TypeId::kInt64, TypeId::kString, TypeId::kInt64,
+                            TypeId::kInt64};
+
+ScanSpec OneColumnScan(CompressedFixture& f, int enc_col, bool encoded) {
+  ScanSpec spec;
+  spec.storage = f.ps;
+  spec.projection_columns = {enc_col};
+  spec.output_names = {kEncCols[enc_col]};
+  spec.output_types = {kEncTypes[enc_col]};
+  spec.encoded_output = encoded;
+  spec.eager_decode = !encoded;
+  return spec;
+}
+
+// Predicate + COUNT(*) on one column per encoding. `enc`=1 keeps blocks
+// encoded through predicate and aggregation (one compare per RLE run / per
+// dictionary entry, COUNT by run length); `enc`=0 is the decode-then-eval
+// baseline (global toggle off + eager decode).
+void BM_CompressedPredCount(benchmark::State& state) {
+  auto& f = GetCompressedFixture();
+  int enc_col = static_cast<int>(state.range(0));
+  int64_t sel_ppm = state.range(1);
+  bool encoded = state.range(2) != 0;
+  SetEncodedExecutionEnabled(encoded);
+  // Thresholds picked so every encoding sweeps the same selectivity: the
+  // int columns (`r` delta `dv` plain `p`) and the dictionary strings all
+  // span a 1000-value domain.
+  int64_t cut = kCDistinct * sel_ppm / 1000000;
+  ExprPtr pred;
+  if (enc_col == 1) {
+    // Dictionary strings "d0".."d999" — compare against a zero-padded bound
+    // would change the domain; use an exact-match probe at low selectivity
+    // and a range probe otherwise.
+    pred = Cmp(sel_ppm <= 10000 ? CompareOp::kEq : CompareOp::kNe, Col("s"),
+               Lit(Value::String("d7")));
+  } else if (enc_col == 2) {
+    pred = Cmp(CompareOp::kLt, Col("dv"), Lit(Value::Int64(kCRows * sel_ppm / 1000000)));
+  } else {
+    pred = Cmp(CompareOp::kLt, Col(kEncCols[enc_col]), Lit(Value::Int64(cut)));
+  }
+  BindSchema schema;
+  schema.Add(kEncCols[enc_col], kEncTypes[enc_col]);
+  if (!BindExpr(pred, schema).ok()) {
+    state.SkipWithError("bind failed");
+    return;
+  }
+
+  uint64_t groups = 0;
+  for (auto _ : state) {
+    ExecContext ctx = f.db->MakeExecContext();
+    ScanSpec spec = OneColumnScan(f, enc_col, encoded);
+    spec.predicate = CloneExpr(pred);
+    GroupBySpec gspec;
+    gspec.aggs.push_back({AggKind::kCountStar, -1, TypeId::kInt64});
+    gspec.output_names = {"n"};
+    HashGroupByOperator agg(std::make_unique<ScanOperator>(spec), gspec);
+    auto rows = DrainOperator(&agg, &ctx);
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    groups = rows.value().NumRows();
+    benchmark::DoNotOptimize(groups);
+  }
+  SetEncodedExecutionEnabled(true);
+  state.SetItemsProcessed(state.iterations() * kCRows);
+  state.SetLabel(std::string(kEncNames[enc_col]) + "/sel=" +
+                 std::to_string(sel_ppm / 10000.0) + "%/" +
+                 (encoded ? "encoded" : "decode-first"));
+}
+
+// Group-by on the dictionary key: encoded mode aggregates through the dense
+// code → group-id map; the baseline decodes every string first.
+void BM_CompressedGroupByDict(benchmark::State& state) {
+  auto& f = GetCompressedFixture();
+  bool encoded = state.range(0) != 0;
+  SetEncodedExecutionEnabled(encoded);
+
+  uint64_t groups = 0;
+  for (auto _ : state) {
+    ExecContext ctx = f.db->MakeExecContext();
+    ScanSpec spec;
+    spec.storage = f.ps;
+    spec.projection_columns = {1, 3};
+    spec.output_names = {"s", "p"};
+    spec.output_types = {TypeId::kString, TypeId::kInt64};
+    spec.encoded_output = encoded;
+    spec.eager_decode = !encoded;
+    GroupBySpec gspec;
+    gspec.group_columns = {0};
+    gspec.aggs.push_back({AggKind::kCountStar, -1, TypeId::kInt64});
+    gspec.aggs.push_back({AggKind::kSum, 1, TypeId::kInt64});
+    gspec.output_names = {"s", "n", "sum_p"};
+    HashGroupByOperator agg(std::make_unique<ScanOperator>(spec), gspec);
+    auto rows = DrainOperator(&agg, &ctx);
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    groups = rows.value().NumRows();
+    benchmark::DoNotOptimize(groups);
+  }
+  SetEncodedExecutionEnabled(true);
+  state.SetItemsProcessed(state.iterations() * kCRows);
+  state.SetLabel(std::string("dict-group-by/") +
+                 (encoded ? "encoded" : "decode-first") + "/groups=" +
+                 std::to_string(groups));
+}
+
+void CompressedArgs(benchmark::internal::Benchmark* b) {
+  for (int enc = 0; enc < 4; ++enc) {
+    for (int64_t ppm : {100, 10000, 500000, 1000000}) {  // 0.01% 1% 50% 100%
+      b->Args({enc, ppm, 0});
+      b->Args({enc, ppm, 1});
+    }
+  }
+}
+
+BENCHMARK(BM_CompressedPredCount)
+    ->ArgNames({"enc", "ppm", "encoded"})
+    ->Apply(CompressedArgs)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_CompressedGroupByDict)
+    ->ArgNames({"encoded"})
+    ->Args({0})
+    ->Args({1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -200,6 +200,9 @@ Result<QueryResult> Database::RunSelect(const SelectStmt& stmt) {
       STRATICA_ASSIGN_OR_RETURN(plan, planner_->PlanSelect(stmt, allowed));
     }
     if (attempt > 0) session.stats->reads_failed_over.fetch_add(1);
+    // Order-carrying scan shapes planned serial on purpose (DESIGN.md §12):
+    // surface the bypass so fan-out accounting is auditable.
+    if (plan.morsel_bypass) session.stats->morsel_bypasses.fetch_add(1);
     ExecContext ctx = SessionContext(&session);
     ctx.intra_node_parallelism = plan.fanout;
     auto rows = DrainOperator(plan.root.get(), &ctx);

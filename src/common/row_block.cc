@@ -20,9 +20,12 @@ void ColumnVector::Clear() {
   strings.clear();
   nulls.clear();
   runs.clear();
+  dict.reset();
+  dict_sorted = false;
 }
 
 void ColumnVector::Append(const Value& v) {
+  if (IsDictCoded()) *this = Decoded();  // appenders produce flat values
   size_t before = PhysicalSize();
   switch (StorageClassOf(type)) {
     case StorageClass::kInt64: ints.push_back(v.is_null() ? 0 : v.i64()); break;
@@ -41,13 +44,30 @@ void ColumnVector::AppendFrom(const ColumnVector& src, size_t phys) {
 }
 
 void ColumnVector::AppendRunFrom(const ColumnVector& src, size_t phys, uint32_t n) {
-  size_t before = PhysicalSize();
-  switch (StorageClassOf(type)) {
-    case StorageClass::kInt64: ints.push_back(src.ints[phys]); break;
-    case StorageClass::kFloat64: doubles.push_back(src.doubles[phys]); break;
-    case StorageClass::kString: strings.push_back(src.strings[phys]); break;
-  }
+  if (IsDictCoded()) *this = Decoded();
   bool src_null = src.IsNull(phys);
+  size_t before = PhysicalSize();
+  if (src.IsDictCoded()) {
+    // Materialize the value through the dictionary (NULL rows carry an
+    // unspecified in-range code; emit a zero value under the null flag).
+    const ColumnVector& d = *src.dict;
+    size_t code = static_cast<size_t>(src.ints[phys]);
+    switch (StorageClassOf(type)) {
+      case StorageClass::kInt64: ints.push_back(src_null ? 0 : d.ints[code]); break;
+      case StorageClass::kFloat64:
+        doubles.push_back(src_null ? 0 : d.doubles[code]);
+        break;
+      case StorageClass::kString:
+        strings.push_back(src_null ? std::string() : d.strings[code]);
+        break;
+    }
+  } else {
+    switch (StorageClassOf(type)) {
+      case StorageClass::kInt64: ints.push_back(src.ints[phys]); break;
+      case StorageClass::kFloat64: doubles.push_back(src.doubles[phys]); break;
+      case StorageClass::kString: strings.push_back(src.strings[phys]); break;
+    }
+  }
   if (src_null || !nulls.empty()) {
     if (nulls.empty()) nulls.assign(before, 0);
     nulls.push_back(src_null ? 1 : 0);
@@ -58,6 +78,11 @@ void ColumnVector::AppendRunFrom(const ColumnVector& src, size_t phys, uint32_t 
 
 void ColumnVector::AppendRange(const ColumnVector& src, size_t start, size_t count) {
   if (count == 0) return;
+  if (IsDictCoded()) *this = Decoded();
+  if (src.IsDictCoded()) {
+    for (size_t i = 0; i < count; ++i) AppendFrom(src, start + i);
+    return;
+  }
   size_t before = PhysicalSize();
   switch (StorageClassOf(type)) {
     case StorageClass::kInt64:
@@ -86,6 +111,7 @@ void ColumnVector::AppendRange(const ColumnVector& src, size_t start, size_t cou
 
 Value ColumnVector::GetValue(size_t phys) const {
   if (IsNull(phys)) return Value::Null(type);
+  if (IsDictCoded()) return dict->GetValue(static_cast<size_t>(ints[phys]));
   switch (StorageClassOf(type)) {
     case StorageClass::kInt64: return Value::OfInt(type, ints[phys]);
     case StorageClass::kFloat64: return Value::Float64(doubles[phys]);
@@ -95,6 +121,29 @@ Value ColumnVector::GetValue(size_t phys) const {
 }
 
 ColumnVector ColumnVector::Decoded() const {
+  if (IsDictCoded()) {
+    ColumnVector out(type);
+    size_t n = ints.size();
+    out.Reserve(n);
+    const ColumnVector& d = *dict;
+    switch (StorageClassOf(type)) {
+      case StorageClass::kInt64:
+        for (size_t i = 0; i < n; ++i)
+          out.ints.push_back(IsNull(i) ? 0 : d.ints[static_cast<size_t>(ints[i])]);
+        break;
+      case StorageClass::kFloat64:
+        for (size_t i = 0; i < n; ++i)
+          out.doubles.push_back(IsNull(i) ? 0 : d.doubles[static_cast<size_t>(ints[i])]);
+        break;
+      case StorageClass::kString:
+        for (size_t i = 0; i < n; ++i)
+          out.strings.push_back(IsNull(i) ? std::string()
+                                          : d.strings[static_cast<size_t>(ints[i])]);
+        break;
+    }
+    out.nulls = nulls;
+    return out;
+  }
   if (!IsRle()) return *this;
   ColumnVector out(type);
   size_t total = Size();
@@ -116,6 +165,20 @@ ColumnVector ColumnVector::Decoded() const {
 void ColumnVector::FilterPhysical(const std::vector<uint8_t>& sel) {
   size_t out = 0;
   size_t n = PhysicalSize();
+  if (IsDictCoded()) {
+    // Codes live in `ints` regardless of the value type; the dictionary is
+    // shared and untouched.
+    for (size_t i = 0; i < n; ++i) {
+      if (sel[i]) {
+        ints[out] = ints[i];
+        if (!nulls.empty()) nulls[out] = nulls[i];
+        ++out;
+      }
+    }
+    ints.resize(out);
+    if (!nulls.empty()) nulls.resize(out);
+    return;
+  }
   switch (StorageClassOf(type)) {
     case StorageClass::kInt64:
       for (size_t i = 0; i < n; ++i) {
@@ -151,8 +214,57 @@ void ColumnVector::FilterPhysical(const std::vector<uint8_t>& sel) {
   if (!nulls.empty()) nulls.resize(out);
 }
 
+void ColumnVector::FilterRuns(const std::vector<uint8_t>& sel) {
+  if (!IsRle()) {
+    FilterPhysical(sel);
+    return;
+  }
+  size_t n_phys = PhysicalSize();
+  size_t out = 0, row = 0;
+  for (size_t i = 0; i < n_phys; ++i) {
+    uint32_t kept = 0;
+    for (uint32_t r = 0; r < runs[i]; ++r) kept += sel[row++] ? 1 : 0;
+    if (kept == 0) continue;
+    switch (StorageClassOf(type)) {
+      case StorageClass::kInt64: ints[out] = ints[i]; break;
+      case StorageClass::kFloat64: doubles[out] = doubles[i]; break;
+      case StorageClass::kString:
+        if (out != i) strings[out] = std::move(strings[i]);
+        break;
+    }
+    if (!nulls.empty()) nulls[out] = nulls[i];
+    runs[out] = kept;
+    ++out;
+  }
+  switch (StorageClassOf(type)) {
+    case StorageClass::kInt64: ints.resize(out); break;
+    case StorageClass::kFloat64: doubles.resize(out); break;
+    case StorageClass::kString: strings.resize(out); break;
+  }
+  if (!nulls.empty()) nulls.resize(out);
+  runs.resize(out);
+}
+
 void ColumnVector::AppendGather(const ColumnVector& src,
                                 const std::vector<uint32_t>& indices) {
+  if (IsDictCoded()) *this = Decoded();
+  if (src.IsDictCoded()) {
+    // Adopt the dictionary when gathering into an empty vector (keeps sorts
+    // and join materialization dict-coded); otherwise materialize values.
+    if (PhysicalSize() == 0 && nulls.empty()) {
+      dict = src.dict;
+      dict_sorted = src.dict_sorted;
+      ints.reserve(indices.size());
+      for (uint32_t i : indices) ints.push_back(src.ints[i]);
+      if (!src.nulls.empty()) {
+        nulls.reserve(indices.size());
+        for (uint32_t i : indices) nulls.push_back(src.nulls[i]);
+      }
+    } else {
+      for (uint32_t i : indices) AppendFrom(src, i);
+    }
+    return;
+  }
   size_t before = PhysicalSize();
   switch (StorageClassOf(type)) {
     case StorageClass::kInt64:
@@ -179,11 +291,13 @@ size_t ColumnVector::MemoryBytes() const {
   size_t n = ints.capacity() * sizeof(int64_t) + doubles.capacity() * sizeof(double) +
              nulls.capacity() + runs.capacity() * sizeof(uint32_t);
   for (const auto& s : strings) n += s.capacity() + sizeof(std::string);
+  if (dict) n += dict->MemoryBytes();  // shared, but charge every holder
   return n;
 }
 
 uint64_t ColumnVector::HashEntry(size_t phys) const {
   if (IsNull(phys)) return kNullHash;
+  if (IsDictCoded()) return dict->HashEntry(static_cast<size_t>(ints[phys]));
   switch (StorageClassOf(type)) {
     case StorageClass::kInt64: return HashInt64(ints[phys]);
     case StorageClass::kFloat64: return HashDouble(doubles[phys]);
@@ -233,6 +347,19 @@ void HashColumnImpl(const ColumnVector& col, const uint8_t* sel, uint64_t seed,
                     uint64_t* out) {
   size_t n = col.PhysicalSize();
   const uint8_t* nulls = col.nulls.empty() ? nullptr : col.nulls.data();
+  if (col.IsDictCoded()) {
+    // Hash each dictionary entry once, then resolve rows by code lookup —
+    // bit-identical to hashing the materialized values (NULL rows still map
+    // to kNullHash via the null branch of HashLoop).
+    std::vector<uint64_t> entry_hash(col.dict->PhysicalSize());
+    for (size_t i = 0; i < entry_hash.size(); ++i)
+      entry_hash[i] = col.dict->HashEntry(i);
+    HashLoop<kEmit, kMasked>(col.ints.data(), nulls, sel, n, seed, out,
+                             [&](int64_t code) {
+                               return entry_hash[static_cast<size_t>(code)];
+                             });
+    return;
+  }
   switch (StorageClassOf(col.type)) {
     case StorageClass::kInt64:
       HashLoop<kEmit, kMasked>(col.ints.data(), nulls, sel, n, seed, out,
@@ -307,6 +434,17 @@ int ColumnVector::CompareEntries(const ColumnVector& a, size_t ia, const ColumnV
                                  size_t ib) {
   bool an = a.IsNull(ia), bn = b.IsNull(ib);
   if (an || bn) return an && bn ? 0 : (an ? -1 : 1);
+  if (a.IsDictCoded() || b.IsDictCoded()) {
+    if (a.dict != nullptr && a.dict == b.dict && a.dict_sorted) {
+      int64_t x = a.ints[ia], y = b.ints[ib];  // shared sorted dict: compare codes
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const ColumnVector& av = a.IsDictCoded() ? *a.dict : a;
+    size_t ap = a.IsDictCoded() ? static_cast<size_t>(a.ints[ia]) : ia;
+    const ColumnVector& bv = b.IsDictCoded() ? *b.dict : b;
+    size_t bp = b.IsDictCoded() ? static_cast<size_t>(b.ints[ib]) : ib;
+    return CompareEntries(av, ap, bv, bp);
+  }
   switch (StorageClassOf(a.type)) {
     case StorageClass::kInt64: {
       int64_t x = a.ints[ia], y = b.ints[ib];

@@ -21,13 +21,23 @@ namespace stratica {
 /// Default number of rows exchanged between operators per GetNext call.
 constexpr size_t kDefaultVectorSize = 4096;
 
-/// \brief A typed column of values, optionally run-length encoded.
+/// \brief A typed column of values, optionally run-length or dictionary
+/// encoded.
 ///
 /// Storage layout depends on StorageClassOf(type): ints/bools/dates live in
 /// `ints`, floats in `doubles`, strings in `strings`. `nulls` is either
 /// empty (no NULLs) or parallel to the physical entries. When `runs` is
 /// non-empty it is parallel to the physical entries and the logical row
 /// count is the sum of the run lengths.
+///
+/// When `dict` is set the column is dictionary-coded: `ints` holds one
+/// dictionary code per row (regardless of `type`'s storage class), `nulls`
+/// is row-parallel to the codes, and the value of row i is
+/// `(*dict)[ints[i]]`. Codes of NULL rows are unspecified but in-range.
+/// `dict` is an immutable flat vector of `type`; `dict_sorted` means the
+/// dictionary entries are in ascending value order, so code order == value
+/// order (enables code-range predicates and code-based sort keys). A column
+/// is never both RLE and dict-coded.
 struct ColumnVector {
   TypeId type = TypeId::kInt64;
   std::vector<int64_t> ints;
@@ -35,12 +45,15 @@ struct ColumnVector {
   std::vector<std::string> strings;
   std::vector<uint8_t> nulls;   // 1 = NULL; empty means all valid
   std::vector<uint32_t> runs;   // empty means every run length is 1
+  std::shared_ptr<const ColumnVector> dict;  // set => ints are dict codes
+  bool dict_sorted = false;     // dict entries ascend in value order
 
   ColumnVector() = default;
   explicit ColumnVector(TypeId t) : type(t) {}
 
   /// Number of physical entries (== logical rows unless RLE).
   size_t PhysicalSize() const {
+    if (dict) return ints.size();
     switch (StorageClassOf(type)) {
       case StorageClass::kInt64: return ints.size();
       case StorageClass::kFloat64: return doubles.size();
@@ -58,6 +71,9 @@ struct ColumnVector {
   }
 
   bool IsRle() const { return !runs.empty(); }
+  bool IsDictCoded() const { return dict != nullptr; }
+  /// Flat materialized values — neither RLE nor dict-coded.
+  bool IsFlat() const { return runs.empty() && dict == nullptr; }
   bool IsNull(size_t phys) const { return !nulls.empty() && nulls[phys] != 0; }
 
   void Reserve(size_t n);
@@ -78,11 +94,19 @@ struct ColumnVector {
   /// Scalar accessor by physical index (slow path).
   Value GetValue(size_t phys) const;
 
-  /// Expand run-length encoding into a flat vector (no-op when not RLE).
+  /// Expand run-length or dictionary encoding into a flat vector (no-op
+  /// when already flat).
   ColumnVector Decoded() const;
 
-  /// Keep only physical entries where sel[i] != 0 (vector must not be RLE).
+  /// Keep only physical entries where sel[i] != 0. Works on flat and
+  /// dict-coded vectors (codes are filtered, dict shared); RLE vectors must
+  /// use FilterRuns.
   void FilterPhysical(const std::vector<uint8_t>& sel);
+
+  /// RLE-aware filter: `sel` is row-parallel (Size() entries); runs are
+  /// shortened to their surviving row counts and empty runs dropped, so the
+  /// vector stays RLE through a row filter.
+  void FilterRuns(const std::vector<uint8_t>& sel);
 
   /// Append src[idx] for every index in `indices` (typed batch gather; both
   /// vectors must be flat). The hot path of join materialization.
@@ -121,10 +145,10 @@ struct RowBlock {
     for (auto& c : columns) c.Clear();
   }
 
-  /// Expand any RLE columns so every column is flat.
+  /// Expand any RLE or dict-coded columns so every column is flat.
   void DecodeAll() {
     for (auto& c : columns) {
-      if (c.IsRle()) c = c.Decoded();
+      if (!c.IsFlat()) c = c.Decoded();
     }
   }
 

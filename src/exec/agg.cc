@@ -65,15 +65,20 @@ void AggState::Update(const AggSpec& spec, const ColumnVector& col, size_t phys,
       count += run;
       break;
     case AggKind::kSum:
-    case AggKind::kAvg:
+    case AggKind::kAvg: {
+      // Dict-coded input: resolve the value through the dictionary; the
+      // run multiplier is what makes this the RLE building block too.
+      const ColumnVector& v = col.IsDictCoded() ? *col.dict : col;
+      size_t p = col.IsDictCoded() ? static_cast<size_t>(col.ints[phys]) : phys;
       if (StorageClassOf(col.type) == StorageClass::kFloat64) {
-        dsum += col.doubles[phys] * run;
+        dsum += v.doubles[p] * run;
       } else {
-        isum += col.ints[phys] * static_cast<int64_t>(run);
-        dsum += static_cast<double>(col.ints[phys]) * run;
+        isum += v.ints[p] * static_cast<int64_t>(run);
+        dsum += static_cast<double>(v.ints[p]) * run;
       }
       count += run;
       break;
+    }
     case AggKind::kMin:
     case AggKind::kMax: {
       Value v = col.GetValue(phys);

@@ -54,8 +54,30 @@ uint32_t HashGroupByOperator::FindOrInsertGroup(Table* table, const RowBlock& bl
   return group;
 }
 
-Status HashGroupByOperator::Consume(const RowBlock& block) {
+Status HashGroupByOperator::Consume(RowBlock* blockp) {
+  if (spec_.phase != AggPhase::kCombine) {
+    // Encoded fast paths (DESIGN.md §13).
+    if (spec_.group_columns.empty()) return ConsumeGlobal(*blockp);
+    if (spec_.group_columns.size() == 1) {
+      const ColumnVector& gc = blockp->columns[spec_.group_columns[0]];
+      if (gc.IsDictCoded()) return ConsumeDictKey(blockp);
+      if (gc.IsRle()) return ConsumeRleKey(blockp);
+    }
+  }
+  // Universal fallback: flatten RLE columns (their physical entries are not
+  // row-parallel); dict columns stay coded — HashRows, GroupKeyEquals and
+  // AggState::Update all resolve codes through the dictionary.
+  bool any_dict = false;
+  for (auto& col : blockp->columns) {
+    if (col.IsRle()) col = col.Decoded();
+    any_dict |= col.IsDictCoded();
+  }
+  if (spec_.phase == AggPhase::kCombine) blockp->DecodeAll();
+  const RowBlock& block = *blockp;
   size_t n = block.NumRows();
+  if (any_dict && spec_.phase != AggPhase::kCombine && ctx_->stats) {
+    ctx_->stats->rows_processed_encoded.fetch_add(n);
+  }
   // Hash the whole block once (type-specialized per-column loops), then
   // probe in a batch; only rows that miss or collide fall back to the
   // serial find-or-insert walk.
@@ -103,6 +125,164 @@ Status HashGroupByOperator::Consume(const RowBlock& block) {
   return Status::OK();
 }
 
+Status HashGroupByOperator::ConsumeGlobal(const RowBlock& block) {
+  size_t n = block.NumRows();
+  // One group, no key columns; create it exactly as the general path would
+  // so spill/merge see an identical table shape.
+  uint32_t group;
+  if (table_.states.empty()) {
+    group = FindOrInsertGroup(&table_, block, spec_.group_columns, 0,
+                              HashGroupKey(block, spec_.group_columns, 0));
+  } else {
+    group = 0;
+  }
+  auto& states = table_.states[group];
+  uint64_t enc_rows = 0;
+  for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+    const AggSpec& agg = spec_.aggs[a];
+    if (agg.kind == AggKind::kCountStar) {
+      states[a].UpdateCountStar(static_cast<uint32_t>(n));
+      continue;
+    }
+    const ColumnVector& col = block.columns[agg.input_column];
+    size_t before = states[a].MemoryBytes();
+    if (col.IsRle()) {
+      // One state update per run: COUNT/SUM multiply by the run length,
+      // MIN/MAX/COUNT DISTINCT look at each distinct entry once.
+      for (size_t p = 0; p < col.PhysicalSize(); ++p) {
+        states[a].Update(agg, col, p, col.runs[p]);
+      }
+      enc_rows += n;
+    } else if (col.IsDictCoded()) {
+      // Per-code occurrence counts over the non-null rows, then one update
+      // per present dictionary entry with the count as the run multiplier.
+      size_t dsize = col.dict->PhysicalSize();
+      std::vector<uint32_t> cnt(dsize, 0);
+      for (size_t r = 0; r < n; ++r) {
+        if (!col.IsNull(r)) ++cnt[static_cast<size_t>(col.ints[r])];
+      }
+      for (size_t code = 0; code < dsize; ++code) {
+        if (cnt[code] > 0) states[a].Update(agg, *col.dict, code, cnt[code]);
+      }
+      enc_rows += n;
+    } else {
+      for (size_t r = 0; r < n; ++r) states[a].Update(agg, col, r, 1);
+    }
+    table_.bytes += states[a].MemoryBytes() - before;
+  }
+  if (enc_rows > 0 && ctx_->stats) {
+    ctx_->stats->rows_processed_encoded.fetch_add(enc_rows);
+  }
+  if (ctx_->budget && table_.bytes > 0 &&
+      static_cast<int64_t>(table_.bytes) > ctx_->budget->available()) {
+    STRATICA_RETURN_NOT_OK(SpillTable());
+  }
+  return Status::OK();
+}
+
+Status HashGroupByOperator::ConsumeDictKey(RowBlock* blockp) {
+  RowBlock& block = *blockp;
+  // The per-row walk below needs row-parallel agg inputs; RLE agg columns
+  // flatten (dict agg columns stay coded — Update resolves the code).
+  for (const auto& agg : spec_.aggs) {
+    if (agg.input_column >= 0 && block.columns[agg.input_column].IsRle()) {
+      block.columns[agg.input_column] = block.columns[agg.input_column].Decoded();
+    }
+  }
+  const ColumnVector& gc = block.columns[spec_.group_columns[0]];
+  size_t n = block.NumRows();
+  size_t dsize = gc.dict->PhysicalSize();
+  if (gc.dict != code_map_dict_) {
+    code_map_dict_ = gc.dict;
+    code_map_.assign(dsize + 1, FlatHashTable::kNone);  // last slot: NULL key
+  }
+  for (size_t r = 0; r < n; ++r) {
+    size_t slot = gc.IsNull(r) ? dsize : static_cast<size_t>(gc.ints[r]);
+    uint32_t group = code_map_[slot];
+    if (group == FlatHashTable::kNone) {
+      // First sight of this code: resolve through the hash table (the same
+      // dictionary value may already have a group from another block).
+      group = FindOrInsertGroup(&table_, block, spec_.group_columns, r,
+                                HashGroupKey(block, spec_.group_columns, r));
+      code_map_[slot] = group;
+    }
+    auto& states = table_.states[group];
+    for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+      const AggSpec& agg = spec_.aggs[a];
+      if (agg.kind == AggKind::kCountStar) {
+        states[a].UpdateCountStar(1);
+      } else {
+        size_t before = states[a].MemoryBytes();
+        states[a].Update(agg, block.columns[agg.input_column], r, 1);
+        table_.bytes += states[a].MemoryBytes() - before;
+      }
+    }
+  }
+  if (ctx_->stats) ctx_->stats->rows_processed_encoded.fetch_add(n);
+  if (ctx_->budget && table_.bytes > 0 &&
+      static_cast<int64_t>(table_.bytes) > ctx_->budget->available()) {
+    STRATICA_RETURN_NOT_OK(SpillTable());
+  }
+  return Status::OK();
+}
+
+Status HashGroupByOperator::ConsumeRleKey(RowBlock* blockp) {
+  RowBlock& block = *blockp;
+  uint32_t gcol = spec_.group_columns[0];
+  // Aggregate inputs other than the key itself are consumed row-at-a-time
+  // inside each run; their run structure (if any) need not match the key's,
+  // so flatten them.
+  for (const auto& agg : spec_.aggs) {
+    if (agg.input_column >= 0 && agg.input_column != static_cast<int>(gcol) &&
+        block.columns[agg.input_column].IsRle()) {
+      block.columns[agg.input_column] = block.columns[agg.input_column].Decoded();
+    }
+  }
+  const ColumnVector& gc = block.columns[gcol];
+  size_t n = block.NumRows();
+  size_t row = 0;
+  for (size_t p = 0; p < gc.PhysicalSize(); ++p) {
+    uint32_t run = gc.runs[p];
+    uint64_t h = HashCombine(kGroupKeySeed, gc.HashEntry(p));
+    uint32_t group = FlatHashTable::kNone;
+    for (uint32_t e = table_.index.Probe(h); e != FlatHashTable::kNone;
+         e = table_.index.Next(e)) {
+      if (GroupKeyEquals(table_.keys, identity_cols_, e, block, spec_.group_columns,
+                         p)) {
+        group = e;
+        break;
+      }
+    }
+    if (group == FlatHashTable::kNone) {
+      group = FindOrInsertGroup(&table_, block, spec_.group_columns, p, h);
+    }
+    auto& states = table_.states[group];
+    for (size_t a = 0; a < spec_.aggs.size(); ++a) {
+      const AggSpec& agg = spec_.aggs[a];
+      if (agg.kind == AggKind::kCountStar) {
+        states[a].UpdateCountStar(run);
+      } else if (agg.input_column == static_cast<int>(gcol)) {
+        // Aggregating the key itself: constant across the run, one update.
+        size_t before = states[a].MemoryBytes();
+        states[a].Update(agg, gc, p, run);
+        table_.bytes += states[a].MemoryBytes() - before;
+      } else {
+        const ColumnVector& col = block.columns[agg.input_column];
+        size_t before = states[a].MemoryBytes();
+        for (size_t rr = row; rr < row + run; ++rr) states[a].Update(agg, col, rr, 1);
+        table_.bytes += states[a].MemoryBytes() - before;
+      }
+    }
+    row += run;
+  }
+  if (ctx_->stats) ctx_->stats->rows_processed_encoded.fetch_add(n);
+  if (ctx_->budget && table_.bytes > 0 &&
+      static_cast<int64_t>(table_.bytes) > ctx_->budget->available()) {
+    STRATICA_RETURN_NOT_OK(SpillTable());
+  }
+  return Status::OK();
+}
+
 Status HashGroupByOperator::SpillTable() {
   if (partitions_.empty()) {
     for (size_t p = 0; p < kSpillPartitions; ++p) {
@@ -135,6 +315,9 @@ Status HashGroupByOperator::SpillTable() {
   }
   table_ = Table();
   table_.keys = RowBlock(GroupTypes());
+  // Group ids restarted with the table: the dict-code cache is stale.
+  code_map_dict_.reset();
+  code_map_.clear();
   return Status::OK();
 }
 
@@ -202,12 +385,13 @@ Status HashGroupByOperator::Open(ExecContext* ctx) {
   emitted_ = false;
   partitions_.clear();
 
+  code_map_dict_.reset();
+  code_map_.clear();
   for (;;) {
     RowBlock block;
     STRATICA_RETURN_NOT_OK(child_->GetNext(&block));
     if (block.NumRows() == 0) break;
-    block.DecodeAll();
-    STRATICA_RETURN_NOT_OK(Consume(block));
+    STRATICA_RETURN_NOT_OK(Consume(&block));
   }
 
   if (partitions_.empty()) {

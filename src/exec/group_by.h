@@ -57,7 +57,22 @@ class HashGroupByOperator : public Operator {
     size_t bytes = 0;
   };
 
-  Status Consume(const RowBlock& block);
+  /// Consume one input block. Encoded-aware (DESIGN.md §13): blocks may
+  /// arrive with RLE or dict-coded columns and are routed to a matching
+  /// fast path; the universal fallback flattens RLE columns in place (dict
+  /// columns stay coded — hashing, comparison and aggregation all resolve
+  /// codes through the dictionary).
+  Status Consume(RowBlock* block);
+  /// No GROUP BY: one global state per agg, updated by run length over RLE
+  /// columns and by per-code occurrence counts over dict columns.
+  Status ConsumeGlobal(const RowBlock& block);
+  /// Single dict-coded group column: a dense code→group-id map (rebuilt
+  /// when the block's dictionary changes) short-circuits the hash table;
+  /// only first-seen codes pay FindOrInsertGroup.
+  Status ConsumeDictKey(RowBlock* block);
+  /// Single RLE group column: resolve the group once per run, aggregate
+  /// same-column aggs by run length.
+  Status ConsumeRleKey(RowBlock* block);
   /// Find or create the group for `row` (key hash `h` precomputed by the
   /// batched hasher); returns the group id.
   uint32_t FindOrInsertGroup(Table* table, const RowBlock& block,
@@ -79,6 +94,12 @@ class HashGroupByOperator : public Operator {
   std::vector<uint32_t> identity_cols_;  // 0..num_group_cols-1, hoisted
   std::vector<uint64_t> hash_buf_;       // per-block batched key hashes
   std::vector<uint32_t> head_buf_;       // per-block batched probe results
+  /// Dense code→group-id cache for ConsumeDictKey, valid while the blocks'
+  /// dictionary pointer stays `code_map_dict_` (the shared_ptr keeps it
+  /// alive, so pointer identity is a safe key). Last slot = the NULL group.
+  /// Invalidated on spill (group ids reset with the table).
+  std::shared_ptr<const ColumnVector> code_map_dict_;
+  std::vector<uint32_t> code_map_;
   static constexpr size_t kSpillPartitions = 16;
   std::vector<std::unique_ptr<SpillWriter>> partitions_;
   std::deque<RowBlock> output_;

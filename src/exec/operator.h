@@ -60,6 +60,18 @@ struct ExecStats {
   /// buddy copy served the slot instead — whether the backup was spawned in
   /// response to the failure or was already in flight as a hedge.
   std::atomic<uint64_t> exchange_reroutes{0};
+  /// Compressed execution (DESIGN.md §13): logical rows an operator consumed
+  /// in encoded form — predicate eval by RLE run or dict code, aggregation
+  /// by run length, group-by via the code→group map — instead of on
+  /// materialized values.
+  std::atomic<uint64_t> rows_processed_encoded{0};
+  /// Encoded bytes of blocks that left the scan still encoded (runs or dict
+  /// codes) — decode work the executor never paid.
+  std::atomic<uint64_t> decode_elided_bytes{0};
+  /// Queries the planner ran serial because the scan shape (sorted output /
+  /// RLE passthrough) cannot ride the morsel path; keeps AllowedFanout
+  /// accounting honest about the bypass (DESIGN.md §12).
+  std::atomic<uint64_t> morsel_bypasses{0};
 
   /// Fold another query's counters into this one (Database keeps one
   /// cumulative ExecStats; each query runs against its own and merges on
@@ -84,6 +96,9 @@ struct ExecStats {
     reads_failed_over += other.reads_failed_over.load(std::memory_order_relaxed);
     exchange_hedges += other.exchange_hedges.load(std::memory_order_relaxed);
     exchange_reroutes += other.exchange_reroutes.load(std::memory_order_relaxed);
+    rows_processed_encoded += other.rows_processed_encoded.load(std::memory_order_relaxed);
+    decode_elided_bytes += other.decode_elided_bytes.load(std::memory_order_relaxed);
+    morsel_bypasses += other.morsel_bypasses.load(std::memory_order_relaxed);
   }
 };
 

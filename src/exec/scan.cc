@@ -1,11 +1,25 @@
 #include "exec/scan.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/hash.h"
 #include "storage/sort_util.h"
 
 namespace stratica {
+
+namespace {
+
+std::atomic<bool> g_encoded_exec_enabled{true};
+
+}  // namespace
+
+void SetEncodedExecutionEnabled(bool on) {
+  g_encoded_exec_enabled.store(on, std::memory_order_relaxed);
+}
+bool EncodedExecutionEnabled() {
+  return g_encoded_exec_enabled.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -335,7 +349,7 @@ Status ScanOperator::Open(ExecContext* ctx) {
 }
 
 Status ScanOperator::ComputeSelection(Source* src, size_t block_idx, uint64_t row_start,
-                                      const RowBlock& fblock, size_t n,
+                                      RowBlock* fblock, size_t n,
                                       const Expr* predicate,
                                       const std::vector<std::vector<uint32_t>>& sip_cols,
                                       std::vector<uint8_t>* sel, size_t* selected) {
@@ -358,8 +372,14 @@ Status ScanOperator::ComputeSelection(Source* src, size_t block_idx, uint64_t ro
     // Selection-in/selection-out: rows already dead (epoch/deletes) are
     // never evaluated, and AND chains evaluate right sides only over the
     // left sides' survivors. Swap keeps both buffers' capacity alive.
-    STRATICA_RETURN_NOT_OK(EvalPredicateMasked(*predicate, fblock, *sel, &pred_scratch_));
+    // Compare-const predicates over RLE/dict filter columns evaluate in
+    // encoded form (one compare per run / per dictionary entry).
+    uint64_t enc_rows = 0;
+    STRATICA_RETURN_NOT_OK(
+        EvalPredicateMasked(*predicate, *fblock, *sel, &pred_scratch_, &enc_rows));
     sel->swap(pred_scratch_);
+    if (enc_rows > 0 && ctx_->stats)
+      ctx_->stats->rows_processed_encoded.fetch_add(enc_rows);
   }
   bool any_sip_ready = false;
   for (const auto& sip : spec_.sips) any_sip_ready |= sip->ready.load();
@@ -367,6 +387,16 @@ Status ScanOperator::ComputeSelection(Source* src, size_t block_idx, uint64_t ro
   if (any_sip_ready) {
     uint64_t before = 0;
     for (uint8_t s : *sel) before += s;
+    // SIP probing is row-at-a-time over physical entries: flatten any RLE
+    // probe column in place (dict columns stay coded — the batched hashers
+    // resolve codes through per-entry hash tables).
+    for (size_t si = 0; si < spec_.sips.size(); ++si) {
+      if (!spec_.sips[si]->ready.load(std::memory_order_acquire)) continue;
+      for (uint32_t c : sip_cols[si]) {
+        if (fblock->columns[c].IsRle())
+          fblock->columns[c] = fblock->columns[c].Decoded();
+      }
+    }
     // Nothing above the SIPs filtered rows yet => sel is still all-ones and
     // the dense batched-membership path applies (until a SIP dirties it).
     bool sel_dense = before == n;
@@ -376,11 +406,27 @@ Status ScanOperator::ComputeSelection(Source* src, size_t block_idx, uint64_t ro
       const std::vector<uint32_t>& cols = sip_cols[si];
       if (cols.empty()) continue;  // no valid probe columns: nothing to test
       if (sip->has_range && cols.size() == 1) {
-        const ColumnVector& col = fblock.columns[cols[0]];
-        for (size_t i = 0; i < n; ++i) {
-          if ((*sel)[i] &&
-              (col.IsNull(i) || col.ints[i] < sip->min || col.ints[i] > sip->max)) {
-            (*sel)[i] = 0;
+        const ColumnVector& col = fblock->columns[cols[0]];
+        if (col.IsDictCoded() && col.dict_sorted &&
+            StorageClassOf(col.type) == StorageClass::kInt64) {
+          // Translate [min, max] to a code range once per dictionary, then
+          // test codes — no value materialization (DESIGN.md §13).
+          const auto& dv = col.dict->ints;
+          int64_t lo = std::lower_bound(dv.begin(), dv.end(), sip->min) - dv.begin();
+          int64_t hi = std::upper_bound(dv.begin(), dv.end(), sip->max) - dv.begin() - 1;
+          for (size_t i = 0; i < n; ++i) {
+            if ((*sel)[i] &&
+                (col.IsNull(i) || col.ints[i] < lo || col.ints[i] > hi)) {
+              (*sel)[i] = 0;
+            }
+          }
+          if (ctx_->stats) ctx_->stats->rows_processed_encoded.fetch_add(n);
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            if ((*sel)[i] &&
+                (col.IsNull(i) || col.ints[i] < sip->min || col.ints[i] > sip->max)) {
+              (*sel)[i] = 0;
+            }
           }
         }
         sel_dense = false;
@@ -388,11 +434,11 @@ Status ScanOperator::ComputeSelection(Source* src, size_t block_idx, uint64_t ro
       // Batch-hash the probe key columns for the rows still selected (the
       // range prune above often kills most of a block), then resolve
       // membership; rows with a NULL key never join.
-      HashRowsMasked(fblock, cols, kSipSeed, sel->data(), &hash_buf_);
+      HashRowsMasked(*fblock, cols, kSipSeed, sel->data(), &hash_buf_);
       bool any_nulls = false;
-      for (uint32_t c : cols) any_nulls |= !fblock.columns[c].nulls.empty();
+      for (uint32_t c : cols) any_nulls |= !fblock->columns[c].nulls.empty();
       if (any_nulls) {  // 1 in null_buf_ = NULL key, which never joins
-        NullKeyMask(fblock, cols, &null_buf_);
+        NullKeyMask(*fblock, cols, &null_buf_);
         for (size_t i = 0; i < n; ++i) {
           if (!(*sel)[i]) continue;
           if (null_buf_[i] || !sip->key_hashes.Contains(hash_buf_[i])) (*sel)[i] = 0;
@@ -446,7 +492,7 @@ Status ScanOperator::AdvanceWos(Source* src) {
       fview.columns[i].AppendRange(src->wos_rows.columns[filter_cols_[i]], at, take);
     }
     size_t selected = 0;
-    STRATICA_RETURN_NOT_OK(ComputeSelection(nullptr, 0, 0, fview, take,
+    STRATICA_RETURN_NOT_OK(ComputeSelection(nullptr, 0, 0, &fview, take,
                                             filter_predicate_.get(), sip_filter_cols_,
                                             &sel_scratch_, &selected));
     if (selected == 0) continue;
@@ -514,19 +560,38 @@ Status ScanOperator::AdvanceRos(Source* src) {
     bool need_row_filter = spec_.predicate != nullptr || deletes_here ||
                            src->epoch_reader != nullptr || any_sip_ready;
 
+    // Compressed execution (DESIGN.md §13): when the planner asked for
+    // encoded output (and the process-wide switch is on), blocks leave the
+    // scan as encoded-or-decoded views — RLE runs and dict codes survive
+    // into the output block, re-cut by the selection when rows filter.
+    bool emit_encoded =
+        spec_.encoded_output && EncodedExecutionEnabled() && !merge_mode_;
+
     if (!need_row_filter || spec_.eager_decode) {
       // Eager path: nothing filters rows (RLE passthrough may engage), or
       // late materialization is explicitly disabled for A/B comparison.
       RowBlock block(spec_.output_types);
       bool keep_runs = spec_.rle_passthrough && !merge_mode_ && !need_row_filter;
+      bool views = emit_encoded && !need_row_filter && !spec_.eager_decode;
       for (size_t c = 0; c < src->readers.size(); ++c) {
-        STRATICA_RETURN_NOT_OK(NoteRosFailure(
-            src, src->readers[c].ReadBlock(b, keep_runs, &block.columns[c])));
+        if (views) {
+          EncodedBlockView view;
+          STRATICA_RETURN_NOT_OK(
+              NoteRosFailure(src, src->readers[c].ReadBlockView(b, &view)));
+          if (view.encoded() && ctx_->stats) {
+            ctx_->stats->decode_elided_bytes.fetch_add(
+                src->readers[c].meta().blocks[b].encoded_bytes);
+          }
+          block.columns[c] = std::move(view.column);
+        } else {
+          STRATICA_RETURN_NOT_OK(NoteRosFailure(
+              src, src->readers[c].ReadBlock(b, keep_runs, &block.columns[c])));
+        }
       }
       if (need_row_filter) {
         // Columns are flat here: keep_runs is false whenever filtering runs.
         size_t selected = 0;
-        STRATICA_RETURN_NOT_OK(ComputeSelection(src, b, bm0.row_start, block, n,
+        STRATICA_RETURN_NOT_OK(ComputeSelection(src, b, bm0.row_start, &block, n,
                                                 spec_.predicate.get(),
                                                 sip_output_cols_, &sel_scratch_,
                                                 &selected));
@@ -544,13 +609,24 @@ Status ScanOperator::AdvanceRos(Source* src) {
     // Late materialization (DESIGN.md §7): read and decode only the filter
     // view, compute the full selection from it, and touch payload columns
     // only for surviving rows — not at all when the block comes back empty.
+    // With encoded execution on, filter columns are read as encoded views so
+    // the predicate can evaluate by run / dictionary entry.
+    bool filter_views = EncodedExecutionEnabled() && !spec_.eager_decode;
     RowBlock fblock(filter_types_);
     for (size_t i = 0; i < filter_cols_.size(); ++i) {
-      STRATICA_RETURN_NOT_OK(NoteRosFailure(
-          src, src->readers[filter_cols_[i]].ReadBlock(b, false, &fblock.columns[i])));
+      if (filter_views) {
+        EncodedBlockView view;
+        STRATICA_RETURN_NOT_OK(NoteRosFailure(
+            src, src->readers[filter_cols_[i]].ReadBlockView(b, &view)));
+        fblock.columns[i] = std::move(view.column);
+      } else {
+        STRATICA_RETURN_NOT_OK(NoteRosFailure(
+            src,
+            src->readers[filter_cols_[i]].ReadBlock(b, false, &fblock.columns[i])));
+      }
     }
     size_t selected = 0;
-    STRATICA_RETURN_NOT_OK(ComputeSelection(src, b, bm0.row_start, fblock, n,
+    STRATICA_RETURN_NOT_OK(ComputeSelection(src, b, bm0.row_start, &fblock, n,
                                             filter_predicate_.get(), sip_filter_cols_,
                                             &sel_scratch_, &selected));
     if (selected == 0) {
@@ -567,8 +643,43 @@ Status ScanOperator::AdvanceRos(Source* src) {
     for (size_t c = 0; c < src->readers.size(); ++c) {
       int fpos = filter_pos_[c];
       if (fpos >= 0) {
-        block.columns[c] = std::move(fblock.columns[fpos]);
-        if (selected < n) block.columns[c].FilterPhysical(sel_scratch_);
+        ColumnVector col = std::move(fblock.columns[fpos]);
+        if (!emit_encoded && !col.IsFlat()) col = col.Decoded();
+        if (selected < n) {
+          if (col.IsRle()) {
+            col.FilterRuns(sel_scratch_);
+          } else {
+            col.FilterPhysical(sel_scratch_);
+          }
+        }
+        if (!col.IsFlat() && ctx_->stats) {
+          ctx_->stats->decode_elided_bytes.fetch_add(
+              src->readers[c].meta().blocks[b].encoded_bytes);
+        }
+        block.columns[c] = std::move(col);
+      } else if (emit_encoded) {
+        // Payload as encoded-or-decoded view; runs/codes are re-cut by the
+        // selection instead of materializing values.
+        EncodedBlockView view;
+        STRATICA_RETURN_NOT_OK(
+            NoteRosFailure(src, src->readers[c].ReadBlockView(b, &view)));
+        ColumnVector col = std::move(view.column);
+        if (selected < n) {
+          if (col.IsRle()) {
+            col.FilterRuns(sel_scratch_);
+          } else {
+            col.FilterPhysical(sel_scratch_);
+          }
+        }
+        if (ctx_->stats) {
+          if (!col.IsFlat()) {
+            ctx_->stats->decode_elided_bytes.fetch_add(
+                src->readers[c].meta().blocks[b].encoded_bytes);
+          } else {
+            ctx_->stats->rows_decoded.fetch_add(selected);
+          }
+        }
+        block.columns[c] = std::move(col);
       } else if (selected == n) {
         // Fully-selected block: the plain decoder is the fastest gather.
         STRATICA_RETURN_NOT_OK(
@@ -664,6 +775,7 @@ std::string ScanOperator::DebugString() const {
   if (spec_.morsels) s += ", morsels";
   if (spec_.sorted_output) s += ", sorted";
   if (spec_.rle_passthrough) s += ", rle";
+  if (spec_.encoded_output) s += ", encoded";
   if (spec_.eager_decode) s += ", eager";
   s += ")";
   return s;

@@ -115,6 +115,16 @@ struct ScanSpec {
 
   bool rle_passthrough = false;  ///< emit runs on RLE blocks (single source)
 
+  /// Compressed execution (DESIGN.md §13): emit encoded-or-decoded views —
+  /// RLE blocks keep runs, BlockDict blocks keep codes + a shared sorted
+  /// dictionary — so encoded-aware consumers (group-by, aggregation,
+  /// projection passthrough) work without expansion. Unlike
+  /// rle_passthrough it survives row filters (runs are re-cut by the
+  /// selection) and multi-source scans (no ordering requirement), but it is
+  /// incompatible with sorted merge output (cross-block keys need values).
+  /// The planner sets it only when the consuming chain is encoded-aware.
+  bool encoded_output = false;
+
   bool use_regions = false;  ///< restrict to `regions` (+ WOS if include_wos)
   std::vector<ScanRegion> regions;
   bool include_wos = true;
@@ -185,9 +195,12 @@ class ScanOperator : public Operator {
   /// one block of `n` rows using only the columns present in `fblock`.
   /// `predicate` and `sip_cols` must be expressed in fblock's column space.
   /// `src` may be null (WOS slices: deletes/epochs already applied).
-  /// `*selected` receives the surviving row count.
+  /// `*selected` receives the surviving row count. `fblock` may hold encoded
+  /// (RLE/dict) columns — predicates evaluate on them directly; SIP probing
+  /// flattens RLE probe columns in place and translates range filters to
+  /// code ranges on sorted-dict columns.
   Status ComputeSelection(Source* src, size_t block_idx, uint64_t row_start,
-                          const RowBlock& fblock, size_t n, const Expr* predicate,
+                          RowBlock* fblock, size_t n, const Expr* predicate,
                           const std::vector<std::vector<uint32_t>>& sip_cols,
                           std::vector<uint8_t>* sel, size_t* selected);
 
@@ -234,6 +247,13 @@ class ScanOperator : public Operator {
 /// morsels for dynamic load balancing under skew (DESIGN.md §12).
 std::vector<std::vector<ScanRegion>> PlanScanRegions(const StorageSnapshot& snap,
                                                      size_t k);
+
+/// Process-wide compressed-execution switch (default on). Off = scans decode
+/// every block flat and the planner never requests encoded output — the
+/// decode-first baseline for benchmarks and differential tests. Reads are
+/// relaxed-atomic; flip only between queries.
+void SetEncodedExecutionEnabled(bool on);
+bool EncodedExecutionEnabled();
 
 }  // namespace stratica
 

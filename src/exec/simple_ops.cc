@@ -61,7 +61,10 @@ ProjectOperator::ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
                                  std::vector<std::string> names)
     : child_(std::move(child)), exprs_(std::move(exprs)), names_(std::move(names)) {}
 
-Status ProjectOperator::Open(ExecContext* ctx) { return child_->Open(ctx); }
+Status ProjectOperator::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
 
 std::vector<TypeId> ProjectOperator::OutputTypes() const {
   std::vector<TypeId> t;
@@ -74,9 +77,25 @@ Status ProjectOperator::GetNext(RowBlock* out) {
   STRATICA_RETURN_NOT_OK(child_->GetNext(&in));
   *out = RowBlock(OutputTypes());
   if (in.NumRows() == 0) return Status::OK();
-  in.DecodeAll();
+  // Compressed execution (DESIGN.md §13): a bare column reference passes the
+  // child's column through with runs/dict codes intact — the downstream
+  // consumer decides whether to decode. Only non-trivial expressions force
+  // the block flat.
+  bool any_compute = false;
+  for (const auto& e : exprs_) any_compute |= e->kind != ExprKind::kColumnRef;
+  if (any_compute) in.DecodeAll();
   for (size_t c = 0; c < exprs_.size(); ++c) {
-    STRATICA_RETURN_NOT_OK(EvalExpr(*exprs_[c], in, &out->columns[c]));
+    const Expr& e = *exprs_[c];
+    if (e.kind == ExprKind::kColumnRef && e.column_index >= 0 &&
+        e.column_index < static_cast<int>(in.columns.size())) {
+      const ColumnVector& src = in.columns[e.column_index];
+      if (!src.IsFlat() && ctx_ != nullptr && ctx_->stats) {
+        ctx_->stats->rows_processed_encoded.fetch_add(in.NumRows());
+      }
+      out->columns[c] = src;
+      continue;
+    }
+    STRATICA_RETURN_NOT_OK(EvalExpr(e, in, &out->columns[c]));
   }
   return Status::OK();
 }
@@ -96,10 +115,22 @@ Status FilterOperator::GetNext(RowBlock* out) {
     STRATICA_RETURN_NOT_OK(child_->GetNext(&in));
     *out = std::move(in);
     if (out->NumRows() == 0) return Status::OK();
-    out->DecodeAll();
+    // Encoded blocks filter without expansion: the predicate's fast paths
+    // evaluate by run / dictionary entry and the selection re-cuts runs
+    // (FilterRuns) or compacts codes (FilterPhysical on a dict column).
     std::vector<uint8_t> sel;
-    STRATICA_RETURN_NOT_OK(EvalPredicate(*predicate_, *out, &sel));
-    for (auto& col : out->columns) col.FilterPhysical(sel);
+    uint64_t enc_rows = 0;
+    STRATICA_RETURN_NOT_OK(EvalPredicate(*predicate_, *out, &sel, &enc_rows));
+    if (enc_rows > 0 && ctx_ != nullptr && ctx_->stats) {
+      ctx_->stats->rows_processed_encoded.fetch_add(enc_rows);
+    }
+    for (auto& col : out->columns) {
+      if (col.IsRle()) {
+        col.FilterRuns(sel);
+      } else {
+        col.FilterPhysical(sel);
+      }
+    }
     if (out->NumRows() > 0) return Status::OK();
   }
 }

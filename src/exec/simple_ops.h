@@ -75,6 +75,7 @@ class ProjectOperator : public Operator {
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
   std::vector<std::string> names_;
+  ExecContext* ctx_ = nullptr;
 };
 
 /// \brief Row filter for predicates not pushed into a scan (e.g. HAVING).
@@ -83,7 +84,10 @@ class FilterOperator : public Operator {
   FilterOperator(OperatorPtr child, ExprPtr predicate)
       : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-  Status Open(ExecContext* ctx) override { return child_->Open(ctx); }
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    return child_->Open(ctx);
+  }
   Status GetNext(RowBlock* out) override;
   Status Close() override { return child_->Close(); }
   std::vector<TypeId> OutputTypes() const override { return child_->OutputTypes(); }
@@ -96,6 +100,7 @@ class FilterOperator : public Operator {
  private:
   OperatorPtr child_;
   ExprPtr predicate_;
+  ExecContext* ctx_ = nullptr;
 };
 
 /// \brief Sort (Section 6.1 #5): externalizing sort over normalized keys

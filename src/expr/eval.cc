@@ -359,7 +359,7 @@ Status EvalExpr(const Expr& e, const RowBlock& input, ColumnVector* out) {
       if (e.column_index < 0 || e.column_index >= static_cast<int>(input.NumColumns()))
         return Status::Internal("unbound column reference: ", e.column_name);
       const ColumnVector& col = input.columns[e.column_index];
-      *out = col.IsRle() ? col.Decoded() : col;
+      *out = col.IsFlat() ? col : col.Decoded();
       return Status::OK();
     }
     case ExprKind::kLiteral: {
@@ -450,51 +450,105 @@ Status EvalExpr(const Expr& e, const RowBlock& input, ColumnVector* out) {
 
 namespace {
 
-// Shared compare-const fast-path matcher. Returns true (and fills `sel`)
-// when `e` is `<flat column> <op> <non-null literal>` of a supported type.
-bool TrySelConstFastPath(const Expr& e, const RowBlock& input, const uint8_t* active,
-                         size_t n_active, std::vector<uint8_t>* sel) {
-  if (e.kind != ExprKind::kCompare || e.children[0]->kind != ExprKind::kColumnRef ||
-      e.children[1]->kind != ExprKind::kLiteral || e.children[1]->literal.is_null()) {
-    return false;
-  }
-  int idx = e.children[0]->column_index;
-  if (idx < 0 || idx >= static_cast<int>(input.NumColumns()) ||
-      input.columns[idx].IsRle()) {
-    return false;
-  }
-  const ColumnVector& col = input.columns[idx];
-  if (active != nullptr && col.PhysicalSize() != n_active) return false;
-  const Value& lit = e.children[1]->literal;
-  if (StorageClassOf(col.type) == StorageClass::kInt64 &&
+// Per-physical-entry verdicts for `<values> <op> <lit>` — the shared kernel
+// of the flat, RLE, and dict compare-const fast paths. Returns false on
+// unsupported (type, literal) pairings.
+bool EntryVerdicts(const ColumnVector& values, CompareOp cmp, const Value& lit,
+                   const uint8_t* active, std::vector<uint8_t>* sel) {
+  if (StorageClassOf(values.type) == StorageClass::kInt64 &&
       StorageClassOf(lit.type()) == StorageClass::kInt64) {
-    DispatchSelConst<int64_t>(col.ints, col.nulls, active, e.cmp, lit.i64(), sel);
+    DispatchSelConst<int64_t>(values.ints, values.nulls, active, cmp, lit.i64(), sel);
     return true;
   }
-  if (StorageClassOf(col.type) == StorageClass::kFloat64 &&
+  if (StorageClassOf(values.type) == StorageClass::kFloat64 &&
       lit.type() != TypeId::kString) {
-    DispatchSelConst<double>(col.doubles, col.nulls, active, e.cmp, lit.AsDouble(), sel);
+    DispatchSelConst<double>(values.doubles, values.nulls, active, cmp, lit.AsDouble(),
+                             sel);
     return true;
   }
-  if (StorageClassOf(col.type) == StorageClass::kString &&
+  if (StorageClassOf(values.type) == StorageClass::kString &&
       lit.type() == TypeId::kString) {
-    DispatchSelConst<std::string>(col.strings, col.nulls, active, e.cmp, lit.str(), sel);
+    DispatchSelConst<std::string>(values.strings, values.nulls, active, cmp, lit.str(),
+                                  sel);
     return true;
   }
   return false;
 }
 
+// Shared compare-const fast-path matcher. Returns true (and fills `sel`)
+// when `e` is `<column> <op> <non-null literal>` of a supported type.
+// Compressed execution (DESIGN.md §13): RLE columns evaluate one compare per
+// run and dict-coded columns one compare per dictionary entry (the verdict
+// bitmap *is* the predicate translated to a code set); `rows_encoded`
+// (nullable) accumulates the logical rows covered that way.
+bool TrySelConstFastPath(const Expr& e, const RowBlock& input, const uint8_t* active,
+                         size_t n_active, std::vector<uint8_t>* sel,
+                         uint64_t* rows_encoded) {
+  if (e.kind != ExprKind::kCompare || e.children[0]->kind != ExprKind::kColumnRef ||
+      e.children[1]->kind != ExprKind::kLiteral || e.children[1]->literal.is_null()) {
+    return false;
+  }
+  int idx = e.children[0]->column_index;
+  if (idx < 0 || idx >= static_cast<int>(input.NumColumns())) return false;
+  const ColumnVector& col = input.columns[idx];
+  const Value& lit = e.children[1]->literal;
+  if (col.IsRle()) {
+    // One compare per run; the verdict then paints whole run spans of the
+    // row-parallel selection.
+    size_t n = col.Size();
+    if (active != nullptr && n != n_active) return false;
+    std::vector<uint8_t> verdict;
+    if (!EntryVerdicts(col, e.cmp, lit, nullptr, &verdict)) return false;
+    sel->resize(n);
+    size_t row = 0;
+    for (size_t p = 0; p < col.runs.size(); ++p) {
+      uint32_t r = col.runs[p];
+      uint8_t v = verdict[p];
+      if (active == nullptr) {
+        std::fill(sel->begin() + row, sel->begin() + row + r, v);
+      } else {
+        for (uint32_t k = 0; k < r; ++k) (*sel)[row + k] = v & active[row + k];
+      }
+      row += r;
+    }
+    if (rows_encoded != nullptr) *rows_encoded += n;
+    return true;
+  }
+  if (col.IsDictCoded()) {
+    // One compare per dictionary entry, then a code lookup per row.
+    size_t n = col.ints.size();
+    if (active != nullptr && n != n_active) return false;
+    std::vector<uint8_t> verdict;
+    if (!EntryVerdicts(*col.dict, e.cmp, lit, nullptr, &verdict)) return false;
+    sel->resize(n);
+    const int64_t* codes = col.ints.data();
+    const uint8_t* nulls = col.nulls.empty() ? nullptr : col.nulls.data();
+    for (size_t i = 0; i < n; ++i) {
+      uint8_t v = verdict[static_cast<size_t>(codes[i])];
+      if (nulls != nullptr && nulls[i]) v = 0;
+      if (active != nullptr) v &= active[i];
+      (*sel)[i] = v;
+    }
+    if (rows_encoded != nullptr) *rows_encoded += n;
+    return true;
+  }
+  if (active != nullptr && col.PhysicalSize() != n_active) return false;
+  return EntryVerdicts(col, e.cmp, lit, active, sel);
+}
+
 }  // namespace
 
-Status EvalPredicate(const Expr& e, const RowBlock& input, std::vector<uint8_t>* sel) {
-  // Fast path: <column> <op> <literal> over a flat column.
-  if (TrySelConstFastPath(e, input, /*active=*/nullptr, 0, sel)) return Status::OK();
+Status EvalPredicate(const Expr& e, const RowBlock& input, std::vector<uint8_t>* sel,
+                     uint64_t* rows_encoded) {
+  // Fast path: <column> <op> <literal> over a flat, RLE, or dict column.
+  if (TrySelConstFastPath(e, input, /*active=*/nullptr, 0, sel, rows_encoded))
+    return Status::OK();
   // Fast path: conjunction — AND the children's selections (a size-1 side,
   // from an all-scalar subpredicate, broadcasts).
   if (e.kind == ExprKind::kLogical && e.logic == LogicalOp::kAnd) {
     std::vector<uint8_t> left, right;
-    STRATICA_RETURN_NOT_OK(EvalPredicate(*e.children[0], input, &left));
-    STRATICA_RETURN_NOT_OK(EvalPredicate(*e.children[1], input, &right));
+    STRATICA_RETURN_NOT_OK(EvalPredicate(*e.children[0], input, &left, rows_encoded));
+    STRATICA_RETURN_NOT_OK(EvalPredicate(*e.children[1], input, &right, rows_encoded));
     size_t n = std::max(left.size(), right.size());
     size_t ls = (n > 1 && left.size() == 1) ? 0 : 1;
     size_t rs = (n > 1 && right.size() == 1) ? 0 : 1;
@@ -514,7 +568,7 @@ Status EvalPredicate(const Expr& e, const RowBlock& input, std::vector<uint8_t>*
 
 Status EvalPredicateMasked(const Expr& e, const RowBlock& input,
                            const std::vector<uint8_t>& active,
-                           std::vector<uint8_t>* sel) {
+                           std::vector<uint8_t>* sel, uint64_t* rows_encoded) {
   size_t n = active.size();
   size_t live = 0;
   for (uint8_t a : active) live += a != 0;
@@ -523,13 +577,15 @@ Status EvalPredicateMasked(const Expr& e, const RowBlock& input,
     return Status::OK();
   }
   // Compare-const: one fused loop, op applied only under the mask.
-  if (TrySelConstFastPath(e, input, active.data(), n, sel)) return Status::OK();
+  if (TrySelConstFastPath(e, input, active.data(), n, sel, rows_encoded))
+    return Status::OK();
   // Conjunction: the left side's survivors become the right side's mask, so
   // the right side only evaluates over rows the left side kept.
   if (e.kind == ExprKind::kLogical && e.logic == LogicalOp::kAnd) {
     std::vector<uint8_t> left;
-    STRATICA_RETURN_NOT_OK(EvalPredicateMasked(*e.children[0], input, active, &left));
-    return EvalPredicateMasked(*e.children[1], input, left, sel);
+    STRATICA_RETURN_NOT_OK(
+        EvalPredicateMasked(*e.children[0], input, active, &left, rows_encoded));
+    return EvalPredicateMasked(*e.children[1], input, left, sel, rows_encoded);
   }
   // General shapes: when most rows are already dead, gather the live rows
   // into a compact block, evaluate there, and scatter the verdicts back.
@@ -595,7 +651,7 @@ Result<Value> EvalScalar(const Expr& e, const RowBlock& input, size_t row) {
   one.columns.reserve(input.NumColumns());
   for (const auto& col : input.columns) {
     ColumnVector c(col.type);
-    ColumnVector flat = col.IsRle() ? col.Decoded() : col;
+    ColumnVector flat = col.IsFlat() ? col : col.Decoded();
     c.AppendFrom(flat, row);
     one.columns.push_back(std::move(c));
   }

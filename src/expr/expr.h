@@ -119,7 +119,11 @@ Status EvalExpr(const Expr& e, const RowBlock& input, ColumnVector* out);
 
 /// Evaluate a bound predicate over a block into a selection byte vector
 /// (1 = row passes). NULL results count as not passing (SQL semantics).
-Status EvalPredicate(const Expr& e, const RowBlock& input, std::vector<uint8_t>* sel);
+/// Compare-const predicates over RLE or dict-coded columns evaluate without
+/// expansion (one compare per run / per dictionary entry); `rows_encoded`
+/// (nullable) accumulates the logical rows those encoded paths covered.
+Status EvalPredicate(const Expr& e, const RowBlock& input, std::vector<uint8_t>* sel,
+                     uint64_t* rows_encoded = nullptr);
 
 /// Selection-in/selection-out predicate evaluation (late materialization):
 /// sel[i] = active[i] AND e(row i), with sel sized like `active` (which must
@@ -129,7 +133,8 @@ Status EvalPredicate(const Expr& e, const RowBlock& input, std::vector<uint8_t>*
 /// evaluate on a compacted block when most rows are dead.
 Status EvalPredicateMasked(const Expr& e, const RowBlock& input,
                            const std::vector<uint8_t>& active,
-                           std::vector<uint8_t>* sel);
+                           std::vector<uint8_t>* sel,
+                           uint64_t* rows_encoded = nullptr);
 
 /// Evaluate a bound expression against a single row (slow path).
 Result<Value> EvalScalar(const Expr& e, const RowBlock& input, size_t row);

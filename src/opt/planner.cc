@@ -705,6 +705,59 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt,
     }
     residual_expr = CombineConjuncts(rebound);
   }
+  // ---- sort elimination (Section 6.2) ----------------------------------------
+  // A single-table, single-unit SELECT whose ORDER BY is an ascending prefix
+  // of the chosen projection's sort order reads pre-sorted storage: the scan
+  // is planned order-carrying (sorted_output + merge across containers) and
+  // the SortOperator is dropped. Restricted to one scan unit because a
+  // union or exchange over several pipelines loses the order; the fan-out
+  // gate below then records the morsel bypass this shape causes.
+  bool sort_eliminated = false;
+  if (!stmt.order_by.empty() && steps->empty() && scope.tables.size() == 1 &&
+      num_units == 1 && !stmt.distinct && stmt.group_by.empty() &&
+      stmt.having_aggs.empty()) {
+    bool plain_select = true;
+    for (const auto& item : stmt.items) {
+      plain_select &= item.kind == SelectItem::Kind::kStar ||
+                      item.kind == SelectItem::Kind::kExpr;
+    }
+    const TableSlot& fslot = scope.tables[fact];
+    ScanSpec& ft = table_plans[fact].spec;
+    bool ok = plain_select && stmt.order_by.size() <= fslot.projection.sort_columns.size();
+    std::vector<uint32_t> key_outputs;
+    for (size_t j = 0; ok && j < stmt.order_by.size(); ++j) {
+      const auto& [oe, desc] = stmt.order_by[j];
+      if (desc || oe->kind != ExprKind::kColumnRef) {
+        ok = false;
+        break;
+      }
+      // The key must also be a select output, so the query shapes that the
+      // Sort path would reject stay rejected.
+      bool in_output = false;
+      for (const auto& item : stmt.items) {
+        in_output |= item.kind == SelectItem::Kind::kStar ||
+                     (item.kind == SelectItem::Kind::kExpr &&
+                      (item.alias == oe->column_name ||
+                       item.expr->ToString() == oe->ToString()));
+      }
+      auto bound = rebind_to_stream(oe);
+      if (!in_output || !bound.ok() ||
+          bound.value()->kind != ExprKind::kColumnRef) {
+        ok = false;
+        break;
+      }
+      int scan_col = bound.value()->column_index;
+      ok &= ft.projection_columns[scan_col] ==
+            static_cast<int>(fslot.projection.sort_columns[j]);
+      key_outputs.push_back(static_cast<uint32_t>(scan_col));
+    }
+    if (ok) {
+      ft.sorted_output = true;
+      ft.sort_key_outputs = std::move(key_outputs);
+      sort_eliminated = true;
+    }
+  }
+
   // ---- intra-node fan-out gate (DESIGN.md §12) -------------------------------
   // A unit pipeline splits into `fanout` morsel-driven fragments when the
   // fact is big enough to amortize the extra pipelines and nothing in the
@@ -713,17 +766,44 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt,
   // ParallelUnion, and RIGHT/FULL joins must emit unmatched build rows
   // exactly once, which a build shared across fragments cannot.
   size_t fanout = intra_node_parallelism == 0 ? 1 : intra_node_parallelism;
+  bool morsel_bypass = false;
   if (fanout > 1) {
     constexpr uint64_t kMinParallelRowsPerUnit = 32768;
     bool ok = scope.tables[fact].est_rows >=
               kMinParallelRowsPerUnit * std::max<size_t>(num_units, 1);
     const ScanSpec& ft = table_plans[fact].spec;
-    ok &= !ft.sorted_output && !ft.rle_passthrough;
+    // Order-carrying scan shapes are planned serial *explicitly* and
+    // recorded (PhysicalPlan::morsel_bypass → ExecStats::morsel_bypasses),
+    // not silently dropped, so fan-out accounting stays honest.
+    bool order_carrying = ft.sorted_output || ft.rle_passthrough;
+    if (ok && order_carrying) morsel_bypass = true;
+    ok &= !order_carrying;
     for (const auto& step : *steps) {
       ok &= step.jspec.type != JoinType::kRight &&
             step.jspec.type != JoinType::kFull;
     }
     if (!ok) fanout = 1;
+  }
+
+  // ---- compressed execution (DESIGN.md §13) ----------------------------------
+  // Emit encoded-or-decoded views from the fact scan when every consumer in
+  // the chain is encoded-aware: single-table aggregation stacks (ExprEval
+  // passthrough → Filter → GroupBy all consume runs/codes directly). Joins,
+  // window functions and plain row-returning SELECTs keep decoded scans —
+  // their consumers want flat vectors. The scan re-checks the process-wide
+  // switch at run time, so the A/B baseline needs no replan.
+  {
+    bool agg_query = !stmt.group_by.empty() || !stmt.having_aggs.empty();
+    bool window_query = false;
+    for (const auto& item : stmt.items) {
+      agg_query |= item.kind == SelectItem::Kind::kAgg;
+      window_query |= item.kind == SelectItem::Kind::kWindow;
+    }
+    ScanSpec& ft = table_plans[fact].spec;
+    if (agg_query && !window_query && steps->empty() && !ft.sorted_output &&
+        !ft.rle_passthrough && EncodedExecutionEnabled()) {
+      ft.encoded_output = true;
+    }
   }
 
   // Applied to every fragment of a unit (serial plans: the one pipeline), so
@@ -1090,8 +1170,8 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt,
     root = std::make_unique<HashGroupByOperator>(std::move(root), dspec);
   }
 
-  // ORDER BY over the output schema.
-  if (!stmt.order_by.empty()) {
+  // ORDER BY over the output schema (unless the scan already carries it).
+  if (!stmt.order_by.empty() && !sort_eliminated) {
     BindSchema out_schema;
     auto types = root->OutputTypes();
     for (size_t c = 0; c < plan.column_names.size(); ++c)
@@ -1138,6 +1218,7 @@ Result<PhysicalPlan> Planner::PlanSelect(const SelectStmt& stmt,
   plan.column_types = root->OutputTypes();
   plan.estimated_memory_bytes = EstimatePlanMemory(*root);
   plan.fanout = fanout;
+  plan.morsel_bypass = morsel_bypass;
   plan.root = std::move(root);
   return plan;
 }

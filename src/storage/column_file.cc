@@ -198,6 +198,13 @@ Status ColumnReader::ReadBlock(size_t idx, bool keep_runs, ColumnVector* out) co
   return DecodeBlock(scratch_, &offset, meta_.type, out);
 }
 
+Status ColumnReader::ReadBlockView(size_t idx, EncodedBlockView* out) const {
+  if (idx >= meta_.blocks.size()) return Status::InvalidArgument("block out of range");
+  STRATICA_RETURN_NOT_OK(FetchBlock(idx));
+  size_t offset = 0;
+  return DecodeBlockView(scratch_, &offset, meta_.type, out);
+}
+
 Status ColumnReader::ReadBlockSelected(size_t idx, const std::vector<uint8_t>& sel,
                                        ColumnVector* out) const {
   if (idx >= meta_.blocks.size()) return Status::InvalidArgument("block out of range");

@@ -102,6 +102,12 @@ class ColumnReader {
   Status ReadBlockSelected(size_t idx, const std::vector<uint8_t>& sel,
                            ColumnVector* out) const;
 
+  /// Compressed-execution read (DESIGN.md §13): decode block `idx` to its
+  /// cheapest loss-free view — RLE keeps runs, BlockDict keeps codes plus a
+  /// shared sorted dictionary, everything else decodes flat. The view owns
+  /// its data and may outlive this reader.
+  Status ReadBlockView(size_t idx, EncodedBlockView* out) const;
+
   /// Decode the whole column with a single ranged read of the data file.
   Status ReadAll(ColumnVector* out) const;
 

@@ -1,6 +1,7 @@
 #include "storage/encoding.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <unordered_map>
 
@@ -226,6 +227,42 @@ bool BuildDict(const std::vector<T>& values, size_t start, size_t count, size_t 
 
 constexpr size_t kDictLimit = 16384;
 
+// Sort a freshly built dictionary and remap the per-row indexes so stored
+// code order == value order. Paying the d·log d once at encode time lets
+// every EncodedBlockView reader skip its own sort + full code remap
+// (DESIGN.md §13); the on-disk format is unchanged (readers that expand
+// never cared about dictionary order).
+template <typename T>
+bool DictLess(const T& a, const T& b) {
+  return a < b;
+}
+// Doubles need a total order (std::sort on raw NaNs is undefined): NaNs
+// sort after every number and tie with each other.
+inline bool DictLess(double a, double b) {
+  if (std::isnan(b)) return !std::isnan(a);
+  if (std::isnan(a)) return false;
+  return a < b;
+}
+
+template <typename T>
+void SortDictAndRemap(std::vector<T>* dict, std::vector<uint32_t>* indexes) {
+  size_t d = dict->size();
+  std::vector<uint32_t> perm(d);
+  for (size_t i = 0; i < d; ++i) perm[i] = static_cast<uint32_t>(i);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return DictLess((*dict)[a], (*dict)[b]);
+  });
+  std::vector<T> sorted;
+  sorted.reserve(d);
+  std::vector<uint32_t> rank(d);
+  for (size_t i = 0; i < d; ++i) {
+    rank[perm[i]] = static_cast<uint32_t>(i);
+    sorted.push_back(std::move((*dict)[perm[i]]));
+  }
+  *dict = std::move(sorted);
+  for (auto& idx : *indexes) idx = rank[idx];
+}
+
 Status EncodeBlockDict(const ColumnVector& col, size_t start, size_t count,
                        std::string* out, bool* feasible) {
   std::vector<uint32_t> indexes;
@@ -239,6 +276,7 @@ Status EncodeBlockDict(const ColumnVector& col, size_t start, size_t count,
         *feasible = false;
         return Status::OK();
       }
+      SortDictAndRemap(&dict, &indexes);
       dict_size = dict.size();
       for (int64_t v : dict) PutVarint64(&dict_body, ZigZagEncode(v));
       break;
@@ -249,6 +287,7 @@ Status EncodeBlockDict(const ColumnVector& col, size_t start, size_t count,
         *feasible = false;
         return Status::OK();
       }
+      SortDictAndRemap(&dict, &indexes);
       dict_size = dict.size();
       for (double v : dict) PutFixed(&dict_body, v);
       break;
@@ -259,6 +298,7 @@ Status EncodeBlockDict(const ColumnVector& col, size_t start, size_t count,
         *feasible = false;
         return Status::OK();
       }
+      SortDictAndRemap(&dict, &indexes);
       dict_size = dict.size();
       for (const auto& v : dict) {
         PutVarint64(&dict_body, v.size());
@@ -921,6 +961,80 @@ Status DecodeBlockRuns(const std::string& data, size_t* offset, TypeId type,
 Status DecodeBlockSelected(const std::string& data, size_t* offset, TypeId type,
                            const std::vector<uint8_t>& sel, ColumnVector* out) {
   return DecodeBlockImpl(data, offset, type, out, /*keep_runs=*/false, &sel);
+}
+
+Status DecodeBlockView(const std::string& data, size_t* offset, TypeId type,
+                       EncodedBlockView* out) {
+  out->column = ColumnVector(type);
+  auto enc = PeekBlockEncoding(data, *offset);
+  if (!enc.ok()) return enc.status();
+  out->encoding = enc.value();
+  if (enc.value() == EncodingId::kRle) {
+    return DecodeBlockRuns(data, offset, type, &out->column);
+  }
+  if (enc.value() != EncodingId::kBlockDict) {
+    return DecodeBlock(data, offset, type, &out->column);
+  }
+
+  // BlockDict: materialize per-row codes plus the dictionary instead of
+  // expanding values. Framing mirrors DecodeBlockImpl.
+  ++*offset;  // encoding byte
+  uint64_t count;
+  if (!GetVarint64(data, offset, &count)) return Status::Corruption("block: bad count");
+  std::vector<uint8_t> nulls;
+  STRATICA_RETURN_NOT_OK(ReadNullSection(data, offset, count, &nulls));
+  ColumnVector raw_dict(type);
+  uint64_t dict_size;
+  int width;
+  STRATICA_RETURN_NOT_OK(ParseDictHeader(data, offset, &raw_dict, &dict_size, &width));
+  ColumnVector& col = out->column;
+  col.ints.reserve(count);
+  if (width == 0) {
+    if (count > 0 && dict_size == 0) return Status::Corruption("dict: empty");
+    col.ints.assign(count, 0);
+  } else {
+    size_t payload = PackedBytes(count, width);
+    if (*offset + payload > data.size()) return Status::Corruption("dict: truncated");
+    const char* base = data.data() + *offset;
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t code = ReadPackedBits(base, i * static_cast<size_t>(width), width);
+      if (code >= dict_size) return Status::Corruption("dict: index out of range");
+      col.ints.push_back(static_cast<int64_t>(code));
+    }
+    *offset += payload;
+  }
+  col.nulls = std::move(nulls);
+
+  // Code order must equal value order. Blocks written since the encoder
+  // started sorting dictionaries (and remapping codes) at encode time pass
+  // the O(d) check below and skip the work entirely; older blocks (or other
+  // writers) pay one sort + remap per view.
+  size_t d = raw_dict.PhysicalSize();
+  bool presorted = true;
+  for (size_t i = 1; presorted && i < d; ++i) {
+    presorted = ColumnVector::CompareEntries(raw_dict, i - 1, raw_dict, i) < 0;
+  }
+  if (presorted) {
+    col.dict = std::make_shared<const ColumnVector>(std::move(raw_dict));
+    col.dict_sorted = true;
+    return Status::OK();
+  }
+  std::vector<uint32_t> perm(d);
+  for (size_t i = 0; i < d; ++i) perm[i] = static_cast<uint32_t>(i);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return ColumnVector::CompareEntries(raw_dict, a, raw_dict, b) < 0;
+  });
+  std::vector<int64_t> rank(d);
+  ColumnVector sorted(type);
+  sorted.Reserve(d);
+  for (size_t i = 0; i < d; ++i) {
+    rank[perm[i]] = static_cast<int64_t>(i);
+    sorted.AppendFrom(raw_dict, perm[i]);
+  }
+  for (auto& c : col.ints) c = rank[static_cast<size_t>(c)];
+  col.dict = std::make_shared<const ColumnVector>(std::move(sorted));
+  col.dict_sorted = true;
+  return Status::OK();
 }
 
 Result<EncodingId> PeekBlockEncoding(const std::string& data, size_t offset) {

@@ -78,6 +78,32 @@ Status DecodeBlockSelected(const std::string& data, size_t* offset, TypeId type,
 /// Read the encoding id actually used by an encoded block.
 Result<EncodingId> PeekBlockEncoding(const std::string& data, size_t offset);
 
+/// \brief One block decoded to its cheapest loss-free in-memory form — the
+/// unit of compressed execution (paper Section 6.1: "never decode what you
+/// can process encoded").
+///
+/// `column` preserves the block's encoded structure when operators can
+/// exploit it: RLE blocks keep run lengths, BlockDict blocks keep per-row
+/// codes plus a shared immutable dictionary (re-sorted at view construction
+/// so code order == value order, enabling code-range predicates and
+/// code-based sort keys); every other encoding decodes flat. The view owns
+/// its data — values and codes are copied out of the block buffer and the
+/// dictionary is an immutable shared_ptr — so it may outlive the block
+/// snapshot and travel through the operator tree. Any consumer that cannot
+/// handle an encoded column falls back via ColumnVector::Decoded().
+struct EncodedBlockView {
+  EncodingId encoding = EncodingId::kPlain;  ///< physical encoding of the block
+  ColumnVector column;
+  /// True when the column still carries encoded structure (runs or codes).
+  bool encoded() const { return !column.IsFlat(); }
+};
+
+/// Decode one block (produced by EncodeBlock) into an EncodedBlockView.
+/// `out->column` is freshly assigned (unlike the appending decoders above);
+/// `*offset` advances past the block.
+Status DecodeBlockView(const std::string& data, size_t* offset, TypeId type,
+                       EncodedBlockView* out);
+
 /// Serialize / parse a Value (used by position indexes and container stats).
 void EncodeValue(std::string* out, const Value& v);
 Status DecodeValue(const std::string& data, size_t* offset, TypeId type, Value* out);

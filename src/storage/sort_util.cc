@@ -60,14 +60,19 @@ inline void AppendColumnKey(const ColumnVector& col, size_t row, bool descending
     uint8_t marker = is_null ? 0x00 : 0x01;
     out->push_back(descending ? static_cast<uint8_t>(~marker) : marker);
   }
+  // Dict-coded columns materialize the value through the dictionary — this
+  // path feeds cross-block comparisons where codes are meaningless.
+  const ColumnVector& v = col.IsDictCoded() ? *col.dict : col;
+  const size_t p =
+      col.IsDictCoded() ? (is_null ? 0 : static_cast<size_t>(col.ints[row])) : row;
   switch (StorageClassOf(col.type)) {
     case StorageClass::kInt64: {
-      uint64_t u = is_null ? 0 : NormalizeInt64(col.ints[row]);
+      uint64_t u = is_null ? 0 : NormalizeInt64(v.ints[p]);
       PutBigEndian64(u, descending, out);
       break;
     }
     case StorageClass::kFloat64: {
-      uint64_t u = is_null ? 0 : NormalizeDouble(col.doubles[row]);
+      uint64_t u = is_null ? 0 : NormalizeDouble(v.doubles[p]);
       PutBigEndian64(u, descending, out);
       break;
     }
@@ -76,7 +81,7 @@ inline void AppendColumnKey(const ColumnVector& col, size_t row, bool descending
       // with {0x00, 0x00} so shorter strings sort before their extensions
       // and later key columns never bleed into the comparison.
       if (!is_null) {
-        const std::string& s = col.strings[row];
+        const std::string& s = v.strings[p];
         for (char ch : s) {
           uint8_t b = static_cast<uint8_t>(ch);
           if (b == 0) {
@@ -134,16 +139,39 @@ int CompareRowsDirectedTotal(const RowBlock& a, size_t ia, const RowBlock& b,
 }
 
 void BuildNormalizedKeys(const RowBlock& block, const std::vector<SortKey>& keys,
-                         NormalizedKeys* out) {
+                         NormalizedKeys* out, bool allow_dict_codes) {
   size_t n = block.NumRows();
   out->bytes.clear();
   out->offsets.clear();
   out->rows = n;
   out->fixed_width = 0;
+  // Resolve each key column once: a sorted-dict column may contribute its
+  // codes directly (block-local callers only — code order == value order by
+  // the dict_sorted contract); other dict columns materialize values into
+  // scratch. `as_codes` columns encode as 9-byte ints whatever their value
+  // type, so a sorted-dict string key keeps the whole key fixed-width.
+  std::vector<ColumnVector> scratch;
+  scratch.reserve(keys.size());
+  std::vector<const ColumnVector*> cols(keys.size());
+  std::vector<char> as_codes(keys.size(), 0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const ColumnVector& col = block.columns[keys[i].column];
+    if (col.IsDictCoded()) {
+      if (allow_dict_codes && col.dict_sorted) {
+        cols[i] = &col;
+        as_codes[i] = 1;
+      } else {
+        scratch.push_back(col.Decoded());
+        cols[i] = &scratch.back();
+      }
+    } else {
+      cols[i] = &col;
+    }
+  }
   bool fixed = true;
   size_t width = 0;
-  for (const auto& key : keys) {
-    if (StorageClassOf(block.columns[key.column].type) == StorageClass::kString) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!as_codes[i] && StorageClassOf(cols[i]->type) == StorageClass::kString) {
       fixed = false;
       break;
     }
@@ -158,12 +186,15 @@ void BuildNormalizedKeys(const RowBlock& block, const std::vector<SortKey>& keys
     out->bytes.resize(n * width);
     uint8_t* base = out->bytes.data();
     size_t key_off = 0;
-    for (const auto& key : keys) {
-      const ColumnVector& col = block.columns[key.column];
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const SortKey& key = keys[i];
+      const ColumnVector& col = *cols[i];
       const bool desc = key.descending;
       const uint8_t valid_marker = desc ? static_cast<uint8_t>(~0x01) : 0x01;
       const uint8_t null_marker = desc ? static_cast<uint8_t>(~0x00) : 0x00;
-      const bool is_float = StorageClassOf(col.type) == StorageClass::kFloat64;
+      // A code column reads like an int column: the codes live in `ints`.
+      const bool is_float =
+          !as_codes[i] && StorageClassOf(col.type) == StorageClass::kFloat64;
       uint8_t* dst = base + key_off;
       if (col.nulls.empty()) {
         if (is_float) {
@@ -198,8 +229,19 @@ void BuildNormalizedKeys(const RowBlock& block, const std::vector<SortKey>& keys
   out->offsets.push_back(0);
   out->bytes.reserve(n * (keys.size() * 9 + 8));
   for (size_t r = 0; r < n; ++r) {
-    for (const auto& key : keys) {
-      AppendColumnKey(block.columns[key.column], r, key.descending,
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (as_codes[i]) {
+        // Sorted-dict key in a variable-width composite: 9-byte code key.
+        const ColumnVector& col = *cols[i];
+        bool is_null = col.IsNull(r);
+        uint8_t marker = is_null ? 0x00 : 0x01;
+        out->bytes.push_back(keys[i].descending ? static_cast<uint8_t>(~marker)
+                                                : marker);
+        uint64_t u = is_null ? 0 : NormalizeInt64(col.ints[r]);
+        PutBigEndian64(u, keys[i].descending, &out->bytes);
+        continue;
+      }
+      AppendColumnKey(*cols[i], r, keys[i].descending,
                       /*emit_marker=*/true, &out->bytes);
     }
     out->offsets.push_back(out->bytes.size());
@@ -288,7 +330,8 @@ std::vector<uint32_t> ComputeSortPermutationDirected(const RowBlock& block,
     return perm;
   }
   NormalizedKeys nk;
-  BuildNormalizedKeys(block, keys, &nk);
+  // Block-local sort: sorted-dict key columns may sort by code directly.
+  BuildNormalizedKeys(block, keys, &nk, /*allow_dict_codes=*/true);
   // Threshold balances the per-pass 65536-entry histogram against the
   // comparison sort's n·log n memcmps — below it the fills dominate.
   if (nk.offsets.empty() && perm.size() >= 4096) {

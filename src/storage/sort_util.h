@@ -83,8 +83,16 @@ struct NormalizedKeys {
 /// is order-preserving: memcmp of two keys == CompareRowsDirected of the
 /// rows (with -0.0 canonicalized to +0.0 and NaN to one quiet-NaN pattern
 /// so floats keep a total order).
+///
+/// Dict-coded key columns are handled either way: with `allow_dict_codes`
+/// set, a sorted-dictionary column contributes its codes as a fixed 9-byte
+/// int key — skipping value materialization entirely, and turning string
+/// keys fixed-width (DESIGN.md §13). Codes from different dictionaries never
+/// compare, so only block-local sorts (ComputeSortPermutationDirected) may
+/// pass true; cross-block users (merges) must leave it false, which
+/// materializes dictionary values instead.
 void BuildNormalizedKeys(const RowBlock& block, const std::vector<SortKey>& keys,
-                         NormalizedKeys* out);
+                         NormalizedKeys* out, bool allow_dict_codes = false);
 
 /// Append row `row`'s encoded key to *out — the single-row variant of
 /// BuildNormalizedKeys (property tests lock the two to the same bytes).
